@@ -1,0 +1,398 @@
+//! Maintained aggregates ("attachments … may have associated storage.
+//! This storage can be used to … maintain statistics about relations or
+//! precomputed function values for data stored in relations").
+//!
+//! Each instance maintains `COUNT(*)` and `SUM(<field>)` per group (or a
+//! single global group) in a B-tree keyed by the encoded group value.
+//! Maintenance is incremental: every relation modification applies a
+//! delta and logs the group's *before-image* ([`A_DELTA`]); undo restores
+//! before-images in reverse log order, which is correct even when some of
+//! a loser's deltas never reached disk (numeric deltas are not
+//! presence-checkable the way index entries are).
+
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{
+    AccessQuery, Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor,
+    ScanItem, ScanOps,
+};
+use dmx_types::{
+    key::{decode_values, encode_values},
+    AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, Result, Schema, Value,
+};
+
+use crate::common::{decode_att_payload, encode_att_payload, log_att, A_DELTA};
+
+/// The maintained-aggregate attachment type.
+pub struct Aggregate;
+
+/// Instance descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggDesc {
+    pub file: FileId,
+    pub root_page: u32,
+    /// Field whose SUM is maintained.
+    pub sum_field: FieldId,
+    /// Optional grouping field (`None` = one global group).
+    pub group_field: Option<FieldId>,
+}
+
+impl AggDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(13);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v.extend_from_slice(&self.sum_field.to_le_bytes());
+        match self.group_field {
+            None => v.push(0),
+            Some(g) => {
+                v.push(1);
+                v.extend_from_slice(&g.to_le_bytes());
+            }
+        }
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<AggDesc> {
+        let corrupt = || DmxError::Corrupt("short aggregate descriptor".into());
+        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
+        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
+        let sum_field = u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap());
+        let group_field = match *b.get(10).ok_or_else(corrupt)? {
+            0 => None,
+            _ => Some(u16::from_le_bytes(
+                b.get(11..13).ok_or_else(corrupt)?.try_into().unwrap(),
+            )),
+        };
+        Ok(AggDesc {
+            file,
+            root_page,
+            sum_field,
+            group_field,
+        })
+    }
+}
+
+fn encode_cell(count: i64, sum: f64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&count.to_le_bytes());
+    v.extend_from_slice(&sum.to_le_bytes());
+    v
+}
+
+fn decode_cell(b: &[u8]) -> Result<(i64, f64)> {
+    if b.len() < 16 {
+        return Err(DmxError::Corrupt("short aggregate cell".into()));
+    }
+    Ok((
+        i64::from_le_bytes(b[..8].try_into().unwrap()),
+        f64::from_le_bytes(b[8..16].try_into().unwrap()),
+    ))
+}
+
+/// Before-image of a group's cell: `[0]` = absent, `[1] ∥ cell` = present.
+fn encode_before(cell: Option<(i64, f64)>) -> Vec<u8> {
+    match cell {
+        None => vec![0],
+        Some((c, s)) => {
+            let mut v = vec![1];
+            v.extend_from_slice(&encode_cell(c, s));
+            v
+        }
+    }
+}
+
+fn decode_before(b: &[u8]) -> Result<Option<(i64, f64)>> {
+    match b.split_first() {
+        Some((0, _)) => Ok(None),
+        Some((1, rest)) => Ok(Some(decode_cell(rest)?)),
+        _ => Err(DmxError::Corrupt("bad aggregate before-image".into())),
+    }
+}
+
+impl Aggregate {
+    fn tree(services: &Arc<CommonServices>, d: &AggDesc) -> BTree {
+        BTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    fn group_key(d: &AggDesc, record: &Record) -> Result<Vec<u8>> {
+        match d.group_field {
+            None => Ok(encode_values(&[Value::Int(0)])),
+            Some(g) => {
+                let v = record
+                    .values
+                    .get(g as usize)
+                    .cloned()
+                    .ok_or_else(|| DmxError::InvalidArg(format!("no field {g}")))?;
+                Ok(encode_values(&[v]))
+            }
+        }
+    }
+
+    fn sum_value(d: &AggDesc, record: &Record) -> Result<f64> {
+        match record.values.get(d.sum_field as usize) {
+            Some(Value::Null) | None => Ok(0.0),
+            Some(v) => v.as_float(),
+        }
+    }
+
+    /// Applies a delta to one group, returning the group's before-image
+    /// (for undo logging).
+    fn apply_delta(
+        services: &Arc<CommonServices>,
+        desc: &[u8],
+        group: &[u8],
+        dcount: i64,
+        dsum: f64,
+    ) -> Result<Option<(i64, f64)>> {
+        let d = AggDesc::decode(desc)?;
+        let tree = Self::tree(services, &d);
+        let before = match tree.get(group)? {
+            Some(cell) => Some(decode_cell(&cell)?),
+            None => None,
+        };
+        let (count, sum) = before.unwrap_or((0, 0.0));
+        let (nc, ns) = (count + dcount, sum + dsum);
+        if nc <= 0 {
+            tree.delete(group)?;
+        } else {
+            tree.insert(group, &encode_cell(nc, ns), OnDuplicate::Replace)?;
+        }
+        Ok(before)
+    }
+
+    /// Restores a group to a before-image (undo; correct in reverse log
+    /// order regardless of which operations actually reached disk).
+    fn restore_before(
+        services: &Arc<CommonServices>,
+        desc: &[u8],
+        group: &[u8],
+        before: Option<(i64, f64)>,
+    ) -> Result<()> {
+        let d = AggDesc::decode(desc)?;
+        let tree = Self::tree(services, &d);
+        match before {
+            None => {
+                tree.delete(group)?;
+            }
+            Some((c, s)) => {
+                tree.insert(group, &encode_cell(c, s), OnDuplicate::Replace)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn delta(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        record: &Record,
+        sign: i64,
+    ) -> Result<()> {
+        let d = AggDesc::decode(&inst.desc)?;
+        let group = Self::group_key(&d, record)?;
+        let dsum = Self::sum_value(&d, record)? * sign as f64;
+        let before = Self::apply_delta(ctx.services(), &inst.desc, &group, sign, dsum)?;
+        let att = rd
+            .attached_types()
+            .find(|(_, insts)| insts.iter().any(|i| i.instance == inst.instance && i.name == inst.name))
+            .map(|(t, _)| t)
+            .unwrap_or_default();
+        log_att(
+            ctx,
+            rd,
+            att,
+            A_DELTA,
+            encode_att_payload(&inst.desc, &group, &encode_before(before)),
+        );
+        Ok(())
+    }
+}
+
+impl Attachment for Aggregate {
+    fn name(&self) -> &str {
+        "aggregate"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["sum", "group_by"], "aggregate")?;
+        schema.field_id(params.require("sum", "aggregate")?)?;
+        if let Some(g) = params.get("group_by") {
+            schema.field_id(g)?;
+        }
+        Ok(())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let sum_field = rd.schema.field_id(params.require("sum", "aggregate")?)?;
+        let group_field = match params.get("group_by") {
+            Some(g) => Some(rd.schema.field_id(g)?),
+            None => None,
+        };
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = BTree::create(&services.pool, file, &services.latches)?;
+        Ok(AggDesc {
+            file,
+            root_page: tree.root().page_no,
+            sum_field,
+            group_field,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = AggDesc::decode(inst_desc)?;
+        services.latches.forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, new, 1)?;
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _old_key: &RecordKey,
+        _new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, old, -1)?;
+            self.delta(ctx, rd, inst, new, 1)?;
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, old, -1)?;
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        if op != A_DELTA {
+            return Err(DmxError::Corrupt(format!("bad aggregate op {op}")));
+        }
+        let (desc, group, before) = decode_att_payload(payload)?;
+        Self::restore_before(services, desc, group, decode_before(before)?)
+    }
+
+    fn supports_access(&self) -> bool {
+        true
+    }
+
+    /// Reads the maintained aggregates: each item is
+    /// `(group value, count, sum)`.
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = AggDesc::decode(&instance.desc)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let range = match query {
+            AccessQuery::All => dmx_core::KeyRange::all(),
+            AccessQuery::KeyEquals(k) => dmx_core::KeyRange::exact(k.clone()),
+            AccessQuery::Range(r) => r.clone(),
+            AccessQuery::Spatial(_, _) => {
+                return Err(DmxError::Unsupported("aggregate: spatial query".into()))
+            }
+        };
+        Ok(Box::new(AggScan {
+            tree,
+            range,
+            after: None,
+        }))
+    }
+}
+
+struct AggScan {
+    tree: BTree,
+    range: dmx_core::KeyRange,
+    after: Option<Vec<u8>>,
+}
+
+impl ScanOps for AggScan {
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        use std::ops::Bound;
+        let bound = match &self.after {
+            Some(k) => Bound::Excluded(k.as_slice()),
+            None => match &self.range.lo {
+                Bound::Included(b) => Bound::Included(b.as_slice()),
+                Bound::Excluded(b) => Bound::Excluded(b.as_slice()),
+                Bound::Unbounded => Bound::Unbounded,
+            },
+        };
+        let Some((key, cell)) = self.tree.seek(bound)? else {
+            return Ok(None);
+        };
+        if !self.range.contains(&key) {
+            return Ok(None);
+        }
+        self.after = Some(key.clone());
+        let group = decode_values(&key, 1)?.pop().unwrap();
+        let (count, sum) = decode_cell(&cell)?;
+        Ok(Some(ScanItem {
+            key: RecordKey::new(key),
+            values: Some(vec![group, Value::Int(count), Value::Float(sum)]),
+        }))
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        crate::common_position::encode(self.after.as_deref())
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = crate::common_position::decode(pos)?;
+        Ok(())
+    }
+
+    fn items_are_record_keys(&self) -> bool {
+        false // items are (group, count, sum) summaries
+    }
+}

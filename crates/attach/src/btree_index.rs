@@ -1,0 +1,494 @@
+//! The B-tree index access path.
+//!
+//! The paper's worked example: after an insert, "the B-tree insert
+//! procedure will form an index key by projecting fields from the
+//! inserted record, and then insert the index key plus tuple identifier
+//! or record key into the B-tree index. … Of course, the B-tree update
+//! operation should be able to detect when no indexed fields for a given
+//! index are modified."
+//!
+//! Index entries are `enc(field values) ∥ record_key → record_key`; the
+//! appended record key makes duplicate index keys unique. Unique indexes
+//! veto inserts whose index-key prefix already exists.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{
+    AccessPath, AccessQuery, Attachment, AttachmentInstance, CommonServices, Cost, ExecCtx,
+    KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps,
+};
+use dmx_expr::{analyze, Expr, SargOp};
+use dmx_types::{
+    key::{decode_values, encode_values},
+    AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, Result, Schema,
+};
+
+use crate::common::{
+    decode_att_payload, encode_att_payload, field_values, log_att, parse_fields,
+    prefix_successor, A_DELETE, A_INSERT,
+};
+
+/// The B-tree index attachment type.
+pub struct BTreeIndex;
+
+/// Instance descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IxDesc {
+    pub file: FileId,
+    pub root_page: u32,
+    pub unique: bool,
+    pub fields: Vec<FieldId>,
+}
+
+impl IxDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(11 + self.fields.len() * 2);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v.push(self.unique as u8);
+        v.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for f in &self.fields {
+            v.extend_from_slice(&f.to_le_bytes());
+        }
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<IxDesc> {
+        let corrupt = || DmxError::Corrupt("short index descriptor".into());
+        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
+        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
+        let unique = *b.get(8).ok_or_else(corrupt)? != 0;
+        let n = u16::from_le_bytes(b.get(9..11).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        let mut fields = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 11 + 2 * i;
+            fields.push(u16::from_le_bytes(
+                b.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
+            ));
+        }
+        Ok(IxDesc {
+            file,
+            root_page,
+            unique,
+            fields,
+        })
+    }
+}
+
+impl BTreeIndex {
+    fn tree(services: &Arc<CommonServices>, d: &IxDesc) -> BTree {
+        BTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    fn prefix(d: &IxDesc, record: &Record) -> Result<Vec<u8>> {
+        Ok(encode_values(&field_values(record, &d.fields)?))
+    }
+
+    fn full_key(prefix: &[u8], rkey: &RecordKey) -> Vec<u8> {
+        let mut v = Vec::with_capacity(prefix.len() + rkey.len());
+        v.extend_from_slice(prefix);
+        v.extend_from_slice(rkey.as_bytes());
+        v
+    }
+
+    fn insert_entry(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        key: &RecordKey,
+        record: &Record,
+    ) -> Result<()> {
+        let d = IxDesc::decode(&inst.desc)?;
+        let prefix = Self::prefix(&d, record)?;
+        let tree = Self::tree(ctx.services(), &d);
+        if d.unique && tree.contains_prefix(&prefix)? {
+            return Err(DmxError::veto(
+                self.name(),
+                format!("unique index '{}' violated", inst.name),
+            ));
+        }
+        let full = Self::full_key(&prefix, key);
+        tree.insert(&full, key.as_bytes(), OnDuplicate::Error)?;
+        log_att(
+            ctx,
+            rd,
+            find_type_id(rd, inst),
+            A_INSERT,
+            encode_att_payload(&inst.desc, &full, key.as_bytes()),
+        );
+        Ok(())
+    }
+
+    fn delete_entry(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        key: &RecordKey,
+        record: &Record,
+    ) -> Result<()> {
+        let d = IxDesc::decode(&inst.desc)?;
+        let prefix = Self::prefix(&d, record)?;
+        let full = Self::full_key(&prefix, key);
+        let tree = Self::tree(ctx.services(), &d);
+        if tree.delete(&full)?.is_some() {
+            log_att(
+                ctx,
+                rd,
+                find_type_id(rd, inst),
+                A_DELETE,
+                encode_att_payload(&inst.desc, &full, key.as_bytes()),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Attachment for BTreeIndex {
+    fn name(&self) -> &str {
+        "btree"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["fields", "unique"], "btree index")?;
+        params.get_bool("unique", false)?;
+        parse_fields(params, "fields", "btree index", schema).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let fields = parse_fields(params, "fields", "btree index", &rd.schema)?;
+        let unique = params.get_bool("unique", false)?;
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = BTree::create(&services.pool, file, &services.latches)?;
+        Ok(IxDesc {
+            file,
+            root_page: tree.root().page_no,
+            unique,
+            fields,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = IxDesc::decode(inst_desc)?;
+        services.latches.forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.insert_entry(ctx, rd, inst, key, new)?;
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = IxDesc::decode(&inst.desc)?;
+            let old_prefix = Self::prefix(&d, old)?;
+            let new_prefix = Self::prefix(&d, new)?;
+            if old_prefix == new_prefix && old_key == new_key {
+                continue; // no indexed field modified
+            }
+            self.delete_entry(ctx, rd, inst, old_key, old)?;
+            self.insert_entry(ctx, rd, inst, new_key, new)?;
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delete_entry(ctx, rd, inst, key, old)?;
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, key, extra) = decode_att_payload(payload)?;
+        let d = IxDesc::decode(desc)?;
+        let tree = Self::tree(services, &d);
+        match op {
+            A_INSERT => {
+                tree.delete(key)?;
+            }
+            A_DELETE => {
+                tree.insert(key, extra, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad index op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn supports_access(&self) -> bool {
+        true
+    }
+
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = IxDesc::decode(&instance.desc)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let (lo, hi) = translate_prefix_range(query)?;
+        Ok(Box::new(IndexScan {
+            tree,
+            lo,
+            hi,
+            nfields: d.fields.len(),
+            after: None,
+        }))
+    }
+
+    fn estimate(
+        &self,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        preds: &[Expr],
+    ) -> Option<PathChoice> {
+        let d = IxDesc::decode(&instance.desc).ok()?;
+        let sargs: Vec<_> = preds.iter().filter_map(analyze::sargable).collect();
+        // Match Eq sargs on the leading fields, then optionally one range
+        // sarg on the next field.
+        let mut eq_values = Vec::new();
+        let mut applied = Vec::new();
+        for &f in &d.fields {
+            if let Some((i, s)) = sargs
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.field == f && matches!(s.op, SargOp::Eq(_)))
+            {
+                if let SargOp::Eq(v) = &s.op {
+                    eq_values.push(v.clone());
+                    applied.push(preds[pred_index(preds, i, &sargs)].clone());
+                    continue;
+                }
+            }
+            break;
+        }
+        let range_sarg = if eq_values.len() < d.fields.len() {
+            let next = d.fields[eq_values.len()];
+            sargs
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.field == next && matches!(s.op, SargOp::Range(_, _)))
+        } else {
+            None
+        };
+        if eq_values.is_empty() && range_sarg.is_none() {
+            return None; // no relevant predicate → not an eligible path
+        }
+        let prefix = encode_values(&eq_values);
+        let (lo, hi, frac) = match range_sarg {
+            Some((i, s)) => {
+                if let SargOp::Range(op, v) = &s.op {
+                    applied.push(preds[pred_index(preds, i, &sargs)].clone());
+                    let mut lo_b = prefix.clone();
+                    let mut hi_b = prefix.clone();
+                    lo_b.extend_from_slice(&encode_values(std::slice::from_ref(v)));
+                    hi_b.extend_from_slice(&encode_values(std::slice::from_ref(v)));
+                    use dmx_expr::CmpOp::*;
+                    let (lo, hi) = match op {
+                        Lt => (Bound::Included(prefix.clone()), Bound::Excluded(hi_b)),
+                        Le => (Bound::Included(prefix.clone()), Bound::Included(hi_b)),
+                        Gt => (Bound::Excluded(lo_b), prefix_hi(&prefix)),
+                        Ge => (Bound::Included(lo_b), prefix_hi(&prefix)),
+                        _ => (Bound::Included(prefix.clone()), prefix_hi(&prefix)),
+                    };
+                    (lo, hi, 1.0 / 3.0)
+                } else {
+                    unreachable!()
+                }
+            }
+            None => (
+                Bound::Included(prefix.clone()),
+                prefix_hi(&prefix),
+                (1.0 / rd.stats.records().max(1) as f64)
+                    .max(if d.unique { 0.0 } else { 0.01 }),
+            ),
+        };
+        let records = rd.stats.records();
+        let rows = (records as f64 * frac).max(if eq_values.is_empty() { 1.0 } else { 0.0 });
+        let height = (records.max(2) as f64).log2() / 7.0 + 1.0;
+        let leaf_pages = (rows / 100.0).ceil();
+        Some(PathChoice {
+            path: AccessPath::Attachment(find_type_id(rd, instance), instance.instance),
+            query: AccessQuery::Range(KeyRange { lo, hi }),
+            cost: Cost::new(height + leaf_pages, rows),
+            rows_out: rows.max(0.001),
+            covered: Some(d.fields.clone()),
+            applied,
+            ordering: Some(d.fields.clone()),
+        })
+    }
+}
+
+/// Maps a sarg index back to the predicate that produced it (sargs are
+/// produced by filtering predicates, in order).
+fn pred_index(preds: &[Expr], sarg_idx: usize, _sargs: &[analyze::Sarg]) -> usize {
+    // sargable() is applied per-predicate in order; rebuild the mapping.
+    let mut n = 0;
+    for (i, p) in preds.iter().enumerate() {
+        if analyze::sargable(p).is_some() {
+            if n == sarg_idx {
+                return i;
+            }
+            n += 1;
+        }
+    }
+    0
+}
+
+fn find_type_id(rd: &RelationDescriptor, instance: &AttachmentInstance) -> dmx_types::AttTypeId {
+    rd.attached_types()
+        .find(|(_, insts)| {
+            insts
+                .iter()
+                .any(|i| i.instance == instance.instance && i.name == instance.name)
+        })
+        .map(|(t, _)| t)
+        .unwrap_or_default()
+}
+
+fn prefix_hi(prefix: &[u8]) -> Bound<Vec<u8>> {
+    if prefix.is_empty() {
+        return Bound::Unbounded;
+    }
+    match prefix_successor(prefix) {
+        Some(s) => Bound::Excluded(s),
+        None => Bound::Unbounded,
+    }
+}
+
+/// Translates a planner range over index-key *prefixes* into a range over
+/// full keys (`prefix ∥ record_key`).
+fn translate_prefix_range(query: &AccessQuery) -> Result<(Bound<Vec<u8>>, Bound<Vec<u8>>)> {
+    let owned;
+    let kr = match query {
+        AccessQuery::All => return Ok((Bound::Unbounded, Bound::Unbounded)),
+        AccessQuery::KeyEquals(k) => {
+            owned = KeyRange::exact(k.clone());
+            &owned
+        }
+        AccessQuery::Range(kr) => kr,
+        AccessQuery::Spatial(_, _) => {
+            return Err(DmxError::Unsupported("btree index: spatial query".into()))
+        }
+    };
+    let lo = match &kr.lo {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(a) => Bound::Included(a.clone()),
+        // exclude every full key with this exact prefix
+        Bound::Excluded(a) => match prefix_successor(a) {
+            Some(s) => Bound::Included(s),
+            None => Bound::Excluded(a.clone()),
+        },
+    };
+    let hi = match &kr.hi {
+        Bound::Unbounded => Bound::Unbounded,
+        // include every full key with this exact prefix
+        Bound::Included(b) => match prefix_successor(b) {
+            Some(s) => Bound::Excluded(s),
+            None => Bound::Unbounded,
+        },
+        Bound::Excluded(b) => Bound::Excluded(b.clone()),
+    };
+    Ok((lo, hi))
+}
+
+/// Key-sequential access over an index: returns record keys plus the
+/// covered (indexed) field values decoded from the index key.
+struct IndexScan {
+    tree: BTree,
+    lo: Bound<Vec<u8>>,
+    hi: Bound<Vec<u8>>,
+    nfields: usize,
+    after: Option<Vec<u8>>,
+}
+
+impl ScanOps for IndexScan {
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let bound = match &self.after {
+            Some(k) => Bound::Excluded(k.as_slice()),
+            None => match &self.lo {
+                Bound::Included(b) => Bound::Included(b.as_slice()),
+                Bound::Excluded(b) => Bound::Excluded(b.as_slice()),
+                Bound::Unbounded => Bound::Unbounded,
+            },
+        };
+        let Some((key, value)) = self.tree.seek(bound)? else {
+            return Ok(None);
+        };
+        let in_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => key <= *h,
+            Bound::Excluded(h) => key < *h,
+        };
+        if !in_hi {
+            return Ok(None);
+        }
+        self.after = Some(key.clone());
+        // the index key prefix covers the indexed fields
+        let covered = decode_values(&key, self.nfields)?;
+        Ok(Some(ScanItem {
+            key: RecordKey::new(value),
+            values: Some(covered),
+        }))
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        crate::common_position::encode(self.after.as_deref())
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = crate::common_position::decode(pos)?;
+        Ok(())
+    }
+}

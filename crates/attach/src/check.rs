@@ -1,0 +1,226 @@
+//! Single-record (intra-record) integrity constraints.
+//!
+//! The paper: "A simple integrity constraint extension descriptor would
+//! contain a (Common Service) encoding of the predicate to be tested when
+//! records of the relation are inserted or updated." Violations **veto**
+//! the modification. In `mode=deferred` the check is queued on the
+//! deferred-action queue for the "before transaction enters prepared
+//! state" event instead: the record is re-fetched and tested once, after
+//! all of the transaction's modifications have been made.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use dmx_core::{
+    Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor,
+};
+use dmx_expr::{decode_expr, encode_expr, expr_from_hex, Expr};
+use dmx_txn::TxnEvent;
+use dmx_types::{AttrList, DmxError, Lsn, Record, RecordKey, Result, Schema};
+
+/// The CHECK-constraint attachment type.
+pub struct CheckConstraint;
+
+/// Instance descriptor: mode byte + encoded predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckDesc {
+    pub deferred: bool,
+    pub expr: Expr,
+}
+
+impl CheckDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = vec![self.deferred as u8];
+        v.extend_from_slice(&encode_expr(&self.expr));
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<CheckDesc> {
+        let (&mode, rest) = b
+            .split_first()
+            .ok_or_else(|| DmxError::Corrupt("empty check descriptor".into()))?;
+        Ok(CheckDesc {
+            deferred: mode != 0,
+            expr: decode_expr(rest)?,
+        })
+    }
+}
+
+/// Builds the DDL attribute list for a check constraint (callers that
+/// have an [`Expr`] in hand; the SQL layer produces the same shape).
+pub fn check_params(expr: &Expr, deferred: bool) -> AttrList {
+    AttrList::from_pairs([
+        ("expr_hex", dmx_expr::expr_to_hex(expr)),
+        ("deferred", deferred.to_string()),
+    ])
+    .expect("distinct keys")
+}
+
+impl CheckConstraint {
+    fn parse(params: &AttrList, schema: &Schema) -> Result<CheckDesc> {
+        params.check_allowed(&["expr_hex", "deferred"], "check constraint")?;
+        let expr = expr_from_hex(params.require("expr_hex", "check constraint")?)?;
+        // columns must exist
+        for c in dmx_expr::columns(&expr) {
+            schema.column(c)?;
+        }
+        Ok(CheckDesc {
+            deferred: params.get_bool("deferred", false)?,
+            expr,
+        })
+    }
+
+    fn test_record(
+        &self,
+        ctx: &ExecCtx<'_>,
+        inst: &AttachmentInstance,
+        record: &Record,
+    ) -> Result<()> {
+        let d = CheckDesc::decode(&inst.desc)?;
+        if ctx.eval_predicate(&d.expr, &record.values)? {
+            Ok(())
+        } else {
+            Err(DmxError::veto(
+                self.name(),
+                format!("check constraint '{}' violated", inst.name),
+            ))
+        }
+    }
+
+    /// Queues a deferred re-check of `(relation, key)` at before-prepare.
+    fn defer_check(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        key: &RecordKey,
+    ) {
+        let db = ctx.db.clone();
+        let txn = Arc::downgrade(ctx.txn);
+        let rel = rd.id;
+        let key = key.clone();
+        let desc = inst.desc.clone();
+        let name = inst.name.clone();
+        // once per (instance, record) per transaction
+        let mut h = DefaultHasher::new();
+        (rel, &name, key.as_bytes()).hash(&mut h);
+        ctx.txn.defer_once(
+            TxnEvent::BeforePrepare,
+            h.finish(),
+            Box::new(move || {
+                let Some(txn) = txn.upgrade() else {
+                    return Ok(());
+                };
+                let d = CheckDesc::decode(&desc)?;
+                // the record may have been deleted since: then there is
+                // nothing to check
+                let Some(values) = db.fetch(&txn, rel, &key, None, None)? else {
+                    return Ok(());
+                };
+                let funcs = db.services().funcs.read();
+                let ok = dmx_expr::eval_predicate(
+                    &d.expr,
+                    &values,
+                    dmx_expr::EvalContext::new(&funcs),
+                )?;
+                if ok {
+                    Ok(())
+                } else {
+                    Err(DmxError::ConstraintViolation(format!(
+                        "deferred check constraint '{name}' violated"
+                    )))
+                }
+            }),
+        );
+    }
+
+    fn handle(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        record: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = CheckDesc::decode(&inst.desc)?;
+            if d.deferred {
+                self.defer_check(ctx, rd, inst, key);
+            } else {
+                self.test_record(ctx, inst, record)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Attachment for CheckConstraint {
+    fn name(&self) -> &str {
+        "check"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        Self::parse(params, schema).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        Ok(Self::parse(params, &rd.schema)?.encode())
+    }
+
+    fn destroy_instance(&self, _services: &Arc<CommonServices>, _inst_desc: &[u8]) -> Result<()> {
+        Ok(()) // constraints have no associated storage
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        self.handle(ctx, rd, instances, key, new)
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _old_key: &RecordKey,
+        new_key: &RecordKey,
+        _old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        self.handle(ctx, rd, instances, new_key, new)
+    }
+
+    fn on_delete(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _instances: &[AttachmentInstance],
+        _key: &RecordKey,
+        _old: &Record,
+    ) -> Result<()> {
+        Ok(()) // deleting a record cannot violate an intra-record predicate
+    }
+
+    fn undo(
+        &self,
+        _services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        _op: u8,
+        _payload: &[u8],
+    ) -> Result<()> {
+        Ok(()) // checks have no state to undo
+    }
+}

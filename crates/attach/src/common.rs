@@ -1,0 +1,120 @@
+//! Shared helpers for attachment implementations.
+
+use dmx_core::{ExecCtx, RelationDescriptor};
+use dmx_types::{AttrList, DmxError, FieldId, Lsn, Record, Result, Schema, Value};
+use dmx_wal::ExtKind;
+
+/// Attachment op code: an entry was added to an attachment's structure.
+pub const A_INSERT: u8 = 1;
+/// Attachment op code: an entry was removed.
+pub const A_DELETE: u8 = 2;
+/// Attachment op code: a numeric delta was applied (maintained
+/// aggregates).
+pub const A_DELTA: u8 = 3;
+
+/// Encodes an attachment undo payload. The *instance descriptor* is
+/// embedded so undo never needs a catalog lookup (the instance may even
+/// have been dropped by the time restart runs).
+pub fn encode_att_payload(desc: &[u8], key: &[u8], extra: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(4 + desc.len() + key.len() + extra.len());
+    v.extend_from_slice(&(desc.len() as u16).to_le_bytes());
+    v.extend_from_slice(desc);
+    v.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    v.extend_from_slice(key);
+    v.extend_from_slice(extra);
+    v
+}
+
+/// Decodes `(desc, key, extra)` from [`encode_att_payload`].
+pub fn decode_att_payload(p: &[u8]) -> Result<(&[u8], &[u8], &[u8])> {
+    let corrupt = || DmxError::Corrupt("short attachment payload".into());
+    let dlen = u16::from_le_bytes(p.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let desc = p.get(2..2 + dlen).ok_or_else(corrupt)?;
+    let rest = &p[2 + dlen..];
+    let klen = u16::from_le_bytes(rest.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let key = rest.get(2..2 + klen).ok_or_else(corrupt)?;
+    Ok((desc, key, &rest[2 + klen..]))
+}
+
+/// Logs an attachment operation on the transaction's undo chain.
+pub fn log_att(ctx: &ExecCtx<'_>, rd: &RelationDescriptor, att: dmx_types::AttTypeId, op: u8, payload: Vec<u8>) -> Lsn {
+    ctx.log_ext_op(ExtKind::Attachment(att), rd.id, op, payload)
+}
+
+/// Parses a comma-separated field-name list attribute into field ids.
+pub fn parse_fields(params: &AttrList, attr: &str, who: &str, schema: &Schema) -> Result<Vec<FieldId>> {
+    let spec = params.require(attr, who)?;
+    let mut fields = Vec::new();
+    for name in spec.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        let id = schema.field_id(name)?;
+        if fields.contains(&id) {
+            return Err(DmxError::InvalidArg(format!("duplicate field {name}")));
+        }
+        fields.push(id);
+    }
+    if fields.is_empty() {
+        return Err(DmxError::InvalidArg(format!("{who}: empty field list")));
+    }
+    Ok(fields)
+}
+
+/// Extracts the values of `fields` from a record.
+pub fn field_values(record: &Record, fields: &[FieldId]) -> Result<Vec<Value>> {
+    fields
+        .iter()
+        .map(|&f| {
+            record
+                .values
+                .get(f as usize)
+                .cloned()
+                .ok_or_else(|| DmxError::InvalidArg(format!("no field {f}")))
+        })
+        .collect()
+}
+
+/// Smallest byte string greater than every string with prefix `b`
+/// (`None` when `b` is all-0xFF, i.e. unbounded above).
+pub fn prefix_successor(b: &[u8]) -> Option<Vec<u8>> {
+    let mut v = b.to_vec();
+    while let Some(last) = v.pop() {
+        if last != 0xFF {
+            v.push(last + 1);
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn att_payload_roundtrip() {
+        let p = encode_att_payload(b"desc", b"key", b"extra");
+        let (d, k, e) = decode_att_payload(&p).unwrap();
+        assert_eq!((d, k, e), (&b"desc"[..], &b"key"[..], &b"extra"[..]));
+        let p2 = encode_att_payload(b"", b"", b"");
+        let (d, k, e) = decode_att_payload(&p2).unwrap();
+        assert!(d.is_empty() && k.is_empty() && e.is_empty());
+        assert!(decode_att_payload(&[1]).is_err());
+    }
+
+    #[test]
+    fn successor_orders_correctly() {
+        assert_eq!(prefix_successor(b"ab").unwrap(), b"ac");
+        assert_eq!(prefix_successor(&[1, 0xFF]).unwrap(), vec![2]);
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        // every string with the prefix sorts below the successor
+        let p = vec![3u8, 0xFF, 7];
+        let succ = prefix_successor(&p).unwrap();
+        let mut extended = p.clone();
+        extended.extend_from_slice(&[0xFF; 8]);
+        assert!(extended < succ);
+        assert!(p < succ);
+    }
+}

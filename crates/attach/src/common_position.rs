@@ -1,0 +1,37 @@
+//! Scan-position serialization shared by attachment scans.
+
+use dmx_types::{DmxError, Result};
+
+/// `[0]` = at start; `[1] ∥ key` = positioned after `key`.
+pub fn encode(after: Option<&[u8]>) -> Vec<u8> {
+    match after {
+        None => vec![0],
+        Some(k) => {
+            let mut v = Vec::with_capacity(1 + k.len());
+            v.push(1);
+            v.extend_from_slice(k);
+            v
+        }
+    }
+}
+
+/// Parses [`encode`] output.
+pub fn decode(pos: &[u8]) -> Result<Option<Vec<u8>>> {
+    match pos.split_first() {
+        Some((0, _)) => Ok(None),
+        Some((1, rest)) => Ok(Some(rest.to_vec())),
+        _ => Err(DmxError::Corrupt("bad scan position".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(decode(&encode(None)).unwrap(), None);
+        assert_eq!(decode(&encode(Some(b"k"))).unwrap(), Some(b"k".to_vec()));
+        assert!(decode(&[]).is_err());
+    }
+}

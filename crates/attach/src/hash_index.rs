@@ -1,0 +1,388 @@
+//! The hash-table access path.
+//!
+//! Equality-only: entries are organized by a 64-bit hash of the indexed
+//! field values (`hash ∥ enc(values) ∥ record_key`), so only exact-match
+//! probes are supported — the architecturally interesting part is the
+//! *relevance determination*: [`HashIndex::estimate`] recognizes only
+//! equality predicates over **all** indexed fields, and reports itself
+//! irrelevant to ranges (the paper: each access path "can determine the
+//! relevance of the predicates to the access path instance").
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{
+    AccessPath, AccessQuery, Attachment, AttachmentInstance, CommonServices, Cost, ExecCtx,
+    PathChoice, RelationDescriptor, ScanItem, ScanOps,
+};
+use dmx_expr::{analyze, Expr, SargOp};
+use dmx_types::{
+    key::encode_values, AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey,
+    Result, Schema, Value,
+};
+
+use crate::common::{
+    decode_att_payload, encode_att_payload, field_values, log_att, parse_fields, prefix_successor,
+    A_DELETE, A_INSERT,
+};
+
+/// The hash-index attachment type.
+pub struct HashIndex;
+
+/// Instance descriptor: file + root + field list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashDesc {
+    pub file: FileId,
+    pub root_page: u32,
+    pub fields: Vec<FieldId>,
+}
+
+impl HashDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(10 + self.fields.len() * 2);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for f in &self.fields {
+            v.extend_from_slice(&f.to_le_bytes());
+        }
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<HashDesc> {
+        let corrupt = || DmxError::Corrupt("short hash descriptor".into());
+        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
+        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
+        let n = u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        let mut fields = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 10 + 2 * i;
+            fields.push(u16::from_le_bytes(
+                b.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
+            ));
+        }
+        Ok(HashDesc {
+            file,
+            root_page,
+            fields,
+        })
+    }
+}
+
+fn hash_bytes(values_enc: &[u8]) -> [u8; 8] {
+    let mut h = DefaultHasher::new();
+    values_enc.hash(&mut h);
+    h.finish().to_be_bytes()
+}
+
+/// `hash ∥ enc(values)` — the probe prefix.
+fn probe_prefix(values_enc: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8 + values_enc.len());
+    v.extend_from_slice(&hash_bytes(values_enc));
+    v.extend_from_slice(values_enc);
+    v
+}
+
+impl HashIndex {
+    fn tree(services: &Arc<CommonServices>, d: &HashDesc) -> BTree {
+        BTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    fn entry_key(d: &HashDesc, record: &Record, rkey: &RecordKey) -> Result<Vec<u8>> {
+        let enc = encode_values(&field_values(record, &d.fields)?);
+        let mut full = probe_prefix(&enc);
+        full.extend_from_slice(rkey.as_bytes());
+        Ok(full)
+    }
+
+    fn type_id(rd: &RelationDescriptor, inst: &AttachmentInstance) -> dmx_types::AttTypeId {
+        rd.attached_types()
+            .find(|(_, insts)| {
+                insts
+                    .iter()
+                    .any(|i| i.instance == inst.instance && i.name == inst.name)
+            })
+            .map(|(t, _)| t)
+            .unwrap_or_default()
+    }
+}
+
+impl Attachment for HashIndex {
+    fn name(&self) -> &str {
+        "hash"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["fields"], "hash index")?;
+        parse_fields(params, "fields", "hash index", schema).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let fields = parse_fields(params, "fields", "hash index", &rd.schema)?;
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = BTree::create(&services.pool, file, &services.latches)?;
+        Ok(HashDesc {
+            file,
+            root_page: tree.root().page_no,
+            fields,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = HashDesc::decode(inst_desc)?;
+        services.latches.forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = HashDesc::decode(&inst.desc)?;
+            let full = Self::entry_key(&d, new, key)?;
+            Self::tree(ctx.services(), &d).insert(&full, key.as_bytes(), OnDuplicate::Error)?;
+            log_att(
+                ctx,
+                rd,
+                Self::type_id(rd, inst),
+                A_INSERT,
+                encode_att_payload(&inst.desc, &full, key.as_bytes()),
+            );
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = HashDesc::decode(&inst.desc)?;
+            let old_full = Self::entry_key(&d, old, old_key)?;
+            let new_full = Self::entry_key(&d, new, new_key)?;
+            if old_full == new_full {
+                continue;
+            }
+            let tree = Self::tree(ctx.services(), &d);
+            if tree.delete(&old_full)?.is_some() {
+                log_att(
+                    ctx,
+                    rd,
+                    Self::type_id(rd, inst),
+                    A_DELETE,
+                    encode_att_payload(&inst.desc, &old_full, old_key.as_bytes()),
+                );
+            }
+            tree.insert(&new_full, new_key.as_bytes(), OnDuplicate::Error)?;
+            log_att(
+                ctx,
+                rd,
+                Self::type_id(rd, inst),
+                A_INSERT,
+                encode_att_payload(&inst.desc, &new_full, new_key.as_bytes()),
+            );
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = HashDesc::decode(&inst.desc)?;
+            let full = Self::entry_key(&d, old, key)?;
+            if Self::tree(ctx.services(), &d).delete(&full)?.is_some() {
+                log_att(
+                    ctx,
+                    rd,
+                    Self::type_id(rd, inst),
+                    A_DELETE,
+                    encode_att_payload(&inst.desc, &full, key.as_bytes()),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, key, extra) = decode_att_payload(payload)?;
+        let d = HashDesc::decode(desc)?;
+        let tree = Self::tree(services, &d);
+        match op {
+            A_INSERT => {
+                tree.delete(key)?;
+            }
+            A_DELETE => {
+                tree.insert(key, extra, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad hash op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn supports_access(&self) -> bool {
+        true
+    }
+
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = HashDesc::decode(&instance.desc)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let prefix = match query {
+            AccessQuery::KeyEquals(values_enc) => probe_prefix(values_enc),
+            _ => {
+                return Err(DmxError::Unsupported(
+                    "hash index supports only exact-key probes".into(),
+                ))
+            }
+        };
+        let hi = match prefix_successor(&prefix) {
+            Some(s) => Bound::Excluded(s),
+            None => Bound::Unbounded,
+        };
+        Ok(Box::new(HashScan {
+            tree,
+            lo: Bound::Included(prefix),
+            hi,
+            nfields: d.fields.len(),
+            after: None,
+        }))
+    }
+
+    fn estimate(
+        &self,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        preds: &[Expr],
+    ) -> Option<PathChoice> {
+        let d = HashDesc::decode(&instance.desc).ok()?;
+        // relevant only when EVERY indexed field has an equality predicate
+        let sargs: Vec<_> = preds.iter().filter_map(analyze::sargable).collect();
+        let mut values: Vec<Value> = Vec::with_capacity(d.fields.len());
+        let mut applied = Vec::new();
+        for &f in &d.fields {
+            let found = sargs
+                .iter()
+                .find(|s| s.field == f && matches!(s.op, SargOp::Eq(_)))?;
+            if let SargOp::Eq(v) = &found.op {
+                values.push(v.clone());
+            }
+            // map back to the predicate
+            applied.push(
+                preds
+                    .iter()
+                    .find(|p| analyze::sargable(p).as_ref() == Some(found))?
+                    .clone(),
+            );
+        }
+        let enc = encode_values(&values);
+        let records = rd.stats.records();
+        let rows = (records as f64 * 0.01).max(1.0);
+        Some(PathChoice {
+            path: AccessPath::Attachment(
+                Self::type_id(rd, instance),
+                instance.instance,
+            ),
+            query: AccessQuery::KeyEquals(enc),
+            // a hash probe is ~1–2 page touches regardless of size
+            cost: Cost::new(1.5, rows),
+            rows_out: rows,
+            covered: Some(d.fields.clone()),
+            applied,
+            ordering: None, // hash order is meaningless
+        })
+    }
+}
+
+struct HashScan {
+    tree: BTree,
+    lo: Bound<Vec<u8>>,
+    hi: Bound<Vec<u8>>,
+    nfields: usize,
+    after: Option<Vec<u8>>,
+}
+
+impl ScanOps for HashScan {
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let bound = match &self.after {
+            Some(k) => Bound::Excluded(k.as_slice()),
+            None => match &self.lo {
+                Bound::Included(b) => Bound::Included(b.as_slice()),
+                Bound::Excluded(b) => Bound::Excluded(b.as_slice()),
+                Bound::Unbounded => Bound::Unbounded,
+            },
+        };
+        let Some((key, value)) = self.tree.seek(bound)? else {
+            return Ok(None);
+        };
+        let in_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => key <= *h,
+            Bound::Excluded(h) => key < *h,
+        };
+        if !in_hi {
+            return Ok(None);
+        }
+        // key = hash(8) ∥ enc(values) ∥ record_key: the indexed values are
+        // recoverable, so the probe covers them.
+        let covered = dmx_types::key::decode_values(&key[8..], self.nfields)?;
+        self.after = Some(key);
+        Ok(Some(ScanItem {
+            key: RecordKey::new(value),
+            values: Some(covered),
+        }))
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        crate::common_position::encode(self.after.as_deref())
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = crate::common_position::decode(pos)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,476 @@
+//! The join index (Valduriez '85).
+//!
+//! "Access paths need not be limited to a single table (e.g., join
+//! indexes)." A join index materializes the pairs of record keys whose
+//! records join: `R ⋈ S` becomes a scan of precomputed `(r_key, s_key)`
+//! pairs. One link = **two instances** of this type, one per relation
+//! (the dispatcher invokes attachments of the modified relation only, so
+//! both sides must carry an instance to keep the pairs current). The
+//! instances share three B-trees, created by the first (`side=left`) and
+//! adopted by the second (`side=right, other=<left relation>`):
+//!
+//! * `pairs`:  `enc(v) ∥ lkey ∥ rkey → [len(lkey)] lkey rkey`
+//! * `left`:   `enc(v) ∥ lkey → lkey` (left records by join value)
+//! * `right`:  `enc(v) ∥ rkey → rkey`
+//!
+//! Maintenance on either side is: update the side tree, then pair with
+//! every matching key from the opposite side tree.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{
+    AccessQuery, Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor,
+    ScanItem, ScanOps,
+};
+use dmx_types::{
+    key::encode_values, AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey,
+    Result, Schema, Value,
+};
+
+use crate::common::{
+    decode_att_payload, encode_att_payload, field_values, log_att, parse_fields, prefix_successor,
+    A_DELETE, A_INSERT,
+};
+
+/// The join-index attachment type.
+pub struct JoinIndex;
+
+const TREE_PAIRS: u8 = 0;
+const TREE_LEFT: u8 = 1;
+const TREE_RIGHT: u8 = 2;
+
+/// Instance descriptor (mirrored on both relations, differing only in
+/// `is_left` and `fields`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JiDesc {
+    pub is_left: bool,
+    pub fields: Vec<FieldId>,
+    /// (file, root) for pairs / left / right trees.
+    pub trees: [(FileId, u32); 3],
+}
+
+impl JiDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = vec![self.is_left as u8];
+        v.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for f in &self.fields {
+            v.extend_from_slice(&f.to_le_bytes());
+        }
+        for (file, root) in &self.trees {
+            v.extend_from_slice(&file.0.to_le_bytes());
+            v.extend_from_slice(&root.to_le_bytes());
+        }
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<JiDesc> {
+        let corrupt = || DmxError::Corrupt("short join-index descriptor".into());
+        let is_left = *b.first().ok_or_else(corrupt)? != 0;
+        let n = u16::from_le_bytes(b.get(1..3).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        let mut pos = 3usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            fields.push(u16::from_le_bytes(
+                b.get(pos..pos + 2).ok_or_else(corrupt)?.try_into().unwrap(),
+            ));
+            pos += 2;
+        }
+        let mut trees = [(FileId(0), 0u32); 3];
+        for t in &mut trees {
+            let file = u32::from_le_bytes(b.get(pos..pos + 4).ok_or_else(corrupt)?.try_into().unwrap());
+            let root = u32::from_le_bytes(
+                b.get(pos + 4..pos + 8).ok_or_else(corrupt)?.try_into().unwrap(),
+            );
+            *t = (FileId(file), root);
+            pos += 8;
+        }
+        Ok(JiDesc {
+            is_left,
+            fields,
+            trees,
+        })
+    }
+}
+
+fn encode_pair_value(lkey: &[u8], rkey: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(2 + lkey.len() + rkey.len());
+    v.extend_from_slice(&(lkey.len() as u16).to_le_bytes());
+    v.extend_from_slice(lkey);
+    v.extend_from_slice(rkey);
+    v
+}
+
+fn decode_pair_value(v: &[u8]) -> Result<(&[u8], &[u8])> {
+    let corrupt = || DmxError::Corrupt("short pair value".into());
+    let n = u16::from_le_bytes(v.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let lkey = v.get(2..2 + n).ok_or_else(corrupt)?;
+    Ok((lkey, &v[2 + n..]))
+}
+
+impl JoinIndex {
+    fn tree(services: &Arc<CommonServices>, d: &JiDesc, which: u8) -> BTree {
+        let (file, root) = d.trees[which as usize];
+        BTree::open(&services.pool, PageId::new(file, root), &services.latches)
+    }
+
+    fn type_id(rd: &RelationDescriptor, inst: &AttachmentInstance) -> dmx_types::AttTypeId {
+        rd.attached_types()
+            .find(|(_, insts)| {
+                insts
+                    .iter()
+                    .any(|i| i.instance == inst.instance && i.name == inst.name)
+            })
+            .map(|(t, _)| t)
+            .unwrap_or_default()
+    }
+
+    fn logged_insert(
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        att: dmx_types::AttTypeId,
+        desc: &[u8],
+        d: &JiDesc,
+        which: u8,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<()> {
+        Self::tree(ctx.services(), d, which).insert(key, value, OnDuplicate::Replace)?;
+        let mut extra = vec![which];
+        extra.extend_from_slice(value);
+        log_att(ctx, rd, att, A_INSERT, encode_att_payload(desc, key, &extra));
+        Ok(())
+    }
+
+    fn logged_delete(
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        att: dmx_types::AttTypeId,
+        desc: &[u8],
+        d: &JiDesc,
+        which: u8,
+        key: &[u8],
+    ) -> Result<()> {
+        if let Some(old) = Self::tree(ctx.services(), d, which).delete(key)? {
+            let mut extra = vec![which];
+            extra.extend_from_slice(&old);
+            log_att(ctx, rd, att, A_DELETE, encode_att_payload(desc, key, &extra));
+        }
+        Ok(())
+    }
+
+    /// Keys in `tree` with prefix `p`, with their values.
+    fn prefix_entries(
+        services: &Arc<CommonServices>,
+        d: &JiDesc,
+        which: u8,
+        p: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let tree = Self::tree(services, d, which);
+        let hi = match prefix_successor(p) {
+            Some(s) => Bound::Excluded(s),
+            None => Bound::Unbounded,
+        };
+        let mut cur = tree.range(Bound::Included(p.to_vec()), hi);
+        let mut out = Vec::new();
+        while let Some(kv) = cur.next()? {
+            out.push(kv);
+        }
+        Ok(out)
+    }
+
+    /// Maintains the index after a record appears on one side.
+    fn side_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        key: &RecordKey,
+        record: &Record,
+    ) -> Result<()> {
+        let d = JiDesc::decode(&inst.desc)?;
+        let att = Self::type_id(rd, inst);
+        let values = field_values(record, &d.fields)?;
+        if values.iter().any(|v| v.is_null()) {
+            return Ok(()); // NULL join values never match
+        }
+        let v = encode_values(&values);
+        let (my_tree, other_tree) = if d.is_left {
+            (TREE_LEFT, TREE_RIGHT)
+        } else {
+            (TREE_RIGHT, TREE_LEFT)
+        };
+        // 1. register this key under its join value
+        let mut my_key = v.clone();
+        my_key.extend_from_slice(key.as_bytes());
+        Self::logged_insert(ctx, rd, att, &inst.desc, &d, my_tree, &my_key, key.as_bytes())?;
+        // 2. pair with every matching key on the other side
+        for (_, other_key) in Self::prefix_entries(ctx.services(), &d, other_tree, &v)? {
+            let (lkey, rkey) = if d.is_left {
+                (key.as_bytes(), other_key.as_slice())
+            } else {
+                (other_key.as_slice(), key.as_bytes())
+            };
+            let mut pair_key = v.clone();
+            pair_key.extend_from_slice(lkey);
+            pair_key.extend_from_slice(rkey);
+            Self::logged_insert(
+                ctx,
+                rd,
+                att,
+                &inst.desc,
+                &d,
+                TREE_PAIRS,
+                &pair_key,
+                &encode_pair_value(lkey, rkey),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Maintains the index after a record disappears from one side.
+    fn side_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        key: &RecordKey,
+        record: &Record,
+    ) -> Result<()> {
+        let d = JiDesc::decode(&inst.desc)?;
+        let att = Self::type_id(rd, inst);
+        let values = field_values(record, &d.fields)?;
+        if values.iter().any(|v| v.is_null()) {
+            return Ok(());
+        }
+        let v = encode_values(&values);
+        let my_tree = if d.is_left { TREE_LEFT } else { TREE_RIGHT };
+        let mut my_key = v.clone();
+        my_key.extend_from_slice(key.as_bytes());
+        Self::logged_delete(ctx, rd, att, &inst.desc, &d, my_tree, &my_key)?;
+        // drop every pair involving this key
+        for (pair_key, pair_val) in Self::prefix_entries(ctx.services(), &d, TREE_PAIRS, &v)? {
+            let (lkey, rkey) = decode_pair_value(&pair_val)?;
+            let mine = if d.is_left { lkey } else { rkey };
+            if mine == key.as_bytes() {
+                Self::logged_delete(ctx, rd, att, &inst.desc, &d, TREE_PAIRS, &pair_key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Attachment for JoinIndex {
+    fn name(&self) -> &str {
+        "joinindex"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["side", "fields", "other"], "join index")?;
+        let side = params.require("side", "join index")?;
+        if !side.eq_ignore_ascii_case("left") && !side.eq_ignore_ascii_case("right") {
+            return Err(DmxError::InvalidArg("join index side must be left|right".into()));
+        }
+        if side.eq_ignore_ascii_case("right") && params.get("other").is_none() {
+            return Err(DmxError::InvalidArg(
+                "join index right side requires other=<left relation>".into(),
+            ));
+        }
+        parse_fields(params, "fields", "join index", schema).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let fields = parse_fields(params, "fields", "join index", &rd.schema)?;
+        let is_left = params
+            .require("side", "join index")?
+            .eq_ignore_ascii_case("left");
+        let trees = if is_left {
+            // the left side creates the shared structures
+            let services = ctx.services();
+            let mut trees = [(FileId(0), 0u32); 3];
+            for t in &mut trees {
+                let file = services.disk.create_file()?;
+                let tree = BTree::create(&services.pool, file, &services.latches)?;
+                *t = (file, tree.root().page_no);
+            }
+            trees
+        } else {
+            // the right side adopts the trees from the left instance
+            // (looked up by attachment name on the other relation)
+            let other = params.require("other", "join index")?;
+            let other_rd = ctx.db.catalog().get_by_name(other)?;
+            let (_, left_inst) = other_rd.find_attachment(name).ok_or_else(|| {
+                DmxError::NotFound(format!(
+                    "join index '{name}' not found on relation {other} (create the left side first, with the same name)"
+                ))
+            })?;
+            JiDesc::decode(&left_inst.desc)?.trees
+        };
+        Ok(JiDesc {
+            is_left,
+            fields,
+            trees,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = JiDesc::decode(inst_desc)?;
+        // only the left (creator) side owns the physical trees
+        if d.is_left {
+            for (file, root) in d.trees {
+                services.latches.forget(PageId::new(file, root));
+                services.pool.discard_file(file);
+                match services.disk.delete_file(file) {
+                    Err(DmxError::NotFound(_)) | Ok(()) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.side_insert(ctx, rd, inst, key, new)?;
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = JiDesc::decode(&inst.desc)?;
+            let old_v = field_values(old, &d.fields)?;
+            let new_v = field_values(new, &d.fields)?;
+            if old_v == new_v && old_key == new_key {
+                continue;
+            }
+            self.side_delete(ctx, rd, inst, old_key, old)?;
+            self.side_insert(ctx, rd, inst, new_key, new)?;
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.side_delete(ctx, rd, inst, key, old)?;
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, key, extra) = decode_att_payload(payload)?;
+        let d = JiDesc::decode(desc)?;
+        let (&which, value) = extra
+            .split_first()
+            .ok_or_else(|| DmxError::Corrupt("short join-index undo".into()))?;
+        let tree = Self::tree(services, &d, which);
+        match op {
+            A_INSERT => {
+                tree.delete(key)?;
+            }
+            A_DELETE => {
+                tree.insert(key, value, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad join-index op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn supports_access(&self) -> bool {
+        true
+    }
+
+    /// Scans the materialized pairs: each item carries the **left**
+    /// record key as `key` and `[Bytes(right record key), join value]`
+    /// as values — the query layer's join-index join strategy consumes
+    /// this shape.
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = JiDesc::decode(&instance.desc)?;
+        if !matches!(query, AccessQuery::All) {
+            return Err(DmxError::Unsupported(
+                "join index serves full pair scans".into(),
+            ));
+        }
+        let tree = Self::tree(ctx.services(), &d, TREE_PAIRS);
+        Ok(Box::new(PairScan {
+            cursor_after: None,
+            tree,
+        }))
+    }
+}
+
+struct PairScan {
+    tree: BTree,
+    cursor_after: Option<Vec<u8>>,
+}
+
+impl ScanOps for PairScan {
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let bound = match &self.cursor_after {
+            Some(k) => Bound::Excluded(k.as_slice()),
+            None => Bound::Unbounded,
+        };
+        let Some((key, value)) = self.tree.seek(bound)? else {
+            return Ok(None);
+        };
+        self.cursor_after = Some(key);
+        let (lkey, rkey) = decode_pair_value(&value)?;
+        Ok(Some(ScanItem {
+            key: RecordKey::new(lkey.to_vec()),
+            values: Some(vec![Value::Bytes(rkey.to_vec())]),
+        }))
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        crate::common_position::encode(self.cursor_after.as_deref())
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.cursor_after = crate::common_position::decode(pos)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,788 @@
+//! The R-tree spatial access path (Guttman '84).
+//!
+//! The paper's motivating example: "spatial database applications can
+//! make use of an R-tree access path to efficiently compute certain
+//! spatial predicates", and its cost-estimation example: "the R-tree
+//! access path will recognize the ENCLOSES predicate and report a low
+//! cost."
+//!
+//! Nodes are slotted pages; inner entries are `(bounding rect, child
+//! page)`, leaf entries `(rect, record key)`. Insertion follows Guttman:
+//! choose-leaf by least enlargement, quadratic split, bounding-rect
+//! adjustment up the path. Deletion removes the leaf entry without
+//! condensing (bounding rects stay conservative — correct, just looser).
+//! The root page number is fixed for the life of the tree.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dmx_btree::LatchTable;
+use dmx_core::{
+    AccessPath, AccessQuery, Attachment, AttachmentInstance, CommonServices, Cost, ExecCtx,
+    PathChoice, RelationDescriptor, ScanItem, ScanOps, SpatialOp,
+};
+use dmx_expr::{analyze, Expr, SargOp};
+use dmx_page::{BufferPool, Page, SlottedPage};
+use dmx_types::{
+    AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, Rect, Result, Schema,
+    Value,
+};
+
+use crate::common::{
+    decode_att_payload, encode_att_payload, log_att, A_DELETE, A_INSERT,
+};
+
+/// Page type tags.
+pub const PAGE_TYPE_RTREE_LEAF: u8 = 5;
+pub const PAGE_TYPE_RTREE_INNER: u8 = 6;
+
+/// Minimum fill used by the quadratic split (fraction of entries).
+const MIN_FILL_DIV: usize = 4;
+
+/// The R-tree index attachment type.
+pub struct RTreeIndex;
+
+/// Instance descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtDesc {
+    pub file: FileId,
+    pub root_page: u32,
+    pub rect_field: FieldId,
+}
+
+impl RtDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(10);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v.extend_from_slice(&self.rect_field.to_le_bytes());
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<RtDesc> {
+        let corrupt = || DmxError::Corrupt("short rtree descriptor".into());
+        Ok(RtDesc {
+            file: FileId(u32::from_le_bytes(
+                b.get(..4).ok_or_else(corrupt)?.try_into().unwrap(),
+            )),
+            root_page: u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap()),
+            rect_field: u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// node helpers (entries live in slotted pages)
+// ---------------------------------------------------------------------
+
+fn entry_rect(data: &[u8]) -> Result<Rect> {
+    Rect::from_bytes(data).ok_or_else(|| DmxError::Corrupt("short rtree entry".into()))
+}
+
+fn entry_payload(data: &[u8]) -> &[u8] {
+    &data[32..]
+}
+
+fn make_entry(rect: &Rect, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(32 + payload.len());
+    v.extend_from_slice(&rect.to_bytes());
+    v.extend_from_slice(payload);
+    v
+}
+
+fn child_of(data: &[u8]) -> u32 {
+    u32::from_le_bytes(entry_payload(data)[..4].try_into().unwrap())
+}
+
+fn is_leaf(page: &Page) -> bool {
+    page.page_type() == PAGE_TYPE_RTREE_LEAF
+}
+
+fn entries(page: &Page) -> Vec<Vec<u8>> {
+    SlottedPage::live_slots(page)
+        .into_iter()
+        .filter_map(|s| SlottedPage::get(page, s).map(|d| d.to_vec()))
+        .collect()
+}
+
+fn bounds(page: &Page) -> Result<Option<Rect>> {
+    let mut acc: Option<Rect> = None;
+    for s in SlottedPage::live_slots(page) {
+        let r = entry_rect(SlottedPage::get(page, s).expect("live slot"))?;
+        acc = Some(match acc {
+            None => r,
+            Some(a) => a.union(&r),
+        });
+    }
+    Ok(acc)
+}
+
+/// Guttman's quadratic split: distributes `items` into two groups.
+fn quadratic_split(items: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, Vec<Vec<u8>>)> {
+    let n = items.len();
+    debug_assert!(n >= 2);
+    let rects: Vec<Rect> = items
+        .iter()
+        .map(|e| entry_rect(e))
+        .collect::<Result<Vec<_>>>()?;
+    // pick seeds: the pair wasting the most area
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::MIN);
+    for i in 0..n {
+        for j in i + 1..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let min_fill = (n / MIN_FILL_DIV).max(1);
+    let mut g1: Vec<usize> = vec![s1];
+    let mut g2: Vec<usize> = vec![s2];
+    let (mut r1, mut r2) = (rects[s1], rects[s2]);
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while !rest.is_empty() {
+        // force-assign when a group must take everything left
+        if g1.len() + rest.len() <= min_fill {
+            g1.append(&mut rest);
+            break;
+        }
+        if g2.len() + rest.len() <= min_fill {
+            g2.append(&mut rest);
+            break;
+        }
+        // pick the entry with the greatest preference difference
+        let (pos, _) = rest
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let d1 = r1.enlargement(&rects[i]);
+                let d2 = r2.enlargement(&rects[i]);
+                (pos, (d1 - d2).abs())
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("rest non-empty");
+        let i = rest.swap_remove(pos);
+        let (d1, d2) = (r1.enlargement(&rects[i]), r2.enlargement(&rects[i]));
+        if d1 < d2 || (d1 == d2 && r1.area() <= r2.area()) {
+            g1.push(i);
+            r1 = r1.union(&rects[i]);
+        } else {
+            g2.push(i);
+            r2 = r2.union(&rects[i]);
+        }
+    }
+    let pick = |idx: &[usize]| idx.iter().map(|&i| items[i].clone()).collect::<Vec<_>>();
+    Ok((pick(&g1), pick(&g2)))
+}
+
+fn write_entries(page: &mut Page, page_type: u8, items: &[Vec<u8>]) -> Result<()> {
+    SlottedPage::init(page);
+    page.set_page_type(page_type);
+    for e in items {
+        SlottedPage::insert(page, e)
+            .ok_or_else(|| DmxError::Internal("rtree entries exceed page".into()))?;
+    }
+    Ok(())
+}
+
+/// A handle to one R-tree.
+pub struct RTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    latch: Arc<RwLock<()>>,
+}
+
+impl RTree {
+    /// Allocates a new empty tree (leaf root) in `file`.
+    pub fn create(pool: &Arc<BufferPool>, file: FileId, latches: &LatchTable) -> Result<RTree> {
+        let pin = pool.new_page(file)?;
+        let mut page = pin.write();
+        SlottedPage::init(&mut page);
+        page.set_page_type(PAGE_TYPE_RTREE_LEAF);
+        Ok(RTree {
+            pool: pool.clone(),
+            root: pin.id(),
+            latch: latches.latch(pin.id()),
+        })
+    }
+
+    /// Opens an existing tree.
+    pub fn open(pool: &Arc<BufferPool>, root: PageId, latches: &LatchTable) -> RTree {
+        RTree {
+            pool: pool.clone(),
+            root,
+            latch: latches.latch(root),
+        }
+    }
+
+    /// The fixed root page.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    fn page(&self, page_no: u32) -> Result<dmx_page::PinnedPage> {
+        self.pool.fetch(PageId::new(self.root.file, page_no))
+    }
+
+    /// Inserts `(rect, payload)`.
+    pub fn insert(&self, rect: &Rect, payload: &[u8]) -> Result<()> {
+        let _g = self.latch.write();
+        if let Some(new_page) = self.insert_rec(self.root.page_no, rect, payload)? {
+            self.grow_root(new_page)?;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(&self, page_no: u32, rect: &Rect, payload: &[u8]) -> Result<Option<u32>> {
+        let pin = self.page(page_no)?;
+        let leaf = is_leaf(&pin.read());
+        if leaf {
+            let entry = make_entry(rect, payload);
+            let mut page = pin.write();
+            if SlottedPage::insert(&mut page, &entry).is_some() {
+                return Ok(None);
+            }
+            // split
+            let mut items = entries(&page);
+            items.push(entry);
+            let (a, b) = quadratic_split(items)?;
+            write_entries(&mut page, PAGE_TYPE_RTREE_LEAF, &a)?;
+            drop(page);
+            let new_pin = self.pool.new_page(self.root.file)?;
+            let mut new_page = new_pin.write();
+            write_entries(&mut new_page, PAGE_TYPE_RTREE_LEAF, &b)?;
+            return Ok(Some(new_pin.id().page_no));
+        }
+        // choose subtree: least enlargement, ties by area
+        let (slot, child) = {
+            let page = pin.read();
+            let mut best: Option<(u16, u32, f64, f64)> = None;
+            for s in SlottedPage::live_slots(&page) {
+                let data = SlottedPage::get(&page, s).expect("live");
+                let r = entry_rect(data)?;
+                let enl = r.enlargement(rect);
+                let area = r.area();
+                let better = match &best {
+                    None => true,
+                    Some((_, _, be, ba)) => enl < *be || (enl == *be && area < *ba),
+                };
+                if better {
+                    best = Some((s, child_of(data), enl, area));
+                }
+            }
+            let (s, c, _, _) = best.ok_or_else(|| DmxError::Corrupt("empty inner node".into()))?;
+            (s, c)
+        };
+        let split = self.insert_rec(child, rect, payload)?;
+        // refresh the child's bounding rect
+        let child_bounds = {
+            let cpin = self.page(child)?;
+            let b = bounds(&cpin.read())?;
+            b.ok_or_else(|| DmxError::Corrupt("empty rtree child".into()))?
+        };
+        let mut page = pin.write();
+        SlottedPage::update(&mut page, slot, &make_entry(&child_bounds, &child.to_le_bytes()))?;
+        let Some(new_child) = split else {
+            return Ok(None);
+        };
+        let new_bounds = {
+            let cpin = self.page(new_child)?;
+            let b = bounds(&cpin.read())?;
+            b.ok_or_else(|| DmxError::Corrupt("empty rtree split".into()))?
+        };
+        let new_entry = make_entry(&new_bounds, &new_child.to_le_bytes());
+        if SlottedPage::insert(&mut page, &new_entry).is_some() {
+            return Ok(None);
+        }
+        // split this inner node
+        let mut items = entries(&page);
+        items.push(new_entry);
+        let (a, b) = quadratic_split(items)?;
+        write_entries(&mut page, PAGE_TYPE_RTREE_INNER, &a)?;
+        drop(page);
+        let new_pin = self.pool.new_page(self.root.file)?;
+        let mut new_page = new_pin.write();
+        write_entries(&mut new_page, PAGE_TYPE_RTREE_INNER, &b)?;
+        Ok(Some(new_pin.id().page_no))
+    }
+
+    /// After a root split: move the root's content into a fresh sibling
+    /// and make the root an inner node over both.
+    fn grow_root(&self, new_page: u32) -> Result<()> {
+        let root_pin = self.page(self.root.page_no)?;
+        let left_pin = self.pool.new_page(self.root.file)?;
+        {
+            let mut left = left_pin.write();
+            let root = root_pin.read();
+            *left.raw_mut() = *root.raw();
+        }
+        let left_bounds = bounds(&left_pin.read())?
+            .ok_or_else(|| DmxError::Corrupt("empty root copy".into()))?;
+        let right_bounds = {
+            let p = self.page(new_page)?;
+            let b = bounds(&p.read())?;
+            b.ok_or_else(|| DmxError::Corrupt("empty new sibling".into()))?
+        };
+        let mut root = root_pin.write();
+        write_entries(
+            &mut root,
+            PAGE_TYPE_RTREE_INNER,
+            &[
+                make_entry(&left_bounds, &left_pin.id().page_no.to_le_bytes()),
+                make_entry(&right_bounds, &new_page.to_le_bytes()),
+            ],
+        )
+    }
+
+    /// True when an entry with exactly `(rect, payload)` exists.
+    pub fn contains(&self, rect: &Rect, payload: &[u8]) -> Result<bool> {
+        let _g = self.latch.read();
+        self.contains_rec(self.root.page_no, rect, payload)
+    }
+
+    fn contains_rec(&self, page_no: u32, rect: &Rect, payload: &[u8]) -> Result<bool> {
+        let pin = self.page(page_no)?;
+        let page = pin.read();
+        if is_leaf(&page) {
+            for s in SlottedPage::live_slots(&page) {
+                let d = SlottedPage::get(&page, s).expect("live");
+                if entry_rect(d)? == *rect && entry_payload(d) == payload {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        let children: Vec<u32> = SlottedPage::live_slots(&page)
+            .into_iter()
+            .filter_map(|s| {
+                let d = SlottedPage::get(&page, s).expect("live");
+                match entry_rect(d) {
+                    Ok(r) if r.encloses(rect) => Some(child_of(d)),
+                    _ => None,
+                }
+            })
+            .collect();
+        drop(page);
+        drop(pin);
+        for c in children {
+            if self.contains_rec(c, rect, payload)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Removes the entry with exactly `(rect, payload)`. Returns whether
+    /// it was found.
+    pub fn delete(&self, rect: &Rect, payload: &[u8]) -> Result<bool> {
+        let _g = self.latch.write();
+        self.delete_rec(self.root.page_no, rect, payload)
+    }
+
+    fn delete_rec(&self, page_no: u32, rect: &Rect, payload: &[u8]) -> Result<bool> {
+        let pin = self.page(page_no)?;
+        if is_leaf(&pin.read()) {
+            let target = {
+                let page = pin.read();
+                SlottedPage::live_slots(&page).into_iter().find(|&s| {
+                    let d = SlottedPage::get(&page, s).expect("live");
+                    entry_rect(d).map(|r| r == *rect).unwrap_or(false)
+                        && entry_payload(d) == payload
+                })
+            };
+            if let Some(s) = target {
+                SlottedPage::delete(&mut pin.write(), s);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        let children: Vec<u32> = {
+            let page = pin.read();
+            SlottedPage::live_slots(&page)
+                .into_iter()
+                .filter_map(|s| {
+                    let d = SlottedPage::get(&page, s).expect("live");
+                    match entry_rect(d) {
+                        Ok(r) if r.encloses(rect) => Some(child_of(d)),
+                        _ => None,
+                    }
+                })
+                .collect()
+        };
+        drop(pin);
+        for c in children {
+            if self.delete_rec(c, rect, payload)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Collects every `(rect, payload)` satisfying the spatial predicate.
+    pub fn search(&self, op: SpatialOp, q: &Rect) -> Result<Vec<(Rect, Vec<u8>)>> {
+        let _g = self.latch.read();
+        let mut out = Vec::new();
+        self.search_rec(self.root.page_no, op, q, &mut out)?;
+        Ok(out)
+    }
+
+    /// Collects every entry (full scan).
+    pub fn all(&self) -> Result<Vec<(Rect, Vec<u8>)>> {
+        self.search(SpatialOp::Intersects, &Rect::new(f64::MIN, f64::MIN, f64::MAX, f64::MAX))
+    }
+
+    fn search_rec(
+        &self,
+        page_no: u32,
+        op: SpatialOp,
+        q: &Rect,
+        out: &mut Vec<(Rect, Vec<u8>)>,
+    ) -> Result<()> {
+        let pin = self.page(page_no)?;
+        let page = pin.read();
+        let leaf = is_leaf(&page);
+        let mut descend = Vec::new();
+        for s in SlottedPage::live_slots(&page) {
+            let d = SlottedPage::get(&page, s).expect("live");
+            let r = entry_rect(d)?;
+            if leaf {
+                let hit = match op {
+                    SpatialOp::Encloses => r.encloses(q),
+                    SpatialOp::EnclosedBy => q.encloses(&r),
+                    SpatialOp::Intersects => r.intersects(q),
+                };
+                if hit {
+                    out.push((r, entry_payload(d).to_vec()));
+                }
+            } else {
+                // pruning: a subtree can contain an enclosing record only
+                // if its bounding rect itself encloses q; the other ops
+                // only need overlap
+                let visit = match op {
+                    SpatialOp::Encloses => r.encloses(q),
+                    SpatialOp::EnclosedBy | SpatialOp::Intersects => r.intersects(q),
+                };
+                if visit {
+                    descend.push(child_of(d));
+                }
+            }
+        }
+        drop(page);
+        drop(pin);
+        for c in descend {
+            self.search_rec(c, op, q, out)?;
+        }
+        Ok(())
+    }
+
+    /// Number of entries (diagnostics).
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.all()?.len())
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// the attachment
+// ---------------------------------------------------------------------
+
+impl RTreeIndex {
+    fn tree(services: &Arc<CommonServices>, d: &RtDesc) -> RTree {
+        RTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    fn rect_of(d: &RtDesc, record: &Record) -> Result<Option<Rect>> {
+        match record.values.get(d.rect_field as usize) {
+            Some(Value::Rect(r)) => Ok(Some(*r)),
+            Some(Value::Null) => Ok(None), // NULL rectangles are not indexed
+            Some(other) => Err(DmxError::TypeMismatch(format!(
+                "rtree field holds {other}, expected RECT"
+            ))),
+            None => Err(DmxError::InvalidArg("rtree field out of range".into())),
+        }
+    }
+
+    fn type_id(rd: &RelationDescriptor, inst: &AttachmentInstance) -> dmx_types::AttTypeId {
+        rd.attached_types()
+            .find(|(_, insts)| {
+                insts
+                    .iter()
+                    .any(|i| i.instance == inst.instance && i.name == inst.name)
+            })
+            .map(|(t, _)| t)
+            .unwrap_or_default()
+    }
+
+    fn payload(rect: &Rect, rkey: &RecordKey) -> Vec<u8> {
+        make_entry(rect, rkey.as_bytes())
+    }
+}
+
+impl Attachment for RTreeIndex {
+    fn name(&self) -> &str {
+        "rtree"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["field"], "rtree index")?;
+        let f = schema.field_id(params.require("field", "rtree index")?)?;
+        if schema.column(f)?.data_type != dmx_types::DataType::Rect {
+            return Err(DmxError::InvalidArg("rtree field must be RECT".into()));
+        }
+        Ok(())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let rect_field = rd.schema.field_id(params.require("field", "rtree index")?)?;
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = RTree::create(&services.pool, file, &services.latches)?;
+        Ok(RtDesc {
+            file,
+            root_page: tree.root().page_no,
+            rect_field,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = RtDesc::decode(inst_desc)?;
+        services.latches.forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = RtDesc::decode(&inst.desc)?;
+            let Some(rect) = Self::rect_of(&d, new)? else {
+                continue;
+            };
+            Self::tree(ctx.services(), &d).insert(&rect, key.as_bytes())?;
+            log_att(
+                ctx,
+                rd,
+                Self::type_id(rd, inst),
+                A_INSERT,
+                encode_att_payload(&inst.desc, &Self::payload(&rect, key), &[]),
+            );
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = RtDesc::decode(&inst.desc)?;
+            let old_rect = Self::rect_of(&d, old)?;
+            let new_rect = Self::rect_of(&d, new)?;
+            if old_rect == new_rect && old_key == new_key {
+                continue;
+            }
+            let tree = Self::tree(ctx.services(), &d);
+            if let Some(r) = old_rect {
+                if tree.delete(&r, old_key.as_bytes())? {
+                    log_att(
+                        ctx,
+                        rd,
+                        Self::type_id(rd, inst),
+                        A_DELETE,
+                        encode_att_payload(&inst.desc, &Self::payload(&r, old_key), &[]),
+                    );
+                }
+            }
+            if let Some(r) = new_rect {
+                tree.insert(&r, new_key.as_bytes())?;
+                log_att(
+                    ctx,
+                    rd,
+                    Self::type_id(rd, inst),
+                    A_INSERT,
+                    encode_att_payload(&inst.desc, &Self::payload(&r, new_key), &[]),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            let d = RtDesc::decode(&inst.desc)?;
+            let Some(rect) = Self::rect_of(&d, old)? else {
+                continue;
+            };
+            if Self::tree(ctx.services(), &d).delete(&rect, key.as_bytes())? {
+                log_att(
+                    ctx,
+                    rd,
+                    Self::type_id(rd, inst),
+                    A_DELETE,
+                    encode_att_payload(&inst.desc, &Self::payload(&rect, key), &[]),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, entry, _) = decode_att_payload(payload)?;
+        let d = RtDesc::decode(desc)?;
+        let rect = entry_rect(entry)?;
+        let rkey = entry_payload(entry);
+        let tree = Self::tree(services, &d);
+        match op {
+            A_INSERT => {
+                tree.delete(&rect, rkey)?;
+            }
+            A_DELETE => {
+                // idempotent: at restart the delete may never have reached
+                // disk, leaving the entry in place
+                if !tree.contains(&rect, rkey)? {
+                    tree.insert(&rect, rkey)?;
+                }
+            }
+            other => return Err(DmxError::Corrupt(format!("bad rtree op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn supports_access(&self) -> bool {
+        true
+    }
+
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = RtDesc::decode(&instance.desc)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let results = match query {
+            AccessQuery::Spatial(op, rect) => tree.search(*op, rect)?,
+            AccessQuery::All => tree.all()?,
+            _ => {
+                return Err(DmxError::Unsupported(
+                    "rtree serves spatial queries only".into(),
+                ))
+            }
+        };
+        Ok(Box::new(RtScan { results, pos: 0 }))
+    }
+
+    fn estimate(
+        &self,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        preds: &[Expr],
+    ) -> Option<PathChoice> {
+        let d = RtDesc::decode(&instance.desc).ok()?;
+        // recognize the spatial predicates on our field
+        let (op, rect, applied) = preds.iter().find_map(|p| {
+            let s = analyze::sargable(p)?;
+            if s.field != d.rect_field {
+                return None;
+            }
+            let (op, v) = match &s.op {
+                SargOp::Encloses(v) => (SpatialOp::Encloses, v),
+                SargOp::EnclosedBy(v) => (SpatialOp::EnclosedBy, v),
+                SargOp::Intersects(v) => (SpatialOp::Intersects, v),
+                _ => return None,
+            };
+            let rect = v.as_rect().ok()?;
+            Some((op, rect, p.clone()))
+        })?;
+        let records = rd.stats.records();
+        // spatial predicates are typically highly selective (~1%)
+        let rows = (records as f64 * 0.01).max(1.0);
+        let height = (records.max(2) as f64).log2() / 6.0 + 1.0;
+        Some(PathChoice {
+            path: AccessPath::Attachment(Self::type_id(rd, instance), instance.instance),
+            query: AccessQuery::Spatial(op, rect),
+            cost: Cost::new(height + rows / 50.0, rows),
+            rows_out: rows,
+            covered: Some(vec![d.rect_field]),
+            applied: vec![applied],
+            ordering: None,
+        })
+    }
+}
+
+/// Spatial scans materialize their result keys at open (R-tree positions
+/// are not byte-ordered); the saved position is the cursor offset.
+struct RtScan {
+    results: Vec<(Rect, Vec<u8>)>,
+    pos: usize,
+}
+
+impl ScanOps for RtScan {
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let Some((rect, rkey)) = self.results.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        Ok(Some(ScanItem {
+            key: RecordKey::new(rkey.clone()),
+            values: Some(vec![Value::Rect(*rect)]),
+        }))
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        (self.pos as u64).to_le_bytes().to_vec()
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        if pos.len() != 8 {
+            return Err(DmxError::Corrupt("bad rtree scan position".into()));
+        }
+        self.pos = u64::from_le_bytes(pos.try_into().unwrap()) as usize;
+        Ok(())
+    }
+}

@@ -1,0 +1,227 @@
+//! Trigger attachments.
+//!
+//! "Attachments can … trigger additional actions within the database or
+//! even outside of the database system." Trigger actions are registered
+//! "at the factory" as named hooks on the [`dmx_core::Database`]
+//! (arbitrary Rust code — including effects outside the database), or use
+//! the built-in `audit` action that inserts an audit record into another
+//! relation — a cascading modification that itself runs through the full
+//! two-step dispatch.
+
+use std::sync::Arc;
+
+use dmx_core::database::HookArgs;
+use dmx_core::{Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor};
+use dmx_types::{AttrList, DmxError, Lsn, Record, RecordKey, Result, Schema, Value};
+
+/// The trigger attachment type.
+pub struct Trigger;
+
+/// Which modifications fire the trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FireOn {
+    pub insert: bool,
+    pub update: bool,
+    pub delete: bool,
+}
+
+/// Instance descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDesc {
+    pub on: FireOn,
+    /// `hook:<name>` or `audit:<relation name>`.
+    pub action: String,
+}
+
+impl TriggerDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = vec![
+            self.on.insert as u8,
+            self.on.update as u8,
+            self.on.delete as u8,
+        ];
+        v.extend_from_slice(self.action.as_bytes());
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<TriggerDesc> {
+        if b.len() < 3 {
+            return Err(DmxError::Corrupt("short trigger descriptor".into()));
+        }
+        Ok(TriggerDesc {
+            on: FireOn {
+                insert: b[0] != 0,
+                update: b[1] != 0,
+                delete: b[2] != 0,
+            },
+            action: String::from_utf8(b[3..].to_vec())
+                .map_err(|_| DmxError::Corrupt("trigger action not utf8".into()))?,
+        })
+    }
+}
+
+impl Trigger {
+    fn parse(params: &AttrList) -> Result<TriggerDesc> {
+        params.check_allowed(&["on", "action"], "trigger")?;
+        let spec = params.get("on").unwrap_or("insert,update,delete");
+        let mut on = FireOn {
+            insert: false,
+            update: false,
+            delete: false,
+        };
+        for ev in spec.split(',') {
+            match ev.trim().to_ascii_lowercase().as_str() {
+                "insert" => on.insert = true,
+                "update" => on.update = true,
+                "delete" => on.delete = true,
+                "" => {}
+                other => {
+                    return Err(DmxError::InvalidArg(format!(
+                        "trigger event must be insert|update|delete, got {other}"
+                    )))
+                }
+            }
+        }
+        let action = params.require("action", "trigger")?.to_string();
+        if !(action.starts_with("hook:") || action.starts_with("audit:")) {
+            return Err(DmxError::InvalidArg(format!(
+                "trigger action must be hook:<name> or audit:<relation>, got {action}"
+            )));
+        }
+        Ok(TriggerDesc { on, action })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fire(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        event: &str,
+        key: &RecordKey,
+        old: Option<&Record>,
+        new: Option<&Record>,
+    ) -> Result<()> {
+        let d = TriggerDesc::decode(&inst.desc)?;
+        let fires = match event {
+            "insert" => d.on.insert,
+            "update" => d.on.update,
+            _ => d.on.delete,
+        };
+        if !fires {
+            return Ok(());
+        }
+        if let Some(hook_name) = d.action.strip_prefix("hook:") {
+            let hook = ctx.db.hook(hook_name)?;
+            return hook(
+                ctx,
+                &HookArgs {
+                    event,
+                    relation: rd.id,
+                    key,
+                    old,
+                    new,
+                },
+            );
+        }
+        if let Some(target) = d.action.strip_prefix("audit:") {
+            let target_rd = ctx.db.catalog().get_by_name(target)?;
+            // audit relations have schema (event STRING, relation STRING,
+            // info STRING)
+            let info = new
+                .or(old)
+                .map(|r| format!("{:?}", r.values))
+                .unwrap_or_default();
+            let audit = Record::new(vec![
+                Value::from(event),
+                Value::from(rd.name.as_str()),
+                Value::from(info),
+            ]);
+            ctx.db.insert(ctx.txn, target_rd.id, audit)?;
+            return Ok(());
+        }
+        Err(DmxError::Corrupt(format!("bad trigger action {}", d.action)))
+    }
+}
+
+impl Attachment for Trigger {
+    fn name(&self) -> &str {
+        "trigger"
+    }
+
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        Self::parse(params).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        Ok(Self::parse(params)?.encode())
+    }
+
+    fn destroy_instance(&self, _services: &Arc<CommonServices>, _inst_desc: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.fire(ctx, rd, inst, "insert", key, None, Some(new))?;
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.fire(ctx, rd, inst, "update", new_key, Some(old), Some(new))?;
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.fire(ctx, rd, inst, "delete", key, Some(old), None)?;
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        _services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        _lsn: Lsn,
+        _op: u8,
+        _payload: &[u8],
+    ) -> Result<()> {
+        // Triggered database modifications were dispatched normally and
+        // carry their own undo records; external actions are outside the
+        // recovery sphere (as in the paper).
+        Ok(())
+    }
+}

@@ -1,0 +1,50 @@
+//! E1 — extension activation cost: procedure-vector (id-indexed trait
+//! object) dispatch vs a direct static call vs a name-keyed hash lookup.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_bench::registry;
+use dmx_core::StorageMethod;
+
+fn bench(c: &mut Criterion) {
+    let reg = registry();
+    let heap_id = reg.storage_id_by_name("heap").unwrap();
+    let concrete = dmx_storage::HeapStorage;
+    let resolved: Arc<dyn StorageMethod> = reg.storage(heap_id).unwrap();
+    let mut by_name: HashMap<String, Arc<dyn StorageMethod>> = HashMap::new();
+    for (id, name) in reg.storage_methods() {
+        by_name.insert(name, reg.storage(id).unwrap());
+    }
+
+    let mut g = c.benchmark_group("e1_dispatch");
+    g.bench_function("static_concrete", |b| {
+        b.iter(|| std::hint::black_box(&concrete).name().len())
+    });
+    g.bench_function("pre_resolved_dyn", |b| {
+        b.iter(|| std::hint::black_box(&resolved).name().len())
+    });
+    g.bench_function("procedure_vector", |b| {
+        b.iter(|| {
+            reg.storage(std::hint::black_box(heap_id))
+                .unwrap()
+                .name()
+                .len()
+        })
+    });
+    g.bench_function("hash_by_name", |b| {
+        b.iter(|| by_name.get(std::hint::black_box("heap")).unwrap().name().len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

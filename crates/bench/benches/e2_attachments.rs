@@ -1,0 +1,47 @@
+//! E2 — per-insert cost as attachment instances accumulate: the
+//! dispatcher invokes each attachment *type* with instances once per
+//! modification; absent types cost nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::open_db;
+use dmx_query::SqlExt;
+use dmx_types::{Record, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_attachments");
+    g.sample_size(10);
+    for n_idx in [0usize, 1, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("insert_with_indexes", n_idx), &n_idx, |b, &n| {
+            let db = open_db();
+            db.execute_sql("CREATE TABLE t (id INT NOT NULL, name STRING NOT NULL)")
+                .unwrap();
+            for i in 0..n {
+                db.execute_sql(&format!("CREATE INDEX i{i} ON t (id)")).unwrap();
+            }
+            let rd = db.catalog().get_by_name("t").unwrap();
+            let next = std::sync::atomic::AtomicI64::new(0);
+            b.iter(|| {
+                let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                db.with_txn(|txn| {
+                    db.insert(
+                        txn,
+                        rd.id,
+                        Record::new(vec![Value::Int(id), Value::Str("x".into())]),
+                    )
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

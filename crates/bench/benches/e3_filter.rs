@@ -1,0 +1,80 @@
+//! E3 — filter predicates evaluated against buffer-resident records (the
+//! common-services predicate evaluator) vs copying every record out and
+//! filtering in the caller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::{load_emp, open_db};
+use dmx_core::{AccessPath, AccessQuery};
+use dmx_expr::{CmpOp, Expr};
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let db = open_db();
+    load_emp(&db, "t", N, &[]).unwrap();
+    let rd = db.catalog().get_by_name("t").unwrap();
+    let mut g = c.benchmark_group("e3_filter");
+    g.sample_size(10);
+    for sel in [1usize, 200, 20_000] {
+        let pred = Expr::cmp_col(CmpOp::Lt, 0, sel as i64);
+        g.bench_with_input(BenchmarkId::new("in_pool", sel), &sel, |b, _| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    let scan = db.open_scan(
+                        txn,
+                        rd.id,
+                        AccessPath::StorageMethod,
+                        AccessQuery::All,
+                        Some(pred.clone()),
+                        Some(vec![0]),
+                    )?;
+                    let mut n = 0u64;
+                    while db.scan_next(txn, scan)?.is_some() {
+                        n += 1;
+                    }
+                    Ok(n)
+                })
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("copy_out", sel), &sel, |b, _| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    let scan = db.open_scan(
+                        txn,
+                        rd.id,
+                        AccessPath::StorageMethod,
+                        AccessQuery::All,
+                        None,
+                        None,
+                    )?;
+                    let mut n = 0u64;
+                    let funcs = db.services().funcs.read();
+                    while let Some(item) = db.scan_next(txn, scan)? {
+                        let values = item.values.unwrap();
+                        if dmx_expr::eval_predicate(
+                            &pred,
+                            &values,
+                            dmx_expr::EvalContext::new(&funcs),
+                        )? {
+                            n += 1;
+                        }
+                    }
+                    Ok(n)
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 — bound-plan reuse vs re-translating (parse + name resolution +
+//! access-path selection) on every execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_bench::{load_emp, open_db};
+use dmx_query::{PlanCache, SqlExt};
+
+fn bench(c: &mut Criterion) {
+    let db = open_db();
+    load_emp(&db, "t", 10_000, &["CREATE UNIQUE INDEX t_pk ON {t} (id)"]).unwrap();
+    let cache = db.query_state::<PlanCache, _>(PlanCache::default);
+    let q = "SELECT name FROM t WHERE id = 7777";
+    db.query_sql(q).unwrap();
+
+    let mut g = c.benchmark_group("e4_bind");
+    g.bench_function("bound_plan_reused", |b| b.iter(|| db.query_sql(q).unwrap()));
+    g.bench_function("retranslate_each_call", |b| {
+        b.iter(|| {
+            cache.clear(&db);
+            db.query_sql(q).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

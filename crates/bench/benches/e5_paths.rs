@@ -1,0 +1,76 @@
+//! E5 — access-path selection: keyed access through the B-tree index vs a
+//! storage-method scan, across selectivities (the crossover the cost
+//! estimates must track).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::{load_emp, open_db};
+use dmx_core::{AccessPath, AccessQuery};
+use dmx_expr::{CmpOp, Expr};
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let db = open_db();
+    load_emp(&db, "t", N, &["CREATE UNIQUE INDEX t_pk ON {t} (id)"]).unwrap();
+    let rd = db.catalog().get_by_name("t").unwrap();
+    let (att_t, inst) = rd.find_attachment("t_pk").unwrap();
+    let att = db.registry().attachment(att_t).unwrap();
+
+    let mut g = c.benchmark_group("e5_paths");
+    g.sample_size(10);
+    for k in [1i64, 200, 20_000] {
+        let pred = Expr::cmp_col(CmpOp::Lt, 0, k);
+        g.bench_with_input(BenchmarkId::new("scan", k), &k, |b, _| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    let scan = db.open_scan(
+                        txn,
+                        rd.id,
+                        AccessPath::StorageMethod,
+                        AccessQuery::All,
+                        Some(pred.clone()),
+                        Some(vec![0]),
+                    )?;
+                    let mut n = 0;
+                    while db.scan_next(txn, scan)?.is_some() {
+                        n += 1;
+                    }
+                    Ok(n)
+                })
+                .unwrap()
+            })
+        });
+        let choice = att.estimate(&rd, inst, std::slice::from_ref(&pred)).unwrap();
+        g.bench_with_input(BenchmarkId::new("index", k), &k, |b, _| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    let scan = db.open_scan(
+                        txn,
+                        rd.id,
+                        AccessPath::Attachment(att_t, inst.instance),
+                        choice.query.clone(),
+                        None,
+                        None,
+                    )?;
+                    let mut n = 0;
+                    while db.scan_next(txn, scan)?.is_some() {
+                        n += 1;
+                    }
+                    Ok(n)
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E6 — join strategies: plain nested loop vs index nested loop vs the
+//! join-index attachment's precomputed pairs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_bench::open_db;
+use dmx_core::Database;
+use dmx_query::SqlExt;
+use dmx_types::{Record, Value};
+
+const N_EMP: usize = 3000;
+const N_DEPT: usize = 60;
+
+fn setup(with_index: bool, with_ji: bool) -> Arc<Database> {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL, dname STRING NOT NULL)").unwrap();
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept INT)").unwrap();
+    if with_index {
+        db.execute_sql("CREATE UNIQUE INDEX dept_pk ON dept (id)").unwrap();
+    }
+    if with_ji {
+        db.execute_sql("CREATE ATTACHMENT ed ON emp USING joinindex WITH (side=left, fields=dept)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE ATTACHMENT ed ON dept USING joinindex WITH (side=right, fields=id, other=emp)",
+        )
+        .unwrap();
+    }
+    let dept = db.catalog().get_by_name("dept").unwrap();
+    let emp = db.catalog().get_by_name("emp").unwrap();
+    db.with_txn(|txn| {
+        for d in 0..N_DEPT {
+            db.insert(
+                txn,
+                dept.id,
+                Record::new(vec![Value::Int(d as i64), Value::Str(format!("d{d}"))]),
+            )?;
+        }
+        for i in 0..N_EMP {
+            db.insert(
+                txn,
+                emp.id,
+                Record::new(vec![Value::Int(i as i64), Value::Int((i % N_DEPT) as i64)]),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let q = "SELECT COUNT(*) FROM emp e, dept d WHERE e.dept = d.id";
+    let mut g = c.benchmark_group("e6_join");
+    g.sample_size(10);
+    let nl = setup(false, false);
+    g.bench_function("nested_loop", |b| b.iter(|| nl.query_sql(q).unwrap()));
+    let inl = setup(true, false);
+    g.bench_function("index_nested_loop", |b| b.iter(|| inl.query_sql(q).unwrap()));
+    let ji = setup(false, true);
+    g.bench_function("join_index", |b| b.iter(|| ji.query_sql(q).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

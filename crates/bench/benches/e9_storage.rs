@@ -1,0 +1,80 @@
+//! E9 — alternative relation storage methods compared on insert, keyed
+//! probe and full scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::open_db;
+use dmx_query::SqlExt;
+use dmx_types::{Record, RecordKey, Value};
+
+const N: usize = 5000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_storage");
+    g.sample_size(10);
+    for sm in ["heap", "btree", "memory", "readonly"] {
+        let db = open_db();
+        let using = match sm {
+            "btree" => " USING btree WITH (key=id)".to_string(),
+            "heap" => String::new(),
+            other => format!(" USING {other}"),
+        };
+        db.execute_sql(&format!("CREATE TABLE t (id INT NOT NULL, v STRING){using}"))
+            .unwrap();
+        let rd = db.catalog().get_by_name("t").unwrap();
+        let keys: Vec<RecordKey> = db
+            .with_txn(|txn| {
+                (0..N)
+                    .map(|i| {
+                        db.insert(
+                            txn,
+                            rd.id,
+                            Record::new(vec![Value::Int(i as i64), Value::Str(format!("v{i}"))]),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap();
+
+        g.bench_with_input(BenchmarkId::new("probe", sm), &sm, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % N;
+                db.with_txn(|txn| db.fetch(txn, rd.id, &keys[i], Some(&[0]), None))
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scan", sm), &sm, |b, _| {
+            b.iter(|| db.query_sql("SELECT COUNT(*) FROM t").unwrap())
+        });
+        if sm != "readonly" {
+            // criterion may invoke the closure several times (warm-up +
+            // sampling); the id counter must survive across invocations or
+            // keyed storage methods see duplicate keys
+            let next = std::sync::atomic::AtomicI64::new(N as i64);
+            g.bench_with_input(BenchmarkId::new("insert", sm), &sm, |b, _| {
+                b.iter(|| {
+                    let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    db.with_txn(|txn| {
+                        db.insert(
+                            txn,
+                            rd.id,
+                            Record::new(vec![Value::Int(id), Value::Str("x".into())]),
+                        )
+                    })
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Per-tree physical latches.
+//!
+//! One reader/writer latch per tree (keyed by the tree's root page id)
+//! serializes structural modification against readers. This is coarse —
+//! a real system would crab-latch — but correct, and tree operations are
+//! short.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dmx_types::PageId;
+
+/// Shared table of tree latches. One instance per database.
+#[derive(Default)]
+pub struct LatchTable {
+    inner: Mutex<HashMap<PageId, Arc<RwLock<()>>>>,
+}
+
+impl LatchTable {
+    /// An empty latch table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LatchTable::default())
+    }
+
+    /// The latch for the tree rooted at `root`.
+    pub fn latch(&self, root: PageId) -> Arc<RwLock<()>> {
+        self.inner.lock().entry(root).or_default().clone()
+    }
+
+    /// Drops the latch entry for a destroyed tree.
+    pub fn forget(&self, root: PageId) {
+        self.inner.lock().remove(&root);
+    }
+
+    /// Acquires every tree latch in a deterministic order and returns the
+    /// guards. The commit-time page flush takes these so it never captures
+    /// a half-done multi-page structural modification; tree operations
+    /// take exactly one latch at a time, so the sorted order is
+    /// deadlock-free.
+    pub fn lock_all(&self) -> Vec<parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, ()>> {
+        let mut latches: Vec<(PageId, Arc<RwLock<()>>)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        latches.sort_by_key(|(k, _)| *k);
+        latches.into_iter().map(|(_, l)| l.write_arc()).collect()
+    }
+
+    /// Number of live latches (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no latches exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_types::FileId;
+
+    #[test]
+    fn same_root_same_latch() {
+        let t = LatchTable::new();
+        let a = t.latch(PageId::new(FileId(1), 0));
+        let b = t.latch(PageId::new(FileId(1), 0));
+        let c = t.latch(PageId::new(FileId(2), 0));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(t.len(), 2);
+        t.forget(PageId::new(FileId(1), 0));
+        assert_eq!(t.len(), 1);
+    }
+}

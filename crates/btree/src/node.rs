@@ -1,0 +1,396 @@
+//! B+tree node layout.
+//!
+//! Full-page offsets:
+//! ```text
+//! 0..16   generic page header
+//! 16      flags: bit0 = leaf
+//! 17      (pad)
+//! 18..20  nkeys: u16
+//! 20..24  right sibling page_no (leaves; u32::MAX = none)
+//! 24..26  free_end: u16 (lowest cell byte)
+//! 26..30  leftmost child page_no (internal nodes)
+//! 30..    sorted cell-pointer array, u16 per entry
+//! ...     free space ... cells, growing downward
+//! cell:   klen u16 | vlen u16 | key | value
+//! ```
+//! Internal node semantics: an entry `(key, child)` routes keys `>= key`
+//! (and `< next entry's key`) to `child`; keys below the first entry go to
+//! the leftmost child.
+
+use dmx_page::{Page, PAGE_SIZE};
+use dmx_types::{DmxError, Result};
+
+const FLAGS: usize = 16;
+const NKEYS: usize = 18;
+const RIGHT_SIB: usize = 20;
+const FREE_END: usize = 24;
+const LEFTMOST: usize = 26;
+const PTRS: usize = 30;
+
+/// Sentinel for "no sibling / no child".
+pub const NO_PAGE: u32 = u32::MAX;
+
+/// Largest key+value payload a node accepts; guarantees ≥ 4 entries per
+/// page so the tree keeps a sane fan-out.
+pub const MAX_ENTRY: usize = (PAGE_SIZE - PTRS) / 4 - 8;
+
+/// Page type tag for B-tree nodes (stored in the generic header).
+pub const PAGE_TYPE_BTREE: u8 = 2;
+
+/// Namespace for node operations on [`Page`] images.
+pub struct Node;
+
+impl Node {
+    /// Formats a page as an empty node.
+    pub fn init(page: &mut Page, leaf: bool) {
+        page.set_page_type(PAGE_TYPE_BTREE);
+        page.raw_mut()[FLAGS] = leaf as u8;
+        page.put_u16(NKEYS, 0);
+        page.put_u32(RIGHT_SIB, NO_PAGE);
+        page.put_u16(FREE_END, PAGE_SIZE as u16);
+        page.put_u32(LEFTMOST, NO_PAGE);
+    }
+
+    pub fn is_leaf(page: &Page) -> bool {
+        page.raw()[FLAGS] & 1 == 1
+    }
+
+    pub fn nkeys(page: &Page) -> usize {
+        page.get_u16(NKEYS) as usize
+    }
+
+    pub fn right_sibling(page: &Page) -> Option<u32> {
+        match page.get_u32(RIGHT_SIB) {
+            NO_PAGE => None,
+            p => Some(p),
+        }
+    }
+
+    pub fn set_right_sibling(page: &mut Page, sib: Option<u32>) {
+        page.put_u32(RIGHT_SIB, sib.unwrap_or(NO_PAGE));
+    }
+
+    pub fn leftmost_child(page: &Page) -> u32 {
+        page.get_u32(LEFTMOST)
+    }
+
+    pub fn set_leftmost_child(page: &mut Page, child: u32) {
+        page.put_u32(LEFTMOST, child);
+    }
+
+    fn cell_at(page: &Page, idx: usize) -> (usize, usize, usize) {
+        let ptr = page.get_u16(PTRS + 2 * idx) as usize;
+        let klen = page.get_u16(ptr) as usize;
+        let vlen = page.get_u16(ptr + 2) as usize;
+        (ptr, klen, vlen)
+    }
+
+    /// Key of entry `idx`.
+    pub fn key(page: &Page, idx: usize) -> &[u8] {
+        let (ptr, klen, _) = Self::cell_at(page, idx);
+        &page.raw()[ptr + 4..ptr + 4 + klen]
+    }
+
+    /// Value of entry `idx`.
+    pub fn value(page: &Page, idx: usize) -> &[u8] {
+        let (ptr, klen, vlen) = Self::cell_at(page, idx);
+        &page.raw()[ptr + 4 + klen..ptr + 4 + klen + vlen]
+    }
+
+    /// Child page of entry `idx` (internal nodes store a u32 page_no as
+    /// the value).
+    pub fn child(page: &Page, idx: usize) -> u32 {
+        u32::from_le_bytes(Self::value(page, idx).try_into().expect("child cell is u32"))
+    }
+
+    /// Binary search: `Ok(idx)` exact match, `Err(idx)` insertion point.
+    pub fn search(page: &Page, key: &[u8]) -> std::result::Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = Self::nkeys(page);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match Self::key(page, mid).cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// The child an internal node routes `key` to.
+    pub fn route(page: &Page, key: &[u8]) -> u32 {
+        debug_assert!(!Self::is_leaf(page));
+        match Self::search(page, key) {
+            Ok(idx) => Self::child(page, idx),
+            Err(0) => Self::leftmost_child(page),
+            Err(idx) => Self::child(page, idx - 1),
+        }
+    }
+
+    /// Bytes of live payload (cells referenced by the pointer array).
+    pub fn used_cell_bytes(page: &Page) -> usize {
+        (0..Self::nkeys(page))
+            .map(|i| {
+                let (_, klen, vlen) = Self::cell_at(page, i);
+                4 + klen + vlen
+            })
+            .sum()
+    }
+
+    /// Contiguous free bytes.
+    pub fn free_space(page: &Page) -> usize {
+        let free_end = page.get_u16(FREE_END) as usize;
+        free_end.saturating_sub(PTRS + 2 * Self::nkeys(page))
+    }
+
+    /// Free bytes after compaction.
+    pub fn total_free(page: &Page) -> usize {
+        PAGE_SIZE - PTRS - 2 * Self::nkeys(page) - Self::used_cell_bytes(page)
+    }
+
+    /// True when `(key, val)` fits (possibly after compaction).
+    pub fn fits(page: &Page, klen: usize, vlen: usize) -> bool {
+        Self::total_free(page) >= 2 + 4 + klen + vlen
+    }
+
+    /// Rewrites cells contiguously, dropping dead space.
+    pub fn compact(page: &mut Page) {
+        let n = Self::nkeys(page);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+            .map(|i| (Self::key(page, i).to_vec(), Self::value(page, i).to_vec()))
+            .collect();
+        let mut free_end = PAGE_SIZE;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let cell = 4 + k.len() + v.len();
+            free_end -= cell;
+            let raw = page.raw_mut();
+            raw[free_end..free_end + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+            raw[free_end + 2..free_end + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+            raw[free_end + 4..free_end + 4 + k.len()].copy_from_slice(k);
+            raw[free_end + 4 + k.len()..free_end + cell].copy_from_slice(v);
+            page.put_u16(PTRS + 2 * i, free_end as u16);
+        }
+        page.put_u16(FREE_END, free_end as u16);
+    }
+
+    /// Inserts `(key, val)` at sorted position `idx` (from
+    /// [`Node::search`]'s `Err`). The caller must have verified
+    /// [`Node::fits`]; splits are the tree layer's business.
+    pub fn insert_at(page: &mut Page, idx: usize, key: &[u8], val: &[u8]) -> Result<()> {
+        let cell = 4 + key.len() + val.len();
+        if Self::free_space(page) < cell + 2 {
+            if Self::total_free(page) < cell + 2 {
+                return Err(DmxError::Internal("node overflow; caller must split".into()));
+            }
+            Self::compact(page);
+        }
+        let n = Self::nkeys(page);
+        debug_assert!(idx <= n);
+        // shift pointer array right
+        for i in (idx..n).rev() {
+            let p = page.get_u16(PTRS + 2 * i);
+            page.put_u16(PTRS + 2 * (i + 1), p);
+        }
+        let free_end = page.get_u16(FREE_END) as usize - cell;
+        {
+            let raw = page.raw_mut();
+            raw[free_end..free_end + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+            raw[free_end + 2..free_end + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+            raw[free_end + 4..free_end + 4 + key.len()].copy_from_slice(key);
+            raw[free_end + 4 + key.len()..free_end + cell].copy_from_slice(val);
+        }
+        page.put_u16(FREE_END, free_end as u16);
+        page.put_u16(PTRS + 2 * idx, free_end as u16);
+        page.put_u16(NKEYS, (n + 1) as u16);
+        Ok(())
+    }
+
+    /// Removes entry `idx` (pointer removal; cell bytes become dead space).
+    pub fn remove_at(page: &mut Page, idx: usize) {
+        let n = Self::nkeys(page);
+        debug_assert!(idx < n);
+        for i in idx + 1..n {
+            let p = page.get_u16(PTRS + 2 * i);
+            page.put_u16(PTRS + 2 * (i - 1), p);
+        }
+        page.put_u16(NKEYS, (n - 1) as u16);
+    }
+
+    /// Replaces the value of entry `idx`.
+    pub fn replace_value(page: &mut Page, idx: usize, val: &[u8]) -> Result<()> {
+        let (ptr, klen, vlen) = Self::cell_at(page, idx);
+        if val.len() == vlen {
+            page.raw_mut()[ptr + 4 + klen..ptr + 4 + klen + vlen].copy_from_slice(val);
+            return Ok(());
+        }
+        let key = Self::key(page, idx).to_vec();
+        let old = Self::value(page, idx).to_vec();
+        Self::remove_at(page, idx);
+        if !Self::fits(page, key.len(), val.len()) {
+            Self::insert_at(page, idx, &key, &old).expect("old cell fits where it came from");
+            return Err(DmxError::Internal("node overflow; caller must split".into()));
+        }
+        Self::insert_at(page, idx, &key, val)
+    }
+
+    /// Moves the upper half of the entries (by bytes) into `right`,
+    /// returning the first key of `right`. Both pages must already be
+    /// initialized with the same leaf-ness.
+    pub fn split_into(page: &mut Page, right: &mut Page) -> Vec<u8> {
+        let n = Self::nkeys(page);
+        debug_assert!(n >= 2, "cannot split a node with < 2 entries");
+        let total = Self::used_cell_bytes(page);
+        // find split point: first index where the left half exceeds 50%
+        let mut acc = 0usize;
+        let mut split = n / 2; // fallback
+        for i in 0..n {
+            let (_, klen, vlen) = Self::cell_at(page, i);
+            acc += 4 + klen + vlen;
+            if acc > total / 2 {
+                split = i + 1;
+                break;
+            }
+        }
+        split = split.clamp(1, n - 1);
+        let moved: Vec<(Vec<u8>, Vec<u8>)> = (split..n)
+            .map(|i| (Self::key(page, i).to_vec(), Self::value(page, i).to_vec()))
+            .collect();
+        for _ in split..n {
+            Self::remove_at(page, split);
+        }
+        Self::compact(page);
+        for (i, (k, v)) in moved.iter().enumerate() {
+            Self::insert_at(right, i, k, v).expect("half of a page fits in an empty page");
+        }
+        moved[0].0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf() -> Page {
+        let mut p = Page::new();
+        Node::init(&mut p, true);
+        p
+    }
+
+    #[test]
+    fn init_and_flags() {
+        let p = leaf();
+        assert!(Node::is_leaf(&p));
+        assert_eq!(Node::nkeys(&p), 0);
+        assert_eq!(Node::right_sibling(&p), None);
+        assert_eq!(p.page_type(), PAGE_TYPE_BTREE);
+        let mut q = Page::new();
+        Node::init(&mut q, false);
+        assert!(!Node::is_leaf(&q));
+    }
+
+    #[test]
+    fn sorted_insert_and_search() {
+        let mut p = leaf();
+        for k in [b"m", b"a", b"z", b"c"] {
+            let idx = Node::search(&p, k).unwrap_err();
+            Node::insert_at(&mut p, idx, k, b"v").unwrap();
+        }
+        assert_eq!(Node::nkeys(&p), 4);
+        let keys: Vec<&[u8]> = (0..4).map(|i| Node::key(&p, i)).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"z"]);
+        assert_eq!(Node::search(&p, b"m"), Ok(2));
+        assert_eq!(Node::search(&p, b"b"), Err(1));
+        assert_eq!(Node::search(&p, b"zz"), Err(4));
+    }
+
+    #[test]
+    fn remove_and_compact_recover_space() {
+        let mut p = leaf();
+        for i in 0..10u8 {
+            let k = [i];
+            let idx = Node::search(&p, &k).unwrap_err();
+            Node::insert_at(&mut p, idx, &k, &[0u8; 100]).unwrap();
+        }
+        let free_before = Node::free_space(&p);
+        Node::remove_at(&mut p, 0);
+        Node::remove_at(&mut p, 0);
+        assert_eq!(Node::nkeys(&p), 8);
+        assert_eq!(Node::key(&p, 0), &[2]);
+        // dead cells counted by total_free but not contiguous free
+        assert!(Node::total_free(&p) > Node::free_space(&p));
+        Node::compact(&mut p);
+        assert!(Node::free_space(&p) > free_before);
+        // survivors intact after compaction
+        for i in 0..8usize {
+            assert_eq!(Node::key(&p, i), &[(i + 2) as u8]);
+            assert_eq!(Node::value(&p, i), &[0u8; 100]);
+        }
+    }
+
+    #[test]
+    fn replace_value_same_and_different_size() {
+        let mut p = leaf();
+        Node::insert_at(&mut p, 0, b"k", b"aaaa").unwrap();
+        Node::replace_value(&mut p, 0, b"bbbb").unwrap();
+        assert_eq!(Node::value(&p, 0), b"bbbb");
+        Node::replace_value(&mut p, 0, b"cccccccc").unwrap();
+        assert_eq!(Node::value(&p, 0), b"cccccccc");
+        assert_eq!(Node::key(&p, 0), b"k");
+        assert_eq!(Node::nkeys(&p), 1);
+    }
+
+    #[test]
+    fn internal_routing() {
+        let mut p = Page::new();
+        Node::init(&mut p, false);
+        Node::set_leftmost_child(&mut p, 100);
+        // entries: "g" -> 200, "p" -> 300
+        Node::insert_at(&mut p, 0, b"g", &200u32.to_le_bytes()).unwrap();
+        Node::insert_at(&mut p, 1, b"p", &300u32.to_le_bytes()).unwrap();
+        assert_eq!(Node::route(&p, b"a"), 100);
+        assert_eq!(Node::route(&p, b"g"), 200, "separator routes right");
+        assert_eq!(Node::route(&p, b"m"), 200);
+        assert_eq!(Node::route(&p, b"p"), 300);
+        assert_eq!(Node::route(&p, b"z"), 300);
+        assert_eq!(Node::child(&p, 0), 200);
+    }
+
+    #[test]
+    fn split_balances_and_returns_separator() {
+        let mut left = leaf();
+        for i in 0..20u8 {
+            let k = [i];
+            Node::insert_at(&mut left, i as usize, &k, &[7u8; 64]).unwrap();
+        }
+        let mut right = leaf();
+        let sep = Node::split_into(&mut left, &mut right);
+        let (nl, nr) = (Node::nkeys(&left), Node::nkeys(&right));
+        assert_eq!(nl + nr, 20);
+        assert!(nl >= 2 && nr >= 2, "roughly balanced: {nl}/{nr}");
+        assert_eq!(Node::key(&right, 0), &sep[..]);
+        // strict ordering across the split
+        assert!(Node::key(&left, nl - 1) < &sep[..]);
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let mut p = leaf();
+        assert!(Node::fits(&p, 10, MAX_ENTRY - 10));
+        let mut i = 0u32;
+        loop {
+            let k = i.to_be_bytes();
+            if !Node::fits(&p, k.len(), 200) {
+                break;
+            }
+            let idx = Node::search(&p, &k).unwrap_err();
+            Node::insert_at(&mut p, idx, &k, &[1u8; 200]).unwrap();
+            i += 1;
+        }
+        assert!(i >= 30, "8 KiB page should hold ≥30 208-byte cells, got {i}");
+        // and a direct overflow insert errors rather than corrupting
+        let k = [0xFFu8; 8];
+        let end = Node::nkeys(&p);
+        assert!(Node::insert_at(&mut p, end, &k, &[1u8; 200]).is_err());
+    }
+}

@@ -1,0 +1,629 @@
+//! B+tree operations: descent, insert with splits, delete, seek and
+//! cursors.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dmx_page::{BufferPool, PinnedPage};
+use dmx_types::{DmxError, FileId, PageId, Result};
+
+use crate::latch::LatchTable;
+use crate::node::{Node, MAX_ENTRY};
+
+/// Behaviour when an inserted key already exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnDuplicate {
+    /// Fail with [`DmxError::Duplicate`].
+    Error,
+    /// Replace the stored value.
+    Replace,
+}
+
+/// A handle to one B+tree. Cheap to clone; the root page id is stable for
+/// the life of the tree, so extension descriptors can persist it.
+#[derive(Clone)]
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    latch: Arc<RwLock<()>>,
+}
+
+/// Structural statistics (tests, cost sanity checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    pub height: usize,
+    pub nodes: usize,
+    pub entries: usize,
+}
+
+impl BTree {
+    /// Allocates a new empty tree (a single leaf root) in `file`.
+    pub fn create(pool: &Arc<BufferPool>, file: FileId, latches: &LatchTable) -> Result<BTree> {
+        let page = pool.new_page(file)?;
+        Node::init(&mut page.write(), true);
+        let root = page.id();
+        Ok(BTree {
+            pool: pool.clone(),
+            root,
+            latch: latches.latch(root),
+        })
+    }
+
+    /// Opens an existing tree by its root page.
+    pub fn open(pool: &Arc<BufferPool>, root: PageId, latches: &LatchTable) -> BTree {
+        BTree {
+            pool: pool.clone(),
+            root,
+            latch: latches.latch(root),
+        }
+    }
+
+    /// The stable root page id.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    fn page(&self, page_no: u32) -> Result<PinnedPage> {
+        self.pool.fetch(PageId::new(self.root.file, page_no))
+    }
+
+    /// Inserts `(key, val)`. Keys are unique; `on_dup` picks the
+    /// duplicate behaviour.
+    pub fn insert(&self, key: &[u8], val: &[u8], on_dup: OnDuplicate) -> Result<()> {
+        if key.len() + val.len() > MAX_ENTRY {
+            return Err(DmxError::InvalidArg(format!(
+                "btree entry of {} bytes exceeds max {MAX_ENTRY}",
+                key.len() + val.len()
+            )));
+        }
+        if key.is_empty() {
+            return Err(DmxError::InvalidArg("empty btree key".into()));
+        }
+        let _guard = self.latch.write();
+        if let Some((sep, right)) = self.insert_rec(self.root.page_no, key, val, on_dup)? {
+            self.grow_root(&sep, right)?;
+        }
+        Ok(())
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_page_no))`
+    /// when the visited node split.
+    fn insert_rec(
+        &self,
+        page_no: u32,
+        key: &[u8],
+        val: &[u8],
+        on_dup: OnDuplicate,
+    ) -> Result<Option<(Vec<u8>, u32)>> {
+        let pin = self.page(page_no)?;
+        let is_leaf = Node::is_leaf(&pin.read());
+        if is_leaf {
+            let mut page = pin.write();
+            match Node::search(&page, key) {
+                Ok(idx) => match on_dup {
+                    OnDuplicate::Error => Err(DmxError::Duplicate(format!(
+                        "btree key {:02x?}",
+                        &key[..key.len().min(16)]
+                    ))),
+                    OnDuplicate::Replace => {
+                        if Node::replace_value(&mut page, idx, val).is_ok() {
+                            return Ok(None);
+                        }
+                        // No room even after compaction: remove and fall
+                        // through to a fresh (possibly splitting) insert.
+                        Node::remove_at(&mut page, idx);
+                        drop(page);
+                        drop(pin);
+                        self.insert_rec(page_no, key, val, OnDuplicate::Error)
+                    }
+                },
+                Err(idx) => {
+                    if Node::fits(&page, key.len(), val.len()) {
+                        Node::insert_at(&mut page, idx, key, val)?;
+                        return Ok(None);
+                    }
+                    // Split the leaf.
+                    let right_pin = self.pool.new_page(self.root.file)?;
+                    let mut right = right_pin.write();
+                    Node::init(&mut right, true);
+                    let sep = Node::split_into(&mut page, &mut right);
+                    Node::set_right_sibling(&mut right, Node::right_sibling(&page));
+                    Node::set_right_sibling(&mut page, Some(right_pin.id().page_no));
+                    let target = if key < sep.as_slice() {
+                        &mut *page
+                    } else {
+                        &mut *right
+                    };
+                    let idx = Node::search(target, key).unwrap_err();
+                    Node::insert_at(target, idx, key, val)?;
+                    Ok(Some((sep, right_pin.id().page_no)))
+                }
+            }
+        } else {
+            let child = Node::route(&pin.read(), key);
+            let split = self.insert_rec(child, key, val, on_dup)?;
+            let Some((sep, new_child)) = split else {
+                return Ok(None);
+            };
+            let mut page = pin.write();
+            let idx = match Node::search(&page, &sep) {
+                Ok(_) => return Err(DmxError::Internal("duplicate separator".into())),
+                Err(i) => i,
+            };
+            if Node::fits(&page, sep.len(), 4) {
+                Node::insert_at(&mut page, idx, &sep, &new_child.to_le_bytes())?;
+                return Ok(None);
+            }
+            // Split the internal node: the right node's first key moves up.
+            let right_pin = self.pool.new_page(self.root.file)?;
+            let mut right = right_pin.write();
+            Node::init(&mut right, false);
+            let _first_right = Node::split_into(&mut page, &mut right);
+            let sep_up = Node::key(&right, 0).to_vec();
+            let first_child = Node::child(&right, 0);
+            Node::set_leftmost_child(&mut right, first_child);
+            Node::remove_at(&mut right, 0);
+            // Place the pending (sep, new_child) entry.
+            let target = if sep < sep_up { &mut *page } else { &mut *right };
+            match Node::search(target, &sep) {
+                Ok(_) => return Err(DmxError::Internal("duplicate separator".into())),
+                Err(i) => Node::insert_at(target, i, &sep, &new_child.to_le_bytes())?,
+            }
+            Ok(Some((sep_up, right_pin.id().page_no)))
+        }
+    }
+
+    /// Handles a root split: the old root's contents move into a fresh
+    /// child so the root page number never changes.
+    fn grow_root(&self, sep: &[u8], right: u32) -> Result<()> {
+        let root_pin = self.page(self.root.page_no)?;
+        let left_pin = self.pool.new_page(self.root.file)?;
+        {
+            let mut left = left_pin.write();
+            let root = root_pin.read();
+            *left.raw_mut() = *root.raw();
+        }
+        let mut root = root_pin.write();
+        Node::init(&mut root, false);
+        Node::set_leftmost_child(&mut root, left_pin.id().page_no);
+        Node::insert_at(&mut root, 0, sep, &right.to_le_bytes())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _guard = self.latch.read();
+        let mut page_no = self.root.page_no;
+        loop {
+            let pin = self.page(page_no)?;
+            let page = pin.read();
+            if Node::is_leaf(&page) {
+                return Ok(match Node::search(&page, key) {
+                    Ok(idx) => Some(Node::value(&page, idx).to_vec()),
+                    Err(_) => None,
+                });
+            }
+            page_no = Node::route(&page, key);
+        }
+    }
+
+    /// Deletes a key, returning its old value. Lazy deletion: nodes are
+    /// never merged.
+    pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _guard = self.latch.write();
+        let mut page_no = self.root.page_no;
+        loop {
+            let pin = self.page(page_no)?;
+            if Node::is_leaf(&pin.read()) {
+                let mut page = pin.write();
+                return Ok(match Node::search(&page, key) {
+                    Ok(idx) => {
+                        let old = Node::value(&page, idx).to_vec();
+                        Node::remove_at(&mut page, idx);
+                        Some(old)
+                    }
+                    Err(_) => None,
+                });
+            }
+            page_no = Node::route(&pin.read(), key);
+        }
+    }
+
+    /// First entry at-or-after the bound (walking right siblings across
+    /// empty leaves).
+    pub fn seek(&self, bound: Bound<&[u8]>) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let _guard = self.latch.read();
+        let target: &[u8] = match bound {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        // Descend to the leaf covering `target`.
+        let mut page_no = self.root.page_no;
+        loop {
+            let pin = self.page(page_no)?;
+            let page = pin.read();
+            if Node::is_leaf(&page) {
+                break;
+            }
+            page_no = Node::route(&page, target);
+        }
+        // Find the first qualifying entry, spilling into right siblings.
+        let mut pin = self.page(page_no)?;
+        let mut idx = {
+            let page = pin.read();
+            match bound {
+                Bound::Unbounded => 0,
+                Bound::Included(k) => match Node::search(&page, k) {
+                    Ok(i) | Err(i) => i,
+                },
+                Bound::Excluded(k) => match Node::search(&page, k) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                },
+            }
+        };
+        loop {
+            let page = pin.read();
+            if idx < Node::nkeys(&page) {
+                return Ok(Some((
+                    Node::key(&page, idx).to_vec(),
+                    Node::value(&page, idx).to_vec(),
+                )));
+            }
+            let Some(sib) = Node::right_sibling(&page) else {
+                return Ok(None);
+            };
+            drop(page);
+            pin = self.page(sib)?;
+            idx = 0;
+        }
+    }
+
+    /// True when any stored key starts with `prefix` (used by unique
+    /// checks over composite-encoded index keys).
+    pub fn contains_prefix(&self, prefix: &[u8]) -> Result<bool> {
+        Ok(match self.seek(Bound::Included(prefix))? {
+            Some((k, _)) => k.starts_with(prefix),
+            None => false,
+        })
+    }
+
+    /// An ascending cursor over `[lo, hi]`.
+    pub fn range(&self, lo: Bound<Vec<u8>>, hi: Bound<Vec<u8>>) -> BTreeCursor {
+        BTreeCursor {
+            tree: self.clone(),
+            next_bound: lo,
+            hi,
+        }
+    }
+
+    /// Cursor over every entry.
+    pub fn iter_all(&self) -> BTreeCursor {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Walks the tree computing structural statistics.
+    pub fn stats(&self) -> Result<TreeStats> {
+        let _guard = self.latch.read();
+        fn rec(tree: &BTree, page_no: u32, depth: usize, st: &mut TreeStats) -> Result<()> {
+            let pin = tree.page(page_no)?;
+            let page = pin.read();
+            st.nodes += 1;
+            st.height = st.height.max(depth);
+            if Node::is_leaf(&page) {
+                st.entries += Node::nkeys(&page);
+                return Ok(());
+            }
+            let children: Vec<u32> = std::iter::once(Node::leftmost_child(&page))
+                .chain((0..Node::nkeys(&page)).map(|i| Node::child(&page, i)))
+                .collect();
+            drop(page);
+            drop(pin);
+            for c in children {
+                rec(tree, c, depth + 1, st)?;
+            }
+            Ok(())
+        }
+        let mut st = TreeStats {
+            height: 0,
+            nodes: 0,
+            entries: 0,
+        };
+        rec(self, self.root.page_no, 1, &mut st)?;
+        Ok(st)
+    }
+}
+
+/// Ascending cursor. Each step re-descends from the last returned key, so
+/// the cursor stays valid across arbitrary concurrent mutation — a scan
+/// positioned on a deleted item is simply *after* it (the paper's rule).
+pub struct BTreeCursor {
+    tree: BTree,
+    next_bound: Bound<Vec<u8>>,
+    hi: Bound<Vec<u8>>,
+}
+
+impl BTreeCursor {
+    /// Next entry within bounds, or `None` when exhausted.
+    pub fn next(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let bound = match &self.next_bound {
+            Bound::Included(k) => Bound::Included(k.as_slice()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let Some((k, v)) = self.tree.seek(bound)? else {
+            return Ok(None);
+        };
+        let in_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => k.as_slice() <= h.as_slice(),
+            Bound::Excluded(h) => k.as_slice() < h.as_slice(),
+        };
+        if !in_hi {
+            return Ok(None);
+        }
+        self.next_bound = Bound::Excluded(k.clone());
+        Ok(Some((k, v)))
+    }
+
+    /// The key the cursor will resume after (its saved position).
+    pub fn position(&self) -> &Bound<Vec<u8>> {
+        &self.next_bound
+    }
+
+    /// Restores a saved position (savepoint scan-position restore).
+    pub fn set_position(&mut self, pos: Bound<Vec<u8>>) {
+        self.next_bound = pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_page::{DiskManager, MemDisk};
+    use dmx_types::key::encode_values;
+    use dmx_types::Value;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn setup() -> (Arc<BufferPool>, BTree) {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 256);
+        let file = disk.create_file().unwrap();
+        let latches = LatchTable::new();
+        let tree = BTree::create(&pool, file, &latches).unwrap();
+        (pool, tree)
+    }
+
+    fn k(i: i64) -> Vec<u8> {
+        encode_values(&[Value::Int(i)])
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let (_p, t) = setup();
+        t.insert(&k(5), b"five", OnDuplicate::Error).unwrap();
+        t.insert(&k(1), b"one", OnDuplicate::Error).unwrap();
+        assert_eq!(t.get(&k(5)).unwrap().unwrap(), b"five");
+        assert_eq!(t.get(&k(2)).unwrap(), None);
+        assert_eq!(t.delete(&k(5)).unwrap().unwrap(), b"five");
+        assert_eq!(t.get(&k(5)).unwrap(), None);
+        assert_eq!(t.delete(&k(5)).unwrap(), None, "idempotent");
+    }
+
+    #[test]
+    fn duplicate_handling() {
+        let (_p, t) = setup();
+        t.insert(&k(1), b"a", OnDuplicate::Error).unwrap();
+        assert!(matches!(
+            t.insert(&k(1), b"b", OnDuplicate::Error),
+            Err(DmxError::Duplicate(_))
+        ));
+        assert_eq!(t.get(&k(1)).unwrap().unwrap(), b"a");
+        t.insert(&k(1), b"bb", OnDuplicate::Replace).unwrap();
+        assert_eq!(t.get(&k(1)).unwrap().unwrap(), b"bb");
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        let (_p, t) = setup();
+        assert!(t.insert(&[], b"v", OnDuplicate::Error).is_err());
+        let huge = vec![0u8; MAX_ENTRY + 1];
+        assert!(t.insert(&huge, b"", OnDuplicate::Error).is_err());
+    }
+
+    #[test]
+    fn many_keys_force_splits_and_stay_sorted() {
+        let (_p, t) = setup();
+        let n = 5000i64;
+        let mut order: Vec<i64> = (0..n).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(42));
+        for i in &order {
+            t.insert(&k(*i), &i.to_le_bytes(), OnDuplicate::Error).unwrap();
+        }
+        let st = t.stats().unwrap();
+        assert_eq!(st.entries, n as usize);
+        assert!(st.height >= 2, "5000 entries must split: {st:?}");
+        assert!(st.nodes > 1);
+        // every key findable
+        for i in 0..n {
+            assert_eq!(
+                t.get(&k(i)).unwrap().unwrap(),
+                i.to_le_bytes(),
+                "key {i} lost"
+            );
+        }
+        // full scan is sorted and complete
+        let mut cur = t.iter_all();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while let Some((key, _)) = cur.next().unwrap() {
+            if let Some(p) = &prev {
+                assert!(p < &key, "scan out of order");
+            }
+            prev = Some(key);
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn range_scans_with_bounds() {
+        let (_p, t) = setup();
+        for i in 0..100i64 {
+            t.insert(&k(i), b"", OnDuplicate::Error).unwrap();
+        }
+        let collect = |lo: Bound<Vec<u8>>, hi: Bound<Vec<u8>>| -> Vec<Vec<u8>> {
+            let mut cur = t.range(lo, hi);
+            let mut out = Vec::new();
+            while let Some((key, _)) = cur.next().unwrap() {
+                out.push(key);
+            }
+            out
+        };
+        assert_eq!(
+            collect(Bound::Included(k(10)), Bound::Excluded(k(15))).len(),
+            5
+        );
+        assert_eq!(
+            collect(Bound::Excluded(k(10)), Bound::Included(k(15))).len(),
+            5
+        );
+        assert_eq!(collect(Bound::Included(k(95)), Bound::Unbounded).len(), 5);
+        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(k(0))).len(), 0);
+    }
+
+    #[test]
+    fn seek_walks_over_emptied_leaves() {
+        let (_p, t) = setup();
+        // Fill enough to create several leaves, then empty a middle range.
+        for i in 0..2000i64 {
+            t.insert(&k(i), &[1u8; 64], OnDuplicate::Error).unwrap();
+        }
+        for i in 500..1500i64 {
+            t.delete(&k(i)).unwrap();
+        }
+        let got = t.seek(Bound::Included(&k(500))).unwrap().unwrap();
+        assert_eq!(got.0, k(1500), "seek crossed emptied leaves");
+    }
+
+    #[test]
+    fn cursor_sees_delete_at_position_as_after() {
+        let (_p, t) = setup();
+        for i in 0..10i64 {
+            t.insert(&k(i), b"", OnDuplicate::Error).unwrap();
+        }
+        let mut cur = t.iter_all();
+        let (first, _) = cur.next().unwrap().unwrap();
+        assert_eq!(first, k(0));
+        // Delete the item the scan is ON; the scan must continue just
+        // after it (the paper's scan rule).
+        t.delete(&k(0)).unwrap();
+        // Also delete the next item before the scan reaches it.
+        t.delete(&k(1)).unwrap();
+        let (next, _) = cur.next().unwrap().unwrap();
+        assert_eq!(next, k(2));
+    }
+
+    #[test]
+    fn cursor_position_save_restore() {
+        let (_p, t) = setup();
+        for i in 0..10i64 {
+            t.insert(&k(i), b"", OnDuplicate::Error).unwrap();
+        }
+        let mut cur = t.iter_all();
+        cur.next().unwrap();
+        cur.next().unwrap();
+        let saved = cur.position().clone();
+        cur.next().unwrap();
+        cur.next().unwrap();
+        cur.set_position(saved);
+        assert_eq!(cur.next().unwrap().unwrap().0, k(2), "restored to after k(1)");
+    }
+
+    #[test]
+    fn contains_prefix_composite_keys() {
+        let (_p, t) = setup();
+        // composite (dept, emp) keys
+        for (d, e) in [(1i64, 1i64), (1, 2), (3, 1)] {
+            let key = encode_values(&[Value::Int(d), Value::Int(e)]);
+            t.insert(&key, b"", OnDuplicate::Error).unwrap();
+        }
+        assert!(t.contains_prefix(&encode_values(&[Value::Int(1)])).unwrap());
+        assert!(t.contains_prefix(&encode_values(&[Value::Int(3)])).unwrap());
+        assert!(!t.contains_prefix(&encode_values(&[Value::Int(2)])).unwrap());
+    }
+
+    #[test]
+    fn variable_size_values_and_replace_growth() {
+        let (_p, t) = setup();
+        // values of wildly different sizes, including replacement growth
+        for i in 0..300i64 {
+            let val = vec![b'x'; (i as usize * 7) % 900];
+            t.insert(&k(i), &val, OnDuplicate::Error).unwrap();
+        }
+        for i in 0..300i64 {
+            let val = vec![b'y'; ((i as usize * 13) % 900) + 1];
+            t.insert(&k(i), &val, OnDuplicate::Replace).unwrap();
+            assert_eq!(t.get(&k(i)).unwrap().unwrap(), val);
+        }
+        assert_eq!(t.stats().unwrap().entries, 300);
+    }
+
+    #[test]
+    fn open_existing_tree() {
+        let (pool, t) = setup();
+        for i in 0..1000i64 {
+            t.insert(&k(i), b"v", OnDuplicate::Error).unwrap();
+        }
+        let root = t.root();
+        drop(t);
+        let latches = LatchTable::new();
+        let t2 = BTree::open(&pool, root, &latches);
+        assert_eq!(t2.get(&k(999)).unwrap().unwrap(), b"v");
+        assert_eq!(t2.stats().unwrap().entries, 1000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Random operation sequences agree with std BTreeMap.
+        #[test]
+        fn prop_matches_std_btreemap(ops in proptest::collection::vec(
+            (0u8..3, -50i64..50, proptest::collection::vec(any::<u8>(), 0..40)), 0..300))
+        {
+            let (_p, t) = setup();
+            let mut shadow = std::collections::BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        let r = t.insert(&k(key), &val, OnDuplicate::Error);
+                        if let std::collections::btree_map::Entry::Vacant(e) = shadow.entry(key) {
+                            prop_assert!(r.is_ok());
+                            e.insert(val);
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                    1 => {
+                        let got = t.delete(&k(key)).unwrap();
+                        prop_assert_eq!(got, shadow.remove(&key));
+                    }
+                    _ => {
+                        let got = t.get(&k(key)).unwrap();
+                        prop_assert_eq!(got.as_ref(), shadow.get(&key));
+                    }
+                }
+            }
+            // final scan equals shadow iteration
+            let mut cur = t.iter_all();
+            let mut got = Vec::new();
+            while let Some((key, v)) = cur.next().unwrap() {
+                got.push((key, v));
+            }
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                shadow.iter().map(|(i, v)| (k(*i), v.clone())).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The unified access interface and scan management.
+//!
+//! "The internal interface for data access is uniform across relation
+//! storage and access path extensions. All accesses take keys as input
+//! and return keys and data. … Access path zero is interpreted as an
+//! access to the storage method." Scans (key-sequential accesses) have
+//! explicit *positions* with the paper's rules: a scan is on / before /
+//! after an item; deleting the item at the current position leaves the
+//! scan just after it; every scan is closed at transaction termination;
+//! and positions are saved when a rollback point is established and
+//! restored after a partial rollback.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmx_types::{AttInstanceId, AttTypeId, DmxError, RecordKey, Rect, Result, ScanId, TxnId, Value};
+
+use crate::context::ExecCtx;
+
+/// Which access path serves an access. Path zero is the storage method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// "Access path zero": the relation storage method itself.
+    StorageMethod,
+    /// An attachment instance (type id + instance number, e.g. "B-tree
+    /// number 3").
+    Attachment(AttTypeId, AttInstanceId),
+}
+
+/// A range over opaque key bytes (storage-method record keys for path 0,
+/// access-path keys otherwise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    pub lo: Bound<Vec<u8>>,
+    pub hi: Bound<Vec<u8>>,
+}
+
+impl KeyRange {
+    /// The unbounded range.
+    pub fn all() -> Self {
+        KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// The exact-key range `[k, k]`.
+    pub fn exact(k: Vec<u8>) -> Self {
+        KeyRange {
+            lo: Bound::Included(k.clone()),
+            hi: Bound::Included(k),
+        }
+    }
+
+    /// True when `k` lies inside the range.
+    pub fn contains(&self, k: &[u8]) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k >= b.as_slice(),
+            Bound::Excluded(b) => k > b.as_slice(),
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k <= b.as_slice(),
+            Bound::Excluded(b) => k < b.as_slice(),
+        };
+        lo_ok && hi_ok
+    }
+}
+
+/// Spatial query operators recognized by spatial access paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialOp {
+    /// Record rectangles that enclose the query rectangle.
+    Encloses,
+    /// Record rectangles enclosed by the query rectangle (window query).
+    EnclosedBy,
+    /// Record rectangles intersecting the query rectangle.
+    Intersects,
+}
+
+/// The concrete question asked of an access path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessQuery {
+    /// Every entry.
+    All,
+    /// Entries within an encoded-key range.
+    Range(KeyRange),
+    /// Entries with exactly this access key (hash paths).
+    KeyEquals(Vec<u8>),
+    /// Spatial predicate against the query rectangle.
+    Spatial(SpatialOp, Rect),
+}
+
+/// One item produced by a scan: the storage-method record key plus,
+/// when available, field values (projected record fields from a storage
+/// method, or covered fields from an access path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanItem {
+    pub key: RecordKey,
+    pub values: Option<Vec<Value>>,
+}
+
+/// The generic key-sequential access interface implemented by storage
+/// methods and access-path attachments.
+pub trait ScanOps: Send {
+    /// The item after the current position, advancing the position onto
+    /// it. `None` when exhausted.
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>>;
+
+    /// Serializes the current position (the paper's savepoint-time
+    /// "obtain their key-sequential access positions").
+    fn save_position(&self) -> Vec<u8>;
+
+    /// Restores a previously saved position after a partial rollback.
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()>;
+
+    /// True when item keys are storage-method record keys (lockable and
+    /// re-readable through the storage method). Access paths that emit
+    /// derived items — e.g. maintained-aggregate groups — return false,
+    /// and the dispatcher skips record locking/re-validation for them.
+    fn items_are_record_keys(&self) -> bool {
+        true
+    }
+}
+
+type SharedScan = Arc<Mutex<Box<dyn ScanOps>>>;
+
+/// Tracks every open scan per transaction so the common system can (a)
+/// close them all at transaction termination and (b) save/restore their
+/// positions around rollback points.
+///
+/// Each scan carries its own lock: advancing a scan must **not** hold the
+/// registry lock, because a scan may block in the lock manager (record
+/// locks) and other transactions' scans have to keep moving — and the
+/// deadlock detector must see the blocked request as a lock wait.
+#[derive(Default)]
+pub struct ScanManager {
+    next_id: AtomicU64,
+    open: Mutex<HashMap<TxnId, HashMap<ScanId, SharedScan>>>,
+}
+
+impl ScanManager {
+    /// An empty scan manager.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ScanManager::default())
+    }
+
+    /// Registers an open scan for a transaction.
+    pub fn open(&self, txn: TxnId, scan: Box<dyn ScanOps>) -> ScanId {
+        let id = ScanId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        self.open
+            .lock()
+            .entry(txn)
+            .or_default()
+            .insert(id, Arc::new(Mutex::new(scan)));
+        id
+    }
+
+    /// Advances a scan (registry lock released before the scan runs).
+    pub fn next(&self, ctx: &ExecCtx<'_>, id: ScanId) -> Result<Option<ScanItem>> {
+        let scan = {
+            let open = self.open.lock();
+            open.get(&ctx.txn.id())
+                .and_then(|scans| scans.get(&id))
+                .cloned()
+                .ok_or_else(|| DmxError::NotFound(format!("scan {id}")))?
+        };
+        let mut guard = scan.lock();
+        guard.next(ctx)
+    }
+
+    /// Closes one scan.
+    pub fn close(&self, txn: TxnId, id: ScanId) {
+        if let Some(scans) = self.open.lock().get_mut(&txn) {
+            scans.remove(&id);
+        }
+    }
+
+    /// End-of-transaction notification: closes every scan the transaction
+    /// had open ("all key-sequential accesses must be terminated at
+    /// transaction termination").
+    pub fn close_all(&self, txn: TxnId) -> usize {
+        self.open
+            .lock()
+            .remove(&txn)
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of scans a transaction holds open.
+    pub fn open_count(&self, txn: TxnId) -> usize {
+        self.open.lock().get(&txn).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Rollback-point establishment: collect every open scan's position.
+    pub fn save_positions(&self, txn: TxnId) -> Vec<(ScanId, Vec<u8>)> {
+        let scans: Vec<(ScanId, SharedScan)> = {
+            let open = self.open.lock();
+            open.get(&txn)
+                .map(|scans| scans.iter().map(|(id, s)| (*id, s.clone())).collect())
+                .unwrap_or_default()
+        };
+        let mut out: Vec<(ScanId, Vec<u8>)> = scans
+            .into_iter()
+            .map(|(id, s)| {
+                let pos = s.lock().save_position();
+                (id, pos)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Partial-rollback completion: restore saved positions. Scans opened
+    /// after the savepoint (not in `saved`) are closed — they did not
+    /// exist at the rollback point.
+    pub fn restore_positions(&self, txn: TxnId, saved: &[(ScanId, Vec<u8>)]) -> Result<()> {
+        let survivors: Vec<(ScanId, SharedScan)> = {
+            let mut open = self.open.lock();
+            let Some(scans) = open.get_mut(&txn) else {
+                return Ok(());
+            };
+            scans.retain(|id, _| saved.iter().any(|(s, _)| s == id));
+            scans.iter().map(|(id, s)| (*id, s.clone())).collect()
+        };
+        for (id, pos) in saved {
+            if let Some((_, s)) = survivors.iter().find(|(sid, _)| sid == id) {
+                s.lock().restore_position(pos)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_range_contains() {
+        let r = KeyRange {
+            lo: Bound::Included(vec![2]),
+            hi: Bound::Excluded(vec![9]),
+        };
+        assert!(r.contains(&[2]));
+        assert!(r.contains(&[5, 1]));
+        assert!(!r.contains(&[9]));
+        assert!(!r.contains(&[1]));
+        assert!(KeyRange::all().contains(&[]));
+        let e = KeyRange::exact(vec![7]);
+        assert!(e.contains(&[7]));
+        assert!(!e.contains(&[7, 0]));
+    }
+
+    // A scriptable scan over a vector of numbered items; position = index.
+    struct VecScan {
+        items: Vec<u8>,
+        pos: usize,
+    }
+    impl ScanOps for VecScan {
+        fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+            if self.pos >= self.items.len() {
+                return Ok(None);
+            }
+            let item = ScanItem {
+                key: RecordKey::new(vec![self.items[self.pos]]),
+                values: None,
+            };
+            self.pos += 1;
+            Ok(Some(item))
+        }
+        fn save_position(&self) -> Vec<u8> {
+            vec![self.pos as u8]
+        }
+        fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+            self.pos = pos[0] as usize;
+            Ok(())
+        }
+    }
+
+    // ScanManager tests that need an ExecCtx live in dml.rs's test module
+    // (where a full Database exists); here we exercise the bookkeeping
+    // that doesn't need one.
+    #[test]
+    fn open_close_and_end_of_txn_cleanup() {
+        let sm = ScanManager::new();
+        let t = TxnId(1);
+        let a = sm.open(t, Box::new(VecScan { items: vec![1, 2], pos: 0 }));
+        let b = sm.open(t, Box::new(VecScan { items: vec![3], pos: 0 }));
+        assert_ne!(a, b);
+        assert_eq!(sm.open_count(t), 2);
+        sm.close(t, a);
+        assert_eq!(sm.open_count(t), 1);
+        assert_eq!(sm.close_all(t), 1);
+        assert_eq!(sm.open_count(t), 0);
+        assert_eq!(sm.close_all(t), 0, "idempotent");
+    }
+
+    #[test]
+    fn save_restore_positions_drops_younger_scans() {
+        let sm = ScanManager::new();
+        let t = TxnId(2);
+        let a = sm.open(t, Box::new(VecScan { items: vec![1, 2, 3], pos: 2 }));
+        let saved = sm.save_positions(t);
+        assert_eq!(saved, vec![(a, vec![2])]);
+        // a scan opened after the savepoint must be closed on restore
+        let _b = sm.open(t, Box::new(VecScan { items: vec![9], pos: 0 }));
+        assert_eq!(sm.open_count(t), 2);
+        sm.restore_positions(t, &saved).unwrap();
+        assert_eq!(sm.open_count(t), 1);
+    }
+}

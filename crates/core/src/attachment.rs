@@ -1,0 +1,141 @@
+//! The generic attachment interface.
+//!
+//! "Attachments, like storage methods, must support a well-defined set of
+//! operations. Unlike storage methods, however, attachment modification
+//! operations are not directly invoked by the data management facility
+//! user. Instead, attachment modification interfaces are invoked only as
+//! side effects of modification operations on relations. … Any attachment
+//! can abort the relation operation if the operation violates any
+//! restrictions of the attachment." Access-path attachments additionally
+//! "supply a mapping from an input key to a record key" and support
+//! direct-by-key and key-sequential accesses plus cost estimation.
+//!
+//! One implementation per attachment *type*; the dispatcher invokes each
+//! type **once** per relation modification, passing every instance of the
+//! type defined on the relation.
+
+use std::sync::Arc;
+
+use dmx_expr::Expr;
+use dmx_types::{AttrList, DmxError, Record, RecordKey, Result, Schema};
+
+use crate::access::{AccessQuery, ScanOps};
+use crate::context::ExecCtx;
+use crate::cost::PathChoice;
+use crate::descriptor::{AttachmentInstance, RelationDescriptor};
+use crate::services::CommonServices;
+
+/// An attachment type: access path, integrity constraint or trigger.
+pub trait Attachment: Send + Sync {
+    /// The type's registered name (used in DDL: `CREATE ATTACHMENT …
+    /// USING <name>` / `CREATE INDEX … USING <name>`).
+    fn name(&self) -> &str;
+
+    /// Validates an extension attribute/value list at DDL parse time.
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()>;
+
+    /// Creates an instance on `rd` (allocating any associated storage —
+    /// attachments "may have associated storage", unlike mere triggers),
+    /// returning the instance descriptor bytes. The common system
+    /// backfills existing records by driving [`Attachment::on_insert`]
+    /// afterwards.
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>>;
+
+    /// Physically releases an instance's storage; deferred to commit, so
+    /// it must be idempotent.
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()>;
+
+    /// Side effect of a record insert. `Err` (typically
+    /// [`DmxError::Veto`]) aborts the relation operation, which the
+    /// common recovery facility then partially rolls back.
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<()>;
+
+    /// Side effect of a record update. `old_key`/`new_key` differ when
+    /// the storage method relocated the record.
+    #[allow(clippy::too_many_arguments)]
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        old_key: &RecordKey,
+        new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()>;
+
+    /// Side effect of a record delete.
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        key: &RecordKey,
+        old: &Record,
+    ) -> Result<()>;
+
+    /// Undoes a logged operation (idempotent; `lsn` is the undone
+    /// record's LSN for page-LSN checks where applicable).
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: dmx_types::Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // Access-path side (optional). Integrity constraints and triggers
+    // keep the defaults.
+    // ------------------------------------------------------------------
+
+    /// True when instances of this type can serve data accesses.
+    fn supports_access(&self) -> bool {
+        false
+    }
+
+    /// Opens a key-sequential access over the path. Items carry the
+    /// mapped storage-method record keys and, for covering paths, field
+    /// values decoded from the access-path key.
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        query: &AccessQuery,
+    ) -> Result<Box<dyn ScanOps>> {
+        let _ = (ctx, rd, instance, query);
+        Err(DmxError::Unsupported(format!(
+            "attachment {} is not an access path",
+            self.name()
+        )))
+    }
+
+    /// Cost estimation: `None` when no eligible predicate is relevant to
+    /// this instance ("the B-tree access path will return a low cost if
+    /// there is a predicate on the key of the B-tree, and the R-tree …
+    /// will recognize the ENCLOSES predicate").
+    fn estimate(
+        &self,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+        preds: &[Expr],
+    ) -> Option<PathChoice> {
+        let _ = (rd, instance, preds);
+        None
+    }
+}

@@ -1,0 +1,322 @@
+//! The catalog: descriptor management.
+//!
+//! "Instead of requiring each relation storage or access path to store
+//! and access its own descriptor data, the common system will maintain
+//! and manage relation descriptors. … This strategy allows the common
+//! system to fetch the relation descriptors from the system catalogs at
+//! query compilation time and store them in the query access plan."
+//!
+//! The in-memory catalog hands out `Arc<RelationDescriptor>` snapshots
+//! (what plans embed). Persistence: the whole catalog serializes into a
+//! dedicated disk file ([`CATALOG_FILE`]); durability across crashes is
+//! guaranteed by logging the serialized image as a deferred intent at
+//! commit of DDL transactions (see `database.rs`), which restart re-drives
+//! idempotently.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dmx_page::{DiskManager, Page, PAGE_SIZE};
+use dmx_types::{DmxError, FileId, PageId, RelationId, Result};
+
+use crate::descriptor::RelationDescriptor;
+
+/// The fixed file holding the persisted catalog (first file ever created
+/// on a fresh disk).
+pub const CATALOG_FILE: FileId = FileId(1);
+
+/// Usable bytes per catalog page (after the generic page header).
+const PAGE_BODY: usize = PAGE_SIZE - 16;
+
+#[derive(Default)]
+struct CatState {
+    relations: HashMap<RelationId, Arc<RelationDescriptor>>,
+    by_name: HashMap<String, RelationId>,
+    next_rel: u32,
+}
+
+/// The relation catalog.
+#[derive(Default)]
+pub struct Catalog {
+    state: RwLock<CatState>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Catalog::default())
+    }
+
+    /// Allocates the next relation id.
+    pub fn next_relation_id(&self) -> RelationId {
+        let mut st = self.state.write();
+        st.next_rel += 1;
+        RelationId(st.next_rel)
+    }
+
+    /// Installs a new relation descriptor (fails on duplicate name).
+    pub fn insert(&self, rd: RelationDescriptor) -> Result<Arc<RelationDescriptor>> {
+        let mut st = self.state.write();
+        let key = rd.name.to_ascii_lowercase();
+        if st.by_name.contains_key(&key) {
+            return Err(DmxError::Duplicate(format!("relation {}", rd.name)));
+        }
+        let arc = Arc::new(rd);
+        st.by_name.insert(key, arc.id);
+        st.relations.insert(arc.id, arc.clone());
+        Ok(arc)
+    }
+
+    /// Replaces a relation's descriptor with a new version (DDL on
+    /// attachments). The name must be unchanged.
+    pub fn replace(&self, rd: RelationDescriptor) -> Result<Arc<RelationDescriptor>> {
+        let mut st = self.state.write();
+        if !st.relations.contains_key(&rd.id) {
+            return Err(DmxError::NotFound(format!("relation {}", rd.id)));
+        }
+        let arc = Arc::new(rd);
+        st.relations.insert(arc.id, arc.clone());
+        Ok(arc)
+    }
+
+    /// Removes a relation, returning its descriptor.
+    pub fn remove(&self, id: RelationId) -> Result<Arc<RelationDescriptor>> {
+        let mut st = self.state.write();
+        let rd = st
+            .relations
+            .remove(&id)
+            .ok_or_else(|| DmxError::NotFound(format!("relation {id}")))?;
+        st.by_name.remove(&rd.name.to_ascii_lowercase());
+        Ok(rd)
+    }
+
+    /// Descriptor by id.
+    pub fn get(&self, id: RelationId) -> Result<Arc<RelationDescriptor>> {
+        self.state
+            .read()
+            .relations
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| DmxError::NotFound(format!("relation {id}")))
+    }
+
+    /// Descriptor by name (case-insensitive).
+    pub fn get_by_name(&self, name: &str) -> Result<Arc<RelationDescriptor>> {
+        let st = self.state.read();
+        let id = st
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DmxError::NotFound(format!("relation {name}")))?;
+        Ok(st.relations[id].clone())
+    }
+
+    /// All descriptors, by id order.
+    pub fn list(&self) -> Vec<Arc<RelationDescriptor>> {
+        let st = self.state.read();
+        let mut v: Vec<_> = st.relations.values().cloned().collect();
+        v.sort_by_key(|rd| rd.id);
+        v
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.state.read().relations.len()
+    }
+
+    /// True when no relations exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the whole catalog.
+    pub fn serialize(&self) -> Vec<u8> {
+        let st = self.state.read();
+        let mut out = Vec::new();
+        out.extend_from_slice(&st.next_rel.to_le_bytes());
+        let mut rels: Vec<_> = st.relations.values().collect();
+        rels.sort_by_key(|rd| rd.id);
+        out.extend_from_slice(&(rels.len() as u32).to_le_bytes());
+        for rd in rels {
+            let bytes = rd.encode();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Restores the catalog from serialized bytes (replacing current
+    /// contents).
+    pub fn restore(&self, bytes: &[u8]) -> Result<()> {
+        let corrupt = || DmxError::Corrupt("truncated catalog".into());
+        let mut pos = 0usize;
+        let u32at = |pos: &mut usize| -> Result<u32> {
+            let s = bytes.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+            *pos += 4;
+            Ok(u32::from_le_bytes(s.try_into().unwrap()))
+        };
+        let next_rel = u32at(&mut pos)?;
+        let count = u32at(&mut pos)? as usize;
+        let mut st = CatState {
+            next_rel,
+            ..Default::default()
+        };
+        for _ in 0..count {
+            let len = u32at(&mut pos)? as usize;
+            let desc = bytes.get(pos..pos + len).ok_or_else(corrupt)?;
+            pos += len;
+            let rd = Arc::new(RelationDescriptor::decode(desc)?);
+            st.by_name.insert(rd.name.to_ascii_lowercase(), rd.id);
+            st.relations.insert(rd.id, rd);
+        }
+        *self.state.write() = st;
+        Ok(())
+    }
+
+    /// Writes serialized catalog bytes to the catalog file, growing it as
+    /// needed. Layout: page 0 starts with a u64 total length, then raw
+    /// bytes continue across page bodies.
+    pub fn write_image(disk: &Arc<dyn DiskManager>, image: &[u8]) -> Result<()> {
+        if !disk.file_exists(CATALOG_FILE) {
+            let f = disk.create_file()?;
+            if f != CATALOG_FILE {
+                return Err(DmxError::Internal(format!(
+                    "catalog file allocated as {f}, expected {CATALOG_FILE}"
+                )));
+            }
+        }
+        let mut framed = Vec::with_capacity(8 + image.len());
+        framed.extend_from_slice(&(image.len() as u64).to_le_bytes());
+        framed.extend_from_slice(image);
+        let pages_needed = framed.len().div_ceil(PAGE_BODY).max(1);
+        while (disk.page_count(CATALOG_FILE)? as usize) < pages_needed {
+            disk.allocate_page(CATALOG_FILE)?;
+        }
+        let mut page = Page::new();
+        for (i, chunk) in framed.chunks(PAGE_BODY).enumerate() {
+            page.body_mut()[..chunk.len()].copy_from_slice(chunk);
+            disk.write_page(PageId::new(CATALOG_FILE, i as u32), &page)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the persisted catalog image, or `None` when the disk has no
+    /// catalog yet.
+    pub fn read_image(disk: &Arc<dyn DiskManager>) -> Result<Option<Vec<u8>>> {
+        if !disk.file_exists(CATALOG_FILE) || disk.page_count(CATALOG_FILE)? == 0 {
+            return Ok(None);
+        }
+        let mut page = Page::new();
+        disk.read_page(PageId::new(CATALOG_FILE, 0), &mut page)?;
+        let len = u64::from_le_bytes(page.body()[..8].try_into().unwrap()) as usize;
+        let mut framed = Vec::with_capacity(8 + len);
+        framed.extend_from_slice(&page.body()[..PAGE_BODY.min(8 + len)]);
+        let mut page_no = 1u32;
+        while framed.len() < 8 + len {
+            disk.read_page(PageId::new(CATALOG_FILE, page_no), &mut page)?;
+            let take = (8 + len - framed.len()).min(PAGE_BODY);
+            framed.extend_from_slice(&page.body()[..take]);
+            page_no += 1;
+        }
+        Ok(Some(framed[8..8 + len].to_vec()))
+    }
+
+    /// Persists the current catalog to disk.
+    pub fn persist(&self, disk: &Arc<dyn DiskManager>) -> Result<()> {
+        Self::write_image(disk, &self.serialize())
+    }
+
+    /// Loads the catalog from disk (no-op on a fresh disk).
+    pub fn load(&self, disk: &Arc<dyn DiskManager>) -> Result<()> {
+        if let Some(image) = Self::read_image(disk)? {
+            self.restore(&image)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_page::MemDisk;
+    use dmx_types::{ColumnDef, DataType, Schema, SmTypeId};
+
+    fn rd(id: u32, name: &str) -> RelationDescriptor {
+        let schema = Schema::new(vec![ColumnDef::not_null("id", DataType::Int)]).unwrap();
+        RelationDescriptor::new(RelationId(id), name, schema, SmTypeId(1), vec![])
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let c = Catalog::new();
+        let id = c.next_relation_id();
+        c.insert(rd(id.0, "emp")).unwrap();
+        assert_eq!(c.get(id).unwrap().name, "emp");
+        assert_eq!(c.get_by_name("EMP").unwrap().id, id);
+        assert!(c.insert(rd(99, "Emp")).is_err(), "names case-insensitive");
+        let removed = c.remove(id).unwrap();
+        assert_eq!(removed.name, "emp");
+        assert!(c.get(id).is_err());
+        assert!(c.remove(id).is_err());
+    }
+
+    #[test]
+    fn replace_updates_version_holders() {
+        let c = Catalog::new();
+        let id = c.next_relation_id();
+        let old = c.insert(rd(id.0, "emp")).unwrap();
+        let mut newer = (*old).clone();
+        newer.version += 1;
+        c.replace(newer).unwrap();
+        assert_eq!(c.get(id).unwrap().version, old.version + 1);
+        // old snapshot still usable by plans that embedded it
+        assert_eq!(old.name, "emp");
+        assert!(c.replace(rd(42, "ghost")).is_err());
+    }
+
+    #[test]
+    fn ids_monotonic_across_restore() {
+        let c = Catalog::new();
+        let a = c.next_relation_id();
+        c.insert(rd(a.0, "a")).unwrap();
+        let image = c.serialize();
+        let c2 = Catalog::new();
+        c2.restore(&image).unwrap();
+        let b = c2.next_relation_id();
+        assert!(b > a, "restored next_rel continues the sequence");
+        assert_eq!(c2.len(), 1);
+    }
+
+    #[test]
+    fn persist_and_load_roundtrip_via_disk() {
+        let disk: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let c = Catalog::new();
+        for name in ["emp", "dept", "proj"] {
+            let id = c.next_relation_id();
+            c.insert(rd(id.0, name)).unwrap();
+        }
+        c.persist(&disk).unwrap();
+        let c2 = Catalog::new();
+        c2.load(&disk).unwrap();
+        assert_eq!(c2.len(), 3);
+        assert_eq!(c2.get_by_name("dept").unwrap().name, "dept");
+        // re-persist after growth (forces multi-write path)
+        for i in 0..50 {
+            let id = c2.next_relation_id();
+            c2.insert(rd(id.0, &format!("t{i}"))).unwrap();
+        }
+        c2.persist(&disk).unwrap();
+        let c3 = Catalog::new();
+        c3.load(&disk).unwrap();
+        assert_eq!(c3.len(), 53);
+    }
+
+    #[test]
+    fn load_on_fresh_disk_is_noop() {
+        let disk: Arc<dyn DiskManager> = Arc::new(MemDisk::new());
+        let c = Catalog::new();
+        c.load(&disk).unwrap();
+        assert!(c.is_empty());
+    }
+}

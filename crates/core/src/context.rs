@@ -1,0 +1,60 @@
+//! The execution context handed to every generic operation.
+
+use std::sync::Arc;
+
+use dmx_expr::{eval_predicate, EvalContext, Expr, FieldSource};
+use dmx_lock::{LockMode, LockName};
+use dmx_txn::Transaction;
+use dmx_types::{Lsn, RecordKey, RelationId, Result};
+use dmx_wal::{ExtKind, LogBody};
+
+use crate::database::Database;
+use crate::services::CommonServices;
+
+/// Everything an extension needs while executing a generic operation: the
+/// transaction, the common services, and the database itself (so
+/// attachments can "access or modify other data in the database by
+/// calling the appropriate storage method or attachment routines" —
+/// cascading modifications). The database reference is an `&Arc` so
+/// extensions can clone owning handles into deferred-action closures.
+#[derive(Clone, Copy)]
+pub struct ExecCtx<'a> {
+    pub db: &'a Arc<Database>,
+    pub txn: &'a Arc<Transaction>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// The common services environment.
+    pub fn services(&self) -> &Arc<CommonServices> {
+        self.db.services()
+    }
+
+    /// Logs an extension operation on this transaction's undo chain,
+    /// returning its LSN. Extensions call this *before* applying the
+    /// change (write-ahead).
+    pub fn log_ext_op(&self, ext: ExtKind, relation: RelationId, op: u8, payload: Vec<u8>) -> Lsn {
+        self.txn.log(LogBody::ExtOp {
+            ext,
+            relation,
+            op,
+            payload,
+        })
+    }
+
+    /// Acquires a lock through the system lock manager.
+    pub fn lock(&self, name: LockName, mode: LockMode) -> Result<()> {
+        self.services().locks.lock(self.txn.id(), name, mode)
+    }
+
+    /// Record-granularity lock helper.
+    pub fn lock_record(&self, rel: RelationId, key: &RecordKey, mode: LockMode) -> Result<()> {
+        self.lock(LockName::record(rel, key), mode)
+    }
+
+    /// Evaluates a filter predicate against a (possibly buffer-resident)
+    /// record through the common-services evaluator.
+    pub fn eval_predicate(&self, expr: &Expr, src: &dyn FieldSource) -> Result<bool> {
+        let funcs = self.services().funcs.read();
+        eval_predicate(expr, src, EvalContext::new(&funcs))
+    }
+}

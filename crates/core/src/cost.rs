@@ -1,0 +1,127 @@
+//! Cost-estimation interface types.
+//!
+//! "Given a list of 'eligible' predicates supplied by the query planner,
+//! the storage method or access attachment can determine the 'relevance'
+//! of the predicates to the access path instance and then estimate the
+//! I/O and CPU costs to return the record fields or keys that satisfy the
+//! predicates." An extension answers with a [`PathChoice`]; the planner
+//! compares [`Cost`]s across access paths (path 0 = the storage method).
+
+use dmx_expr::Expr;
+use dmx_types::FieldId;
+
+use crate::access::{AccessPath, AccessQuery};
+
+/// Cost model weights: one page transfer costs `IO_UNIT`, one record
+/// touched costs `CPU_UNIT`, one extension procedure call costs
+/// `CALL_UNIT`.
+pub const IO_UNIT: f64 = 1.0;
+pub const CPU_UNIT: f64 = 0.001;
+pub const CALL_UNIT: f64 = 0.0002;
+
+/// Estimated I/O and CPU cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Page transfers.
+    pub io: f64,
+    /// Records / keys processed.
+    pub cpu: f64,
+}
+
+impl Cost {
+    /// A cost of `io` page reads and `cpu` record touches.
+    pub fn new(io: f64, cpu: f64) -> Self {
+        Cost { io, cpu }
+    }
+
+    /// Weighted scalar total used for comparison.
+    pub fn total(&self) -> f64 {
+        self.io * IO_UNIT + self.cpu * CPU_UNIT
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: Cost) -> Cost {
+        Cost {
+            io: self.io + other.io,
+            cpu: self.cpu + other.cpu,
+        }
+    }
+
+    /// Scales both components (e.g. per-probe cost × probe count).
+    pub fn times(&self, k: f64) -> Cost {
+        Cost {
+            io: self.io * k,
+            cpu: self.cpu * k,
+        }
+    }
+}
+
+/// An extension's answer to the planner: how it would run an access and
+/// what that costs.
+#[derive(Debug, Clone)]
+pub struct PathChoice {
+    /// Which access path this is.
+    pub path: AccessPath,
+    /// The concrete query the access path would execute.
+    pub query: AccessQuery,
+    /// Estimated cost of producing the qualifying record keys / fields.
+    pub cost: Cost,
+    /// Estimated number of records the path emits.
+    pub rows_out: f64,
+    /// Base-table fields available directly from the path (a covering
+    /// path lets the executor skip the storage-method fetch).
+    pub covered: Option<Vec<FieldId>>,
+    /// Predicates the path *fully* applies (the executor need not
+    /// re-check them).
+    pub applied: Vec<Expr>,
+    /// Field ordering of the emitted stream, if any (lets the planner
+    /// skip sorts).
+    pub ordering: Option<Vec<FieldId>>,
+}
+
+impl PathChoice {
+    /// A full-scan baseline choice for a storage method.
+    pub fn full_scan(path: AccessPath, pages: u64, records: u64) -> PathChoice {
+        PathChoice {
+            path,
+            query: AccessQuery::All,
+            cost: Cost::new(pages as f64, records as f64),
+            rows_out: records as f64,
+            covered: None,
+            applied: Vec::new(),
+            ordering: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_arithmetic() {
+        let a = Cost::new(10.0, 1000.0);
+        let b = Cost::new(1.0, 1.0);
+        assert!(a.total() > b.total());
+        let s = a.plus(b);
+        assert_eq!(s.io, 11.0);
+        assert_eq!(s.cpu, 1001.0);
+        let t = b.times(3.0);
+        assert_eq!(t.io, 3.0);
+    }
+
+    #[test]
+    fn io_dominates_cpu_at_equal_counts() {
+        // One page read outweighs one record of CPU by construction.
+        assert!(Cost::new(1.0, 0.0).total() > Cost::new(0.0, 1.0).total());
+    }
+
+    #[test]
+    fn full_scan_baseline() {
+        let c = PathChoice::full_scan(AccessPath::StorageMethod, 100, 5000);
+        assert_eq!(c.cost.io, 100.0);
+        assert_eq!(c.rows_out, 5000.0);
+        assert!(matches!(c.query, AccessQuery::All));
+        assert!(c.applied.is_empty());
+    }
+}

@@ -1,0 +1,661 @@
+//! The database facade: wiring the extension architecture together.
+//!
+//! [`Database`] owns the common services, the procedure-vector registry,
+//! the catalog, transaction control (begin / commit / abort / savepoints)
+//! and the extended data definition operations (`CREATE … USING <ext>
+//! WITH (attr = value, …)`), including the deferred physical release of
+//! dropped objects and crash restart.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use dmx_lock::{LockManager, LockMode, LockName};
+use dmx_page::{BufferPool, DiskManager, MemDisk};
+use dmx_txn::{Transaction, TxnEvent, TxnManager, TxnState};
+use dmx_types::{
+    AttrList, DmxError, Lsn, Record, RecordKey, RelationId, Result, Schema, TxnId, Value,
+};
+use dmx_wal::{LogBody, LogManager, StableLog};
+
+use crate::access::{KeyRange, ScanManager};
+use crate::auth::AuthManager;
+use crate::catalog::{Catalog, CATALOG_FILE};
+use crate::context::ExecCtx;
+use crate::deps::{DepKey, DependencyRegistry};
+use crate::descriptor::AttachmentInstance;
+use crate::registry::ExtensionRegistry;
+use crate::services::CommonServices;
+use crate::undo::{
+    encode_catalog_intent, encode_drop_att_intent, encode_drop_sm_intent, UndoDispatch,
+};
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Buffer pool capacity in frames.
+    pub pool_frames: usize,
+    /// Lock-wait timeout (deadlocks are detected much sooner).
+    pub lock_timeout: Duration,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            pool_frames: 2048,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The crash-surviving environment: the simulated disk and the durable
+/// log. Keep clones of these, drop the [`Database`], and re-open to
+/// simulate a crash.
+#[derive(Clone)]
+pub struct DatabaseEnv {
+    pub disk: Arc<dyn DiskManager>,
+    pub stable_log: Arc<StableLog>,
+}
+
+impl DatabaseEnv {
+    /// A fresh in-memory environment.
+    pub fn fresh() -> Self {
+        DatabaseEnv {
+            disk: Arc::new(MemDisk::new()),
+            stable_log: StableLog::new(),
+        }
+    }
+}
+
+/// A user hook callable by trigger-style attachments
+/// (registered "at the factory", like all extension code).
+pub type HookFn =
+    Arc<dyn Fn(&ExecCtx<'_>, &HookArgs<'_>) -> Result<()> + Send + Sync>;
+
+/// Arguments handed to a user hook.
+pub struct HookArgs<'a> {
+    pub event: &'a str,
+    pub relation: RelationId,
+    pub key: &'a RecordKey,
+    pub old: Option<&'a Record>,
+    pub new: Option<&'a Record>,
+}
+
+/// The data manager.
+pub struct Database {
+    config: DatabaseConfig,
+    env: DatabaseEnv,
+    services: Arc<CommonServices>,
+    registry: Arc<ExtensionRegistry>,
+    catalog: Arc<Catalog>,
+    txns: TxnManager,
+    scans: Arc<ScanManager>,
+    deps: Arc<DependencyRegistry>,
+    auth: AuthManager,
+    hooks: RwLock<HashMap<String, HookFn>>,
+    ddl_txns: Mutex<HashSet<TxnId>>,
+    query_slot: OnceLock<Arc<dyn Any + Send + Sync>>,
+}
+
+impl Database {
+    /// Opens (or re-opens after a crash) a database over `env` with the
+    /// given extension registry. Runs restart recovery: completes
+    /// committed deferred intents and undoes loser transactions.
+    pub fn open(
+        env: DatabaseEnv,
+        config: DatabaseConfig,
+        registry: Arc<ExtensionRegistry>,
+    ) -> Result<Arc<Database>> {
+        let pool = BufferPool::new(env.disk.clone(), config.pool_frames);
+        let log = Arc::new(LogManager::open(env.stable_log.clone()));
+        let locks = Arc::new(LockManager::new(config.lock_timeout));
+        let services = CommonServices::new(env.disk.clone(), pool, log.clone(), locks);
+
+        // The catalog file must be the first file on a fresh disk.
+        if !env.disk.file_exists(CATALOG_FILE) {
+            let f = env.disk.create_file()?;
+            if f != CATALOG_FILE {
+                return Err(DmxError::Internal(format!(
+                    "catalog file allocated as {f}; disk not fresh?"
+                )));
+            }
+        }
+        let catalog = Catalog::new();
+        catalog.load(&env.disk)?;
+
+        // Non-recoverable (temporary) relations do not survive restart.
+        for rd in catalog.list() {
+            if let Ok(sm) = registry.storage(rd.sm) {
+                if !sm.is_recoverable() {
+                    let _ = catalog.remove(rd.id);
+                }
+            }
+        }
+
+        // Restart recovery (idempotent; trivial on a fresh environment).
+        let handler = UndoDispatch {
+            registry: registry.clone(),
+            catalog: catalog.clone(),
+            services: services.clone(),
+        };
+        let max_txn = env
+            .stable_log
+            .all()?
+            .iter()
+            .map(|r| r.txn.0)
+            .max()
+            .unwrap_or(0);
+        dmx_wal::restart(&log, &handler)?;
+        services.pool.flush_all()?;
+        catalog.persist(&env.disk)?;
+        log.force_all()?;
+
+        Ok(Arc::new(Database {
+            txns: TxnManager::new_starting_at(log, max_txn + 1),
+            config,
+            env,
+            services,
+            registry,
+            catalog,
+            scans: ScanManager::new(),
+            deps: Arc::new(DependencyRegistry::default()),
+            auth: AuthManager::new(),
+            hooks: RwLock::new(HashMap::new()),
+            ddl_txns: Mutex::new(HashSet::new()),
+            query_slot: OnceLock::new(),
+        }))
+    }
+
+    /// Opens a fresh in-memory database with the given registry.
+    pub fn open_fresh(registry: Arc<ExtensionRegistry>) -> Result<Arc<Database>> {
+        Database::open(DatabaseEnv::fresh(), DatabaseConfig::default(), registry)
+    }
+
+    // -- accessors ------------------------------------------------------
+
+    /// The common services environment.
+    pub fn services(&self) -> &Arc<CommonServices> {
+        &self.services
+    }
+
+    /// The procedure-vector registry.
+    pub fn registry(&self) -> &Arc<ExtensionRegistry> {
+        &self.registry
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Scan bookkeeping.
+    pub fn scans(&self) -> &Arc<ScanManager> {
+        &self.scans
+    }
+
+    /// Bound-plan dependency tracking.
+    pub fn deps(&self) -> &Arc<DependencyRegistry> {
+        &self.deps
+    }
+
+    /// The uniform authorization facility.
+    pub fn auth(&self) -> &AuthManager {
+        &self.auth
+    }
+
+    /// The crash-surviving environment (keep clones to simulate crashes).
+    pub fn env(&self) -> &DatabaseEnv {
+        &self.env
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// Lazily-initialized slot for the query layer's plan cache.
+    pub fn query_state<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let any = self
+            .query_slot
+            .get_or_init(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        any.clone()
+            .downcast::<T>()
+            .expect("query slot initialized with a different type")
+    }
+
+    /// Registers a user function for the predicate evaluator.
+    pub fn register_function(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.services.funcs.write().register(name, f);
+    }
+
+    /// Registers a named user hook for trigger attachments.
+    pub fn register_hook(&self, name: &str, f: HookFn) {
+        self.hooks.write().insert(name.to_ascii_lowercase(), f);
+    }
+
+    /// Resolves a user hook by name.
+    pub fn hook(&self, name: &str) -> Result<HookFn> {
+        self.hooks
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DmxError::NotFound(format!("hook {name}")))
+    }
+
+    fn undo_dispatch(&self) -> UndoDispatch {
+        UndoDispatch {
+            registry: self.registry.clone(),
+            catalog: self.catalog.clone(),
+            services: self.services.clone(),
+        }
+    }
+
+    // -- transaction control --------------------------------------------
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Arc<Transaction> {
+        self.txns.begin()
+    }
+
+    /// Number of active transactions.
+    pub fn active_txns(&self) -> usize {
+        self.txns.active_count()
+    }
+
+    /// Commits: runs deferred (before-prepare) constraint checks, flushes
+    /// data (force policy), writes and forces the commit record, performs
+    /// deferred physical actions, persists the catalog after DDL, and
+    /// releases locks and scans.
+    pub fn commit(&self, txn: &Arc<Transaction>) -> Result<()> {
+        txn.check_active()?;
+        // 1. Deferred integrity constraints may still veto the whole
+        //    transaction.
+        if let Err(e) = txn.run_deferred(TxnEvent::BeforePrepare) {
+            self.abort(txn)?;
+            return Err(e);
+        }
+        // 2. Force policy: all data pages to disk (WAL hook forces first).
+        //    Tree latches are held across the flush so no half-done
+        //    multi-page structural modification is captured.
+        {
+            let _latches = self.services.latches.lock_all();
+            self.services.pool.flush_all()?;
+        }
+        // 3. DDL durability: log the catalog image as a deferred intent
+        //    so restart can redo it if we crash after the commit point.
+        let did_ddl = self.ddl_txns.lock().remove(&txn.id());
+        let catalog_intent = if did_ddl {
+            let image = self.catalog.serialize();
+            let lsn = txn.log(LogBody::DeferredIntent {
+                payload: encode_catalog_intent(&image),
+            });
+            Some((lsn, image))
+        } else {
+            None
+        };
+        // 4. The commit point.
+        txn.commit_point()?;
+        txn.finish(TxnState::Committed);
+        // 5. Deferred physical actions (dropped storage release, …).
+        let deferred_result = txn.run_deferred(TxnEvent::AtCommit);
+        // 6. Catalog persistence + completion record.
+        if let Some((lsn, image)) = catalog_intent {
+            Catalog::write_image(&self.env.disk, &image)?;
+            self.services.log.append(
+                txn.id(),
+                Lsn::NULL,
+                LogBody::DeferredDone { intent_lsn: lsn },
+            );
+        }
+        self.services.log.force_all()?;
+        // 7. End-of-transaction: scans closed, locks released.
+        self.end_txn(txn);
+        deferred_result
+    }
+
+    /// Aborts: log-driven full rollback, then cleanup. Idempotent for
+    /// already-aborted transactions.
+    pub fn abort(&self, txn: &Arc<Transaction>) -> Result<()> {
+        match txn.state() {
+            TxnState::Aborted => return Ok(()),
+            TxnState::Committed => {
+                return Err(DmxError::TxnState("cannot abort a committed transaction".into()))
+            }
+            TxnState::Active => {}
+        }
+        let handler = self.undo_dispatch();
+        let new_last = dmx_wal::rollback_to(
+            &self.services.log,
+            &handler,
+            txn.id(),
+            txn.last_lsn(),
+            Lsn::NULL,
+        )?;
+        txn.set_last_lsn(new_last);
+        txn.abort_point();
+        txn.finish(TxnState::Aborted);
+        // Undo DDL bookkeeping (restore dropped descriptors, remove
+        // created ones, release created storage).
+        let _ = txn.run_deferred(TxnEvent::AtAbort);
+        self.ddl_txns.lock().remove(&txn.id());
+        self.end_txn(txn);
+        Ok(())
+    }
+
+    fn end_txn(&self, txn: &Arc<Transaction>) {
+        // "All key-sequential accesses must be terminated at transaction
+        // termination."
+        self.scans.close_all(txn.id());
+        let _ = txn.run_deferred(TxnEvent::AtEnd);
+        self.services.locks.unlock_all(txn.id());
+        self.txns.deregister(txn.id());
+    }
+
+    /// Runs `f` in a fresh transaction, committing on success and
+    /// aborting on error.
+    pub fn with_txn<T>(
+        self: &Arc<Self>,
+        f: impl FnOnce(&Arc<Transaction>) -> Result<T>,
+    ) -> Result<T> {
+        let txn = self.begin();
+        match f(&txn) {
+            Ok(v) => {
+                self.commit(&txn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.abort(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    // -- savepoints -------------------------------------------------------
+
+    /// Establishes a named rollback point, saving open scan positions
+    /// ("the storage methods and attachments are driven by the system to
+    /// obtain their key-sequential access positions").
+    pub fn savepoint(&self, txn: &Arc<Transaction>, name: &str) -> Result<()> {
+        txn.check_active()?;
+        let positions = self.scans.save_positions(txn.id());
+        txn.savepoint(name, Some(Box::new(positions)));
+        Ok(())
+    }
+
+    /// Partial rollback to a named savepoint: log-driven undo back to the
+    /// rollback point, then scan-position restore.
+    pub fn rollback_to_savepoint(&self, txn: &Arc<Transaction>, name: &str) -> Result<()> {
+        txn.check_active()?;
+        let sp = txn.pop_savepoint(name)?;
+        let handler = self.undo_dispatch();
+        let new_last = dmx_wal::rollback_to(
+            &self.services.log,
+            &handler,
+            txn.id(),
+            txn.last_lsn(),
+            sp.lsn,
+        )?;
+        txn.set_last_lsn(new_last);
+        if let Some(payload) = sp.payload {
+            let positions = payload
+                .downcast::<Vec<(dmx_types::ScanId, Vec<u8>)>>()
+                .map_err(|_| DmxError::Internal("savepoint payload type".into()))?;
+            self.scans.restore_positions(txn.id(), &positions)?;
+        }
+        Ok(())
+    }
+
+    /// Cancels a rollback point without rolling back (the retained scan
+    /// positions are discarded).
+    pub fn release_savepoint(&self, txn: &Arc<Transaction>, name: &str) -> Result<()> {
+        txn.pop_savepoint(name).map(|_| ())
+    }
+
+    // -- data definition ---------------------------------------------------
+
+    fn mark_ddl(&self, txn: &Arc<Transaction>) {
+        self.ddl_txns.lock().insert(txn.id());
+    }
+
+    /// Creates a relation using the named storage method with an
+    /// extension-specific attribute/value list.
+    pub fn create_relation(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        name: &str,
+        schema: Schema,
+        sm_name: &str,
+        params: &AttrList,
+    ) -> Result<RelationId> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Catalog, LockMode::X)?;
+        if self.catalog.get_by_name(name).is_ok() {
+            return Err(DmxError::Duplicate(format!("relation {name}")));
+        }
+        let sm_id = self.registry.storage_id_by_name(sm_name)?;
+        let sm = self.registry.storage(sm_id)?;
+        sm.validate_params(params, &schema)?;
+        let rel = self.catalog.next_relation_id();
+        let sm_desc = sm.create_instance(&ctx, rel, &schema, params)?;
+        let rd = crate::descriptor::RelationDescriptor::new(rel, name, schema, sm_id, sm_desc.clone());
+        self.catalog.insert(rd)?;
+        self.mark_ddl(txn);
+        // On abort: un-create (the relation never becomes durable).
+        let (catalog, services) = (self.catalog.clone(), self.services.clone());
+        txn.defer(
+            TxnEvent::AtAbort,
+            Box::new(move || {
+                let _ = catalog.remove(rel);
+                match sm.destroy_instance(&services, &sm_desc) {
+                    Err(DmxError::NotFound(_)) | Ok(()) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            }),
+        );
+        Ok(rel)
+    }
+
+    /// Creates an attachment instance on a relation, backfilling it from
+    /// the relation's existing records.
+    pub fn create_attachment(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel_name: &str,
+        type_name: &str,
+        att_name: &str,
+        params: &AttrList,
+    ) -> Result<()> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Catalog, LockMode::X)?;
+        let old_rd = self.catalog.get_by_name(rel_name)?;
+        ctx.lock(LockName::Relation(old_rd.id), LockMode::X)?;
+        let att_id = self.registry.attachment_id_by_name(type_name)?;
+        let att = self.registry.attachment(att_id)?;
+        att.validate_params(params, &old_rd.schema)?;
+
+        let start_lsn = txn.last_lsn();
+        let inst_desc = att.create_instance(&ctx, &old_rd, att_name, params)?;
+        let (new_rd, inst) = old_rd.with_attachment(att_id, att_name, inst_desc.clone())?;
+        let new_rd = self.catalog.replace(new_rd)?;
+
+        // Backfill: drive the new instance's on_insert for every existing
+        // record; any veto (e.g. a unique violation, a failed constraint)
+        // aborts the DDL statement with a partial rollback.
+        let backfill = (|| -> Result<()> {
+            let sm = self.registry.storage(new_rd.sm)?;
+            let slice = [AttachmentInstance {
+                instance: inst,
+                name: att_name.to_string(),
+                desc: inst_desc.clone(),
+            }];
+            let mut scan = sm.open_scan(&ctx, &new_rd, KeyRange::all(), None, None)?;
+            while let Some(item) = scan.next(&ctx)? {
+                let values = item.values.ok_or_else(|| {
+                    DmxError::Internal("storage scan returned no fields".into())
+                })?;
+                att.on_insert(&ctx, &new_rd, &slice, &item.key, &Record::new(values))?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = backfill {
+            // Undo logged backfill work, restore the descriptor, release
+            // the instance's storage.
+            let handler = self.undo_dispatch();
+            let new_last = dmx_wal::rollback_to(
+                &self.services.log,
+                &handler,
+                txn.id(),
+                txn.last_lsn(),
+                start_lsn,
+            )?;
+            txn.set_last_lsn(new_last);
+            self.catalog.replace((*old_rd).clone())?;
+            let _ = att.destroy_instance(&self.services, &inst_desc);
+            return Err(e);
+        }
+
+        self.deps.invalidate(DepKey::Relation(old_rd.id));
+        self.mark_ddl(txn);
+        let (catalog, services, rel) = (self.catalog.clone(), self.services.clone(), old_rd.id);
+        let old_snapshot = (*old_rd).clone();
+        txn.defer(
+            TxnEvent::AtAbort,
+            Box::new(move || {
+                let _ = catalog.replace(old_snapshot);
+                let _ = rel;
+                match att.destroy_instance(&services, &inst_desc) {
+                    Err(DmxError::NotFound(_)) | Ok(()) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            }),
+        );
+        Ok(())
+    }
+
+    /// Drops a relation: removed from the catalog immediately, physical
+    /// storage released *deferred* at commit ("the actual release of the
+    /// relation or access path state is deferred until the transaction
+    /// commits" so the drop stays undoable without logging the whole
+    /// relation).
+    pub fn drop_relation(self: &Arc<Self>, txn: &Arc<Transaction>, name: &str) -> Result<()> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Catalog, LockMode::X)?;
+        let rd = self.catalog.get_by_name(name)?;
+        ctx.lock(LockName::Relation(rd.id), LockMode::X)?;
+        self.catalog.remove(rd.id)?;
+        self.auth.purge_relation(rd.id);
+        self.deps.invalidate(DepKey::Relation(rd.id));
+        for (att_id, insts) in rd.attached_types() {
+            for inst in insts {
+                self.deps
+                    .invalidate(DepKey::Attachment(rd.id, att_id, inst.instance));
+            }
+        }
+        // Log intents so a post-commit crash still completes the release.
+        let sm_intent = txn.log(LogBody::DeferredIntent {
+            payload: encode_drop_sm_intent(rd.sm, &rd.sm_desc),
+        });
+        let mut att_intents = Vec::new();
+        for (att_id, insts) in rd.attached_types() {
+            for inst in insts {
+                let lsn = txn.log(LogBody::DeferredIntent {
+                    payload: encode_drop_att_intent(att_id, &inst.desc),
+                });
+                att_intents.push((att_id, inst.desc.clone(), lsn));
+            }
+        }
+        self.mark_ddl(txn);
+        // At commit: physically destroy + mark intents done.
+        let (registry, services, log) =
+            (self.registry.clone(), self.services.clone(), self.services.log.clone());
+        let (rd_commit, txn_id) = (rd.clone(), txn.id());
+        txn.defer(
+            TxnEvent::AtCommit,
+            Box::new(move || {
+                let sm = registry.storage(rd_commit.sm)?;
+                match sm.destroy_instance(&services, &rd_commit.sm_desc) {
+                    Err(DmxError::NotFound(_)) | Ok(()) => {}
+                    Err(e) => return Err(e),
+                }
+                log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: sm_intent });
+                for (att_id, desc, lsn) in &att_intents {
+                    let att = registry.attachment(*att_id)?;
+                    match att.destroy_instance(&services, desc) {
+                        Err(DmxError::NotFound(_)) | Ok(()) => {}
+                        Err(e) => return Err(e),
+                    }
+                    log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: *lsn });
+                }
+                Ok(())
+            }),
+        );
+        // On abort: the relation reappears.
+        let catalog = self.catalog.clone();
+        let rd_abort = (*rd).clone();
+        txn.defer(
+            TxnEvent::AtAbort,
+            Box::new(move || catalog.insert(rd_abort).map(|_| ())),
+        );
+        Ok(())
+    }
+
+    /// Drops one attachment instance by name (deferred physical release,
+    /// like [`Database::drop_relation`]).
+    pub fn drop_attachment(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel_name: &str,
+        att_name: &str,
+    ) -> Result<()> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Catalog, LockMode::X)?;
+        let old_rd = self.catalog.get_by_name(rel_name)?;
+        ctx.lock(LockName::Relation(old_rd.id), LockMode::X)?;
+        let (new_rd, att_id, removed) = old_rd.without_attachment(att_name)?;
+        self.catalog.replace(new_rd)?;
+        self.deps
+            .invalidate(DepKey::Attachment(old_rd.id, att_id, removed.instance));
+        self.deps.invalidate(DepKey::Relation(old_rd.id));
+        let intent = txn.log(LogBody::DeferredIntent {
+            payload: encode_drop_att_intent(att_id, &removed.desc),
+        });
+        self.mark_ddl(txn);
+        let (registry, services, log) =
+            (self.registry.clone(), self.services.clone(), self.services.log.clone());
+        let (desc, txn_id) = (removed.desc.clone(), txn.id());
+        txn.defer(
+            TxnEvent::AtCommit,
+            Box::new(move || {
+                let att = registry.attachment(att_id)?;
+                match att.destroy_instance(&services, &desc) {
+                    Err(DmxError::NotFound(_)) | Ok(()) => {}
+                    Err(e) => return Err(e),
+                }
+                log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: intent });
+                Ok(())
+            }),
+        );
+        let catalog = self.catalog.clone();
+        let old_snapshot = (*old_rd).clone();
+        txn.defer(
+            TxnEvent::AtAbort,
+            Box::new(move || catalog.replace(old_snapshot).map(|_| ())),
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,145 @@
+//! Bound-plan dependency tracking and invalidation.
+//!
+//! "A uniform mechanism for recording the dependencies of execution plans
+//! on the relations they use allows the system to invalidate any plans
+//! which depend upon relations or access paths that have been deleted
+//! from the system. Invalidated execution plans are automatically
+//! re-translated, by the common system, the next time the query is
+//! invoked." The query layer registers each compiled plan's dependencies
+//! here; DDL paths call [`DependencyRegistry::invalidate`].
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use dmx_types::{AttInstanceId, AttTypeId, RelationId};
+
+/// Identifies a registered bound plan.
+pub type PlanId = u64;
+
+/// Something a plan can depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKey {
+    /// The relation itself (any DDL on it invalidates).
+    Relation(RelationId),
+    /// A specific access-path attachment instance.
+    Attachment(RelationId, AttTypeId, AttInstanceId),
+}
+
+#[derive(Default)]
+struct DepState {
+    next: PlanId,
+    by_plan: HashMap<PlanId, Vec<DepKey>>,
+    by_dep: HashMap<DepKey, HashSet<PlanId>>,
+    invalid: HashSet<PlanId>,
+}
+
+/// The dependency registry (one per database).
+#[derive(Default)]
+pub struct DependencyRegistry {
+    state: Mutex<DepState>,
+}
+
+impl DependencyRegistry {
+    /// Registers a plan with its dependencies, returning its id.
+    pub fn register_plan(&self, deps: Vec<DepKey>) -> PlanId {
+        let mut st = self.state.lock();
+        st.next += 1;
+        let id = st.next;
+        for d in &deps {
+            st.by_dep.entry(*d).or_default().insert(id);
+        }
+        st.by_plan.insert(id, deps);
+        id
+    }
+
+    /// True while every dependency of the plan still exists.
+    pub fn is_valid(&self, plan: PlanId) -> bool {
+        let st = self.state.lock();
+        st.by_plan.contains_key(&plan) && !st.invalid.contains(&plan)
+    }
+
+    /// Marks every plan depending on `key` invalid, returning them.
+    pub fn invalidate(&self, key: DepKey) -> Vec<PlanId> {
+        let mut st = self.state.lock();
+        let hit: Vec<PlanId> = st
+            .by_dep
+            .get(&key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        st.invalid.extend(hit.iter().copied());
+        hit
+    }
+
+    /// Unregisters a plan (e.g. when the query layer evicts or replaces
+    /// it after re-translation).
+    pub fn forget_plan(&self, plan: PlanId) {
+        let mut st = self.state.lock();
+        if let Some(deps) = st.by_plan.remove(&plan) {
+            for d in deps {
+                if let Some(set) = st.by_dep.get_mut(&d) {
+                    set.remove(&plan);
+                    if set.is_empty() {
+                        st.by_dep.remove(&d);
+                    }
+                }
+            }
+        }
+        st.invalid.remove(&plan);
+    }
+
+    /// Number of registered plans.
+    pub fn plan_count(&self) -> usize {
+        self.state.lock().by_plan.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_invalidate_retranslate_cycle() {
+        let reg = DependencyRegistry::default();
+        let rel = RelationId(1);
+        let idx = DepKey::Attachment(rel, AttTypeId(2), AttInstanceId(1));
+        let p1 = reg.register_plan(vec![DepKey::Relation(rel), idx]);
+        let p2 = reg.register_plan(vec![DepKey::Relation(rel)]);
+        assert!(reg.is_valid(p1));
+        assert!(reg.is_valid(p2));
+
+        // dropping the index invalidates only the plan that used it
+        let hit = reg.invalidate(idx);
+        assert_eq!(hit, vec![p1]);
+        assert!(!reg.is_valid(p1));
+        assert!(reg.is_valid(p2));
+
+        // "re-translation": forget the stale plan, register its successor
+        reg.forget_plan(p1);
+        let p3 = reg.register_plan(vec![DepKey::Relation(rel)]);
+        assert!(reg.is_valid(p3));
+
+        // dropping the relation takes out everything left
+        let mut hit = reg.invalidate(DepKey::Relation(rel));
+        hit.sort_unstable();
+        assert_eq!(hit, vec![p2, p3]);
+    }
+
+    #[test]
+    fn unknown_plans_and_keys() {
+        let reg = DependencyRegistry::default();
+        assert!(!reg.is_valid(42));
+        assert!(reg.invalidate(DepKey::Relation(RelationId(9))).is_empty());
+        reg.forget_plan(42); // harmless
+        assert_eq!(reg.plan_count(), 0);
+    }
+
+    #[test]
+    fn forget_cleans_reverse_edges() {
+        let reg = DependencyRegistry::default();
+        let key = DepKey::Relation(RelationId(1));
+        let p = reg.register_plan(vec![key]);
+        reg.forget_plan(p);
+        assert!(reg.invalidate(key).is_empty(), "no dangling reverse edge");
+    }
+}

@@ -1,0 +1,439 @@
+//! The extensible relation descriptor.
+//!
+//! "The relation descriptor is composed of a relation storage method
+//! descriptor and descriptors for any attachments defined on the relation
+//! instance. The structure of the relation descriptor is a record whose
+//! header contains the storage method identifier and whose first field
+//! contains the storage method descriptor. Each attachment has an
+//! assigned identifier, and the descriptor for the attachment with
+//! identifier N is found in field N of the relation descriptor. If there
+//! are no instances of attachment type N defined on a particular
+//! relation, then field N of that relation's descriptor will be NULL."
+//!
+//! Each extension supplies and interprets the *contents* of its own
+//! descriptor bytes; the common system manages the composite record,
+//! fetches it at query compilation time and embeds it in the plan so no
+//! catalog access happens at run time (`Arc<RelationDescriptor>` is that
+//! embedded copy). Descriptors are immutable; DDL produces a new version.
+
+use std::sync::Arc;
+
+use dmx_types::{
+    AttInstanceId, AttTypeId, DmxError, RelationId, Result, Schema, SmTypeId,
+};
+
+use crate::registry::MAX_ATTACHMENT_TYPES;
+use crate::stats::RelationStats;
+
+/// One attachment instance on a relation: its instance number, user
+/// name, and the attachment-interpreted descriptor bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttachmentInstance {
+    pub instance: AttInstanceId,
+    pub name: String,
+    pub desc: Vec<u8>,
+}
+
+/// The composite relation descriptor.
+#[derive(Debug, Clone)]
+pub struct RelationDescriptor {
+    pub id: RelationId,
+    pub name: String,
+    pub schema: Schema,
+    /// Storage method identifier (the descriptor record's "header").
+    pub sm: SmTypeId,
+    /// Field 0: the storage-method descriptor.
+    pub sm_desc: Vec<u8>,
+    /// Field N: instances of attachment type N; `None` = NULL field.
+    attachments: Vec<Option<Vec<AttachmentInstance>>>,
+    /// Shared statistics (live counters; cached plans stay fresh).
+    pub stats: Arc<RelationStats>,
+    /// Bumped by every DDL change; plan invalidation key.
+    pub version: u64,
+    /// Next instance number per attachment type.
+    next_instance: Vec<u16>,
+}
+
+impl RelationDescriptor {
+    /// A new descriptor with no attachments.
+    pub fn new(
+        id: RelationId,
+        name: impl Into<String>,
+        schema: Schema,
+        sm: SmTypeId,
+        sm_desc: Vec<u8>,
+    ) -> Self {
+        RelationDescriptor {
+            id,
+            name: name.into(),
+            schema,
+            sm,
+            sm_desc,
+            attachments: vec![None; MAX_ATTACHMENT_TYPES],
+            stats: Arc::new(RelationStats::default()),
+            version: 1,
+            next_instance: vec![1; MAX_ATTACHMENT_TYPES],
+        }
+    }
+
+    /// Instances of attachment type `att`, if any (field N lookup).
+    pub fn attachment_instances(&self, att: AttTypeId) -> Option<&[AttachmentInstance]> {
+        self.attachments
+            .get(att.0 as usize)
+            .and_then(|o| o.as_deref())
+    }
+
+    /// Attachment types that have at least one instance, in id order —
+    /// the dispatcher's iteration set ("each attachment type is invoked
+    /// at most once per relation modification and must service all
+    /// instances of its type").
+    pub fn attached_types(&self) -> impl Iterator<Item = (AttTypeId, &[AttachmentInstance])> {
+        self.attachments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_deref().map(|v| (AttTypeId(i as u8), v)))
+    }
+
+    /// Total number of attachment instances across all types.
+    pub fn attachment_count(&self) -> usize {
+        self.attachments
+            .iter()
+            .flatten()
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// Finds an attachment instance by user name.
+    pub fn find_attachment(&self, name: &str) -> Option<(AttTypeId, &AttachmentInstance)> {
+        self.attached_types().find_map(|(t, insts)| {
+            insts
+                .iter()
+                .find(|i| i.name.eq_ignore_ascii_case(name))
+                .map(|i| (t, i))
+        })
+    }
+
+    /// Adds an attachment instance (new descriptor version). Returns the
+    /// assigned instance id.
+    pub fn with_attachment(
+        &self,
+        att: AttTypeId,
+        name: impl Into<String>,
+        desc: Vec<u8>,
+    ) -> Result<(RelationDescriptor, AttInstanceId)> {
+        let idx = att.0 as usize;
+        if idx == 0 || idx >= MAX_ATTACHMENT_TYPES {
+            return Err(DmxError::InvalidArg(format!("attachment type {att} out of range")));
+        }
+        let name = name.into();
+        if self.find_attachment(&name).is_some() {
+            return Err(DmxError::Duplicate(format!("attachment {name}")));
+        }
+        let mut new = self.clone();
+        let inst = AttInstanceId(new.next_instance[idx]);
+        new.next_instance[idx] += 1;
+        new.attachments[idx]
+            .get_or_insert_with(Vec::new)
+            .push(AttachmentInstance {
+                instance: inst,
+                name,
+                desc,
+            });
+        new.version += 1;
+        Ok((new, inst))
+    }
+
+    /// Removes an attachment instance by name, returning the new
+    /// descriptor and the removed instance.
+    pub fn without_attachment(
+        &self,
+        name: &str,
+    ) -> Result<(RelationDescriptor, AttTypeId, AttachmentInstance)> {
+        let (att, _) = self
+            .find_attachment(name)
+            .ok_or_else(|| DmxError::NotFound(format!("attachment {name}")))?;
+        let mut new = self.clone();
+        let slot = &mut new.attachments[att.0 as usize];
+        let list = slot.as_mut().expect("found above");
+        let pos = list
+            .iter()
+            .position(|i| i.name.eq_ignore_ascii_case(name))
+            .expect("found above");
+        let removed = list.remove(pos);
+        if list.is_empty() {
+            *slot = None; // field N returns to NULL
+        }
+        new.version += 1;
+        Ok((new, att, removed))
+    }
+
+    /// Replaces the descriptor bytes of one attachment instance (an
+    /// attachment updating its own meta-data, e.g. a new root page).
+    pub fn with_updated_attachment_desc(
+        &self,
+        att: AttTypeId,
+        inst: AttInstanceId,
+        desc: Vec<u8>,
+    ) -> Result<RelationDescriptor> {
+        let mut new = self.clone();
+        let list = new.attachments[att.0 as usize]
+            .as_mut()
+            .ok_or_else(|| DmxError::NotFound(format!("attachment type {att}")))?;
+        let entry = list
+            .iter_mut()
+            .find(|i| i.instance == inst)
+            .ok_or_else(|| DmxError::NotFound(format!("attachment {att}{inst}")))?;
+        entry.desc = desc;
+        new.version += 1;
+        Ok(new)
+    }
+
+    /// Serializes for catalog persistence.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.0.to_le_bytes());
+        put_str(&mut out, &self.name);
+        put_bytes(&mut out, &self.schema.encode());
+        out.push(self.sm.0);
+        put_bytes(&mut out, &self.sm_desc);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        let (records, pages, bytes) = self.stats.snapshot();
+        for v in [records, pages, bytes] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        // attachment fields: count of non-null fields, then per field:
+        // type id, next_instance, instance list
+        let non_null: Vec<usize> = (0..MAX_ATTACHMENT_TYPES)
+            .filter(|&i| self.attachments[i].is_some())
+            .collect();
+        out.push(non_null.len() as u8);
+        for i in non_null {
+            out.push(i as u8);
+            out.extend_from_slice(&self.next_instance[i].to_le_bytes());
+            let list = self.attachments[i].as_ref().unwrap();
+            out.extend_from_slice(&(list.len() as u16).to_le_bytes());
+            for inst in list {
+                out.extend_from_slice(&inst.instance.0.to_le_bytes());
+                put_str(&mut out, &inst.name);
+                put_bytes(&mut out, &inst.desc);
+            }
+        }
+        // next_instance for types without instances (so ids never repeat)
+        for i in 0..MAX_ATTACHMENT_TYPES {
+            out.extend_from_slice(&self.next_instance[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes an [`RelationDescriptor::encode`] payload.
+    pub fn decode(buf: &[u8]) -> Result<RelationDescriptor> {
+        let mut pos = 0usize;
+        let id = RelationId(get_u32(buf, &mut pos)?);
+        let name = get_str(buf, &mut pos)?;
+        let schema = Schema::decode(&get_bytes(buf, &mut pos)?)?;
+        let sm = SmTypeId(get_u8(buf, &mut pos)?);
+        let sm_desc = get_bytes(buf, &mut pos)?;
+        let version = get_u64(buf, &mut pos)?;
+        let records = get_u64(buf, &mut pos)?;
+        let pages = get_u64(buf, &mut pos)?;
+        let bytes = get_u64(buf, &mut pos)?;
+        let mut attachments: Vec<Option<Vec<AttachmentInstance>>> =
+            vec![None; MAX_ATTACHMENT_TYPES];
+        let n_fields = get_u8(buf, &mut pos)? as usize;
+        let mut next_instance = vec![1u16; MAX_ATTACHMENT_TYPES];
+        for _ in 0..n_fields {
+            let ty = get_u8(buf, &mut pos)? as usize;
+            if ty >= MAX_ATTACHMENT_TYPES {
+                return Err(DmxError::Corrupt(format!("attachment type {ty} out of range")));
+            }
+            next_instance[ty] = get_u16(buf, &mut pos)?;
+            let n = get_u16(buf, &mut pos)? as usize;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                let instance = AttInstanceId(get_u16(buf, &mut pos)?);
+                let name = get_str(buf, &mut pos)?;
+                let desc = get_bytes(buf, &mut pos)?;
+                list.push(AttachmentInstance {
+                    instance,
+                    name,
+                    desc,
+                });
+            }
+            attachments[ty] = Some(list);
+        }
+        for slot in next_instance.iter_mut().take(MAX_ATTACHMENT_TYPES) {
+            let v = get_u16(buf, &mut pos)?;
+            *slot = (*slot).max(v);
+        }
+        let stats = Arc::new(RelationStats::default());
+        stats.reset(records, pages, bytes);
+        Ok(RelationDescriptor {
+            id,
+            name,
+            schema,
+            sm,
+            sm_desc,
+            attachments,
+            stats,
+            version,
+            next_instance,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn corrupt() -> DmxError {
+    DmxError::Corrupt("truncated relation descriptor".into())
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let v = *buf.get(*pos).ok_or_else(corrupt)?;
+    *pos += 1;
+    Ok(v)
+}
+
+fn get_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
+    let s = buf.get(*pos..*pos + 2).ok_or_else(corrupt)?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let s = buf.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let s = buf.get(*pos..*pos + 8).ok_or_else(corrupt)?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let len = get_u32(buf, pos)? as usize;
+    let s = buf.get(*pos..*pos + len).ok_or_else(corrupt)?;
+    *pos += len;
+    Ok(s.to_vec())
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    String::from_utf8(get_bytes(buf, pos)?)
+        .map_err(|_| DmxError::Corrupt("descriptor string not utf8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_types::{ColumnDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("name", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn rd() -> RelationDescriptor {
+        RelationDescriptor::new(RelationId(7), "emp", schema(), SmTypeId(2), vec![1, 2, 3])
+    }
+
+    #[test]
+    fn attachment_field_semantics() {
+        let d = rd();
+        assert_eq!(d.attachment_instances(AttTypeId(3)), None, "field NULL");
+        let (d, i1) = d.with_attachment(AttTypeId(3), "idx_a", vec![9]).unwrap();
+        let (d, i2) = d.with_attachment(AttTypeId(3), "idx_b", vec![8]).unwrap();
+        let (d, _i3) = d.with_attachment(AttTypeId(5), "chk", vec![7]).unwrap();
+        assert_ne!(i1, i2);
+        assert_eq!(d.attachment_instances(AttTypeId(3)).unwrap().len(), 2);
+        assert_eq!(d.attachment_count(), 3);
+        // attached_types iterates in id order, skipping NULL fields
+        let types: Vec<AttTypeId> = d.attached_types().map(|(t, _)| t).collect();
+        assert_eq!(types, vec![AttTypeId(3), AttTypeId(5)]);
+        // version bumped thrice
+        assert_eq!(d.version, 4);
+    }
+
+    #[test]
+    fn duplicate_and_missing_names() {
+        let d = rd();
+        let (d, _) = d.with_attachment(AttTypeId(3), "idx", vec![]).unwrap();
+        assert!(d.with_attachment(AttTypeId(4), "IDX", vec![]).is_err(), "names global per relation");
+        assert!(d.without_attachment("nope").is_err());
+        assert!(d.find_attachment("idx").is_some());
+    }
+
+    #[test]
+    fn remove_returns_field_to_null_but_instance_ids_advance() {
+        let d = rd();
+        let (d, first) = d.with_attachment(AttTypeId(3), "idx", vec![]).unwrap();
+        let (d, att, inst) = d.without_attachment("idx").unwrap();
+        assert_eq!(att, AttTypeId(3));
+        assert_eq!(inst.instance, first);
+        assert_eq!(d.attachment_instances(AttTypeId(3)), None);
+        // a re-created attachment gets a fresh instance number
+        let (_, second) = d.with_attachment(AttTypeId(3), "idx", vec![]).unwrap();
+        assert!(second > first);
+    }
+
+    #[test]
+    fn type_id_bounds_enforced() {
+        let d = rd();
+        assert!(d.with_attachment(AttTypeId(0), "x", vec![]).is_err(), "field 0 is the SM");
+        assert!(d
+            .with_attachment(AttTypeId(MAX_ATTACHMENT_TYPES as u8), "x", vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn update_attachment_desc() {
+        let d = rd();
+        let (d, inst) = d.with_attachment(AttTypeId(3), "idx", vec![1]).unwrap();
+        let d2 = d
+            .with_updated_attachment_desc(AttTypeId(3), inst, vec![4, 5])
+            .unwrap();
+        assert_eq!(d2.attachment_instances(AttTypeId(3)).unwrap()[0].desc, vec![4, 5]);
+        assert_eq!(d2.version, d.version + 1);
+        assert!(d
+            .with_updated_attachment_desc(AttTypeId(3), AttInstanceId(99), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = rd();
+        let (d, _) = d.with_attachment(AttTypeId(3), "idx_a", vec![9, 9]).unwrap();
+        let (d, _) = d.with_attachment(AttTypeId(5), "chk", vec![]).unwrap();
+        d.stats.on_insert(120);
+        d.stats.on_page_allocated();
+        let back = RelationDescriptor::decode(&d.encode()).unwrap();
+        assert_eq!(back.id, d.id);
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.schema, d.schema);
+        assert_eq!(back.sm, d.sm);
+        assert_eq!(back.sm_desc, d.sm_desc);
+        assert_eq!(back.version, d.version);
+        assert_eq!(back.attachment_count(), 2);
+        assert_eq!(
+            back.attachment_instances(AttTypeId(3)).unwrap()[0].desc,
+            vec![9, 9]
+        );
+        assert_eq!(back.stats.records(), 1);
+        assert_eq!(back.stats.snapshot(), d.stats.snapshot());
+        // truncation never panics
+        let bytes = d.encode();
+        for cut in 0..bytes.len() {
+            assert!(RelationDescriptor::decode(&bytes[..cut]).is_err());
+        }
+    }
+}

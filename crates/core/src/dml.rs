@@ -1,0 +1,296 @@
+//! The relation modification dispatcher and unified data access.
+//!
+//! "The execution of relation modification operations proceeds in two
+//! steps. The first step, using the storage method identifier from the
+//! relation descriptor, calls the appropriate storage method modification
+//! routine via the storage method operation vectors. After completing the
+//! storage method operation, the extensions attached to the relation are
+//! invoked via the attached procedures vectors. … The storage method
+//! operation or the procedurally-attached extensions can abort the entire
+//! relation modification operation. Common system facilities will be used
+//! to undo the effects of completed storage method and attachment
+//! modifications if the relation modification operation is aborted."
+
+use std::sync::Arc;
+
+use dmx_expr::Expr;
+use dmx_lock::{LockMode, LockName};
+use dmx_txn::Transaction;
+use dmx_types::{
+    DmxError, FieldId, Record, RecordKey, RelationId, Result, ScanId, Value,
+};
+
+use crate::access::{AccessPath, AccessQuery, KeyRange, ScanItem, ScanOps};
+use crate::context::ExecCtx;
+use crate::database::Database;
+use crate::descriptor::RelationDescriptor;
+
+/// Wraps a scan so every item's record is S-locked as it is returned
+/// (record-level locking maintains scan-position integrity, per the
+/// paper: "the access procedures use locking to maintain the integrity
+/// of the scan position").
+///
+/// Scans position optimistically (the inner scan decodes records in the
+/// buffer pool before any lock is granted), but every returned item is
+/// **re-read under its S lock**: a writer's entire X-hold can fit between
+/// the optimistic read and the lock grant, so "granted without waiting"
+/// does not imply the read was current. Storage-method scans re-fetch the
+/// record (re-applying predicate and projection); access-path scans
+/// re-check record existence (their per-entry values — index keys, join
+/// pairs — are immutable once present).
+struct LockingScan {
+    inner: Box<dyn ScanOps>,
+    rd: Arc<RelationDescriptor>,
+    /// True when the inner scan is a storage-method scan ("path zero").
+    sm_path: bool,
+    pred: Option<Expr>,
+    fields: Option<Vec<FieldId>>,
+}
+
+impl ScanOps for LockingScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        loop {
+            let Some(item) = self.inner.next(ctx)? else {
+                return Ok(None);
+            };
+            if !self.inner.items_are_record_keys() {
+                // derived items (e.g. aggregate groups): covered by the
+                // relation-level lock, nothing to re-read
+                return Ok(Some(item));
+            }
+            ctx.lock_record(self.rd.id, &item.key, LockMode::S)?;
+            // Re-read under the lock.
+            let sm = ctx.db.registry().storage(self.rd.sm)?;
+            if self.sm_path {
+                match sm.fetch(
+                    ctx,
+                    &self.rd,
+                    &item.key,
+                    self.fields.as_deref(),
+                    self.pred.as_ref(),
+                )? {
+                    Some(values) => {
+                        return Ok(Some(ScanItem {
+                            key: item.key,
+                            values: Some(values),
+                        }))
+                    }
+                    None => continue, // vanished or no longer qualifies
+                }
+            } else {
+                // existence check only (empty projection, no predicate)
+                match sm.fetch(ctx, &self.rd, &item.key, Some(&[]), None)? {
+                    Some(_) => return Ok(Some(item)),
+                    None => continue,
+                }
+            }
+        }
+    }
+    fn save_position(&self) -> Vec<u8> {
+        self.inner.save_position()
+    }
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.inner.restore_position(pos)
+    }
+}
+
+impl Database {
+    /// Runs one relation operation as a statement: on failure, the
+    /// common recovery log drives the undo of its partial effects back to
+    /// the statement's entry point.
+    fn with_stmt<T>(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        f: impl FnOnce(&ExecCtx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        let start_lsn = txn.last_lsn();
+        match f(&ctx) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                let handler = crate::undo::UndoDispatch {
+                    registry: self.registry().clone(),
+                    catalog: self.catalog().clone(),
+                    services: self.services().clone(),
+                };
+                let new_last = dmx_wal::rollback_to(
+                    &self.services().log,
+                    &handler,
+                    txn.id(),
+                    txn.last_lsn(),
+                    start_lsn,
+                )?;
+                txn.set_last_lsn(new_last);
+                Err(e)
+            }
+        }
+    }
+
+    /// Inserts a record: storage method first, then each attachment type
+    /// with instances; a veto rolls the modification back.
+    pub fn insert(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        record: Record,
+    ) -> Result<RecordKey> {
+        let rd = self.catalog().get(rel)?;
+        rd.schema.validate(&record.values)?;
+        self.with_stmt(txn, |ctx| {
+            ctx.lock(LockName::Relation(rel), LockMode::IX)?;
+            let sm = self.registry().storage(rd.sm)?;
+            let key = sm.insert(ctx, &rd, &record)?;
+            ctx.lock_record(rel, &key, LockMode::X)?;
+            for (att_id, insts) in rd.attached_types() {
+                let att = self.registry().attachment(att_id)?;
+                att.on_insert(ctx, &rd, insts, &key, &record)?;
+            }
+            rd.stats.on_insert(record.encode().len());
+            Ok(key)
+        })
+    }
+
+    /// Updates the record at `key`, returning the (possibly relocated)
+    /// new record key.
+    pub fn update(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        key: &RecordKey,
+        new: Record,
+    ) -> Result<RecordKey> {
+        let rd = self.catalog().get(rel)?;
+        rd.schema.validate(&new.values)?;
+        self.with_stmt(txn, |ctx| {
+            ctx.lock(LockName::Relation(rel), LockMode::IX)?;
+            ctx.lock_record(rel, key, LockMode::X)?;
+            let sm = self.registry().storage(rd.sm)?;
+            let (old, new_key) = sm.update(ctx, &rd, key, &new)?;
+            if new_key != *key {
+                ctx.lock_record(rel, &new_key, LockMode::X)?;
+            }
+            for (att_id, insts) in rd.attached_types() {
+                let att = self.registry().attachment(att_id)?;
+                att.on_update(ctx, &rd, insts, key, &new_key, &old, &new)?;
+            }
+            rd.stats.on_update(old.encode().len(), new.encode().len());
+            Ok(new_key)
+        })
+    }
+
+    /// Deletes the record at `key`.
+    pub fn delete(self: &Arc<Self>, txn: &Arc<Transaction>, rel: RelationId, key: &RecordKey) -> Result<()> {
+        let rd = self.catalog().get(rel)?;
+        self.with_stmt(txn, |ctx| {
+            ctx.lock(LockName::Relation(rel), LockMode::IX)?;
+            ctx.lock_record(rel, key, LockMode::X)?;
+            let sm = self.registry().storage(rd.sm)?;
+            let old = sm.delete(ctx, &rd, key)?;
+            for (att_id, insts) in rd.attached_types() {
+                let att = self.registry().attachment(att_id)?;
+                att.on_delete(ctx, &rd, insts, key, &old)?;
+            }
+            rd.stats.on_delete(old.encode().len());
+            Ok(())
+        })
+    }
+
+    /// Direct-by-key access through the storage method, with projection
+    /// and buffer-resident filtering.
+    pub fn fetch(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        key: &RecordKey,
+        fields: Option<&[FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>> {
+        txn.check_active()?;
+        let rd = self.catalog().get(rel)?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Relation(rel), LockMode::IS)?;
+        ctx.lock_record(rel, key, LockMode::S)?;
+        let sm = self.registry().storage(rd.sm)?;
+        sm.fetch(&ctx, &rd, key, fields, pred)
+    }
+
+    /// Opens a key-sequential access via any access path ("access path
+    /// zero is … the storage method"), registered with the scan manager
+    /// for end-of-transaction cleanup and savepoint position handling.
+    pub fn open_scan(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        path: AccessPath,
+        query: AccessQuery,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<ScanId> {
+        txn.check_active()?;
+        let rd = self.catalog().get(rel)?;
+        let ctx = ExecCtx { db: self, txn };
+        ctx.lock(LockName::Relation(rel), LockMode::IS)?;
+        let inner = self.open_scan_raw(&ctx, &rd, path, query, pred.clone(), fields.clone())?;
+        let scan = Box::new(LockingScan {
+            inner,
+            sm_path: matches!(path, AccessPath::StorageMethod),
+            rd,
+            pred,
+            fields,
+        });
+        Ok(self.scans().open(txn.id(), scan))
+    }
+
+    /// Access-path dispatch without scan-manager registration (used
+    /// internally, e.g. by attachment backfill).
+    pub fn open_scan_raw(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        path: AccessPath,
+        query: AccessQuery,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<Box<dyn ScanOps>> {
+        match path {
+            AccessPath::StorageMethod => {
+                let range = match query {
+                    AccessQuery::All => KeyRange::all(),
+                    AccessQuery::Range(r) => r,
+                    AccessQuery::KeyEquals(k) => KeyRange::exact(k),
+                    AccessQuery::Spatial(_, _) => {
+                        return Err(DmxError::Unsupported(
+                            "storage methods do not serve spatial queries".into(),
+                        ))
+                    }
+                };
+                let sm = self.registry().storage(rd.sm)?;
+                sm.open_scan(ctx, rd, range, pred, fields)
+            }
+            AccessPath::Attachment(att_id, inst_id) => {
+                let att = self.registry().attachment(att_id)?;
+                let insts = rd
+                    .attachment_instances(att_id)
+                    .ok_or_else(|| DmxError::NotFound(format!("attachment type {att_id}")))?;
+                let inst = insts
+                    .iter()
+                    .find(|i| i.instance == inst_id)
+                    .ok_or_else(|| DmxError::NotFound(format!("attachment {att_id}{inst_id}")))?;
+                att.open_scan(ctx, rd, inst, &query)
+            }
+        }
+    }
+
+    /// Advances a registered scan.
+    pub fn scan_next(self: &Arc<Self>, txn: &Arc<Transaction>, scan: ScanId) -> Result<Option<ScanItem>> {
+        txn.check_active()?;
+        let ctx = ExecCtx { db: self, txn };
+        self.scans().next(&ctx, scan)
+    }
+
+    /// Closes a registered scan.
+    pub fn scan_close(&self, txn: &Arc<Transaction>, scan: ScanId) {
+        self.scans().close(txn.id(), scan);
+    }
+}

@@ -1,0 +1,64 @@
+//! The data management extension architecture (the paper's contribution).
+//!
+//! This crate defines the two generic abstractions and everything that
+//! coordinates them:
+//!
+//! * [`StorageMethod`] — the generic operation set an alternative relation
+//!   storage implementation must supply (insert/update/delete, direct-
+//!   by-key and key-sequential access with early filtering, DDL parameter
+//!   validation, cost estimation, logical undo);
+//! * [`Attachment`] — the generic operation set for access paths,
+//!   integrity constraints and triggers, invoked *procedurally* as side
+//!   effects of relation modifications, with the right to **veto**;
+//! * [`registry::ExtensionRegistry`] — the procedure vectors: extensions
+//!   are installed "at the factory" and activated by indexing a vector
+//!   with their small-integer type id;
+//! * [`descriptor::RelationDescriptor`] — the extensible relation
+//!   descriptor: a record whose header names the storage method, whose
+//!   field 0 is the storage-method descriptor, and whose field *N* holds
+//!   the instances of attachment type *N* (absent = no instances);
+//! * [`dml`] — the two-step modification dispatcher: storage method first,
+//!   then each attachment type with instances; any veto triggers a
+//!   log-driven partial rollback of the half-done modification;
+//! * [`access`] — the unified access interface ("access path zero is the
+//!   storage method"), scan-position rules and the per-transaction scan
+//!   registry driving end-of-transaction cleanup and savepoint
+//!   save/restore of positions;
+//! * [`services::CommonServices`] — the shared execution environment
+//!   (buffer pool, log, lock manager, predicate evaluator, latches);
+//! * [`catalog`], [`deps`], [`auth`] — descriptor management, bound-plan
+//!   dependency tracking/invalidation and the uniform authorization
+//!   facility;
+//! * [`database::Database`] — the facade wiring it all together, including
+//!   DDL with extension attribute/value lists, transaction control with
+//!   savepoints, deferred drops and crash restart.
+
+pub mod access;
+pub mod attachment;
+pub mod auth;
+pub mod catalog;
+pub mod context;
+pub mod cost;
+pub mod database;
+pub mod deps;
+pub mod descriptor;
+pub mod dml;
+pub mod registry;
+pub mod services;
+pub mod stats;
+pub mod storage_method;
+pub mod undo;
+
+pub use access::{AccessPath, AccessQuery, KeyRange, ScanItem, ScanManager, ScanOps, SpatialOp};
+pub use attachment::Attachment;
+pub use auth::{AuthManager, Privilege};
+pub use catalog::Catalog;
+pub use context::ExecCtx;
+pub use cost::{Cost, PathChoice};
+pub use database::{Database, DatabaseConfig, DatabaseEnv};
+pub use deps::{DepKey, DependencyRegistry, PlanId};
+pub use descriptor::{AttachmentInstance, RelationDescriptor};
+pub use registry::ExtensionRegistry;
+pub use services::CommonServices;
+pub use stats::RelationStats;
+pub use storage_method::StorageMethod;

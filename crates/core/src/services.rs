@@ -1,0 +1,91 @@
+//! The common services environment.
+//!
+//! "Storage method and attachment extensions, while isolated from each
+//! other by the extension architecture, are embedded in the database
+//! management system execution environment and must therefore obey
+//! certain conventions and make use of certain common services."
+//! [`CommonServices`] bundles those services: the simulated disk and
+//! buffer pool, the write-ahead log, the system lock manager, B-tree
+//! latches and the predicate-evaluator function registry.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dmx_btree::LatchTable;
+use dmx_expr::FunctionRegistry;
+use dmx_lock::LockManager;
+use dmx_page::{BufferPool, DiskManager, WalHook};
+use dmx_types::{Lsn, Result};
+use dmx_wal::LogManager;
+
+/// Shared execution environment handed (via [`crate::ExecCtx`]) to every
+/// generic operation.
+pub struct CommonServices {
+    pub disk: Arc<dyn DiskManager>,
+    pub pool: Arc<BufferPool>,
+    pub log: Arc<LogManager>,
+    pub locks: Arc<LockManager>,
+    pub latches: Arc<LatchTable>,
+    /// User functions callable from filter predicates.
+    pub funcs: RwLock<FunctionRegistry>,
+}
+
+impl CommonServices {
+    /// Wires the services together, installing the WAL hook on the buffer
+    /// pool so the write-ahead rule holds.
+    pub fn new(
+        disk: Arc<dyn DiskManager>,
+        pool: Arc<BufferPool>,
+        log: Arc<LogManager>,
+        locks: Arc<LockManager>,
+    ) -> Arc<Self> {
+        struct Hook(Arc<LogManager>);
+        impl WalHook for Hook {
+            fn force(&self, lsn: Lsn) -> Result<()> {
+                self.0.force(lsn)
+            }
+        }
+        pool.set_wal_hook(Arc::new(Hook(log.clone())));
+        Arc::new(CommonServices {
+            disk,
+            pool,
+            log,
+            locks,
+            latches: LatchTable::new(),
+            funcs: RwLock::new(FunctionRegistry::with_builtins()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_page::MemDisk;
+    use dmx_wal::StableLog;
+    use std::time::Duration;
+
+    #[test]
+    fn wiring_installs_wal_hook() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 8);
+        let log = Arc::new(LogManager::open(StableLog::new()));
+        let locks = Arc::new(LockManager::new(Duration::from_secs(1)));
+        let svc = CommonServices::new(disk.clone(), pool.clone(), log.clone(), locks);
+
+        // Dirty a page carrying an unforced LSN; flushing must force it.
+        let f = disk.create_file().unwrap();
+        let lsn = log.append(
+            dmx_types::TxnId(1),
+            Lsn::NULL,
+            dmx_wal::LogBody::Begin,
+        );
+        let p = pool.new_page(f).unwrap();
+        p.write().set_lsn(lsn);
+        drop(p);
+        assert!(log.durable_lsn().is_null());
+        svc.pool.flush_all().unwrap();
+        assert_eq!(log.durable_lsn(), lsn);
+        assert!(svc.funcs.read().contains("abs"), "builtins registered");
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-relation statistics for the cost-estimation interface.
+//!
+//! The paper allows attachments "to maintain statistics about relations";
+//! the core also keeps a baseline record/page count per relation, shared
+//! (by `Arc`) between the catalog and every bound plan so cached plans see
+//! fresh statistics without re-reading the catalog.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Mutable relation statistics with atomic counters.
+#[derive(Debug, Default)]
+pub struct RelationStats {
+    records: AtomicI64,
+    pages: AtomicI64,
+    /// Sum of encoded record bytes ever inserted minus deleted (record
+    /// width estimate = bytes / records).
+    bytes: AtomicI64,
+    /// Modification counter (diagnostics / staleness heuristics).
+    modifications: AtomicU64,
+}
+
+impl RelationStats {
+    /// Current record count (never negative).
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Current page estimate (never below 1, so cost math stays sane).
+    pub fn pages(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed).max(1) as u64
+    }
+
+    /// Average encoded record width in bytes (defaults to 64 when empty).
+    pub fn avg_record_bytes(&self) -> u64 {
+        let n = self.records();
+        if n == 0 {
+            return 64;
+        }
+        (self.bytes.load(Ordering::Relaxed).max(0) as u64 / n).max(1)
+    }
+
+    /// Total modifications observed.
+    pub fn modifications(&self) -> u64 {
+        self.modifications.load(Ordering::Relaxed)
+    }
+
+    /// Records an insert of `bytes` encoded bytes.
+    pub fn on_insert(&self, bytes: usize) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as i64, Ordering::Relaxed);
+        self.modifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delete.
+    pub fn on_delete(&self, bytes: usize) {
+        self.records.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.modifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an update (size change only).
+    pub fn on_update(&self, old_bytes: usize, new_bytes: usize) {
+        self.bytes
+            .fetch_add(new_bytes as i64 - old_bytes as i64, Ordering::Relaxed);
+        self.modifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Page-count maintenance (called by storage methods on allocation).
+    pub fn on_page_allocated(&self) {
+        self.pages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counters (catalog load / recomputation).
+    pub fn reset(&self, records: u64, pages: u64, bytes: u64) {
+        self.records.store(records as i64, Ordering::Relaxed);
+        self.pages.store(pages as i64, Ordering::Relaxed);
+        self.bytes.store(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Snapshot for catalog persistence.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.records(),
+            self.pages(),
+            self.bytes.load(Ordering::Relaxed).max(0) as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_modifications() {
+        let s = RelationStats::default();
+        assert_eq!(s.records(), 0);
+        assert_eq!(s.avg_record_bytes(), 64, "default width when empty");
+        s.on_insert(100);
+        s.on_insert(200);
+        assert_eq!(s.records(), 2);
+        assert_eq!(s.avg_record_bytes(), 150);
+        s.on_update(200, 100);
+        assert_eq!(s.avg_record_bytes(), 100);
+        s.on_delete(100);
+        assert_eq!(s.records(), 1);
+        assert_eq!(s.modifications(), 4);
+    }
+
+    #[test]
+    fn never_negative_and_pages_floor() {
+        let s = RelationStats::default();
+        s.on_delete(50); // spurious delete must not underflow the API
+        assert_eq!(s.records(), 0);
+        assert_eq!(s.pages(), 1);
+        s.on_page_allocated();
+        s.on_page_allocated();
+        assert_eq!(s.pages(), 2);
+    }
+
+    #[test]
+    fn reset_and_snapshot_roundtrip() {
+        let s = RelationStats::default();
+        s.reset(10, 3, 640);
+        assert_eq!(s.snapshot(), (10, 3, 640));
+        assert_eq!(s.avg_record_bytes(), 64);
+    }
+}

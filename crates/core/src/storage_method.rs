@@ -1,0 +1,124 @@
+//! The generic storage-method interface.
+//!
+//! "A storage method implementation must support a well-defined set of
+//! relation operations such as delete, insert, destroy relation, and
+//! estimate access costs (for query planning). Additionally, storage
+//! method implementations must define the notion of a record key and
+//! support direct-by-key and key-sequential record accesses to selected
+//! fields of the records. The definition and interpretation of record
+//! keys is controlled by the storage method implementation."
+
+use std::sync::Arc;
+
+use dmx_expr::Expr;
+use dmx_types::{AttrList, FieldId, Record, RecordKey, RelationId, Result, Schema, Value};
+
+use crate::access::{KeyRange, ScanOps};
+use crate::context::ExecCtx;
+use crate::cost::PathChoice;
+use crate::descriptor::RelationDescriptor;
+use crate::services::CommonServices;
+
+/// A relation storage method: one implementation per *type*, registered
+/// in the storage-method procedure vector; per-instance state lives in
+/// the extension-interpreted `sm_desc` bytes of the relation descriptor
+/// and in storage files.
+pub trait StorageMethod: Send + Sync {
+    /// The type's registered name (used in DDL: `… USING <name>`).
+    fn name(&self) -> &str;
+
+    /// Validates an extension attribute/value list during DDL parsing,
+    /// before execution ("storage method … implementations supply generic
+    /// operations to validate and process the attribute lists").
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()>;
+
+    /// Creates a relation instance (allocating files etc.), returning the
+    /// storage-method descriptor bytes to embed in the relation
+    /// descriptor.
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rel: RelationId,
+        schema: &Schema,
+        params: &AttrList,
+    ) -> Result<Vec<u8>>;
+
+    /// Physically releases an instance's storage. Called *deferred* (at
+    /// commit of the dropping transaction, or re-driven at restart), so it
+    /// must be idempotent.
+    fn destroy_instance(&self, services: &Arc<CommonServices>, sm_desc: &[u8]) -> Result<()>;
+
+    /// Inserts a record, returning the record key the storage method
+    /// assigned. Must log undo information first (unless
+    /// [`StorageMethod::is_recoverable`] is false).
+    fn insert(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, record: &Record)
+        -> Result<RecordKey>;
+
+    /// Updates the record at `key`, returning the old record and the
+    /// (possibly new) record key — key-forming storage methods relocate
+    /// records whose key fields changed.
+    fn update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<(Record, RecordKey)>;
+
+    /// Deletes the record at `key`, returning it.
+    fn delete(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, key: &RecordKey) -> Result<Record>;
+
+    /// Direct-by-key access: returns selected fields of the record at
+    /// `key` (all fields when `fields` is `None`), after applying the
+    /// filter predicate against the buffer-resident record. `Ok(None)`
+    /// when the record does not exist or fails the filter.
+    fn fetch(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        fields: Option<&[FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>>;
+
+    /// Opens a key-sequential access over a record-key range with early
+    /// filtering and projection.
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        range: KeyRange,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<Box<dyn ScanOps>>;
+
+    /// Cost estimation: how this storage method would satisfy an access
+    /// constrained by `preds` ("access path zero").
+    fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice;
+
+    /// Undoes a logged operation during rollback/abort/restart. `lsn` is
+    /// the undone record's LSN, for page-LSN idempotency checks: under
+    /// the no-steal/force policy a loser's changes may never have reached
+    /// disk, so undo must verify the operation actually applied.
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: dmx_types::Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()>;
+
+    /// False for non-recoverable storage (the temporary storage method):
+    /// operations are not logged and instances vanish at restart.
+    fn is_recoverable(&self) -> bool {
+        true
+    }
+
+    /// The record-field ordering of key-sequential scans, if the storage
+    /// method stores records in key order (lets the planner skip sorts).
+    fn scan_ordering(&self, rd: &RelationDescriptor) -> Option<Vec<FieldId>> {
+        let _ = rd;
+        None
+    }
+}

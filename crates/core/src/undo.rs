@@ -1,0 +1,117 @@
+//! The core's [`UndoHandler`]: dispatching recovery work to extensions.
+//!
+//! The common recovery log "is used to drive the storage method and
+//! attachment implementations to undo the partial effects" of aborted
+//! work. This module routes each logged extension operation back to its
+//! extension through the procedure vectors, and re-drives committed
+//! deferred intents (physical drops, catalog images) at restart.
+
+use std::sync::Arc;
+
+use dmx_types::{DmxError, Result};
+use dmx_wal::{ExtKind, LogBody, LogRecord, UndoHandler};
+
+use crate::catalog::Catalog;
+use crate::registry::ExtensionRegistry;
+use crate::services::CommonServices;
+
+const INTENT_DROP_SM: u8 = 1;
+const INTENT_DROP_ATT: u8 = 2;
+const INTENT_CATALOG: u8 = 3;
+
+/// Encodes a deferred drop of a storage-method instance.
+pub fn encode_drop_sm_intent(sm: dmx_types::SmTypeId, sm_desc: &[u8]) -> Vec<u8> {
+    let mut v = vec![INTENT_DROP_SM, sm.0];
+    v.extend_from_slice(sm_desc);
+    v
+}
+
+/// Encodes a deferred drop of an attachment instance.
+pub fn encode_drop_att_intent(att: dmx_types::AttTypeId, inst_desc: &[u8]) -> Vec<u8> {
+    let mut v = vec![INTENT_DROP_ATT, att.0];
+    v.extend_from_slice(inst_desc);
+    v
+}
+
+/// Encodes a catalog-image persist intent.
+pub fn encode_catalog_intent(image: &[u8]) -> Vec<u8> {
+    let mut v = vec![INTENT_CATALOG];
+    v.extend_from_slice(image);
+    v
+}
+
+/// The handler the recovery driver calls into.
+pub struct UndoDispatch {
+    pub registry: Arc<ExtensionRegistry>,
+    pub catalog: Arc<Catalog>,
+    pub services: Arc<CommonServices>,
+}
+
+impl UndoHandler for UndoDispatch {
+    fn undo(&self, rec: &LogRecord) -> Result<()> {
+        let LogBody::ExtOp {
+            ext,
+            relation,
+            op,
+            payload,
+        } = &rec.body
+        else {
+            return Ok(());
+        };
+        // A relation missing from the catalog means the same transaction
+        // created it (loser DDL, never persisted): its state is being
+        // discarded wholesale, so record-level undo is moot.
+        let Ok(rd) = self.catalog.get(*relation) else {
+            return Ok(());
+        };
+        match ext {
+            ExtKind::Storage(id) => self
+                .registry
+                .storage(*id)?
+                .undo(&self.services, &rd, rec.lsn, *op, payload),
+            ExtKind::Attachment(id) => self
+                .registry
+                .attachment(*id)?
+                .undo(&self.services, &rd, rec.lsn, *op, payload),
+        }
+    }
+
+    fn redo_deferred(&self, rec: &LogRecord) -> Result<()> {
+        let LogBody::DeferredIntent { payload } = &rec.body else {
+            return Ok(());
+        };
+        let Some((&tag, body)) = payload.split_first() else {
+            return Err(DmxError::Corrupt("empty deferred intent".into()));
+        };
+        match tag {
+            INTENT_DROP_SM => {
+                let (&id, desc) = body
+                    .split_first()
+                    .ok_or_else(|| DmxError::Corrupt("short drop intent".into()))?;
+                let sm = self.registry.storage(dmx_types::SmTypeId(id))?;
+                tolerate_missing(sm.destroy_instance(&self.services, desc))
+            }
+            INTENT_DROP_ATT => {
+                let (&id, desc) = body
+                    .split_first()
+                    .ok_or_else(|| DmxError::Corrupt("short drop intent".into()))?;
+                let att = self.registry.attachment(dmx_types::AttTypeId(id))?;
+                tolerate_missing(att.destroy_instance(&self.services, desc))
+            }
+            INTENT_CATALOG => {
+                Catalog::write_image(&self.services.disk, body)?;
+                self.catalog.restore(body)
+            }
+            other => Err(DmxError::Corrupt(format!("bad intent tag {other}"))),
+        }
+    }
+}
+
+/// Deferred destroys must be idempotent: at restart the files may already
+/// be gone.
+fn tolerate_missing(r: Result<()>) -> Result<()> {
+    match r {
+        Err(DmxError::NotFound(_)) => Ok(()),
+        other => other,
+    }
+}

@@ -1,0 +1,149 @@
+//! User-function registry for the predicate evaluator.
+//!
+//! The paper's envisioned predicate evaluator can "call functions that are
+//! passed to it". Functions are registered by name at database
+//! registration time (like extensions, "at the factory") and invoked
+//! through [`crate::ast::Expr::Func`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dmx_types::{DmxError, Result, Value};
+
+/// A registered scalar function.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// Name → function mapping with the built-ins pre-registered.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, ScalarFn>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// A registry with the built-in functions: `abs`, `lower`, `upper`,
+    /// `length`, `area`.
+    pub fn with_builtins() -> Self {
+        let mut r = FunctionRegistry::default();
+        r.register("abs", |args| {
+            expect_arity("abs", args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+                Value::Float(x) => Ok(Value::Float(x.abs())),
+                other => Err(DmxError::TypeMismatch(format!("abs({other})"))),
+            }
+        });
+        r.register("lower", |args| {
+            expect_arity("lower", args, 1)?;
+            str_fn(&args[0], |s| s.to_lowercase())
+        });
+        r.register("upper", |args| {
+            expect_arity("upper", args, 1)?;
+            str_fn(&args[0], |s| s.to_uppercase())
+        });
+        r.register("length", |args| {
+            expect_arity("length", args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
+                other => Err(DmxError::TypeMismatch(format!("length({other})"))),
+            }
+        });
+        r.register("area", |args| {
+            expect_arity("area", args, 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Rect(rect) => Ok(Value::Float(rect.area())),
+                other => Err(DmxError::TypeMismatch(format!("area({other})"))),
+            }
+        });
+        r
+    }
+
+    /// Registers (or replaces) a function under a case-insensitive name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Looks a function up.
+    pub fn get(&self, name: &str) -> Result<&ScalarFn> {
+        self.funcs
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DmxError::NotFound(format!("function {name}")))
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(&name.to_ascii_lowercase())
+    }
+}
+
+fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<()> {
+    if args.len() != n {
+        return Err(DmxError::InvalidArg(format!(
+            "{name} expects {n} argument(s), got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn str_fn(v: &Value, f: impl Fn(&str) -> String) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Str(s) => Ok(Value::Str(f(s))),
+        other => Err(DmxError::TypeMismatch(format!("expected string, got {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_types::Rect;
+
+    #[test]
+    fn builtins_work() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(r.get("ABS").unwrap()(&[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            r.get("lower").unwrap()(&[Value::from("HeLLo")]).unwrap(),
+            Value::from("hello")
+        );
+        assert_eq!(
+            r.get("length").unwrap()(&[Value::from("abc")]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            r.get("area").unwrap()(&[Value::Rect(Rect::new(0.0, 0.0, 2.0, 3.0))]).unwrap(),
+            Value::Float(6.0)
+        );
+    }
+
+    #[test]
+    fn nulls_propagate_and_types_checked() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(r.get("abs").unwrap()(&[Value::Null]).unwrap(), Value::Null);
+        assert!(r.get("abs").unwrap()(&[Value::from("x")]).is_err());
+        assert!(r.get("abs").unwrap()(&[]).is_err());
+    }
+
+    #[test]
+    fn user_registration_and_lookup() {
+        let mut r = FunctionRegistry::empty();
+        assert!(!r.contains("double"));
+        r.register("double", |args| Ok(Value::Int(args[0].as_int()? * 2)));
+        assert!(r.contains("DOUBLE"));
+        assert_eq!(r.get("Double").unwrap()(&[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert!(r.get("missing").is_err());
+    }
+}

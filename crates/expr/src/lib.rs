@@ -1,0 +1,29 @@
+//! The common-services filter predicate evaluator.
+//!
+//! The paper's accesses support *record filtering* via predicate
+//! expressions passed down to the relation storage or access path: "the
+//! intention of this common service facility is to allow filter
+//! predicates to be evaluated while the field values from the relation
+//! storage or access path are still in the buffer pool". The evaluator
+//! therefore works against a [`eval::FieldSource`] abstraction — a lazy,
+//! in-place view of the current record (`dmx_types::RecordRef` implements
+//! it without copying) — and "will be able to call functions that are
+//! passed to it" ([`func::FunctionRegistry`]) and "use both constant and
+//! variable data" ([`ast::Expr::Param`]).
+//!
+//! [`analyze`] extracts the structure the query planner's cost-estimation
+//! interface needs: conjuncts, referenced columns, and *sargable*
+//! predicates an access path can recognize as relevant (including the
+//! R-tree's `ENCLOSES`).
+
+pub mod analyze;
+pub mod ast;
+pub mod eval;
+pub mod func;
+pub mod ser;
+
+pub use analyze::{columns, conjuncts, sargable, Sarg, SargOp};
+pub use ast::{BinOp, CmpOp, Expr};
+pub use eval::{eval, eval_predicate, EvalContext, FieldSource};
+pub use func::FunctionRegistry;
+pub use ser::{decode_expr, encode_expr, expr_from_hex, expr_to_hex};

@@ -1,0 +1,386 @@
+//! The common-services predicate encoding.
+//!
+//! The paper's example: "a simple integrity constraint extension
+//! descriptor would contain a (Common Service) encoding of the predicate
+//! to be tested when records of the relation are inserted or updated."
+//! This module provides that encoding: a compact self-contained byte
+//! serialization of [`Expr`] that extension descriptors embed.
+
+use dmx_types::{DmxError, Rect, Result, Value};
+
+use crate::ast::{BinOp, CmpOp, Expr};
+
+const T_CONST: u8 = 1;
+const T_COLUMN: u8 = 2;
+const T_PARAM: u8 = 3;
+const T_CMP: u8 = 4;
+const T_AND: u8 = 5;
+const T_OR: u8 = 6;
+const T_NOT: u8 = 7;
+const T_ARITH: u8 = 8;
+const T_NEG: u8 = 9;
+const T_ISNULL: u8 = 10;
+const T_LIKE: u8 = 11;
+const T_ENCLOSES: u8 = 12;
+const T_INTERSECTS: u8 = 13;
+const T_FUNC: u8 = 14;
+
+const V_NULL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT: u8 = 2;
+const V_FLOAT: u8 = 3;
+const V_STR: u8 = 4;
+const V_BYTES: u8 = 5;
+const V_RECT: u8 = 6;
+
+/// Serializes an expression.
+pub fn encode_expr(e: &Expr) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_expr(e, &mut out);
+    out
+}
+
+fn put_expr(e: &Expr, out: &mut Vec<u8>) {
+    match e {
+        Expr::Const(v) => {
+            out.push(T_CONST);
+            put_value(v, out);
+        }
+        Expr::Column(id) => {
+            out.push(T_COLUMN);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Expr::Param(i) => {
+            out.push(T_PARAM);
+            out.extend_from_slice(&(*i as u32).to_le_bytes());
+        }
+        Expr::Cmp(op, l, r) => {
+            out.push(T_CMP);
+            out.push(cmp_tag(*op));
+            put_expr(l, out);
+            put_expr(r, out);
+        }
+        Expr::And(v) | Expr::Or(v) => {
+            out.push(if matches!(e, Expr::And(_)) { T_AND } else { T_OR });
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            for t in v {
+                put_expr(t, out);
+            }
+        }
+        Expr::Not(inner) => {
+            out.push(T_NOT);
+            put_expr(inner, out);
+        }
+        Expr::Arith(op, l, r) => {
+            out.push(T_ARITH);
+            out.push(match op {
+                BinOp::Add => 0,
+                BinOp::Sub => 1,
+                BinOp::Mul => 2,
+                BinOp::Div => 3,
+                BinOp::Mod => 4,
+            });
+            put_expr(l, out);
+            put_expr(r, out);
+        }
+        Expr::Neg(inner) => {
+            out.push(T_NEG);
+            put_expr(inner, out);
+        }
+        Expr::IsNull(inner, negated) => {
+            out.push(T_ISNULL);
+            out.push(*negated as u8);
+            put_expr(inner, out);
+        }
+        Expr::Like(inner, pattern) => {
+            out.push(T_LIKE);
+            put_bytes(pattern.as_bytes(), out);
+            put_expr(inner, out);
+        }
+        Expr::Encloses(l, r) => {
+            out.push(T_ENCLOSES);
+            put_expr(l, out);
+            put_expr(r, out);
+        }
+        Expr::Intersects(l, r) => {
+            out.push(T_INTERSECTS);
+            put_expr(l, out);
+            put_expr(r, out);
+        }
+        Expr::Func(name, args) => {
+            out.push(T_FUNC);
+            put_bytes(name.as_bytes(), out);
+            out.extend_from_slice(&(args.len() as u16).to_le_bytes());
+            for a in args {
+                put_expr(a, out);
+            }
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn put_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(V_NULL),
+        Value::Bool(b) => {
+            out.push(V_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(V_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(V_FLOAT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(V_STR);
+            put_bytes(s.as_bytes(), out);
+        }
+        Value::Bytes(b) => {
+            out.push(V_BYTES);
+            put_bytes(b, out);
+        }
+        Value::Rect(r) => {
+            out.push(V_RECT);
+            out.extend_from_slice(&r.to_bytes());
+        }
+    }
+}
+
+fn put_bytes(b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Deserializes an expression produced by [`encode_expr`].
+pub fn decode_expr(buf: &[u8]) -> Result<Expr> {
+    let mut pos = 0usize;
+    let e = get_expr(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(DmxError::Corrupt("trailing bytes after expression".into()));
+    }
+    Ok(e)
+}
+
+fn corrupt() -> DmxError {
+    DmxError::Corrupt("truncated expression".into())
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let s = buf.get(*pos..*pos + n).ok_or_else(corrupt)?;
+    *pos += n;
+    Ok(s)
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize;
+    Ok(take(buf, pos, len)?.to_vec())
+}
+
+fn get_string(buf: &[u8], pos: &mut usize) -> Result<String> {
+    String::from_utf8(get_bytes(buf, pos)?)
+        .map_err(|_| DmxError::Corrupt("expression string not utf8".into()))
+}
+
+fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = take(buf, pos, 1)?[0];
+    Ok(match tag {
+        V_NULL => Value::Null,
+        V_BOOL => Value::Bool(take(buf, pos, 1)?[0] != 0),
+        V_INT => Value::Int(i64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap())),
+        V_FLOAT => Value::Float(f64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap())),
+        V_STR => Value::Str(get_string(buf, pos)?),
+        V_BYTES => Value::Bytes(get_bytes(buf, pos)?),
+        V_RECT => {
+            Value::Rect(Rect::from_bytes(take(buf, pos, 32)?).ok_or_else(corrupt)?)
+        }
+        other => return Err(DmxError::Corrupt(format!("bad value tag {other}"))),
+    })
+}
+
+fn get_cmp(tag: u8) -> Result<CmpOp> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return Err(DmxError::Corrupt(format!("bad cmp tag {other}"))),
+    })
+}
+
+fn get_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
+    let tag = take(buf, pos, 1)?[0];
+    Ok(match tag {
+        T_CONST => Expr::Const(get_value(buf, pos)?),
+        T_COLUMN => Expr::Column(u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap())),
+        T_PARAM => Expr::Param(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize),
+        T_CMP => {
+            let op = get_cmp(take(buf, pos, 1)?[0])?;
+            let l = get_expr(buf, pos)?;
+            let r = get_expr(buf, pos)?;
+            Expr::Cmp(op, Box::new(l), Box::new(r))
+        }
+        T_AND | T_OR => {
+            let n = u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap()) as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(get_expr(buf, pos)?);
+            }
+            if tag == T_AND {
+                Expr::And(v)
+            } else {
+                Expr::Or(v)
+            }
+        }
+        T_NOT => Expr::Not(Box::new(get_expr(buf, pos)?)),
+        T_ARITH => {
+            let op = match take(buf, pos, 1)?[0] {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Div,
+                4 => BinOp::Mod,
+                other => return Err(DmxError::Corrupt(format!("bad arith tag {other}"))),
+            };
+            let l = get_expr(buf, pos)?;
+            let r = get_expr(buf, pos)?;
+            Expr::Arith(op, Box::new(l), Box::new(r))
+        }
+        T_NEG => Expr::Neg(Box::new(get_expr(buf, pos)?)),
+        T_ISNULL => {
+            let negated = take(buf, pos, 1)?[0] != 0;
+            Expr::IsNull(Box::new(get_expr(buf, pos)?), negated)
+        }
+        T_LIKE => {
+            let pattern = get_string(buf, pos)?;
+            Expr::Like(Box::new(get_expr(buf, pos)?), pattern)
+        }
+        T_ENCLOSES => {
+            let l = get_expr(buf, pos)?;
+            let r = get_expr(buf, pos)?;
+            Expr::Encloses(Box::new(l), Box::new(r))
+        }
+        T_INTERSECTS => {
+            let l = get_expr(buf, pos)?;
+            let r = get_expr(buf, pos)?;
+            Expr::Intersects(Box::new(l), Box::new(r))
+        }
+        T_FUNC => {
+            let name = get_string(buf, pos)?;
+            let n = u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap()) as usize;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(get_expr(buf, pos)?);
+            }
+            Expr::Func(name, args)
+        }
+        other => return Err(DmxError::Corrupt(format!("bad expr tag {other}"))),
+    })
+}
+
+/// Hex helpers so encoded predicates can travel inside DDL
+/// attribute/value lists (which are strings).
+pub fn expr_to_hex(e: &Expr) -> String {
+    let bytes = encode_expr(e);
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Parses [`expr_to_hex`] output.
+pub fn expr_from_hex(s: &str) -> Result<Expr> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DmxError::InvalidArg("odd hex length".into()));
+    }
+    let mut bytes = Vec::with_capacity(s.len() / 2);
+    for i in (0..s.len()).step_by(2) {
+        let b = u8::from_str_radix(&s[i..i + 2], 16)
+            .map_err(|_| DmxError::InvalidArg("bad hex digit".into()))?;
+        bytes.push(b);
+    }
+    decode_expr(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Expr> {
+        vec![
+            Expr::Const(Value::Null),
+            Expr::col_eq(3, 42i64),
+            Expr::And(vec![
+                Expr::cmp_col(CmpOp::Ge, 0, 1.5f64),
+                Expr::Or(vec![
+                    Expr::Like(Box::new(Expr::Column(1)), "a%_".into()),
+                    Expr::IsNull(Box::new(Expr::Column(2)), true),
+                ]),
+            ]),
+            Expr::Not(Box::new(Expr::Func(
+                "check".into(),
+                vec![Expr::Param(2), Expr::Const(Value::Bytes(vec![0, 255]))],
+            ))),
+            Expr::Encloses(
+                Box::new(Expr::Column(4)),
+                Box::new(Expr::Const(Value::Rect(Rect::new(0.0, 0.0, 1.0, 2.0)))),
+            ),
+            Expr::Arith(
+                BinOp::Mod,
+                Box::new(Expr::Neg(Box::new(Expr::Column(0)))),
+                Box::new(Expr::Const(Value::Int(7))),
+            ),
+            Expr::Intersects(
+                Box::new(Expr::Column(1)),
+                Box::new(Expr::Const(Value::Rect(Rect::new(1.0, 1.0, 2.0, 2.0)))),
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        for e in samples() {
+            let bytes = encode_expr(&e);
+            assert_eq!(decode_expr(&bytes).unwrap(), e, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_expr(&samples()[2]);
+        for cut in 0..bytes.len() {
+            assert!(decode_expr(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_expr(&Expr::Column(0));
+        bytes.push(0);
+        assert!(decode_expr(&bytes).is_err());
+    }
+
+    #[test]
+    fn hex_transport() {
+        let e = Expr::col_eq(0, "o'reilly");
+        let hex = expr_to_hex(&e);
+        assert_eq!(expr_from_hex(&hex).unwrap(), e);
+        assert!(expr_from_hex("abc").is_err());
+        assert!(expr_from_hex("zz").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! The common lock-based concurrency controller.
+//!
+//! The paper requires that *all* storage method and attachment
+//! implementations synchronize through locking (mixing locking with
+//! timestamp-ordering would admit non-serializable executions), and that
+//! every lock controller participate in transaction commit and in
+//! **system-wide deadlock detection**. This crate provides the
+//! system-supplied lock manager: hierarchical S/X/IS/IX/SIX modes
+//! ([`mode`]), named lock objects ([`name`]), FIFO wait queues with lock
+//! conversion, and a waits-for-graph deadlock detector that aborts the
+//! youngest transaction in a cycle ([`manager`]).
+
+pub mod manager;
+pub mod mode;
+pub mod name;
+
+pub use manager::LockManager;
+pub use mode::LockMode;
+pub use name::LockName;

@@ -1,0 +1,472 @@
+//! The lock manager.
+//!
+//! One global table maps [`LockName`]s to entries holding a granted set
+//! (one converted mode per transaction) and a FIFO wait queue. Requests
+//! block on a condition variable; a waits-for-graph deadlock detector runs
+//! on every wait tick and aborts the youngest transaction in a cycle by
+//! flagging it a victim, which surfaces as [`DmxError::Deadlock`] from its
+//! pending request. Strict two-phase locking: transactions release
+//! everything at once via [`LockManager::unlock_all`] at commit/abort.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use dmx_types::{DmxError, Result, TxnId};
+
+use crate::mode::LockMode;
+use crate::name::LockName;
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    granted: HashMap<TxnId, LockMode>,
+    waiting: VecDeque<Waiter>,
+}
+
+impl Entry {
+    /// Target mode a waiter would end up holding (conversion-aware).
+    fn target_mode(&self, w: &Waiter) -> LockMode {
+        match self.granted.get(&w.txn) {
+            Some(held) => held.sup(w.mode),
+            None => w.mode,
+        }
+    }
+
+    /// Can `w` be granted right now (compatible with every *other*
+    /// granted holder)?
+    fn grantable(&self, w: &Waiter) -> bool {
+        let target = self.target_mode(w);
+        self.granted
+            .iter()
+            .all(|(t, m)| *t == w.txn || target.compatible(*m))
+    }
+
+    /// Grants every currently grantable waiter: conversions first (they
+    /// jump the queue, the standard anti-starvation rule for upgrades),
+    /// then FIFO until the first blocked waiter.
+    fn regrant(&mut self) {
+        // conversions
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let w = self.waiting[i];
+            if self.granted.contains_key(&w.txn) && self.grantable(&w) {
+                let target = self.target_mode(&w);
+                self.granted.insert(w.txn, target);
+                self.waiting.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // FIFO
+        while let Some(w) = self.waiting.front().copied() {
+            if !self.grantable(&w) {
+                break;
+            }
+            let target = self.target_mode(&w);
+            self.granted.insert(w.txn, target);
+            self.waiting.pop_front();
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    table: HashMap<LockName, Entry>,
+    /// Names each transaction holds or waits on (for release).
+    held: HashMap<TxnId, HashSet<LockName>>,
+    /// Transactions chosen as deadlock victims; their pending request
+    /// fails on next wake-up.
+    victims: HashSet<TxnId>,
+}
+
+impl State {
+    /// Builds waits-for edges and aborts the youngest member of the first
+    /// cycle found. Returns true when a victim was chosen.
+    fn detect_deadlock(&mut self) -> bool {
+        // edges: waiter -> each incompatible granted holder
+        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+        for entry in self.table.values() {
+            for w in &entry.waiting {
+                let target = entry.target_mode(w);
+                for (holder, mode) in &entry.granted {
+                    if *holder != w.txn && !target.compatible(*mode) {
+                        edges.entry(w.txn).or_default().insert(*holder);
+                    }
+                }
+            }
+        }
+        // DFS cycle search
+        fn dfs(
+            node: TxnId,
+            edges: &HashMap<TxnId, HashSet<TxnId>>,
+            visiting: &mut Vec<TxnId>,
+            done: &mut HashSet<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            if done.contains(&node) {
+                return None;
+            }
+            if let Some(pos) = visiting.iter().position(|&t| t == node) {
+                return Some(visiting[pos..].to_vec());
+            }
+            visiting.push(node);
+            if let Some(next) = edges.get(&node) {
+                for &n in next {
+                    if let Some(cycle) = dfs(n, edges, visiting, done) {
+                        return Some(cycle);
+                    }
+                }
+            }
+            visiting.pop();
+            done.insert(node);
+            None
+        }
+        let mut done = HashSet::new();
+        let starts: Vec<TxnId> = edges.keys().copied().collect();
+        for start in starts {
+            let mut visiting = Vec::new();
+            if let Some(cycle) = dfs(start, &edges, &mut visiting, &mut done) {
+                // Youngest (largest id) transaction dies.
+                let victim = *cycle.iter().max().expect("cycle not empty");
+                self.victims.insert(victim);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The system-supplied lock manager.
+pub struct LockManager {
+    state: Mutex<State>,
+    cv: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_secs(5))
+    }
+}
+
+impl LockManager {
+    /// Creates a lock manager with the given wait timeout.
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquires (or converts to) `mode` on `name` for `txn`, blocking as
+    /// needed. Fails with [`DmxError::Deadlock`] when this transaction is
+    /// chosen as a deadlock victim, or [`DmxError::LockTimeout`].
+    pub fn lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<()> {
+        self.lock_waited(txn, name, mode).map(drop)
+    }
+
+    /// Like [`LockManager::lock`], additionally reporting whether the
+    /// request had to wait (callers that read optimistically before
+    /// locking re-validate after a wait).
+    pub fn lock_waited(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<bool> {
+        let mut st = self.state.lock();
+        if st.victims.contains(&txn) {
+            return Err(DmxError::Deadlock { victim: txn });
+        }
+        let entry = st.table.entry(name).or_default();
+        // Fast path: already covered.
+        if let Some(held) = entry.granted.get(&txn) {
+            if held.covers(mode) {
+                return Ok(false);
+            }
+        }
+        let w = Waiter { txn, mode };
+        // Immediate grant: compatible AND (conversion, or no one queued
+        // ahead — plain requests respect FIFO fairness).
+        let is_conversion = entry.granted.contains_key(&txn);
+        if entry.grantable(&w) && (is_conversion || entry.waiting.is_empty()) {
+            let target = entry.target_mode(&w);
+            entry.granted.insert(txn, target);
+            st.held.entry(txn).or_default().insert(name);
+            return Ok(false);
+        }
+        // Enqueue and wait.
+        entry.waiting.push_back(w);
+        st.held.entry(txn).or_default().insert(name);
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if st.detect_deadlock() {
+                self.cv.notify_all();
+            }
+            if st.victims.contains(&txn) {
+                Self::remove_waiter(&mut st, txn, name);
+                return Err(DmxError::Deadlock { victim: txn });
+            }
+            if st
+                .table
+                .get(&name)
+                .and_then(|e| e.granted.get(&txn))
+                .is_some_and(|held| held.covers(mode))
+            {
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                Self::remove_waiter(&mut st, txn, name);
+                return Err(DmxError::LockTimeout);
+            }
+            let tick = Duration::from_millis(10).min(deadline - now);
+            self.cv.wait_for(&mut st, tick);
+        }
+    }
+
+    fn remove_waiter(st: &mut State, txn: TxnId, name: LockName) {
+        if let Some(entry) = st.table.get_mut(&name) {
+            entry.waiting.retain(|w| w.txn != txn);
+            entry.regrant();
+            let keep = !entry.granted.is_empty() || !entry.waiting.is_empty();
+            let still_holds = entry.granted.contains_key(&txn);
+            if !keep {
+                st.table.remove(&name);
+            }
+            if !still_holds {
+                if let Some(set) = st.held.get_mut(&txn) {
+                    set.remove(&name);
+                }
+            }
+        }
+    }
+
+    /// Releases everything `txn` holds or waits on, waking blocked
+    /// requests; clears any victim flag. Called at commit and abort.
+    pub fn unlock_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        st.victims.remove(&txn);
+        let names = st.held.remove(&txn).unwrap_or_default();
+        for name in names {
+            if let Some(entry) = st.table.get_mut(&name) {
+                entry.granted.remove(&txn);
+                entry.waiting.retain(|w| w.txn != txn);
+                entry.regrant();
+                if entry.granted.is_empty() && entry.waiting.is_empty() {
+                    st.table.remove(&name);
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Mode `txn` currently holds on `name`, if any (for tests and
+    /// assertions).
+    pub fn held_mode(&self, txn: TxnId, name: LockName) -> Option<LockMode> {
+        self.state
+            .lock()
+            .table
+            .get(&name)
+            .and_then(|e| e.granted.get(&txn).copied())
+    }
+
+    /// Number of lock names currently in the table.
+    pub fn table_len(&self) -> usize {
+        self.state.lock().table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_types::RelationId;
+    use std::sync::Arc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn rel(n: u32) -> LockName {
+        LockName::Relation(RelationId(n))
+    }
+
+    #[test]
+    fn grant_compatible_and_reentrant() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
+        lm.lock(TxnId(2), rel(1), LockMode::S).unwrap();
+        lm.lock(TxnId(1), rel(1), LockMode::S).unwrap(); // re-entrant
+        lm.lock(TxnId(1), rel(1), LockMode::IS).unwrap(); // covered
+        assert_eq!(lm.held_mode(TxnId(1), rel(1)), Some(LockMode::S));
+        lm.unlock_all(TxnId(1));
+        lm.unlock_all(TxnId(2));
+        assert_eq!(lm.table_len(), 0);
+    }
+
+    #[test]
+    fn conversion_computes_supremum() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
+        lm.lock(TxnId(1), rel(1), LockMode::IX).unwrap();
+        assert_eq!(lm.held_mode(TxnId(1), rel(1)), Some(LockMode::SIX));
+        lm.unlock_all(TxnId(1));
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let lm = Arc::new(LockManager::default());
+        lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
+        let got = Arc::new(AtomicU64::new(0));
+        crossbeam::scope(|s| {
+            let lm2 = lm.clone();
+            let got2 = got.clone();
+            s.spawn(move |_| {
+                lm2.lock(TxnId(2), rel(1), LockMode::S).unwrap();
+                got2.store(1, Ordering::SeqCst);
+                lm2.unlock_all(TxnId(2));
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(got.load(Ordering::SeqCst), 0, "S blocked behind X");
+            lm.unlock_all(TxnId(1));
+        })
+        .unwrap();
+        assert_eq!(got.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = LockManager::new(Duration::from_millis(60));
+        lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
+        let err = lm.lock(TxnId(2), rel(1), LockMode::X).unwrap_err();
+        assert_eq!(err, DmxError::LockTimeout);
+        // the timed-out waiter left no residue
+        lm.unlock_all(TxnId(1));
+        assert_eq!(lm.table_len(), 0);
+    }
+
+    #[test]
+    fn deadlock_detected_and_youngest_dies() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
+        lm.lock(TxnId(2), rel(2), LockMode::X).unwrap();
+        crossbeam::scope(|s| {
+            let lm1 = lm.clone();
+            let h1 = s.spawn(move |_| lm1.lock(TxnId(1), rel(2), LockMode::X));
+            std::thread::sleep(Duration::from_millis(30));
+            let lm2 = lm.clone();
+            let h2 = s.spawn(move |_| lm2.lock(TxnId(2), rel(1), LockMode::X));
+            // Youngest = TxnId(2) must be the victim; TxnId(1) proceeds
+            // once the victim aborts (releases its locks).
+            let r2 = h2.join().unwrap();
+            assert_eq!(r2, Err(DmxError::Deadlock { victim: TxnId(2) }));
+            lm.unlock_all(TxnId(2));
+            let r1 = h1.join().unwrap();
+            assert_eq!(r1, Ok(()));
+        })
+        .unwrap();
+        lm.unlock_all(TxnId(1));
+        assert_eq!(lm.table_len(), 0);
+    }
+
+    #[test]
+    fn upgrade_deadlock_between_two_readers() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
+        lm.lock(TxnId(2), rel(1), LockMode::S).unwrap();
+        crossbeam::scope(|s| {
+            let lm1 = lm.clone();
+            let h1 = s.spawn(move |_| lm1.lock(TxnId(1), rel(1), LockMode::X));
+            std::thread::sleep(Duration::from_millis(30));
+            let lm2 = lm.clone();
+            let h2 = s.spawn(move |_| lm2.lock(TxnId(2), rel(1), LockMode::X));
+            let r2 = h2.join().unwrap();
+            assert_eq!(r2, Err(DmxError::Deadlock { victim: TxnId(2) }));
+            lm.unlock_all(TxnId(2));
+            let r1 = h1.join().unwrap();
+            assert_eq!(r1, Ok(()));
+            assert_eq!(lm.held_mode(TxnId(1), rel(1)), Some(LockMode::X));
+        })
+        .unwrap();
+        lm.unlock_all(TxnId(1));
+    }
+
+    #[test]
+    fn fifo_fairness_for_plain_requests() {
+        // T2 waits for X; T3's S request arrives later and must not starve
+        // T2 by sneaking past it.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        crossbeam::scope(|s| {
+            let (lm2, ord2) = (lm.clone(), order.clone());
+            s.spawn(move |_| {
+                lm2.lock(TxnId(2), rel(1), LockMode::X).unwrap();
+                ord2.lock().push(2);
+                lm2.unlock_all(TxnId(2));
+            });
+            std::thread::sleep(Duration::from_millis(40));
+            let (lm3, ord3) = (lm.clone(), order.clone());
+            s.spawn(move |_| {
+                lm3.lock(TxnId(3), rel(1), LockMode::S).unwrap();
+                ord3.lock().push(3);
+                lm3.unlock_all(TxnId(3));
+            });
+            std::thread::sleep(Duration::from_millis(40));
+            lm.unlock_all(TxnId(1));
+        })
+        .unwrap();
+        assert_eq!(*order.lock(), vec![2, 3], "X granted before later S");
+    }
+
+    #[test]
+    fn intent_modes_allow_concurrent_record_work() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), rel(1), LockMode::IX).unwrap();
+        lm.lock(TxnId(2), rel(1), LockMode::IX).unwrap();
+        let ka = LockName::Record(RelationId(1), 11);
+        let kb = LockName::Record(RelationId(1), 22);
+        lm.lock(TxnId(1), ka, LockMode::X).unwrap();
+        lm.lock(TxnId(2), kb, LockMode::X).unwrap();
+        // but a table scanner's S blocks behind the IX holders
+        let lm_s = LockManager::new(Duration::from_millis(50));
+        lm_s.lock(TxnId(1), rel(1), LockMode::IX).unwrap();
+        assert_eq!(
+            lm_s.lock(TxnId(3), rel(1), LockMode::S).unwrap_err(),
+            DmxError::LockTimeout
+        );
+        lm.unlock_all(TxnId(1));
+        lm.unlock_all(TxnId(2));
+    }
+
+    #[test]
+    fn stress_many_threads_no_lost_grants() {
+        // 8 transactions hammer 4 names with mixed modes; strict 2PL is
+        // not followed here (unlock_all between rounds), we only check the
+        // manager never wedges and always ends empty.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let lm = lm.clone();
+                s.spawn(move |_| {
+                    let txn = TxnId(t + 1);
+                    for round in 0..50u32 {
+                        let name = rel(round % 4);
+                        let mode = if (t + round as u64).is_multiple_of(3) {
+                            LockMode::X
+                        } else {
+                            LockMode::S
+                        };
+                        match lm.lock(txn, name, mode) {
+                            Ok(()) => {}
+                            Err(DmxError::Deadlock { .. }) => {}
+                            Err(e) => panic!("unexpected {e}"),
+                        }
+                        lm.unlock_all(txn);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(lm.table_len(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Lock modes and the compatibility / conversion lattice.
+
+/// Hierarchical lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared: will take S locks below.
+    IS,
+    /// Intention exclusive: will take X locks below.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
+                | (IX, IS) | (IX, IX)
+                | (S, IS) | (S, S)
+                | (SIX, IS)
+        )
+    }
+
+    /// Least upper bound in the conversion lattice
+    /// (`IS < {S, IX} < SIX < X`; `S ∨ IX = SIX`).
+    pub fn sup(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (IS, m) | (m, IS) => m,
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (S, IX) | (IX, S) => SIX,
+            _ => unreachable!("all pairs covered"),
+        }
+    }
+
+    /// True when holding `self` already satisfies a request for `want`.
+    pub fn covers(self, want: LockMode) -> bool {
+        self.sup(want) == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn compatibility_matrix_matches_textbook() {
+        let expect = [
+            // IS    IX     S      SIX    X
+            [true, true, true, true, false],   // IS
+            [true, true, false, false, false], // IX
+            [true, false, true, false, false], // S
+            [true, false, false, false, false],// SIX
+            [false, false, false, false, false],// X
+        ];
+        for (i, a) in ALL.iter().enumerate() {
+            for (j, b) in ALL.iter().enumerate() {
+                assert_eq!(a.compatible(*b), expect[i][j], "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn sup_lattice() {
+        assert_eq!(S.sup(IX), SIX);
+        assert_eq!(IX.sup(S), SIX);
+        assert_eq!(IS.sup(S), S);
+        assert_eq!(IS.sup(IX), IX);
+        assert_eq!(SIX.sup(S), SIX);
+        assert_eq!(X.sup(IS), X);
+        for a in ALL {
+            assert_eq!(a.sup(a), a);
+            assert_eq!(a.sup(X), X);
+        }
+    }
+
+    #[test]
+    fn sup_is_commutative_associative_and_an_upper_bound() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.sup(b), b.sup(a));
+                assert!(a.sup(b).covers(a));
+                assert!(a.sup(b).covers(b));
+                for c in ALL {
+                    assert_eq!(a.sup(b).sup(c), a.sup(b.sup(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_examples() {
+        assert!(X.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(SIX.covers(S));
+        assert!(!S.covers(IX));
+        assert!(!IX.covers(S));
+        assert!(S.covers(IS));
+    }
+}

@@ -1,0 +1,67 @@
+//! Lock object names.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use dmx_types::{FileId, RecordKey, RelationId};
+
+/// A lockable object. Record locks name the record by a hash of its
+/// storage-method key so the lock table stays bounded regardless of key
+/// size (hash collisions merely over-lock, never under-lock, because a
+/// collision makes two records share one lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockName {
+    /// The whole catalog (DDL serialization point).
+    Catalog,
+    /// A relation instance (taken in intention mode for record work, or
+    /// S/X for scans / DDL).
+    Relation(RelationId),
+    /// A record within a relation, by key hash.
+    Record(RelationId, u64),
+    /// A storage file (used by deferred drops).
+    File(FileId),
+}
+
+impl LockName {
+    /// Builds a record lock name from a storage-method record key.
+    pub fn record(rel: RelationId, key: &RecordKey) -> LockName {
+        let mut h = DefaultHasher::new();
+        key.as_bytes().hash(&mut h);
+        LockName::Record(rel, h.finish())
+    }
+
+    /// The enclosing relation, when the lock is relation-scoped.
+    pub fn relation(&self) -> Option<RelationId> {
+        match self {
+            LockName::Relation(r) | LockName::Record(r, _) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_names_are_stable_and_distinguish_relations() {
+        let k = RecordKey::new(vec![1, 2, 3]);
+        let a = LockName::record(RelationId(1), &k);
+        let b = LockName::record(RelationId(1), &k);
+        let c = LockName::record(RelationId(2), &k);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relation_extraction() {
+        let k = RecordKey::new(vec![9]);
+        assert_eq!(
+            LockName::record(RelationId(4), &k).relation(),
+            Some(RelationId(4))
+        );
+        assert_eq!(LockName::Relation(RelationId(4)).relation(), Some(RelationId(4)));
+        assert_eq!(LockName::Catalog.relation(), None);
+        assert_eq!(LockName::File(FileId(1)).relation(), None);
+    }
+}

@@ -1,0 +1,525 @@
+//! The buffer pool.
+//!
+//! Policy (documented in DESIGN.md): **no-steal / force-at-commit**.
+//! Eviction only ever discards *clean* unpinned frames; dirty pages reach
+//! disk exclusively through [`BufferPool::flush_all`] (called by
+//! transaction commit) or [`BufferPool::flush_file`]. Before any page is
+//! written, the installed [`WalHook`] is asked to force the log up to the
+//! highest page LSN being flushed — the write-ahead rule.
+//!
+//! Multi-page operations and flushes are serialized by an *operation
+//! gate*: every relation modification holds the gate in read mode for its
+//! duration, while `flush_all` takes it in write mode, so a flush never
+//! observes a half-done multi-page structural change (e.g. a B-tree split).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
+
+use crate::disk::DiskManager;
+use crate::page::Page;
+
+/// Installed by the recovery component so the pool can enforce
+/// write-ahead logging.
+pub trait WalHook: Send + Sync {
+    /// Make the log durable up to at least `lsn`.
+    fn force(&self, lsn: Lsn) -> Result<()>;
+}
+
+struct Frame {
+    page: RwLock<Page>,
+    pin_count: AtomicU32,
+    dirty: AtomicBool,
+    ref_bit: AtomicBool,
+}
+
+impl Frame {
+    fn new() -> Self {
+        Frame {
+            page: RwLock::new(Page::new()),
+            pin_count: AtomicU32::new(0),
+            dirty: AtomicBool::new(false),
+            ref_bit: AtomicBool::new(false),
+        }
+    }
+}
+
+#[derive(Default)]
+struct MapState {
+    /// page id -> frame index
+    table: HashMap<PageId, usize>,
+    /// frame index -> page id (inverse mapping for eviction)
+    resident: Vec<Option<PageId>>,
+    clock_hand: usize,
+}
+
+/// Buffer pool statistics.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub flushes: AtomicU64,
+}
+
+/// A fixed-size pool of page frames over a [`DiskManager`].
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    frames: Vec<Frame>,
+    map: Mutex<MapState>,
+    wal: RwLock<Option<Arc<dyn WalHook>>>,
+    op_gate: RwLock<()>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames.
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Arc::new(BufferPool {
+            disk,
+            frames: (0..capacity).map(|_| Frame::new()).collect(),
+            map: Mutex::new(MapState {
+                table: HashMap::with_capacity(capacity),
+                resident: vec![None; capacity],
+                clock_hand: 0,
+            }),
+            wal: RwLock::new(None),
+            op_gate: RwLock::new(()),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Installs the write-ahead-log hook (done once at database open).
+    pub fn set_wal_hook(&self, hook: Arc<dyn WalHook>) {
+        *self.wal.write() = Some(hook);
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Acquires the operation gate in read mode. Relation modification
+    /// operations hold this for their duration so `flush_all` (write mode)
+    /// never captures a torn multi-page change.
+    pub fn op_guard(&self) -> RwLockReadGuard<'_, ()> {
+        self.op_gate.read()
+    }
+
+    /// Fetches a page, reading it from disk on a miss.
+    pub fn fetch(self: &Arc<Self>, pid: PageId) -> Result<PinnedPage> {
+        let mut map = self.map.lock();
+        if let Some(&idx) = map.table.get(&pid) {
+            self.frames[idx].pin_count.fetch_add(1, Ordering::AcqRel);
+            self.frames[idx].ref_bit.store(true, Ordering::Relaxed);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PinnedPage {
+                pool: Arc::clone(self),
+                frame: idx,
+                pid,
+            });
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.claim_victim(&mut map, pid)?;
+        // Pin and lock the frame before releasing the map so no other
+        // thread can observe the frame before its contents are loaded.
+        let frame = &self.frames[idx];
+        frame.pin_count.store(1, Ordering::Release);
+        frame.ref_bit.store(true, Ordering::Relaxed);
+        let mut guard = frame.page.write();
+        drop(map);
+        if let Err(e) = self.disk.read_page(pid, &mut guard) {
+            // Undo the reservation.
+            drop(guard);
+            let mut map = self.map.lock();
+            map.table.remove(&pid);
+            map.resident[idx] = None;
+            frame.pin_count.store(0, Ordering::Release);
+            return Err(e);
+        }
+        drop(guard);
+        Ok(PinnedPage {
+            pool: Arc::clone(self),
+            frame: idx,
+            pid,
+        })
+    }
+
+    /// Allocates a fresh page in `file` and pins it, zeroed and dirty.
+    pub fn new_page(self: &Arc<Self>, file: FileId) -> Result<PinnedPage> {
+        let pid = self.disk.allocate_page(file)?;
+        let mut map = self.map.lock();
+        let idx = self.claim_victim(&mut map, pid)?;
+        let frame = &self.frames[idx];
+        frame.pin_count.store(1, Ordering::Release);
+        frame.ref_bit.store(true, Ordering::Relaxed);
+        frame.dirty.store(true, Ordering::Release);
+        let mut guard = frame.page.write();
+        drop(map);
+        *guard = Page::new();
+        drop(guard);
+        Ok(PinnedPage {
+            pool: Arc::clone(self),
+            frame: idx,
+            pid,
+        })
+    }
+
+    /// Picks a free or evictable frame and installs `pid` in the mapping.
+    /// Caller must hold the map lock.
+    fn claim_victim(&self, map: &mut MapState, pid: PageId) -> Result<usize> {
+        let n = self.frames.len();
+        let mut chosen = None;
+        // Clock sweep with a reference bit; two full passes plus one pass
+        // ignoring ref bits.
+        for round in 0..3 * n {
+            let idx = (map.clock_hand + round) % n;
+            let f = &self.frames[idx];
+            if f.pin_count.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if f.dirty.load(Ordering::Acquire) {
+                continue; // no-steal: never evict dirty pages
+            }
+            if round < 2 * n && f.ref_bit.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            chosen = Some(idx);
+            map.clock_hand = (idx + 1) % n;
+            break;
+        }
+        let idx = chosen.ok_or(DmxError::BufferFull)?;
+        if let Some(old) = map.resident[idx].take() {
+            map.table.remove(&old);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        map.table.insert(pid, idx);
+        map.resident[idx] = Some(pid);
+        Ok(idx)
+    }
+
+    /// Writes every dirty frame to disk (forcing the log first) and marks
+    /// them clean. Takes the operation gate in write mode.
+    pub fn flush_all(&self) -> Result<()> {
+        let _gate = self.op_gate.write();
+        self.flush_where(|_| true)
+    }
+
+    /// Flushes only the dirty pages of one file (used by deferred drops
+    /// and targeted checkpoints).
+    pub fn flush_file(&self, file: FileId) -> Result<()> {
+        let _gate = self.op_gate.write();
+        self.flush_where(|pid| pid.file == file)
+    }
+
+    fn flush_where(&self, want: impl Fn(PageId) -> bool) -> Result<()> {
+        let map = self.map.lock();
+        let mut targets: Vec<(usize, PageId)> = Vec::new();
+        let mut max_lsn = Lsn::NULL;
+        for (idx, pid) in map.resident.iter().enumerate() {
+            let Some(pid) = pid else { continue };
+            if !want(*pid) || !self.frames[idx].dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            let lsn = self.frames[idx].page.read().lsn();
+            if lsn > max_lsn {
+                max_lsn = lsn;
+            }
+            targets.push((idx, *pid));
+        }
+        drop(map);
+        if targets.is_empty() {
+            return Ok(());
+        }
+        if !max_lsn.is_null() {
+            if let Some(wal) = self.wal.read().clone() {
+                wal.force(max_lsn)?;
+            }
+        }
+        for (idx, pid) in targets {
+            let frame = &self.frames[idx];
+            let guard = frame.page.read();
+            self.disk.write_page(pid, &guard)?;
+            frame.dirty.store(false, Ordering::Release);
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Drops every cached frame of `file` without writing (used when a
+    /// relation is physically destroyed).
+    pub fn discard_file(&self, file: FileId) {
+        let mut map = self.map.lock();
+        let doomed: Vec<(usize, PageId)> = map
+            .resident
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.filter(|p| p.file == file).map(|p| (i, p)))
+            .collect();
+        for (idx, pid) in doomed {
+            debug_assert_eq!(
+                self.frames[idx].pin_count.load(Ordering::Acquire),
+                0,
+                "discarding pinned page {pid}"
+            );
+            map.table.remove(&pid);
+            map.resident[idx] = None;
+            self.frames[idx].dirty.store(false, Ordering::Release);
+        }
+    }
+
+    /// Number of dirty frames (for tests and monitoring).
+    pub fn dirty_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.dirty.load(Ordering::Acquire))
+            .count()
+    }
+}
+
+/// A pinned page handle. The page stays resident while any handle exists;
+/// dropping the handle unpins it.
+pub struct PinnedPage {
+    pool: Arc<BufferPool>,
+    frame: usize,
+    pid: PageId,
+}
+
+impl PinnedPage {
+    /// The page's id.
+    pub fn id(&self) -> PageId {
+        self.pid
+    }
+
+    /// Shared access to the page image.
+    pub fn read(&self) -> RwLockReadGuard<'_, Page> {
+        self.pool.frames[self.frame].page.read()
+    }
+
+    /// Exclusive access; marks the frame dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        let f = &self.pool.frames[self.frame];
+        f.dirty.store(true, Ordering::Release);
+        f.page.write()
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.pool.frames[self.frame]
+            .pin_count
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn setup(frames: usize) -> (Arc<MemDisk>, Arc<BufferPool>, FileId) {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone() as Arc<dyn DiskManager>, frames);
+        let file = disk.create_file().unwrap();
+        (disk, pool, file)
+    }
+
+    #[test]
+    fn new_page_then_fetch_hits() {
+        let (_d, pool, f) = setup(4);
+        let pid = {
+            let p = pool.new_page(f).unwrap();
+            p.write().body_mut()[0] = 77;
+            p.id()
+        };
+        let before = pool.stats().hits.load(Ordering::Relaxed);
+        let p = pool.fetch(pid).unwrap();
+        assert_eq!(p.read().body()[0], 77);
+        assert_eq!(pool.stats().hits.load(Ordering::Relaxed), before + 1);
+    }
+
+    #[test]
+    fn eviction_is_no_steal() {
+        let (disk, pool, f) = setup(2);
+        // Two dirty pages fill the pool.
+        let a = pool.new_page(f).unwrap();
+        let b = pool.new_page(f).unwrap();
+        let (pa, _pb) = (a.id(), b.id());
+        drop(a);
+        drop(b);
+        // A third page cannot enter: everything is dirty, nothing steals.
+        assert!(matches!(pool.new_page(f), Err(DmxError::BufferFull)));
+        assert_eq!(disk.stats().snapshot().writes, 0, "no-steal wrote nothing");
+        // After a flush, frames are clean and evictable.
+        pool.flush_all().unwrap();
+        let c = pool.new_page(f).unwrap();
+        drop(c);
+        // The evicted page can be re-read with its data intact.
+        let back = pool.fetch(pa).unwrap();
+        assert_eq!(back.id(), pa);
+    }
+
+    #[test]
+    fn flush_writes_dirty_and_clears() {
+        let (disk, pool, f) = setup(4);
+        let p = pool.new_page(f).unwrap();
+        p.write().body_mut()[1] = 5;
+        let pid = p.id();
+        drop(p);
+        assert_eq!(pool.dirty_count(), 1);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.dirty_count(), 0);
+        let mut img = Page::new();
+        disk.read_page(pid, &mut img).unwrap();
+        assert_eq!(img.body()[1], 5);
+        // flushing again is a no-op
+        let w = disk.stats().snapshot().writes;
+        pool.flush_all().unwrap();
+        assert_eq!(disk.stats().snapshot().writes, w);
+    }
+
+    #[test]
+    fn wal_hook_forced_before_write() {
+        struct Probe {
+            forced: AtomicU64,
+            disk_writes_at_force: AtomicU64,
+            disk: Arc<MemDisk>,
+        }
+        impl WalHook for Probe {
+            fn force(&self, lsn: Lsn) -> Result<()> {
+                self.forced.store(lsn.0, Ordering::SeqCst);
+                self.disk_writes_at_force
+                    .store(self.disk.stats().snapshot().writes, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let (disk, pool, f) = setup(4);
+        let probe = Arc::new(Probe {
+            forced: AtomicU64::new(0),
+            disk_writes_at_force: AtomicU64::new(0),
+            disk: disk.clone(),
+        });
+        pool.set_wal_hook(probe.clone());
+        let p = pool.new_page(f).unwrap();
+        p.write().set_lsn(Lsn(41));
+        drop(p);
+        pool.flush_all().unwrap();
+        assert_eq!(probe.forced.load(Ordering::SeqCst), 41);
+        assert_eq!(
+            probe.disk_writes_at_force.load(Ordering::SeqCst),
+            0,
+            "log forced before the first page write"
+        );
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (_d, pool, f) = setup(2);
+        let a = pool.new_page(f).unwrap();
+        let b = pool.new_page(f).unwrap();
+        pool.flush_all().unwrap(); // clean, but still pinned
+        assert!(matches!(pool.new_page(f), Err(DmxError::BufferFull)));
+        drop(a);
+        drop(b);
+        assert!(pool.new_page(f).is_ok());
+    }
+
+    #[test]
+    fn discard_file_drops_frames_without_io() {
+        let (disk, pool, f) = setup(4);
+        let p = pool.new_page(f).unwrap();
+        let pid = p.id();
+        drop(p);
+        pool.discard_file(f);
+        assert_eq!(pool.dirty_count(), 0);
+        assert_eq!(disk.stats().snapshot().writes, 0);
+        // the page can still be fetched from disk (zeroed image)
+        let back = pool.fetch(pid).unwrap();
+        assert_eq!(back.read().body()[0], 0);
+    }
+
+    #[test]
+    fn fetch_missing_page_fails_cleanly() {
+        let (_d, pool, f) = setup(2);
+        assert!(pool.fetch(PageId::new(f, 99)).is_err());
+        // pool still fully usable afterwards (reservation rolled back)
+        let a = pool.new_page(f).unwrap();
+        let b = pool.new_page(f).unwrap();
+        drop((a, b));
+        pool.flush_all().unwrap();
+    }
+
+    #[test]
+    fn flush_file_is_selective() {
+        let (disk, pool, f1) = setup(8);
+        let f2 = disk.create_file().unwrap();
+        let p1 = pool.new_page(f1).unwrap();
+        let p2 = pool.new_page(f2).unwrap();
+        let (pid1, _pid2) = (p1.id(), p2.id());
+        drop(p1);
+        drop(p2);
+        pool.flush_file(f1).unwrap();
+        assert_eq!(pool.dirty_count(), 1, "f2's page remains dirty");
+        let mut img = Page::new();
+        disk.read_page(pid1, &mut img).unwrap();
+    }
+
+    #[test]
+    fn concurrent_fetch_same_page() {
+        let (_d, pool, f) = setup(8);
+        let p = pool.new_page(f).unwrap();
+        let pid = p.id();
+        p.write().body_mut()[0] = 9;
+        drop(p);
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move |_| {
+                    for _ in 0..200 {
+                        let g = pool.fetch(pid).unwrap();
+                        assert_eq!(g.read().body()[0], 9);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_different_pages() {
+        let (_d, pool, f) = setup(16);
+        let pids: Vec<PageId> = (0..8).map(|_| pool.new_page(f).unwrap().id()).collect();
+        crossbeam::scope(|s| {
+            for (i, pid) in pids.iter().enumerate() {
+                let pool = pool.clone();
+                let pid = *pid;
+                s.spawn(move |_| {
+                    for k in 0..100u64 {
+                        let g = pool.fetch(pid).unwrap();
+                        g.write().put_u64(64, k * (i as u64 + 1));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, pid) in pids.iter().enumerate() {
+            let g = pool.fetch(*pid).unwrap();
+            assert_eq!(g.read().get_u64(64), 99 * (i as u64 + 1));
+        }
+    }
+}

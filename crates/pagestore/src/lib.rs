@@ -1,0 +1,24 @@
+//! Paged storage substrate: a simulated disk, slotted pages and a buffer
+//! pool.
+//!
+//! The paper's experiments ran against real 1987 disks; we substitute a
+//! [`disk::MemDisk`] that counts every read, write and allocation
+//! ([`disk::IoStats`]) so the cost-estimation experiments can report I/O
+//! counts, and that supports a *simulated crash*: the disk image survives
+//! while all volatile state (buffer pool, transaction tables) is dropped.
+//!
+//! The [`buffer::BufferPool`] implements a strict **no-steal /
+//! force-at-commit** policy (see DESIGN.md): dirty pages are never written
+//! by eviction, only by an explicit [`buffer::BufferPool::flush_all`] at
+//! commit, which first forces the write-ahead log through an installed
+//! [`buffer::WalHook`].
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+pub mod slotted;
+
+pub use buffer::{BufferPool, PinnedPage, WalHook};
+pub use disk::{DiskManager, IoSnapshot, IoStats, MemDisk};
+pub use page::{Page, PAGE_SIZE};
+pub use slotted::SlottedPage;

@@ -1,0 +1,163 @@
+//! Fixed-size pages.
+//!
+//! Every page begins with a small generic header (page LSN + page type)
+//! that the recovery machinery understands regardless of which extension
+//! owns the page; the rest of the page is extension-defined.
+
+use dmx_types::Lsn;
+
+/// Page size in bytes. 8 KiB, a common unit for slotted-page systems.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Size of the generic page header: LSN (8) + page type (1) + padding (7).
+pub const PAGE_HEADER_SIZE: usize = 16;
+
+const LSN_OFFSET: usize = 0;
+const TYPE_OFFSET: usize = 8;
+
+/// A fixed-size page image.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn new() -> Self {
+        Page::default()
+    }
+
+    /// The page LSN: the LSN of the last log record describing a change to
+    /// this page. Used by recovery for idempotent undo of physiological
+    /// operations.
+    pub fn lsn(&self) -> Lsn {
+        Lsn(u64::from_le_bytes(
+            self.data[LSN_OFFSET..LSN_OFFSET + 8].try_into().unwrap(),
+        ))
+    }
+
+    /// Stamps the page LSN.
+    pub fn set_lsn(&mut self, lsn: Lsn) {
+        self.data[LSN_OFFSET..LSN_OFFSET + 8].copy_from_slice(&lsn.0.to_le_bytes());
+    }
+
+    /// Extension-assigned page type tag (e.g. heap data page, B-tree leaf).
+    pub fn page_type(&self) -> u8 {
+        self.data[TYPE_OFFSET]
+    }
+
+    /// Sets the page type tag.
+    pub fn set_page_type(&mut self, t: u8) {
+        self.data[TYPE_OFFSET] = t;
+    }
+
+    /// The full page image, including the generic header.
+    pub fn raw(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable full page image.
+    pub fn raw_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// The extension-owned body (everything after the generic header).
+    pub fn body(&self) -> &[u8] {
+        &self.data[PAGE_HEADER_SIZE..]
+    }
+
+    /// Mutable extension-owned body.
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.data[PAGE_HEADER_SIZE..]
+    }
+
+    /// Reads a little-endian u16 at a byte offset into the *full* page.
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("lsn", &self.lsn())
+            .field("type", &self.page_type())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert_eq!(p.lsn(), Lsn::NULL);
+        assert_eq!(p.page_type(), 0);
+        assert!(p.raw().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn header_accessors() {
+        let mut p = Page::new();
+        p.set_lsn(Lsn(0xDEADBEEF));
+        p.set_page_type(3);
+        assert_eq!(p.lsn(), Lsn(0xDEADBEEF));
+        assert_eq!(p.page_type(), 3);
+    }
+
+    #[test]
+    fn body_excludes_header() {
+        let mut p = Page::new();
+        p.body_mut()[0] = 0xAB;
+        assert_eq!(p.raw()[PAGE_HEADER_SIZE], 0xAB);
+        assert_eq!(p.body().len(), PAGE_SIZE - PAGE_HEADER_SIZE);
+        // header untouched by body writes
+        assert_eq!(p.lsn(), Lsn::NULL);
+    }
+
+    #[test]
+    fn scalar_accessors_roundtrip() {
+        let mut p = Page::new();
+        p.put_u16(100, 0x1234);
+        p.put_u32(102, 0xAABBCCDD);
+        p.put_u64(106, u64::MAX - 5);
+        assert_eq!(p.get_u16(100), 0x1234);
+        assert_eq!(p.get_u32(102), 0xAABBCCDD);
+        assert_eq!(p.get_u64(106), u64::MAX - 5);
+    }
+}

@@ -1,0 +1,352 @@
+//! Slotted page layout.
+//!
+//! A classic slotted page: a slot directory grows upward after the page
+//! header, record payloads grow downward from the end of the page. Slot
+//! numbers are stable across deletes (deleted slots become tombstones and
+//! may be re-used), which lets heap record ids (page, slot) stay valid for
+//! the life of a record and lets recovery re-insert a record at its
+//! original slot during undo of a delete.
+//!
+//! Layout (full-page offsets):
+//! ```text
+//! 0..16   generic page header (LSN, page type)
+//! 16..18  slot_count: u16
+//! 18..20  free_end:   u16   offset of the lowest record byte
+//! 20..    slot directory, 4 bytes per slot: offset u16, len u16
+//!         (offset 0 = tombstone)
+//! ...     free space
+//! ...PAGE_SIZE  record payloads
+//! ```
+
+use crate::page::{Page, PAGE_SIZE};
+use dmx_types::{DmxError, Result};
+
+const SLOT_COUNT_OFF: usize = 16;
+const FREE_END_OFF: usize = 18;
+const DIR_OFF: usize = 20;
+const SLOT_BYTES: usize = 4;
+
+/// Namespace for slotted-page operations over [`Page`] images.
+pub struct SlottedPage;
+
+impl SlottedPage {
+    /// Largest record payload a single page can hold.
+    pub const MAX_RECORD: usize = PAGE_SIZE - DIR_OFF - SLOT_BYTES;
+
+    /// Formats an empty slotted page (leaves the generic header alone).
+    pub fn init(page: &mut Page) {
+        page.put_u16(SLOT_COUNT_OFF, 0);
+        page.put_u16(FREE_END_OFF, PAGE_SIZE as u16);
+    }
+
+    /// Number of slots in the directory (live + tombstones).
+    pub fn slot_count(page: &Page) -> u16 {
+        page.get_u16(SLOT_COUNT_OFF)
+    }
+
+    /// Number of live (non-tombstone) records.
+    pub fn live_count(page: &Page) -> u16 {
+        (0..Self::slot_count(page))
+            .filter(|&s| Self::slot_entry(page, s).0 != 0)
+            .count() as u16
+    }
+
+    fn slot_entry(page: &Page, slot: u16) -> (u16, u16) {
+        let off = DIR_OFF + slot as usize * SLOT_BYTES;
+        (page.get_u16(off), page.get_u16(off + 2))
+    }
+
+    fn set_slot_entry(page: &mut Page, slot: u16, offset: u16, len: u16) {
+        let off = DIR_OFF + slot as usize * SLOT_BYTES;
+        page.put_u16(off, offset);
+        page.put_u16(off + 2, len);
+    }
+
+    /// Contiguous free bytes between the slot directory and the record
+    /// heap.
+    pub fn free_space(page: &Page) -> usize {
+        let free_end = page.get_u16(FREE_END_OFF) as usize;
+        let dir_end = DIR_OFF + Self::slot_count(page) as usize * SLOT_BYTES;
+        free_end.saturating_sub(dir_end)
+    }
+
+    /// Bytes reclaimable by [`SlottedPage::compact`] (tombstoned payloads
+    /// and holes).
+    pub fn reclaimable(page: &Page) -> usize {
+        let live: usize = (0..Self::slot_count(page))
+            .map(|s| Self::slot_entry(page, s))
+            .filter(|&(off, _)| off != 0)
+            .map(|(_, len)| len as usize)
+            .sum();
+        let used = PAGE_SIZE - page.get_u16(FREE_END_OFF) as usize;
+        used - live
+    }
+
+    /// Reads a record payload; `None` for tombstones or out-of-range slots.
+    pub fn get(page: &Page, slot: u16) -> Option<&[u8]> {
+        if slot >= Self::slot_count(page) {
+            return None;
+        }
+        let (off, len) = Self::slot_entry(page, slot);
+        if off == 0 {
+            return None;
+        }
+        Some(&page.raw()[off as usize..off as usize + len as usize])
+    }
+
+    /// Inserts a record, preferring tombstone slots, appending a new slot
+    /// otherwise. Compacts if fragmentation blocks an otherwise-fitting
+    /// insert. Returns the slot number, or `None` when the page cannot
+    /// hold the record.
+    pub fn insert(page: &mut Page, data: &[u8]) -> Option<u16> {
+        if data.len() > Self::MAX_RECORD {
+            return None;
+        }
+        let slot = (0..Self::slot_count(page))
+            .find(|&s| Self::slot_entry(page, s).0 == 0)
+            .unwrap_or_else(|| Self::slot_count(page));
+        Self::insert_at(page, slot, data).ok()?;
+        Some(slot)
+    }
+
+    /// Inserts a record at a specific slot (the slot must be a tombstone or
+    /// the next fresh slot). Recovery uses this to undo a delete without
+    /// changing the record's id.
+    pub fn insert_at(page: &mut Page, slot: u16, data: &[u8]) -> Result<()> {
+        let count = Self::slot_count(page);
+        if slot > count {
+            return Err(DmxError::InvalidArg(format!(
+                "slot {slot} beyond directory end {count}"
+            )));
+        }
+        if slot < count && Self::slot_entry(page, slot).0 != 0 {
+            return Err(DmxError::InvalidArg(format!("slot {slot} is occupied")));
+        }
+        let new_slot_bytes = if slot == count { SLOT_BYTES } else { 0 };
+        if Self::free_space(page) + Self::reclaimable(page) < data.len() + new_slot_bytes {
+            return Err(DmxError::Io("page full".into()));
+        }
+        if Self::free_space(page) < data.len() + new_slot_bytes {
+            Self::compact(page);
+        }
+        let free_end = page.get_u16(FREE_END_OFF) as usize;
+        let new_off = free_end - data.len();
+        page.raw_mut()[new_off..free_end].copy_from_slice(data);
+        page.put_u16(FREE_END_OFF, new_off as u16);
+        if slot == count {
+            page.put_u16(SLOT_COUNT_OFF, count + 1);
+        }
+        Self::set_slot_entry(page, slot, new_off as u16, data.len() as u16);
+        Ok(())
+    }
+
+    /// Tombstones a slot, returning the payload that was there.
+    pub fn delete(page: &mut Page, slot: u16) -> Option<Vec<u8>> {
+        let data = Self::get(page, slot)?.to_vec();
+        Self::set_slot_entry(page, slot, 0, 0);
+        Some(data)
+    }
+
+    /// Replaces a record in place, keeping its slot number. Fails with
+    /// `Io("page full")` when the page cannot hold the new payload even
+    /// after compaction; the caller (heap storage method) then relocates.
+    pub fn update(page: &mut Page, slot: u16, data: &[u8]) -> Result<()> {
+        let (off, len) = match Self::get(page, slot) {
+            Some(_) => Self::slot_entry(page, slot),
+            None => return Err(DmxError::NotFound(format!("slot {slot}"))),
+        };
+        if data.len() <= len as usize {
+            // shrink in place
+            let start = off as usize;
+            page.raw_mut()[start..start + data.len()].copy_from_slice(data);
+            Self::set_slot_entry(page, slot, off, data.len() as u16);
+            return Ok(());
+        }
+        // Grow: tombstone then re-insert at the same slot; roll back the
+        // tombstone on failure.
+        let old = Self::delete(page, slot).expect("slot verified live");
+        match Self::insert_at(page, slot, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                Self::insert_at(page, slot, &old).expect("reinsert of old payload must fit");
+                Err(e)
+            }
+        }
+    }
+
+    /// Repacks live payloads to eliminate holes. Slot numbers are
+    /// preserved.
+    pub fn compact(page: &mut Page) {
+        let count = Self::slot_count(page);
+        let mut live: Vec<(u16, Vec<u8>)> = (0..count)
+            .filter_map(|s| Self::get(page, s).map(|d| (s, d.to_vec())))
+            .collect();
+        // Pack from the end of the page downward.
+        let mut free_end = PAGE_SIZE;
+        for (slot, data) in live.drain(..) {
+            free_end -= data.len();
+            page.raw_mut()[free_end..free_end + data.len()].copy_from_slice(&data);
+            Self::set_slot_entry(page, slot, free_end as u16, data.len() as u16);
+        }
+        page.put_u16(FREE_END_OFF, free_end as u16);
+    }
+
+    /// Slot numbers of live records, ascending.
+    pub fn live_slots(page: &Page) -> Vec<u16> {
+        (0..Self::slot_count(page))
+            .filter(|&s| Self::slot_entry(page, s).0 != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fresh() -> Page {
+        let mut p = Page::new();
+        SlottedPage::init(&mut p);
+        p
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = fresh();
+        let s0 = SlottedPage::insert(&mut p, b"hello").unwrap();
+        let s1 = SlottedPage::insert(&mut p, b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(SlottedPage::get(&p, s0).unwrap(), b"hello");
+        assert_eq!(SlottedPage::get(&p, s1).unwrap(), b"world!");
+        assert_eq!(SlottedPage::get(&p, 9), None);
+        assert_eq!(SlottedPage::live_count(&p), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_reuse() {
+        let mut p = fresh();
+        let s0 = SlottedPage::insert(&mut p, b"aaa").unwrap();
+        let s1 = SlottedPage::insert(&mut p, b"bbb").unwrap();
+        assert_eq!(SlottedPage::delete(&mut p, s0).unwrap(), b"aaa");
+        assert_eq!(SlottedPage::get(&p, s0), None);
+        assert_eq!(SlottedPage::get(&p, s1).unwrap(), b"bbb");
+        // next insert reuses the tombstone
+        let s2 = SlottedPage::insert(&mut p, b"ccc").unwrap();
+        assert_eq!(s2, s0);
+        assert_eq!(SlottedPage::live_slots(&p), vec![0, 1]);
+        assert!(SlottedPage::delete(&mut p, 7).is_none());
+    }
+
+    #[test]
+    fn insert_at_rules() {
+        let mut p = fresh();
+        SlottedPage::insert(&mut p, b"x").unwrap();
+        // occupied
+        assert!(SlottedPage::insert_at(&mut p, 0, b"y").is_err());
+        // gap beyond directory end
+        assert!(SlottedPage::insert_at(&mut p, 2, b"y").is_err());
+        // append at directory end
+        SlottedPage::insert_at(&mut p, 1, b"y").unwrap();
+        assert_eq!(SlottedPage::get(&p, 1).unwrap(), b"y");
+        // reinsert into a tombstone restores the original slot
+        SlottedPage::delete(&mut p, 0).unwrap();
+        SlottedPage::insert_at(&mut p, 0, b"z").unwrap();
+        assert_eq!(SlottedPage::get(&p, 0).unwrap(), b"z");
+    }
+
+    #[test]
+    fn update_shrink_grow_and_full() {
+        let mut p = fresh();
+        let s = SlottedPage::insert(&mut p, &[7u8; 100]).unwrap();
+        SlottedPage::update(&mut p, s, &[1u8; 10]).unwrap();
+        assert_eq!(SlottedPage::get(&p, s).unwrap(), &[1u8; 10]);
+        SlottedPage::update(&mut p, s, &[2u8; 500]).unwrap();
+        assert_eq!(SlottedPage::get(&p, s).unwrap(), &[2u8; 500]);
+        // grow beyond capacity fails and preserves the old payload
+        let err = SlottedPage::update(&mut p, s, &[3u8; PAGE_SIZE]).unwrap_err();
+        assert!(matches!(err, DmxError::Io(_)));
+        assert_eq!(SlottedPage::get(&p, s).unwrap(), &[2u8; 500]);
+        assert!(SlottedPage::update(&mut p, 9, b"x").is_err());
+    }
+
+    #[test]
+    fn fills_page_then_rejects() {
+        let mut p = fresh();
+        let rec = [0xABu8; 1000];
+        let mut n = 0;
+        while SlottedPage::insert(&mut p, &rec).is_some() {
+            n += 1;
+        }
+        assert!(n >= 7, "8 KiB page should hold at least 7 1000-byte records");
+        assert!(SlottedPage::free_space(&p) < rec.len() + 4);
+        // deleting one makes room again
+        SlottedPage::delete(&mut p, 0).unwrap();
+        assert!(SlottedPage::insert(&mut p, &rec).is_some());
+    }
+
+    #[test]
+    fn compaction_defragments() {
+        let mut p = fresh();
+        // Fill with alternating sizes, delete every other record, then
+        // insert something that only fits after compaction.
+        let mut slots = Vec::new();
+        while let Some(s) = SlottedPage::insert(&mut p, &[9u8; 512]) {
+            slots.push(s);
+        }
+        for s in slots.iter().step_by(2) {
+            SlottedPage::delete(&mut p, *s);
+        }
+        assert!(SlottedPage::reclaimable(&p) > 0);
+        let big = vec![5u8; 2048];
+        let s = SlottedPage::insert(&mut p, &big).expect("fits after implicit compaction");
+        assert_eq!(SlottedPage::get(&p, s).unwrap(), &big[..]);
+        // survivors intact
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(SlottedPage::get(&p, *s).unwrap(), &[9u8; 512]);
+        }
+    }
+
+    #[test]
+    fn zero_length_records_are_legal() {
+        let mut p = fresh();
+        let s = SlottedPage::insert(&mut p, b"").unwrap();
+        assert_eq!(SlottedPage::get(&p, s).unwrap(), b"");
+        assert_eq!(SlottedPage::delete(&mut p, s).unwrap(), b"");
+    }
+
+    proptest! {
+        /// Random op sequences keep the page consistent with a shadow map.
+        #[test]
+        fn prop_matches_shadow(ops in proptest::collection::vec(
+            (0u8..4, 0u16..24, proptest::collection::vec(any::<u8>(), 0..300)), 0..120))
+        {
+            let mut p = fresh();
+            let mut shadow: std::collections::HashMap<u16, Vec<u8>> = Default::default();
+            for (op, slot, data) in ops {
+                match op {
+                    0 => {
+                        if let Some(s) = SlottedPage::insert(&mut p, &data) {
+                            shadow.insert(s, data);
+                        }
+                    }
+                    1 => {
+                        let got = SlottedPage::delete(&mut p, slot);
+                        prop_assert_eq!(got, shadow.remove(&slot));
+                    }
+                    2 => {
+                        let ok = SlottedPage::update(&mut p, slot, &data).is_ok();
+                        if ok {
+                            shadow.insert(slot, data);
+                        }
+                    }
+                    _ => SlottedPage::compact(&mut p),
+                }
+                for (s, v) in &shadow {
+                    prop_assert_eq!(SlottedPage::get(&p, *s), Some(&v[..]));
+                }
+                prop_assert_eq!(SlottedPage::live_count(&p) as usize, shadow.len());
+            }
+        }
+    }
+}

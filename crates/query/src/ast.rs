@@ -1,0 +1,149 @@
+//! Statement AST produced by the parser.
+
+use dmx_types::{AttrList, DataType, Value};
+
+/// Unresolved expressions (names, not field offsets).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Lit(Value),
+    /// `name` or `qualifier.name`.
+    Column(Option<String>, String),
+    Cmp(dmx_expr::CmpOp, Box<AstExpr>, Box<AstExpr>),
+    And(Vec<AstExpr>),
+    Or(Vec<AstExpr>),
+    Not(Box<AstExpr>),
+    Arith(dmx_expr::BinOp, Box<AstExpr>, Box<AstExpr>),
+    Neg(Box<AstExpr>),
+    IsNull(Box<AstExpr>, bool),
+    Like(Box<AstExpr>, String),
+    Encloses(Box<AstExpr>, Box<AstExpr>),
+    Intersects(Box<AstExpr>, Box<AstExpr>),
+    /// Function call — may be a scalar function or an aggregate
+    /// (COUNT/SUM/AVG/MIN/MAX), disambiguated by the binder.
+    Func(String, Vec<AstExpr>),
+    /// `COUNT(*)`.
+    CountStar,
+}
+
+/// One SELECT output item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// expression with optional alias
+    Expr(AstExpr, Option<String>),
+}
+
+/// A table in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// ORDER BY key: output column by name or 1-based position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub column: OrderTarget,
+    pub desc: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    Name(String),
+    Position(usize),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+/// Parsed statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<ColDef>,
+        /// storage method (`USING …`); defaults to `heap`
+        using: Option<String>,
+        with: AttrList,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON table [USING ext] (cols…) [WITH …]`
+    CreateIndex {
+        name: String,
+        table: String,
+        using: Option<String>,
+        columns: Vec<String>,
+        unique: bool,
+        with: AttrList,
+    },
+    /// Generic attachment DDL:
+    /// `CREATE ATTACHMENT name ON table USING ext [WITH …]`.
+    CreateAttachment {
+        name: String,
+        table: String,
+        using: String,
+        with: AttrList,
+    },
+    /// `CREATE CONSTRAINT name ON table CHECK (expr) [DEFERRED]`
+    CreateCheck {
+        name: String,
+        table: String,
+        expr: AstExpr,
+        deferred: bool,
+    },
+    DropTable {
+        name: String,
+    },
+    /// `DROP ATTACHMENT name ON table` (also `DROP INDEX …`).
+    DropAttachment {
+        name: String,
+        table: String,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, AstExpr)>,
+        where_: Option<AstExpr>,
+    },
+    Delete {
+        table: String,
+        where_: Option<AstExpr>,
+    },
+    Select(SelectStmt),
+    Begin,
+    Commit,
+    Rollback,
+    Savepoint(String),
+    RollbackTo(String),
+    Release(String),
+    Grant {
+        privilege: String,
+        table: String,
+        user: String,
+    },
+    Revoke {
+        privilege: String,
+        table: String,
+        user: String,
+    },
+    Explain(Box<Stmt>),
+}

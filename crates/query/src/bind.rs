@@ -1,0 +1,99 @@
+//! The bound-plan cache.
+//!
+//! "It is important to retain the translations of queries into query
+//! execution plans … and to use the saved query execution plans whenever
+//! the queries are subsequently executed. This query binding approach
+//! avoids the non-trivial costs of accessing the relation descriptions
+//! and optimizing the query at query execution time." Compiled plans
+//! embed `Arc<RelationDescriptor>` snapshots (no catalog access at run
+//! time) and register their dependencies with the core's
+//! [`dmx_core::DependencyRegistry`]; a plan invalidated by DDL is
+//! re-translated automatically on its next invocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmx_core::{Database, PlanId};
+use dmx_types::Result;
+
+use crate::ast::SelectStmt;
+use crate::planner::{plan_select, CompiledSelect};
+
+struct Cached {
+    plan_id: PlanId,
+    compiled: Arc<CompiledSelect>,
+}
+
+/// Cache statistics (experiment E4 reports these).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub retranslations: AtomicU64,
+}
+
+/// SQL-text-keyed cache of compiled SELECT plans.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<String, Cached>>,
+    pub stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Returns the cached plan for `sql` when still valid; otherwise
+    /// (re-)compiles, registers dependencies, caches and returns it.
+    pub fn get_or_compile(
+        &self,
+        db: &Arc<Database>,
+        sql: &str,
+        sel: &SelectStmt,
+    ) -> Result<Arc<CompiledSelect>> {
+        {
+            let plans = self.plans.lock();
+            if let Some(c) = plans.get(sql) {
+                if db.deps().is_valid(c.plan_id) {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(c.compiled.clone());
+                }
+            }
+        }
+        // invalid or absent: (re-)translate
+        let compiled = Arc::new(plan_select(db, sel)?);
+        let plan_id = db.deps().register_plan(compiled.deps.clone());
+        let mut plans = self.plans.lock();
+        if let Some(old) = plans.insert(
+            sql.to_string(),
+            Cached {
+                plan_id,
+                compiled: compiled.clone(),
+            },
+        ) {
+            db.deps().forget_plan(old.plan_id);
+            self.stats.retranslations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(compiled)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (tests/benches).
+    pub fn clear(&self, db: &Arc<Database>) {
+        let mut plans = self.plans.lock();
+        for (_, c) in plans.drain() {
+            db.deps().forget_plan(c.plan_id);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! Tuple-at-a-time plan execution.
+//!
+//! Every base-table access goes through the unified access interface:
+//! open a key-sequential access on the chosen path (path zero = storage
+//! method), then — for access paths that don't cover the query — fetch
+//! each record from the storage method by its record key ("first the
+//! access path is accessed to obtain a record key, which is then used to
+//! access the relation record in the storage method").
+
+use std::collections::BTreeMap;
+
+use dmx_core::{AccessPath, AccessQuery, ExecCtx, KeyRange, RelationDescriptor, ScanItem};
+use dmx_expr::{eval, eval_predicate, EvalContext, Expr};
+use dmx_types::{
+    key::encode_values, DmxError, RecordKey, Result, ScanId, Value,
+};
+
+use crate::planner::{AccessPlan, Plan, PlannedItem, ProbeKind};
+use crate::semantic::AggKind;
+
+/// A stream of rows.
+pub trait RowSource {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>>;
+}
+
+/// Instantiates a plan subtree. `outer` supplies the accumulated outer
+/// row for probe-parameterized inner accesses.
+pub fn build<'p>(
+    plan: &'p Plan,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Box<dyn RowSource + 'p>> {
+    Ok(match plan {
+        Plan::Access(a) => Box::new(AccessOp::open(a, ctx, outer)?),
+        Plan::NlJoin {
+            left,
+            right,
+            filter,
+        } => Box::new(NlJoinOp {
+            left: build(left, ctx, outer)?,
+            right_plan: right,
+            filter: filter.as_ref(),
+            cur_left: None,
+            right: None,
+        }),
+        Plan::JoinIndexJoin {
+            left,
+            right,
+            att,
+            swapped,
+            filter,
+        } => Box::new(JoinIndexJoinOp::open(ctx, left, right, *att, *swapped, filter.as_ref())?),
+        Plan::Filter { input, pred } => Box::new(FilterOp {
+            input: build(input, ctx, outer)?,
+            pred,
+        }),
+        Plan::Project { input, exprs } => Box::new(ProjectOp {
+            input: build(input, ctx, outer)?,
+            exprs,
+        }),
+        Plan::Aggregate {
+            input,
+            group_by,
+            items,
+        } => Box::new(AggOp {
+            input: Some(build(input, ctx, outer)?),
+            group_by,
+            items,
+            out: Vec::new(),
+            pos: 0,
+            done: false,
+        }),
+        Plan::Sort { input, keys } => Box::new(SortOp {
+            input: Some(build(input, ctx, outer)?),
+            keys,
+            out: Vec::new(),
+            pos: 0,
+            done: false,
+        }),
+        Plan::Limit { input, n } => Box::new(LimitOp {
+            input: build(input, ctx, outer)?,
+            left: *n,
+        }),
+    })
+}
+
+/// Drains a plan into materialized rows.
+pub fn run_to_rows(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
+    let mut src = build(plan, ctx, None)?;
+    let mut rows = Vec::new();
+    while let Some(r) = src.next(ctx)? {
+        rows.push(r);
+    }
+    Ok(rows)
+}
+
+fn eval_scalar(ctx: &ExecCtx<'_>, e: &Expr, row: &[Value]) -> Result<Value> {
+    let funcs = ctx.services().funcs.read();
+    eval(e, &row, EvalContext::new(&funcs))
+}
+
+fn eval_pred(ctx: &ExecCtx<'_>, e: &Expr, row: &[Value]) -> Result<bool> {
+    let funcs = ctx.services().funcs.read();
+    eval_predicate(e, &row, EvalContext::new(&funcs))
+}
+
+// ----------------------------------------------------------------------
+
+struct AccessOp<'p> {
+    plan: &'p AccessPlan,
+    scan: ScanId,
+    width: usize,
+}
+
+impl<'p> AccessOp<'p> {
+    fn open(plan: &'p AccessPlan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Self> {
+        let query = match &plan.probe {
+            None => plan.query.clone(),
+            Some(p) => {
+                let outer_row = outer.ok_or_else(|| {
+                    DmxError::Internal("probe access opened without outer row".into())
+                })?;
+                let v = outer_row
+                    .get(p.outer_offset)
+                    .cloned()
+                    .ok_or_else(|| DmxError::Internal("probe offset out of range".into()))?;
+                if v.is_null() {
+                    // NULL joins nothing: an empty probe
+                    AccessQuery::Range(KeyRange {
+                        lo: std::ops::Bound::Excluded(vec![0xFF; 24]),
+                        hi: std::ops::Bound::Excluded(vec![0xFF; 24]),
+                    })
+                } else {
+                    let enc = encode_values(std::slice::from_ref(&v));
+                    match p.kind {
+                        ProbeKind::HashKey => AccessQuery::KeyEquals(enc),
+                        ProbeKind::IndexPrefix | ProbeKind::SmKeyPrefix => {
+                            let hi = match dmx_attach::common::prefix_successor(&enc) {
+                                Some(s) => std::ops::Bound::Excluded(s),
+                                None => std::ops::Bound::Unbounded,
+                            };
+                            AccessQuery::Range(KeyRange {
+                                lo: std::ops::Bound::Included(enc),
+                                hi,
+                            })
+                        }
+                    }
+                }
+            }
+        };
+        let scan = ctx.db.open_scan(
+            ctx.txn,
+            plan.rd.id,
+            plan.path,
+            query,
+            plan.pushed.clone(),
+            None,
+        )?;
+        Ok(AccessOp {
+            plan,
+            scan,
+            width: plan.rd.schema.len(),
+        })
+    }
+
+    fn assemble(&self, ctx: &ExecCtx<'_>, item: ScanItem) -> Result<Option<Vec<Value>>> {
+        if let Some(cov) = &self.plan.use_covered {
+            // covering path: build the row from the access-path key alone
+            let mut row = vec![Value::Null; self.width];
+            if let Some(values) = item.values {
+                for (v, f) in values.into_iter().zip(cov) {
+                    row[*f as usize] = v;
+                }
+            }
+            if let Some(res) = &self.plan.residual {
+                if !eval_pred(ctx, res, &row)? {
+                    return Ok(None);
+                }
+            }
+            return Ok(Some(row));
+        }
+        match self.plan.path {
+            AccessPath::StorageMethod => {
+                // full row; the storage method already applied the pushed
+                // predicate in the buffer pool
+                let mut row = item
+                    .values
+                    .ok_or_else(|| DmxError::Internal("storage scan without fields".into()))?;
+                if let Some(res) = &self.plan.residual {
+                    if !eval_pred(ctx, res, &row)? {
+                        return Ok(None);
+                    }
+                }
+                row.truncate(self.width);
+                Ok(Some(row))
+            }
+            AccessPath::Attachment(_, _) => {
+                // two-step access: record key from the path, record from
+                // the storage method (residual filtered in the pool)
+                ctx.db.fetch(
+                    ctx.txn,
+                    self.plan.rd.id,
+                    &item.key,
+                    None,
+                    self.plan.residual.as_ref(),
+                )
+            }
+        }
+    }
+}
+
+impl RowSource for AccessOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        loop {
+            let Some(item) = ctx.db.scan_next(ctx.txn, self.scan)? else {
+                ctx.db.scan_close(ctx.txn, self.scan);
+                return Ok(None);
+            };
+            if let Some(row) = self.assemble(ctx, item)? {
+                return Ok(Some(row));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+
+struct NlJoinOp<'p> {
+    left: Box<dyn RowSource + 'p>,
+    right_plan: &'p Plan,
+    filter: Option<&'p Expr>,
+    cur_left: Option<Vec<Value>>,
+    right: Option<Box<dyn RowSource + 'p>>,
+}
+
+impl RowSource for NlJoinOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        loop {
+            if self.right.is_none() {
+                let Some(lrow) = self.left.next(ctx)? else {
+                    return Ok(None);
+                };
+                self.right = Some(build(self.right_plan, ctx, Some(&lrow))?);
+                self.cur_left = Some(lrow);
+            }
+            let rrow = self.right.as_mut().unwrap().next(ctx)?;
+            match rrow {
+                None => {
+                    self.right = None;
+                    self.cur_left = None;
+                }
+                Some(r) => {
+                    let mut row = self.cur_left.clone().expect("left row present");
+                    row.extend(r);
+                    if let Some(f) = self.filter {
+                        if !eval_pred(ctx, f, &row)? {
+                            continue;
+                        }
+                    }
+                    return Ok(Some(row));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+
+struct JoinIndexJoinOp<'p> {
+    left: &'p RelationDescriptor,
+    right: &'p RelationDescriptor,
+    swapped: bool,
+    filter: Option<&'p Expr>,
+    scan: ScanId,
+}
+
+impl<'p> JoinIndexJoinOp<'p> {
+    fn open(
+        ctx: &ExecCtx<'_>,
+        left: &'p RelationDescriptor,
+        right: &'p RelationDescriptor,
+        att: (dmx_types::AttTypeId, dmx_types::AttInstanceId),
+        swapped: bool,
+        filter: Option<&'p Expr>,
+    ) -> Result<Self> {
+        // the pair scan lives on whichever relation carries the instance
+        // we planned with (the FROM-left one)
+        let scan = ctx.db.open_scan(
+            ctx.txn,
+            left.id,
+            AccessPath::Attachment(att.0, att.1),
+            AccessQuery::All,
+            None,
+            None,
+        )?;
+        Ok(JoinIndexJoinOp {
+            left,
+            right,
+            swapped,
+            filter,
+            scan,
+        })
+    }
+}
+
+impl RowSource for JoinIndexJoinOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        loop {
+            let Some(item) = ctx.db.scan_next(ctx.txn, self.scan)? else {
+                ctx.db.scan_close(ctx.txn, self.scan);
+                return Ok(None);
+            };
+            let pair_right = match item.values.as_ref().and_then(|v| v.first()) {
+                Some(Value::Bytes(b)) => RecordKey::new(b.clone()),
+                _ => return Err(DmxError::Internal("join index pair shape".into())),
+            };
+            // pair = (join-index-left key, join-index-right key); map onto
+            // FROM-order tables
+            let (lkey, rkey) = if self.swapped {
+                (pair_right, item.key)
+            } else {
+                (item.key, pair_right)
+            };
+            let Some(lrow) = ctx.db.fetch(ctx.txn, self.left.id, &lkey, None, None)? else {
+                continue;
+            };
+            let Some(rrow) = ctx.db.fetch(ctx.txn, self.right.id, &rkey, None, None)? else {
+                continue;
+            };
+            let mut row = lrow;
+            row.extend(rrow);
+            if let Some(f) = self.filter {
+                if !eval_pred(ctx, f, &row)? {
+                    continue;
+                }
+            }
+            return Ok(Some(row));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+
+struct FilterOp<'p> {
+    input: Box<dyn RowSource + 'p>,
+    pred: &'p Expr,
+}
+
+impl RowSource for FilterOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        while let Some(row) = self.input.next(ctx)? {
+            if eval_pred(ctx, self.pred, &row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp<'p> {
+    input: Box<dyn RowSource + 'p>,
+    exprs: &'p [Expr],
+}
+
+impl RowSource for ProjectOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        let Some(row) = self.input.next(ctx)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(self.exprs.len());
+        for e in self.exprs {
+            out.push(eval_scalar(ctx, e, &row)?);
+        }
+        Ok(Some(out))
+    }
+}
+
+struct LimitOp<'p> {
+    input: Box<dyn RowSource + 'p>,
+    left: u64,
+}
+
+impl RowSource for LimitOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            Some(r) => {
+                self.left -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct SortOp<'p> {
+    input: Option<Box<dyn RowSource + 'p>>,
+    keys: &'p [(usize, bool)],
+    out: Vec<Vec<Value>>,
+    pos: usize,
+    done: bool,
+}
+
+impl RowSource for SortOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if !self.done {
+            let mut input = self.input.take().expect("sort opened once");
+            while let Some(r) = input.next(ctx)? {
+                self.out.push(r);
+            }
+            let keys = self.keys;
+            self.out.sort_by(|a, b| {
+                for (idx, desc) in keys {
+                    let ord = a[*idx].total_cmp(&b[*idx]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.done = true;
+        }
+        if self.pos >= self.out.len() {
+            return Ok(None);
+        }
+        self.pos += 1;
+        Ok(Some(self.out[self.pos - 1].clone()))
+    }
+}
+
+// ----------------------------------------------------------------------
+
+struct AggState {
+    representative: Vec<Value>,
+    count: u64,
+    per_item: Vec<ItemAcc>,
+}
+
+enum ItemAcc {
+    Scalar,
+    Count(u64),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { sum: f64, n: u64 },
+}
+
+struct AggOp<'p> {
+    input: Option<Box<dyn RowSource + 'p>>,
+    group_by: &'p [Expr],
+    items: &'p [PlannedItem],
+    out: Vec<Vec<Value>>,
+    pos: usize,
+    done: bool,
+}
+
+impl AggOp<'_> {
+    fn make_accs(items: &[PlannedItem]) -> Vec<ItemAcc> {
+        items
+            .iter()
+            .map(|i| match i {
+                PlannedItem::Scalar(_) => ItemAcc::Scalar,
+                PlannedItem::Agg(AggKind::Count | AggKind::CountStar, _) => ItemAcc::Count(0),
+                PlannedItem::Agg(AggKind::Sum, _) => ItemAcc::Sum {
+                    int: 0,
+                    float: 0.0,
+                    any_float: false,
+                    seen: false,
+                },
+                PlannedItem::Agg(AggKind::Min, _) => ItemAcc::MinMax {
+                    best: None,
+                    is_min: true,
+                },
+                PlannedItem::Agg(AggKind::Max, _) => ItemAcc::MinMax {
+                    best: None,
+                    is_min: false,
+                },
+                PlannedItem::Agg(AggKind::Avg, _) => ItemAcc::Avg { sum: 0.0, n: 0 },
+            })
+            .collect()
+    }
+
+    fn accumulate(&self, ctx: &ExecCtx<'_>, st: &mut AggState, row: &[Value]) -> Result<()> {
+        st.count += 1;
+        for (acc, item) in st.per_item.iter_mut().zip(self.items) {
+            let arg = match item {
+                PlannedItem::Agg(_, Some(e)) => Some(eval_scalar(ctx, e, row)?),
+                _ => None,
+            };
+            match (acc, item) {
+                (ItemAcc::Scalar, _) => {}
+                (ItemAcc::Count(n), PlannedItem::Agg(AggKind::CountStar, _)) => *n += 1,
+                (ItemAcc::Count(n), _) => {
+                    if !arg.as_ref().map(|v| v.is_null()).unwrap_or(true) {
+                        *n += 1;
+                    }
+                }
+                (
+                    ItemAcc::Sum {
+                        int,
+                        float,
+                        any_float,
+                        seen,
+                    },
+                    _,
+                ) => match arg {
+                    Some(Value::Int(i)) => {
+                        *int += i;
+                        *float += i as f64;
+                        *seen = true;
+                    }
+                    Some(Value::Float(x)) => {
+                        *float += x;
+                        *any_float = true;
+                        *seen = true;
+                    }
+                    Some(Value::Null) | None => {}
+                    Some(other) => {
+                        return Err(DmxError::TypeMismatch(format!("SUM({other})")))
+                    }
+                },
+                (ItemAcc::MinMax { best, is_min }, _) => {
+                    if let Some(v) = arg {
+                        if !v.is_null() {
+                            let replace = match best {
+                                None => true,
+                                Some(b) => {
+                                    let ord = v.total_cmp(b);
+                                    if *is_min {
+                                        ord == std::cmp::Ordering::Less
+                                    } else {
+                                        ord == std::cmp::Ordering::Greater
+                                    }
+                                }
+                            };
+                            if replace {
+                                *best = Some(v);
+                            }
+                        }
+                    }
+                }
+                (ItemAcc::Avg { sum, n }, _) => {
+                    if let Some(v) = arg {
+                        if !v.is_null() {
+                            *sum += v.as_float()?;
+                            *n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self, ctx: &ExecCtx<'_>, st: AggState) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.items.len());
+        for (acc, item) in st.per_item.into_iter().zip(self.items) {
+            out.push(match (acc, item) {
+                (ItemAcc::Scalar, PlannedItem::Scalar(e)) => {
+                    if st.representative.is_empty() {
+                        Value::Null
+                    } else {
+                        eval_scalar(ctx, e, &st.representative)?
+                    }
+                }
+                (ItemAcc::Count(n), _) => Value::Int(n as i64),
+                (
+                    ItemAcc::Sum {
+                        int,
+                        float,
+                        any_float,
+                        seen,
+                    },
+                    _,
+                ) => {
+                    if !seen {
+                        Value::Null
+                    } else if any_float {
+                        Value::Float(float)
+                    } else {
+                        Value::Int(int)
+                    }
+                }
+                (ItemAcc::MinMax { best, .. }, _) => best.unwrap_or(Value::Null),
+                (ItemAcc::Avg { sum, n }, _) => {
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum / n as f64)
+                    }
+                }
+                (ItemAcc::Scalar, _) => unreachable!(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl RowSource for AggOp<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if !self.done {
+            let mut input = self.input.take().expect("agg opened once");
+            let mut groups: BTreeMap<Vec<u8>, AggState> = BTreeMap::new();
+            while let Some(row) = input.next(ctx)? {
+                let mut key_vals = Vec::with_capacity(self.group_by.len());
+                for g in self.group_by {
+                    key_vals.push(eval_scalar(ctx, g, &row)?);
+                }
+                let key = encode_values(&key_vals);
+                let st = groups.entry(key).or_insert_with(|| AggState {
+                    representative: row.clone(),
+                    count: 0,
+                    per_item: Self::make_accs(self.items),
+                });
+                self.accumulate(ctx, st, &row)?;
+            }
+            if groups.is_empty() && self.group_by.is_empty() {
+                // aggregates over an empty input yield one row
+                groups.insert(
+                    Vec::new(),
+                    AggState {
+                        representative: Vec::new(),
+                        count: 0,
+                        per_item: Self::make_accs(self.items),
+                    },
+                );
+            }
+            for (_, st) in groups {
+                let row = self.finish(ctx, st)?;
+                self.out.push(row);
+            }
+            self.done = true;
+        }
+        if self.pos >= self.out.len() {
+            return Ok(None);
+        }
+        self.pos += 1;
+        Ok(Some(self.out[self.pos - 1].clone()))
+    }
+}

@@ -1,0 +1,188 @@
+//! Tokenizer for the mini SQL.
+
+use dmx_types::{DmxError, Result};
+
+/// Tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier / keyword (kept verbatim; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation / operators.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Splits `input` into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal, '' escapes a quote
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DmxError::Parse("unterminated string".into())),
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && !saw_exp
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
+                    {
+                        saw_exp = true;
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if saw_dot || saw_exp {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        DmxError::Parse(format!("bad number {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        DmxError::Parse(format!("bad number {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            _ => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let sym = match two.as_str() {
+                    "<=" | ">=" | "<>" | "!=" => {
+                        i += 2;
+                        match two.as_str() {
+                            "<=" => "<=",
+                            ">=" => ">=",
+                            _ => "<>",
+                        }
+                    }
+                    _ => {
+                        i += 1;
+                        match c {
+                            '(' => "(",
+                            ')' => ")",
+                            ',' => ",",
+                            ';' => ";",
+                            '=' => "=",
+                            '<' => "<",
+                            '>' => ">",
+                            '+' => "+",
+                            '-' => "-",
+                            '*' => "*",
+                            '/' => "/",
+                            '%' => "%",
+                            '.' => ".",
+                            other => {
+                                return Err(DmxError::Parse(format!("unexpected character '{other}'")))
+                            }
+                        }
+                    }
+                };
+                out.push(Token::Sym(sym));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let t = tokenize("SELECT a.b, 'it''s' FROM t WHERE x <= 1.5e2 -- trailing").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[2], Token::Sym("."));
+        assert_eq!(t[5], Token::Str("it's".into()));
+        assert!(t.contains(&Token::Sym("<=")));
+        assert!(t.contains(&Token::Float(150.0)));
+        assert!(!t.iter().any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        let t = tokenize("-5 3.25 .5 7").unwrap();
+        // unary minus stays a symbol; the parser folds it
+        assert_eq!(t[0], Token::Sym("-"));
+        assert_eq!(t[1], Token::Int(5));
+        assert_eq!(t[2], Token::Float(3.25));
+        assert_eq!(t[3], Token::Float(0.5));
+        assert_eq!(t[4], Token::Int(7));
+    }
+
+    #[test]
+    fn inequality_spellings() {
+        let t = tokenize("a <> b != c").unwrap();
+        assert_eq!(
+            t.iter().filter(|x| **x == Token::Sym("<>")).count(),
+            2,
+            "both spellings normalize"
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! The query layer.
+//!
+//! The paper's query planning and processing portions "do not require
+//! special data management extension facilities because the mechanisms
+//! employed … are general enough": plans are built against the *generic*
+//! access interface (access path zero = storage method), access paths are
+//! chosen by asking each extension's cost-estimation operation, and bound
+//! plans embed relation descriptors so execution touches no catalogs.
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a mini SQL with the paper's DDL
+//!   extension (`… USING <extension> WITH (attr = value, …)`);
+//! * [`semantic`] — name resolution into `dmx_expr::Expr` over joined-row
+//!   field offsets;
+//! * [`planner`] — access-path selection via [`dmx_core::PathChoice`]
+//!   comparison, join strategy choice (join index / index nested loop /
+//!   nested loop);
+//! * [`exec`] — tuple-at-a-time operators;
+//! * [`bind`] — the bound-plan cache: compiled statements are cached with
+//!   their dependencies registered in the core's
+//!   [`dmx_core::DependencyRegistry`]; invalidated plans are re-translated
+//!   automatically on next execution;
+//! * [`session`] — [`Session`] (explicit transactions, users) and the
+//!   [`SqlExt`] convenience trait (`db.execute_sql(…)`, autocommit).
+
+pub mod ast;
+pub mod bind;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod semantic;
+pub mod session;
+
+pub use bind::PlanCache;
+pub use session::{QueryResult, Session, SqlExt};

@@ -1,0 +1,244 @@
+//! Name resolution: AST expressions → `dmx_expr::Expr` over the offsets
+//! of the (possibly joined) input row.
+//!
+//! Join rows are the concatenation of the base tables' full records in
+//! FROM order; a column of table `i` at field `f` lives at global offset
+//! `tables[i].offset + f`.
+
+use std::sync::Arc;
+
+use dmx_core::{Database, RelationDescriptor};
+use dmx_expr::Expr;
+use dmx_types::{DmxError, FieldId, Rect, Result, Value};
+
+use crate::ast::{AstExpr, SelectItem};
+
+/// One FROM entry with its offset into the joined row.
+#[derive(Clone)]
+pub struct BoundTable {
+    pub rd: Arc<RelationDescriptor>,
+    pub alias: String,
+    pub offset: usize,
+}
+
+/// Resolves names against a FROM list.
+pub struct Binder {
+    pub tables: Vec<BoundTable>,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    fn parse(name: &str) -> Option<AggKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggKind::Count),
+            "SUM" => Some(AggKind::Sum),
+            "AVG" => Some(AggKind::Avg),
+            "MIN" => Some(AggKind::Min),
+            "MAX" => Some(AggKind::Max),
+            _ => None,
+        }
+    }
+}
+
+/// A bound output item.
+pub enum BoundItem {
+    Scalar(Expr, String),
+    Agg(AggKind, Option<Expr>, String),
+}
+
+impl Binder {
+    /// Builds a binder over the FROM list.
+    pub fn new(
+        db: &Arc<Database>,
+        from: &[crate::ast::TableRef],
+    ) -> Result<Binder> {
+        let mut tables = Vec::new();
+        let mut offset = 0usize;
+        for tr in from {
+            let rd = db.catalog().get_by_name(&tr.table)?;
+            let alias = tr.alias.clone().unwrap_or_else(|| tr.table.clone());
+            if tables
+                .iter()
+                .any(|t: &BoundTable| t.alias.eq_ignore_ascii_case(&alias))
+            {
+                return Err(DmxError::Planning(format!("duplicate table alias {alias}")));
+            }
+            let w = rd.schema.len();
+            tables.push(BoundTable { rd, alias, offset });
+            offset += w;
+        }
+        Ok(Binder { tables })
+    }
+
+    /// Total width of the joined row.
+    pub fn width(&self) -> usize {
+        self.tables
+            .last()
+            .map(|t| t.offset + t.rd.schema.len())
+            .unwrap_or(0)
+    }
+
+    /// Resolves a column reference to `(table index, field, global
+    /// offset)`.
+    pub fn resolve(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<(usize, FieldId, usize)> {
+        let mut hit = None;
+        for (i, t) in self.tables.iter().enumerate() {
+            if let Some(q) = qualifier {
+                if !t.alias.eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            if let Ok(f) = t.rd.schema.field_id(name) {
+                if hit.is_some() {
+                    return Err(DmxError::Planning(format!("ambiguous column {name}")));
+                }
+                hit = Some((i, f, t.offset + f as usize));
+            }
+        }
+        hit.ok_or_else(|| {
+            DmxError::Planning(match qualifier {
+                Some(q) => format!("unknown column {q}.{name}"),
+                None => format!("unknown column {name}"),
+            })
+        })
+    }
+
+    /// Binds a scalar expression (aggregates are rejected here).
+    pub fn bind_expr(&self, ast: &AstExpr) -> Result<Expr> {
+        Ok(match ast {
+            AstExpr::Lit(v) => Expr::Const(v.clone()),
+            AstExpr::Column(q, n) => {
+                let (_, _, off) = self.resolve(q.as_deref(), n)?;
+                Expr::Column(off as FieldId)
+            }
+            AstExpr::Cmp(op, l, r) => Expr::Cmp(
+                *op,
+                Box::new(self.bind_expr(l)?),
+                Box::new(self.bind_expr(r)?),
+            ),
+            AstExpr::And(v) => Expr::And(v.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?),
+            AstExpr::Or(v) => Expr::Or(v.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?),
+            AstExpr::Not(e) => Expr::Not(Box::new(self.bind_expr(e)?)),
+            AstExpr::Arith(op, l, r) => Expr::Arith(
+                *op,
+                Box::new(self.bind_expr(l)?),
+                Box::new(self.bind_expr(r)?),
+            ),
+            AstExpr::Neg(e) => Expr::Neg(Box::new(self.bind_expr(e)?)),
+            AstExpr::IsNull(e, n) => Expr::IsNull(Box::new(self.bind_expr(e)?), *n),
+            AstExpr::Like(e, p) => Expr::Like(Box::new(self.bind_expr(e)?), p.clone()),
+            AstExpr::Encloses(l, r) => Expr::Encloses(
+                Box::new(self.bind_expr(l)?),
+                Box::new(self.bind_expr(r)?),
+            ),
+            AstExpr::Intersects(l, r) => Expr::Intersects(
+                Box::new(self.bind_expr(l)?),
+                Box::new(self.bind_expr(r)?),
+            ),
+            AstExpr::Func(name, args) => {
+                if name.eq_ignore_ascii_case("RECT") {
+                    return bind_rect(self, args);
+                }
+                if AggKind::parse(name).is_some() {
+                    return Err(DmxError::Planning(format!(
+                        "aggregate {name} not allowed here"
+                    )));
+                }
+                Expr::Func(
+                    name.clone(),
+                    args.iter().map(|a| self.bind_expr(a)).collect::<Result<_>>()?,
+                )
+            }
+            AstExpr::CountStar => {
+                return Err(DmxError::Planning("COUNT(*) not allowed here".into()))
+            }
+        })
+    }
+
+    /// Binds SELECT items, expanding `*` and splitting aggregates from
+    /// scalars.
+    pub fn bind_items(&self, items: &[SelectItem]) -> Result<Vec<BoundItem>> {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Star => {
+                    for t in &self.tables {
+                        for (f, col) in t.rd.schema.columns().iter().enumerate() {
+                            out.push(BoundItem::Scalar(
+                                Expr::Column((t.offset + f) as FieldId),
+                                col.name.clone(),
+                            ));
+                        }
+                    }
+                }
+                SelectItem::Expr(e, alias) => {
+                    let name = alias.clone().unwrap_or_else(|| display_name(e));
+                    match e {
+                        AstExpr::CountStar => out.push(BoundItem::Agg(AggKind::CountStar, None, name)),
+                        AstExpr::Func(f, args) if AggKind::parse(f).is_some() => {
+                            let kind = AggKind::parse(f).unwrap();
+                            if args.len() != 1 {
+                                return Err(DmxError::Planning(format!(
+                                    "{f} takes exactly one argument"
+                                )));
+                            }
+                            out.push(BoundItem::Agg(kind, Some(self.bind_expr(&args[0])?), name));
+                        }
+                        _ => out.push(BoundItem::Scalar(self.bind_expr(e)?, name)),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn bind_rect(b: &Binder, args: &[AstExpr]) -> Result<Expr> {
+    if args.len() != 4 {
+        return Err(DmxError::Planning("RECT takes 4 arguments".into()));
+    }
+    let mut vals = [0f64; 4];
+    let mut all_const = true;
+    let mut bound = Vec::with_capacity(4);
+    for (i, a) in args.iter().enumerate() {
+        let e = b.bind_expr(a)?;
+        if let Expr::Const(v) = &e {
+            vals[i] = v.as_float()?;
+        } else {
+            all_const = false;
+        }
+        bound.push(e);
+    }
+    if all_const {
+        Ok(Expr::Const(Value::Rect(Rect::new(
+            vals[0], vals[1], vals[2], vals[3],
+        ))))
+    } else {
+        Err(DmxError::Planning(
+            "RECT arguments must be constants".into(),
+        ))
+    }
+}
+
+fn display_name(e: &AstExpr) -> String {
+    match e {
+        AstExpr::Column(_, n) => n.clone(),
+        AstExpr::CountStar => "count".to_string(),
+        AstExpr::Func(f, _) => f.to_ascii_lowercase(),
+        _ => "expr".to_string(),
+    }
+}

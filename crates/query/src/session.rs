@@ -1,0 +1,501 @@
+//! Sessions: statement dispatch, transactions, authorization.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmx_attach::check_params;
+use dmx_core::{Database, Privilege};
+use dmx_expr::eval;
+use dmx_txn::Transaction;
+use dmx_types::{
+    AttrList, ColumnDef, DmxError, Record, Result, Schema, Value,
+};
+
+use crate::ast::Stmt;
+use crate::bind::PlanCache;
+use crate::exec;
+use crate::parser::parse;
+use crate::planner::plan_select;
+use crate::semantic::Binder;
+
+/// The rows and column names a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    fn affected(n: usize) -> QueryResult {
+        QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(n as i64)]],
+        }
+    }
+
+    fn empty() -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Result<&Value> {
+        match (&self.rows[..], self.columns.len()) {
+            ([row], 1) => Ok(&row[0]),
+            _ => Err(DmxError::InvalidArg(format!(
+                "expected scalar result, got {}x{}",
+                self.rows.len(),
+                self.columns.len()
+            ))),
+        }
+    }
+}
+
+/// A user session with explicit transaction control.
+pub struct Session {
+    db: Arc<Database>,
+    user: String,
+    cache: Arc<PlanCache>,
+    txn: Mutex<Option<Arc<Transaction>>>,
+}
+
+impl Session {
+    /// Opens a session as the bootstrap superuser `admin`.
+    pub fn new(db: Arc<Database>) -> Session {
+        Session::with_user(db, "admin")
+    }
+
+    /// Opens a session as a specific user (authorization applies).
+    pub fn with_user(db: Arc<Database>, user: &str) -> Session {
+        let cache = db.query_state::<PlanCache, _>(PlanCache::default);
+        Session {
+            db,
+            user: user.to_string(),
+            cache,
+            txn: Mutex::new(None),
+        }
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// True while an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.lock().is_some()
+    }
+
+    /// Parses and executes one statement. Outside an explicit
+    /// transaction, the statement autocommits.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(sql, stmt)
+    }
+
+    fn execute_stmt(&self, sql: &str, stmt: Stmt) -> Result<QueryResult> {
+        // transaction control first
+        match &stmt {
+            Stmt::Begin => {
+                let mut cur = self.txn.lock();
+                if cur.is_some() {
+                    return Err(DmxError::TxnState("transaction already open".into()));
+                }
+                *cur = Some(self.db.begin());
+                return Ok(QueryResult::empty());
+            }
+            Stmt::Commit => {
+                let txn = self
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| DmxError::TxnState("no open transaction".into()))?;
+                self.db.commit(&txn)?;
+                return Ok(QueryResult::empty());
+            }
+            Stmt::Rollback => {
+                let txn = self
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| DmxError::TxnState("no open transaction".into()))?;
+                self.db.abort(&txn)?;
+                return Ok(QueryResult::empty());
+            }
+            Stmt::Savepoint(name) => {
+                let cur = self.txn.lock();
+                let txn = cur
+                    .as_ref()
+                    .ok_or_else(|| DmxError::TxnState("no open transaction".into()))?;
+                self.db.savepoint(txn, name)?;
+                return Ok(QueryResult::empty());
+            }
+            Stmt::RollbackTo(name) => {
+                let cur = self.txn.lock();
+                let txn = cur
+                    .as_ref()
+                    .ok_or_else(|| DmxError::TxnState("no open transaction".into()))?;
+                self.db.rollback_to_savepoint(txn, name)?;
+                return Ok(QueryResult::empty());
+            }
+            Stmt::Release(name) => {
+                let cur = self.txn.lock();
+                let txn = cur
+                    .as_ref()
+                    .ok_or_else(|| DmxError::TxnState("no open transaction".into()))?;
+                self.db.release_savepoint(txn, name)?;
+                return Ok(QueryResult::empty());
+            }
+            _ => {}
+        }
+        // other statements run in the open transaction or autocommit
+        let open = self.txn.lock().clone();
+        match open {
+            Some(txn) => {
+                let r = self.run(&txn, sql, &stmt);
+                if let Err(e) = &r {
+                    if e.is_txn_fatal() {
+                        // the transaction is dead; clean up the session
+                        let _ = self.db.abort(&txn);
+                        *self.txn.lock() = None;
+                    }
+                }
+                r
+            }
+            None => {
+                let txn = self.db.begin();
+                match self.run(&txn, sql, &stmt) {
+                    Ok(r) => {
+                        self.db.commit(&txn)?;
+                        Ok(r)
+                    }
+                    Err(e) => {
+                        let _ = self.db.abort(&txn);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn check(&self, table: &str, p: Privilege) -> Result<()> {
+        let rd = self.db.catalog().get_by_name(table)?;
+        self.db.auth().check(&self.user, rd.id, p)
+    }
+
+    fn run(&self, txn: &Arc<Transaction>, sql: &str, stmt: &Stmt) -> Result<QueryResult> {
+        match stmt {
+            Stmt::Select(sel) => {
+                for t in &sel.from {
+                    self.check(&t.table, Privilege::Select)?;
+                }
+                let compiled = self.cache.get_or_compile(&self.db, sql, sel)?;
+                let ctx = dmx_core::ExecCtx { db: &self.db, txn };
+                let rows = exec::run_to_rows(&compiled.plan, &ctx)?;
+                Ok(QueryResult {
+                    columns: compiled.columns.clone(),
+                    rows,
+                })
+            }
+            Stmt::Explain(inner) => {
+                let Stmt::Select(sel) = inner.as_ref() else {
+                    return Err(DmxError::Planning("EXPLAIN supports SELECT".into()));
+                };
+                let compiled = plan_select(&self.db, sel)?;
+                let mut text = String::new();
+                compiled.plan.describe(0, &mut text);
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![Value::from(l)])
+                        .collect(),
+                })
+            }
+            Stmt::Insert { table, rows } => {
+                self.check(table, Privilege::Insert)?;
+                let rd = self.db.catalog().get_by_name(table)?;
+                let funcs = self.db.services().funcs.read();
+                let mut records = Vec::with_capacity(rows.len());
+                for row in rows {
+                    // VALUES are constant expressions
+                    let binder = Binder { tables: Vec::new() };
+                    let mut values = Vec::with_capacity(row.len());
+                    for e in row {
+                        let bound = binder.bind_expr(e)?;
+                        values.push(eval(
+                            &bound,
+                            &dmx_expr::eval::NoFields,
+                            dmx_expr::EvalContext::new(&funcs),
+                        )?);
+                    }
+                    records.push(Record::new(values));
+                }
+                drop(funcs);
+                let n = records.len();
+                for r in records {
+                    self.db.insert(txn, rd.id, r)?;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Stmt::Update {
+                table,
+                sets,
+                where_,
+            } => {
+                self.check(table, Privilege::Update)?;
+                let rd = self.db.catalog().get_by_name(table)?;
+                let binder = Binder::new(
+                    &self.db,
+                    &[crate::ast::TableRef {
+                        table: table.clone(),
+                        alias: None,
+                    }],
+                )?;
+                let pred = match where_ {
+                    Some(w) => Some(binder.bind_expr(w)?),
+                    None => None,
+                };
+                let assignments: Vec<(dmx_types::FieldId, dmx_expr::Expr)> = sets
+                    .iter()
+                    .map(|(col, e)| Ok((rd.schema.field_id(col)?, binder.bind_expr(e)?)))
+                    .collect::<Result<_>>()?;
+                // collect targets first (no Halloween problem), then apply
+                let targets = self.collect_targets(txn, &rd, pred)?;
+                let n = targets.len();
+                let funcs = self.db.services().funcs.read();
+                let new_rows: Vec<(dmx_types::RecordKey, Record)> = targets
+                    .into_iter()
+                    .map(|(key, mut row)| {
+                        for (f, e) in &assignments {
+                            let v = eval(e, &row, dmx_expr::EvalContext::new(&funcs))?;
+                            row[*f as usize] = v;
+                        }
+                        Ok((key, Record::new(row)))
+                    })
+                    .collect::<Result<_>>()?;
+                drop(funcs);
+                for (key, rec) in new_rows {
+                    self.db.update(txn, rd.id, &key, rec)?;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Stmt::Delete { table, where_ } => {
+                self.check(table, Privilege::Delete)?;
+                let rd = self.db.catalog().get_by_name(table)?;
+                let binder = Binder::new(
+                    &self.db,
+                    &[crate::ast::TableRef {
+                        table: table.clone(),
+                        alias: None,
+                    }],
+                )?;
+                let pred = match where_ {
+                    Some(w) => Some(binder.bind_expr(w)?),
+                    None => None,
+                };
+                let targets = self.collect_targets(txn, &rd, pred)?;
+                let n = targets.len();
+                for (key, _) in targets {
+                    self.db.delete(txn, rd.id, &key)?;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                using,
+                with,
+            } => {
+                let cols = columns
+                    .iter()
+                    .map(|c| {
+                        if c.not_null {
+                            ColumnDef::not_null(&c.name, c.data_type)
+                        } else {
+                            ColumnDef::new(&c.name, c.data_type)
+                        }
+                    })
+                    .collect();
+                let schema = Schema::new(cols)?;
+                let sm = using.as_deref().unwrap_or("heap");
+                let rel = self.db.create_relation(txn, name, schema, sm, with)?;
+                // the creator owns the relation
+                self.db
+                    .auth()
+                    .grant("admin", &self.user, rel, Privilege::Control)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                using,
+                columns,
+                unique,
+                with,
+            } => {
+                self.check(table, Privilege::Control)?;
+                let ty = using.as_deref().unwrap_or("btree");
+                let mut pairs: Vec<(String, String)> = with
+                    .pairs()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                if with.get("fields").is_none() {
+                    pairs.push(("fields".into(), columns.join(",")));
+                }
+                if *unique && with.get("unique").is_none() {
+                    pairs.push(("unique".into(), "true".into()));
+                }
+                // the rtree takes a single `field`
+                if ty.eq_ignore_ascii_case("rtree") && with.get("field").is_none() {
+                    pairs.retain(|(k, _)| !k.eq_ignore_ascii_case("fields"));
+                    pairs.push(("field".into(), columns.join(",")));
+                }
+                let params = AttrList::from_pairs(pairs)?;
+                self.db.create_attachment(txn, table, ty, name, &params)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::CreateAttachment {
+                name,
+                table,
+                using,
+                with,
+            } => {
+                self.check(table, Privilege::Control)?;
+                self.db.create_attachment(txn, table, using, name, with)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::CreateCheck {
+                name,
+                table,
+                expr,
+                deferred,
+            } => {
+                self.check(table, Privilege::Control)?;
+                let binder = Binder::new(
+                    &self.db,
+                    &[crate::ast::TableRef {
+                        table: table.clone(),
+                        alias: None,
+                    }],
+                )?;
+                let bound = binder.bind_expr(expr)?;
+                let params = check_params(&bound, *deferred);
+                self.db.create_attachment(txn, table, "check", name, &params)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::DropTable { name } => {
+                self.check(name, Privilege::Control)?;
+                self.db.drop_relation(txn, name)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::DropAttachment { name, table } => {
+                self.check(table, Privilege::Control)?;
+                self.db.drop_attachment(txn, table, name)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::Grant {
+                privilege,
+                table,
+                user,
+            } => {
+                let rd = self.db.catalog().get_by_name(table)?;
+                let p = Privilege::parse(privilege)?;
+                self.db.auth().grant(&self.user, user, rd.id, p)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::Revoke {
+                privilege,
+                table,
+                user,
+            } => {
+                let rd = self.db.catalog().get_by_name(table)?;
+                let p = Privilege::parse(privilege)?;
+                self.db.auth().revoke(&self.user, user, rd.id, p)?;
+                Ok(QueryResult::empty())
+            }
+            Stmt::Begin
+            | Stmt::Commit
+            | Stmt::Rollback
+            | Stmt::Savepoint(_)
+            | Stmt::RollbackTo(_)
+            | Stmt::Release(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Collects `(record key, full row)` for every record matching `pred`
+    /// (storage-method scan with the predicate pushed to the buffer
+    /// pool).
+    fn collect_targets(
+        &self,
+        txn: &Arc<Transaction>,
+        rd: &Arc<dmx_core::RelationDescriptor>,
+        pred: Option<dmx_expr::Expr>,
+    ) -> Result<Vec<(dmx_types::RecordKey, Vec<Value>)>> {
+        let scan = self.db.open_scan(
+            txn,
+            rd.id,
+            dmx_core::AccessPath::StorageMethod,
+            dmx_core::AccessQuery::All,
+            pred,
+            None,
+        )?;
+        let mut out = Vec::new();
+        while let Some(item) = self.db.scan_next(txn, scan)? {
+            out.push((
+                item.key,
+                item.values
+                    .ok_or_else(|| DmxError::Internal("scan without values".into()))?,
+            ));
+        }
+        self.db.scan_close(txn, scan);
+        Ok(out)
+    }
+}
+
+/// Autocommit SQL convenience on `Arc<Database>`. Explicit transaction
+/// control needs a [`Session`].
+pub trait SqlExt {
+    /// Executes one statement with autocommit.
+    fn execute_sql(&self, sql: &str) -> Result<QueryResult>;
+    /// Executes a query and returns its rows.
+    fn query_sql(&self, sql: &str) -> Result<Vec<Vec<Value>>>;
+}
+
+impl SqlExt for Arc<Database> {
+    fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        if matches!(
+            stmt,
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback | Stmt::Savepoint(_) | Stmt::RollbackTo(_) | Stmt::Release(_)
+        ) {
+            return Err(DmxError::TxnState(
+                "transaction control requires a Session".into(),
+            ));
+        }
+        Session::new(self.clone()).execute_stmt(sql, stmt)
+    }
+
+    fn query_sql(&self, sql: &str) -> Result<Vec<Vec<Value>>> {
+        Ok(self.execute_sql(sql)?.rows)
+    }
+}

@@ -1,0 +1,438 @@
+//! End-to-end SQL tests: DDL with extension clauses, DML, access-path
+//! selection, joins, aggregates, bound-plan caching and invalidation,
+//! authorization, transactions.
+
+use std::sync::Arc;
+
+use dmx_attach::register_builtin_attachments;
+use dmx_core::{Database, ExtensionRegistry};
+use dmx_query::{Session, SqlExt};
+use dmx_storage::register_builtin_storage;
+use dmx_types::{DmxError, Value};
+
+fn open_db() -> Arc<Database> {
+    let reg = ExtensionRegistry::new();
+    register_builtin_storage(&reg).unwrap();
+    register_builtin_attachments(&reg).unwrap();
+    Database::open_fresh(reg).unwrap()
+}
+
+fn setup_emp_n(db: &Arc<Database>, n: usize) {
+    db.execute_sql(
+        "CREATE TABLE emp (id INT NOT NULL, name STRING NOT NULL, dept INT, salary FLOAT)",
+    )
+    .unwrap();
+    for i in 0..n {
+        db.execute_sql(&format!(
+            "INSERT INTO emp VALUES ({i}, 'emp{i}', {}, {:.1})",
+            i % 5,
+            1000.0 + i as f64 * 10.0
+        ))
+        .unwrap();
+    }
+}
+
+fn setup_emp(db: &Arc<Database>) {
+    setup_emp_n(db, 100)
+}
+
+#[test]
+fn quickstart_shape() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, name STRING, salary FLOAT) USING heap")
+        .unwrap();
+    db.execute_sql("CREATE INDEX emp_id ON emp USING btree (id) WITH (unique=true)")
+        .unwrap();
+    db.execute_sql("INSERT INTO emp VALUES (1, 'ann', 100.0)")
+        .unwrap();
+    let rows = db.query_sql("SELECT name FROM emp WHERE id = 1").unwrap();
+    assert_eq!(rows, vec![vec![Value::from("ann")]]);
+}
+
+#[test]
+fn select_filters_projection_order_limit() {
+    let db = open_db();
+    setup_emp(&db);
+    let rows = db
+        .query_sql("SELECT id, salary FROM emp WHERE dept = 2 AND salary > 1500 ORDER BY id DESC LIMIT 3")
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0][0], Value::Int(97));
+    assert_eq!(rows[1][0], Value::Int(92));
+    assert_eq!(rows[2][0], Value::Int(87));
+    // expressions in projections
+    let rows = db
+        .query_sql("SELECT id * 2 + 1 FROM emp WHERE id = 10")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(21)]]);
+    // LIKE and functions
+    let rows = db
+        .query_sql("SELECT COUNT(*) FROM emp WHERE name LIKE 'emp1%'")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(11)); // emp1, emp10..emp19
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let db = open_db();
+    setup_emp(&db);
+    let r = db
+        .execute_sql("SELECT COUNT(*), SUM(id), MIN(salary), MAX(salary), AVG(id) FROM emp")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(100));
+    assert_eq!(r.rows[0][1], Value::Int(4950));
+    assert_eq!(r.rows[0][2], Value::Float(1000.0));
+    assert_eq!(r.rows[0][3], Value::Float(1990.0));
+    assert_eq!(r.rows[0][4], Value::Float(49.5));
+    // grouped
+    let rows = db
+        .query_sql("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row[0], Value::Int(i as i64));
+        assert_eq!(row[1], Value::Int(20));
+    }
+    // aggregates over empty input
+    let rows = db
+        .query_sql("SELECT COUNT(*), SUM(id) FROM emp WHERE id > 10000")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+}
+
+#[test]
+fn index_is_chosen_and_correct() {
+    let db = open_db();
+    setup_emp_n(&db, 2000);
+    // without an index: full scan plan
+    let plan = db
+        .query_sql("EXPLAIN SELECT name FROM emp WHERE id = 42")
+        .unwrap();
+    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("storage-method"), "{text}");
+
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)").unwrap();
+    let plan = db
+        .query_sql("EXPLAIN SELECT name FROM emp WHERE id = 42")
+        .unwrap();
+    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("attachment"), "planner picked the index: {text}");
+
+    let rows = db.query_sql("SELECT name FROM emp WHERE id = 42").unwrap();
+    assert_eq!(rows, vec![vec![Value::from("emp42")]]);
+    // range predicates work through the index too
+    let rows = db
+        .query_sql("SELECT id FROM emp WHERE id >= 1995 ORDER BY id")
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+
+    // covered query: only indexed fields referenced → no record fetches
+    let plan = db
+        .query_sql("EXPLAIN SELECT id FROM emp WHERE id >= 1995")
+        .unwrap();
+    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("covered"), "{text}");
+    let rows = db.query_sql("SELECT id FROM emp WHERE id >= 1995").unwrap();
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn update_delete_with_predicates() {
+    let db = open_db();
+    setup_emp(&db);
+    let r = db
+        .execute_sql("UPDATE emp SET salary = salary * 2, name = 'boosted' WHERE dept = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(20));
+    let rows = db
+        .query_sql("SELECT COUNT(*) FROM emp WHERE name = 'boosted'")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(20));
+    let r = db.execute_sql("DELETE FROM emp WHERE dept = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(20));
+    let rows = db.query_sql("SELECT COUNT(*) FROM emp").unwrap();
+    assert_eq!(rows[0][0], Value::Int(80));
+}
+
+#[test]
+fn joins_all_strategies_agree() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL, dname STRING NOT NULL)")
+        .unwrap();
+    for d in 0..5 {
+        db.execute_sql(&format!("INSERT INTO dept VALUES ({d}, 'dept{d}')"))
+            .unwrap();
+    }
+    setup_emp(&db);
+
+    let q = "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.id AND e.id < 10 ORDER BY 1";
+    // 1. plain nested loop
+    let nl = db.query_sql(q).unwrap();
+    assert_eq!(nl.len(), 10);
+    assert_eq!(nl[0][0], Value::from("emp0"));
+    assert_eq!(nl[0][1], Value::from("dept0"));
+
+    // 2. index nested loop (index on the inner join column)
+    db.execute_sql("CREATE UNIQUE INDEX dept_pk ON dept (id)")
+        .unwrap();
+    let inl = db.query_sql(q).unwrap();
+    assert_eq!(nl, inl, "index NL join returns identical rows");
+
+    // 3. join index
+    db.execute_sql("CREATE ATTACHMENT ed ON emp USING joinindex WITH (side=left, fields=dept)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE ATTACHMENT ed ON dept USING joinindex WITH (side=right, fields=id, other=emp)",
+    )
+    .unwrap();
+    let plan = db.query_sql(&format!("EXPLAIN {q}")).unwrap();
+    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("JoinIndexJoin"), "{text}");
+    let ji = db.query_sql(q).unwrap();
+    assert_eq!(nl, ji, "join-index join returns identical rows");
+}
+
+#[test]
+fn check_constraint_via_sql() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE acc (id INT NOT NULL, bal FLOAT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE CONSTRAINT bal_pos ON acc CHECK (bal >= 0)")
+        .unwrap();
+    db.execute_sql("INSERT INTO acc VALUES (1, 10.0)").unwrap();
+    let err = db.execute_sql("INSERT INTO acc VALUES (2, -1.0)").unwrap_err();
+    assert!(matches!(err, DmxError::Veto { .. }));
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM acc").unwrap()[0][0],
+        Value::Int(1)
+    );
+    // deferred: violation inside a txn is fine if fixed before COMMIT
+    let sess = Session::new(db.clone());
+    sess.execute("CREATE CONSTRAINT bal_cap ON acc CHECK (bal <= 100) DEFERRED")
+        .unwrap();
+    sess.execute("BEGIN").unwrap();
+    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1").unwrap();
+    sess.execute("UPDATE acc SET bal = 50.0 WHERE id = 1").unwrap();
+    sess.execute("COMMIT").unwrap();
+    sess.execute("BEGIN").unwrap();
+    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1").unwrap();
+    let err = sess.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, DmxError::ConstraintViolation(_)));
+    assert_eq!(
+        db.query_sql("SELECT bal FROM acc WHERE id = 1").unwrap()[0][0],
+        Value::Float(50.0)
+    );
+}
+
+#[test]
+fn session_transactions_and_savepoints() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE t (x INT NOT NULL)").unwrap();
+    let sess = Session::new(db.clone());
+    sess.execute("BEGIN").unwrap();
+    sess.execute("INSERT INTO t VALUES (1)").unwrap();
+    sess.execute("SAVEPOINT sp").unwrap();
+    sess.execute("INSERT INTO t VALUES (2)").unwrap();
+    sess.execute("ROLLBACK TO SAVEPOINT sp").unwrap();
+    sess.execute("INSERT INTO t VALUES (3)").unwrap();
+    sess.execute("COMMIT").unwrap();
+    let rows = db.query_sql("SELECT x FROM t ORDER BY x").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    // full rollback
+    sess.execute("BEGIN").unwrap();
+    sess.execute("DELETE FROM t").unwrap();
+    sess.execute("ROLLBACK").unwrap();
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(2)
+    );
+    // autocommit trait refuses txn control
+    assert!(db.execute_sql("BEGIN").is_err());
+}
+
+#[test]
+fn plan_cache_reuse_and_invalidation() {
+    let db = open_db();
+    setup_emp(&db);
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)").unwrap();
+    let cache = db.query_state::<dmx_query::PlanCache, _>(Default::default);
+    let q = "SELECT name FROM emp WHERE id = 7";
+    db.query_sql(q).unwrap();
+    let misses0 = cache.stats.misses.load(std::sync::atomic::Ordering::Relaxed);
+    let hits0 = cache.stats.hits.load(std::sync::atomic::Ordering::Relaxed);
+    for _ in 0..5 {
+        db.query_sql(q).unwrap();
+    }
+    assert_eq!(
+        cache.stats.hits.load(std::sync::atomic::Ordering::Relaxed),
+        hits0 + 5,
+        "subsequent executions reuse the bound plan"
+    );
+    assert_eq!(
+        cache.stats.misses.load(std::sync::atomic::Ordering::Relaxed),
+        misses0
+    );
+    // dropping the index invalidates; the next execution re-translates
+    // automatically and still answers correctly
+    db.execute_sql("DROP INDEX emp_pk ON emp").unwrap();
+    let rows = db.query_sql(q).unwrap();
+    assert_eq!(rows, vec![vec![Value::from("emp7")]]);
+    assert!(
+        cache.stats.retranslations.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "plan was re-translated after DDL"
+    );
+}
+
+#[test]
+fn authorization_enforced_per_user() {
+    let db = open_db();
+    setup_emp(&db);
+    let bob = Session::with_user(db.clone(), "bob");
+    let err = bob.execute("SELECT * FROM emp").unwrap_err();
+    assert!(matches!(err, DmxError::Unauthorized(_)));
+    db.execute_sql("GRANT select ON emp TO bob").unwrap();
+    assert_eq!(bob.execute("SELECT * FROM emp").unwrap().len(), 100);
+    let err = bob.execute("DELETE FROM emp").unwrap_err();
+    assert!(matches!(err, DmxError::Unauthorized(_)));
+    db.execute_sql("REVOKE select ON emp FROM bob").unwrap();
+    assert!(bob.execute("SELECT * FROM emp").is_err());
+    // bob owns what bob creates
+    bob.execute("CREATE TABLE bobs (x INT)").unwrap();
+    bob.execute("INSERT INTO bobs VALUES (1)").unwrap();
+    assert_eq!(bob.execute("SELECT * FROM bobs").unwrap().len(), 1);
+}
+
+#[test]
+fn spatial_sql_with_rtree() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE parcels (id INT NOT NULL, area RECT)")
+        .unwrap();
+    db.execute_sql("CREATE INDEX parcels_rt ON parcels USING rtree (area)")
+        .unwrap();
+    for i in 0..800 {
+        let x = (i % 10) * 100;
+        let y = (i / 10) * 100;
+        db.execute_sql(&format!(
+            "INSERT INTO parcels VALUES ({i}, RECT({x}, {y}, {}, {}))",
+            x + 90,
+            y + 90
+        ))
+        .unwrap();
+    }
+    // which parcels enclose this point-ish query box?
+    let rows = db
+        .query_sql("SELECT id FROM parcels WHERE area ENCLOSES RECT(110, 110, 120, 120)")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(11)]]);
+    let plan = db
+        .query_sql("EXPLAIN SELECT id FROM parcels WHERE area ENCLOSES RECT(110, 110, 120, 120)")
+        .unwrap();
+    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("attachment"), "R-tree chosen: {text}");
+    // window query
+    let rows = db
+        .query_sql("SELECT COUNT(*) FROM parcels WHERE RECT(0, 0, 290, 90) ENCLOSES area")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(3), "parcels 0, 1 and 2 fit the window");
+}
+
+#[test]
+fn storage_method_choice_via_sql() {
+    let db = open_db();
+    // a B-tree-organized relation: keyed storage
+    db.execute_sql("CREATE TABLE kv (k INT NOT NULL, v STRING) USING btree WITH (key = k)")
+        .unwrap();
+    for i in [5, 1, 9, 3] {
+        db.execute_sql(&format!("INSERT INTO kv VALUES ({i}, 'v{i}')"))
+            .unwrap();
+    }
+    // key-ordered scans come straight from the storage method
+    let rows = db.query_sql("SELECT k FROM kv").unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(3)],
+            vec![Value::Int(5)],
+            vec![Value::Int(9)]
+        ]
+    );
+    // a temporary relation
+    db.execute_sql("CREATE TABLE scratch (x INT) USING memory").unwrap();
+    db.execute_sql("INSERT INTO scratch VALUES (1), (2)").unwrap();
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM scratch").unwrap()[0][0],
+        Value::Int(2)
+    );
+    // duplicate storage key rejected
+    let err = db.execute_sql("INSERT INTO kv VALUES (5, 'dup')").unwrap_err();
+    assert!(matches!(err, DmxError::Duplicate(_)));
+}
+
+#[test]
+fn referential_integrity_via_sql() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL)").unwrap();
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept INT)").unwrap();
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_c ON emp USING refint WITH (role=child, fields=dept, other=dept, other_fields=id)",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_p ON dept USING refint WITH (role=parent, fields=id, other=emp, other_fields=dept, on_delete=cascade)",
+    )
+    .unwrap();
+    db.execute_sql("INSERT INTO dept VALUES (1)").unwrap();
+    db.execute_sql("INSERT INTO emp VALUES (10, 1)").unwrap();
+    assert!(db.execute_sql("INSERT INTO emp VALUES (11, 99)").is_err());
+    db.execute_sql("DELETE FROM dept WHERE id = 1").unwrap();
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM emp").unwrap()[0][0],
+        Value::Int(0),
+        "cascade removed the employee"
+    );
+}
+
+#[test]
+fn drop_table_via_sql_and_errors() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    db.execute_sql("DROP TABLE t").unwrap();
+    assert!(matches!(
+        db.query_sql("SELECT * FROM t"),
+        Err(DmxError::NotFound(_))
+    ));
+    // planner errors
+    db.execute_sql("CREATE TABLE u (x INT)").unwrap();
+    assert!(matches!(
+        db.query_sql("SELECT nope FROM u"),
+        Err(DmxError::Planning(_))
+    ));
+    assert!(db.execute_sql("CREATE TABLE u (x INT)").is_err(), "duplicate");
+    // bad attribute caught by validate_params at DDL time
+    assert!(db
+        .execute_sql("CREATE TABLE v (x INT) USING heap WITH (bogus = 1)")
+        .is_err());
+}
+
+#[test]
+fn three_way_join() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE a (id INT NOT NULL)").unwrap();
+    db.execute_sql("CREATE TABLE b (id INT NOT NULL, a_id INT)").unwrap();
+    db.execute_sql("CREATE TABLE c (id INT NOT NULL, b_id INT)").unwrap();
+    for i in 0..3 {
+        db.execute_sql(&format!("INSERT INTO a VALUES ({i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO b VALUES ({i}, {i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO c VALUES ({i}, {i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO c VALUES ({}, {i})", i + 10)).unwrap();
+    }
+    let rows = db
+        .query_sql(
+            "SELECT a.id, c.id FROM a, b, c WHERE b.a_id = a.id AND c.b_id = b.id ORDER BY 1, 2",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0], vec![Value::Int(0), Value::Int(0)]);
+    assert_eq!(rows[1], vec![Value::Int(0), Value::Int(10)]);
+}

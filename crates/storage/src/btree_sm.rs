@@ -1,0 +1,446 @@
+//! The B-tree-organized storage method.
+//!
+//! "The records of the relation … may be stored in the leaves of a B-tree
+//! index." Record keys are "composed from some subset of the fields of
+//! the records" — declared in the DDL attribute list (`key = f1, f2`).
+//! Updates that change key fields relocate the record, yielding a new
+//! record key (the dispatcher tells attachments about both keys).
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{
+    AccessPath, AccessQuery, CommonServices, Cost, ExecCtx, KeyRange, PathChoice,
+    RelationDescriptor, ScanItem, ScanOps, StorageMethod,
+};
+use dmx_expr::{analyze, CmpOp, Expr, SargOp};
+use dmx_types::{
+    key::encode_values, AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey,
+    RelationId, Result, Schema, Value,
+};
+use dmx_wal::ExtKind;
+
+use crate::ops::{decode_key, encode_key, encode_key_record, OP_DELETE, OP_INSERT, OP_UPDATE};
+use crate::util::{decode_position, encode_position, filter_project};
+
+/// The B-tree storage method singleton.
+pub struct BTreeStorage;
+
+/// Descriptor: file (u32) + root page_no (u32) + key field count (u16) +
+/// field ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtDesc {
+    pub file: FileId,
+    pub root_page: u32,
+    pub key_fields: Vec<FieldId>,
+}
+
+impl BtDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(10 + self.key_fields.len() * 2);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v.extend_from_slice(&(self.key_fields.len() as u16).to_le_bytes());
+        for f in &self.key_fields {
+            v.extend_from_slice(&f.to_le_bytes());
+        }
+        v
+    }
+
+    pub fn decode(desc: &[u8]) -> Result<BtDesc> {
+        let corrupt = || DmxError::Corrupt("short btree-sm descriptor".into());
+        let file = FileId(u32::from_le_bytes(
+            desc.get(..4).ok_or_else(corrupt)?.try_into().unwrap(),
+        ));
+        let root_page = u32::from_le_bytes(desc.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
+        let n = u16::from_le_bytes(desc.get(8..10).ok_or_else(corrupt)?.try_into().unwrap())
+            as usize;
+        let mut key_fields = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 10 + i * 2;
+            key_fields.push(u16::from_le_bytes(
+                desc.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
+            ));
+        }
+        Ok(BtDesc {
+            file,
+            root_page,
+            key_fields,
+        })
+    }
+}
+
+impl BTreeStorage {
+    fn desc(rd: &RelationDescriptor) -> Result<BtDesc> {
+        BtDesc::decode(&rd.sm_desc)
+    }
+
+    fn tree(services: &Arc<CommonServices>, d: &BtDesc) -> BTree {
+        BTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    fn record_key(d: &BtDesc, record: &Record) -> Result<RecordKey> {
+        let mut vals = Vec::with_capacity(d.key_fields.len());
+        for &f in &d.key_fields {
+            let v = record
+                .values
+                .get(f as usize)
+                .ok_or_else(|| DmxError::InvalidArg(format!("no key field {f}")))?;
+            if v.is_null() {
+                return Err(DmxError::InvalidArg(
+                    "B-tree storage key fields may not be NULL".into(),
+                ));
+            }
+            vals.push(v.clone());
+        }
+        Ok(RecordKey::new(encode_values(&vals)))
+    }
+
+    fn parse_key_fields(params: &AttrList, schema: &Schema) -> Result<Vec<FieldId>> {
+        let spec = params.require("key", "btree storage")?;
+        let mut fields = Vec::new();
+        for name in spec.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            let id = schema.field_id(name)?;
+            if fields.contains(&id) {
+                return Err(DmxError::InvalidArg(format!("duplicate key field {name}")));
+            }
+            fields.push(id);
+        }
+        if fields.is_empty() {
+            return Err(DmxError::InvalidArg("empty key field list".into()));
+        }
+        Ok(fields)
+    }
+
+    fn log(ctx: &ExecCtx<'_>, rd: &RelationDescriptor, op: u8, payload: Vec<u8>) -> Lsn {
+        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, op, payload)
+    }
+}
+
+impl StorageMethod for BTreeStorage {
+    fn name(&self) -> &str {
+        "btree"
+    }
+
+    fn validate_params(&self, params: &AttrList, schema: &Schema) -> Result<()> {
+        params.check_allowed(&["key"], "btree storage")?;
+        Self::parse_key_fields(params, schema).map(|_| ())
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rel: RelationId,
+        schema: &Schema,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let key_fields = Self::parse_key_fields(params, schema)?;
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = BTree::create(&services.pool, file, &services.latches)?;
+        Ok(BtDesc {
+            file,
+            root_page: tree.root().page_no,
+            key_fields,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, sm_desc: &[u8]) -> Result<()> {
+        let d = BtDesc::decode(sm_desc)?;
+        services
+            .latches
+            .forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        record: &Record,
+    ) -> Result<RecordKey> {
+        let d = Self::desc(rd)?;
+        let key = Self::record_key(&d, record)?;
+        let tree = Self::tree(ctx.services(), &d);
+        // Logical undo: the record is logged only once the operation has
+        // applied (a failed insert — e.g. a duplicate key — must leave no
+        // undo record, or rollback would delete the pre-existing record).
+        // Safe under no-steal/force: nothing reaches disk before the
+        // commit-time flush forces the log first.
+        tree.insert(key.as_bytes(), &record.encode(), OnDuplicate::Error)?;
+        Self::log(ctx, rd, OP_INSERT, encode_key(key.as_bytes()));
+        Ok(key)
+    }
+
+    fn update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<(Record, RecordKey)> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let old_bytes = tree
+            .get(key.as_bytes())?
+            .ok_or_else(|| DmxError::NotFound(format!("btree record {key:?}")))?;
+        let old = Record::decode(&old_bytes)?;
+        let new_key = Self::record_key(&d, new)?;
+        if new_key == *key {
+            Self::log(
+                ctx,
+                rd,
+                OP_UPDATE,
+                encode_key_record(key.as_bytes(), &old_bytes),
+            );
+            tree.insert(key.as_bytes(), &new.encode(), OnDuplicate::Replace)?;
+            return Ok((old, new_key));
+        }
+        // Key fields changed: the record moves ("the old record and record
+        // key will be used to determine which key to delete … and the new
+        // record and record key … inserted").
+        if tree.get(new_key.as_bytes())?.is_some() {
+            return Err(DmxError::Duplicate(format!(
+                "btree storage key {new_key:?} already exists"
+            )));
+        }
+        Self::log(
+            ctx,
+            rd,
+            OP_DELETE,
+            encode_key_record(key.as_bytes(), &old_bytes),
+        );
+        tree.delete(key.as_bytes())?;
+        Self::log(ctx, rd, OP_INSERT, encode_key(new_key.as_bytes()));
+        tree.insert(new_key.as_bytes(), &new.encode(), OnDuplicate::Error)?;
+        Ok((old, new_key))
+    }
+
+    fn delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+    ) -> Result<Record> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let old_bytes = tree
+            .get(key.as_bytes())?
+            .ok_or_else(|| DmxError::NotFound(format!("btree record {key:?}")))?;
+        Self::log(
+            ctx,
+            rd,
+            OP_DELETE,
+            encode_key_record(key.as_bytes(), &old_bytes),
+        );
+        tree.delete(key.as_bytes())?;
+        Record::decode(&old_bytes)
+    }
+
+    fn fetch(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        fields: Option<&[FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(ctx.services(), &d);
+        let Some(bytes) = tree.get(key.as_bytes())? else {
+            return Ok(None);
+        };
+        filter_project(ctx, &bytes, fields, pred)
+    }
+
+    fn open_scan(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        range: KeyRange,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<Box<dyn ScanOps>> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(ctx.services(), &d);
+        Ok(Box::new(BtScan {
+            tree,
+            lo: range.lo,
+            hi: range.hi,
+            pred,
+            fields,
+            after: None,
+        }))
+    }
+
+    fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
+        let d = match Self::desc(rd) {
+            Ok(d) => d,
+            Err(_) => return PathChoice::full_scan(AccessPath::StorageMethod, 1, 0),
+        };
+        let pages = rd.stats.pages().max(rd.stats.records() / 40 + 1);
+        let records = rd.stats.records();
+        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        // Recognize a sargable constraint on the leading key field: the
+        // tree then serves a range rather than a full scan.
+        let sargs = preds
+            .iter()
+            .filter_map(analyze::sargable)
+            .filter(|s| s.field == d.key_fields[0])
+            .collect::<Vec<_>>();
+        let mut choice = PathChoice::full_scan(AccessPath::StorageMethod, pages, records);
+        choice.applied = preds.to_vec();
+        choice.rows_out = records as f64 * sel;
+        choice.ordering = Some(d.key_fields.clone());
+        if let Some(s) = sargs.first() {
+            let height = (records.max(2) as f64).log2() / 7.0 + 1.0; // ~fan-out 128
+            let (frac, query) = match &s.op {
+                SargOp::Eq(v) => (
+                    1.0 / records.max(1) as f64,
+                    AccessQuery::Range(eq_prefix_range(v)),
+                ),
+                SargOp::Range(op, v) => {
+                    let r = range_for(*op, v);
+                    (1.0 / 3.0, AccessQuery::Range(r))
+                }
+                _ => (1.0, AccessQuery::All),
+            };
+            let leaf_pages = (pages as f64 * frac).ceil();
+            choice.query = query;
+            choice.cost = Cost::new(height + leaf_pages, records as f64 * frac);
+            // overall output is bounded by both the key-range fraction and
+            // the residual predicate selectivity
+            choice.rows_out = records as f64 * sel.min(frac);
+        }
+        choice
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        _lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(services, &d);
+        let (key, old_bytes) = decode_key(payload)?;
+        match op {
+            // Logical undo with presence checks (idempotent).
+            OP_INSERT => {
+                tree.delete(key)?;
+            }
+            OP_DELETE | OP_UPDATE => {
+                tree.insert(key, old_bytes, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad btree-sm op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn scan_ordering(&self, rd: &RelationDescriptor) -> Option<Vec<FieldId>> {
+        Self::desc(rd).ok().map(|d| d.key_fields)
+    }
+}
+
+/// Builds the key range `[enc(v), enc(v) + 0xFF…)` matching all composite
+/// keys whose leading field equals `v`.
+fn eq_prefix_range(v: &Value) -> KeyRange {
+    let lo = encode_values(std::slice::from_ref(v));
+    let mut hi = lo.clone();
+    hi.push(0xFF);
+    KeyRange {
+        lo: Bound::Included(lo),
+        hi: Bound::Excluded(hi),
+    }
+}
+
+fn range_for(op: CmpOp, v: &Value) -> KeyRange {
+    let enc = encode_values(std::slice::from_ref(v));
+    let mut after = enc.clone();
+    after.push(0xFF);
+    match op {
+        CmpOp::Lt => KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(enc),
+        },
+        CmpOp::Le => KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(after),
+        },
+        CmpOp::Gt => KeyRange {
+            lo: Bound::Included(after),
+            hi: Bound::Unbounded,
+        },
+        CmpOp::Ge => KeyRange {
+            lo: Bound::Included(enc),
+            hi: Bound::Unbounded,
+        },
+        CmpOp::Eq | CmpOp::Ne => KeyRange::all(),
+    }
+}
+
+struct BtScan {
+    tree: BTree,
+    lo: Bound<Vec<u8>>,
+    hi: Bound<Vec<u8>>,
+    pred: Option<Expr>,
+    fields: Option<Vec<FieldId>>,
+    after: Option<Vec<u8>>,
+}
+
+impl ScanOps for BtScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        loop {
+            let bound = match &self.after {
+                Some(k) => Bound::Excluded(k.as_slice()),
+                None => match &self.lo {
+                    Bound::Included(b) => Bound::Included(b.as_slice()),
+                    Bound::Excluded(b) => Bound::Excluded(b.as_slice()),
+                    Bound::Unbounded => Bound::Unbounded,
+                },
+            };
+            let Some((key, bytes)) = self.tree.seek(bound)? else {
+                return Ok(None);
+            };
+            let in_hi = match &self.hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => key <= *h,
+                Bound::Excluded(h) => key < *h,
+            };
+            if !in_hi {
+                return Ok(None);
+            }
+            self.after = Some(key.clone());
+            if let Some(values) =
+                filter_project(ctx, &bytes, self.fields.as_deref(), self.pred.as_ref())?
+            {
+                return Ok(Some(ScanItem {
+                    key: RecordKey::new(key),
+                    values: Some(values),
+                }));
+            }
+        }
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        encode_position(self.after.as_deref())
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = decode_position(pos)?;
+        Ok(())
+    }
+}

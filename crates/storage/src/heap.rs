@@ -1,0 +1,398 @@
+//! The heap storage method: slotted pages, RID record keys.
+//!
+//! Record keys are record addresses — `(page_no, slot)` packed big-endian
+//! so RID order equals physical order. Undo is physiological with
+//! page-LSN idempotency checks. Slots are never reused across deletes
+//! (tombstones persist; their payload bytes are reclaimed by page
+//! compaction), which keeps RIDs stable and makes undo of a delete safe
+//! under concurrency.
+
+use std::sync::Arc;
+
+use dmx_core::{
+    AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
+    ScanOps, StorageMethod,
+};
+use dmx_expr::{analyze, Expr};
+use dmx_page::{BufferPool, SlottedPage};
+use dmx_types::PageId;
+use dmx_types::{
+    AttrList, DmxError, FieldId, FileId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
+};
+use dmx_wal::ExtKind;
+
+use crate::ops::{decode_key, encode_key, encode_key_record, OP_DELETE, OP_INSERT, OP_UPDATE};
+use crate::util::{decode_position, encode_position, filter_project};
+
+/// Page type tag for heap data pages.
+pub const PAGE_TYPE_HEAP: u8 = 3;
+
+/// The heap storage method (stateless singleton; per-instance state is
+/// the file named by the descriptor).
+pub struct HeapStorage;
+
+/// Descriptor layout: file id, 4 bytes little-endian.
+pub(crate) fn encode_file_desc(file: FileId) -> Vec<u8> {
+    file.0.to_le_bytes().to_vec()
+}
+
+pub(crate) fn decode_file_desc(desc: &[u8]) -> Result<FileId> {
+    let b = desc
+        .get(..4)
+        .ok_or_else(|| DmxError::Corrupt("short heap descriptor".into()))?;
+    Ok(FileId(u32::from_le_bytes(b.try_into().unwrap())))
+}
+
+/// RID encoding: page_no (u32 BE) + slot (u16 BE).
+pub fn rid(page_no: u32, slot: u16) -> RecordKey {
+    let mut v = Vec::with_capacity(6);
+    v.extend_from_slice(&page_no.to_be_bytes());
+    v.extend_from_slice(&slot.to_be_bytes());
+    RecordKey::new(v)
+}
+
+/// Parses a RID key.
+pub fn parse_rid(key: &[u8]) -> Result<(u32, u16)> {
+    if key.len() != 6 {
+        return Err(DmxError::Corrupt(format!("bad RID length {}", key.len())));
+    }
+    Ok((
+        u32::from_be_bytes(key[..4].try_into().unwrap()),
+        u16::from_be_bytes(key[4..].try_into().unwrap()),
+    ))
+}
+
+/// Appends `bytes` as a fresh-slot record into the file's last page, or a
+/// newly allocated page. Returns `(page_no, slot, appended_new_page)`.
+/// Shared with the read-only storage method.
+pub(crate) fn append_record(
+    pool: &Arc<BufferPool>,
+    file: FileId,
+    bytes: &[u8],
+    page_type: u8,
+    log: impl FnOnce(u32, u16) -> Lsn,
+) -> Result<(u32, u16, bool)> {
+    if bytes.len() > SlottedPage::MAX_RECORD {
+        return Err(DmxError::InvalidArg(format!(
+            "record of {} bytes exceeds page capacity",
+            bytes.len()
+        )));
+    }
+    let pages = pool.disk().page_count(file)?;
+    // Try the last page first.
+    if pages > 0 {
+        let pin = pool.fetch(PageId::new(file, pages - 1))?;
+        let mut page = pin.write();
+        let slot = SlottedPage::slot_count(&page);
+        if SlottedPage::free_space(&page) + SlottedPage::reclaimable(&page) >= bytes.len() + 4 {
+            let lsn = log(pages - 1, slot);
+            SlottedPage::insert_at(&mut page, slot, bytes)?;
+            page.set_lsn(lsn);
+            return Ok((pages - 1, slot, false));
+        }
+    }
+    // Allocate a fresh page.
+    let pin = pool.new_page(file)?;
+    let mut page = pin.write();
+    SlottedPage::init(&mut page);
+    page.set_page_type(page_type);
+    let page_no = pin.id().page_no;
+    let lsn = log(page_no, 0);
+    SlottedPage::insert_at(&mut page, 0, bytes)?;
+    page.set_lsn(lsn);
+    Ok((page_no, 0, true))
+}
+
+/// Physiological undo shared with the read-only storage method.
+pub(crate) fn undo_page_op(
+    services: &Arc<CommonServices>,
+    file: FileId,
+    lsn: Lsn,
+    op: u8,
+    payload: &[u8],
+) -> Result<()> {
+    let (key, old_bytes) = decode_key(payload)?;
+    let (page_no, slot) = parse_rid(key)?;
+    // The page may legitimately be missing at restart (never flushed
+    // beyond allocation is impossible — allocation is durable on MemDisk —
+    // but the whole file may already be destroyed by a deferred drop).
+    let pin = match services.pool.fetch(PageId::new(file, page_no)) {
+        Ok(p) => p,
+        Err(DmxError::NotFound(_)) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut page = pin.write();
+    if page.lsn() < lsn {
+        // The operation never reached this page image; nothing to undo.
+        return Ok(());
+    }
+    match op {
+        OP_INSERT => {
+            SlottedPage::delete(&mut page, slot);
+        }
+        OP_DELETE => {
+            SlottedPage::insert_at(&mut page, slot, old_bytes)?;
+        }
+        OP_UPDATE => {
+            SlottedPage::update(&mut page, slot, old_bytes)?;
+        }
+        other => return Err(DmxError::Corrupt(format!("bad heap op {other}"))),
+    }
+    Ok(())
+}
+
+impl HeapStorage {
+    fn file(rd: &RelationDescriptor) -> Result<FileId> {
+        decode_file_desc(&rd.sm_desc)
+    }
+
+    fn log(ctx: &ExecCtx<'_>, rd: &RelationDescriptor, op: u8, payload: Vec<u8>) -> Lsn {
+        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, op, payload)
+    }
+}
+
+impl StorageMethod for HeapStorage {
+    fn name(&self) -> &str {
+        "heap"
+    }
+
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        params.check_allowed(&[], "heap")
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rel: RelationId,
+        _schema: &Schema,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        self.validate_params(params, _schema)?;
+        let file = ctx.services().disk.create_file()?;
+        let pin = ctx.services().pool.new_page(file)?;
+        let mut page = pin.write();
+        SlottedPage::init(&mut page);
+        page.set_page_type(PAGE_TYPE_HEAP);
+        Ok(encode_file_desc(file))
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, sm_desc: &[u8]) -> Result<()> {
+        let file = decode_file_desc(sm_desc)?;
+        services.pool.discard_file(file);
+        services.disk.delete_file(file)
+    }
+
+    fn insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        record: &Record,
+    ) -> Result<RecordKey> {
+        let file = Self::file(rd)?;
+        let bytes = record.encode();
+        let (page_no, slot, new_page) =
+            append_record(&ctx.services().pool, file, &bytes, PAGE_TYPE_HEAP, |p, s| {
+                Self::log(ctx, rd, OP_INSERT, encode_key(rid(p, s).as_bytes()))
+            })?;
+        if new_page {
+            rd.stats.on_page_allocated();
+        }
+        Ok(rid(page_no, slot))
+    }
+
+    fn update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<(Record, RecordKey)> {
+        let file = Self::file(rd)?;
+        let (page_no, slot) = parse_rid(key.as_bytes())?;
+        let new_bytes = new.encode();
+        let pin = ctx.services().pool.fetch(PageId::new(file, page_no))?;
+        let mut page = pin.write();
+        let old_bytes = SlottedPage::get(&page, slot)
+            .ok_or_else(|| DmxError::NotFound(format!("heap record {key:?}")))?
+            .to_vec();
+        let old = Record::decode(&old_bytes)?;
+        // Will an in-place update fit (the old payload is reclaimed)?
+        let fits = new_bytes.len() <= old_bytes.len()
+            || SlottedPage::free_space(&page) + SlottedPage::reclaimable(&page) + old_bytes.len()
+                >= new_bytes.len();
+        if fits {
+            let lsn = Self::log(
+                ctx,
+                rd,
+                OP_UPDATE,
+                encode_key_record(key.as_bytes(), &old_bytes),
+            );
+            SlottedPage::update(&mut page, slot, &new_bytes)?;
+            page.set_lsn(lsn);
+            return Ok((old, key.clone()));
+        }
+        // Relocate: delete here, insert elsewhere (each logged).
+        let lsn = Self::log(
+            ctx,
+            rd,
+            OP_DELETE,
+            encode_key_record(key.as_bytes(), &old_bytes),
+        );
+        SlottedPage::delete(&mut page, slot);
+        page.set_lsn(lsn);
+        drop(page);
+        drop(pin);
+        let new_key = self.insert(ctx, rd, new)?;
+        Ok((old, new_key))
+    }
+
+    fn delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+    ) -> Result<Record> {
+        let file = Self::file(rd)?;
+        let (page_no, slot) = parse_rid(key.as_bytes())?;
+        let pin = ctx.services().pool.fetch(PageId::new(file, page_no))?;
+        let mut page = pin.write();
+        let old_bytes = SlottedPage::get(&page, slot)
+            .ok_or_else(|| DmxError::NotFound(format!("heap record {key:?}")))?
+            .to_vec();
+        let lsn = Self::log(
+            ctx,
+            rd,
+            OP_DELETE,
+            encode_key_record(key.as_bytes(), &old_bytes),
+        );
+        SlottedPage::delete(&mut page, slot);
+        page.set_lsn(lsn);
+        Record::decode(&old_bytes)
+    }
+
+    fn fetch(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        fields: Option<&[FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>> {
+        let file = Self::file(rd)?;
+        let (page_no, slot) = parse_rid(key.as_bytes())?;
+        let pin = match ctx.services().pool.fetch(PageId::new(file, page_no)) {
+            Ok(p) => p,
+            Err(DmxError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let page = pin.read();
+        let Some(bytes) = SlottedPage::get(&page, slot) else {
+            return Ok(None);
+        };
+        // Filter while the record is still in the buffer pool.
+        filter_project(ctx, bytes, fields, pred)
+    }
+
+    fn open_scan(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        range: KeyRange,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<Box<dyn ScanOps>> {
+        Ok(Box::new(HeapScan {
+            file: Self::file(rd)?,
+            range,
+            pred,
+            fields,
+            after: None,
+        }))
+    }
+
+    fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
+        let pages = rd.stats.pages();
+        let records = rd.stats.records();
+        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let mut c = PathChoice::full_scan(AccessPath::StorageMethod, pages, records);
+        c.rows_out = (records as f64 * sel).max(0.0);
+        // The heap applies the whole pushed-down predicate in the pool.
+        c.applied = preds.to_vec();
+        c
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        undo_page_op(services, Self::file(rd)?, lsn, op, payload)
+    }
+}
+
+/// RID-order key-sequential access with buffer-resident filtering.
+struct HeapScan {
+    file: FileId,
+    range: KeyRange,
+    pred: Option<Expr>,
+    fields: Option<Vec<FieldId>>,
+    /// Position: the RID the scan is on/after.
+    after: Option<(u32, u16)>,
+}
+
+impl ScanOps for HeapScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let pool = &ctx.services().pool;
+        let page_count = pool.disk().page_count(self.file)?;
+        let (mut page_no, mut next_slot) = match self.after {
+            None => (0, 0),
+            Some((p, s)) => (p, s as u32 + 1),
+        };
+        while page_no < page_count {
+            let pin = pool.fetch(PageId::new(self.file, page_no))?;
+            let page = pin.read();
+            let slots = SlottedPage::slot_count(&page) as u32;
+            while next_slot < slots {
+                let slot = next_slot as u16;
+                next_slot += 1;
+                let Some(bytes) = SlottedPage::get(&page, slot) else {
+                    continue; // tombstone
+                };
+                let key = rid(page_no, slot);
+                if !self.range.contains(key.as_bytes()) {
+                    continue;
+                }
+                if let Some(values) =
+                    filter_project(ctx, bytes, self.fields.as_deref(), self.pred.as_ref())?
+                {
+                    self.after = Some((page_no, slot));
+                    return Ok(Some(ScanItem {
+                        key,
+                        values: Some(values),
+                    }));
+                }
+            }
+            // Remember progress so a huge empty tail doesn't rescan.
+            self.after = Some((page_no, (slots.max(1) - 1) as u16));
+            page_no += 1;
+            next_slot = 0;
+        }
+        Ok(None)
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        let key = self.after.map(|(p, s)| rid(p, s));
+        encode_position(key.as_ref().map(|k| k.as_bytes()))
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = match decode_position(pos)? {
+            None => None,
+            Some(bytes) => Some(parse_rid(&bytes)?),
+        };
+        Ok(())
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared log-payload encodings for storage-method operations.
+
+use dmx_types::{DmxError, Result};
+
+/// Op code: record inserted; payload = record key bytes.
+pub const OP_INSERT: u8 = 1;
+/// Op code: record deleted; payload = key + old record bytes.
+pub const OP_DELETE: u8 = 2;
+/// Op code: record updated in place; payload = key + old record bytes.
+pub const OP_UPDATE: u8 = 3;
+
+/// Encodes `key` alone.
+pub fn encode_key(key: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(2 + key.len());
+    v.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    v.extend_from_slice(key);
+    v
+}
+
+/// Encodes `key` followed by `record` bytes.
+pub fn encode_key_record(key: &[u8], record: &[u8]) -> Vec<u8> {
+    let mut v = encode_key(key);
+    v.extend_from_slice(record);
+    v
+}
+
+/// Decodes a payload written by [`encode_key`] / [`encode_key_record`]
+/// into `(key, rest)`.
+pub fn decode_key(payload: &[u8]) -> Result<(&[u8], &[u8])> {
+    let len_bytes = payload
+        .get(..2)
+        .ok_or_else(|| DmxError::Corrupt("short op payload".into()))?;
+    let len = u16::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    let key = payload
+        .get(2..2 + len)
+        .ok_or_else(|| DmxError::Corrupt("short op payload key".into()))?;
+    Ok((key, &payload[2 + len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_record_roundtrip() {
+        let p = encode_key_record(b"key", b"record-bytes");
+        let (k, r) = decode_key(&p).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(r, b"record-bytes");
+        let p2 = encode_key(b"");
+        let (k2, r2) = decode_key(&p2).unwrap();
+        assert!(k2.is_empty() && r2.is_empty());
+        assert!(decode_key(&[5]).is_err());
+        assert!(decode_key(&[9, 0, 1]).is_err());
+    }
+}

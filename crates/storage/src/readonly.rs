@@ -1,0 +1,253 @@
+//! The read-only "database publishing" storage method.
+//!
+//! The paper motivates "special facilities to support (read-only)
+//! optical disk database publishing applications": a write-once medium.
+//! This storage method accepts *appends* (the publishing/load phase) and
+//! direct/sequential reads, and rejects update and delete — demonstrating
+//! that a storage method may support only a subset of the generic
+//! operations by returning `Unsupported` (as ENCOMPASS did with its
+//! restricted alternative storage). Records pack densely (no tombstone
+//! reuse is ever needed) and scans are cheap.
+
+use std::sync::Arc;
+
+use dmx_core::{
+    AccessPath, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps,
+    StorageMethod,
+};
+use dmx_expr::{analyze, Expr};
+use dmx_page::SlottedPage;
+use dmx_types::PageId;
+use dmx_types::{
+    AttrList, DmxError, FieldId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
+};
+use dmx_wal::ExtKind;
+
+use crate::heap::{decode_file_desc, encode_file_desc, parse_rid, rid, undo_page_op};
+use crate::ops::{encode_key, OP_INSERT};
+use crate::util::{decode_position, encode_position, filter_project};
+
+/// Page type tag for publishing pages.
+pub const PAGE_TYPE_WORM: u8 = 4;
+
+/// The write-once storage method singleton.
+pub struct ReadOnlyStorage;
+
+impl ReadOnlyStorage {
+    fn unsupported(&self, op: &str) -> DmxError {
+        DmxError::Unsupported(format!(
+            "storage method '{}' is write-once: {op} not supported",
+            self.name()
+        ))
+    }
+}
+
+impl StorageMethod for ReadOnlyStorage {
+    fn name(&self) -> &str {
+        "readonly"
+    }
+
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        params.check_allowed(&[], "readonly")
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rel: RelationId,
+        _schema: &Schema,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        self.validate_params(params, _schema)?;
+        let file = ctx.services().disk.create_file()?;
+        let pin = ctx.services().pool.new_page(file)?;
+        let mut page = pin.write();
+        SlottedPage::init(&mut page);
+        page.set_page_type(PAGE_TYPE_WORM);
+        Ok(encode_file_desc(file))
+    }
+
+    fn destroy_instance(
+        &self,
+        services: &Arc<dmx_core::CommonServices>,
+        sm_desc: &[u8],
+    ) -> Result<()> {
+        let file = decode_file_desc(sm_desc)?;
+        services.pool.discard_file(file);
+        services.disk.delete_file(file)
+    }
+
+    fn insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        record: &Record,
+    ) -> Result<RecordKey> {
+        let file = decode_file_desc(&rd.sm_desc)?;
+        let bytes = record.encode();
+        let (page_no, slot, new_page) = crate::heap::append_record(
+            &ctx.services().pool,
+            file,
+            &bytes,
+            PAGE_TYPE_WORM,
+            |p, s| {
+                ctx.log_ext_op(
+                    ExtKind::Storage(rd.sm),
+                    rd.id,
+                    OP_INSERT,
+                    encode_key(rid(p, s).as_bytes()),
+                )
+            },
+        )?;
+        if new_page {
+            rd.stats.on_page_allocated();
+        }
+        Ok(rid(page_no, slot))
+    }
+
+    fn update(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _key: &RecordKey,
+        _new: &Record,
+    ) -> Result<(Record, RecordKey)> {
+        Err(self.unsupported("update"))
+    }
+
+    fn delete(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _key: &RecordKey,
+    ) -> Result<Record> {
+        Err(self.unsupported("delete"))
+    }
+
+    fn fetch(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        fields: Option<&[FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>> {
+        let file = decode_file_desc(&rd.sm_desc)?;
+        let (page_no, slot) = parse_rid(key.as_bytes())?;
+        let pin = match ctx.services().pool.fetch(PageId::new(file, page_no)) {
+            Ok(p) => p,
+            Err(DmxError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let page = pin.read();
+        let Some(bytes) = SlottedPage::get(&page, slot) else {
+            return Ok(None);
+        };
+        filter_project(ctx, bytes, fields, pred)
+    }
+
+    fn open_scan(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        range: KeyRange,
+        pred: Option<Expr>,
+        fields: Option<Vec<FieldId>>,
+    ) -> Result<Box<dyn ScanOps>> {
+        Ok(Box::new(WormScan {
+            file: decode_file_desc(&rd.sm_desc)?,
+            range,
+            pred,
+            fields,
+            after: None,
+        }))
+    }
+
+    fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
+        let pages = rd.stats.pages();
+        let records = rd.stats.records();
+        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let mut c = PathChoice::full_scan(AccessPath::StorageMethod, pages, records);
+        // dense packing: slightly cheaper per-record processing
+        c.cost.cpu *= 0.5;
+        c.rows_out = records as f64 * sel;
+        c.applied = preds.to_vec();
+        c
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<dmx_core::CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        // Only inserts exist; rollback of an aborted load tombstones the
+        // appended record (an internal operation — the *user-facing*
+        // delete remains unsupported).
+        undo_page_op(services, decode_file_desc(&rd.sm_desc)?, lsn, op, payload)
+    }
+}
+
+/// Sequential scan (identical position rules to the heap scan).
+struct WormScan {
+    file: dmx_types::FileId,
+    range: KeyRange,
+    pred: Option<Expr>,
+    fields: Option<Vec<FieldId>>,
+    after: Option<(u32, u16)>,
+}
+
+impl ScanOps for WormScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let pool = &ctx.services().pool;
+        let page_count = pool.disk().page_count(self.file)?;
+        let (mut page_no, mut next_slot) = match self.after {
+            None => (0, 0),
+            Some((p, s)) => (p, s as u32 + 1),
+        };
+        while page_no < page_count {
+            let pin = pool.fetch(PageId::new(self.file, page_no))?;
+            let page = pin.read();
+            let slots = SlottedPage::slot_count(&page) as u32;
+            while next_slot < slots {
+                let slot = next_slot as u16;
+                next_slot += 1;
+                let Some(bytes) = SlottedPage::get(&page, slot) else {
+                    continue;
+                };
+                let key = rid(page_no, slot);
+                if !self.range.contains(key.as_bytes()) {
+                    continue;
+                }
+                if let Some(values) =
+                    filter_project(ctx, bytes, self.fields.as_deref(), self.pred.as_ref())?
+                {
+                    self.after = Some((page_no, slot));
+                    return Ok(Some(ScanItem {
+                        key,
+                        values: Some(values),
+                    }));
+                }
+            }
+            self.after = Some((page_no, (slots.max(1) - 1) as u16));
+            page_no += 1;
+            next_slot = 0;
+        }
+        Ok(None)
+    }
+
+    fn save_position(&self) -> Vec<u8> {
+        let key = self.after.map(|(p, s)| rid(p, s));
+        encode_position(key.as_ref().map(|k| k.as_bytes()))
+    }
+
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.after = match decode_position(pos)? {
+            None => None,
+            Some(bytes) => Some(parse_rid(&bytes)?),
+        };
+        Ok(())
+    }
+}

@@ -1,0 +1,138 @@
+//! Deferred-action queues.
+//!
+//! The paper: "An attachment instance can place an entry on the queue that
+//! will cause an indicated attachment procedure to be invoked with the
+//! indicated data when the event occurs." In Rust the (routine address,
+//! data pointer) pair is a boxed closure. [`DeferredQueues::enqueue_once`]
+//! supports the common pattern where an attachment activated once per
+//! modified record wants its deferred check to run only once per
+//! transaction.
+
+use std::collections::HashSet;
+
+use dmx_types::Result;
+
+/// Transaction events at which deferred actions can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TxnEvent {
+    /// "Before the transaction enters the prepared state": deferred
+    /// integrity constraints run here and may still abort the transaction.
+    BeforePrepare,
+    /// After the commit record is durable: deferred physical actions
+    /// (e.g. releasing a dropped relation's storage) run here and must not
+    /// fail the transaction.
+    AtCommit,
+    /// After the transaction aborted (cleanup of abandoned intents).
+    AtAbort,
+    /// After commit/abort processing, when locks are about to be released:
+    /// the scan-cleanup notification ("all key-sequential accesses must be
+    /// terminated at transaction termination").
+    AtEnd,
+}
+
+/// A deferred action: a closure capturing the "indicated data".
+pub type DeferredAction = Box<dyn FnOnce() -> Result<()> + Send>;
+
+/// Per-transaction deferred-action queues, one per event.
+#[derive(Default)]
+pub struct DeferredQueues {
+    before_prepare: Vec<DeferredAction>,
+    at_commit: Vec<DeferredAction>,
+    at_abort: Vec<DeferredAction>,
+    at_end: Vec<DeferredAction>,
+    dedup: HashSet<(TxnEvent, u64)>,
+}
+
+impl DeferredQueues {
+    fn queue_mut(&mut self, event: TxnEvent) -> &mut Vec<DeferredAction> {
+        match event {
+            TxnEvent::BeforePrepare => &mut self.before_prepare,
+            TxnEvent::AtCommit => &mut self.at_commit,
+            TxnEvent::AtAbort => &mut self.at_abort,
+            TxnEvent::AtEnd => &mut self.at_end,
+        }
+    }
+
+    /// Queues an action for `event`.
+    pub fn enqueue(&mut self, event: TxnEvent, action: DeferredAction) {
+        self.queue_mut(event).push(action);
+    }
+
+    /// Queues an action unless one with the same `key` was already queued
+    /// for this event in this transaction. Returns true when enqueued.
+    pub fn enqueue_once(&mut self, event: TxnEvent, key: u64, action: DeferredAction) -> bool {
+        if !self.dedup.insert((event, key)) {
+            return false;
+        }
+        self.enqueue(event, action);
+        true
+    }
+
+    /// Number of actions pending for `event`.
+    pub fn pending(&self, event: TxnEvent) -> usize {
+        match event {
+            TxnEvent::BeforePrepare => self.before_prepare.len(),
+            TxnEvent::AtCommit => self.at_commit.len(),
+            TxnEvent::AtAbort => self.at_abort.len(),
+            TxnEvent::AtEnd => self.at_end.len(),
+        }
+    }
+
+    /// Removes and returns the actions queued for `event`, in queue order.
+    /// The caller runs them (so the transaction lock is not held during
+    /// execution).
+    pub fn drain(&mut self, event: TxnEvent) -> Vec<DeferredAction> {
+        std::mem::take(self.queue_mut(event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn enqueue_and_drain_preserve_order() {
+        let mut q = DeferredQueues::default();
+        let hits = Arc::new(AtomicU32::new(0));
+        for i in 0..3u32 {
+            let hits = hits.clone();
+            q.enqueue(
+                TxnEvent::BeforePrepare,
+                Box::new(move || {
+                    // record order: each action asserts it runs i-th
+                    assert_eq!(hits.fetch_add(1, Ordering::SeqCst), i);
+                    Ok(())
+                }),
+            );
+        }
+        assert_eq!(q.pending(TxnEvent::BeforePrepare), 3);
+        for a in q.drain(TxnEvent::BeforePrepare) {
+            a().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        assert_eq!(q.pending(TxnEvent::BeforePrepare), 0);
+    }
+
+    #[test]
+    fn enqueue_once_dedups_per_event() {
+        let mut q = DeferredQueues::default();
+        assert!(q.enqueue_once(TxnEvent::BeforePrepare, 42, Box::new(|| Ok(()))));
+        assert!(!q.enqueue_once(TxnEvent::BeforePrepare, 42, Box::new(|| Ok(()))));
+        // same key, different event: independent
+        assert!(q.enqueue_once(TxnEvent::AtCommit, 42, Box::new(|| Ok(()))));
+        assert_eq!(q.pending(TxnEvent::BeforePrepare), 1);
+        assert_eq!(q.pending(TxnEvent::AtCommit), 1);
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut q = DeferredQueues::default();
+        q.enqueue(TxnEvent::AtAbort, Box::new(|| Ok(())));
+        q.enqueue(TxnEvent::AtEnd, Box::new(|| Ok(())));
+        assert_eq!(q.drain(TxnEvent::AtCommit).len(), 0);
+        assert_eq!(q.drain(TxnEvent::AtAbort).len(), 1);
+        assert_eq!(q.drain(TxnEvent::AtEnd).len(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Transactions and the transaction manager.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmx_types::{DmxError, Lsn, Result, TxnId};
+use dmx_wal::{LogBody, LogManager};
+
+use crate::deferred::{DeferredAction, DeferredQueues, TxnEvent};
+
+/// Transaction lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A named rollback point. `payload` carries whatever the establishing
+/// layer saved (dmx-core stores open scan positions there, implementing
+/// the paper's scan-position save/restore around partial rollback).
+pub struct Savepoint {
+    pub name: String,
+    pub lsn: Lsn,
+    pub payload: Option<Box<dyn Any + Send>>,
+}
+
+struct TxnInner {
+    state: TxnState,
+    last_lsn: Lsn,
+    savepoints: Vec<Savepoint>,
+}
+
+/// A transaction handle. Shared via `Arc`; internally synchronized.
+pub struct Transaction {
+    id: TxnId,
+    log: Arc<LogManager>,
+    inner: Mutex<TxnInner>,
+    queues: Mutex<DeferredQueues>,
+}
+
+impl Transaction {
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TxnState {
+        self.inner.lock().state
+    }
+
+    /// Errors unless the transaction is still active.
+    pub fn check_active(&self) -> Result<()> {
+        match self.state() {
+            TxnState::Active => Ok(()),
+            _ => Err(DmxError::TxnAborted(self.id)),
+        }
+    }
+
+    /// Head of the undo chain (this transaction's most recent log record).
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.lock().last_lsn
+    }
+
+    /// Appends a log record for this transaction, maintaining the undo
+    /// chain, and returns its LSN.
+    pub fn log(&self, body: LogBody) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = self.log.append(self.id, inner.last_lsn, body);
+        inner.last_lsn = lsn;
+        lsn
+    }
+
+    /// Overwrites the undo-chain head after a rollback appended CLRs.
+    pub fn set_last_lsn(&self, lsn: Lsn) {
+        self.inner.lock().last_lsn = lsn;
+    }
+
+    /// Establishes a named savepoint and returns its LSN. `payload` is
+    /// returned by [`Transaction::pop_savepoint`] so callers can restore
+    /// auxiliary state (scan positions) after a partial rollback.
+    pub fn savepoint(&self, name: impl Into<String>, payload: Option<Box<dyn Any + Send>>) -> Lsn {
+        let lsn = self.log(LogBody::Savepoint);
+        self.inner.lock().savepoints.push(Savepoint {
+            name: name.into(),
+            lsn,
+            payload,
+        });
+        lsn
+    }
+
+    /// Removes the most recent savepoint with `name` *and* every savepoint
+    /// established after it, returning it. Used both for rollback-to and
+    /// for releasing (canceling) a rollback point.
+    pub fn pop_savepoint(&self, name: &str) -> Result<Savepoint> {
+        let mut inner = self.inner.lock();
+        let pos = inner
+            .savepoints
+            .iter()
+            .rposition(|s| s.name == name)
+            .ok_or_else(|| DmxError::NotFound(format!("savepoint {name}")))?;
+        let sp = inner.savepoints.swap_remove(pos);
+        inner.savepoints.truncate(pos);
+        Ok(sp)
+    }
+
+    /// Names of live savepoints, oldest first.
+    pub fn savepoint_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .savepoints
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Queues a deferred action.
+    pub fn defer(&self, event: TxnEvent, action: DeferredAction) {
+        self.queues.lock().enqueue(event, action);
+    }
+
+    /// Queues a deferred action at most once per `key` per event.
+    pub fn defer_once(&self, event: TxnEvent, key: u64, action: DeferredAction) -> bool {
+        self.queues.lock().enqueue_once(event, key, action)
+    }
+
+    /// Number of actions pending for an event.
+    pub fn deferred_pending(&self, event: TxnEvent) -> usize {
+        self.queues.lock().pending(event)
+    }
+
+    /// Runs all actions queued for `event`, in order. If one fails the
+    /// remaining actions for the event still run for `AtAbort`/`AtEnd`
+    /// (cleanup events) but not for `BeforePrepare` (the transaction is
+    /// aborting anyway, and constraints report the *first* violation).
+    pub fn run_deferred(&self, event: TxnEvent) -> Result<()> {
+        // Loop because actions may enqueue further actions for the same
+        // event (e.g. a cascading deferred constraint).
+        loop {
+            let actions = self.queues.lock().drain(event);
+            if actions.is_empty() {
+                return Ok(());
+            }
+            let cleanup = matches!(event, TxnEvent::AtAbort | TxnEvent::AtEnd);
+            let mut first_err = None;
+            for a in actions {
+                match a() {
+                    Ok(()) => {}
+                    Err(e) if cleanup => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Writes the commit record and forces the log (the commit point).
+    pub fn commit_point(&self) -> Result<()> {
+        self.check_active()?;
+        let lsn = self.log(LogBody::Commit);
+        self.log.force(lsn)
+    }
+
+    /// Writes the abort-complete record (after undo finished).
+    pub fn abort_point(&self) {
+        self.log(LogBody::Abort);
+    }
+
+    /// Transitions to a terminal state.
+    pub fn finish(&self, state: TxnState) {
+        debug_assert!(state != TxnState::Active);
+        self.inner.lock().state = state;
+    }
+}
+
+/// Creates transactions and tracks the active set.
+pub struct TxnManager {
+    log: Arc<LogManager>,
+    next_id: AtomicU64,
+    active: Mutex<HashMap<TxnId, Arc<Transaction>>>,
+}
+
+impl TxnManager {
+    /// Creates a transaction manager over the shared log.
+    pub fn new(log: Arc<LogManager>) -> Self {
+        Self::new_starting_at(log, 1)
+    }
+
+    /// Creates a transaction manager whose first transaction id is
+    /// `first_id` — used after restart so ids never repeat across crashes
+    /// (restart analysis replays the durable log by transaction id).
+    pub fn new_starting_at(log: Arc<LogManager>, first_id: u64) -> Self {
+        TxnManager {
+            log,
+            next_id: AtomicU64::new(first_id.max(1)),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Begins a transaction (logs `Begin`).
+    pub fn begin(&self) -> Arc<Transaction> {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let begin_lsn = self.log.append(id, Lsn::NULL, LogBody::Begin);
+        let txn = Arc::new(Transaction {
+            id,
+            log: self.log.clone(),
+            inner: Mutex::new(TxnInner {
+                state: TxnState::Active,
+                last_lsn: begin_lsn,
+                savepoints: Vec::new(),
+            }),
+            queues: Mutex::new(DeferredQueues::default()),
+        });
+        self.active.lock().insert(id, txn.clone());
+        txn
+    }
+
+    /// Removes a finished transaction from the active set.
+    pub fn deregister(&self, id: TxnId) {
+        self.active.lock().remove(&id);
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// A snapshot of active transactions (diagnostics).
+    pub fn active_ids(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.active.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_wal::StableLog;
+    use std::sync::atomic::AtomicU32;
+
+    fn mgr() -> (Arc<LogManager>, TxnManager) {
+        let log = Arc::new(LogManager::open(StableLog::new()));
+        let tm = TxnManager::new(log.clone());
+        (log, tm)
+    }
+
+    #[test]
+    fn begin_logs_and_chains() {
+        let (log, tm) = mgr();
+        let t = tm.begin();
+        assert_eq!(t.state(), TxnState::Active);
+        assert_eq!(tm.active_count(), 1);
+        let l1 = t.log(LogBody::Savepoint);
+        assert_eq!(log.record(l1).unwrap().prev_lsn, Lsn(1), "chained to Begin");
+        assert_eq!(t.last_lsn(), l1);
+        tm.deregister(t.id());
+        assert_eq!(tm.active_count(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let (_log, tm) = mgr();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(b.id() > a.id());
+        assert_eq!(tm.active_ids(), vec![a.id(), b.id()]);
+    }
+
+    #[test]
+    fn commit_point_forces_log() {
+        let (log, tm) = mgr();
+        let t = tm.begin();
+        t.commit_point().unwrap();
+        assert_eq!(log.durable_lsn(), log.last_lsn());
+        t.finish(TxnState::Committed);
+        assert!(t.check_active().is_err());
+        assert!(t.commit_point().is_err(), "double commit rejected");
+    }
+
+    #[test]
+    fn savepoint_stack_semantics() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        t.savepoint("a", None);
+        t.savepoint("b", Some(Box::new(7u32)));
+        t.savepoint("c", None);
+        assert_eq!(t.savepoint_names(), vec!["a", "b", "c"]);
+        // popping b also discards c (later savepoints die with it)
+        let sp = t.pop_savepoint("b").unwrap();
+        assert_eq!(
+            *sp.payload.unwrap().downcast::<u32>().unwrap(),
+            7,
+            "payload returned"
+        );
+        assert_eq!(t.savepoint_names(), vec!["a"]);
+        assert!(t.pop_savepoint("b").is_err());
+    }
+
+    #[test]
+    fn duplicate_savepoint_names_pop_latest() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        let l1 = t.savepoint("sp", None);
+        let l2 = t.savepoint("sp", None);
+        assert!(l2 > l1);
+        assert_eq!(t.pop_savepoint("sp").unwrap().lsn, l2);
+        assert_eq!(t.pop_savepoint("sp").unwrap().lsn, l1);
+    }
+
+    #[test]
+    fn deferred_actions_can_requeue() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        let hits = Arc::new(AtomicU32::new(0));
+        let t2 = t.clone();
+        let hits2 = hits.clone();
+        t.defer(
+            TxnEvent::BeforePrepare,
+            Box::new(move || {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                let hits3 = hits2.clone();
+                // cascades: enqueue one more round
+                t2.defer(
+                    TxnEvent::BeforePrepare,
+                    Box::new(move || {
+                        hits3.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }),
+                );
+                Ok(())
+            }),
+        );
+        t.run_deferred(TxnEvent::BeforePrepare).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn before_prepare_failure_stops_and_propagates() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        let ran_after = Arc::new(AtomicU32::new(0));
+        t.defer(
+            TxnEvent::BeforePrepare,
+            Box::new(|| Err(DmxError::ConstraintViolation("sum < 0".into()))),
+        );
+        let ra = ran_after.clone();
+        t.defer(
+            TxnEvent::BeforePrepare,
+            Box::new(move || {
+                ra.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        );
+        assert!(t.run_deferred(TxnEvent::BeforePrepare).is_err());
+        assert_eq!(ran_after.load(Ordering::SeqCst), 0, "stopped at first failure");
+    }
+
+    #[test]
+    fn cleanup_events_run_all_even_on_failure() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        let ran = Arc::new(AtomicU32::new(0));
+        t.defer(TxnEvent::AtEnd, Box::new(|| Err(DmxError::Io("x".into()))));
+        let r2 = ran.clone();
+        t.defer(
+            TxnEvent::AtEnd,
+            Box::new(move || {
+                r2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        );
+        let err = t.run_deferred(TxnEvent::AtEnd).unwrap_err();
+        assert_eq!(err, DmxError::Io("x".into()), "first error reported");
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "later cleanup still ran");
+    }
+
+    #[test]
+    fn defer_once_per_transaction() {
+        let (_log, tm) = mgr();
+        let t = tm.begin();
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..5 {
+            let h = hits.clone();
+            t.defer_once(
+                TxnEvent::BeforePrepare,
+                99,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
+        }
+        t.run_deferred(TxnEvent::BeforePrepare).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! The workspace-wide error type.
+//!
+//! Every layer of the system — storage methods, attachments, common
+//! services, the query processor — reports failures through [`DmxError`].
+//! A few variants carry architectural meaning: [`DmxError::Veto`] is how an
+//! attachment rejects a relation modification (triggering the log-driven
+//! partial rollback of the paper), and [`DmxError::Deadlock`] is raised by
+//! the lock manager's system-wide deadlock detector against the chosen
+//! victim.
+
+use std::fmt;
+
+use crate::ids::TxnId;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DmxError>;
+
+/// Errors produced anywhere in the data manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmxError {
+    /// An attachment vetoed a relation modification. The dispatcher reacts
+    /// by rolling the modification (and the already-executed attachments)
+    /// back to the savepoint established at operation entry.
+    Veto {
+        /// Name of the vetoing attachment type.
+        attachment: String,
+        /// Human-readable reason, e.g. the violated constraint.
+        reason: String,
+    },
+    /// A deferred integrity constraint failed at the "before prepare"
+    /// transaction event; the whole transaction must abort.
+    ConstraintViolation(String),
+    /// The requested object (relation, attachment, record, key, …) does not
+    /// exist.
+    NotFound(String),
+    /// A uniqueness rule was violated (duplicate key in a unique access
+    /// path, duplicate relation name, …).
+    Duplicate(String),
+    /// Simulated I/O failure from the disk manager.
+    Io(String),
+    /// The buffer pool has no evictable frame (under the no-steal policy a
+    /// transaction dirtying more pages than the pool holds must abort).
+    BufferFull,
+    /// This transaction was chosen as a deadlock victim.
+    Deadlock { victim: TxnId },
+    /// A lock request timed out.
+    LockTimeout,
+    /// The transaction was already aborted (e.g. by the deadlock detector)
+    /// and cannot perform further work.
+    TxnAborted(TxnId),
+    /// The transaction handle is not in a state that allows the operation
+    /// (e.g. commit after abort).
+    TxnState(String),
+    /// On-disk or in-log bytes failed validation.
+    Corrupt(String),
+    /// A caller-supplied argument was invalid (bad attribute list, schema
+    /// mismatch, unknown field, …).
+    InvalidArg(String),
+    /// The extension does not support the requested generic operation
+    /// (e.g. update on the read-only publishing storage method).
+    Unsupported(String),
+    /// Mini-language parse error.
+    Parse(String),
+    /// Query planning failed (no viable access path, unknown column, …).
+    Planning(String),
+    /// Authorization failure from the uniform authorization facility.
+    Unauthorized(String),
+    /// Type error during expression evaluation.
+    TypeMismatch(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl DmxError {
+    /// True when the error aborts the entire transaction rather than just
+    /// the current statement. Vetoes are statement-level (partial rollback);
+    /// deadlocks and explicit aborts are transaction-level.
+    pub fn is_txn_fatal(&self) -> bool {
+        matches!(
+            self,
+            DmxError::Deadlock { .. }
+                | DmxError::TxnAborted(_)
+                | DmxError::ConstraintViolation(_)
+                | DmxError::BufferFull
+        )
+    }
+
+    /// Shorthand constructor for veto errors.
+    pub fn veto(attachment: impl Into<String>, reason: impl Into<String>) -> Self {
+        DmxError::Veto {
+            attachment: attachment.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DmxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmxError::Veto { attachment, reason } => {
+                write!(f, "modification vetoed by attachment {attachment}: {reason}")
+            }
+            DmxError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+            DmxError::NotFound(m) => write!(f, "not found: {m}"),
+            DmxError::Duplicate(m) => write!(f, "duplicate: {m}"),
+            DmxError::Io(m) => write!(f, "i/o error: {m}"),
+            DmxError::BufferFull => write!(f, "buffer pool exhausted (no-steal policy)"),
+            DmxError::Deadlock { victim } => write!(f, "deadlock detected; victim {victim}"),
+            DmxError::LockTimeout => write!(f, "lock wait timed out"),
+            DmxError::TxnAborted(t) => write!(f, "transaction {t} is aborted"),
+            DmxError::TxnState(m) => write!(f, "invalid transaction state: {m}"),
+            DmxError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DmxError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            DmxError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            DmxError::Parse(m) => write!(f, "parse error: {m}"),
+            DmxError::Planning(m) => write!(f, "planning error: {m}"),
+            DmxError::Unauthorized(m) => write!(f, "not authorized: {m}"),
+            DmxError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DmxError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DmxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn veto_constructor_and_display() {
+        let e = DmxError::veto("check", "salary must be positive");
+        assert!(matches!(&e, DmxError::Veto { attachment, .. } if attachment == "check"));
+        let msg = e.to_string();
+        assert!(msg.contains("check"));
+        assert!(msg.contains("salary must be positive"));
+    }
+
+    #[test]
+    fn fatality_classification() {
+        assert!(DmxError::Deadlock { victim: TxnId(7) }.is_txn_fatal());
+        assert!(DmxError::ConstraintViolation("x".into()).is_txn_fatal());
+        assert!(!DmxError::veto("a", "b").is_txn_fatal());
+        assert!(!DmxError::NotFound("r".into()).is_txn_fatal());
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        // Smoke-test Display on every variant so a formatting regression is
+        // caught here rather than in a log line.
+        let variants: Vec<DmxError> = vec![
+            DmxError::veto("a", "b"),
+            DmxError::ConstraintViolation("c".into()),
+            DmxError::NotFound("n".into()),
+            DmxError::Duplicate("d".into()),
+            DmxError::Io("i".into()),
+            DmxError::BufferFull,
+            DmxError::Deadlock { victim: TxnId(1) },
+            DmxError::LockTimeout,
+            DmxError::TxnAborted(TxnId(2)),
+            DmxError::TxnState("s".into()),
+            DmxError::Corrupt("c".into()),
+            DmxError::InvalidArg("a".into()),
+            DmxError::Unsupported("u".into()),
+            DmxError::Parse("p".into()),
+            DmxError::Planning("q".into()),
+            DmxError::Unauthorized("z".into()),
+            DmxError::TypeMismatch("t".into()),
+            DmxError::Internal("x".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Record keys and order-preserving key encoding.
+//!
+//! The paper leaves the definition and interpretation of record keys to the
+//! storage method: heap files use record addresses (RIDs), B-tree-organized
+//! relations compose keys from record fields, and access paths map their own
+//! input keys to record keys. [`RecordKey`] is therefore an *opaque* byte
+//! string to everyone but the extension that minted it.
+//!
+//! [`encode_values`] provides the shared "memcomparable" encoding: the
+//! byte-wise (unsigned lexicographic) order of two encoded keys equals the
+//! [`Value::total_cmp`] order of the underlying value tuples. B-trees and
+//! other ordered structures compare keys with plain `memcmp`.
+
+use crate::error::{DmxError, Result};
+use crate::rect::Rect;
+use crate::value::Value;
+
+/// An opaque record key, defined and interpreted by a storage method (or,
+/// for access-path keys, by an attachment).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RecordKey(pub Vec<u8>);
+
+impl RecordKey {
+    /// Wraps raw key bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        RecordKey(bytes)
+    }
+
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a zero-length key.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for RecordKey {
+    fn from(v: Vec<u8>) -> Self {
+        RecordKey(v)
+    }
+}
+
+// Type prefix bytes. They are chosen so cross-type byte order matches
+// `Value::total_cmp`'s type rank (null < bool < numeric < str < bytes <
+// rect). Ints and floats share the NUM prefix and a common numeric
+// encoding so they interleave numerically.
+const P_NULL: u8 = 0x01;
+const P_BOOL: u8 = 0x02;
+const P_NUM: u8 = 0x03;
+const P_STR: u8 = 0x04;
+const P_BYTES: u8 = 0x05;
+const P_RECT: u8 = 0x06;
+
+/// Encodes one value into `out` such that byte order equals value order.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(P_NULL),
+        Value::Bool(b) => {
+            out.push(P_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(P_NUM);
+            encode_f64_ordered(*i as f64, out);
+            // Disambiguate ints beyond f64 precision by appending the
+            // sign-flipped big-endian integer; for values within f64
+            // precision this is a consistent tiebreak that never reorders.
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Value::Float(x) => {
+            out.push(P_NUM);
+            encode_f64_ordered(*x, out);
+            // Tiebreak slot, mirrors the Int arm so Int(2) == Float(2.0)
+            // compare equal on the primary 8 bytes then deterministically
+            // on the tiebreak.
+            let trunc = if x.is_finite() && x.abs() < 9.2e18 {
+                *x as i64
+            } else {
+                0
+            };
+            out.extend_from_slice(&((trunc as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(P_STR);
+            encode_bytes_escaped(s.as_bytes(), out);
+        }
+        Value::Bytes(b) => {
+            out.push(P_BYTES);
+            encode_bytes_escaped(b, out);
+        }
+        Value::Rect(r) => {
+            out.push(P_RECT);
+            for f in [r.xlo, r.ylo, r.xhi, r.yhi] {
+                encode_f64_ordered(f, out);
+            }
+        }
+    }
+}
+
+/// Encodes a tuple of values into a single order-preserving byte key.
+pub fn encode_values(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 10);
+    for v in values {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+/// IEEE-754 total-order byte transform: flip all bits of negatives, flip
+/// only the sign bit of non-negatives, then emit big-endian.
+fn encode_f64_ordered(x: f64, out: &mut Vec<u8>) {
+    let bits = x.to_bits();
+    let flipped = if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    };
+    out.extend_from_slice(&flipped.to_be_bytes());
+}
+
+fn decode_f64_ordered(b: &[u8]) -> f64 {
+    let bits = u64::from_be_bytes(b.try_into().unwrap());
+    let orig = if bits & (1 << 63) != 0 {
+        bits ^ (1 << 63)
+    } else {
+        !bits
+    };
+    f64::from_bits(orig)
+}
+
+/// Escaped byte-string encoding: every 0x00 becomes 0x00 0xFF, and the
+/// string ends with 0x00 0x00. Lexicographic order is preserved and the
+/// terminator sorts before any continuation.
+fn encode_bytes_escaped(data: &[u8], out: &mut Vec<u8>) {
+    for &b in data {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+fn decode_bytes_escaped(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| DmxError::Corrupt("truncated escaped bytes".into()))?;
+        *pos += 1;
+        if b != 0x00 {
+            out.push(b);
+            continue;
+        }
+        let next = *buf
+            .get(*pos)
+            .ok_or_else(|| DmxError::Corrupt("truncated escape".into()))?;
+        *pos += 1;
+        match next {
+            0x00 => return Ok(out),
+            0xFF => out.push(0x00),
+            other => return Err(DmxError::Corrupt(format!("bad escape byte {other}"))),
+        }
+    }
+}
+
+/// Decodes a key produced by [`encode_values`] back into values. Ints and
+/// floats both decode as their numeric value; an original `Int` is
+/// recovered as `Int` when the tiebreak matches an exact integer, otherwise
+/// as `Float`.
+pub fn decode_values(buf: &[u8], expect: usize) -> Result<Vec<Value>> {
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(expect);
+    let corrupt = || DmxError::Corrupt("truncated key".into());
+    for _ in 0..expect {
+        let prefix = *buf.get(pos).ok_or_else(corrupt)?;
+        pos += 1;
+        let v = match prefix {
+            P_NULL => Value::Null,
+            P_BOOL => {
+                let b = *buf.get(pos).ok_or_else(corrupt)?;
+                pos += 1;
+                Value::Bool(b != 0)
+            }
+            P_NUM => {
+                let fb = buf.get(pos..pos + 8).ok_or_else(corrupt)?;
+                let x = decode_f64_ordered(fb);
+                pos += 8;
+                let tb = buf.get(pos..pos + 8).ok_or_else(corrupt)?;
+                let tie = (u64::from_be_bytes(tb.try_into().unwrap()) ^ (1u64 << 63)) as i64;
+                pos += 8;
+                if x.fract() == 0.0 && x.is_finite() && tie as f64 == x {
+                    Value::Int(tie)
+                } else {
+                    Value::Float(x)
+                }
+            }
+            P_STR => {
+                let raw = decode_bytes_escaped(buf, &mut pos)?;
+                Value::Str(
+                    String::from_utf8(raw)
+                        .map_err(|_| DmxError::Corrupt("key string not utf8".into()))?,
+                )
+            }
+            P_BYTES => Value::Bytes(decode_bytes_escaped(buf, &mut pos)?),
+            P_RECT => {
+                let mut f = [0f64; 4];
+                for slot in &mut f {
+                    let fb = buf.get(pos..pos + 8).ok_or_else(corrupt)?;
+                    *slot = decode_f64_ordered(fb);
+                    pos += 8;
+                }
+                Value::Rect(Rect {
+                    xlo: f[0],
+                    ylo: f[1],
+                    xhi: f[2],
+                    yhi: f[3],
+                })
+            }
+            other => return Err(DmxError::Corrupt(format!("bad key prefix {other}"))),
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    fn enc1(v: &Value) -> Vec<u8> {
+        encode_values(std::slice::from_ref(v))
+    }
+
+    #[test]
+    fn int_order_preserved() {
+        let samples = [i64::MIN, -100, -1, 0, 1, 7, 1 << 40, i64::MAX];
+        for w in samples.windows(2) {
+            assert!(
+                enc1(&Value::Int(w[0])) < enc1(&Value::Int(w[1])),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn float_order_preserved_including_negatives() {
+        let samples = [f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.5, 2.0, 1e300];
+        for w in samples.windows(2) {
+            assert!(enc1(&Value::Float(w[0])) < enc1(&Value::Float(w[1])));
+        }
+    }
+
+    #[test]
+    fn int_float_interleave() {
+        assert!(enc1(&Value::Int(2)) < enc1(&Value::Float(2.5)));
+        assert!(enc1(&Value::Float(1.5)) < enc1(&Value::Int(2)));
+        assert_eq!(enc1(&Value::Int(2)), enc1(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn string_order_with_embedded_zero_and_prefixes() {
+        let a = Value::Bytes(vec![1, 0]);
+        let b = Value::Bytes(vec![1, 0, 0]);
+        let c = Value::Bytes(vec![1, 1]);
+        assert!(enc1(&a) < enc1(&b));
+        assert!(enc1(&b) < enc1(&c));
+        // prefix sorts first
+        assert!(enc1(&Value::from("ab")) < enc1(&Value::from("abc")));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        for v in [
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::from(""),
+            Value::Bytes(vec![]),
+        ] {
+            assert!(enc1(&Value::Null) < enc1(&v));
+        }
+    }
+
+    #[test]
+    fn composite_keys_compare_fieldwise() {
+        let k1 = encode_values(&[Value::Int(1), Value::from("zz")]);
+        let k2 = encode_values(&[Value::Int(2), Value::from("aa")]);
+        assert!(k1 < k2, "first field dominates");
+        let k3 = encode_values(&[Value::Int(1), Value::from("a")]);
+        assert!(k3 < k1);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::from("hi\0there"),
+            Value::Bytes(vec![0, 1, 0]),
+            Value::Rect(Rect::new(1.0, 2.0, 3.0, 4.0)),
+        ];
+        let key = encode_values(&vals);
+        let back = decode_values(&key, vals.len()).unwrap();
+        assert_eq!(vals, back);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let key = encode_values(&[Value::Int(5), Value::from("abc")]);
+        for cut in 0..key.len() {
+            assert!(decode_values(&key[..cut], 2).is_err(), "cut at {cut}");
+        }
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            // Finite floats only: NaN has no meaningful user-visible order.
+            (-1e15f64..1e15).prop_map(Value::Float),
+            "[a-z\\x00]{0,12}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..12).prop_map(Value::Bytes),
+        ]
+    }
+
+    proptest! {
+        /// Byte order of encoded keys must equal `total_cmp` order.
+        #[test]
+        fn prop_order_preserving(a in arb_value(), b in arb_value()) {
+            let (ka, kb) = (enc1(&a), enc1(&b));
+            let byte_ord = ka.cmp(&kb);
+            let val_ord = a.total_cmp(&b);
+            if val_ord != Ordering::Equal {
+                prop_assert_eq!(byte_ord, val_ord, "a={:?} b={:?}", a, b);
+            }
+        }
+
+        /// Encoding then decoding returns an equal tuple (numeric types may
+        /// swap Int/Float spelling but compare equal).
+        #[test]
+        fn prop_roundtrip(vals in proptest::collection::vec(arb_value(), 0..5)) {
+            let key = encode_values(&vals);
+            let back = decode_values(&key, vals.len()).unwrap();
+            prop_assert_eq!(back.len(), vals.len());
+            for (x, y) in vals.iter().zip(&back) {
+                prop_assert_eq!(x.total_cmp(y), Ordering::Equal, "x={:?} y={:?}", x, y);
+            }
+        }
+    }
+}

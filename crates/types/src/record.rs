@@ -1,0 +1,331 @@
+//! The record wire format.
+//!
+//! Records are stored on pages (and in access-path leaves) in a compact
+//! self-describing byte format. [`RecordRef`] reads that format *in place*:
+//! the common-services predicate evaluator uses it to test filter
+//! predicates against field values while they are still in the extension's
+//! buffer pool, without copying the record out — a property the paper calls
+//! out explicitly.
+
+use crate::error::{DmxError, Result};
+use crate::ids::FieldId;
+use crate::rect::Rect;
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_RECT: u8 = 7;
+
+/// An owned record: a vector of field values plus (de)serialization.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Builds a record from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Serializes to the on-page format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.values.len() * 9);
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            encode_value(v, &mut out);
+        }
+        out
+    }
+
+    /// Deserializes every field of an encoded record.
+    pub fn decode(buf: &[u8]) -> Result<Record> {
+        let r = RecordRef::new(buf)?;
+        let mut values = Vec::with_capacity(r.field_count() as usize);
+        for i in 0..r.field_count() {
+            values.push(r.field(i)?);
+        }
+        Ok(Record { values })
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => out.push(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::Rect(r) => {
+            out.push(TAG_RECT);
+            out.extend_from_slice(&r.to_bytes());
+        }
+    }
+}
+
+/// A borrowed view over an encoded record that decodes fields lazily.
+///
+/// `field(i)` walks the encoding, skipping earlier fields without
+/// materializing them; `fields(..)` extracts a projection in a single pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordRef<'a> {
+    buf: &'a [u8],
+    field_count: u16,
+}
+
+impl<'a> RecordRef<'a> {
+    /// Wraps an encoded record, validating only the header.
+    pub fn new(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < 2 {
+            return Err(DmxError::Corrupt("record shorter than header".into()));
+        }
+        let field_count = u16::from_le_bytes([buf[0], buf[1]]);
+        Ok(RecordRef { buf, field_count })
+    }
+
+    /// Number of fields the record claims to carry.
+    pub fn field_count(&self) -> u16 {
+        self.field_count
+    }
+
+    /// The raw encoded bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Skips over the value starting at `pos`, returning the offset just
+    /// past it.
+    fn skip(&self, pos: usize) -> Result<usize> {
+        let tag = *self
+            .buf
+            .get(pos)
+            .ok_or_else(|| DmxError::Corrupt("record truncated at tag".into()))?;
+        let next = match tag {
+            TAG_NULL | TAG_BOOL_FALSE | TAG_BOOL_TRUE => pos + 1,
+            TAG_INT | TAG_FLOAT => pos + 9,
+            TAG_STR | TAG_BYTES => {
+                let len_bytes = self
+                    .buf
+                    .get(pos + 1..pos + 5)
+                    .ok_or_else(|| DmxError::Corrupt("record truncated at length".into()))?;
+                let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                pos + 5 + len
+            }
+            TAG_RECT => pos + 33,
+            other => return Err(DmxError::Corrupt(format!("bad value tag {other}"))),
+        };
+        if next > self.buf.len() {
+            return Err(DmxError::Corrupt("record truncated in payload".into()));
+        }
+        Ok(next)
+    }
+
+    fn decode_at(&self, pos: usize) -> Result<(Value, usize)> {
+        let tag = self.buf[pos];
+        let next = self.skip(pos)?;
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            TAG_INT => Value::Int(i64::from_le_bytes(self.buf[pos + 1..pos + 9].try_into().unwrap())),
+            TAG_FLOAT => {
+                Value::Float(f64::from_le_bytes(self.buf[pos + 1..pos + 9].try_into().unwrap()))
+            }
+            TAG_STR => {
+                let s = std::str::from_utf8(&self.buf[pos + 5..next])
+                    .map_err(|_| DmxError::Corrupt("string field not utf8".into()))?;
+                Value::Str(s.to_string())
+            }
+            TAG_BYTES => Value::Bytes(self.buf[pos + 5..next].to_vec()),
+            TAG_RECT => Value::Rect(
+                Rect::from_bytes(&self.buf[pos + 1..next])
+                    .ok_or_else(|| DmxError::Corrupt("bad rect field".into()))?,
+            ),
+            _ => unreachable!("skip validated the tag"),
+        };
+        Ok((v, next))
+    }
+
+    /// Decodes a single field by index, skipping the preceding fields.
+    pub fn field(&self, id: FieldId) -> Result<Value> {
+        if id >= self.field_count {
+            return Err(DmxError::InvalidArg(format!(
+                "field {id} out of range (record has {})",
+                self.field_count
+            )));
+        }
+        let mut pos = 2usize;
+        for _ in 0..id {
+            pos = self.skip(pos)?;
+        }
+        Ok(self.decode_at(pos)?.0)
+    }
+
+    /// Decodes a projection of fields in one forward pass. The requested
+    /// ids may be in any order and may repeat; output order matches the
+    /// request.
+    pub fn fields(&self, ids: &[FieldId]) -> Result<Vec<Value>> {
+        // Single pass up to the largest requested field; cache values at the
+        // requested positions.
+        let mut wanted: Vec<FieldId> = ids.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut found: Vec<(FieldId, Value)> = Vec::with_capacity(wanted.len());
+        let mut pos = 2usize;
+        let mut next_wanted = wanted.iter().copied().peekable();
+        for fid in 0..self.field_count {
+            match next_wanted.peek() {
+                None => break,
+                Some(&w) if w == fid => {
+                    let (v, np) = self.decode_at(pos)?;
+                    found.push((fid, v));
+                    pos = np;
+                    next_wanted.next();
+                }
+                _ => pos = self.skip(pos)?,
+            }
+        }
+        if let Some(&w) = next_wanted.peek() {
+            return Err(DmxError::InvalidArg(format!(
+                "field {w} out of range (record has {})",
+                self.field_count
+            )));
+        }
+        ids.iter()
+            .map(|id| {
+                found
+                    .iter()
+                    .find(|(f, _)| f == id)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| DmxError::Internal("projection bookkeeping".into()))
+            })
+            .collect()
+    }
+
+    /// Fully decodes the record.
+    pub fn to_record(&self) -> Result<Record> {
+        Record::decode(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::new(vec![
+            Value::Int(42),
+            Value::from("alice"),
+            Value::Null,
+            Value::Float(-2.5),
+            Value::Bool(true),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::Rect(Rect::new(0.0, 0.0, 1.0, 1.0)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let r = sample();
+        let bytes = r.encode();
+        assert_eq!(Record::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn lazy_single_field() {
+        let r = sample();
+        let bytes = r.encode();
+        let rr = RecordRef::new(&bytes).unwrap();
+        assert_eq!(rr.field_count(), 7);
+        assert_eq!(rr.field(0).unwrap(), Value::Int(42));
+        assert_eq!(rr.field(4).unwrap(), Value::Bool(true));
+        assert!(rr.field(7).is_err());
+    }
+
+    #[test]
+    fn projection_any_order_with_repeats() {
+        let r = sample();
+        let bytes = r.encode();
+        let rr = RecordRef::new(&bytes).unwrap();
+        let got = rr.fields(&[4, 0, 0, 1]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Value::Bool(true),
+                Value::Int(42),
+                Value::Int(42),
+                Value::from("alice")
+            ]
+        );
+        assert!(rr.fields(&[9]).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 2, 3, 5, bytes.len() - 1] {
+            let slice = &bytes[..cut];
+            match RecordRef::new(slice) {
+                Err(_) => {}
+                Ok(rr) => {
+                    // Reading the last field forces a full walk; it must
+                    // error, never panic.
+                    assert!(rr.field(rr.field_count().saturating_sub(1)).is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut bytes = Record::new(vec![Value::Int(1)]).encode();
+        bytes[2] = 99; // clobber the tag
+        let rr = RecordRef::new(&bytes).unwrap();
+        assert!(matches!(rr.field(0), Err(DmxError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_record() {
+        let r = Record::new(vec![]);
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(Record::decode(&bytes).unwrap(), r);
+    }
+}

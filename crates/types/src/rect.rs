@@ -1,0 +1,139 @@
+//! Axis-aligned rectangles for spatial data.
+//!
+//! The paper motivates data management extensions with spatial database
+//! applications using an R-tree access path (Guttman '84) that recognizes
+//! the `ENCLOSES` predicate. [`Rect`] is the spatial value type the R-tree
+//! attachment indexes.
+
+/// A 2-D axis-aligned rectangle: `[xlo, xhi] × [ylo, yhi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub xlo: f64,
+    pub ylo: f64,
+    pub xhi: f64,
+    pub yhi: f64,
+}
+
+impl Rect {
+    /// Builds a rectangle, normalizing the corner order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            xlo: x0.min(x1),
+            ylo: y0.min(y1),
+            xhi: x0.max(x1),
+            yhi: y0.max(y1),
+        }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    pub fn point(x: f64, y: f64) -> Self {
+        Rect::new(x, y, x, y)
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        (self.xhi - self.xlo) * (self.yhi - self.ylo)
+    }
+
+    /// True when `self` fully contains `other` (the paper's `ENCLOSES`).
+    pub fn encloses(&self, other: &Rect) -> bool {
+        self.xlo <= other.xlo && self.xhi >= other.xhi && self.ylo <= other.ylo && self.yhi >= other.yhi
+    }
+
+    /// True when the rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xlo <= other.xhi && other.xlo <= self.xhi && self.ylo <= other.yhi && other.ylo <= self.yhi
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xlo: self.xlo.min(other.xlo),
+            ylo: self.ylo.min(other.ylo),
+            xhi: self.xhi.max(other.xhi),
+            yhi: self.yhi.max(other.yhi),
+        }
+    }
+
+    /// Area increase needed for `self` to also cover `other`; the R-tree's
+    /// insertion heuristic minimizes this enlargement.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Serializes to 32 bytes (4 × f64, little endian).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&self.xlo.to_le_bytes());
+        out[8..16].copy_from_slice(&self.ylo.to_le_bytes());
+        out[16..24].copy_from_slice(&self.xhi.to_le_bytes());
+        out[24..32].copy_from_slice(&self.yhi.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from the [`Rect::to_bytes`] format.
+    pub fn from_bytes(b: &[u8]) -> Option<Rect> {
+        if b.len() < 32 {
+            return None;
+        }
+        let f = |i: usize| f64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Some(Rect {
+            xlo: f(0),
+            ylo: f(8),
+            xhi: f(16),
+            yhi: f(24),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_normalized() {
+        let r = Rect::new(5.0, 6.0, 1.0, 2.0);
+        assert_eq!(r.xlo, 1.0);
+        assert_eq!(r.yhi, 6.0);
+        assert_eq!(r.area(), 16.0);
+    }
+
+    #[test]
+    fn encloses_is_reflexive_and_antisymmetric_on_proper_containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.encloses(&outer));
+        assert!(outer.encloses(&inner));
+        assert!(!inner.encloses(&outer));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        let c = Rect::new(5.0, 5.0, 6.0, 6.0);
+        let edge = Rect::new(2.0, 0.0, 4.0, 2.0); // shares only the x=2 edge
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&edge));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&b);
+        assert!(u.encloses(&a) && u.encloses(&b));
+        assert_eq!(a.enlargement(&b), u.area() - a.area());
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let r = Rect::new(-1.5, 2.25, 7.0, -3.0);
+        let back = Rect::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(r, back);
+        assert!(Rect::from_bytes(&[0u8; 8]).is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Relation schemas.
+
+use crate::error::{DmxError, Result};
+use crate::ids::FieldId;
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered list of columns describing a relation's records.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DmxError::InvalidArg(format!("duplicate column {}", c.name)));
+            }
+        }
+        if columns.len() > u16::MAX as usize {
+            return Err(DmxError::InvalidArg("too many columns".into()));
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, id: FieldId) -> Result<&ColumnDef> {
+        self.columns
+            .get(id as usize)
+            .ok_or_else(|| DmxError::InvalidArg(format!("no column with index {id}")))
+    }
+
+    /// Finds a column's index by name (case-insensitive).
+    pub fn field_id(&self, name: &str) -> Result<FieldId> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .map(|i| i as FieldId)
+            .ok_or_else(|| DmxError::InvalidArg(format!("unknown column {name}")))
+    }
+
+    /// Validates a record against this schema: arity, per-column type
+    /// conformance, and NOT NULL rules.
+    pub fn validate(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(DmxError::InvalidArg(format!(
+                "record has {} values, schema has {} columns",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(DmxError::InvalidArg(format!("column {} is NOT NULL", c.name)));
+            }
+            if !v.conforms_to(c.data_type) {
+                return Err(DmxError::TypeMismatch(format!(
+                    "column {} expects {}, got {v}",
+                    c.name, c.data_type
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects this schema onto a field subset (used for covering access
+    /// paths and query projection).
+    pub fn project(&self, fields: &[FieldId]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(fields.len());
+        for &f in fields {
+            cols.push(self.column(f)?.clone());
+        }
+        Ok(Schema { columns: cols })
+    }
+
+    /// Serializes the schema for catalog storage.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.columns.len() as u16).to_le_bytes());
+        for c in &self.columns {
+            let ty = match c.data_type {
+                DataType::Bool => 0u8,
+                DataType::Int => 1,
+                DataType::Float => 2,
+                DataType::Str => 3,
+                DataType::Bytes => 4,
+                DataType::Rect => 5,
+            };
+            out.push(ty);
+            out.push(c.nullable as u8);
+            out.extend_from_slice(&(c.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(c.name.as_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a schema produced by [`Schema::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Schema> {
+        let corrupt = || DmxError::Corrupt("truncated schema".into());
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = pos.checked_add(n).ok_or_else(corrupt)?;
+            let s = buf.get(*pos..end).ok_or_else(corrupt)?;
+            *pos = end;
+            Ok(s)
+        };
+        let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ty = take(&mut pos, 1)?[0];
+            let nullable = take(&mut pos, 1)?[0] != 0;
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| DmxError::Corrupt("schema column name not utf8".into()))?;
+            let data_type = match ty {
+                0 => DataType::Bool,
+                1 => DataType::Int,
+                2 => DataType::Float,
+                3 => DataType::Str,
+                4 => DataType::Bytes,
+                5 => DataType::Rect,
+                other => return Err(DmxError::Corrupt(format!("bad type tag {other}"))),
+            };
+            cols.push(ColumnDef {
+                name,
+                data_type,
+                nullable,
+            });
+        }
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::not_null("name", DataType::Str),
+            ColumnDef::new("salary", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("a", DataType::Str),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = emp_schema();
+        assert_eq!(s.field_id("NAME").unwrap(), 1);
+        assert!(s.field_id("bogus").is_err());
+    }
+
+    #[test]
+    fn validate_checks_arity_nulls_and_types() {
+        let s = emp_schema();
+        assert!(s
+            .validate(&[Value::Int(1), Value::from("ann"), Value::Float(10.0)])
+            .is_ok());
+        // int widens into a float column
+        assert!(s
+            .validate(&[Value::Int(1), Value::from("ann"), Value::Int(10)])
+            .is_ok());
+        // wrong arity
+        assert!(s.validate(&[Value::Int(1)]).is_err());
+        // null into NOT NULL
+        assert!(s
+            .validate(&[Value::Null, Value::from("ann"), Value::Null])
+            .is_err());
+        // type mismatch
+        assert!(s
+            .validate(&[Value::Int(1), Value::Int(2), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn project_subsets() {
+        let s = emp_schema();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.column(0).unwrap().name, "salary");
+        assert_eq!(p.column(1).unwrap().name, "id");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = emp_schema();
+        let back = Schema::decode(&s.encode()).unwrap();
+        assert_eq!(s, back);
+        assert!(Schema::decode(&[1]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Alternative storage methods: publishing, scratch space, and a foreign
+//! database — three relations, three storage methods, one uniform
+//! relation abstraction.
+//!
+//! The paper motivates "main memory data storage methods for selected
+//! high-traffic relations, and special facilities to support (read-only)
+//! optical disk database publishing applications", plus a storage method
+//! that "support[s] access to a foreign database by simulating relation
+//! accesses via (remote) accesses".
+//!
+//! Run with: `cargo run --example publishing`
+
+use std::sync::Arc;
+
+use starburst_dmx::prelude::*;
+use starburst_dmx::storage::ForeignStorage;
+
+fn main() -> Result<()> {
+    // Register extensions "at the factory"; keep a handle to the foreign
+    // gateway so we can stand up a simulated remote server.
+    let reg = starburst_dmx::core::ExtensionRegistry::new();
+    let foreign = Arc::new(ForeignStorage::default());
+    let mars = foreign.register_server("mars");
+    reg.register_storage_method(Arc::new(starburst_dmx::storage::MemoryStorage::default()))?;
+    reg.register_storage_method(Arc::new(starburst_dmx::storage::HeapStorage))?;
+    reg.register_storage_method(Arc::new(starburst_dmx::storage::BTreeStorage))?;
+    reg.register_storage_method(Arc::new(starburst_dmx::storage::ReadOnlyStorage))?;
+    reg.register_storage_method(foreign)?;
+    starburst_dmx::attach::register_builtin_attachments(&reg)?;
+    let db = Database::open_fresh(reg)?;
+
+    // 1. A published (write-once) reference dataset.
+    db.execute_sql("CREATE TABLE atlas (code INT NOT NULL, place STRING NOT NULL) USING readonly")?;
+    for (code, place) in [(1, "Almaden"), (2, "Kyoto"), (3, "Boston"), (4, "Austin")] {
+        db.execute_sql(&format!("INSERT INTO atlas VALUES ({code}, '{place}')"))?;
+    }
+    println!("published the atlas (write-once storage method)");
+    let err = db.execute_sql("DELETE FROM atlas WHERE code = 1");
+    println!("  attempt to delete from it: {}", err.unwrap_err());
+
+    // 2. A temporary high-traffic relation (the storage method with
+    //    internal identifier 1, as in the paper).
+    db.execute_sql("CREATE TABLE hot_counts (code INT NOT NULL, hits INT) USING memory")?;
+    for i in 0..1000 {
+        db.execute_sql(&format!("INSERT INTO hot_counts VALUES ({}, 1)", i % 4 + 1))?;
+    }
+    println!(
+        "\ntemporary relation absorbed 1000 inserts (memory storage method, id {})",
+        db.registry().storage_id_by_name("memory")?
+    );
+
+    // 3. A relation that actually lives on the foreign server "mars".
+    db.execute_sql(
+        "CREATE TABLE mars_inventory (code INT NOT NULL, qty INT) USING foreign WITH (server = mars)",
+    )?;
+    let before = mars.round_trips();
+    for code in 1..=4 {
+        db.execute_sql(&format!("INSERT INTO mars_inventory VALUES ({code}, {})", code * 10))?;
+    }
+    println!(
+        "\nforeign relation loaded; {} simulated round trips to '{}'",
+        mars.round_trips() - before,
+        mars.name()
+    );
+
+    // One query spanning all three storage methods: the planner and
+    // executor see only the generic relation abstraction.
+    let rows = db.query_sql(
+        "SELECT a.place, h.hits, m.qty \
+         FROM atlas a, hot_counts h, mars_inventory m \
+         WHERE h.code = a.code AND m.code = a.code AND a.code = 2 LIMIT 1",
+    )?;
+    println!("\ncross-storage-method join: {:?}", rows[0]);
+
+    // The uniform abstraction also means uniform aggregation:
+    let rows = db.query_sql(
+        "SELECT a.place, COUNT(*) FROM atlas a, hot_counts h WHERE h.code = a.code \
+         GROUP BY a.place ORDER BY 1",
+    )?;
+    println!("\nhits per published place:");
+    for r in &rows {
+        println!("  {}: {}", r[0], r[1]);
+    }
+    println!(
+        "\ntotal round trips to mars so far: {}",
+        mars.round_trips()
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Referential integrity with cascading deletes.
+//!
+//! The paper: "the referential integrity attachment to a 'parent'
+//! relation would perform record delete operations on the 'child'
+//! relation when a 'parent' record is deleted. If the 'child' relation
+//! also has a referential integrity attachment, it would perform record
+//! delete operations on its 'child' relation. Thus, cascaded deletes can
+//! be supported."
+//!
+//! We build a dept → employee → assignment chain and delete one
+//! department; the cascade flows through two levels, every step running
+//! the full two-step modification protocol (so indexes on the cascaded
+//! relations stay consistent too).
+//!
+//! Run with: `cargo run --example referential`
+
+use starburst_dmx::prelude::*;
+
+fn counts(db: &std::sync::Arc<Database>) -> Result<(i64, i64, i64)> {
+    let d = db.query_sql("SELECT COUNT(*) FROM dept")?[0][0].as_int()?;
+    let e = db.query_sql("SELECT COUNT(*) FROM employee")?[0][0].as_int()?;
+    let a = db.query_sql("SELECT COUNT(*) FROM assignment")?[0][0].as_int()?;
+    Ok((d, e, a))
+}
+
+fn main() -> Result<()> {
+    let db = starburst_dmx::open_default()?;
+
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL, name STRING NOT NULL)")?;
+    db.execute_sql("CREATE TABLE employee (id INT NOT NULL, name STRING NOT NULL, dept INT)")?;
+    db.execute_sql("CREATE TABLE assignment (id INT NOT NULL, emp INT, project STRING)")?;
+    // indexes on the children prove cascades maintain access paths too
+    db.execute_sql("CREATE INDEX emp_id ON employee USING btree (id)")?;
+    db.execute_sql("CREATE INDEX asg_emp ON assignment USING hash (emp)")?;
+
+    // dept ←(cascade)– employee: instances on both relations share a link
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_emp_dept ON employee USING refint \
+         WITH (role=child, fields=dept, other=dept, other_fields=id)",
+    )?;
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_emp_dept_p ON dept USING refint \
+         WITH (role=parent, fields=id, other=employee, other_fields=dept, on_delete=cascade)",
+    )?;
+    // employee ←(cascade)– assignment
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_asg_emp ON assignment USING refint \
+         WITH (role=child, fields=emp, other=employee, other_fields=id)",
+    )?;
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_asg_emp_p ON employee USING refint \
+         WITH (role=parent, fields=id, other=assignment, other_fields=emp, on_delete=cascade)",
+    )?;
+
+    for d in 0..3 {
+        db.execute_sql(&format!("INSERT INTO dept VALUES ({d}, 'dept{d}')"))?;
+    }
+    for e in 0..30 {
+        db.execute_sql(&format!("INSERT INTO employee VALUES ({e}, 'emp{e}', {})", e % 3))?;
+        for p in 0..2 {
+            db.execute_sql(&format!(
+                "INSERT INTO assignment VALUES ({}, {e}, 'proj{p}')",
+                e * 10 + p
+            ))?;
+        }
+    }
+    println!("before: (depts, employees, assignments) = {:?}", counts(&db)?);
+
+    // insertion against a missing parent is vetoed
+    let err = db.execute_sql("INSERT INTO employee VALUES (99, 'lost', 42)");
+    println!("\ninsert with unknown dept: {}", err.unwrap_err());
+
+    // the cascade: one DELETE statement, two levels of fan-out
+    db.execute_sql("DELETE FROM dept WHERE id = 1")?;
+    println!("\nafter DELETE dept 1: {:?}", counts(&db)?);
+    println!("  (10 employees and their 20 assignments cascaded away)");
+
+    // cascaded deletes are transactional like everything else: a rollback
+    // resurrects the whole subtree
+    let sess = Session::new(db.clone());
+    sess.execute("BEGIN")?;
+    sess.execute("DELETE FROM dept WHERE id = 0")?;
+    println!("\nin-txn after DELETE dept 0: {:?}", counts(&db)?);
+    sess.execute("ROLLBACK")?;
+    println!("after ROLLBACK:            {:?}", counts(&db)?);
+    Ok(())
+}

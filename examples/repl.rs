@@ -1,0 +1,75 @@
+//! An interactive SQL shell over the extensible data manager.
+//!
+//! Run with: `cargo run --example repl`
+//!
+//! Try:
+//! ```sql
+//! CREATE TABLE emp (id INT NOT NULL, name STRING, salary FLOAT);
+//! CREATE UNIQUE INDEX emp_pk ON emp (id);
+//! INSERT INTO emp VALUES (1, 'ann', 1200.0), (2, 'bob', 900.0);
+//! SELECT * FROM emp WHERE id = 1;
+//! EXPLAIN SELECT * FROM emp WHERE id = 1;
+//! BEGIN; DELETE FROM emp; ROLLBACK;
+//! SELECT COUNT(*) FROM emp;
+//! ```
+
+use std::io::{BufRead, Write};
+
+use starburst_dmx::prelude::*;
+
+fn main() -> Result<()> {
+    let db = starburst_dmx::open_default()?;
+    let sess = Session::new(db);
+    println!("starburst-dmx SQL shell — end statements with ';', \\q to quit");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("dmx> ");
+        } else {
+            print!("  -> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed == "\\q" || trimmed.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        buffer.push_str(&line);
+        // execute every complete (semicolon-terminated) statement
+        while let Some(pos) = buffer.find(';') {
+            let stmt: String = buffer.drain(..=pos).collect();
+            let stmt = stmt.trim_end_matches(';').trim().to_string();
+            if stmt.is_empty() {
+                continue;
+            }
+            match sess.execute(&stmt) {
+                Ok(result) => print_result(&result),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        if buffer.trim().is_empty() {
+            buffer.clear();
+        }
+    }
+    println!("bye");
+    Ok(())
+}
+
+fn print_result(r: &QueryResult) {
+    if r.columns.is_empty() {
+        println!("ok");
+        return;
+    }
+    println!("{}", r.columns.join(" | "));
+    println!("{}", "-".repeat(r.columns.join(" | ").len().max(4)));
+    for row in &r.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!("({} rows)", r.rows.len());
+}

@@ -1,0 +1,70 @@
+//! Spatial databases via the R-tree access path.
+//!
+//! The paper's opening example: "spatial database applications can make
+//! use of an R-tree access path [Guttman 84] to efficiently compute
+//! certain spatial predicates." We index land parcels, run ENCLOSES /
+//! window / overlap queries, and show the R-tree's cost estimate
+//! recognizing the ENCLOSES predicate ("and report a low cost").
+//!
+//! Run with: `cargo run --example spatial`
+
+use starburst_dmx::prelude::*;
+
+fn main() -> Result<()> {
+    let db = starburst_dmx::open_default()?;
+
+    db.execute_sql(
+        "CREATE TABLE parcels (id INT NOT NULL, owner STRING NOT NULL, area RECT)",
+    )?;
+    db.execute_sql("CREATE INDEX parcels_area ON parcels USING rtree (area)")?;
+
+    // a 50x40 grid of 2000 parcels, each 80x80 with a 20-unit road gap
+    let mut n = 0;
+    for gy in 0..40 {
+        for gx in 0..50 {
+            let (x, y) = (gx as f64 * 100.0, gy as f64 * 100.0);
+            db.execute_sql(&format!(
+                "INSERT INTO parcels VALUES ({n}, 'owner{}', RECT({x}, {y}, {}, {}))",
+                n % 7,
+                x + 80.0,
+                y + 80.0
+            ))?;
+            n += 1;
+        }
+    }
+    println!("registered {n} parcels");
+
+    // Which parcel encloses the clubhouse at (1234, 2345)-(1236, 2347)?
+    let q = "SELECT id, owner FROM parcels WHERE area ENCLOSES RECT(1234, 2345, 1236, 2347)";
+    println!("\nplan for the ENCLOSES query:");
+    for row in db.query_sql(&format!("EXPLAIN {q}"))? {
+        println!("  {}", row[0].as_str()?);
+    }
+    for row in db.query_sql(q)? {
+        println!("  parcel {} owned by {}", row[0], row[1]);
+    }
+
+    // Window query: everything inside a survey window.
+    let rows = db.query_sql(
+        "SELECT COUNT(*) FROM parcels WHERE RECT(0, 0, 480, 480) ENCLOSES area",
+    )?;
+    println!("\nparcels fully inside the survey window: {}", rows[0][0]);
+
+    // Overlap: which parcels does a proposed pipeline cross?
+    let rows = db.query_sql(
+        "SELECT id FROM parcels WHERE area INTERSECTS RECT(0, 150, 500, 170) ORDER BY id",
+    )?;
+    print!("\npipeline crosses parcels:");
+    for r in &rows {
+        print!(" {}", r[0]);
+    }
+    println!();
+
+    // Updates keep the spatial index current (attachment maintenance).
+    db.execute_sql("UPDATE parcels SET area = RECT(0, 150, 80, 230) WHERE id = 0")?;
+    let rows = db.query_sql(
+        "SELECT COUNT(*) FROM parcels WHERE area INTERSECTS RECT(0, 150, 500, 170)",
+    )?;
+    println!("after moving parcel 0 onto the route: {} crossings", rows[0][0]);
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! # starburst-dmx
+//!
+//! A reproduction of **“A Data Management Extension Architecture”**
+//! (Bruce Lindsay, John McPherson, Hamid Pirahesh; SIGMOD 1987) — the
+//! Starburst design for making a relational DBMS's low-level data
+//! management facilities *extensible*.
+//!
+//! The architecture defines two generic abstractions with generic
+//! operation sets:
+//!
+//! * **storage methods** — alternative implementations of relation storage
+//!   (see [`storage`]: heap, B-tree-organized, temporary in-memory,
+//!   read-only publishing, foreign-database gateway), and
+//! * **attachments** — access paths, integrity constraints and triggers
+//!   procedurally attached to relation instances (see [`attach`]: B-tree /
+//!   hash / R-tree indexes, join index, CHECK and referential integrity
+//!   constraints, triggers, maintained aggregates),
+//!
+//! coordinated by **common services**: log-driven recovery and partial
+//! rollback ([`wal`]), lock-based concurrency control ([`lock`]),
+//! transaction events and deferred actions ([`txn`]), and a filter
+//! predicate evaluator that runs against buffer-resident records
+//! ([`expr`]). The extension machinery itself — procedure-vector
+//! registries, the extensible relation descriptor, the modification
+//! dispatcher with attachment veto and partial rollback, and the
+//! [`core::Database`] facade — lives in [`core`]. A cost-based query
+//! layer with bound-plan caching and invalidation lives in [`query`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use starburst_dmx::prelude::*;
+//!
+//! let db = starburst_dmx::open_default().unwrap();
+//! db.execute_sql(
+//!     "CREATE TABLE emp (id INT NOT NULL, name STRING, salary FLOAT) USING heap",
+//! )
+//! .unwrap();
+//! db.execute_sql("CREATE INDEX emp_id ON emp USING btree (id) WITH (unique=true)")
+//!     .unwrap();
+//! db.execute_sql("INSERT INTO emp VALUES (1, 'ann', 100.0)").unwrap();
+//! let rows = db.query_sql("SELECT name FROM emp WHERE id = 1").unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+use std::sync::Arc;
+
+pub use dmx_attach as attach;
+pub use dmx_btree as btree;
+pub use dmx_core as core;
+pub use dmx_expr as expr;
+pub use dmx_lock as lock;
+pub use dmx_page as page;
+pub use dmx_query as query;
+pub use dmx_storage as storage;
+pub use dmx_txn as txn;
+pub use dmx_types as types;
+pub use dmx_wal as wal;
+
+use dmx_core::{Database, DatabaseConfig, DatabaseEnv, ExtensionRegistry};
+use dmx_types::Result;
+
+/// Builds an extension registry with every built-in storage method and
+/// attachment type installed "at the factory". The temporary storage
+/// method registers first and receives internal identifier 1, as in the
+/// paper.
+pub fn default_registry() -> Result<Arc<ExtensionRegistry>> {
+    let reg = ExtensionRegistry::new();
+    dmx_storage::register_builtin_storage(&reg)?;
+    dmx_attach::register_builtin_attachments(&reg)?;
+    Ok(reg)
+}
+
+/// Opens a fresh in-memory database with all built-in extensions.
+pub fn open_default() -> Result<Arc<Database>> {
+    Database::open_fresh(default_registry()?)
+}
+
+/// Opens (or crash-reopens) a database over an existing environment with
+/// all built-in extensions.
+pub fn open_env(env: DatabaseEnv, config: DatabaseConfig) -> Result<Arc<Database>> {
+    Database::open(env, config, default_registry()?)
+}
+
+/// The most commonly used items, re-exported for examples and downstream
+/// users.
+pub mod prelude {
+    pub use dmx_core::{
+        AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, SpatialOp,
+    };
+    pub use dmx_query::{QueryResult, Session, SqlExt};
+    pub use dmx_types::{
+        AttrList, ColumnDef, DataType, DmxError, Record, RecordKey, Rect, RelationId, Result,
+        Schema, Value,
+    };
+}

@@ -1,0 +1,473 @@
+//! Figure 2 / F2: the generic data management interfaces are complete
+//! enough that a **new extension written entirely outside the library**
+//! plugs in through the public API alone — the architecture's headline
+//! claim ("the key to supporting data management extensions is to define
+//! generic abstractions for relation storage and access, and to view
+//! extensions as alternative implementations of the generic
+//! abstractions").
+//!
+//! We implement, from scratch in this test file:
+//!  * `vecstore` — a storage method keeping records in an in-memory Vec
+//!    (with logical undo, scans, cost estimation, DDL attribute
+//!    validation), and
+//!  * `audit_count` — an attachment counting modifications per relation,
+//!    vetoing when a quota is exceeded,
+//!
+//! then drive them through DDL, DML, SQL, veto rollback and abort — all
+//! coordinated by the common services, none of which know these types.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use std::sync::RwLock;
+
+use starburst_dmx::core::{
+    AccessPath, Attachment, AttachmentInstance, CommonServices, Database, ExecCtx,
+    KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps, StorageMethod,
+};
+use starburst_dmx::expr::Expr;
+use starburst_dmx::prelude::*;
+use starburst_dmx::wal::ExtKind;
+
+// ----------------------------------------------------------------------
+// the storage method
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct VecStore {
+    tables: RwLock<HashMap<u64, Arc<RwLock<Vec<Option<Record>>>>>>,
+    next: AtomicU64,
+}
+
+fn token(desc: &[u8]) -> u64 {
+    u64::from_le_bytes(desc[..8].try_into().unwrap())
+}
+
+fn key_of(idx: usize) -> RecordKey {
+    RecordKey::new((idx as u64).to_be_bytes().to_vec())
+}
+
+fn idx_of(key: &RecordKey) -> usize {
+    u64::from_be_bytes(key.as_bytes().try_into().unwrap()) as usize
+}
+
+const OP_INS: u8 = 1;
+const OP_DEL: u8 = 2;
+const OP_UPD: u8 = 3;
+
+impl VecStore {
+    fn table(&self, rd: &RelationDescriptor) -> Arc<RwLock<Vec<Option<Record>>>> {
+        self.tables.read().unwrap()[&token(&rd.sm_desc)].clone()
+    }
+}
+
+impl StorageMethod for VecStore {
+    fn name(&self) -> &str {
+        "vecstore"
+    }
+    fn is_recoverable(&self) -> bool {
+        false
+    }
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        params.check_allowed(&["capacity"], "vecstore")
+    }
+    fn create_instance(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rel: RelationId,
+        _schema: &Schema,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let cap = params.get_u64("capacity", 16)? as usize;
+        let t = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.tables
+            .write()
+            .unwrap()
+            .insert(t, Arc::new(RwLock::new(Vec::with_capacity(cap))));
+        Ok(t.to_le_bytes().to_vec())
+    }
+    fn destroy_instance(&self, _s: &Arc<CommonServices>, desc: &[u8]) -> Result<()> {
+        self.tables.write().unwrap().remove(&token(desc));
+        Ok(())
+    }
+    fn insert(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, record: &Record) -> Result<RecordKey> {
+        let t = self.table(rd);
+        let mut rows = t.write().unwrap();
+        rows.push(Some(record.clone()));
+        let key = key_of(rows.len() - 1);
+        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_INS, key.as_bytes().to_vec());
+        Ok(key)
+    }
+    fn update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        new: &Record,
+    ) -> Result<(Record, RecordKey)> {
+        let t = self.table(rd);
+        let mut rows = t.write().unwrap();
+        let slot = rows
+            .get_mut(idx_of(key))
+            .and_then(|o| o.as_mut())
+            .ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
+        let old = slot.clone();
+        *slot = new.clone();
+        let mut payload = key.as_bytes().to_vec();
+        payload.extend_from_slice(&old.encode());
+        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_UPD, payload);
+        Ok((old, key.clone()))
+    }
+    fn delete(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, key: &RecordKey) -> Result<Record> {
+        let t = self.table(rd);
+        let mut rows = t.write().unwrap();
+        let slot = rows
+            .get_mut(idx_of(key))
+            .ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
+        let old = slot.take().ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
+        let mut payload = key.as_bytes().to_vec();
+        payload.extend_from_slice(&old.encode());
+        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_DEL, payload);
+        Ok(old)
+    }
+    fn fetch(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+        fields: Option<&[dmx_types::FieldId]>,
+        pred: Option<&Expr>,
+    ) -> Result<Option<Vec<Value>>> {
+        let t = self.table(rd);
+        let rows = t.read().unwrap();
+        let Some(Some(rec)) = rows.get(idx_of(key)) else {
+            return Ok(None);
+        };
+        if let Some(p) = pred {
+            if !ctx.eval_predicate(p, &rec.values)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(match fields {
+            None => rec.values.clone(),
+            Some(ids) => ids
+                .iter()
+                .map(|&i| rec.values[i as usize].clone())
+                .collect(),
+        }))
+    }
+    fn open_scan(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        _range: KeyRange,
+        pred: Option<Expr>,
+        fields: Option<Vec<dmx_types::FieldId>>,
+    ) -> Result<Box<dyn ScanOps>> {
+        Ok(Box::new(VecScan {
+            table: self.table(rd),
+            pred,
+            fields,
+            next: 0,
+        }))
+    }
+    fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
+        let mut c = PathChoice::full_scan(AccessPath::StorageMethod, 0, rd.stats.records());
+        c.applied = preds.to_vec();
+        c
+    }
+    fn undo(
+        &self,
+        _s: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        _lsn: dmx_types::Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let Some(t) = self.tables.read().unwrap().get(&token(&rd.sm_desc)).cloned() else {
+            return Ok(());
+        };
+        let mut rows = t.write().unwrap();
+        let idx = idx_of(&RecordKey::new(payload[..8].to_vec()));
+        match op {
+            OP_INS => {
+                if let Some(slot) = rows.get_mut(idx) {
+                    *slot = None;
+                }
+            }
+            OP_DEL | OP_UPD => {
+                let old = Record::decode(&payload[8..])?;
+                while rows.len() <= idx {
+                    rows.push(None);
+                }
+                rows[idx] = Some(old);
+            }
+            _ => return Err(DmxError::Corrupt("bad vecstore op".into())),
+        }
+        Ok(())
+    }
+}
+
+struct VecScan {
+    table: Arc<RwLock<Vec<Option<Record>>>>,
+    pred: Option<Expr>,
+    fields: Option<Vec<dmx_types::FieldId>>,
+    next: usize,
+}
+
+impl ScanOps for VecScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        loop {
+            let rec = {
+                let rows = self.table.read().unwrap();
+                if self.next >= rows.len() {
+                    return Ok(None);
+                }
+                rows[self.next].clone()
+            };
+            let idx = self.next;
+            self.next += 1;
+            let Some(rec) = rec else { continue };
+            if let Some(p) = &self.pred {
+                if !ctx.eval_predicate(p, &rec.values)? {
+                    continue;
+                }
+            }
+            let values = match &self.fields {
+                None => rec.values.clone(),
+                Some(ids) => ids.iter().map(|&i| rec.values[i as usize].clone()).collect(),
+            };
+            return Ok(Some(ScanItem {
+                key: key_of(idx),
+                values: Some(values),
+            }));
+        }
+    }
+    fn save_position(&self) -> Vec<u8> {
+        (self.next as u64).to_le_bytes().to_vec()
+    }
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        self.next = u64::from_le_bytes(pos.try_into().unwrap()) as usize;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// the attachment: per-relation modification quota
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct QuotaGuard {
+    counts: RwLock<HashMap<RelationId, u64>>,
+    invocations: AtomicU64,
+}
+
+impl QuotaGuard {
+    fn bump(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, insts: &[AttachmentInstance]) -> Result<()> {
+        self.invocations.fetch_add(1, Ordering::SeqCst);
+        let quota = insts
+            .iter()
+            .map(|i| u64::from_le_bytes(i.desc[..8].try_into().unwrap()))
+            .min()
+            .unwrap_or(u64::MAX);
+        let mut counts = self.counts.write().unwrap();
+        let n = counts.entry(rd.id).or_insert(0);
+        if *n >= quota {
+            return Err(DmxError::veto("audit_count", "modification quota exceeded"));
+        }
+        *n += 1;
+        // log so rollback restores the count
+        ctx.log_ext_op(
+            ExtKind::Attachment(find_self(rd)),
+            rd.id,
+            1,
+            Vec::new(),
+        );
+        Ok(())
+    }
+}
+
+fn find_self(rd: &RelationDescriptor) -> dmx_types::AttTypeId {
+    rd.attached_types()
+        .find(|(_, insts)| !insts.is_empty())
+        .map(|(t, _)| t)
+        .unwrap_or_default()
+}
+
+impl Attachment for QuotaGuard {
+    fn name(&self) -> &str {
+        "audit_count"
+    }
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        params.check_allowed(&["quota"], "audit_count")?;
+        params.get_u64("quota", 0)?;
+        Ok(())
+    }
+    fn create_instance(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _name: &str,
+        params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        Ok(params.get_u64("quota", u64::MAX)?.to_le_bytes().to_vec())
+    }
+    fn destroy_instance(&self, _s: &Arc<CommonServices>, _d: &[u8]) -> Result<()> {
+        Ok(())
+    }
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        insts: &[AttachmentInstance],
+        _key: &RecordKey,
+        _new: &Record,
+    ) -> Result<()> {
+        self.bump(ctx, rd, insts)
+    }
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        insts: &[AttachmentInstance],
+        _ok: &RecordKey,
+        _nk: &RecordKey,
+        _old: &Record,
+        _new: &Record,
+    ) -> Result<()> {
+        self.bump(ctx, rd, insts)
+    }
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        insts: &[AttachmentInstance],
+        _key: &RecordKey,
+        _old: &Record,
+    ) -> Result<()> {
+        self.bump(ctx, rd, insts)
+    }
+    fn undo(
+        &self,
+        _s: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        _lsn: dmx_types::Lsn,
+        _op: u8,
+        _payload: &[u8],
+    ) -> Result<()> {
+        let mut counts = self.counts.write().unwrap();
+        if let Some(n) = counts.get_mut(&rd.id) {
+            *n = n.saturating_sub(1);
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+
+fn open_with_externals() -> (Arc<Database>, Arc<QuotaGuard>) {
+    let reg = starburst_dmx::core::ExtensionRegistry::new();
+    starburst_dmx::storage::register_builtin_storage(&reg).unwrap();
+    starburst_dmx::attach::register_builtin_attachments(&reg).unwrap();
+    // the externally-defined extensions register like any factory ones
+    reg.register_storage_method(Arc::new(VecStore::default()))
+        .unwrap();
+    let guard = Arc::new(QuotaGuard::default());
+    reg.register_attachment(guard.clone()).unwrap();
+    (Database::open_fresh(reg).unwrap(), guard)
+}
+
+#[test]
+fn user_defined_storage_method_speaks_full_sql() {
+    let (db, _) = open_with_externals();
+    db.execute_sql("CREATE TABLE v (id INT NOT NULL, name STRING) USING vecstore WITH (capacity = 8)")
+        .unwrap();
+    for i in 0..20 {
+        db.execute_sql(&format!("INSERT INTO v VALUES ({i}, 'n{i}')"))
+            .unwrap();
+    }
+    // predicates are pushed into the user-defined storage method's scan
+    let rows = db
+        .query_sql("SELECT name FROM v WHERE id % 2 = 0 AND id < 10 ORDER BY name")
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    db.execute_sql("UPDATE v SET name = 'even' WHERE id % 2 = 0")
+        .unwrap();
+    db.execute_sql("DELETE FROM v WHERE id >= 10").unwrap();
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM v WHERE name = 'even'").unwrap()[0][0],
+        Value::Int(5)
+    );
+    // bad DDL attribute rejected by the extension's validate_params
+    assert!(db
+        .execute_sql("CREATE TABLE w (x INT) USING vecstore WITH (color = red)")
+        .is_err());
+}
+
+#[test]
+fn user_defined_storage_method_honors_rollback() {
+    let (db, _) = open_with_externals();
+    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore").unwrap();
+    db.execute_sql("INSERT INTO v VALUES (1)").unwrap();
+    let sess = Session::new(db.clone());
+    sess.execute("BEGIN").unwrap();
+    sess.execute("INSERT INTO v VALUES (2)").unwrap();
+    sess.execute("UPDATE v SET id = 99 WHERE id = 1").unwrap();
+    sess.execute("SAVEPOINT sp").unwrap();
+    sess.execute("DELETE FROM v").unwrap();
+    sess.execute("ROLLBACK TO SAVEPOINT sp").unwrap();
+    assert_eq!(
+        sess.execute("SELECT COUNT(*) FROM v").unwrap().rows[0][0],
+        Value::Int(2),
+        "partial rollback drove the external extension's undo"
+    );
+    sess.execute("ROLLBACK").unwrap();
+    let rows = db.query_sql("SELECT id FROM v").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)]], "full rollback too");
+}
+
+#[test]
+fn user_defined_attachment_vetoes_and_counts_once_per_modification() {
+    let (db, guard) = open_with_externals();
+    db.execute_sql("CREATE TABLE t (x INT NOT NULL)").unwrap();
+    // two instances of the type; quota = min(3, 100) = 3
+    db.execute_sql("CREATE ATTACHMENT g1 ON t USING audit_count WITH (quota = 3)")
+        .unwrap();
+    db.execute_sql("CREATE ATTACHMENT g2 ON t USING audit_count WITH (quota = 100)")
+        .unwrap();
+    for i in 0..3 {
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    assert_eq!(
+        guard.invocations.load(Ordering::SeqCst),
+        3,
+        "invoked once per modification, servicing both instances"
+    );
+    let err = db.execute_sql("INSERT INTO t VALUES (99)").unwrap_err();
+    assert!(matches!(err, DmxError::Veto { .. }));
+    // the vetoed insert was rolled back out of the heap
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn user_extensions_compose_with_builtins() {
+    // external storage + built-in check constraint + built-in trigger
+    let (db, _) = open_with_externals();
+    db.execute_sql("CREATE TABLE audit (event STRING NOT NULL, relation STRING NOT NULL, info STRING)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore").unwrap();
+    db.execute_sql("CREATE CONSTRAINT pos ON v CHECK (id >= 0)").unwrap();
+    db.execute_sql("CREATE ATTACHMENT aud ON v USING trigger WITH (on = insert, action = 'audit:audit')")
+        .unwrap();
+    db.execute_sql("INSERT INTO v VALUES (5)").unwrap();
+    assert!(db.execute_sql("INSERT INTO v VALUES (-5)").is_err());
+    assert_eq!(
+        db.query_sql("SELECT COUNT(*) FROM audit").unwrap()[0][0],
+        Value::Int(1),
+        "trigger fired for the accepted insert only (vetoed one rolled back)"
+    );
+}
