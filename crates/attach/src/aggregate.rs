@@ -22,7 +22,9 @@ use dmx_types::{
     AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, Result, Schema, Value,
 };
 
-use crate::common::{decode_att_payload, encode_att_payload, log_att, A_DELTA};
+use crate::common::{
+    decode_att_payload, encode_att_payload, log_att, read_u16, read_u32, read_u64, A_DELTA,
+};
 
 /// The maintained-aggregate attachment type.
 pub struct Aggregate;
@@ -55,15 +57,14 @@ impl AggDesc {
     }
 
     pub fn decode(b: &[u8]) -> Result<AggDesc> {
-        let corrupt = || DmxError::Corrupt("short aggregate descriptor".into());
-        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
-        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
-        let sum_field = u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap());
+        const WHAT: &str = "aggregate descriptor";
+        let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
+        let file = FileId(read_u32(b, 0, WHAT)?);
+        let root_page = read_u32(b, 4, WHAT)?;
+        let sum_field = read_u16(b, 8, WHAT)?;
         let group_field = match *b.get(10).ok_or_else(corrupt)? {
             0 => None,
-            _ => Some(u16::from_le_bytes(
-                b.get(11..13).ok_or_else(corrupt)?.try_into().unwrap(),
-            )),
+            _ => Some(read_u16(b, 11, WHAT)?),
         };
         Ok(AggDesc {
             file,
@@ -82,12 +83,9 @@ fn encode_cell(count: i64, sum: f64) -> Vec<u8> {
 }
 
 fn decode_cell(b: &[u8]) -> Result<(i64, f64)> {
-    if b.len() < 16 {
-        return Err(DmxError::Corrupt("short aggregate cell".into()));
-    }
     Ok((
-        i64::from_le_bytes(b[..8].try_into().unwrap()),
-        f64::from_le_bytes(b[8..16].try_into().unwrap()),
+        read_u64(b, 0, "aggregate cell")? as i64,
+        f64::from_bits(read_u64(b, 8, "aggregate cell")?),
     ))
 }
 
@@ -201,7 +199,11 @@ impl Aggregate {
         let before = Self::apply_delta(ctx.services(), &inst.desc, &group, sign, dsum)?;
         let att = rd
             .attached_types()
-            .find(|(_, insts)| insts.iter().any(|i| i.instance == inst.instance && i.name == inst.name))
+            .find(|(_, insts)| {
+                insts
+                    .iter()
+                    .any(|i| i.instance == inst.instance && i.name == inst.name)
+            })
             .map(|(t, _)| t)
             .unwrap_or_default();
         log_att(
@@ -375,7 +377,9 @@ impl ScanOps for AggScan {
             return Ok(None);
         }
         self.after = Some(key.clone());
-        let group = decode_values(&key, 1)?.pop().unwrap();
+        let group = decode_values(&key, 1)?
+            .pop()
+            .ok_or_else(|| DmxError::Corrupt("empty aggregate group key".into()))?;
         let (count, sum) = decode_cell(&cell)?;
         Ok(Some(ScanItem {
             key: RecordKey::new(key),

@@ -26,8 +26,8 @@ use dmx_types::{
 };
 
 use crate::common::{
-    decode_att_payload, encode_att_payload, field_values, log_att, parse_fields,
-    prefix_successor, A_DELETE, A_INSERT,
+    decode_att_payload, encode_att_payload, field_values, log_att, parse_fields, prefix_successor,
+    read_u16, read_u32, A_DELETE, A_INSERT,
 };
 
 /// The B-tree index attachment type.
@@ -56,17 +56,15 @@ impl IxDesc {
     }
 
     pub fn decode(b: &[u8]) -> Result<IxDesc> {
-        let corrupt = || DmxError::Corrupt("short index descriptor".into());
-        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
-        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
+        const WHAT: &str = "index descriptor";
+        let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
+        let file = FileId(read_u32(b, 0, WHAT)?);
+        let root_page = read_u32(b, 4, WHAT)?;
         let unique = *b.get(8).ok_or_else(corrupt)? != 0;
-        let n = u16::from_le_bytes(b.get(9..11).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        let n = read_u16(b, 9, WHAT)? as usize;
         let mut fields = Vec::with_capacity(n);
         for i in 0..n {
-            let off = 11 + 2 * i;
-            fields.push(u16::from_le_bytes(
-                b.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
-            ));
+            fields.push(read_u16(b, 11 + 2 * i, WHAT)?);
         }
         Ok(IxDesc {
             file,
@@ -350,8 +348,7 @@ impl Attachment for BTreeIndex {
             None => (
                 Bound::Included(prefix.clone()),
                 prefix_hi(&prefix),
-                (1.0 / rd.stats.records().max(1) as f64)
-                    .max(if d.unique { 0.0 } else { 0.01 }),
+                (1.0 / rd.stats.records().max(1) as f64).max(if d.unique { 0.0 } else { 0.01 }),
             ),
         };
         let records = rd.stats.records();

@@ -12,9 +12,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use dmx_core::{
-    Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor,
-};
+use dmx_core::{Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor};
 use dmx_expr::{decode_expr, encode_expr, expr_from_hex, Expr};
 use dmx_txn::TxnEvent;
 use dmx_types::{AttrList, DmxError, Lsn, Record, RecordKey, Result, Schema};
@@ -119,11 +117,8 @@ impl CheckConstraint {
                     return Ok(());
                 };
                 let funcs = db.services().funcs.read();
-                let ok = dmx_expr::eval_predicate(
-                    &d.expr,
-                    &values,
-                    dmx_expr::EvalContext::new(&funcs),
-                )?;
+                let ok =
+                    dmx_expr::eval_predicate(&d.expr, &values, dmx_expr::EvalContext::new(&funcs))?;
                 if ok {
                     Ok(())
                 } else {

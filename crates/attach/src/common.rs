@@ -25,24 +25,68 @@ pub fn encode_att_payload(desc: &[u8], key: &[u8], extra: &[u8]) -> Vec<u8> {
     v
 }
 
+/// Reads a little-endian `u16` at `off`, or a `Corrupt("short {what}")`
+/// error when the buffer is too small.
+pub fn read_u16(b: &[u8], off: usize, what: &str) -> Result<u16> {
+    b.get(off..off + 2)
+        .and_then(|s| s.try_into().ok())
+        .map(u16::from_le_bytes)
+        .ok_or_else(|| DmxError::Corrupt(format!("short {what}")))
+}
+
+/// Reads a little-endian `u32` at `off`; see [`read_u16`].
+pub fn read_u32(b: &[u8], off: usize, what: &str) -> Result<u32> {
+    b.get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| DmxError::Corrupt(format!("short {what}")))
+}
+
+/// Reads a little-endian `u64` at `off`; see [`read_u16`].
+pub fn read_u64(b: &[u8], off: usize, what: &str) -> Result<u64> {
+    b.get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| DmxError::Corrupt(format!("short {what}")))
+}
+
+/// `b[off..]`, or a `Corrupt("short {what}")` error when `off` is past
+/// the end of the buffer.
+pub fn tail<'a>(b: &'a [u8], off: usize, what: &str) -> Result<&'a [u8]> {
+    b.get(off..)
+        .ok_or_else(|| DmxError::Corrupt(format!("short {what}")))
+}
+
 /// Decodes `(desc, key, extra)` from [`encode_att_payload`].
 pub fn decode_att_payload(p: &[u8]) -> Result<(&[u8], &[u8], &[u8])> {
     let corrupt = || DmxError::Corrupt("short attachment payload".into());
-    let dlen = u16::from_le_bytes(p.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let dlen = read_u16(p, 0, "attachment payload")? as usize;
     let desc = p.get(2..2 + dlen).ok_or_else(corrupt)?;
-    let rest = &p[2 + dlen..];
-    let klen = u16::from_le_bytes(rest.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+    let rest = tail(p, 2 + dlen, "attachment payload")?;
+    let klen = read_u16(rest, 0, "attachment payload")? as usize;
     let key = rest.get(2..2 + klen).ok_or_else(corrupt)?;
-    Ok((desc, key, &rest[2 + klen..]))
+    let extra = tail(rest, 2 + klen, "attachment payload")?;
+    Ok((desc, key, extra))
 }
 
 /// Logs an attachment operation on the transaction's undo chain.
-pub fn log_att(ctx: &ExecCtx<'_>, rd: &RelationDescriptor, att: dmx_types::AttTypeId, op: u8, payload: Vec<u8>) -> Lsn {
+pub fn log_att(
+    ctx: &ExecCtx<'_>,
+    rd: &RelationDescriptor,
+    att: dmx_types::AttTypeId,
+    op: u8,
+    payload: Vec<u8>,
+) -> Lsn {
     ctx.log_ext_op(ExtKind::Attachment(att), rd.id, op, payload)
 }
 
 /// Parses a comma-separated field-name list attribute into field ids.
-pub fn parse_fields(params: &AttrList, attr: &str, who: &str, schema: &Schema) -> Result<Vec<FieldId>> {
+pub fn parse_fields(
+    params: &AttrList,
+    attr: &str,
+    who: &str,
+    schema: &Schema,
+) -> Result<Vec<FieldId>> {
     let spec = params.require(attr, who)?;
     let mut fields = Vec::new();
     for name in spec.split(',') {

@@ -26,7 +26,7 @@ use dmx_types::{
 
 use crate::common::{
     decode_att_payload, encode_att_payload, field_values, log_att, parse_fields, prefix_successor,
-    A_DELETE, A_INSERT,
+    read_u16, read_u32, tail, A_DELETE, A_INSERT,
 };
 
 /// The hash-index attachment type.
@@ -53,16 +53,13 @@ impl HashDesc {
     }
 
     pub fn decode(b: &[u8]) -> Result<HashDesc> {
-        let corrupt = || DmxError::Corrupt("short hash descriptor".into());
-        let file = FileId(u32::from_le_bytes(b.get(..4).ok_or_else(corrupt)?.try_into().unwrap()));
-        let root_page = u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
-        let n = u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        const WHAT: &str = "hash descriptor";
+        let file = FileId(read_u32(b, 0, WHAT)?);
+        let root_page = read_u32(b, 4, WHAT)?;
+        let n = read_u16(b, 8, WHAT)? as usize;
         let mut fields = Vec::with_capacity(n);
         for i in 0..n {
-            let off = 10 + 2 * i;
-            fields.push(u16::from_le_bytes(
-                b.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
-            ));
+            fields.push(read_u16(b, 10 + 2 * i, WHAT)?);
         }
         Ok(HashDesc {
             file,
@@ -323,10 +320,7 @@ impl Attachment for HashIndex {
         let records = rd.stats.records();
         let rows = (records as f64 * 0.01).max(1.0);
         Some(PathChoice {
-            path: AccessPath::Attachment(
-                Self::type_id(rd, instance),
-                instance.instance,
-            ),
+            path: AccessPath::Attachment(Self::type_id(rd, instance), instance.instance),
             query: AccessQuery::KeyEquals(enc),
             // a hash probe is ~1–2 page touches regardless of size
             cost: Cost::new(1.5, rows),
@@ -369,7 +363,8 @@ impl ScanOps for HashScan {
         }
         // key = hash(8) ∥ enc(values) ∥ record_key: the indexed values are
         // recoverable, so the probe covers them.
-        let covered = dmx_types::key::decode_values(&key[8..], self.nfields)?;
+        let covered =
+            dmx_types::key::decode_values(tail(&key, 8, "hash index key")?, self.nfields)?;
         self.after = Some(key);
         Ok(Some(ScanItem {
             key: RecordKey::new(value),

@@ -31,7 +31,7 @@ use dmx_types::{
 
 use crate::common::{
     decode_att_payload, encode_att_payload, field_values, log_att, parse_fields, prefix_successor,
-    A_DELETE, A_INSERT,
+    read_u16, read_u32, tail, A_DELETE, A_INSERT,
 };
 
 /// The join-index attachment type.
@@ -66,24 +66,19 @@ impl JiDesc {
     }
 
     pub fn decode(b: &[u8]) -> Result<JiDesc> {
-        let corrupt = || DmxError::Corrupt("short join-index descriptor".into());
+        const WHAT: &str = "join-index descriptor";
+        let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
         let is_left = *b.first().ok_or_else(corrupt)? != 0;
-        let n = u16::from_le_bytes(b.get(1..3).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
+        let n = read_u16(b, 1, WHAT)? as usize;
         let mut pos = 3usize;
         let mut fields = Vec::with_capacity(n);
         for _ in 0..n {
-            fields.push(u16::from_le_bytes(
-                b.get(pos..pos + 2).ok_or_else(corrupt)?.try_into().unwrap(),
-            ));
+            fields.push(read_u16(b, pos, WHAT)?);
             pos += 2;
         }
         let mut trees = [(FileId(0), 0u32); 3];
         for t in &mut trees {
-            let file = u32::from_le_bytes(b.get(pos..pos + 4).ok_or_else(corrupt)?.try_into().unwrap());
-            let root = u32::from_le_bytes(
-                b.get(pos + 4..pos + 8).ok_or_else(corrupt)?.try_into().unwrap(),
-            );
-            *t = (FileId(file), root);
+            *t = (FileId(read_u32(b, pos, WHAT)?), read_u32(b, pos + 4, WHAT)?);
             pos += 8;
         }
         Ok(JiDesc {
@@ -103,10 +98,11 @@ fn encode_pair_value(lkey: &[u8], rkey: &[u8]) -> Vec<u8> {
 }
 
 fn decode_pair_value(v: &[u8]) -> Result<(&[u8], &[u8])> {
-    let corrupt = || DmxError::Corrupt("short pair value".into());
-    let n = u16::from_le_bytes(v.get(..2).ok_or_else(corrupt)?.try_into().unwrap()) as usize;
-    let lkey = v.get(2..2 + n).ok_or_else(corrupt)?;
-    Ok((lkey, &v[2 + n..]))
+    let n = read_u16(v, 0, "pair value")? as usize;
+    let lkey = v
+        .get(2..2 + n)
+        .ok_or_else(|| DmxError::Corrupt("short pair value".into()))?;
+    Ok((lkey, tail(v, 2 + n, "pair value")?))
 }
 
 impl JoinIndex {
@@ -139,7 +135,13 @@ impl JoinIndex {
         Self::tree(ctx.services(), d, which).insert(key, value, OnDuplicate::Replace)?;
         let mut extra = vec![which];
         extra.extend_from_slice(value);
-        log_att(ctx, rd, att, A_INSERT, encode_att_payload(desc, key, &extra));
+        log_att(
+            ctx,
+            rd,
+            att,
+            A_INSERT,
+            encode_att_payload(desc, key, &extra),
+        );
         Ok(())
     }
 
@@ -155,7 +157,13 @@ impl JoinIndex {
         if let Some(old) = Self::tree(ctx.services(), d, which).delete(key)? {
             let mut extra = vec![which];
             extra.extend_from_slice(&old);
-            log_att(ctx, rd, att, A_DELETE, encode_att_payload(desc, key, &extra));
+            log_att(
+                ctx,
+                rd,
+                att,
+                A_DELETE,
+                encode_att_payload(desc, key, &extra),
+            );
         }
         Ok(())
     }
@@ -204,7 +212,16 @@ impl JoinIndex {
         // 1. register this key under its join value
         let mut my_key = v.clone();
         my_key.extend_from_slice(key.as_bytes());
-        Self::logged_insert(ctx, rd, att, &inst.desc, &d, my_tree, &my_key, key.as_bytes())?;
+        Self::logged_insert(
+            ctx,
+            rd,
+            att,
+            &inst.desc,
+            &d,
+            my_tree,
+            &my_key,
+            key.as_bytes(),
+        )?;
         // 2. pair with every matching key on the other side
         for (_, other_key) in Self::prefix_entries(ctx.services(), &d, other_tree, &v)? {
             let (lkey, rkey) = if d.is_left {
@@ -270,7 +287,9 @@ impl Attachment for JoinIndex {
         params.check_allowed(&["side", "fields", "other"], "join index")?;
         let side = params.require("side", "join index")?;
         if !side.eq_ignore_ascii_case("left") && !side.eq_ignore_ascii_case("right") {
-            return Err(DmxError::InvalidArg("join index side must be left|right".into()));
+            return Err(DmxError::InvalidArg(
+                "join index side must be left|right".into(),
+            ));
         }
         if side.eq_ignore_ascii_case("right") && params.get("other").is_none() {
             return Err(DmxError::InvalidArg(

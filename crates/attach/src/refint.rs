@@ -23,6 +23,8 @@ use dmx_core::{
     RelationDescriptor,
 };
 use dmx_expr::{CmpOp, Expr};
+
+use crate::common::{read_u16, read_u32};
 use dmx_types::{
     AttrList, DmxError, FieldId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
 };
@@ -54,7 +56,10 @@ pub struct RefDesc {
 
 impl RefDesc {
     pub fn encode(&self) -> Vec<u8> {
-        let mut v = vec![self.is_child as u8, (self.rule == DeleteRule::Cascade) as u8];
+        let mut v = vec![
+            self.is_child as u8,
+            (self.rule == DeleteRule::Cascade) as u8,
+        ];
         v.extend_from_slice(&self.other.0.to_le_bytes());
         for list in [&self.fields, &self.other_fields] {
             v.extend_from_slice(&(list.len() as u16).to_le_bytes());
@@ -66,29 +71,24 @@ impl RefDesc {
     }
 
     pub fn decode(b: &[u8]) -> Result<RefDesc> {
-        let corrupt = || DmxError::Corrupt("short refint descriptor".into());
+        const WHAT: &str = "refint descriptor";
+        let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
         let is_child = *b.first().ok_or_else(corrupt)? != 0;
         let cascade = *b.get(1).ok_or_else(corrupt)? != 0;
-        let other = RelationId(u32::from_le_bytes(
-            b.get(2..6).ok_or_else(corrupt)?.try_into().unwrap(),
-        ));
+        let other = RelationId(read_u32(b, 2, WHAT)?);
         let mut pos = 6usize;
-        let mut lists = Vec::new();
-        for _ in 0..2 {
-            let n = u16::from_le_bytes(b.get(pos..pos + 2).ok_or_else(corrupt)?.try_into().unwrap())
-                as usize;
+        let mut read_list = || -> Result<Vec<FieldId>> {
+            let n = read_u16(b, pos, WHAT)? as usize;
             pos += 2;
             let mut fields = Vec::with_capacity(n);
             for _ in 0..n {
-                fields.push(u16::from_le_bytes(
-                    b.get(pos..pos + 2).ok_or_else(corrupt)?.try_into().unwrap(),
-                ));
+                fields.push(read_u16(b, pos, WHAT)?);
                 pos += 2;
             }
-            lists.push(fields);
-        }
-        let other_fields = lists.pop().unwrap();
-        let fields = lists.pop().unwrap();
+            Ok(fields)
+        };
+        let fields = read_list()?;
+        let other_fields = read_list()?;
         Ok(RefDesc {
             is_child,
             fields,
@@ -121,7 +121,10 @@ fn match_pred(other_fields: &[FieldId], values: &[Value]) -> Expr {
 }
 
 impl RefIntegrity {
-    fn parse(params: &AttrList, schema: &Schema) -> Result<(bool, Vec<FieldId>, DeleteRule, String, String)> {
+    fn parse(
+        params: &AttrList,
+        schema: &Schema,
+    ) -> Result<(bool, Vec<FieldId>, DeleteRule, String, String)> {
         params.check_allowed(
             &["role", "fields", "other", "other_fields", "on_delete"],
             "referential integrity",
@@ -136,7 +139,8 @@ impl RefIntegrity {
                 )))
             }
         };
-        let fields = crate::common::parse_fields(params, "fields", "referential integrity", schema)?;
+        let fields =
+            crate::common::parse_fields(params, "fields", "referential integrity", schema)?;
         let rule = match params
             .get("on_delete")
             .unwrap_or("restrict")
@@ -151,7 +155,9 @@ impl RefIntegrity {
                 )))
             }
         };
-        let other = params.require("other", "referential integrity")?.to_string();
+        let other = params
+            .require("other", "referential integrity")?
+            .to_string();
         let other_fields = params
             .require("other_fields", "referential integrity")?
             .to_string();
@@ -160,11 +166,7 @@ impl RefIntegrity {
 
     /// True when the other relation has at least one record matching the
     /// given values on `other_fields`.
-    fn other_has_match(
-        ctx: &ExecCtx<'_>,
-        d: &RefDesc,
-        values: &[Value],
-    ) -> Result<bool> {
+    fn other_has_match(ctx: &ExecCtx<'_>, d: &RefDesc, values: &[Value]) -> Result<bool> {
         let other_rd = ctx.db.catalog().get(d.other)?;
         let pred = match_pred(&d.other_fields, values);
         let inner = ctx.db.open_scan_raw(

@@ -15,9 +15,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
-use dmx_btree::LatchTable;
+use dmx_btree::{LatchTable, TreeLatch};
 use dmx_core::{
     AccessPath, AccessQuery, Attachment, AttachmentInstance, CommonServices, Cost, ExecCtx,
     PathChoice, RelationDescriptor, ScanItem, ScanOps, SpatialOp,
@@ -29,9 +27,7 @@ use dmx_types::{
     Value,
 };
 
-use crate::common::{
-    decode_att_payload, encode_att_payload, log_att, A_DELETE, A_INSERT,
-};
+use crate::common::{decode_att_payload, encode_att_payload, log_att, A_DELETE, A_INSERT};
 
 /// Page type tags.
 pub const PAGE_TYPE_RTREE_LEAF: u8 = 5;
@@ -62,12 +58,22 @@ impl RtDesc {
 
     pub fn decode(b: &[u8]) -> Result<RtDesc> {
         let corrupt = || DmxError::Corrupt("short rtree descriptor".into());
+        let u32_at = |off: usize| -> Result<u32> {
+            b.get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(corrupt)
+        };
+        let u16_at = |off: usize| -> Result<u16> {
+            b.get(off..off + 2)
+                .and_then(|s| s.try_into().ok())
+                .map(u16::from_le_bytes)
+                .ok_or_else(corrupt)
+        };
         Ok(RtDesc {
-            file: FileId(u32::from_le_bytes(
-                b.get(..4).ok_or_else(corrupt)?.try_into().unwrap(),
-            )),
-            root_page: u32::from_le_bytes(b.get(4..8).ok_or_else(corrupt)?.try_into().unwrap()),
-            rect_field: u16::from_le_bytes(b.get(8..10).ok_or_else(corrupt)?.try_into().unwrap()),
+            file: FileId(u32_at(0)?),
+            root_page: u32_at(4)?,
+            rect_field: u16_at(8)?,
         })
     }
 }
@@ -81,7 +87,10 @@ fn entry_rect(data: &[u8]) -> Result<Rect> {
 }
 
 fn entry_payload(data: &[u8]) -> &[u8] {
-    &data[32..]
+    data.get(32..).unwrap_or_else(|| {
+        debug_assert!(false, "rtree entry shorter than its rect header");
+        &[]
+    })
 }
 
 fn make_entry(rect: &Rect, payload: &[u8]) -> Vec<u8> {
@@ -92,7 +101,13 @@ fn make_entry(rect: &Rect, payload: &[u8]) -> Vec<u8> {
 }
 
 fn child_of(data: &[u8]) -> u32 {
-    u32::from_le_bytes(entry_payload(data)[..4].try_into().unwrap())
+    match entry_payload(data).get(..4).and_then(|s| s.try_into().ok()) {
+        Some(b) => u32::from_le_bytes(b),
+        None => {
+            debug_assert!(false, "rtree branch entry without a child pointer");
+            u32::MAX
+        }
+    }
 }
 
 fn is_leaf(page: &Page) -> bool {
@@ -106,10 +121,19 @@ fn entries(page: &Page) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// `(slot, data)` pairs for every live slot. A slot reported live whose
+/// payload has vanished indicates a corrupt page; it is skipped rather
+/// than panicked on.
+fn live_entries(page: &Page) -> impl Iterator<Item = (u16, &[u8])> {
+    SlottedPage::live_slots(page)
+        .into_iter()
+        .filter_map(move |s| SlottedPage::get(page, s).map(|d| (s, d)))
+}
+
 fn bounds(page: &Page) -> Result<Option<Rect>> {
     let mut acc: Option<Rect> = None;
-    for s in SlottedPage::live_slots(page) {
-        let r = entry_rect(SlottedPage::get(page, s).expect("live slot"))?;
+    for (_, d) in live_entries(page) {
+        let r = entry_rect(d)?;
         acc = Some(match acc {
             None => r,
             Some(a) => a.union(&r),
@@ -163,7 +187,7 @@ fn quadratic_split(items: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, Vec<Vec<u8>>)> 
                 (pos, (d1 - d2).abs())
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("rest non-empty");
+            .unwrap_or((0, 0.0)); // rest is non-empty: position 0 exists
         let i = rest.swap_remove(pos);
         let (d1, d2) = (r1.enlargement(&rects[i]), r2.enlargement(&rects[i]));
         if d1 < d2 || (d1 == d2 && r1.area() <= r2.area()) {
@@ -192,7 +216,7 @@ fn write_entries(page: &mut Page, page_type: u8, items: &[Vec<u8>]) -> Result<()
 pub struct RTree {
     pool: Arc<BufferPool>,
     root: PageId,
-    latch: Arc<RwLock<()>>,
+    latch: Arc<TreeLatch>,
 }
 
 impl RTree {
@@ -260,8 +284,7 @@ impl RTree {
         let (slot, child) = {
             let page = pin.read();
             let mut best: Option<(u16, u32, f64, f64)> = None;
-            for s in SlottedPage::live_slots(&page) {
-                let data = SlottedPage::get(&page, s).expect("live");
+            for (s, data) in live_entries(&page) {
                 let r = entry_rect(data)?;
                 let enl = r.enlargement(rect);
                 let area = r.area();
@@ -284,7 +307,11 @@ impl RTree {
             b.ok_or_else(|| DmxError::Corrupt("empty rtree child".into()))?
         };
         let mut page = pin.write();
-        SlottedPage::update(&mut page, slot, &make_entry(&child_bounds, &child.to_le_bytes()))?;
+        SlottedPage::update(
+            &mut page,
+            slot,
+            &make_entry(&child_bounds, &child.to_le_bytes()),
+        )?;
         let Some(new_child) = split else {
             return Ok(None);
         };
@@ -319,8 +346,8 @@ impl RTree {
             let root = root_pin.read();
             *left.raw_mut() = *root.raw();
         }
-        let left_bounds = bounds(&left_pin.read())?
-            .ok_or_else(|| DmxError::Corrupt("empty root copy".into()))?;
+        let left_bounds =
+            bounds(&left_pin.read())?.ok_or_else(|| DmxError::Corrupt("empty root copy".into()))?;
         let right_bounds = {
             let p = self.page(new_page)?;
             let b = bounds(&p.read())?;
@@ -347,22 +374,17 @@ impl RTree {
         let pin = self.page(page_no)?;
         let page = pin.read();
         if is_leaf(&page) {
-            for s in SlottedPage::live_slots(&page) {
-                let d = SlottedPage::get(&page, s).expect("live");
+            for (_, d) in live_entries(&page) {
                 if entry_rect(d)? == *rect && entry_payload(d) == payload {
                     return Ok(true);
                 }
             }
             return Ok(false);
         }
-        let children: Vec<u32> = SlottedPage::live_slots(&page)
-            .into_iter()
-            .filter_map(|s| {
-                let d = SlottedPage::get(&page, s).expect("live");
-                match entry_rect(d) {
-                    Ok(r) if r.encloses(rect) => Some(child_of(d)),
-                    _ => None,
-                }
+        let children: Vec<u32> = live_entries(&page)
+            .filter_map(|(_, d)| match entry_rect(d) {
+                Ok(r) if r.encloses(rect) => Some(child_of(d)),
+                _ => None,
             })
             .collect();
         drop(page);
@@ -387,11 +409,13 @@ impl RTree {
         if is_leaf(&pin.read()) {
             let target = {
                 let page = pin.read();
-                SlottedPage::live_slots(&page).into_iter().find(|&s| {
-                    let d = SlottedPage::get(&page, s).expect("live");
-                    entry_rect(d).map(|r| r == *rect).unwrap_or(false)
-                        && entry_payload(d) == payload
-                })
+                let found = live_entries(&page)
+                    .find(|&(_, d)| {
+                        entry_rect(d).map(|r| r == *rect).unwrap_or(false)
+                            && entry_payload(d) == payload
+                    })
+                    .map(|(s, _)| s);
+                found
             };
             if let Some(s) = target {
                 SlottedPage::delete(&mut pin.write(), s);
@@ -401,14 +425,10 @@ impl RTree {
         }
         let children: Vec<u32> = {
             let page = pin.read();
-            SlottedPage::live_slots(&page)
-                .into_iter()
-                .filter_map(|s| {
-                    let d = SlottedPage::get(&page, s).expect("live");
-                    match entry_rect(d) {
-                        Ok(r) if r.encloses(rect) => Some(child_of(d)),
-                        _ => None,
-                    }
+            live_entries(&page)
+                .filter_map(|(_, d)| match entry_rect(d) {
+                    Ok(r) if r.encloses(rect) => Some(child_of(d)),
+                    _ => None,
                 })
                 .collect()
         };
@@ -431,7 +451,10 @@ impl RTree {
 
     /// Collects every entry (full scan).
     pub fn all(&self) -> Result<Vec<(Rect, Vec<u8>)>> {
-        self.search(SpatialOp::Intersects, &Rect::new(f64::MIN, f64::MIN, f64::MAX, f64::MAX))
+        self.search(
+            SpatialOp::Intersects,
+            &Rect::new(f64::MIN, f64::MIN, f64::MAX, f64::MAX),
+        )
     }
 
     fn search_rec(
@@ -445,8 +468,7 @@ impl RTree {
         let page = pin.read();
         let leaf = is_leaf(&page);
         let mut descend = Vec::new();
-        for s in SlottedPage::live_slots(&page) {
-            let d = SlottedPage::get(&page, s).expect("live");
+        for (_, d) in live_entries(&page) {
             let r = entry_rect(d)?;
             if leaf {
                 let hit = match op {
@@ -550,7 +572,9 @@ impl Attachment for RTreeIndex {
         _name: &str,
         params: &AttrList,
     ) -> Result<Vec<u8>> {
-        let rect_field = rd.schema.field_id(params.require("field", "rtree index")?)?;
+        let rect_field = rd
+            .schema
+            .field_id(params.require("field", "rtree index")?)?;
         let services = ctx.services();
         let file = services.disk.create_file()?;
         let tree = RTree::create(&services.pool, file, &services.latches)?;
@@ -779,10 +803,10 @@ impl ScanOps for RtScan {
     }
 
     fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
-        if pos.len() != 8 {
-            return Err(DmxError::Corrupt("bad rtree scan position".into()));
-        }
-        self.pos = u64::from_le_bytes(pos.try_into().unwrap()) as usize;
+        let arr: [u8; 8] = pos
+            .try_into()
+            .map_err(|_| DmxError::Corrupt("bad rtree scan position".into()))?;
+        self.pos = u64::from_le_bytes(arr) as usize;
         Ok(())
     }
 }

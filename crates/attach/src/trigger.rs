@@ -10,8 +10,10 @@
 
 use std::sync::Arc;
 
-use dmx_core::database::HookArgs;
+use dmx_core::HookArgs;
 use dmx_core::{Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor};
+
+use crate::common::tail;
 use dmx_types::{AttrList, DmxError, Lsn, Record, RecordKey, Result, Schema, Value};
 
 /// The trigger attachment type.
@@ -54,7 +56,7 @@ impl TriggerDesc {
                 update: b[1] != 0,
                 delete: b[2] != 0,
             },
-            action: String::from_utf8(b[3..].to_vec())
+            action: String::from_utf8(tail(b, 3, "trigger descriptor")?.to_vec())
                 .map_err(|_| DmxError::Corrupt("trigger action not utf8".into()))?,
         })
     }
@@ -140,7 +142,10 @@ impl Trigger {
             ctx.db.insert(ctx.txn, target_rd.id, audit)?;
             return Ok(());
         }
-        Err(DmxError::Corrupt(format!("bad trigger action {}", d.action)))
+        Err(DmxError::Corrupt(format!(
+            "bad trigger action {}",
+            d.action
+        )))
     }
 }
 

@@ -8,14 +8,12 @@ use std::sync::Arc;
 
 use dmx_attach::{check_params, register_builtin_attachments};
 use dmx_core::{
-    AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, ExtensionRegistry,
-    SpatialOp,
+    AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, ExtensionRegistry, SpatialOp,
 };
 use dmx_expr::{CmpOp, Expr};
 use dmx_storage::register_builtin_storage;
 use dmx_types::{
-    AttrList, ColumnDef, DataType, DmxError, Record, RecordKey, Rect, RelationId, Schema,
-    Value,
+    AttrList, ColumnDef, DataType, DmxError, Record, RecordKey, Rect, RelationId, Schema, Value,
 };
 
 fn registry() -> Arc<ExtensionRegistry> {
@@ -163,7 +161,12 @@ fn index_backfill_on_existing_records_and_drop() {
     // dropping the index removes it from the descriptor
     db.with_txn(|txn| db.drop_attachment(txn, "employee", "by_id"))
         .unwrap();
-    assert!(db.catalog().get(rel).unwrap().find_attachment("by_id").is_none());
+    assert!(db
+        .catalog()
+        .get(rel)
+        .unwrap()
+        .find_attachment("by_id")
+        .is_none());
 }
 
 #[test]
@@ -189,7 +192,12 @@ fn unique_backfill_failure_rolls_everything_back() {
         })
         .unwrap_err();
     assert!(matches!(err, DmxError::Veto { .. }));
-    assert!(db.catalog().get(rel).unwrap().find_attachment("uniq_id").is_none());
+    assert!(db
+        .catalog()
+        .get(rel)
+        .unwrap()
+        .find_attachment("uniq_id")
+        .is_none());
 }
 
 #[test]
@@ -211,7 +219,11 @@ fn index_stays_consistent_across_update_delete_abort() {
     let path = AccessPath::Attachment(t, i.instance);
 
     let keys: Vec<RecordKey> = db
-        .with_txn(|txn| (0..10).map(|i| db.insert(txn, rel, emp(i, "x", 0, 1.0))).collect())
+        .with_txn(|txn| {
+            (0..10)
+                .map(|i| db.insert(txn, rel, emp(i, "x", 0, 1.0)))
+                .collect()
+        })
         .unwrap();
     // update key field → index moves the entry
     db.with_txn(|txn| {
@@ -280,9 +292,7 @@ fn index_range_scan_with_query() {
         .unwrap();
     assert_eq!(ids, vec![7]);
     // and an irrelevant predicate makes the index decline
-    assert!(att
-        .estimate(&rd, inst, &[Expr::col_eq(1, "bob")])
-        .is_none());
+    assert!(att.estimate(&rd, inst, &[Expr::col_eq(1, "bob")]).is_none());
 }
 
 #[test]
@@ -354,7 +364,9 @@ fn parcel(id: i64, r: Rect) -> Record {
 fn rtree_spatial_queries_match_brute_force() {
     let db = open_db();
     let rel = db
-        .with_txn(|txn| db.create_relation(txn, "parcels", spatial_schema(), "heap", &AttrList::new()))
+        .with_txn(|txn| {
+            db.create_relation(txn, "parcels", spatial_schema(), "heap", &AttrList::new())
+        })
         .unwrap();
     db.with_txn(|txn| {
         db.create_attachment(
@@ -370,7 +382,9 @@ fn rtree_spatial_queries_match_brute_force() {
     let mut rects = Vec::new();
     let mut seed = 12345u64;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 33) % 1000) as f64
     };
     db.with_txn(|txn| {
@@ -415,10 +429,14 @@ fn rtree_spatial_queries_match_brute_force() {
     };
 
     let q = Rect::new(200.0, 200.0, 230.0, 230.0);
-    assert_eq!(run(SpatialOp::Encloses, Rect::new(210.0, 210.0, 212.0, 212.0)),
-        brute(&|r| r.encloses(&Rect::new(210.0, 210.0, 212.0, 212.0))));
-    assert_eq!(run(SpatialOp::EnclosedBy, Rect::new(0.0, 0.0, 300.0, 300.0)),
-        brute(&|r| Rect::new(0.0, 0.0, 300.0, 300.0).encloses(r)));
+    assert_eq!(
+        run(SpatialOp::Encloses, Rect::new(210.0, 210.0, 212.0, 212.0)),
+        brute(&|r| r.encloses(&Rect::new(210.0, 210.0, 212.0, 212.0)))
+    );
+    assert_eq!(
+        run(SpatialOp::EnclosedBy, Rect::new(0.0, 0.0, 300.0, 300.0)),
+        brute(&|r| Rect::new(0.0, 0.0, 300.0, 300.0).encloses(r))
+    );
     assert_eq!(run(SpatialOp::Intersects, q), brute(&|r| r.intersects(&q)));
 
     // the ENCLOSES predicate is recognized with a low cost (the paper's
@@ -428,17 +446,24 @@ fn rtree_spatial_queries_match_brute_force() {
         Box::new(Expr::Column(1)),
         Box::new(Expr::Const(Value::Rect(q))),
     );
-    let choice = att.estimate(&rd, inst, &[pred]).expect("ENCLOSES recognized");
+    let choice = att
+        .estimate(&rd, inst, &[pred])
+        .expect("ENCLOSES recognized");
     let sm = db.registry().storage(rd.sm).unwrap();
     let scan_cost = sm.estimate(&rd, &[]).cost;
-    assert!(choice.cost.total() < scan_cost.total(), "R-tree beats full scan");
+    assert!(
+        choice.cost.total() < scan_cost.total(),
+        "R-tree beats full scan"
+    );
 }
 
 #[test]
 fn rtree_maintenance_and_abort() {
     let db = open_db();
     let rel = db
-        .with_txn(|txn| db.create_relation(txn, "parcels", spatial_schema(), "heap", &AttrList::new()))
+        .with_txn(|txn| {
+            db.create_relation(txn, "parcels", spatial_schema(), "heap", &AttrList::new())
+        })
         .unwrap();
     db.with_txn(|txn| {
         db.create_attachment(
@@ -500,7 +525,13 @@ fn deferred_check_constraint_runs_before_prepare() {
     // deferred: salary > 0 checked only at commit
     let pred = Expr::cmp_col(CmpOp::Gt, 3, 0.0f64);
     db.with_txn(|txn| {
-        db.create_attachment(txn, "employee", "check", "sal_def", &check_params(&pred, true))
+        db.create_attachment(
+            txn,
+            "employee",
+            "check",
+            "sal_def",
+            &check_params(&pred, true),
+        )
     })
     .unwrap();
 
@@ -549,16 +580,26 @@ fn referential_integrity_restrict_and_cascade() {
             "dept",
             "refint",
             "emp_dept_fk_parent",
-            &AttrList::parse("role=parent, fields=id, other=employee, other_fields=dept, on_delete=cascade")
-                .unwrap(),
+            &AttrList::parse(
+                "role=parent, fields=id, other=employee, other_fields=dept, on_delete=cascade",
+            )
+            .unwrap(),
         )
     })
     .unwrap();
 
     let d1 = db
         .with_txn(|txn| {
-            let k = db.insert(txn, dept, Record::new(vec![Value::Int(1), Value::from("eng")]))?;
-            db.insert(txn, dept, Record::new(vec![Value::Int(2), Value::from("hr")]))?;
+            let k = db.insert(
+                txn,
+                dept,
+                Record::new(vec![Value::Int(1), Value::from("eng")]),
+            )?;
+            db.insert(
+                txn,
+                dept,
+                Record::new(vec![Value::Int(2), Value::from("hr")]),
+            )?;
             Ok(k)
         })
         .unwrap();
@@ -587,7 +628,13 @@ fn three_level_cascade_chain() {
     let db = open_db();
     let mk = |name: &str, cols: Vec<ColumnDef>| {
         db.with_txn(|txn| {
-            db.create_relation(txn, name, Schema::new(cols.clone()).unwrap(), "heap", &AttrList::new())
+            db.create_relation(
+                txn,
+                name,
+                Schema::new(cols.clone()).unwrap(),
+                "heap",
+                &AttrList::new(),
+            )
         })
         .unwrap()
     };
@@ -612,14 +659,20 @@ fn three_level_cascade_chain() {
             "dept",
             "refint",
             "fk1p",
-            &AttrList::parse("role=parent, fields=id, other=emp, other_fields=dept, on_delete=cascade").unwrap(),
+            &AttrList::parse(
+                "role=parent, fields=id, other=emp, other_fields=dept, on_delete=cascade",
+            )
+            .unwrap(),
         )?;
         db.create_attachment(
             txn,
             "emp",
             "refint",
             "fk2p",
-            &AttrList::parse("role=parent, fields=id, other=assignment, other_fields=emp, on_delete=cascade").unwrap(),
+            &AttrList::parse(
+                "role=parent, fields=id, other=assignment, other_fields=emp, on_delete=cascade",
+            )
+            .unwrap(),
         )
     })
     .unwrap();
@@ -627,7 +680,11 @@ fn three_level_cascade_chain() {
         .with_txn(|txn| {
             let dk = db.insert(txn, dept, Record::new(vec![Value::Int(1)]))?;
             for e in 1..=3i64 {
-                db.insert(txn, emp_rel, Record::new(vec![Value::Int(e), Value::Int(1)]))?;
+                db.insert(
+                    txn,
+                    emp_rel,
+                    Record::new(vec![Value::Int(e), Value::Int(1)]),
+                )?;
                 for a in 0..2i64 {
                     db.insert(
                         txn,
@@ -694,7 +751,14 @@ fn trigger_hooks_and_audit_action() {
     // the audit action inserted into the audit relation (cascading
     // modification through the dispatcher)
     db.with_txn(|txn| {
-        let scan = db.open_scan(txn, audit, AccessPath::StorageMethod, AccessQuery::All, None, None)?;
+        let scan = db.open_scan(
+            txn,
+            audit,
+            AccessPath::StorageMethod,
+            AccessQuery::All,
+            None,
+            None,
+        )?;
         let item = db.scan_next(txn, scan)?.expect("audit row");
         assert_eq!(item.values.unwrap()[0], Value::from("insert"));
         Ok(())
@@ -760,7 +824,14 @@ fn maintained_aggregates_track_groups() {
     // brute force from the relation
     let mut expect = std::collections::BTreeMap::new();
     db.with_txn(|txn| {
-        let scan = db.open_scan(txn, rel, AccessPath::StorageMethod, AccessQuery::All, None, None)?;
+        let scan = db.open_scan(
+            txn,
+            rel,
+            AccessPath::StorageMethod,
+            AccessQuery::All,
+            None,
+            None,
+        )?;
         while let Some(item) = db.scan_next(txn, scan)? {
             let v = item.values.unwrap();
             let e = expect.entry(v[2].as_int()?).or_insert((0i64, 0.0f64));
@@ -861,10 +932,12 @@ fn join_index_maintains_pairs_on_both_sides() {
     assert_eq!(count_pairs(), 12, "every employee matches exactly one dept");
 
     // deleting a dept removes its pairs (right-side maintenance)
-    db.with_txn(|txn| db.delete(txn, dept, &dept_keys[0])).unwrap();
+    db.with_txn(|txn| db.delete(txn, dept, &dept_keys[0]))
+        .unwrap();
     assert_eq!(count_pairs(), 8);
     // deleting an employee removes its pair (left-side maintenance)
-    db.with_txn(|txn| db.delete(txn, rel, &emp_keys[1])).unwrap();
+    db.with_txn(|txn| db.delete(txn, rel, &emp_keys[1]))
+        .unwrap();
     assert_eq!(count_pairs(), 7);
     // aborted insert leaves no pair behind
     let txn = db.begin();
@@ -881,7 +954,9 @@ fn crash_restart_keeps_indexes_consistent() {
     {
         let db = Database::open(env.clone(), DatabaseConfig::default(), reg.clone()).unwrap();
         rel = db
-            .with_txn(|txn| db.create_relation(txn, "employee", emp_schema(), "heap", &AttrList::new()))
+            .with_txn(|txn| {
+                db.create_relation(txn, "employee", emp_schema(), "heap", &AttrList::new())
+            })
             .unwrap();
         db.with_txn(|txn| {
             db.create_attachment(
@@ -911,7 +986,11 @@ fn crash_restart_keeps_indexes_consistent() {
     let rd = db.catalog().get(rel).unwrap();
     let (t, inst) = rd.find_attachment("by_id").unwrap();
     let ids = scan_all_ids(&db, rel, AccessPath::Attachment(t, inst.instance));
-    assert_eq!(ids, (0..20).collect::<Vec<_>>(), "index matches relation after restart");
+    assert_eq!(
+        ids,
+        (0..20).collect::<Vec<_>>(),
+        "index matches relation after restart"
+    );
     assert_eq!(scan_all_ids(&db, rel, AccessPath::StorageMethod).len(), 20);
 }
 
@@ -934,8 +1013,20 @@ fn multiple_attachment_types_compose() {
     .unwrap();
     let pred = Expr::cmp_col(CmpOp::Lt, 0, 1000i64); // id < 1000
     db.with_txn(|txn| {
-        db.create_attachment(txn, "employee", "btree", "u", &AttrList::parse("fields=id, unique=true").unwrap())?;
-        db.create_attachment(txn, "employee", "aggregate", "agg", &AttrList::parse("sum=salary").unwrap())?;
+        db.create_attachment(
+            txn,
+            "employee",
+            "btree",
+            "u",
+            &AttrList::parse("fields=id, unique=true").unwrap(),
+        )?;
+        db.create_attachment(
+            txn,
+            "employee",
+            "aggregate",
+            "agg",
+            &AttrList::parse("sum=salary").unwrap(),
+        )?;
         db.create_attachment(txn, "employee", "check", "c", &check_params(&pred, false))
     })
     .unwrap();
@@ -956,7 +1047,14 @@ fn multiple_attachment_types_compose() {
     );
     let (t, inst) = rd.find_attachment("agg").unwrap();
     db.with_txn(|txn| {
-        let scan = db.open_scan(txn, rel, AccessPath::Attachment(t, inst.instance), AccessQuery::All, None, None)?;
+        let scan = db.open_scan(
+            txn,
+            rel,
+            AccessPath::Attachment(t, inst.instance),
+            AccessQuery::All,
+            None,
+            None,
+        )?;
         let item = db.scan_next(txn, scan)?.unwrap();
         let v = item.values.unwrap();
         assert_eq!(v[1], Value::Int(1), "aggregate count clean after veto");

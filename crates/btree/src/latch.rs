@@ -4,18 +4,120 @@
 //! serializes structural modification against readers. This is coarse —
 //! a real system would crab-latch — but correct, and tree operations are
 //! short.
+//!
+//! The latch is hand-rolled on a mutex + condvar rather than
+//! `std::sync::RwLock` because the commit-time flush needs *owned* write
+//! guards (guards that keep their latch alive via `Arc`), which std's
+//! borrowed guards cannot express without unsafe lifetime extension.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use dmx_types::sync::{Condvar, Mutex};
 
 use dmx_types::PageId;
+
+/// Reader/writer state of one tree latch.
+#[derive(Default)]
+struct LatchState {
+    readers: usize,
+    writer: bool,
+}
+
+/// A reader/writer latch for one tree. Writer preference is unnecessary at
+/// this granularity: tree operations hold the latch only for the duration
+/// of one structural operation.
+#[derive(Default)]
+pub struct TreeLatch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+impl TreeLatch {
+    /// Acquires shared read access for the lifetime of the guard.
+    pub fn read(&self) -> LatchReadGuard<'_> {
+        let mut st = self.state.lock();
+        while st.writer {
+            st = self.cv.wait(st);
+        }
+        st.readers += 1;
+        LatchReadGuard { latch: self }
+    }
+
+    /// Acquires exclusive write access for the lifetime of the guard.
+    pub fn write(&self) -> LatchWriteGuard<'_> {
+        self.acquire_write();
+        LatchWriteGuard { latch: self }
+    }
+
+    /// Acquires exclusive write access with a guard that owns the latch,
+    /// for callers that collect guards over many trees (commit flush).
+    pub fn write_owned(self: &Arc<Self>) -> OwnedLatchWriteGuard {
+        self.acquire_write();
+        OwnedLatchWriteGuard {
+            latch: Arc::clone(self),
+        }
+    }
+
+    fn acquire_write(&self) {
+        let mut st = self.state.lock();
+        while st.writer || st.readers > 0 {
+            st = self.cv.wait(st);
+        }
+        st.writer = true;
+    }
+
+    fn release_read(&self) {
+        let mut st = self.state.lock();
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn release_write(&self) {
+        self.state.lock().writer = false;
+        self.cv.notify_all();
+    }
+}
+
+/// Shared-read RAII guard for [`TreeLatch`].
+pub struct LatchReadGuard<'a> {
+    latch: &'a TreeLatch,
+}
+
+impl Drop for LatchReadGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.release_read();
+    }
+}
+
+/// Exclusive-write RAII guard for [`TreeLatch`].
+pub struct LatchWriteGuard<'a> {
+    latch: &'a TreeLatch,
+}
+
+impl Drop for LatchWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.release_write();
+    }
+}
+
+/// Exclusive-write guard that keeps its latch alive.
+pub struct OwnedLatchWriteGuard {
+    latch: Arc<TreeLatch>,
+}
+
+impl Drop for OwnedLatchWriteGuard {
+    fn drop(&mut self) {
+        self.latch.release_write();
+    }
+}
 
 /// Shared table of tree latches. One instance per database.
 #[derive(Default)]
 pub struct LatchTable {
-    inner: Mutex<HashMap<PageId, Arc<RwLock<()>>>>,
+    inner: Mutex<HashMap<PageId, Arc<TreeLatch>>>,
 }
 
 impl LatchTable {
@@ -25,7 +127,7 @@ impl LatchTable {
     }
 
     /// The latch for the tree rooted at `root`.
-    pub fn latch(&self, root: PageId) -> Arc<RwLock<()>> {
+    pub fn latch(&self, root: PageId) -> Arc<TreeLatch> {
         self.inner.lock().entry(root).or_default().clone()
     }
 
@@ -39,15 +141,15 @@ impl LatchTable {
     /// a half-done multi-page structural modification; tree operations
     /// take exactly one latch at a time, so the sorted order is
     /// deadlock-free.
-    pub fn lock_all(&self) -> Vec<parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, ()>> {
-        let mut latches: Vec<(PageId, Arc<RwLock<()>>)> = self
+    pub fn lock_all(&self) -> Vec<OwnedLatchWriteGuard> {
+        let mut latches: Vec<(PageId, Arc<TreeLatch>)> = self
             .inner
             .lock()
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect();
         latches.sort_by_key(|(k, _)| *k);
-        latches.into_iter().map(|(_, l)| l.write_arc()).collect()
+        latches.into_iter().map(|(_, l)| l.write_owned()).collect()
     }
 
     /// Number of live latches (diagnostics).
@@ -77,5 +179,51 @@ mod tests {
         assert_eq!(t.len(), 2);
         t.forget(PageId::new(FileId(1), 0));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let t = LatchTable::new();
+        let l = t.latch(PageId::new(FileId(1), 0));
+        let r1 = l.read();
+        let r2 = l.read();
+        drop((r1, r2));
+        let w = l.write_owned();
+        drop(w);
+        let _w2 = l.write();
+    }
+
+    #[test]
+    fn write_excludes_concurrent_writers() {
+        let t = LatchTable::new();
+        let l = t.latch(PageId::new(FileId(9), 0));
+        let counter = Arc::new(Mutex::new(0u32));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _g = l.write();
+                        // With exclusion, the read-modify-write below is
+                        // atomic even though the counter lock is released
+                        // between the read and the write.
+                        let v = *counter.lock();
+                        *counter.lock() = v + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 200);
+    }
+
+    #[test]
+    fn lock_all_returns_every_latch() {
+        let t = LatchTable::new();
+        t.latch(PageId::new(FileId(1), 0));
+        t.latch(PageId::new(FileId(2), 0));
+        t.latch(PageId::new(FileId(3), 0));
+        let guards = t.lock_all();
+        assert_eq!(guards.len(), 3);
     }
 }

@@ -29,5 +29,5 @@ pub mod latch;
 pub mod node;
 pub mod tree;
 
-pub use latch::LatchTable;
+pub use latch::{LatchTable, OwnedLatchWriteGuard, TreeLatch};
 pub use tree::{BTree, BTreeCursor, OnDuplicate, TreeStats};

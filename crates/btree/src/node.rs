@@ -85,22 +85,38 @@ impl Node {
         (ptr, klen, vlen)
     }
 
-    /// Key of entry `idx`.
+    /// Key of entry `idx`. A corrupt cell pointer yields an empty key in
+    /// release builds (and asserts in debug) instead of panicking.
     pub fn key(page: &Page, idx: usize) -> &[u8] {
         let (ptr, klen, _) = Self::cell_at(page, idx);
-        &page.raw()[ptr + 4..ptr + 4 + klen]
+        page.raw().get(ptr + 4..ptr + 4 + klen).unwrap_or_else(|| {
+            debug_assert!(false, "corrupt cell pointer for key {idx}");
+            &[]
+        })
     }
 
-    /// Value of entry `idx`.
+    /// Value of entry `idx`; same corruption behaviour as [`Node::key`].
     pub fn value(page: &Page, idx: usize) -> &[u8] {
         let (ptr, klen, vlen) = Self::cell_at(page, idx);
-        &page.raw()[ptr + 4 + klen..ptr + 4 + klen + vlen]
+        page.raw()
+            .get(ptr + 4 + klen..ptr + 4 + klen + vlen)
+            .unwrap_or_else(|| {
+                debug_assert!(false, "corrupt cell pointer for value {idx}");
+                &[]
+            })
     }
 
     /// Child page of entry `idx` (internal nodes store a u32 page_no as
-    /// the value).
+    /// the value). A malformed cell routes to [`NO_PAGE`], which the page
+    /// store rejects with a typed error.
     pub fn child(page: &Page, idx: usize) -> u32 {
-        u32::from_le_bytes(Self::value(page, idx).try_into().expect("child cell is u32"))
+        match Self::value(page, idx).try_into() {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(_) => {
+                debug_assert!(false, "child cell {idx} is not 4 bytes");
+                NO_PAGE
+            }
+        }
     }
 
     /// Binary search: `Ok(idx)` exact match, `Err(idx)` insertion point.
@@ -154,6 +170,22 @@ impl Node {
         Self::total_free(page) >= 2 + 4 + klen + vlen
     }
 
+    /// Writes one `klen | vlen | key | value` cell at `free_end`. The
+    /// caller has already reserved `4 + key + val` bytes of cell space.
+    fn write_cell(page: &mut Page, free_end: usize, key: &[u8], val: &[u8]) {
+        let cell = 4 + key.len() + val.len();
+        let Some(dst) = page.raw_mut().get_mut(free_end..free_end + cell) else {
+            debug_assert!(false, "cell write out of page bounds");
+            return;
+        };
+        // bounds: `dst` spans exactly `cell` bytes (checked above).
+        dst[..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        dst[2..4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+        // bounds: 4 + klen + vlen == cell, so these ranges tile `dst`.
+        dst[4..4 + key.len()].copy_from_slice(key);
+        dst[4 + key.len()..].copy_from_slice(val);
+    }
+
     /// Rewrites cells contiguously, dropping dead space.
     pub fn compact(page: &mut Page) {
         let n = Self::nkeys(page);
@@ -162,13 +194,8 @@ impl Node {
             .collect();
         let mut free_end = PAGE_SIZE;
         for (i, (k, v)) in entries.iter().enumerate() {
-            let cell = 4 + k.len() + v.len();
-            free_end -= cell;
-            let raw = page.raw_mut();
-            raw[free_end..free_end + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
-            raw[free_end + 2..free_end + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
-            raw[free_end + 4..free_end + 4 + k.len()].copy_from_slice(k);
-            raw[free_end + 4 + k.len()..free_end + cell].copy_from_slice(v);
+            free_end -= 4 + k.len() + v.len();
+            Self::write_cell(page, free_end, k, v);
             page.put_u16(PTRS + 2 * i, free_end as u16);
         }
         page.put_u16(FREE_END, free_end as u16);
@@ -181,7 +208,9 @@ impl Node {
         let cell = 4 + key.len() + val.len();
         if Self::free_space(page) < cell + 2 {
             if Self::total_free(page) < cell + 2 {
-                return Err(DmxError::Internal("node overflow; caller must split".into()));
+                return Err(DmxError::Internal(
+                    "node overflow; caller must split".into(),
+                ));
             }
             Self::compact(page);
         }
@@ -192,14 +221,8 @@ impl Node {
             let p = page.get_u16(PTRS + 2 * i);
             page.put_u16(PTRS + 2 * (i + 1), p);
         }
-        let free_end = page.get_u16(FREE_END) as usize - cell;
-        {
-            let raw = page.raw_mut();
-            raw[free_end..free_end + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
-            raw[free_end + 2..free_end + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
-            raw[free_end + 4..free_end + 4 + key.len()].copy_from_slice(key);
-            raw[free_end + 4 + key.len()..free_end + cell].copy_from_slice(val);
-        }
+        let free_end = (page.get_u16(FREE_END) as usize).saturating_sub(cell);
+        Self::write_cell(page, free_end, key, val);
         page.put_u16(FREE_END, free_end as u16);
         page.put_u16(PTRS + 2 * idx, free_end as u16);
         page.put_u16(NKEYS, (n + 1) as u16);
@@ -221,23 +244,36 @@ impl Node {
     pub fn replace_value(page: &mut Page, idx: usize, val: &[u8]) -> Result<()> {
         let (ptr, klen, vlen) = Self::cell_at(page, idx);
         if val.len() == vlen {
-            page.raw_mut()[ptr + 4 + klen..ptr + 4 + klen + vlen].copy_from_slice(val);
+            match page
+                .raw_mut()
+                .get_mut(ptr + 4 + klen..ptr + 4 + klen + vlen)
+            {
+                Some(dst) => dst.copy_from_slice(val),
+                None => {
+                    debug_assert!(false, "corrupt cell pointer in replace_value");
+                    return Err(DmxError::Internal("corrupt cell pointer".into()));
+                }
+            }
             return Ok(());
         }
         let key = Self::key(page, idx).to_vec();
         let old = Self::value(page, idx).to_vec();
         Self::remove_at(page, idx);
         if !Self::fits(page, key.len(), val.len()) {
-            Self::insert_at(page, idx, &key, &old).expect("old cell fits where it came from");
-            return Err(DmxError::Internal("node overflow; caller must split".into()));
+            // The displaced cell came out of this page, so re-inserting it
+            // cannot overflow; if it somehow does, surface that error.
+            Self::insert_at(page, idx, &key, &old)?;
+            return Err(DmxError::Internal(
+                "node overflow; caller must split".into(),
+            ));
         }
         Self::insert_at(page, idx, &key, val)
     }
 
     /// Moves the upper half of the entries (by bytes) into `right`,
     /// returning the first key of `right`. Both pages must already be
-    /// initialized with the same leaf-ness.
-    pub fn split_into(page: &mut Page, right: &mut Page) -> Vec<u8> {
+    /// initialized with the same leaf-ness; `right` must be empty.
+    pub fn split_into(page: &mut Page, right: &mut Page) -> Result<Vec<u8>> {
         let n = Self::nkeys(page);
         debug_assert!(n >= 2, "cannot split a node with < 2 entries");
         let total = Self::used_cell_bytes(page);
@@ -261,9 +297,10 @@ impl Node {
         }
         Self::compact(page);
         for (i, (k, v)) in moved.iter().enumerate() {
-            Self::insert_at(right, i, k, v).expect("half of a page fits in an empty page");
+            // Half of a full page always fits in the empty `right` page.
+            Self::insert_at(right, i, k, v)?;
         }
-        moved[0].0.clone()
+        Ok(moved[0].0.clone())
     }
 }
 
@@ -364,7 +401,7 @@ mod tests {
             Node::insert_at(&mut left, i as usize, &k, &[7u8; 64]).unwrap();
         }
         let mut right = leaf();
-        let sep = Node::split_into(&mut left, &mut right);
+        let sep = Node::split_into(&mut left, &mut right).unwrap();
         let (nl, nr) = (Node::nkeys(&left), Node::nkeys(&right));
         assert_eq!(nl + nr, 20);
         assert!(nl >= 2 && nr >= 2, "roughly balanced: {nl}/{nr}");
@@ -387,7 +424,10 @@ mod tests {
             Node::insert_at(&mut p, idx, &k, &[1u8; 200]).unwrap();
             i += 1;
         }
-        assert!(i >= 30, "8 KiB page should hold ≥30 208-byte cells, got {i}");
+        assert!(
+            i >= 30,
+            "8 KiB page should hold ≥30 208-byte cells, got {i}"
+        );
         // and a direct overflow insert errors rather than corrupting
         let k = [0xFFu8; 8];
         let end = Node::nkeys(&p);

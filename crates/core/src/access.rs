@@ -15,9 +15,11 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
-use dmx_types::{AttInstanceId, AttTypeId, DmxError, RecordKey, Rect, Result, ScanId, TxnId, Value};
+use dmx_types::{
+    AttInstanceId, AttTypeId, DmxError, RecordKey, Rect, Result, ScanId, TxnId, Value,
+};
 
 use crate::context::ExecCtx;
 
@@ -185,11 +187,7 @@ impl ScanManager {
     /// had open ("all key-sequential accesses must be terminated at
     /// transaction termination").
     pub fn close_all(&self, txn: TxnId) -> usize {
-        self.open
-            .lock()
-            .remove(&txn)
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.open.lock().remove(&txn).map(|s| s.len()).unwrap_or(0)
     }
 
     /// Number of scans a transaction holds open.
@@ -290,8 +288,20 @@ mod tests {
     fn open_close_and_end_of_txn_cleanup() {
         let sm = ScanManager::new();
         let t = TxnId(1);
-        let a = sm.open(t, Box::new(VecScan { items: vec![1, 2], pos: 0 }));
-        let b = sm.open(t, Box::new(VecScan { items: vec![3], pos: 0 }));
+        let a = sm.open(
+            t,
+            Box::new(VecScan {
+                items: vec![1, 2],
+                pos: 0,
+            }),
+        );
+        let b = sm.open(
+            t,
+            Box::new(VecScan {
+                items: vec![3],
+                pos: 0,
+            }),
+        );
         assert_ne!(a, b);
         assert_eq!(sm.open_count(t), 2);
         sm.close(t, a);
@@ -305,11 +315,23 @@ mod tests {
     fn save_restore_positions_drops_younger_scans() {
         let sm = ScanManager::new();
         let t = TxnId(2);
-        let a = sm.open(t, Box::new(VecScan { items: vec![1, 2, 3], pos: 2 }));
+        let a = sm.open(
+            t,
+            Box::new(VecScan {
+                items: vec![1, 2, 3],
+                pos: 2,
+            }),
+        );
         let saved = sm.save_positions(t);
         assert_eq!(saved, vec![(a, vec![2])]);
         // a scan opened after the savepoint must be closed on restore
-        let _b = sm.open(t, Box::new(VecScan { items: vec![9], pos: 0 }));
+        let _b = sm.open(
+            t,
+            Box::new(VecScan {
+                items: vec![9],
+                pos: 0,
+            }),
+        );
         assert_eq!(sm.open_count(t), 2);
         sm.restore_positions(t, &saved).unwrap();
         assert_eq!(sm.open_count(t), 1);

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_types::{DmxError, RelationId, Result};
 
@@ -98,7 +98,13 @@ impl AuthManager {
 
     /// Grants a privilege. Only a user passing the `Control` check (or a
     /// superuser) may grant.
-    pub fn grant(&self, granter: &str, user: &str, rel: RelationId, priv_: Privilege) -> Result<()> {
+    pub fn grant(
+        &self,
+        granter: &str,
+        user: &str,
+        rel: RelationId,
+        priv_: Privilege,
+    ) -> Result<()> {
         self.check(granter, rel, Privilege::Control)?;
         let mut st = self.state.write();
         *st.grants.entry((Self::norm(user), rel)).or_insert(0) |= priv_.bit();
@@ -106,7 +112,13 @@ impl AuthManager {
     }
 
     /// Revokes a privilege.
-    pub fn revoke(&self, granter: &str, user: &str, rel: RelationId, priv_: Privilege) -> Result<()> {
+    pub fn revoke(
+        &self,
+        granter: &str,
+        user: &str,
+        rel: RelationId,
+        priv_: Privilege,
+    ) -> Result<()> {
         self.check(granter, rel, Privilege::Control)?;
         let mut st = self.state.write();
         if let Some(mask) = st.grants.get_mut(&(Self::norm(user), rel)) {
@@ -138,7 +150,10 @@ mod tests {
         assert!(auth.check("admin", REL, Privilege::Control).is_ok());
         assert!(auth.check("bob", REL, Privilege::Select).is_err());
         auth.grant("admin", "bob", REL, Privilege::Select).unwrap();
-        assert!(auth.check("BOB", REL, Privilege::Select).is_ok(), "case-insensitive");
+        assert!(
+            auth.check("BOB", REL, Privilege::Select).is_ok(),
+            "case-insensitive"
+        );
         assert!(auth.check("bob", REL, Privilege::Insert).is_err());
     }
 

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_page::{DiskManager, Page, PAGE_SIZE};
 use dmx_types::{DmxError, FileId, PageId, RelationId, Result};
@@ -152,9 +152,9 @@ impl Catalog {
         let corrupt = || DmxError::Corrupt("truncated catalog".into());
         let mut pos = 0usize;
         let u32at = |pos: &mut usize| -> Result<u32> {
-            let s = bytes.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+            let v = dmx_types::bytes::le_u32(bytes, *pos).ok_or_else(corrupt)?;
             *pos += 4;
-            Ok(u32::from_le_bytes(s.try_into().unwrap()))
+            Ok(v)
         };
         let next_rel = u32at(&mut pos)?;
         let count = u32at(&mut pos)? as usize;
@@ -195,6 +195,7 @@ impl Catalog {
         }
         let mut page = Page::new();
         for (i, chunk) in framed.chunks(PAGE_BODY).enumerate() {
+            // bounds: chunks(PAGE_BODY) yields at most PAGE_BODY bytes.
             page.body_mut()[..chunk.len()].copy_from_slice(chunk);
             disk.write_page(PageId::new(CATALOG_FILE, i as u32), &page)?;
         }
@@ -209,17 +210,24 @@ impl Catalog {
         }
         let mut page = Page::new();
         disk.read_page(PageId::new(CATALOG_FILE, 0), &mut page)?;
-        let len = u64::from_le_bytes(page.body()[..8].try_into().unwrap()) as usize;
+        let len = dmx_types::bytes::le_u64(page.body(), 0)
+            .ok_or_else(|| DmxError::Corrupt("catalog header short".into()))?
+            as usize;
         let mut framed = Vec::with_capacity(8 + len);
+        // bounds: the copy lengths are clamped to PAGE_BODY.
         framed.extend_from_slice(&page.body()[..PAGE_BODY.min(8 + len)]);
         let mut page_no = 1u32;
         while framed.len() < 8 + len {
             disk.read_page(PageId::new(CATALOG_FILE, page_no), &mut page)?;
             let take = (8 + len - framed.len()).min(PAGE_BODY);
+            // bounds: `take` is clamped to PAGE_BODY.
             framed.extend_from_slice(&page.body()[..take]);
             page_no += 1;
         }
-        Ok(Some(framed[8..8 + len].to_vec()))
+        framed
+            .get(8..8 + len)
+            .map(|b| Some(b.to_vec()))
+            .ok_or_else(|| DmxError::Corrupt("catalog image short".into()))
     }
 
     /// Persists the current catalog to disk.

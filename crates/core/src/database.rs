@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use dmx_types::sync::{Mutex, RwLock};
 
 use dmx_lock::{LockManager, LockMode, LockName};
 use dmx_page::{BufferPool, DiskManager, MemDisk};
@@ -72,8 +72,7 @@ impl DatabaseEnv {
 
 /// A user hook callable by trigger-style attachments
 /// (registered "at the factory", like all extension code).
-pub type HookFn =
-    Arc<dyn Fn(&ExecCtx<'_>, &HookArgs<'_>) -> Result<()> + Send + Sync>;
+pub type HookFn = Arc<dyn Fn(&ExecCtx<'_>, &HookArgs<'_>) -> Result<()> + Send + Sync>;
 
 /// Arguments handed to a user hook.
 pub struct HookArgs<'a> {
@@ -222,12 +221,29 @@ impl Database {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        if let Some(any) = self.query_slot.get() {
+            return match any.clone().downcast::<T>() {
+                Ok(t) => t,
+                Err(_) => {
+                    // A second query layer asked with a different type; the
+                    // first registration wins the shared slot and this
+                    // caller gets a fresh, unshared instance, not a panic.
+                    debug_assert!(false, "query slot initialized with a different type");
+                    Arc::new(init())
+                }
+            };
+        }
+        let fresh = Arc::new(init());
         let any = self
             .query_slot
-            .get_or_init(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
-        any.clone()
-            .downcast::<T>()
-            .expect("query slot initialized with a different type")
+            .get_or_init(|| fresh.clone() as Arc<dyn Any + Send + Sync>);
+        match any.clone().downcast::<T>() {
+            Ok(t) => t,
+            Err(_) => {
+                debug_assert!(false, "query slot initialized with a different type");
+                fresh
+            }
+        }
     }
 
     /// Registers a user function for the predicate evaluator.
@@ -330,7 +346,9 @@ impl Database {
         match txn.state() {
             TxnState::Aborted => return Ok(()),
             TxnState::Committed => {
-                return Err(DmxError::TxnState("cannot abort a committed transaction".into()))
+                return Err(DmxError::TxnState(
+                    "cannot abort a committed transaction".into(),
+                ))
             }
             TxnState::Active => {}
         }
@@ -449,7 +467,8 @@ impl Database {
         sm.validate_params(params, &schema)?;
         let rel = self.catalog.next_relation_id();
         let sm_desc = sm.create_instance(&ctx, rel, &schema, params)?;
-        let rd = crate::descriptor::RelationDescriptor::new(rel, name, schema, sm_id, sm_desc.clone());
+        let rd =
+            crate::descriptor::RelationDescriptor::new(rel, name, schema, sm_id, sm_desc.clone());
         self.catalog.insert(rd)?;
         self.mark_ddl(txn);
         // On abort: un-create (the relation never becomes durable).
@@ -503,9 +522,9 @@ impl Database {
             }];
             let mut scan = sm.open_scan(&ctx, &new_rd, KeyRange::all(), None, None)?;
             while let Some(item) = scan.next(&ctx)? {
-                let values = item.values.ok_or_else(|| {
-                    DmxError::Internal("storage scan returned no fields".into())
-                })?;
+                let values = item
+                    .values
+                    .ok_or_else(|| DmxError::Internal("storage scan returned no fields".into()))?;
                 att.on_insert(&ctx, &new_rd, &slice, &item.key, &Record::new(values))?;
             }
             Ok(())
@@ -580,8 +599,11 @@ impl Database {
         }
         self.mark_ddl(txn);
         // At commit: physically destroy + mark intents done.
-        let (registry, services, log) =
-            (self.registry.clone(), self.services.clone(), self.services.log.clone());
+        let (registry, services, log) = (
+            self.registry.clone(),
+            self.services.clone(),
+            self.services.log.clone(),
+        );
         let (rd_commit, txn_id) = (rd.clone(), txn.id());
         txn.defer(
             TxnEvent::AtCommit,
@@ -591,14 +613,24 @@ impl Database {
                     Err(DmxError::NotFound(_)) | Ok(()) => {}
                     Err(e) => return Err(e),
                 }
-                log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: sm_intent });
+                log.append(
+                    txn_id,
+                    Lsn::NULL,
+                    LogBody::DeferredDone {
+                        intent_lsn: sm_intent,
+                    },
+                );
                 for (att_id, desc, lsn) in &att_intents {
                     let att = registry.attachment(*att_id)?;
                     match att.destroy_instance(&services, desc) {
                         Err(DmxError::NotFound(_)) | Ok(()) => {}
                         Err(e) => return Err(e),
                     }
-                    log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: *lsn });
+                    log.append(
+                        txn_id,
+                        Lsn::NULL,
+                        LogBody::DeferredDone { intent_lsn: *lsn },
+                    );
                 }
                 Ok(())
             }),
@@ -635,8 +667,11 @@ impl Database {
             payload: encode_drop_att_intent(att_id, &removed.desc),
         });
         self.mark_ddl(txn);
-        let (registry, services, log) =
-            (self.registry.clone(), self.services.clone(), self.services.log.clone());
+        let (registry, services, log) = (
+            self.registry.clone(),
+            self.services.clone(),
+            self.services.log.clone(),
+        );
         let (desc, txn_id) = (removed.desc.clone(), txn.id());
         txn.defer(
             TxnEvent::AtCommit,
@@ -646,7 +681,11 @@ impl Database {
                     Err(DmxError::NotFound(_)) | Ok(()) => {}
                     Err(e) => return Err(e),
                 }
-                log.append(txn_id, Lsn::NULL, LogBody::DeferredDone { intent_lsn: intent });
+                log.append(
+                    txn_id,
+                    Lsn::NULL,
+                    LogBody::DeferredDone { intent_lsn: intent },
+                );
                 Ok(())
             }),
         );

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_types::{AttInstanceId, AttTypeId, RelationId};
 

@@ -18,9 +18,7 @@
 
 use std::sync::Arc;
 
-use dmx_types::{
-    AttInstanceId, AttTypeId, DmxError, RelationId, Result, Schema, SmTypeId,
-};
+use dmx_types::{AttInstanceId, AttTypeId, DmxError, RelationId, Result, Schema, SmTypeId};
 
 use crate::registry::MAX_ATTACHMENT_TYPES;
 use crate::stats::RelationStats;
@@ -96,11 +94,7 @@ impl RelationDescriptor {
 
     /// Total number of attachment instances across all types.
     pub fn attachment_count(&self) -> usize {
-        self.attachments
-            .iter()
-            .flatten()
-            .map(|v| v.len())
-            .sum()
+        self.attachments.iter().flatten().map(|v| v.len()).sum()
     }
 
     /// Finds an attachment instance by user name.
@@ -123,7 +117,9 @@ impl RelationDescriptor {
     ) -> Result<(RelationDescriptor, AttInstanceId)> {
         let idx = att.0 as usize;
         if idx == 0 || idx >= MAX_ATTACHMENT_TYPES {
-            return Err(DmxError::InvalidArg(format!("attachment type {att} out of range")));
+            return Err(DmxError::InvalidArg(format!(
+                "attachment type {att} out of range"
+            )));
         }
         let name = name.into();
         if self.find_attachment(&name).is_some() {
@@ -154,11 +150,14 @@ impl RelationDescriptor {
             .ok_or_else(|| DmxError::NotFound(format!("attachment {name}")))?;
         let mut new = self.clone();
         let slot = &mut new.attachments[att.0 as usize];
-        let list = slot.as_mut().expect("found above");
+        // find_attachment located `name` under this type id, so the slot
+        // and entry exist; surface a typed error if they somehow don't.
+        let not_found = || DmxError::NotFound(format!("attachment {name}"));
+        let list = slot.as_mut().ok_or_else(not_found)?;
         let pos = list
             .iter()
             .position(|i| i.name.eq_ignore_ascii_case(name))
-            .expect("found above");
+            .ok_or_else(not_found)?;
         let removed = list.remove(pos);
         if list.is_empty() {
             *slot = None; // field N returns to NULL
@@ -208,9 +207,12 @@ impl RelationDescriptor {
             .collect();
         out.push(non_null.len() as u8);
         for i in non_null {
+            // `non_null` filtered on is_some, so flatten() keeps the slot.
+            let Some(list) = self.attachments[i].as_ref() else {
+                continue;
+            };
             out.push(i as u8);
             out.extend_from_slice(&self.next_instance[i].to_le_bytes());
-            let list = self.attachments[i].as_ref().unwrap();
             out.extend_from_slice(&(list.len() as u16).to_le_bytes());
             for inst in list {
                 out.extend_from_slice(&inst.instance.0.to_le_bytes());
@@ -244,7 +246,9 @@ impl RelationDescriptor {
         for _ in 0..n_fields {
             let ty = get_u8(buf, &mut pos)? as usize;
             if ty >= MAX_ATTACHMENT_TYPES {
-                return Err(DmxError::Corrupt(format!("attachment type {ty} out of range")));
+                return Err(DmxError::Corrupt(format!(
+                    "attachment type {ty} out of range"
+                )));
             }
             next_instance[ty] = get_u16(buf, &mut pos)?;
             let n = get_u16(buf, &mut pos)? as usize;
@@ -301,21 +305,21 @@ fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
 }
 
 fn get_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
-    let s = buf.get(*pos..*pos + 2).ok_or_else(corrupt)?;
+    let v = dmx_types::bytes::le_u16(buf, *pos).ok_or_else(corrupt)?;
     *pos += 2;
-    Ok(u16::from_le_bytes(s.try_into().unwrap()))
+    Ok(v)
 }
 
 fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
-    let s = buf.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+    let v = dmx_types::bytes::le_u32(buf, *pos).ok_or_else(corrupt)?;
     *pos += 4;
-    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    Ok(v)
 }
 
 fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
-    let s = buf.get(*pos..*pos + 8).ok_or_else(corrupt)?;
+    let v = dmx_types::bytes::le_u64(buf, *pos).ok_or_else(corrupt)?;
     *pos += 8;
-    Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    Ok(v)
 }
 
 fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
@@ -368,7 +372,10 @@ mod tests {
     fn duplicate_and_missing_names() {
         let d = rd();
         let (d, _) = d.with_attachment(AttTypeId(3), "idx", vec![]).unwrap();
-        assert!(d.with_attachment(AttTypeId(4), "IDX", vec![]).is_err(), "names global per relation");
+        assert!(
+            d.with_attachment(AttTypeId(4), "IDX", vec![]).is_err(),
+            "names global per relation"
+        );
         assert!(d.without_attachment("nope").is_err());
         assert!(d.find_attachment("idx").is_some());
     }
@@ -389,7 +396,10 @@ mod tests {
     #[test]
     fn type_id_bounds_enforced() {
         let d = rd();
-        assert!(d.with_attachment(AttTypeId(0), "x", vec![]).is_err(), "field 0 is the SM");
+        assert!(
+            d.with_attachment(AttTypeId(0), "x", vec![]).is_err(),
+            "field 0 is the SM"
+        );
         assert!(d
             .with_attachment(AttTypeId(MAX_ATTACHMENT_TYPES as u8), "x", vec![])
             .is_err());
@@ -402,7 +412,10 @@ mod tests {
         let d2 = d
             .with_updated_attachment_desc(AttTypeId(3), inst, vec![4, 5])
             .unwrap();
-        assert_eq!(d2.attachment_instances(AttTypeId(3)).unwrap()[0].desc, vec![4, 5]);
+        assert_eq!(
+            d2.attachment_instances(AttTypeId(3)).unwrap()[0].desc,
+            vec![4, 5]
+        );
         assert_eq!(d2.version, d.version + 1);
         assert!(d
             .with_updated_attachment_desc(AttTypeId(3), AttInstanceId(99), vec![])
@@ -412,7 +425,9 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let d = rd();
-        let (d, _) = d.with_attachment(AttTypeId(3), "idx_a", vec![9, 9]).unwrap();
+        let (d, _) = d
+            .with_attachment(AttTypeId(3), "idx_a", vec![9, 9])
+            .unwrap();
         let (d, _) = d.with_attachment(AttTypeId(5), "chk", vec![]).unwrap();
         d.stats.on_insert(120);
         d.stats.on_page_allocated();

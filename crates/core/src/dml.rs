@@ -16,9 +16,7 @@ use std::sync::Arc;
 use dmx_expr::Expr;
 use dmx_lock::{LockMode, LockName};
 use dmx_txn::Transaction;
-use dmx_types::{
-    DmxError, FieldId, Record, RecordKey, RelationId, Result, ScanId, Value,
-};
+use dmx_types::{DmxError, FieldId, Record, RecordKey, RelationId, Result, ScanId, Value};
 
 use crate::access::{AccessPath, AccessQuery, KeyRange, ScanItem, ScanOps};
 use crate::context::ExecCtx;
@@ -180,7 +178,12 @@ impl Database {
     }
 
     /// Deletes the record at `key`.
-    pub fn delete(self: &Arc<Self>, txn: &Arc<Transaction>, rel: RelationId, key: &RecordKey) -> Result<()> {
+    pub fn delete(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        key: &RecordKey,
+    ) -> Result<()> {
         let rd = self.catalog().get(rel)?;
         self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
@@ -283,7 +286,11 @@ impl Database {
     }
 
     /// Advances a registered scan.
-    pub fn scan_next(self: &Arc<Self>, txn: &Arc<Transaction>, scan: ScanId) -> Result<Option<ScanItem>> {
+    pub fn scan_next(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        scan: ScanId,
+    ) -> Result<Option<ScanItem>> {
         txn.check_active()?;
         let ctx = ExecCtx { db: self, txn };
         self.scans().next(&ctx, scan)

@@ -55,7 +55,7 @@ pub use auth::{AuthManager, Privilege};
 pub use catalog::Catalog;
 pub use context::ExecCtx;
 pub use cost::{Cost, PathChoice};
-pub use database::{Database, DatabaseConfig, DatabaseEnv};
+pub use database::{Database, DatabaseConfig, DatabaseEnv, HookArgs, HookFn};
 pub use deps::{DepKey, DependencyRegistry, PlanId};
 pub use descriptor::{AttachmentInstance, RelationDescriptor};
 pub use registry::ExtensionRegistry;

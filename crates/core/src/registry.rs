@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_types::{AttTypeId, DmxError, Result, SmTypeId};
 
@@ -139,7 +139,10 @@ impl ExtensionRegistry {
             .storage
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.as_ref().map(|s| (SmTypeId(i as u8), s.name().to_string())))
+            .filter_map(|(i, o)| {
+                o.as_ref()
+                    .map(|s| (SmTypeId(i as u8), s.name().to_string()))
+            })
             .collect()
     }
 
@@ -150,7 +153,10 @@ impl ExtensionRegistry {
             .attach
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.as_ref().map(|a| (AttTypeId(i as u8), a.name().to_string())))
+            .filter_map(|(i, o)| {
+                o.as_ref()
+                    .map(|a| (AttTypeId(i as u8), a.name().to_string()))
+            })
             .collect()
     }
 }
@@ -241,8 +247,12 @@ mod tests {
     #[test]
     fn ids_are_sequential_small_integers_starting_at_one() {
         let reg = ExtensionRegistry::new();
-        let a = reg.register_storage_method(Arc::new(StubSm("alpha"))).unwrap();
-        let b = reg.register_storage_method(Arc::new(StubSm("beta"))).unwrap();
+        let a = reg
+            .register_storage_method(Arc::new(StubSm("alpha")))
+            .unwrap();
+        let b = reg
+            .register_storage_method(Arc::new(StubSm("beta")))
+            .unwrap();
         assert_eq!(a, SmTypeId(1), "slot 0 is reserved");
         assert_eq!(b, SmTypeId(2));
         assert_eq!(reg.storage(a).unwrap().name(), "alpha");
@@ -267,15 +277,24 @@ mod tests {
     fn vector_capacity_is_capped() {
         let reg = ExtensionRegistry::new();
         // names must be unique; fill to the cap
-        let names: Vec<String> = (0..MAX_STORAGE_METHODS + 4).map(|i| format!("sm{i}")).collect();
+        let names: Vec<String> = (0..MAX_STORAGE_METHODS + 4)
+            .map(|i| format!("sm{i}"))
+            .collect();
         let mut registered = 0;
         for name in &names {
             let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
-            if reg.register_storage_method(Arc::new(StubSm(leaked))).is_ok() {
+            if reg
+                .register_storage_method(Arc::new(StubSm(leaked)))
+                .is_ok()
+            {
                 registered += 1;
             }
         }
-        assert_eq!(registered, MAX_STORAGE_METHODS - 1, "slot 0 reserved, rest filled");
+        assert_eq!(
+            registered,
+            MAX_STORAGE_METHODS - 1,
+            "slot 0 reserved, rest filled"
+        );
         assert_eq!(reg.storage_methods().len(), MAX_STORAGE_METHODS - 1);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_btree::LatchTable;
 use dmx_expr::FunctionRegistry;
@@ -75,11 +75,7 @@ mod tests {
 
         // Dirty a page carrying an unforced LSN; flushing must force it.
         let f = disk.create_file().unwrap();
-        let lsn = log.append(
-            dmx_types::TxnId(1),
-            Lsn::NULL,
-            dmx_wal::LogBody::Begin,
-        );
+        let lsn = log.append(dmx_types::TxnId(1), Lsn::NULL, dmx_wal::LogBody::Begin);
         let p = pool.new_page(f).unwrap();
         p.write().set_lsn(lsn);
         drop(p);

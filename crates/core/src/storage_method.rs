@@ -51,8 +51,12 @@ pub trait StorageMethod: Send + Sync {
     /// Inserts a record, returning the record key the storage method
     /// assigned. Must log undo information first (unless
     /// [`StorageMethod::is_recoverable`] is false).
-    fn insert(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, record: &Record)
-        -> Result<RecordKey>;
+    fn insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        record: &Record,
+    ) -> Result<RecordKey>;
 
     /// Updates the record at `key`, returning the old record and the
     /// (possibly new) record key — key-forming storage methods relocate
@@ -66,7 +70,8 @@ pub trait StorageMethod: Send + Sync {
     ) -> Result<(Record, RecordKey)>;
 
     /// Deletes the record at `key`, returning it.
-    fn delete(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, key: &RecordKey) -> Result<Record>;
+    fn delete(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, key: &RecordKey)
+        -> Result<Record>;
 
     /// Direct-by-key access: returns selected fields of the record at
     /// `key` (all fields when `fields` is `None`), after applying the

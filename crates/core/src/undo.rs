@@ -65,14 +65,16 @@ impl UndoHandler for UndoDispatch {
             return Ok(());
         };
         match ext {
-            ExtKind::Storage(id) => self
-                .registry
-                .storage(*id)?
-                .undo(&self.services, &rd, rec.lsn, *op, payload),
-            ExtKind::Attachment(id) => self
-                .registry
-                .attachment(*id)?
-                .undo(&self.services, &rd, rec.lsn, *op, payload),
+            ExtKind::Storage(id) => {
+                self.registry
+                    .storage(*id)?
+                    .undo(&self.services, &rd, rec.lsn, *op, payload)
+            }
+            ExtKind::Attachment(id) => {
+                self.registry
+                    .attachment(*id)?
+                    .undo(&self.services, &rd, rec.lsn, *op, payload)
+            }
         }
     }
 

@@ -120,7 +120,11 @@ pub enum Expr {
 impl Expr {
     /// `col <op> const` convenience constructor.
     pub fn cmp_col(op: CmpOp, col: FieldId, v: impl Into<Value>) -> Expr {
-        Expr::Cmp(op, Box::new(Expr::Column(col)), Box::new(Expr::Const(v.into())))
+        Expr::Cmp(
+            op,
+            Box::new(Expr::Column(col)),
+            Box::new(Expr::Const(v.into())),
+        )
     }
 
     /// `col = const` convenience constructor.
@@ -165,7 +169,14 @@ mod tests {
 
     #[test]
     fn flipped_is_involutive_on_order_ops() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
         }
     }

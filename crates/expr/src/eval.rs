@@ -77,11 +77,9 @@ impl<'a, S: FieldSource + ?Sized> MappedSource<'a, S> {
 
 impl<S: FieldSource + ?Sized> FieldSource for MappedSource<'_, S> {
     fn field(&self, id: FieldId) -> Result<Value> {
-        let pos = self
-            .mapping
-            .iter()
-            .position(|&m| m == id)
-            .ok_or_else(|| DmxError::InvalidArg(format!("field {id} not covered by access path")))?;
+        let pos = self.mapping.iter().position(|&m| m == id).ok_or_else(|| {
+            DmxError::InvalidArg(format!("field {id} not covered by access path"))
+        })?;
         self.inner.field(pos as FieldId)
     }
 }
@@ -133,7 +131,11 @@ pub fn eval(expr: &Expr, src: &dyn FieldSource, ctx: EvalContext<'_>) -> Result<
                     other => return Err(bool_expected(&other)),
                 }
             }
-            Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(true)
+            })
         }
         Expr::Or(terms) => {
             let mut saw_null = false;
@@ -145,7 +147,11 @@ pub fn eval(expr: &Expr, src: &dyn FieldSource, ctx: EvalContext<'_>) -> Result<
                     other => return Err(bool_expected(&other)),
                 }
             }
-            Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(false)
+            })
         }
         Expr::Not(e) => match eval(e, src, ctx)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -210,7 +216,9 @@ fn check_comparable(a: &Value, b: &Value) -> Result<()> {
     if ok {
         Ok(())
     } else {
-        Err(DmxError::TypeMismatch(format!("cannot compare {a} with {b}")))
+        Err(DmxError::TypeMismatch(format!(
+            "cannot compare {a} with {b}"
+        )))
     }
 }
 
@@ -281,8 +289,11 @@ fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.first() {
             None => s.is_empty(),
+            // bounds: `p` is non-empty in these arms and `k` ≤ s.len().
             Some('%') => (0..=s.len()).any(|k| rec(&s[k..], &p[1..])),
+            // bounds: `s[1..]` is guarded by the !s.is_empty() check.
             Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            // bounds: see above; `s.first()` matched so s is non-empty.
             Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
         }
     }
@@ -354,18 +365,12 @@ mod tests {
         let funcs = ctx_fixture();
         let ctx = EvalContext::new(&funcs);
         assert!(!eval_predicate(&Expr::col_eq(2, 1i64), &row(), ctx).unwrap());
-        assert!(eval_predicate(
-            &Expr::IsNull(Box::new(Expr::Column(2)), false),
-            &row(),
-            ctx
-        )
-        .unwrap());
-        assert!(!eval_predicate(
-            &Expr::IsNull(Box::new(Expr::Column(0)), false),
-            &row(),
-            ctx
-        )
-        .unwrap());
+        assert!(
+            eval_predicate(&Expr::IsNull(Box::new(Expr::Column(2)), false), &row(), ctx).unwrap()
+        );
+        assert!(
+            !eval_predicate(&Expr::IsNull(Box::new(Expr::Column(0)), false), &row(), ctx).unwrap()
+        );
     }
 
     #[test]

@@ -102,7 +102,9 @@ fn str_fn(v: &Value, f: impl Fn(&str) -> String) -> Result<Value> {
     match v {
         Value::Null => Ok(Value::Null),
         Value::Str(s) => Ok(Value::Str(f(s))),
-        other => Err(DmxError::TypeMismatch(format!("expected string, got {other}"))),
+        other => Err(DmxError::TypeMismatch(format!(
+            "expected string, got {other}"
+        ))),
     }
 }
 
@@ -114,7 +116,10 @@ mod tests {
     #[test]
     fn builtins_work() {
         let r = FunctionRegistry::with_builtins();
-        assert_eq!(r.get("ABS").unwrap()(&[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            r.get("ABS").unwrap()(&[Value::Int(-4)]).unwrap(),
+            Value::Int(4)
+        );
         assert_eq!(
             r.get("lower").unwrap()(&[Value::from("HeLLo")]).unwrap(),
             Value::from("hello")
@@ -143,7 +148,10 @@ mod tests {
         assert!(!r.contains("double"));
         r.register("double", |args| Ok(Value::Int(args[0].as_int()? * 2)));
         assert!(r.contains("DOUBLE"));
-        assert_eq!(r.get("Double").unwrap()(&[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert_eq!(
+            r.get("Double").unwrap()(&[Value::Int(21)]).unwrap(),
+            Value::Int(42)
+        );
         assert!(r.get("missing").is_err());
     }
 }

@@ -61,7 +61,11 @@ fn put_expr(e: &Expr, out: &mut Vec<u8>) {
             put_expr(r, out);
         }
         Expr::And(v) | Expr::Or(v) => {
-            out.push(if matches!(e, Expr::And(_)) { T_AND } else { T_OR });
+            out.push(if matches!(e, Expr::And(_)) {
+                T_AND
+            } else {
+                T_OR
+            });
             out.extend_from_slice(&(v.len() as u16).to_le_bytes());
             for t in v {
                 put_expr(t, out);
@@ -184,8 +188,23 @@ fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
     Ok(s)
 }
 
+fn take_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
+    let b: [u8; 2] = take(buf, pos, 2)?.try_into().map_err(|_| corrupt())?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let b: [u8; 4] = take(buf, pos, 4)?.try_into().map_err(|_| corrupt())?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let b: [u8; 8] = take(buf, pos, 8)?.try_into().map_err(|_| corrupt())?;
+    Ok(u64::from_le_bytes(b))
+}
+
 fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
-    let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize;
+    let len = take_u32(buf, pos)? as usize;
     Ok(take(buf, pos, len)?.to_vec())
 }
 
@@ -199,13 +218,11 @@ fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
     Ok(match tag {
         V_NULL => Value::Null,
         V_BOOL => Value::Bool(take(buf, pos, 1)?[0] != 0),
-        V_INT => Value::Int(i64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap())),
-        V_FLOAT => Value::Float(f64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap())),
+        V_INT => Value::Int(take_u64(buf, pos)? as i64),
+        V_FLOAT => Value::Float(f64::from_bits(take_u64(buf, pos)?)),
         V_STR => Value::Str(get_string(buf, pos)?),
         V_BYTES => Value::Bytes(get_bytes(buf, pos)?),
-        V_RECT => {
-            Value::Rect(Rect::from_bytes(take(buf, pos, 32)?).ok_or_else(corrupt)?)
-        }
+        V_RECT => Value::Rect(Rect::from_bytes(take(buf, pos, 32)?).ok_or_else(corrupt)?),
         other => return Err(DmxError::Corrupt(format!("bad value tag {other}"))),
     })
 }
@@ -226,8 +243,8 @@ fn get_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
     let tag = take(buf, pos, 1)?[0];
     Ok(match tag {
         T_CONST => Expr::Const(get_value(buf, pos)?),
-        T_COLUMN => Expr::Column(u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap())),
-        T_PARAM => Expr::Param(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize),
+        T_COLUMN => Expr::Column(take_u16(buf, pos)?),
+        T_PARAM => Expr::Param(take_u32(buf, pos)? as usize),
         T_CMP => {
             let op = get_cmp(take(buf, pos, 1)?[0])?;
             let l = get_expr(buf, pos)?;
@@ -235,7 +252,7 @@ fn get_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
             Expr::Cmp(op, Box::new(l), Box::new(r))
         }
         T_AND | T_OR => {
-            let n = u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap()) as usize;
+            let n = take_u16(buf, pos)? as usize;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(get_expr(buf, pos)?);
@@ -281,7 +298,7 @@ fn get_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
         }
         T_FUNC => {
             let name = get_string(buf, pos)?;
-            let n = u16::from_le_bytes(take(buf, pos, 2)?.try_into().unwrap()) as usize;
+            let n = take_u16(buf, pos)? as usize;
             let mut args = Vec::with_capacity(n);
             for _ in 0..n {
                 args.push(get_expr(buf, pos)?);
@@ -310,6 +327,7 @@ pub fn expr_from_hex(s: &str) -> Result<Expr> {
     }
     let mut bytes = Vec::with_capacity(s.len() / 2);
     for i in (0..s.len()).step_by(2) {
+        // bounds: length is even (checked above) and i < s.len().
         let b = u8::from_str_radix(&s[i..i + 2], 16)
             .map_err(|_| DmxError::InvalidArg("bad hex digit".into()))?;
         bytes.push(b);

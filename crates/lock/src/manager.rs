@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use dmx_types::sync::{Condvar, Mutex};
 
 use dmx_types::{DmxError, Result, TxnId};
 
@@ -113,6 +113,7 @@ impl State {
                 return None;
             }
             if let Some(pos) = visiting.iter().position(|&t| t == node) {
+                // bounds: `pos` comes from position() over `visiting`.
                 return Some(visiting[pos..].to_vec());
             }
             visiting.push(node);
@@ -133,7 +134,9 @@ impl State {
             let mut visiting = Vec::new();
             if let Some(cycle) = dfs(start, &edges, &mut visiting, &mut done) {
                 // Youngest (largest id) transaction dies.
-                let victim = *cycle.iter().max().expect("cycle not empty");
+                let Some(victim) = cycle.iter().max().copied() else {
+                    continue; // dfs never returns an empty cycle
+                };
                 self.victims.insert(victim);
                 return true;
             }
@@ -147,6 +150,53 @@ pub struct LockManager {
     state: Mutex<State>,
     cv: Condvar,
     timeout: Duration,
+}
+
+/// Debug-build lock-order assertion: acquisitions must follow the
+/// catalog → relation → record hierarchy, the discipline that keeps the
+/// kernel's own lock requests deadlock-free. Checked per transaction on
+/// every *new* name (conversions of a held name are exempt):
+///
+/// - `Catalog` must be the transaction's first lock (DDL serializes at
+///   the top before touching anything finer);
+/// - `Relation(r)` must precede any `Record(r, _)` of the same relation
+///   (records under a different relation are unordered w.r.t. it);
+/// - `Record(r, _)` requires a lock on `Relation(r)` to be already held
+///   or requested (the intention-mode parent of hierarchical locking).
+#[cfg(debug_assertions)]
+fn assert_lock_order(st: &State, txn: TxnId, name: &LockName) {
+    let empty = HashSet::new();
+    let held = st.held.get(&txn).unwrap_or(&empty);
+    if held.contains(name) {
+        return; // conversion or repeat of a held/requested name
+    }
+    match name {
+        LockName::Catalog => {
+            debug_assert!(
+                held.is_empty(),
+                "lock-order violation: txn {txn:?} requests Catalog while holding {held:?} \
+                 (catalog must be locked before any finer object)"
+            );
+        }
+        LockName::Relation(r) => {
+            let finer = held
+                .iter()
+                .find(|h| matches!(h, LockName::Record(rr, _) if rr == r));
+            debug_assert!(
+                finer.is_none(),
+                "lock-order violation: txn {txn:?} requests {name:?} while holding finer \
+                 {finer:?} (relation must be locked before its records)"
+            );
+        }
+        LockName::Record(r, _) => {
+            debug_assert!(
+                held.contains(&LockName::Relation(*r)),
+                "lock-order violation: txn {txn:?} requests {name:?} without a lock on \
+                 Relation({r:?}) (hierarchical locking requires the intention-mode parent)"
+            );
+        }
+        LockName::File(_) => {}
+    }
 }
 
 impl Default for LockManager {
@@ -180,6 +230,8 @@ impl LockManager {
         if st.victims.contains(&txn) {
             return Err(DmxError::Deadlock { victim: txn });
         }
+        #[cfg(debug_assertions)]
+        assert_lock_order(&st, txn, &name);
         let entry = st.table.entry(name).or_default();
         // Fast path: already covered.
         if let Some(held) = entry.granted.get(&txn) {
@@ -223,7 +275,7 @@ impl LockManager {
                 return Err(DmxError::LockTimeout);
             }
             let tick = Duration::from_millis(10).min(deadline - now);
-            self.cv.wait_for(&mut st, tick);
+            st = self.cv.wait_for(st, tick);
         }
     }
 
@@ -283,8 +335,8 @@ impl LockManager {
 mod tests {
     use super::*;
     use dmx_types::RelationId;
-    use std::sync::Arc;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn rel(n: u32) -> LockName {
         LockName::Relation(RelationId(n))
@@ -317,10 +369,10 @@ mod tests {
         let lm = Arc::new(LockManager::default());
         lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
         let got = Arc::new(AtomicU64::new(0));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let lm2 = lm.clone();
             let got2 = got.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 lm2.lock(TxnId(2), rel(1), LockMode::S).unwrap();
                 got2.store(1, Ordering::SeqCst);
                 lm2.unlock_all(TxnId(2));
@@ -328,8 +380,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
             assert_eq!(got.load(Ordering::SeqCst), 0, "S blocked behind X");
             lm.unlock_all(TxnId(1));
-        })
-        .unwrap();
+        });
         assert_eq!(got.load(Ordering::SeqCst), 1);
     }
 
@@ -349,12 +400,12 @@ mod tests {
         let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
         lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
         lm.lock(TxnId(2), rel(2), LockMode::X).unwrap();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let lm1 = lm.clone();
-            let h1 = s.spawn(move |_| lm1.lock(TxnId(1), rel(2), LockMode::X));
+            let h1 = s.spawn(move || lm1.lock(TxnId(1), rel(2), LockMode::X));
             std::thread::sleep(Duration::from_millis(30));
             let lm2 = lm.clone();
-            let h2 = s.spawn(move |_| lm2.lock(TxnId(2), rel(1), LockMode::X));
+            let h2 = s.spawn(move || lm2.lock(TxnId(2), rel(1), LockMode::X));
             // Youngest = TxnId(2) must be the victim; TxnId(1) proceeds
             // once the victim aborts (releases its locks).
             let r2 = h2.join().unwrap();
@@ -362,8 +413,7 @@ mod tests {
             lm.unlock_all(TxnId(2));
             let r1 = h1.join().unwrap();
             assert_eq!(r1, Ok(()));
-        })
-        .unwrap();
+        });
         lm.unlock_all(TxnId(1));
         assert_eq!(lm.table_len(), 0);
     }
@@ -373,20 +423,19 @@ mod tests {
         let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
         lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
         lm.lock(TxnId(2), rel(1), LockMode::S).unwrap();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let lm1 = lm.clone();
-            let h1 = s.spawn(move |_| lm1.lock(TxnId(1), rel(1), LockMode::X));
+            let h1 = s.spawn(move || lm1.lock(TxnId(1), rel(1), LockMode::X));
             std::thread::sleep(Duration::from_millis(30));
             let lm2 = lm.clone();
-            let h2 = s.spawn(move |_| lm2.lock(TxnId(2), rel(1), LockMode::X));
+            let h2 = s.spawn(move || lm2.lock(TxnId(2), rel(1), LockMode::X));
             let r2 = h2.join().unwrap();
             assert_eq!(r2, Err(DmxError::Deadlock { victim: TxnId(2) }));
             lm.unlock_all(TxnId(2));
             let r1 = h1.join().unwrap();
             assert_eq!(r1, Ok(()));
             assert_eq!(lm.held_mode(TxnId(1), rel(1)), Some(LockMode::X));
-        })
-        .unwrap();
+        });
         lm.unlock_all(TxnId(1));
     }
 
@@ -397,24 +446,23 @@ mod tests {
         let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
         lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();
         let order = Arc::new(Mutex::new(Vec::new()));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let (lm2, ord2) = (lm.clone(), order.clone());
-            s.spawn(move |_| {
+            s.spawn(move || {
                 lm2.lock(TxnId(2), rel(1), LockMode::X).unwrap();
                 ord2.lock().push(2);
                 lm2.unlock_all(TxnId(2));
             });
             std::thread::sleep(Duration::from_millis(40));
             let (lm3, ord3) = (lm.clone(), order.clone());
-            s.spawn(move |_| {
+            s.spawn(move || {
                 lm3.lock(TxnId(3), rel(1), LockMode::S).unwrap();
                 ord3.lock().push(3);
                 lm3.unlock_all(TxnId(3));
             });
             std::thread::sleep(Duration::from_millis(40));
             lm.unlock_all(TxnId(1));
-        })
-        .unwrap();
+        });
         assert_eq!(*order.lock(), vec![2, 3], "X granted before later S");
     }
 
@@ -444,10 +492,10 @@ mod tests {
         // not followed here (unlock_all between rounds), we only check the
         // manager never wedges and always ends empty.
         let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..8u64 {
                 let lm = lm.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let txn = TxnId(t + 1);
                     for round in 0..50u32 {
                         let name = rel(round % 4);
@@ -465,8 +513,36 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(lm.table_len(), 0);
+    }
+
+    #[test]
+    fn lock_order_allows_the_hierarchy_top_down() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), LockName::Catalog, LockMode::X).unwrap();
+        lm.lock(TxnId(1), rel(1), LockMode::IX).unwrap();
+        lm.lock(TxnId(1), LockName::Record(RelationId(1), 7), LockMode::X)
+            .unwrap();
+        // Records of a *different* relation are unordered w.r.t. rel(1).
+        lm.lock(TxnId(1), rel(2), LockMode::IS).unwrap();
+        lm.unlock_all(TxnId(1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn lock_order_rejects_catalog_after_finer_locks() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), rel(1), LockMode::IS).unwrap();
+        let _ = lm.lock(TxnId(1), LockName::Catalog, LockMode::X);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn lock_order_rejects_record_without_relation_parent() {
+        let lm = LockManager::default();
+        let _ = lm.lock(TxnId(1), LockName::Record(RelationId(1), 7), LockMode::X);
     }
 }

@@ -21,9 +21,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
-                | (IX, IS) | (IX, IX)
-                | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -61,11 +66,11 @@ mod tests {
     fn compatibility_matrix_matches_textbook() {
         let expect = [
             // IS    IX     S      SIX    X
-            [true, true, true, true, false],   // IS
-            [true, true, false, false, false], // IX
-            [true, false, true, false, false], // S
-            [true, false, false, false, false],// SIX
-            [false, false, false, false, false],// X
+            [true, true, true, true, false],     // IS
+            [true, true, false, false, false],   // IX
+            [true, false, true, false, false],   // S
+            [true, false, false, false, false],  // SIX
+            [false, false, false, false, false], // X
         ];
         for (i, a) in ALL.iter().enumerate() {
             for (j, b) in ALL.iter().enumerate() {

@@ -60,7 +60,10 @@ mod tests {
             LockName::record(RelationId(4), &k).relation(),
             Some(RelationId(4))
         );
-        assert_eq!(LockName::Relation(RelationId(4)).relation(), Some(RelationId(4)));
+        assert_eq!(
+            LockName::Relation(RelationId(4)).relation(),
+            Some(RelationId(4))
+        );
         assert_eq!(LockName::Catalog.relation(), None);
         assert_eq!(LockName::File(FileId(1)).relation(), None);
     }

@@ -13,10 +13,10 @@
 //! observes a half-done multi-page structural change (e.g. a B-tree split).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use dmx_types::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
 
@@ -486,37 +486,35 @@ mod tests {
         let pid = p.id();
         p.write().body_mut()[0] = 9;
         drop(p);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..8 {
                 let pool = pool.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..200 {
                         let g = pool.fetch(pid).unwrap();
                         assert_eq!(g.read().body()[0], 9);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]
     fn concurrent_writers_different_pages() {
         let (_d, pool, f) = setup(16);
         let pids: Vec<PageId> = (0..8).map(|_| pool.new_page(f).unwrap().id()).collect();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (i, pid) in pids.iter().enumerate() {
                 let pool = pool.clone();
                 let pid = *pid;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for k in 0..100u64 {
                         let g = pool.fetch(pid).unwrap();
                         g.write().put_u64(64, k * (i as u64 + 1));
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for (i, pid) in pids.iter().enumerate() {
             let g = pool.fetch(*pid).unwrap();
             assert_eq!(g.read().get_u64(64), 99 * (i as u64 + 1));

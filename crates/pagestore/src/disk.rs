@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_types::{DmxError, FileId, PageId, Result};
 
@@ -147,7 +147,7 @@ impl DiskManager for MemDisk {
         if f.len() >= u32::MAX as usize {
             return Err(DmxError::Io("file full".into()));
         }
-        f.push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap());
+        f.push(Box::new([0u8; PAGE_SIZE]));
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
         Ok(PageId::new(file, (f.len() - 1) as u32))
     }
@@ -161,7 +161,7 @@ impl DiskManager for MemDisk {
         let img = f
             .get(pid.page_no as usize)
             .ok_or_else(|| DmxError::NotFound(format!("page {pid}")))?;
-        out.raw_mut().copy_from_slice(&img[..]);
+        out.raw_mut().copy_from_slice(img.as_slice());
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }

@@ -24,7 +24,7 @@ pub struct Page {
 impl Default for Page {
     fn default() -> Self {
         Page {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            data: Box::new([0u8; PAGE_SIZE]),
         }
     }
 }
@@ -39,14 +39,12 @@ impl Page {
     /// this page. Used by recovery for idempotent undo of physiological
     /// operations.
     pub fn lsn(&self) -> Lsn {
-        Lsn(u64::from_le_bytes(
-            self.data[LSN_OFFSET..LSN_OFFSET + 8].try_into().unwrap(),
-        ))
+        Lsn(self.get_u64(LSN_OFFSET))
     }
 
     /// Stamps the page LSN.
     pub fn set_lsn(&mut self, lsn: Lsn) {
-        self.data[LSN_OFFSET..LSN_OFFSET + 8].copy_from_slice(&lsn.0.to_le_bytes());
+        self.put_u64(LSN_OFFSET, lsn.0);
     }
 
     /// Extension-assigned page type tag (e.g. heap data page, B-tree leaf).
@@ -71,42 +69,67 @@ impl Page {
 
     /// The extension-owned body (everything after the generic header).
     pub fn body(&self) -> &[u8] {
+        // bounds: PAGE_HEADER_SIZE < PAGE_SIZE, both compile-time consts
         &self.data[PAGE_HEADER_SIZE..]
     }
 
     /// Mutable extension-owned body.
     pub fn body_mut(&mut self) -> &mut [u8] {
+        // bounds: PAGE_HEADER_SIZE < PAGE_SIZE, both compile-time consts
         &mut self.data[PAGE_HEADER_SIZE..]
+    }
+
+    /// Reads `N` little-endian bytes at `off`. Offsets are kernel- or
+    /// extension-computed and in-page by contract; an out-of-page access
+    /// is a bug, reported loudly in debug builds and read as zeroes in
+    /// release (the corruption surfaces in the caller's validation
+    /// instead of crashing the server).
+    fn read_array<const N: usize>(&self, off: usize) -> [u8; N] {
+        let mut out = [0u8; N];
+        match self.data.get(off..off.saturating_add(N)) {
+            Some(src) => out.copy_from_slice(src),
+            None => debug_assert!(false, "page read of {N} bytes at {off} out of page"),
+        }
+        out
+    }
+
+    /// Writes `N` bytes at `off`; see [`Page::read_array`] for the
+    /// out-of-page contract.
+    fn write_array<const N: usize>(&mut self, off: usize, bytes: [u8; N]) {
+        match self.data.get_mut(off..off.saturating_add(N)) {
+            Some(dst) => dst.copy_from_slice(&bytes),
+            None => debug_assert!(false, "page write of {N} bytes at {off} out of page"),
+        }
     }
 
     /// Reads a little-endian u16 at a byte offset into the *full* page.
     pub fn get_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+        u16::from_le_bytes(self.read_array(off))
     }
 
     /// Writes a little-endian u16.
     pub fn put_u16(&mut self, off: usize, v: u16) {
-        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        self.write_array(off, v.to_le_bytes());
     }
 
     /// Reads a little-endian u32.
     pub fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+        u32::from_le_bytes(self.read_array(off))
     }
 
     /// Writes a little-endian u32.
     pub fn put_u32(&mut self, off: usize, v: u32) {
-        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        self.write_array(off, v.to_le_bytes());
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+        u64::from_le_bytes(self.read_array(off))
     }
 
     /// Writes a little-endian u64.
     pub fn put_u64(&mut self, off: usize, v: u64) {
-        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        self.write_array(off, v.to_le_bytes());
     }
 }
 

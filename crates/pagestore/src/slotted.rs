@@ -91,7 +91,8 @@ impl SlottedPage {
         if off == 0 {
             return None;
         }
-        Some(&page.raw()[off as usize..off as usize + len as usize])
+        // A corrupt slot entry yields `None` rather than a panic.
+        page.raw().get(off as usize..(off as usize) + len as usize)
     }
 
     /// Inserts a record, preferring tombstone slots, appending a new slot
@@ -130,8 +131,13 @@ impl SlottedPage {
             Self::compact(page);
         }
         let free_end = page.get_u16(FREE_END_OFF) as usize;
-        let new_off = free_end - data.len();
-        page.raw_mut()[new_off..free_end].copy_from_slice(data);
+        let new_off = free_end.saturating_sub(data.len());
+        // bounds: free-space accounting above guarantees the range; a
+        // corrupt FREE_END is caught by the checked subslice.
+        match page.raw_mut().get_mut(new_off..free_end) {
+            Some(dst) => dst.copy_from_slice(data),
+            None => return Err(DmxError::Corrupt("bad free-end offset".into())),
+        }
         page.put_u16(FREE_END_OFF, new_off as u16);
         if slot == count {
             page.put_u16(SLOT_COUNT_OFF, count + 1);
@@ -158,17 +164,24 @@ impl SlottedPage {
         if data.len() <= len as usize {
             // shrink in place
             let start = off as usize;
-            page.raw_mut()[start..start + data.len()].copy_from_slice(data);
+            match page.raw_mut().get_mut(start..start + data.len()) {
+                Some(dst) => dst.copy_from_slice(data),
+                None => return Err(DmxError::Corrupt("bad slot offset".into())),
+            }
             Self::set_slot_entry(page, slot, off, data.len() as u16);
             return Ok(());
         }
         // Grow: tombstone then re-insert at the same slot; roll back the
         // tombstone on failure.
-        let old = Self::delete(page, slot).expect("slot verified live");
+        let Some(old) = Self::delete(page, slot) else {
+            return Err(DmxError::NotFound(format!("slot {slot}")));
+        };
         match Self::insert_at(page, slot, data) {
             Ok(()) => Ok(()),
             Err(e) => {
-                Self::insert_at(page, slot, &old).expect("reinsert of old payload must fit");
+                // The old payload came off this page, so it always fits
+                // back; surface the impossible case instead of panicking.
+                Self::insert_at(page, slot, &old)?;
                 Err(e)
             }
         }
@@ -185,7 +198,11 @@ impl SlottedPage {
         let mut free_end = PAGE_SIZE;
         for (slot, data) in live.drain(..) {
             free_end -= data.len();
-            page.raw_mut()[free_end..free_end + data.len()].copy_from_slice(&data);
+            // bounds: live payloads came off this page, so they re-pack
+            // into PAGE_SIZE bytes; checked all the same.
+            if let Some(dst) = page.raw_mut().get_mut(free_end..free_end + data.len()) {
+                dst.copy_from_slice(&data);
+            }
             Self::set_slot_entry(page, slot, free_end as u16, data.len() as u16);
         }
         page.put_u16(FREE_END_OFF, free_end as u16);
@@ -202,7 +219,7 @@ impl SlottedPage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dmx_types::testrng::TestRng;
 
     fn fresh() -> Page {
         let mut p = Page::new();
@@ -278,7 +295,10 @@ mod tests {
         while SlottedPage::insert(&mut p, &rec).is_some() {
             n += 1;
         }
-        assert!(n >= 7, "8 KiB page should hold at least 7 1000-byte records");
+        assert!(
+            n >= 7,
+            "8 KiB page should hold at least 7 1000-byte records"
+        );
         assert!(SlottedPage::free_space(&p) < rec.len() + 4);
         // deleting one makes room again
         SlottedPage::delete(&mut p, 0).unwrap();
@@ -315,15 +335,19 @@ mod tests {
         assert_eq!(SlottedPage::delete(&mut p, s).unwrap(), b"");
     }
 
-    proptest! {
-        /// Random op sequences keep the page consistent with a shadow map.
-        #[test]
-        fn prop_matches_shadow(ops in proptest::collection::vec(
-            (0u8..4, 0u16..24, proptest::collection::vec(any::<u8>(), 0..300)), 0..120))
-        {
+    /// Random op sequences keep the page consistent with a shadow map.
+    /// Deterministic seeds replace the old proptest strategy; a failure
+    /// reproduces exactly from its seed.
+    #[test]
+    fn randomized_matches_shadow() {
+        for seed in 0..24u64 {
+            let mut rng = TestRng::new(0x510_77ED ^ seed);
             let mut p = fresh();
             let mut shadow: std::collections::HashMap<u16, Vec<u8>> = Default::default();
-            for (op, slot, data) in ops {
+            for _ in 0..rng.index(120) {
+                let op = rng.below(4) as u8;
+                let slot = rng.below(24) as u16;
+                let data = rng.bytes(299);
                 match op {
                     0 => {
                         if let Some(s) = SlottedPage::insert(&mut p, &data) {
@@ -332,7 +356,7 @@ mod tests {
                     }
                     1 => {
                         let got = SlottedPage::delete(&mut p, slot);
-                        prop_assert_eq!(got, shadow.remove(&slot));
+                        assert_eq!(got, shadow.remove(&slot));
                     }
                     2 => {
                         let ok = SlottedPage::update(&mut p, slot, &data).is_ok();
@@ -343,9 +367,9 @@ mod tests {
                     _ => SlottedPage::compact(&mut p),
                 }
                 for (s, v) in &shadow {
-                    prop_assert_eq!(SlottedPage::get(&p, *s), Some(&v[..]));
+                    assert_eq!(SlottedPage::get(&p, *s), Some(&v[..]), "seed {seed}");
                 }
-                prop_assert_eq!(SlottedPage::live_count(&p) as usize, shadow.len());
+                assert_eq!(SlottedPage::live_count(&p) as usize, shadow.len());
             }
         }
     }

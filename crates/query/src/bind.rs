@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_core::{Database, PlanId};
 use dmx_types::Result;

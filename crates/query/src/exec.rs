@@ -11,9 +11,7 @@ use std::collections::BTreeMap;
 
 use dmx_core::{AccessPath, AccessQuery, ExecCtx, KeyRange, RelationDescriptor, ScanItem};
 use dmx_expr::{eval, eval_predicate, EvalContext, Expr};
-use dmx_types::{
-    key::encode_values, DmxError, RecordKey, Result, ScanId, Value,
-};
+use dmx_types::{key::encode_values, DmxError, RecordKey, Result, ScanId, Value};
 
 use crate::planner::{AccessPlan, Plan, PlannedItem, ProbeKind};
 use crate::semantic::AggKind;
@@ -49,7 +47,14 @@ pub fn build<'p>(
             att,
             swapped,
             filter,
-        } => Box::new(JoinIndexJoinOp::open(ctx, left, right, *att, *swapped, filter.as_ref())?),
+        } => Box::new(JoinIndexJoinOp::open(
+            ctx,
+            left,
+            right,
+            *att,
+            *swapped,
+            filter.as_ref(),
+        )?),
         Plan::Filter { input, pred } => Box::new(FilterOp {
             input: build(input, ctx, outer)?,
             pred,
@@ -243,14 +248,24 @@ impl RowSource for NlJoinOp<'_> {
                 self.right = Some(build(self.right_plan, ctx, Some(&lrow))?);
                 self.cur_left = Some(lrow);
             }
-            let rrow = self.right.as_mut().unwrap().next(ctx)?;
+            let Some(right) = self.right.as_mut() else {
+                // Just assigned above; looping rebuilds it for the next
+                // left row.
+                continue;
+            };
+            let rrow = right.next(ctx)?;
             match rrow {
                 None => {
                     self.right = None;
                     self.cur_left = None;
                 }
                 Some(r) => {
-                    let mut row = self.cur_left.clone().expect("left row present");
+                    let Some(mut row) = self.cur_left.clone() else {
+                        // `cur_left` is set together with `right`; if it is
+                        // gone, restart from the next left row.
+                        self.right = None;
+                        continue;
+                    };
                     row.extend(r);
                     if let Some(f) = self.filter {
                         if !eval_pred(ctx, f, &row)? {
@@ -406,7 +421,10 @@ struct SortOp<'p> {
 impl RowSource for SortOp<'_> {
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
         if !self.done {
-            let mut input = self.input.take().expect("sort opened once");
+            let Some(mut input) = self.input.take() else {
+                self.done = true;
+                return Ok(None);
+            };
             while let Some(r) = input.next(ctx)? {
                 self.out.push(r);
             }
@@ -441,9 +459,20 @@ struct AggState {
 enum ItemAcc {
     Scalar,
     Count(u64),
-    Sum { int: i64, float: f64, any_float: bool, seen: bool },
-    MinMax { best: Option<Value>, is_min: bool },
-    Avg { sum: f64, n: u64 },
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
 }
 
 struct AggOp<'p> {
@@ -516,9 +545,7 @@ impl AggOp<'_> {
                         *seen = true;
                     }
                     Some(Value::Null) | None => {}
-                    Some(other) => {
-                        return Err(DmxError::TypeMismatch(format!("SUM({other})")))
-                    }
+                    Some(other) => return Err(DmxError::TypeMismatch(format!("SUM({other})"))),
                 },
                 (ItemAcc::MinMax { best, is_min }, _) => {
                     if let Some(v) = arg {
@@ -600,7 +627,10 @@ impl AggOp<'_> {
 impl RowSource for AggOp<'_> {
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
         if !self.done {
-            let mut input = self.input.take().expect("agg opened once");
+            let Some(mut input) = self.input.take() else {
+                self.done = true;
+                return Ok(None);
+            };
             let mut groups: BTreeMap<Vec<u8>, AggState> = BTreeMap::new();
             while let Some(row) = input.next(ctx)? {
                 let mut key_vals = Vec::with_capacity(self.group_by.len());

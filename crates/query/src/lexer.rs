@@ -85,15 +85,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
+                // bounds: start <= i <= bytes.len() by the scan loop above.
                 let text: String = bytes[start..i].iter().collect();
                 if saw_dot || saw_exp {
-                    out.push(Token::Float(text.parse().map_err(|_| {
-                        DmxError::Parse(format!("bad number {text}"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| DmxError::Parse(format!("bad number {text}")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|_| {
-                        DmxError::Parse(format!("bad number {text}"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|_| DmxError::Parse(format!("bad number {text}")))?,
+                    ));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -101,9 +104,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
+                // bounds: start <= i <= bytes.len() by the scan loop above.
                 out.push(Token::Ident(bytes[start..i].iter().collect()));
             }
             _ => {
+                // bounds: end is clamped to bytes.len().
                 let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
                 let sym = match two.as_str() {
                     "<=" | ">=" | "<>" | "!=" => {
@@ -131,7 +136,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             '%' => "%",
                             '.' => ".",
                             other => {
-                                return Err(DmxError::Parse(format!("unexpected character '{other}'")))
+                                return Err(DmxError::Parse(format!(
+                                    "unexpected character '{other}'"
+                                )))
                             }
                         }
                     }
@@ -156,7 +163,9 @@ mod tests {
         assert_eq!(t[5], Token::Str("it's".into()));
         assert!(t.contains(&Token::Sym("<=")));
         assert!(t.contains(&Token::Float(150.0)));
-        assert!(!t.iter().any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
+        assert!(!t
+            .iter()
+            .any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(DmxError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DmxError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -107,7 +109,9 @@ impl Parser {
         }
         if self.eat_kw("DROP") {
             if self.eat_kw("TABLE") || self.eat_kw("RELATION") {
-                return Ok(Stmt::DropTable { name: self.ident()? });
+                return Ok(Stmt::DropTable {
+                    name: self.ident()?,
+                });
             }
             if self.eat_kw("INDEX") || self.eat_kw("ATTACHMENT") || self.eat_kw("CONSTRAINT") {
                 let name = self.ident()?;
@@ -158,7 +162,11 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt::Update { table, sets, where_ });
+            return Ok(Stmt::Update {
+                table,
+                sets,
+                where_,
+            });
         }
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
@@ -291,7 +299,9 @@ impl Parser {
             });
         }
         if unique {
-            return Err(DmxError::Parse("UNIQUE only applies to CREATE INDEX".into()));
+            return Err(DmxError::Parse(
+                "UNIQUE only applies to CREATE INDEX".into(),
+            ));
         }
         if self.eat_kw("ATTACHMENT") {
             let name = self.ident()?;
@@ -383,11 +393,7 @@ impl Parser {
         loop {
             let table = self.ident()?;
             let alias = match self.peek() {
-                Some(Token::Ident(s))
-                    if !is_reserved(s) =>
-                {
-                    Some(self.ident()?)
-                }
+                Some(Token::Ident(s)) if !is_reserved(s) => Some(self.ident()?),
                 _ => None,
             };
             from.push(TableRef { table, alias });
@@ -467,10 +473,13 @@ impl Parser {
         while self.eat_kw("OR") {
             terms.push(self.and_expr()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().unwrap()
-        } else {
-            AstExpr::Or(terms)
+        Ok(match terms.pop() {
+            Some(only) if terms.is_empty() => only,
+            Some(last) => {
+                terms.push(last);
+                AstExpr::Or(terms)
+            }
+            None => AstExpr::Or(terms),
         })
     }
 
@@ -479,10 +488,13 @@ impl Parser {
         while self.eat_kw("AND") {
             terms.push(self.not_expr()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().unwrap()
-        } else {
-            AstExpr::And(terms)
+        Ok(match terms.pop() {
+            Some(only) if terms.is_empty() => only,
+            Some(last) => {
+                terms.push(last);
+                AstExpr::And(terms)
+            }
+            None => AstExpr::And(terms),
         })
     }
 

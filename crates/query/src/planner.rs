@@ -11,9 +11,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use dmx_core::{
-    AccessPath, AccessQuery, Cost, Database, PathChoice, RelationDescriptor,
-};
+use dmx_core::{AccessPath, AccessQuery, Cost, Database, PathChoice, RelationDescriptor};
 use dmx_expr::{analyze, CmpOp, Expr};
 use dmx_types::{DmxError, FieldId, Result};
 
@@ -141,14 +139,12 @@ pub fn remap_columns(e: &Expr, f: &dyn Fn(FieldId) -> FieldId) -> Expr {
         Expr::Neg(i) => Expr::Neg(Box::new(remap_columns(i, f))),
         Expr::IsNull(i, n) => Expr::IsNull(Box::new(remap_columns(i, f)), *n),
         Expr::Like(i, p) => Expr::Like(Box::new(remap_columns(i, f)), p.clone()),
-        Expr::Encloses(l, r) => Expr::Encloses(
-            Box::new(remap_columns(l, f)),
-            Box::new(remap_columns(r, f)),
-        ),
-        Expr::Intersects(l, r) => Expr::Intersects(
-            Box::new(remap_columns(l, f)),
-            Box::new(remap_columns(r, f)),
-        ),
+        Expr::Encloses(l, r) => {
+            Expr::Encloses(Box::new(remap_columns(l, f)), Box::new(remap_columns(r, f)))
+        }
+        Expr::Intersects(l, r) => {
+            Expr::Intersects(Box::new(remap_columns(l, f)), Box::new(remap_columns(r, f)))
+        }
         Expr::Func(n, args) => Expr::Func(
             n.clone(),
             args.iter().map(|e| remap_columns(e, f)).collect(),
@@ -396,8 +392,8 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
     let mut cross: Vec<Expr> = Vec::new();
     for c in conjuncts {
         let ts = tables_of(&c, &binder.tables);
-        if ts.len() == 1 {
-            let i = *ts.iter().next().unwrap();
+        let mut it = ts.iter();
+        if let (Some(&i), None) = (it.next(), it.next()) {
             let off = binder.tables[i].offset;
             per_table[i].push(remap_columns(&c, &|f| f - off as FieldId));
         } else {
@@ -501,7 +497,11 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                         swapped,
                         filter: combine(extra),
                     };
-                    deps.push(dmx_core::DepKey::Attachment(binder.tables[0].rd.id, att, inst));
+                    deps.push(dmx_core::DepKey::Attachment(
+                        binder.tables[0].rd.id,
+                        att,
+                        inst,
+                    ));
                     cross.clear();
                     joined.push(i);
                     used_join_index = true;
@@ -597,7 +597,9 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
             let idx = match &k.column {
                 OrderTarget::Position(p) => {
                     if *p == 0 || *p > columns.len() {
-                        return Err(DmxError::Planning(format!("ORDER BY position {p} out of range")));
+                        return Err(DmxError::Planning(format!(
+                            "ORDER BY position {p} out of range"
+                        )));
                     }
                     p - 1
                 }
@@ -647,13 +649,21 @@ impl Plan {
                     Some(p) => format!(", probe from outer col {}", p.outer_offset),
                     None => String::new(),
                 };
-                let cov = if a.use_covered.is_some() { ", covered" } else { "" };
+                let cov = if a.use_covered.is_some() {
+                    ", covered"
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
                     "{pad}Access {} via {path} (~{:.0} rows{probe}{cov})\n",
                     a.rd.name, a.rows_est
                 ));
             }
-            Plan::NlJoin { left, right, filter } => {
+            Plan::NlJoin {
+                left,
+                right,
+                filter,
+            } => {
                 out.push_str(&format!(
                     "{pad}NestedLoopJoin{}\n",
                     if filter.is_some() { " (filtered)" } else { "" }
@@ -675,7 +685,11 @@ impl Plan {
                 out.push_str(&format!("{pad}Project ({} cols)\n", exprs.len()));
                 input.describe(indent + 1, out);
             }
-            Plan::Aggregate { input, group_by, items } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                items,
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate ({} groups keys, {} items)\n",
                     group_by.len(),

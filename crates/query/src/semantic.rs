@@ -58,10 +58,7 @@ pub enum BoundItem {
 
 impl Binder {
     /// Builds a binder over the FROM list.
-    pub fn new(
-        db: &Arc<Database>,
-        from: &[crate::ast::TableRef],
-    ) -> Result<Binder> {
+    pub fn new(db: &Arc<Database>, from: &[crate::ast::TableRef]) -> Result<Binder> {
         let mut tables = Vec::new();
         let mut offset = 0usize;
         for tr in from {
@@ -90,11 +87,7 @@ impl Binder {
 
     /// Resolves a column reference to `(table index, field, global
     /// offset)`.
-    pub fn resolve(
-        &self,
-        qualifier: Option<&str>,
-        name: &str,
-    ) -> Result<(usize, FieldId, usize)> {
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, FieldId, usize)> {
         let mut hit = None;
         for (i, t) in self.tables.iter().enumerate() {
             if let Some(q) = qualifier {
@@ -130,7 +123,9 @@ impl Binder {
                 Box::new(self.bind_expr(l)?),
                 Box::new(self.bind_expr(r)?),
             ),
-            AstExpr::And(v) => Expr::And(v.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?),
+            AstExpr::And(v) => {
+                Expr::And(v.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?)
+            }
             AstExpr::Or(v) => Expr::Or(v.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?),
             AstExpr::Not(e) => Expr::Not(Box::new(self.bind_expr(e)?)),
             AstExpr::Arith(op, l, r) => Expr::Arith(
@@ -141,14 +136,12 @@ impl Binder {
             AstExpr::Neg(e) => Expr::Neg(Box::new(self.bind_expr(e)?)),
             AstExpr::IsNull(e, n) => Expr::IsNull(Box::new(self.bind_expr(e)?), *n),
             AstExpr::Like(e, p) => Expr::Like(Box::new(self.bind_expr(e)?), p.clone()),
-            AstExpr::Encloses(l, r) => Expr::Encloses(
-                Box::new(self.bind_expr(l)?),
-                Box::new(self.bind_expr(r)?),
-            ),
-            AstExpr::Intersects(l, r) => Expr::Intersects(
-                Box::new(self.bind_expr(l)?),
-                Box::new(self.bind_expr(r)?),
-            ),
+            AstExpr::Encloses(l, r) => {
+                Expr::Encloses(Box::new(self.bind_expr(l)?), Box::new(self.bind_expr(r)?))
+            }
+            AstExpr::Intersects(l, r) => {
+                Expr::Intersects(Box::new(self.bind_expr(l)?), Box::new(self.bind_expr(r)?))
+            }
             AstExpr::Func(name, args) => {
                 if name.eq_ignore_ascii_case("RECT") {
                     return bind_rect(self, args);
@@ -160,7 +153,9 @@ impl Binder {
                 }
                 Expr::Func(
                     name.clone(),
-                    args.iter().map(|a| self.bind_expr(a)).collect::<Result<_>>()?,
+                    args.iter()
+                        .map(|a| self.bind_expr(a))
+                        .collect::<Result<_>>()?,
                 )
             }
             AstExpr::CountStar => {
@@ -188,9 +183,15 @@ impl Binder {
                 SelectItem::Expr(e, alias) => {
                     let name = alias.clone().unwrap_or_else(|| display_name(e));
                     match e {
-                        AstExpr::CountStar => out.push(BoundItem::Agg(AggKind::CountStar, None, name)),
+                        AstExpr::CountStar => {
+                            out.push(BoundItem::Agg(AggKind::CountStar, None, name))
+                        }
                         AstExpr::Func(f, args) if AggKind::parse(f).is_some() => {
-                            let kind = AggKind::parse(f).unwrap();
+                            let Some(kind) = AggKind::parse(f) else {
+                                // Guard above ensures the parse succeeds.
+                                out.push(BoundItem::Scalar(self.bind_expr(e)?, name));
+                                continue;
+                            };
                             if args.len() != 1 {
                                 return Err(DmxError::Planning(format!(
                                     "{f} takes exactly one argument"

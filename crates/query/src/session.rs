@@ -2,15 +2,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_attach::check_params;
 use dmx_core::{Database, Privilege};
 use dmx_expr::eval;
 use dmx_txn::Transaction;
-use dmx_types::{
-    AttrList, ColumnDef, DmxError, Record, Result, Schema, Value,
-};
+use dmx_types::{AttrList, ColumnDef, DmxError, Record, Result, Schema, Value};
 
 use crate::ast::Stmt;
 use crate::bind::PlanCache;
@@ -53,8 +51,8 @@ impl QueryResult {
 
     /// The single value of a single-row, single-column result.
     pub fn scalar(&self) -> Result<&Value> {
-        match (&self.rows[..], self.columns.len()) {
-            ([row], 1) => Ok(&row[0]),
+        match (self.rows.as_slice(), self.columns.len()) {
+            ([row], 1) if !row.is_empty() => Ok(&row[0]),
             _ => Err(DmxError::InvalidArg(format!(
                 "expected scalar result, got {}x{}",
                 self.rows.len(),
@@ -224,10 +222,7 @@ impl Session {
                 compiled.plan.describe(0, &mut text);
                 Ok(QueryResult {
                     columns: vec!["plan".into()],
-                    rows: text
-                        .lines()
-                        .map(|l| vec![Value::from(l)])
-                        .collect(),
+                    rows: text.lines().map(|l| vec![Value::from(l)]).collect(),
                 })
             }
             Stmt::Insert { table, rows } => {
@@ -400,7 +395,8 @@ impl Session {
                 )?;
                 let bound = binder.bind_expr(expr)?;
                 let params = check_params(&bound, *deferred);
-                self.db.create_attachment(txn, table, "check", name, &params)?;
+                self.db
+                    .create_attachment(txn, table, "check", name, &params)?;
                 Ok(QueryResult::empty())
             }
             Stmt::DropTable { name } => {
@@ -486,7 +482,12 @@ impl SqlExt for Arc<Database> {
         let stmt = parse(sql)?;
         if matches!(
             stmt,
-            Stmt::Begin | Stmt::Commit | Stmt::Rollback | Stmt::Savepoint(_) | Stmt::RollbackTo(_) | Stmt::Release(_)
+            Stmt::Begin
+                | Stmt::Commit
+                | Stmt::Rollback
+                | Stmt::Savepoint(_)
+                | Stmt::RollbackTo(_)
+                | Stmt::Release(_)
         ) {
             return Err(DmxError::TxnState(
                 "transaction control requires a Session".into(),

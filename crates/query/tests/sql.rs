@@ -54,7 +54,9 @@ fn select_filters_projection_order_limit() {
     let db = open_db();
     setup_emp(&db);
     let rows = db
-        .query_sql("SELECT id, salary FROM emp WHERE dept = 2 AND salary > 1500 ORDER BY id DESC LIMIT 3")
+        .query_sql(
+            "SELECT id, salary FROM emp WHERE dept = 2 AND salary > 1500 ORDER BY id DESC LIMIT 3",
+        )
         .unwrap();
     assert_eq!(rows.len(), 3);
     assert_eq!(rows[0][0], Value::Int(97));
@@ -108,15 +110,25 @@ fn index_is_chosen_and_correct() {
     let plan = db
         .query_sql("EXPLAIN SELECT name FROM emp WHERE id = 42")
         .unwrap();
-    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    let text: String = plan
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string() + "\n")
+        .collect();
     assert!(text.contains("storage-method"), "{text}");
 
-    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)").unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)")
+        .unwrap();
     let plan = db
         .query_sql("EXPLAIN SELECT name FROM emp WHERE id = 42")
         .unwrap();
-    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
-    assert!(text.contains("attachment"), "planner picked the index: {text}");
+    let text: String = plan
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string() + "\n")
+        .collect();
+    assert!(
+        text.contains("attachment"),
+        "planner picked the index: {text}"
+    );
 
     let rows = db.query_sql("SELECT name FROM emp WHERE id = 42").unwrap();
     assert_eq!(rows, vec![vec![Value::from("emp42")]]);
@@ -130,7 +142,10 @@ fn index_is_chosen_and_correct() {
     let plan = db
         .query_sql("EXPLAIN SELECT id FROM emp WHERE id >= 1995")
         .unwrap();
-    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    let text: String = plan
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string() + "\n")
+        .collect();
     assert!(text.contains("covered"), "{text}");
     let rows = db.query_sql("SELECT id FROM emp WHERE id >= 1995").unwrap();
     assert_eq!(rows.len(), 5);
@@ -165,7 +180,8 @@ fn joins_all_strategies_agree() {
     }
     setup_emp(&db);
 
-    let q = "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.id AND e.id < 10 ORDER BY 1";
+    let q =
+        "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.id AND e.id < 10 ORDER BY 1";
     // 1. plain nested loop
     let nl = db.query_sql(q).unwrap();
     assert_eq!(nl.len(), 10);
@@ -186,7 +202,10 @@ fn joins_all_strategies_agree() {
     )
     .unwrap();
     let plan = db.query_sql(&format!("EXPLAIN {q}")).unwrap();
-    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    let text: String = plan
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string() + "\n")
+        .collect();
     assert!(text.contains("JoinIndexJoin"), "{text}");
     let ji = db.query_sql(q).unwrap();
     assert_eq!(nl, ji, "join-index join returns identical rows");
@@ -200,7 +219,9 @@ fn check_constraint_via_sql() {
     db.execute_sql("CREATE CONSTRAINT bal_pos ON acc CHECK (bal >= 0)")
         .unwrap();
     db.execute_sql("INSERT INTO acc VALUES (1, 10.0)").unwrap();
-    let err = db.execute_sql("INSERT INTO acc VALUES (2, -1.0)").unwrap_err();
+    let err = db
+        .execute_sql("INSERT INTO acc VALUES (2, -1.0)")
+        .unwrap_err();
     assert!(matches!(err, DmxError::Veto { .. }));
     assert_eq!(
         db.query_sql("SELECT COUNT(*) FROM acc").unwrap()[0][0],
@@ -211,11 +232,14 @@ fn check_constraint_via_sql() {
     sess.execute("CREATE CONSTRAINT bal_cap ON acc CHECK (bal <= 100) DEFERRED")
         .unwrap();
     sess.execute("BEGIN").unwrap();
-    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1").unwrap();
-    sess.execute("UPDATE acc SET bal = 50.0 WHERE id = 1").unwrap();
+    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1")
+        .unwrap();
+    sess.execute("UPDATE acc SET bal = 50.0 WHERE id = 1")
+        .unwrap();
     sess.execute("COMMIT").unwrap();
     sess.execute("BEGIN").unwrap();
-    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1").unwrap();
+    sess.execute("UPDATE acc SET bal = 500.0 WHERE id = 1")
+        .unwrap();
     let err = sess.execute("COMMIT").unwrap_err();
     assert!(matches!(err, DmxError::ConstraintViolation(_)));
     assert_eq!(
@@ -254,11 +278,15 @@ fn session_transactions_and_savepoints() {
 fn plan_cache_reuse_and_invalidation() {
     let db = open_db();
     setup_emp(&db);
-    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)").unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)")
+        .unwrap();
     let cache = db.query_state::<dmx_query::PlanCache, _>(Default::default);
     let q = "SELECT name FROM emp WHERE id = 7";
     db.query_sql(q).unwrap();
-    let misses0 = cache.stats.misses.load(std::sync::atomic::Ordering::Relaxed);
+    let misses0 = cache
+        .stats
+        .misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     let hits0 = cache.stats.hits.load(std::sync::atomic::Ordering::Relaxed);
     for _ in 0..5 {
         db.query_sql(q).unwrap();
@@ -269,7 +297,10 @@ fn plan_cache_reuse_and_invalidation() {
         "subsequent executions reuse the bound plan"
     );
     assert_eq!(
-        cache.stats.misses.load(std::sync::atomic::Ordering::Relaxed),
+        cache
+            .stats
+            .misses
+            .load(std::sync::atomic::Ordering::Relaxed),
         misses0
     );
     // dropping the index invalidates; the next execution re-translates
@@ -278,7 +309,11 @@ fn plan_cache_reuse_and_invalidation() {
     let rows = db.query_sql(q).unwrap();
     assert_eq!(rows, vec![vec![Value::from("emp7")]]);
     assert!(
-        cache.stats.retranslations.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        cache
+            .stats
+            .retranslations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
         "plan was re-translated after DDL"
     );
 }
@@ -327,13 +362,20 @@ fn spatial_sql_with_rtree() {
     let plan = db
         .query_sql("EXPLAIN SELECT id FROM parcels WHERE area ENCLOSES RECT(110, 110, 120, 120)")
         .unwrap();
-    let text: String = plan.iter().map(|r| r[0].as_str().unwrap().to_string() + "\n").collect();
+    let text: String = plan
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string() + "\n")
+        .collect();
     assert!(text.contains("attachment"), "R-tree chosen: {text}");
     // window query
     let rows = db
         .query_sql("SELECT COUNT(*) FROM parcels WHERE RECT(0, 0, 290, 90) ENCLOSES area")
         .unwrap();
-    assert_eq!(rows[0][0], Value::Int(3), "parcels 0, 1 and 2 fit the window");
+    assert_eq!(
+        rows[0][0],
+        Value::Int(3),
+        "parcels 0, 1 and 2 fit the window"
+    );
 }
 
 #[test]
@@ -358,22 +400,28 @@ fn storage_method_choice_via_sql() {
         ]
     );
     // a temporary relation
-    db.execute_sql("CREATE TABLE scratch (x INT) USING memory").unwrap();
-    db.execute_sql("INSERT INTO scratch VALUES (1), (2)").unwrap();
+    db.execute_sql("CREATE TABLE scratch (x INT) USING memory")
+        .unwrap();
+    db.execute_sql("INSERT INTO scratch VALUES (1), (2)")
+        .unwrap();
     assert_eq!(
         db.query_sql("SELECT COUNT(*) FROM scratch").unwrap()[0][0],
         Value::Int(2)
     );
     // duplicate storage key rejected
-    let err = db.execute_sql("INSERT INTO kv VALUES (5, 'dup')").unwrap_err();
+    let err = db
+        .execute_sql("INSERT INTO kv VALUES (5, 'dup')")
+        .unwrap_err();
     assert!(matches!(err, DmxError::Duplicate(_)));
 }
 
 #[test]
 fn referential_integrity_via_sql() {
     let db = open_db();
-    db.execute_sql("CREATE TABLE dept (id INT NOT NULL)").unwrap();
-    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept INT)").unwrap();
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept INT)")
+        .unwrap();
     db.execute_sql(
         "CREATE ATTACHMENT fk_c ON emp USING refint WITH (role=child, fields=dept, other=dept, other_fields=id)",
     )
@@ -408,7 +456,10 @@ fn drop_table_via_sql_and_errors() {
         db.query_sql("SELECT nope FROM u"),
         Err(DmxError::Planning(_))
     ));
-    assert!(db.execute_sql("CREATE TABLE u (x INT)").is_err(), "duplicate");
+    assert!(
+        db.execute_sql("CREATE TABLE u (x INT)").is_err(),
+        "duplicate"
+    );
     // bad attribute caught by validate_params at DDL time
     assert!(db
         .execute_sql("CREATE TABLE v (x INT) USING heap WITH (bogus = 1)")
@@ -419,13 +470,19 @@ fn drop_table_via_sql_and_errors() {
 fn three_way_join() {
     let db = open_db();
     db.execute_sql("CREATE TABLE a (id INT NOT NULL)").unwrap();
-    db.execute_sql("CREATE TABLE b (id INT NOT NULL, a_id INT)").unwrap();
-    db.execute_sql("CREATE TABLE c (id INT NOT NULL, b_id INT)").unwrap();
+    db.execute_sql("CREATE TABLE b (id INT NOT NULL, a_id INT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE c (id INT NOT NULL, b_id INT)")
+        .unwrap();
     for i in 0..3 {
-        db.execute_sql(&format!("INSERT INTO a VALUES ({i})")).unwrap();
-        db.execute_sql(&format!("INSERT INTO b VALUES ({i}, {i})")).unwrap();
-        db.execute_sql(&format!("INSERT INTO c VALUES ({i}, {i})")).unwrap();
-        db.execute_sql(&format!("INSERT INTO c VALUES ({}, {i})", i + 10)).unwrap();
+        db.execute_sql(&format!("INSERT INTO a VALUES ({i})"))
+            .unwrap();
+        db.execute_sql(&format!("INSERT INTO b VALUES ({i}, {i})"))
+            .unwrap();
+        db.execute_sql(&format!("INSERT INTO c VALUES ({i}, {i})"))
+            .unwrap();
+        db.execute_sql(&format!("INSERT INTO c VALUES ({}, {i})", i + 10))
+            .unwrap();
     }
     let rows = db
         .query_sql(

@@ -49,19 +49,14 @@ impl BtDesc {
     }
 
     pub fn decode(desc: &[u8]) -> Result<BtDesc> {
+        use dmx_types::bytes::{le_u16, le_u32};
         let corrupt = || DmxError::Corrupt("short btree-sm descriptor".into());
-        let file = FileId(u32::from_le_bytes(
-            desc.get(..4).ok_or_else(corrupt)?.try_into().unwrap(),
-        ));
-        let root_page = u32::from_le_bytes(desc.get(4..8).ok_or_else(corrupt)?.try_into().unwrap());
-        let n = u16::from_le_bytes(desc.get(8..10).ok_or_else(corrupt)?.try_into().unwrap())
-            as usize;
+        let file = FileId(le_u32(desc, 0).ok_or_else(corrupt)?);
+        let root_page = le_u32(desc, 4).ok_or_else(corrupt)?;
+        let n = le_u16(desc, 8).ok_or_else(corrupt)? as usize;
         let mut key_fields = Vec::with_capacity(n);
         for i in 0..n {
-            let off = 10 + i * 2;
-            key_fields.push(u16::from_le_bytes(
-                desc.get(off..off + 2).ok_or_else(corrupt)?.try_into().unwrap(),
-            ));
+            key_fields.push(le_u16(desc, 10 + i * 2).ok_or_else(corrupt)?);
         }
         Ok(BtDesc {
             file,
@@ -157,9 +152,7 @@ impl StorageMethod for BTreeStorage {
 
     fn destroy_instance(&self, services: &Arc<CommonServices>, sm_desc: &[u8]) -> Result<()> {
         let d = BtDesc::decode(sm_desc)?;
-        services
-            .latches
-            .forget(PageId::new(d.file, d.root_page));
+        services.latches.forget(PageId::new(d.file, d.root_page));
         services.pool.discard_file(d.file);
         services.disk.delete_file(d.file)
     }

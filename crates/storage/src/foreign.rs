@@ -13,7 +13,7 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_core::{
     AccessPath, CommonServices, Cost, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
@@ -89,13 +89,9 @@ fn encode_desc(server: &str, table: u64) -> Vec<u8> {
 }
 
 fn decode_desc(desc: &[u8]) -> Result<(String, u64)> {
-    let table = u64::from_le_bytes(
-        desc.get(..8)
-            .ok_or_else(|| DmxError::Corrupt("short foreign descriptor".into()))?
-            .try_into()
-            .unwrap(),
-    );
-    let server = String::from_utf8(desc[8..].to_vec())
+    let corrupt = || DmxError::Corrupt("short foreign descriptor".into());
+    let table = dmx_types::bytes::le_u64(desc, 0).ok_or_else(corrupt)?;
+    let server = String::from_utf8(desc.get(8..).ok_or_else(corrupt)?.to_vec())
         .map_err(|_| DmxError::Corrupt("foreign server name not utf8".into()))?;
     Ok((server, table))
 }

@@ -37,10 +37,9 @@ pub(crate) fn encode_file_desc(file: FileId) -> Vec<u8> {
 }
 
 pub(crate) fn decode_file_desc(desc: &[u8]) -> Result<FileId> {
-    let b = desc
-        .get(..4)
-        .ok_or_else(|| DmxError::Corrupt("short heap descriptor".into()))?;
-    Ok(FileId(u32::from_le_bytes(b.try_into().unwrap())))
+    dmx_types::bytes::le_u32(desc, 0)
+        .map(FileId)
+        .ok_or_else(|| DmxError::Corrupt("short heap descriptor".into()))
 }
 
 /// RID encoding: page_no (u32 BE) + slot (u16 BE).
@@ -53,13 +52,13 @@ pub fn rid(page_no: u32, slot: u16) -> RecordKey {
 
 /// Parses a RID key.
 pub fn parse_rid(key: &[u8]) -> Result<(u32, u16)> {
-    if key.len() != 6 {
-        return Err(DmxError::Corrupt(format!("bad RID length {}", key.len())));
+    match (
+        dmx_types::bytes::array::<4>(key, 0),
+        dmx_types::bytes::array::<2>(key, 4),
+    ) {
+        (Some(p), Some(s)) if key.len() == 6 => Ok((u32::from_be_bytes(p), u16::from_be_bytes(s))),
+        _ => Err(DmxError::Corrupt(format!("bad RID length {}", key.len()))),
     }
-    Ok((
-        u32::from_be_bytes(key[..4].try_into().unwrap()),
-        u16::from_be_bytes(key[4..].try_into().unwrap()),
-    ))
 }
 
 /// Appends `bytes` as a fresh-slot record into the file's last page, or a
@@ -190,10 +189,13 @@ impl StorageMethod for HeapStorage {
     ) -> Result<RecordKey> {
         let file = Self::file(rd)?;
         let bytes = record.encode();
-        let (page_no, slot, new_page) =
-            append_record(&ctx.services().pool, file, &bytes, PAGE_TYPE_HEAP, |p, s| {
-                Self::log(ctx, rd, OP_INSERT, encode_key(rid(p, s).as_bytes()))
-            })?;
+        let (page_no, slot, new_page) = append_record(
+            &ctx.services().pool,
+            file,
+            &bytes,
+            PAGE_TYPE_HEAP,
+            |p, s| Self::log(ctx, rd, OP_INSERT, encode_key(rid(p, s).as_bytes())),
+        )?;
         if new_page {
             rd.stats.on_page_allocated();
         }

@@ -14,7 +14,7 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dmx_types::sync::RwLock;
 
 use dmx_core::{
     AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
@@ -58,10 +58,8 @@ impl MemoryStorage {
 }
 
 fn decode_token(desc: &[u8]) -> Result<u64> {
-    let b = desc
-        .get(..8)
-        .ok_or_else(|| DmxError::Corrupt("short memory descriptor".into()))?;
-    Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    dmx_types::bytes::le_u64(desc, 0)
+        .ok_or_else(|| DmxError::Corrupt("short memory descriptor".into()))
 }
 
 fn synth_key(n: u64) -> RecordKey {
@@ -114,7 +112,10 @@ impl StorageMethod for MemoryStorage {
         let table = self.table(rd)?;
         let key = synth_key(table.next_key.fetch_add(1, Ordering::Relaxed) + 1);
         Self::log(ctx, rd, OP_INSERT, encode_key(key.as_bytes()));
-        table.rows.write().insert(key.as_bytes().to_vec(), record.clone());
+        table
+            .rows
+            .write()
+            .insert(key.as_bytes().to_vec(), record.clone());
         Ok(key)
     }
 

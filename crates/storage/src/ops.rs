@@ -27,14 +27,15 @@ pub fn encode_key_record(key: &[u8], record: &[u8]) -> Vec<u8> {
 /// Decodes a payload written by [`encode_key`] / [`encode_key_record`]
 /// into `(key, rest)`.
 pub fn decode_key(payload: &[u8]) -> Result<(&[u8], &[u8])> {
-    let len_bytes = payload
-        .get(..2)
-        .ok_or_else(|| DmxError::Corrupt("short op payload".into()))?;
-    let len = u16::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    let len = dmx_types::bytes::le_u16(payload, 0)
+        .ok_or_else(|| DmxError::Corrupt("short op payload".into()))? as usize;
     let key = payload
         .get(2..2 + len)
         .ok_or_else(|| DmxError::Corrupt("short op payload key".into()))?;
-    Ok((key, &payload[2 + len..]))
+    let rest = payload
+        .get(2 + len..)
+        .ok_or_else(|| DmxError::Corrupt("short op payload".into()))?;
+    Ok((key, rest))
 }
 
 #[cfg(test)]

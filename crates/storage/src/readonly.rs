@@ -12,8 +12,7 @@
 use std::sync::Arc;
 
 use dmx_core::{
-    AccessPath, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps,
-    StorageMethod,
+    AccessPath, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps, StorageMethod,
 };
 use dmx_expr::{analyze, Expr};
 use dmx_page::SlottedPage;

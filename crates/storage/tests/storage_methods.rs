@@ -26,7 +26,11 @@ fn schema() -> Schema {
 }
 
 fn rec(id: i64, name: &str, salary: f64) -> Record {
-    Record::new(vec![Value::Int(id), Value::from(name), Value::Float(salary)])
+    Record::new(vec![
+        Value::Int(id),
+        Value::from(name),
+        Value::Float(salary),
+    ])
 }
 
 fn registry() -> Arc<ExtensionRegistry> {
@@ -74,13 +78,7 @@ fn crud_roundtrip(sm: &str) {
         assert_eq!(row[0], Value::Int(7));
         assert_eq!(row[1], Value::from("u7"));
         // projection + in-storage filtering
-        let got = db.fetch(
-            txn,
-            rel,
-            &keys[7],
-            Some(&[1]),
-            Some(&Expr::col_eq(0, 7i64)),
-        )?;
+        let got = db.fetch(txn, rel, &keys[7], Some(&[1]), Some(&Expr::col_eq(0, 7i64)))?;
         assert_eq!(got.unwrap(), vec![Value::from("u7")]);
         let filtered = db.fetch(txn, rel, &keys[7], None, Some(&Expr::col_eq(0, 8i64)))?;
         assert_eq!(filtered, None, "predicate rejects in place");
@@ -233,7 +231,8 @@ fn abort_rolls_back_all_storage_methods() {
             .unwrap();
         // Uncommitted work: one update, one delete, three inserts → abort.
         let txn = db.begin();
-        db.update(&txn, rel, &keys[0], rec(0, "dirty", 2.0)).unwrap();
+        db.update(&txn, rel, &keys[0], rec(0, "dirty", 2.0))
+            .unwrap();
         db.delete(&txn, rel, &keys[1]).unwrap();
         for i in 100..103 {
             db.insert(&txn, rel, rec(i, "phantom", 0.0)).unwrap();

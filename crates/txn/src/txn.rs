@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_types::{DmxError, Lsn, Result, TxnId};
 use dmx_wal::{LogBody, LogManager};
@@ -362,7 +362,11 @@ mod tests {
             }),
         );
         assert!(t.run_deferred(TxnEvent::BeforePrepare).is_err());
-        assert_eq!(ran_after.load(Ordering::SeqCst), 0, "stopped at first failure");
+        assert_eq!(
+            ran_after.load(Ordering::SeqCst),
+            0,
+            "stopped at first failure"
+        );
     }
 
     #[test]

@@ -156,12 +156,12 @@ impl AttrList {
             pos += n;
             Ok(s)
         };
-        let n = u16::from_le_bytes(read(2)?.try_into().unwrap()) as usize;
+        let n = u16::from_le_bytes(read(2)?.try_into().map_err(|_| corrupt())?) as usize;
         let mut list = AttrList::new();
         for _ in 0..n {
             let mut strings = [String::new(), String::new()];
             for s in &mut strings {
-                let len = u16::from_le_bytes(read(2)?.try_into().unwrap()) as usize;
+                let len = u16::from_le_bytes(read(2)?.try_into().map_err(|_| corrupt())?) as usize;
                 *s = String::from_utf8(read(len)?.to_vec())
                     .map_err(|_| DmxError::Corrupt("attr not utf8".into()))?;
             }
@@ -192,12 +192,14 @@ fn split_top_level_commas(s: &str) -> Vec<&str> {
         match c {
             '\'' => in_quote = !in_quote,
             ',' if !in_quote => {
+                // bounds: `start` and `i` are char boundaries ≤ s.len().
                 out.push(s[start..i].trim());
                 start = i + 1;
             }
             _ => {}
         }
     }
+    // bounds: `start` is a char boundary ≤ s.len().
     out.push(s[start..].trim());
     out
 }
@@ -208,8 +210,8 @@ mod tests {
 
     #[test]
     fn parse_basic_and_quoted() {
-        let l = AttrList::parse("file = emp.dat, unique=true, comment='a, ''quoted'' value'")
-            .unwrap();
+        let l =
+            AttrList::parse("file = emp.dat, unique=true, comment='a, ''quoted'' value'").unwrap();
         assert_eq!(l.get("FILE"), Some("emp.dat"));
         assert!(l.get_bool("unique", false).unwrap());
         assert_eq!(l.get("comment"), Some("a, 'quoted' value"));

@@ -1,0 +1,60 @@
+//! Checked little-endian reads from byte buffers.
+//!
+//! Every on-disk structure in the system decodes fixed-width integers
+//! from untrusted byte slices. These helpers return `None` instead of
+//! panicking when the buffer is short, so decoders can surface a typed
+//! `Corrupt` error; the panic-discipline gate (`cargo xtask verify`)
+//! rejects the open-coded `buf[a..b].try_into().unwrap()` form.
+
+/// A fixed-size array copied out of `b` at `off`, or `None` when the
+/// buffer is too short.
+pub fn array<const N: usize>(b: &[u8], off: usize) -> Option<[u8; N]> {
+    b.get(off..off.checked_add(N)?)?.try_into().ok()
+}
+
+/// Little-endian `u16` at `off`.
+pub fn le_u16(b: &[u8], off: usize) -> Option<u16> {
+    array(b, off).map(u16::from_le_bytes)
+}
+
+/// Little-endian `u32` at `off`.
+pub fn le_u32(b: &[u8], off: usize) -> Option<u32> {
+    array(b, off).map(u32::from_le_bytes)
+}
+
+/// Little-endian `u64` at `off`.
+pub fn le_u64(b: &[u8], off: usize) -> Option<u64> {
+    array(b, off).map(u64::from_le_bytes)
+}
+
+/// Little-endian `i64` at `off`.
+pub fn le_i64(b: &[u8], off: usize) -> Option<i64> {
+    array(b, off).map(i64::from_le_bytes)
+}
+
+/// Little-endian `f64` at `off`.
+pub fn le_f64(b: &[u8], off: usize) -> Option<f64> {
+    array(b, off).map(f64::from_le_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_bounds() {
+        let b = 0x0102_0304_0506_0708u64.to_le_bytes();
+        assert_eq!(le_u16(&b, 0), Some(0x0708));
+        assert_eq!(le_u32(&b, 4), Some(0x0102_0304));
+        assert_eq!(le_u64(&b, 0), Some(0x0102_0304_0506_0708));
+        assert_eq!(le_i64(&b, 0), Some(0x0102_0304_0506_0708));
+    }
+
+    #[test]
+    fn short_buffer_yields_none() {
+        let b = [1u8, 2, 3];
+        assert_eq!(le_u32(&b, 0), None);
+        assert_eq!(le_u16(&b, 2), None);
+        assert_eq!(le_u16(&b, usize::MAX), None, "offset overflow is caught");
+    }
+}

@@ -98,7 +98,10 @@ impl fmt::Display for DmxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DmxError::Veto { attachment, reason } => {
-                write!(f, "modification vetoed by attachment {attachment}: {reason}")
+                write!(
+                    f,
+                    "modification vetoed by attachment {attachment}: {reason}"
+                )
             }
             DmxError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
             DmxError::NotFound(m) => write!(f, "not found: {m}"),

@@ -14,12 +14,15 @@
 //! "most obvious interface convention" of the common services environment.
 
 pub mod attr;
+pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod key;
 pub mod record;
 pub mod rect;
 pub mod schema;
+pub mod sync;
+pub mod testrng;
 pub mod value;
 
 pub use attr::AttrList;

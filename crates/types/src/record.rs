@@ -141,11 +141,9 @@ impl<'a> RecordRef<'a> {
             TAG_NULL | TAG_BOOL_FALSE | TAG_BOOL_TRUE => pos + 1,
             TAG_INT | TAG_FLOAT => pos + 9,
             TAG_STR | TAG_BYTES => {
-                let len_bytes = self
-                    .buf
-                    .get(pos + 1..pos + 5)
-                    .ok_or_else(|| DmxError::Corrupt("record truncated at length".into()))?;
-                let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                let len = crate::bytes::le_u32(self.buf, pos + 1)
+                    .ok_or_else(|| DmxError::Corrupt("record truncated at length".into()))?
+                    as usize;
                 pos + 5 + len
             }
             TAG_RECT => pos + 33,
@@ -158,24 +156,27 @@ impl<'a> RecordRef<'a> {
     }
 
     fn decode_at(&self, pos: usize) -> Result<(Value, usize)> {
+        let corrupt = || DmxError::Corrupt("record truncated in payload".into());
         let tag = self.buf[pos];
         let next = self.skip(pos)?;
+        // `skip` bounds-checked `next`, so the reads below only fail on a
+        // buffer raced out from under us; they still go through checked
+        // accessors rather than panicking.
         let v = match tag {
             TAG_NULL => Value::Null,
             TAG_BOOL_FALSE => Value::Bool(false),
             TAG_BOOL_TRUE => Value::Bool(true),
-            TAG_INT => Value::Int(i64::from_le_bytes(self.buf[pos + 1..pos + 9].try_into().unwrap())),
-            TAG_FLOAT => {
-                Value::Float(f64::from_le_bytes(self.buf[pos + 1..pos + 9].try_into().unwrap()))
-            }
+            TAG_INT => Value::Int(crate::bytes::le_i64(self.buf, pos + 1).ok_or_else(corrupt)?),
+            TAG_FLOAT => Value::Float(crate::bytes::le_f64(self.buf, pos + 1).ok_or_else(corrupt)?),
             TAG_STR => {
-                let s = std::str::from_utf8(&self.buf[pos + 5..next])
+                let raw = self.buf.get(pos + 5..next).ok_or_else(corrupt)?;
+                let s = std::str::from_utf8(raw)
                     .map_err(|_| DmxError::Corrupt("string field not utf8".into()))?;
                 Value::Str(s.to_string())
             }
-            TAG_BYTES => Value::Bytes(self.buf[pos + 5..next].to_vec()),
+            TAG_BYTES => Value::Bytes(self.buf.get(pos + 5..next).ok_or_else(corrupt)?.to_vec()),
             TAG_RECT => Value::Rect(
-                Rect::from_bytes(&self.buf[pos + 1..next])
+                Rect::from_bytes(self.buf.get(pos + 1..next).ok_or_else(corrupt)?)
                     .ok_or_else(|| DmxError::Corrupt("bad rect field".into()))?,
             ),
             _ => unreachable!("skip validated the tag"),

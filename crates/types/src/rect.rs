@@ -37,12 +37,18 @@ impl Rect {
 
     /// True when `self` fully contains `other` (the paper's `ENCLOSES`).
     pub fn encloses(&self, other: &Rect) -> bool {
-        self.xlo <= other.xlo && self.xhi >= other.xhi && self.ylo <= other.ylo && self.yhi >= other.yhi
+        self.xlo <= other.xlo
+            && self.xhi >= other.xhi
+            && self.ylo <= other.ylo
+            && self.yhi >= other.yhi
     }
 
     /// True when the rectangles share any point.
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.xlo <= other.xhi && other.xlo <= self.xhi && self.ylo <= other.yhi && other.ylo <= self.yhi
+        self.xlo <= other.xhi
+            && other.xlo <= self.xhi
+            && self.ylo <= other.yhi
+            && other.ylo <= self.yhi
     }
 
     /// Smallest rectangle containing both inputs.
@@ -64,8 +70,10 @@ impl Rect {
     /// Serializes to 32 bytes (4 × f64, little endian).
     pub fn to_bytes(&self) -> [u8; 32] {
         let mut out = [0u8; 32];
+        // bounds: literal ranges into a fixed [u8; 32].
         out[0..8].copy_from_slice(&self.xlo.to_le_bytes());
         out[8..16].copy_from_slice(&self.ylo.to_le_bytes());
+        // bounds: literal ranges into a fixed [u8; 32].
         out[16..24].copy_from_slice(&self.xhi.to_le_bytes());
         out[24..32].copy_from_slice(&self.yhi.to_le_bytes());
         out
@@ -73,15 +81,12 @@ impl Rect {
 
     /// Deserializes from the [`Rect::to_bytes`] format.
     pub fn from_bytes(b: &[u8]) -> Option<Rect> {
-        if b.len() < 32 {
-            return None;
-        }
-        let f = |i: usize| f64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let f = |i: usize| crate::bytes::le_f64(b, i);
         Some(Rect {
-            xlo: f(0),
-            ylo: f(8),
-            xhi: f(16),
-            yhi: f(24),
+            xlo: f(0)?,
+            ylo: f(8)?,
+            xhi: f(16)?,
+            yhi: f(24)?,
         })
     }
 }

@@ -42,6 +42,7 @@ impl Schema {
     /// Builds a schema, rejecting duplicate column names.
     pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
         for (i, c) in columns.iter().enumerate() {
+            // bounds: `i` comes from enumerate() over `columns` itself.
             if columns[..i].iter().any(|p| p.name == c.name) {
                 return Err(DmxError::InvalidArg(format!("duplicate column {}", c.name)));
             }
@@ -95,7 +96,10 @@ impl Schema {
         }
         for (v, c) in values.iter().zip(&self.columns) {
             if v.is_null() && !c.nullable {
-                return Err(DmxError::InvalidArg(format!("column {} is NOT NULL", c.name)));
+                return Err(DmxError::InvalidArg(format!(
+                    "column {} is NOT NULL",
+                    c.name
+                )));
             }
             if !v.conforms_to(c.data_type) {
                 return Err(DmxError::TypeMismatch(format!(
@@ -148,12 +152,13 @@ impl Schema {
             *pos = end;
             Ok(s)
         };
-        let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().map_err(|_| corrupt())?) as usize;
         let mut cols = Vec::with_capacity(n);
         for _ in 0..n {
             let ty = take(&mut pos, 1)?[0];
             let nullable = take(&mut pos, 1)?[0] != 0;
-            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name_len =
+                u16::from_le_bytes(take(&mut pos, 2)?.try_into().map_err(|_| corrupt())?) as usize;
             let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
                 .map_err(|_| DmxError::Corrupt("schema column name not utf8".into()))?;
             let data_type = match ty {

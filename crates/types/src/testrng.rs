@@ -1,0 +1,104 @@
+//! Deterministic pseudo-random generator for tests and simulations.
+//!
+//! The workspace builds without external dependencies, so the randomized
+//! tests that previously used `rand`/`proptest` drive this SplitMix64
+//! generator from fixed seeds instead. Determinism is a feature: a failing
+//! randomized test reproduces exactly from its seed.
+
+/// SplitMix64: tiny, statistically solid for test-input generation, and
+/// trivially seedable. Not for cryptography.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose whole sequence is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-input scale.
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo.wrapping_add(self.below((hi - lo) as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Random byte vector with length in `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.index(max_len + 1);
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = TestRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // and the shuffle actually moved something
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn range_and_bytes_shapes() {
+        let mut r = TestRng::new(11);
+        for _ in 0..200 {
+            let x = r.range_i64(-50, 50);
+            assert!((-50..50).contains(&x));
+            assert!(r.bytes(12).len() <= 12);
+        }
+    }
+}

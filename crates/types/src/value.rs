@@ -137,7 +137,9 @@ impl Value {
         match self {
             Value::Float(x) => Ok(*x),
             Value::Int(i) => Ok(*i as f64),
-            other => Err(DmxError::TypeMismatch(format!("expected FLOAT, got {other}"))),
+            other => Err(DmxError::TypeMismatch(format!(
+                "expected FLOAT, got {other}"
+            ))),
         }
     }
 
@@ -145,7 +147,9 @@ impl Value {
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(DmxError::TypeMismatch(format!("expected BOOL, got {other}"))),
+            other => Err(DmxError::TypeMismatch(format!(
+                "expected BOOL, got {other}"
+            ))),
         }
     }
 
@@ -153,7 +157,9 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(DmxError::TypeMismatch(format!("expected STRING, got {other}"))),
+            other => Err(DmxError::TypeMismatch(format!(
+                "expected STRING, got {other}"
+            ))),
         }
     }
 
@@ -161,7 +167,9 @@ impl Value {
     pub fn as_rect(&self) -> Result<Rect> {
         match self {
             Value::Rect(r) => Ok(*r),
-            other => Err(DmxError::TypeMismatch(format!("expected RECT, got {other}"))),
+            other => Err(DmxError::TypeMismatch(format!(
+                "expected RECT, got {other}"
+            ))),
         }
     }
 
@@ -248,7 +256,10 @@ mod tests {
     fn total_cmp_numeric_merge() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmx_types::sync::Mutex;
 
 use dmx_types::{DmxError, Lsn, Result, TxnId};
 
@@ -56,7 +56,11 @@ impl StableLog {
 
     /// Decodes all durable records in LSN order (restart analysis pass).
     pub fn all(&self) -> Result<Vec<LogRecord>> {
-        self.frames.lock().iter().map(|f| LogRecord::decode(f)).collect()
+        self.frames
+            .lock()
+            .iter()
+            .map(|f| LogRecord::decode(f))
+            .collect()
     }
 }
 

@@ -125,7 +125,12 @@ impl LogRecord {
             Ok(s)
         };
         let u64at = |pos: &mut usize| -> Result<u64> {
-            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+            let b: [u8; 8] = take(pos, 8)?.try_into().map_err(|_| corrupt())?;
+            Ok(u64::from_le_bytes(b))
+        };
+        let u32at = |pos: &mut usize| -> Result<u32> {
+            let b: [u8; 4] = take(pos, 4)?.try_into().map_err(|_| corrupt())?;
+            Ok(u32::from_le_bytes(b))
         };
         let lsn = Lsn(u64at(&mut pos)?);
         let prev_lsn = Lsn(u64at(&mut pos)?);
@@ -138,10 +143,9 @@ impl LogRecord {
             T_SAVEPOINT => LogBody::Savepoint,
             T_EXTOP_SM | T_EXTOP_ATT => {
                 let id = take(&mut pos, 1)?[0];
-                let relation =
-                    RelationId(u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
+                let relation = RelationId(u32at(&mut pos)?);
                 let op = take(&mut pos, 1)?[0];
-                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = u32at(&mut pos)? as usize;
                 let payload = take(&mut pos, len)?.to_vec();
                 LogBody::ExtOp {
                     ext: if tag == T_EXTOP_SM {
@@ -158,7 +162,7 @@ impl LogRecord {
                 undo_next: Lsn(u64at(&mut pos)?),
             },
             T_INTENT => {
-                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = u32at(&mut pos)? as usize;
                 LogBody::DeferredIntent {
                     payload: take(&mut pos, len)?.to_vec(),
                 }

@@ -158,8 +158,8 @@ mod tests {
     use super::*;
     use crate::log::StableLog;
     use crate::record::ExtKind;
+    use dmx_types::sync::Mutex;
     use dmx_types::{RelationId, SmTypeId};
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     /// A handler that applies ops to a shadow counter set: op payload [n]
@@ -353,13 +353,7 @@ mod tests {
             // Simulate a crash after undoing only op 3: write one CLR by
             // hand, force, then "crash".
             sh.undo(&log.record(lsns[2]).unwrap()).unwrap();
-            log.append(
-                txn,
-                last,
-                LogBody::Clr {
-                    undo_next: lsns[1],
-                },
-            );
+            log.append(txn, last, LogBody::Clr { undo_next: lsns[1] });
             log.force_all().unwrap();
         }
         let log = LogManager::open(stable);

@@ -1,0 +1,193 @@
+//! The checked-in violation allowlist (`crates/xtask/allow.toml`).
+//!
+//! The file is a deliberately small TOML subset (array-of-tables with
+//! string/integer scalar keys) parsed by hand so the analyzer itself
+//! stays dependency-free. The contract is ratchet-shaped: every entry
+//! must carry a justification, the recorded count must match the source
+//! exactly (an entry larger than reality is stale and fails the pass),
+//! and new panic sites fail the pass because nothing adds entries
+//! automatically.
+
+use std::fs;
+use std::path::Path;
+
+/// One `[[panic]]` entry: `count` tolerated occurrences of `token` in
+/// `path`, with a mandatory human justification.
+#[derive(Debug, Clone)]
+pub struct PanicAllow {
+    pub path: String,
+    pub token: String,
+    pub count: usize,
+    pub reason: String,
+    /// Line in allow.toml (for error messages).
+    pub line: usize,
+}
+
+/// One `[[unsafe-module]]` entry: a module allowed to contain `unsafe`
+/// blocks (each block still needs its own `// SAFETY:` comment).
+#[derive(Debug, Clone)]
+pub struct UnsafeAllow {
+    pub path: String,
+    pub reason: String,
+    pub line: usize,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub panics: Vec<PanicAllow>,
+    pub unsafe_modules: Vec<UnsafeAllow>,
+}
+
+impl Allowlist {
+    /// Loads `path`; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        if !path.exists() {
+            return Ok(Allowlist::default());
+        }
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+enum Section {
+    None,
+    Panic,
+    UnsafeModule,
+}
+
+fn parse(text: &str) -> Result<Allowlist, String> {
+    let mut out = Allowlist::default();
+    let mut section = Section::None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[[panic]]" => {
+                section = Section::Panic;
+                out.panics.push(PanicAllow {
+                    path: String::new(),
+                    token: String::new(),
+                    count: 0,
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            "[[unsafe-module]]" => {
+                section = Section::UnsafeModule;
+                out.unsafe_modules.push(UnsafeAllow {
+                    path: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            _ => {}
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section {line}"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected key = value"))?;
+        let key = key.trim();
+        let value = value.trim();
+        match section {
+            Section::Panic => {
+                let entry = out
+                    .panics
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: key outside [[panic]]"))?;
+                match key {
+                    "path" => entry.path = unquote(value, lineno)?,
+                    "token" => entry.token = unquote(value, lineno)?,
+                    "count" => {
+                        entry.count = value
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: bad count {value}"))?
+                    }
+                    "reason" => entry.reason = unquote(value, lineno)?,
+                    _ => return Err(format!("line {lineno}: unknown key {key}")),
+                }
+            }
+            Section::UnsafeModule => {
+                let entry = out
+                    .unsafe_modules
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: key outside [[unsafe-module]]"))?;
+                match key {
+                    "path" => entry.path = unquote(value, lineno)?,
+                    "reason" => entry.reason = unquote(value, lineno)?,
+                    _ => return Err(format!("line {lineno}: unknown key {key}")),
+                }
+            }
+            Section::None => {
+                return Err(format!("line {lineno}: key before any [[section]]"));
+            }
+        }
+    }
+    for e in &out.panics {
+        if e.path.is_empty() || e.token.is_empty() || e.count == 0 {
+            return Err(format!(
+                "line {}: [[panic]] entry needs path, token and count >= 1",
+                e.line
+            ));
+        }
+    }
+    for e in &out.unsafe_modules {
+        if e.path.is_empty() {
+            return Err(format!(
+                "line {}: [[unsafe-module]] entry needs path",
+                e.line
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("line {lineno}: expected quoted string, got {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_sections() {
+        let text = r##"
+# header comment
+[[panic]]
+path = "crates/a/src/x.rs"
+token = "unwrap"
+count = 3
+reason = "legacy decode path"
+
+[[unsafe-module]]
+path = "crates/b/src/raw.rs"
+reason = "page aliasing"
+"##;
+        let a = parse(text).expect("parses");
+        assert_eq!(a.panics.len(), 1);
+        assert_eq!(a.panics[0].count, 3);
+        assert_eq!(a.unsafe_modules[0].path, "crates/b/src/raw.rs");
+    }
+
+    #[test]
+    fn rejects_incomplete_entries() {
+        assert!(parse("[[panic]]\npath = \"x\"\n").is_err());
+        assert!(parse("[[unsafe-module]]\nreason = \"r\"\n").is_err());
+        assert!(parse("stray = \"v\"\n").is_err());
+        assert!(parse("[panic]\n").is_err());
+    }
+}

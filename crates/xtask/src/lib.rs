@@ -1,0 +1,64 @@
+//! `xtask` — the workspace's static-analysis gate.
+//!
+//! `cargo xtask verify` (alias for `cargo run -p xtask -- verify`) runs
+//! a source-level analysis over the workspace and fails on any violation
+//! of the architecture's checked invariants:
+//!
+//! 1. panic discipline in runtime crates (shrinking allowlist in
+//!    `crates/xtask/allow.toml`);
+//! 2. audited `unsafe` (allowlisted module + `// SAFETY:` comment);
+//! 3. the crate-layering DAG and the std-only dependency rule;
+//! 4. extension-contract conformance for registered storage methods and
+//!    attachment types.
+//!
+//! The analysis is deliberately lexical (file walking plus token
+//! scanning on comment-stripped source): it needs no network, no
+//! rustc internals, and runs in milliseconds, so it can gate every
+//! build. See DESIGN.md § "Checked invariants".
+
+pub mod allowlist;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+use allowlist::Allowlist;
+use rules::Violation;
+use scan::{rust_files, SourceFile};
+
+/// Runs every rule family against the workspace at `root`.
+/// Returns violations (empty = pass); `Err` for I/O or allowlist-syntax
+/// failures.
+pub fn verify(root: &Path) -> Result<Vec<Violation>, String> {
+    let allow = Allowlist::load(&root.join("crates/xtask/allow.toml"))?;
+
+    // Load runtime-crate sources once; all source-level rules share them.
+    let mut files: Vec<SourceFile> = Vec::new();
+    for krate in rules::RUNTIME_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for (abs, rel) in rust_files(root, &src)? {
+            files.push(SourceFile::load(&abs, rel)?);
+        }
+    }
+
+    let mut violations = Vec::new();
+    violations.extend(rules::check_panics(&files, &allow));
+    violations.extend(rules::check_unsafe(&files, &allow));
+    violations.extend(rules::check_layering(root));
+    violations.extend(rules::check_private_paths(&files));
+    violations.extend(rules::check_contracts(&files));
+    violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    Ok(violations)
+}
+
+/// Renders violations in `file:line: [rule] message` form.
+pub fn render(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.path, v.line, v.rule, v.msg));
+    }
+    out
+}

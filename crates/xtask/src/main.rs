@@ -1,0 +1,65 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! Usage: `cargo xtask verify [--root <dir>]`
+//! (`cargo xtask` is an alias for `cargo run -p xtask --`, see
+//! `.cargo/config.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            c if cmd.is_none() && !c.starts_with('-') => {
+                cmd = Some(c.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match cmd.as_deref() {
+        Some("verify") => {}
+        _ => {
+            eprintln!("usage: cargo xtask verify [--root <dir>]");
+            return ExitCode::from(2);
+        }
+    }
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    match xtask::verify(&root) {
+        Ok(v) if v.is_empty() => {
+            println!("xtask verify: all checked invariants hold");
+            ExitCode::SUCCESS
+        }
+        Ok(v) => {
+            print!("{}", xtask::render(&v));
+            eprintln!("xtask verify: {} violation(s)", v.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask verify: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The four rule families of `xtask verify`.
+//!
+//! 1. **Panic discipline** — no `unwrap()` / `expect(` / `panic!` /
+//!    `todo!` / `unimplemented!` and no unjustified range-slicing in
+//!    non-test runtime code, modulo the shrinking allowlist.
+//! 2. **Unsafe audit** — every `unsafe` token lives in an allowlisted
+//!    module and carries a nearby `// SAFETY:` comment.
+//! 3. **Layering** — runtime crates only depend on crates below them in
+//!    the documented DAG, never on external crates, and the extension
+//!    crates never name kernel-internal module paths.
+//! 4. **Extension contracts** — every registered storage method and
+//!    attachment type implements the full generic operation set.
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::path::Path;
+
+use crate::allowlist::Allowlist;
+use crate::scan::SourceFile;
+
+/// One finding. `path` is root-relative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl Violation {
+    fn new(rule: &'static str, path: &str, line: usize, msg: String) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// The crates subject to the panic and layering rules, together with the
+/// set of workspace crates each may depend on (the layering DAG of
+/// DESIGN.md: types → pagestore/wal/lock → txn/btree/expr → core →
+/// storage/attach → query).
+pub const LAYERING: &[(&str, &[&str])] = &[
+    ("types", &[]),
+    ("pagestore", &["dmx-types"]),
+    ("wal", &["dmx-types"]),
+    ("lock", &["dmx-types"]),
+    ("txn", &["dmx-types", "dmx-wal"]),
+    ("btree", &["dmx-types", "dmx-page"]),
+    ("expr", &["dmx-types"]),
+    (
+        "core",
+        &[
+            "dmx-types",
+            "dmx-page",
+            "dmx-wal",
+            "dmx-lock",
+            "dmx-txn",
+            "dmx-expr",
+            "dmx-btree",
+        ],
+    ),
+    (
+        "storage",
+        &[
+            "dmx-types",
+            "dmx-page",
+            "dmx-wal",
+            "dmx-lock",
+            "dmx-txn",
+            "dmx-expr",
+            "dmx-btree",
+            "dmx-core",
+        ],
+    ),
+    (
+        "attach",
+        &[
+            "dmx-types",
+            "dmx-page",
+            "dmx-wal",
+            "dmx-lock",
+            "dmx-txn",
+            "dmx-expr",
+            "dmx-btree",
+            "dmx-core",
+        ],
+    ),
+    (
+        "query",
+        &[
+            "dmx-types",
+            "dmx-page",
+            "dmx-wal",
+            "dmx-lock",
+            "dmx-txn",
+            "dmx-expr",
+            "dmx-btree",
+            "dmx-core",
+            "dmx-storage",
+            "dmx-attach",
+        ],
+    ),
+];
+
+/// Crates whose non-test code must be panic-free (rule 1). `types` is
+/// included: it is below everything and its panics would surface
+/// everywhere.
+pub const RUNTIME_CRATES: &[&str] = &[
+    "types",
+    "pagestore",
+    "wal",
+    "lock",
+    "txn",
+    "btree",
+    "expr",
+    "core",
+    "storage",
+    "attach",
+    "query",
+];
+
+const PANIC_TOKENS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!", "panic"),
+    ("todo!", "todo"),
+    ("unimplemented!", "unimplemented"),
+];
+
+// ---------------------------------------------------------------------
+// Rule 1: panic discipline
+// ---------------------------------------------------------------------
+
+/// Scans `files` (runtime-crate sources) for banned panic tokens and
+/// unjustified range-slicing, then reconciles the hits against the
+/// allowlist: uncovered hits are violations, and so are allowlist
+/// entries whose recorded count no longer matches the source (the
+/// ratchet must shrink explicitly, not rot).
+pub fn check_panics(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (path, token) -> (count, first lines)
+    let mut hits: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for f in files {
+        for (i, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for (needle, token) in PANIC_TOKENS {
+                let mut n = 0;
+                let mut rest = line.code.as_str();
+                while let Some(p) = rest.find(needle) {
+                    n += 1;
+                    rest = &rest[p + needle.len()..];
+                }
+                // `debug_assert!`-style macros are fine; `panic!` inside
+                // their message strings was already blanked by the lexer.
+                for _ in 0..n {
+                    hits.entry((f.rel.clone(), token.to_string()))
+                        .or_default()
+                        .push(i + 1);
+                }
+            }
+            for col in slice_sites(&line.code) {
+                if !slice_justified(f, i) {
+                    let _ = col;
+                    hits.entry((f.rel.clone(), "slice-index".to_string()))
+                        .or_default()
+                        .push(i + 1);
+                }
+            }
+        }
+    }
+    let mut allowed: HashMap<(String, String), usize> = HashMap::new();
+    for e in &allow.panics {
+        if e.reason.trim().is_empty() {
+            out.push(Violation::new(
+                "panic-allowlist",
+                "crates/xtask/allow.toml",
+                e.line,
+                format!("entry for {}:{} has no justification", e.path, e.token),
+            ));
+        }
+        *allowed
+            .entry((e.path.clone(), e.token.clone()))
+            .or_default() += e.count;
+    }
+    let mut keys: Vec<_> = hits.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let lines = &hits[&key];
+        let allow_n = allowed.remove(&key).unwrap_or(0);
+        if lines.len() > allow_n {
+            for l in lines.iter().skip(allow_n) {
+                out.push(Violation::new(
+                    "panic",
+                    &key.0,
+                    *l,
+                    format!(
+                        "`{}` in non-test runtime code (allowlisted: {allow_n}, found: {})",
+                        key.1,
+                        lines.len()
+                    ),
+                ));
+            }
+        } else if lines.len() < allow_n {
+            out.push(Violation::new(
+                "panic-allowlist",
+                "crates/xtask/allow.toml",
+                0,
+                format!(
+                    "stale entry: {}:{} allows {allow_n} but source has {} — shrink the allowlist",
+                    key.0,
+                    key.1,
+                    lines.len()
+                ),
+            ));
+        }
+    }
+    // Entries whose file/token produced no hits at all are stale too.
+    for ((path, token), n) in allowed {
+        out.push(Violation::new(
+            "panic-allowlist",
+            "crates/xtask/allow.toml",
+            0,
+            format!("stale entry: {path}:{token} allows {n} but source has 0 — remove it"),
+        ));
+    }
+    out
+}
+
+/// Byte columns of range-slicing subscripts (`x[a..b]`, `x[..n]`) in a
+/// code line. Subscript position = `[` preceded by an identifier char,
+/// `)`, or `]`; the bracket content must contain `..` and no `;` (which
+/// would make it an array type/repeat expression).
+fn slice_sites(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..b.len() {
+        if b[i] != b'[' || i == 0 {
+            continue;
+        }
+        let prev = b[i - 1] as char;
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        // find the matching bracket on this line (subscripts are short)
+        let mut depth = 0;
+        let mut end = None;
+        for (j, &c) in b.iter().enumerate().skip(i) {
+            if c == b'[' {
+                depth += 1;
+            } else if c == b']' {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(j);
+                    break;
+                }
+            }
+        }
+        let Some(end) = end else { continue };
+        let inner = &code[i + 1..end];
+        if inner.contains("..") && !inner.contains(';') {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// A range-slice is justified by a comment containing "bounds" on the
+/// same line or within the two lines above (e.g. `// bounds: header
+/// length validated by the checksum above`).
+fn slice_justified(f: &SourceFile, idx: usize) -> bool {
+    let lo = idx.saturating_sub(2);
+    f.lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.to_ascii_lowercase().contains("bounds"))
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: unsafe audit
+// ---------------------------------------------------------------------
+
+/// Every `unsafe` token must live in an allowlisted module and carry a
+/// `// SAFETY:` comment on the same line or within three lines above.
+pub fn check_unsafe(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let allowed: HashSet<&str> = allow
+        .unsafe_modules
+        .iter()
+        .map(|e| e.path.as_str())
+        .collect();
+    let mut used: HashSet<String> = HashSet::new();
+    for f in files {
+        for (i, line) in f.lines.iter().enumerate() {
+            if !has_word(&line.code, "unsafe") {
+                continue;
+            }
+            used.insert(f.rel.clone());
+            if !allowed.contains(f.rel.as_str()) {
+                out.push(Violation::new(
+                    "unsafe",
+                    &f.rel,
+                    i + 1,
+                    "`unsafe` outside the allowlisted modules in allow.toml".to_string(),
+                ));
+            }
+            let lo = i.saturating_sub(3);
+            let justified = f.lines[lo..=i]
+                .iter()
+                .any(|l| l.comment.contains("SAFETY:"));
+            if !justified {
+                out.push(Violation::new(
+                    "unsafe",
+                    &f.rel,
+                    i + 1,
+                    "`unsafe` without a `// SAFETY:` comment".to_string(),
+                ));
+            }
+        }
+    }
+    for e in &allow.unsafe_modules {
+        if !used.contains(&e.path) {
+            out.push(Violation::new(
+                "unsafe-allowlist",
+                "crates/xtask/allow.toml",
+                e.line,
+                format!(
+                    "stale entry: {} contains no unsafe code — remove it",
+                    e.path
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    let b = code.as_bytes();
+    let mut start = 0;
+    while let Some(p) = code[start..].find(word) {
+        let at = start + p;
+        let before_ok = at == 0 || {
+            let c = b[at - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let after = at + word.len();
+        let after_ok = after >= b.len() || {
+            let c = b[after] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: layering
+// ---------------------------------------------------------------------
+
+/// Verifies the dependency DAG from each crate's `Cargo.toml` and the
+/// std-only constraint (no external crates anywhere in runtime crates,
+/// dev-dependencies included — the workspace must resolve offline).
+pub fn check_layering(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (krate, allowed) in LAYERING {
+        let rel = format!("crates/{krate}/Cargo.toml");
+        let path = root.join(&rel);
+        if !path.exists() {
+            continue;
+        }
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(Violation::new(
+                    "layering",
+                    &rel,
+                    0,
+                    format!("unreadable: {e}"),
+                ));
+                continue;
+            }
+        };
+        let allowed: HashSet<&str> = allowed.iter().copied().collect();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                section = line.to_string();
+                continue;
+            }
+            let dep_section = matches!(
+                section.as_str(),
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            if !dep_section || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name, _)) = line.split_once('=') else {
+                continue;
+            };
+            // `dmx-types.workspace = true` — the dep name is the part
+            // before the first dot.
+            let name = name.trim().trim_matches('"');
+            let name = name.split('.').next().unwrap_or(name);
+            if let Some(dep) = name.strip_prefix("dmx-") {
+                let _ = dep;
+                if section == "[dependencies]" && !allowed.contains(name) {
+                    out.push(Violation::new(
+                        "layering",
+                        &rel,
+                        i + 1,
+                        format!(
+                            "crate `{krate}` must not depend on `{name}` (layering DAG: {})",
+                            if allowed.is_empty() {
+                                "no workspace deps".to_string()
+                            } else {
+                                let mut v: Vec<_> = allowed.iter().copied().collect();
+                                v.sort();
+                                v.join(", ")
+                            }
+                        ),
+                    ));
+                }
+            } else {
+                out.push(Violation::new(
+                    "layering",
+                    &rel,
+                    i + 1,
+                    format!(
+                        "external dependency `{name}` in runtime crate `{krate}` — the \
+                         workspace is std-only (put tooling deps in the excluded bench crate)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Extension crates must reach the kernel only through the generic trait
+/// surface re-exported at `dmx_core::` root — naming `dmx_core::database::`
+/// or `dmx_core::catalog::` module paths is a contract violation.
+pub fn check_private_paths(files: &[SourceFile]) -> Vec<Violation> {
+    const DENIED: &[&str] = &["dmx_core::database::", "dmx_core::catalog::"];
+    let mut out = Vec::new();
+    for f in files {
+        if !(f.rel.starts_with("crates/storage/") || f.rel.starts_with("crates/attach/")) {
+            continue;
+        }
+        for (i, line) in f.lines.iter().enumerate() {
+            for d in DENIED {
+                if line.code.contains(d) {
+                    out.push(Violation::new(
+                        "private-path",
+                        &f.rel,
+                        i + 1,
+                        format!(
+                            "extension crate names kernel-internal path `{d}` — use the \
+                             generic interface re-exports at `dmx_core::` root"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: extension-contract conformance
+// ---------------------------------------------------------------------
+
+/// Methods every registered storage method must implement — the full
+/// generic operation set including cost estimation (`estimate`).
+pub const STORAGE_OPS: &[&str] = &[
+    "name",
+    "validate_params",
+    "create_instance",
+    "destroy_instance",
+    "insert",
+    "update",
+    "delete",
+    "fetch",
+    "open_scan",
+    "estimate",
+    "undo",
+];
+
+/// Methods every registered attachment must implement — including the
+/// veto-capable side-effect entry points (`on_insert`/`on_update`/
+/// `on_delete`) and undo.
+pub const ATTACH_OPS: &[&str] = &[
+    "name",
+    "validate_params",
+    "create_instance",
+    "destroy_instance",
+    "on_insert",
+    "on_update",
+    "on_delete",
+    "undo",
+];
+
+/// Checks that every type registered in the extension crate's `lib.rs`
+/// has a trait impl carrying the complete operation set.
+pub fn check_contracts(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(check_contract_side(
+        files,
+        "crates/storage/src/lib.rs",
+        "register_storage_method",
+        "StorageMethod",
+        STORAGE_OPS,
+    ));
+    out.extend(check_contract_side(
+        files,
+        "crates/attach/src/lib.rs",
+        "register_attachment",
+        "Attachment",
+        ATTACH_OPS,
+    ));
+    out
+}
+
+fn check_contract_side(
+    files: &[SourceFile],
+    lib_rel: &str,
+    register_fn: &str,
+    trait_name: &str,
+    required: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(lib) = files.iter().find(|f| f.rel == lib_rel) else {
+        return out; // crate absent (fixture trees)
+    };
+    // 1. collect registered type names from `register_x(Arc::new(Type...))`
+    let mut registered: Vec<(String, usize)> = Vec::new();
+    for (i, line) in lib.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(p) = code.find(register_fn) else {
+            continue;
+        };
+        let rest = &code[p..];
+        let Some(a) = rest.find("Arc::new(") else {
+            continue;
+        };
+        let ident: String = rest[a + "Arc::new(".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            registered.push((ident, i + 1));
+        }
+    }
+    // 2. for each, find the trait impl anywhere in the crate and collect
+    //    its top-level fn names by brace matching.
+    let crate_prefix = lib_rel.trim_end_matches("lib.rs");
+    for (ty, reg_line) in registered {
+        let mut found_impl = false;
+        for f in files.iter().filter(|f| f.rel.starts_with(crate_prefix)) {
+            let Some(fns) = impl_fns(f, trait_name, &ty) else {
+                continue;
+            };
+            found_impl = true;
+            let missing: Vec<&str> = required
+                .iter()
+                .copied()
+                .filter(|m| !fns.contains(&m.to_string()))
+                .collect();
+            if !missing.is_empty() {
+                out.push(Violation::new(
+                    "contract",
+                    &f.rel,
+                    0,
+                    format!(
+                        "`impl {trait_name} for {ty}` is missing generic operations: {}",
+                        missing.join(", ")
+                    ),
+                ));
+            }
+        }
+        if !found_impl {
+            out.push(Violation::new(
+                "contract",
+                lib_rel,
+                reg_line,
+                format!("registered type `{ty}` has no `impl {trait_name} for {ty}` in the crate"),
+            ));
+        }
+    }
+    out
+}
+
+/// Top-level `fn` names inside `impl <Trait> for <Ty>`, or `None` when
+/// the file has no such impl.
+fn impl_fns(f: &SourceFile, trait_name: &str, ty: &str) -> Option<Vec<String>> {
+    // Find the impl header line; tolerate generics on the trait.
+    let mut start = None;
+    'outer: for (i, line) in f.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(p) = code.find("impl") else { continue };
+        let rest = &code[p..];
+        if rest.contains(trait_name) && rest.contains(" for ") {
+            // exact type-name match after `for`
+            if let Some(fp) = rest.find(" for ") {
+                let after: String = rest[fp + 5..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if after == ty {
+                    start = Some(i);
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let start = start?;
+    let mut fns = Vec::new();
+    let mut depth = 0i32;
+    let mut entered = false;
+    for line in &f.lines[start..] {
+        let code = &line.code;
+        if entered && depth == 1 {
+            // top level of the impl body: collect `fn name`
+            let mut rest = code.as_str();
+            while let Some(p) = rest.find("fn ") {
+                let word_ok = p == 0 || {
+                    let c = rest.as_bytes()[p - 1] as char;
+                    !(c.is_alphanumeric() || c == '_')
+                };
+                if word_ok {
+                    let name: String = rest[p + 3..]
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        fns.push(name);
+                    }
+                }
+                rest = &rest[p + 3..];
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if entered && depth == 0 {
+                        return Some(fns);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-test-{}-{}",
+            std::process::id(),
+            rel.replace('/', "_")
+        ));
+        std::fs::write(&dir, src).expect("write temp");
+        let f = SourceFile::load(&dir, rel.to_string()).expect("load");
+        let _ = std::fs::remove_file(&dir);
+        f
+    }
+
+    #[test]
+    fn panic_tokens_found_outside_tests_only() {
+        let f = sf(
+            "crates/wal/src/log.rs",
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n",
+        );
+        let v = check_panics(&[f], &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn slice_needs_bounds_comment() {
+        let with = sf(
+            "crates/wal/src/a.rs",
+            "// bounds: header checked above\nlet y = &buf[4..8];\n",
+        );
+        let without = sf("crates/wal/src/b.rs", "let y = &buf[4..8];\n");
+        assert!(check_panics(&[with], &Allowlist::default()).is_empty());
+        let v = check_panics(&[without], &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("slice-index"));
+    }
+
+    #[test]
+    fn array_types_and_attrs_are_not_slices() {
+        let f = sf(
+            "crates/wal/src/c.rs",
+            "let a: [u8; 4] = [0; 4];\n#[cfg(feature = \"x\")]\nlet m = map[key];\n",
+        );
+        assert!(check_panics(&[f], &Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_and_allowlisting() {
+        let f = sf("crates/pagestore/src/raw.rs", "unsafe { do_it() }\n");
+        let v = check_unsafe(&[f], &Allowlist::default());
+        assert_eq!(v.len(), 2, "both unallowlisted and uncommented: {v:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests for the verify pass over the miniature workspace
+//! trees in `tests/fixtures/`. The clean tree must produce zero
+//! violations; the violations tree must fire every rule family; and a
+//! shrink-only allowlist must flag entries the source has outgrown.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use xtask::rules::Violation;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> Vec<Violation> {
+    xtask::verify(&fixture(name)).expect("verify runs on fixture tree")
+}
+
+#[test]
+fn clean_tree_passes() {
+    let v = run("clean");
+    assert!(
+        v.is_empty(),
+        "clean fixture should have no violations, got:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn violation_tree_fires_every_rule_family() {
+    let v = run("violations");
+    let rules: BTreeSet<&str> = v.iter().map(|x| x.rule).collect();
+    for expected in [
+        "panic",
+        "panic-allowlist",
+        "unsafe",
+        "layering",
+        "private-path",
+        "contract",
+    ] {
+        assert!(
+            rules.contains(expected),
+            "rule `{expected}` did not fire; got:\n{}",
+            xtask::render(&v)
+        );
+    }
+}
+
+#[test]
+fn panic_rule_reports_unwrap_and_unjustified_slice() {
+    let v = run("violations");
+    let panics: Vec<&Violation> = v
+        .iter()
+        .filter(|x| x.rule == "panic" && x.path == "crates/types/src/lib.rs")
+        .collect();
+    assert!(
+        panics.iter().any(|x| x.msg.contains("`unwrap`")),
+        "unwrap not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        panics.iter().any(|x| x.msg.contains("`slice-index`")),
+        "unjustified range slice not reported:\n{}",
+        xtask::render(&v)
+    );
+    // The stale-covered `.expect(` must NOT surface as a panic violation
+    // (its allowlist entry still covers it; only the count is stale).
+    assert!(
+        !panics.iter().any(|x| x.msg.contains("`expect`")),
+        "allow-covered expect wrongly reported:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_pass() {
+    let v = run("violations");
+    let stale: Vec<&Violation> = v.iter().filter(|x| x.rule == "panic-allowlist").collect();
+    // Entry whose count (3) exceeds the single remaining site.
+    assert!(
+        stale
+            .iter()
+            .any(|x| x.msg.contains("crates/types/src/lib.rs:expect") && x.msg.contains("shrink")),
+        "over-counted entry not flagged:\n{}",
+        xtask::render(&v)
+    );
+    // Entry covering a file with no hits at all.
+    assert!(
+        stale
+            .iter()
+            .any(|x| x.msg.contains("crates/wal/src/gone.rs:unwrap") && x.msg.contains("remove")),
+        "entry for vanished file not flagged:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn unsafe_rule_requires_safety_comment_and_allowlisted_module() {
+    let v = run("violations");
+    let msgs: Vec<&str> = v
+        .iter()
+        .filter(|x| x.rule == "unsafe")
+        .map(|x| x.msg.as_str())
+        .collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("SAFETY")),
+        "missing SAFETY comment not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("allowlisted")),
+        "un-allowlisted module not reported:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn layering_rule_rejects_external_and_upward_deps() {
+    let v = run("violations");
+    let layering: Vec<&Violation> = v.iter().filter(|x| x.rule == "layering").collect();
+    assert!(
+        layering.iter().any(|x| x.msg.contains("serde")),
+        "external dependency not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        layering.iter().any(|x| x.msg.contains("dmx-core")),
+        "upward dependency from `types` not reported:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn contract_rule_reports_missing_ops_and_missing_impls() {
+    let v = run("violations");
+    let contracts: Vec<&Violation> = v.iter().filter(|x| x.rule == "contract").collect();
+    assert!(
+        contracts
+            .iter()
+            .any(|x| x.msg.contains("Partial") && x.msg.contains("estimate")),
+        "missing storage ops (incl. cost estimation) not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        contracts
+            .iter()
+            .any(|x| x.msg.contains("Ghost") && x.msg.contains("no `impl")),
+        "registered type without impl not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        contracts
+            .iter()
+            .any(|x| x.msg.contains("Half") && x.msg.contains("on_update")),
+        "missing attachment entry points not reported:\n{}",
+        xtask::render(&v)
+    );
+}

@@ -1,0 +1,21 @@
+//! Clean fixture: a registered attachment with every veto-capable
+//! entry point and undo.
+
+pub fn register(reg: &mut Registry) {
+    reg.register_attachment(Arc::new(Watcher));
+}
+
+pub struct Watcher;
+
+impl Attachment for Watcher {
+    fn name(&self) -> &str {
+        "watcher"
+    }
+    fn validate_params(&self) {}
+    fn create_instance(&self) {}
+    fn destroy_instance(&self) {}
+    fn on_insert(&self) {}
+    fn on_update(&self) {}
+    fn on_delete(&self) {}
+    fn undo(&self) {}
+}

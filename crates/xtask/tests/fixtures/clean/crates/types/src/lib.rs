@@ -1,0 +1,34 @@
+//! Clean fixture: every checked invariant is satisfied here.
+//!
+//! Not compiled — scanned by the verify pass in xtask's fixture tests.
+
+/// Allowlisted in allow.toml (count = 1, with a reason).
+pub fn base_ten() -> u32 {
+    "10".parse().unwrap()
+}
+
+/// A justified range slice.
+pub fn header(buf: &[u8]) -> &[u8] {
+    // bounds: callers validate an 8-byte header before decoding.
+    &buf[..8]
+}
+
+/// An audited unsafe block in an allowlisted module.
+pub fn read_raw(p: *const u8, len: usize) -> u8 {
+    if len == 0 {
+        return 0;
+    }
+    // SAFETY: len > 0 was checked above, so `p` points at one readable byte.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let s = "abc";
+        assert_eq!(&s.as_bytes()[0..2], b"ab");
+    }
+}

@@ -1,0 +1,23 @@
+//! Violation fixture: panic discipline and unsafe audit offences.
+//!
+//! Not compiled — scanned by the verify pass in xtask's fixture tests.
+
+/// Un-allowlisted `.unwrap()` in non-test runtime code.
+pub fn first(v: &[u8]) -> u8 {
+    *v.iter().next().unwrap()
+}
+
+/// Covered by a stale allowlist entry (count = 3, source has 1).
+pub fn must(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+/// Unjustified range slice (no justification comment above it).
+pub fn middle(v: &[u8]) -> &[u8] {
+    &v[1..3]
+}
+
+/// Unaudited pointer read, in a module the allowlist does not cover.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -55,7 +55,10 @@ fn main() -> Result<()> {
     )?;
     let before = mars.round_trips();
     for code in 1..=4 {
-        db.execute_sql(&format!("INSERT INTO mars_inventory VALUES ({code}, {})", code * 10))?;
+        db.execute_sql(&format!(
+            "INSERT INTO mars_inventory VALUES ({code}, {})",
+            code * 10
+        ))?;
     }
     println!(
         "\nforeign relation loaded; {} simulated round trips to '{}'",
@@ -81,9 +84,6 @@ fn main() -> Result<()> {
     for r in &rows {
         println!("  {}: {}", r[0], r[1]);
     }
-    println!(
-        "\ntotal round trips to mars so far: {}",
-        mars.round_trips()
-    );
+    println!("\ntotal round trips to mars so far: {}", mars.round_trips());
     Ok(())
 }

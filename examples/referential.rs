@@ -56,7 +56,10 @@ fn main() -> Result<()> {
         db.execute_sql(&format!("INSERT INTO dept VALUES ({d}, 'dept{d}')"))?;
     }
     for e in 0..30 {
-        db.execute_sql(&format!("INSERT INTO employee VALUES ({e}, 'emp{e}', {})", e % 3))?;
+        db.execute_sql(&format!(
+            "INSERT INTO employee VALUES ({e}, 'emp{e}', {})",
+            e % 3
+        ))?;
         for p in 0..2 {
             db.execute_sql(&format!(
                 "INSERT INTO assignment VALUES ({}, {e}, 'proj{p}')",
@@ -64,7 +67,10 @@ fn main() -> Result<()> {
             ))?;
         }
     }
-    println!("before: (depts, employees, assignments) = {:?}", counts(&db)?);
+    println!(
+        "before: (depts, employees, assignments) = {:?}",
+        counts(&db)?
+    );
 
     // insertion against a missing parent is vetoed
     let err = db.execute_sql("INSERT INTO employee VALUES (99, 'lost', 42)");

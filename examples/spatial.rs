@@ -13,9 +13,7 @@ use starburst_dmx::prelude::*;
 fn main() -> Result<()> {
     let db = starburst_dmx::open_default()?;
 
-    db.execute_sql(
-        "CREATE TABLE parcels (id INT NOT NULL, owner STRING NOT NULL, area RECT)",
-    )?;
+    db.execute_sql("CREATE TABLE parcels (id INT NOT NULL, owner STRING NOT NULL, area RECT)")?;
     db.execute_sql("CREATE INDEX parcels_area ON parcels USING rtree (area)")?;
 
     // a 50x40 grid of 2000 parcels, each 80x80 with a 20-unit road gap
@@ -45,9 +43,8 @@ fn main() -> Result<()> {
     }
 
     // Window query: everything inside a survey window.
-    let rows = db.query_sql(
-        "SELECT COUNT(*) FROM parcels WHERE RECT(0, 0, 480, 480) ENCLOSES area",
-    )?;
+    let rows =
+        db.query_sql("SELECT COUNT(*) FROM parcels WHERE RECT(0, 0, 480, 480) ENCLOSES area")?;
     println!("\nparcels fully inside the survey window: {}", rows[0][0]);
 
     // Overlap: which parcels does a proposed pipeline cross?
@@ -62,9 +59,11 @@ fn main() -> Result<()> {
 
     // Updates keep the spatial index current (attachment maintenance).
     db.execute_sql("UPDATE parcels SET area = RECT(0, 150, 80, 230) WHERE id = 0")?;
-    let rows = db.query_sql(
-        "SELECT COUNT(*) FROM parcels WHERE area INTERSECTS RECT(0, 150, 500, 170)",
-    )?;
-    println!("after moving parcel 0 onto the route: {} crossings", rows[0][0]);
+    let rows =
+        db.query_sql("SELECT COUNT(*) FROM parcels WHERE area INTERSECTS RECT(0, 150, 500, 170)")?;
+    println!(
+        "after moving parcel 0 onto the route: {} crossings",
+        rows[0][0]
+    );
     Ok(())
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# One-command gate for the workspace: formatting, the static-analysis
+# verify pass, an offline release build, and the test suite. CI and
+# pre-push hooks should run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo xtask verify"
+cargo run -q -p xtask -- verify
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "check.sh: all gates passed"

@@ -85,9 +85,7 @@ pub fn open_env(env: DatabaseEnv, config: DatabaseConfig) -> Result<Arc<Database
 /// The most commonly used items, re-exported for examples and downstream
 /// users.
 pub mod prelude {
-    pub use dmx_core::{
-        AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, SpatialOp,
-    };
+    pub use dmx_core::{AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, SpatialOp};
     pub use dmx_query::{QueryResult, Session, SqlExt};
     pub use dmx_types::{
         AttrList, ColumnDef, DataType, DmxError, Record, RecordKey, Rect, RelationId, Result,

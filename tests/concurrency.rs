@@ -19,7 +19,8 @@ fn concurrent_transfers_preserve_invariant() {
     let db = open_db();
     db.execute_sql("CREATE TABLE acct (id INT NOT NULL, bal INT NOT NULL)")
         .unwrap();
-    db.execute_sql("CREATE UNIQUE INDEX acct_pk ON acct (id)").unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX acct_pk ON acct (id)")
+        .unwrap();
     const ACCOUNTS: i64 = 8;
     const START: i64 = 1000;
     for i in 0..ACCOUNTS {
@@ -27,11 +28,11 @@ fn concurrent_transfers_preserve_invariant() {
             .unwrap();
     }
     let deadlocks = Arc::new(AtomicU32::new(0));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..4u64 {
             let db = db.clone();
             let deadlocks = deadlocks.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let sess = Session::new(db);
                 let mut seed = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
                 let mut rng = move || {
@@ -73,13 +74,16 @@ fn concurrent_transfers_preserve_invariant() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let total = db.query_sql("SELECT SUM(bal) FROM acct").unwrap()[0][0]
         .as_int()
         .unwrap();
-    assert_eq!(total, ACCOUNTS * START, "money conserved across {} deadlocks",
-        deadlocks.load(Ordering::Relaxed));
+    assert_eq!(
+        total,
+        ACCOUNTS * START,
+        "money conserved across {} deadlocks",
+        deadlocks.load(Ordering::Relaxed)
+    );
     assert_eq!(db.active_txns(), 0, "no leaked transactions");
 }
 
@@ -89,17 +93,19 @@ fn concurrent_transfers_preserve_invariant() {
 #[test]
 fn deadlock_detected_and_resolved() {
     let db = open_db();
-    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT)").unwrap();
-    db.execute_sql("INSERT INTO t VALUES (1, 0), (2, 0)").unwrap();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT)")
+        .unwrap();
+    db.execute_sql("INSERT INTO t VALUES (1, 0), (2, 0)")
+        .unwrap();
 
     let barrier = Arc::new(std::sync::Barrier::new(2));
-    let outcomes = Arc::new(parking_lot_shim::Mutex::new(Vec::new()));
-    crossbeam::scope(|s| {
+    let outcomes = Arc::new(dmx_types::sync::Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
         for (first, second) in [(1, 2), (2, 1)] {
             let db = db.clone();
             let barrier = barrier.clone();
             let outcomes = outcomes.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let sess = Session::new(db);
                 sess.execute("BEGIN").unwrap();
                 sess.execute(&format!("UPDATE t SET v = v + 1 WHERE id = {first}"))
@@ -114,8 +120,7 @@ fn deadlock_detected_and_resolved() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let outcomes = outcomes.lock().clone();
     assert_eq!(outcomes.len(), 2);
     assert!(
@@ -133,42 +138,39 @@ fn deadlock_detected_and_resolved() {
 #[test]
 fn readers_and_writers_through_indexes() {
     let db = open_db();
-    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL)").unwrap();
-    db.execute_sql("CREATE INDEX t_grp ON t USING btree (grp)").unwrap();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE INDEX t_grp ON t USING btree (grp)")
+        .unwrap();
     for i in 0..200 {
         db.execute_sql(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
             .unwrap();
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         // writers: move records between groups, always in pairs
         for w in 0..2u64 {
             let db = db.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let sess = Session::new(db);
                 for i in 0..25 {
                     let id = (w * 100 + i) % 200;
-                    sess.execute(&format!(
-                        "UPDATE t SET grp = (grp + 1) % 4 WHERE id = {id}"
-                    ))
-                    .unwrap();
+                    sess.execute(&format!("UPDATE t SET grp = (grp + 1) % 4 WHERE id = {id}"))
+                        .unwrap();
                 }
             });
         }
         // readers: group counts must always total 200
         for _ in 0..2 {
             let db = db.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let sess = Session::new(db);
                 for _ in 0..20 {
-                    let rows = sess
-                        .execute("SELECT COUNT(*) FROM t")
-                        .unwrap();
+                    let rows = sess.execute("SELECT COUNT(*) FROM t").unwrap();
                     assert_eq!(rows.rows[0][0], Value::Int(200));
                 }
             });
         }
-    })
-    .unwrap();
+    });
     // final index consistency: counting through the index = through the heap
     let via_index = db
         .query_sql("SELECT COUNT(*) FROM t WHERE grp = 0")
@@ -178,17 +180,4 @@ fn readers_and_writers_through_indexes() {
     let rows = db.query_sql("SELECT grp FROM t").unwrap();
     let brute = rows.iter().filter(|r| r[0] == Value::Int(0)).count() as i64;
     assert_eq!(via_index, brute);
-}
-
-// a tiny shim so the test file doesn't need parking_lot in root deps
-mod parking_lot_shim {
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-    impl<T> Mutex<T> {
-        pub fn new(v: T) -> Self {
-            Mutex(std::sync::Mutex::new(v))
-        }
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().unwrap()
-        }
-    }
 }

@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::sync::RwLock;
 
 use starburst_dmx::core::{
-    AccessPath, Attachment, AttachmentInstance, CommonServices, Database, ExecCtx,
-    KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps, StorageMethod,
+    AccessPath, Attachment, AttachmentInstance, CommonServices, Database, ExecCtx, KeyRange,
+    PathChoice, RelationDescriptor, ScanItem, ScanOps, StorageMethod,
 };
 use starburst_dmx::expr::Expr;
 use starburst_dmx::prelude::*;
@@ -91,12 +91,22 @@ impl StorageMethod for VecStore {
         self.tables.write().unwrap().remove(&token(desc));
         Ok(())
     }
-    fn insert(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, record: &Record) -> Result<RecordKey> {
+    fn insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        record: &Record,
+    ) -> Result<RecordKey> {
         let t = self.table(rd);
         let mut rows = t.write().unwrap();
         rows.push(Some(record.clone()));
         let key = key_of(rows.len() - 1);
-        ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_INS, key.as_bytes().to_vec());
+        ctx.log_ext_op(
+            ExtKind::Storage(rd.sm),
+            rd.id,
+            OP_INS,
+            key.as_bytes().to_vec(),
+        );
         Ok(key)
     }
     fn update(
@@ -119,13 +129,20 @@ impl StorageMethod for VecStore {
         ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_UPD, payload);
         Ok((old, key.clone()))
     }
-    fn delete(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, key: &RecordKey) -> Result<Record> {
+    fn delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+    ) -> Result<Record> {
         let t = self.table(rd);
         let mut rows = t.write().unwrap();
         let slot = rows
             .get_mut(idx_of(key))
             .ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
-        let old = slot.take().ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
+        let old = slot
+            .take()
+            .ok_or_else(|| DmxError::NotFound("vecstore record".into()))?;
         let mut payload = key.as_bytes().to_vec();
         payload.extend_from_slice(&old.encode());
         ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, OP_DEL, payload);
@@ -185,7 +202,13 @@ impl StorageMethod for VecStore {
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
-        let Some(t) = self.tables.read().unwrap().get(&token(&rd.sm_desc)).cloned() else {
+        let Some(t) = self
+            .tables
+            .read()
+            .unwrap()
+            .get(&token(&rd.sm_desc))
+            .cloned()
+        else {
             return Ok(());
         };
         let mut rows = t.write().unwrap();
@@ -236,7 +259,10 @@ impl ScanOps for VecScan {
             }
             let values = match &self.fields {
                 None => rec.values.clone(),
-                Some(ids) => ids.iter().map(|&i| rec.values[i as usize].clone()).collect(),
+                Some(ids) => ids
+                    .iter()
+                    .map(|&i| rec.values[i as usize].clone())
+                    .collect(),
             };
             return Ok(Some(ScanItem {
                 key: key_of(idx),
@@ -264,7 +290,12 @@ struct QuotaGuard {
 }
 
 impl QuotaGuard {
-    fn bump(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor, insts: &[AttachmentInstance]) -> Result<()> {
+    fn bump(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        insts: &[AttachmentInstance],
+    ) -> Result<()> {
         self.invocations.fetch_add(1, Ordering::SeqCst);
         let quota = insts
             .iter()
@@ -278,12 +309,7 @@ impl QuotaGuard {
         }
         *n += 1;
         // log so rollback restores the count
-        ctx.log_ext_op(
-            ExtKind::Attachment(find_self(rd)),
-            rd.id,
-            1,
-            Vec::new(),
-        );
+        ctx.log_ext_op(ExtKind::Attachment(find_self(rd)), rd.id, 1, Vec::new());
         Ok(())
     }
 }
@@ -381,8 +407,10 @@ fn open_with_externals() -> (Arc<Database>, Arc<QuotaGuard>) {
 #[test]
 fn user_defined_storage_method_speaks_full_sql() {
     let (db, _) = open_with_externals();
-    db.execute_sql("CREATE TABLE v (id INT NOT NULL, name STRING) USING vecstore WITH (capacity = 8)")
-        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE v (id INT NOT NULL, name STRING) USING vecstore WITH (capacity = 8)",
+    )
+    .unwrap();
     for i in 0..20 {
         db.execute_sql(&format!("INSERT INTO v VALUES ({i}, 'n{i}')"))
             .unwrap();
@@ -396,7 +424,8 @@ fn user_defined_storage_method_speaks_full_sql() {
         .unwrap();
     db.execute_sql("DELETE FROM v WHERE id >= 10").unwrap();
     assert_eq!(
-        db.query_sql("SELECT COUNT(*) FROM v WHERE name = 'even'").unwrap()[0][0],
+        db.query_sql("SELECT COUNT(*) FROM v WHERE name = 'even'")
+            .unwrap()[0][0],
         Value::Int(5)
     );
     // bad DDL attribute rejected by the extension's validate_params
@@ -408,7 +437,8 @@ fn user_defined_storage_method_speaks_full_sql() {
 #[test]
 fn user_defined_storage_method_honors_rollback() {
     let (db, _) = open_with_externals();
-    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore").unwrap();
+    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore")
+        .unwrap();
     db.execute_sql("INSERT INTO v VALUES (1)").unwrap();
     let sess = Session::new(db.clone());
     sess.execute("BEGIN").unwrap();
@@ -437,7 +467,8 @@ fn user_defined_attachment_vetoes_and_counts_once_per_modification() {
     db.execute_sql("CREATE ATTACHMENT g2 ON t USING audit_count WITH (quota = 100)")
         .unwrap();
     for i in 0..3 {
-        db.execute_sql(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     assert_eq!(
         guard.invocations.load(Ordering::SeqCst),
@@ -457,12 +488,18 @@ fn user_defined_attachment_vetoes_and_counts_once_per_modification() {
 fn user_extensions_compose_with_builtins() {
     // external storage + built-in check constraint + built-in trigger
     let (db, _) = open_with_externals();
-    db.execute_sql("CREATE TABLE audit (event STRING NOT NULL, relation STRING NOT NULL, info STRING)")
+    db.execute_sql(
+        "CREATE TABLE audit (event STRING NOT NULL, relation STRING NOT NULL, info STRING)",
+    )
+    .unwrap();
+    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore")
         .unwrap();
-    db.execute_sql("CREATE TABLE v (id INT NOT NULL) USING vecstore").unwrap();
-    db.execute_sql("CREATE CONSTRAINT pos ON v CHECK (id >= 0)").unwrap();
-    db.execute_sql("CREATE ATTACHMENT aud ON v USING trigger WITH (on = insert, action = 'audit:audit')")
+    db.execute_sql("CREATE CONSTRAINT pos ON v CHECK (id >= 0)")
         .unwrap();
+    db.execute_sql(
+        "CREATE ATTACHMENT aud ON v USING trigger WITH (on = insert, action = 'audit:audit')",
+    )
+    .unwrap();
     db.execute_sql("INSERT INTO v VALUES (5)").unwrap();
     assert!(db.execute_sql("INSERT INTO v VALUES (-5)").is_err());
     assert_eq!(

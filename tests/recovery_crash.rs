@@ -25,10 +25,13 @@ fn fresh() -> (DatabaseEnv, Arc<Database>) {
 #[test]
 fn committed_ddl_and_data_survive_repeated_crashes() {
     let (env, db) = fresh();
-    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v STRING)").unwrap();
-    db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)").unwrap();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v STRING)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)")
+        .unwrap();
     for i in 0..500 {
-        db.execute_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+            .unwrap();
     }
     drop(db);
     // crash and reopen three times; state must be identical every time
@@ -49,23 +52,30 @@ fn committed_ddl_and_data_survive_repeated_crashes() {
 fn losers_across_every_storage_method_are_undone() {
     let (env, db) = fresh();
     db.execute_sql("CREATE TABLE h (id INT NOT NULL)").unwrap();
-    db.execute_sql("CREATE TABLE b (id INT NOT NULL) USING btree WITH (key=id)").unwrap();
-    db.execute_sql("CREATE TABLE w (id INT NOT NULL) USING readonly").unwrap();
+    db.execute_sql("CREATE TABLE b (id INT NOT NULL) USING btree WITH (key=id)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE w (id INT NOT NULL) USING readonly")
+        .unwrap();
     for i in 0..10 {
-        db.execute_sql(&format!("INSERT INTO h VALUES ({i})")).unwrap();
-        db.execute_sql(&format!("INSERT INTO b VALUES ({i})")).unwrap();
-        db.execute_sql(&format!("INSERT INTO w VALUES ({i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO h VALUES ({i})"))
+            .unwrap();
+        db.execute_sql(&format!("INSERT INTO b VALUES ({i})"))
+            .unwrap();
+        db.execute_sql(&format!("INSERT INTO w VALUES ({i})"))
+            .unwrap();
     }
     // in-flight work on all three relations, never committed
     let txn = db.begin();
     for rel in ["h", "b"] {
         let rd = db.catalog().get_by_name(rel).unwrap();
         for i in 100..110 {
-            db.insert(&txn, rd.id, Record::new(vec![Value::Int(i)])).unwrap();
+            db.insert(&txn, rd.id, Record::new(vec![Value::Int(i)]))
+                .unwrap();
         }
     }
     let wrd = db.catalog().get_by_name("w").unwrap();
-    db.insert(&txn, wrd.id, Record::new(vec![Value::Int(777)])).unwrap();
+    db.insert(&txn, wrd.id, Record::new(vec![Value::Int(777)]))
+        .unwrap();
     // force the log so the loser's records are durable (makes restart
     // actually exercise idempotent undo rather than just dropping a tail)
     db.services().log.force_all().unwrap();
@@ -89,7 +99,8 @@ fn deferred_drop_completes_after_crash_at_commit_point() {
     // release would normally be marked done: restart must re-drive the
     // intent (idempotently) and the relation must stay gone.
     let (env, db) = fresh();
-    db.execute_sql("CREATE TABLE doomed (id INT NOT NULL)").unwrap();
+    db.execute_sql("CREATE TABLE doomed (id INT NOT NULL)")
+        .unwrap();
     db.execute_sql("CREATE INDEX di ON doomed (id)").unwrap();
     db.execute_sql("INSERT INTO doomed VALUES (1)").unwrap();
     db.execute_sql("DROP TABLE doomed").unwrap();
@@ -108,7 +119,8 @@ fn deferred_drop_completes_after_crash_at_commit_point() {
 #[test]
 fn uncommitted_ddl_vanishes_at_restart() {
     let (env, db) = fresh();
-    db.execute_sql("CREATE TABLE keep (id INT NOT NULL)").unwrap();
+    db.execute_sql("CREATE TABLE keep (id INT NOT NULL)")
+        .unwrap();
     // uncommitted CREATE + uncommitted DROP of another table
     let txn = db.begin();
     db.create_relation(
@@ -137,14 +149,18 @@ fn uncommitted_ddl_vanishes_at_restart() {
 #[test]
 fn attachments_and_aggregates_recover_consistently() {
     let (env, db) = fresh();
-    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL, amt FLOAT)").unwrap();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL, amt FLOAT)")
+        .unwrap();
     db.execute_sql("CREATE INDEX t_grp ON t (grp)").unwrap();
-    db.execute_sql(
-        "CREATE ATTACHMENT sums ON t USING aggregate WITH (sum = amt, group_by = grp)",
-    )
-    .unwrap();
+    db.execute_sql("CREATE ATTACHMENT sums ON t USING aggregate WITH (sum = amt, group_by = grp)")
+        .unwrap();
     for i in 0..60 {
-        db.execute_sql(&format!("INSERT INTO t VALUES ({i}, {}, {:.1})", i % 3, i as f64)).unwrap();
+        db.execute_sql(&format!(
+            "INSERT INTO t VALUES ({i}, {}, {:.1})",
+            i % 3,
+            i as f64
+        ))
+        .unwrap();
     }
     // loser transaction touching both index and aggregate
     let txn = db.begin();

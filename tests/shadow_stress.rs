@@ -93,7 +93,10 @@ fn verify(db: &Arc<Database>, sess: &starburst_dmx::prelude::Session, expect: &B
         .unwrap();
     let mut via_index = BTreeMap::new();
     while let Some(item) = db.scan_next(&txn, scan).unwrap() {
-        let row = db.fetch(&txn, rd.id, &item.key, None, None).unwrap().unwrap();
+        let row = db
+            .fetch(&txn, rd.id, &item.key, None, None)
+            .unwrap()
+            .unwrap();
         via_index.insert(row[0].as_int().unwrap(), row[1].as_int().unwrap());
     }
     db.commit(&txn).unwrap();
@@ -105,10 +108,13 @@ fn randomized_workload_matches_shadow_model() {
     for seed in [7u64, 99, 20260706] {
         let env = DatabaseEnv::fresh();
         let mut db = open_env_db(&env);
-        db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT NOT NULL)").unwrap();
-        db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)").unwrap();
+        db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT NOT NULL)")
+            .unwrap();
+        db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)")
+            .unwrap();
         // ids must stay below 1000 — inserting above is a veto
-        db.execute_sql("CREATE CONSTRAINT cap ON t CHECK (id < 1000)").unwrap();
+        db.execute_sql("CREATE CONSTRAINT cap ON t CHECK (id < 1000)")
+            .unwrap();
 
         let mut sess = Session::new(db.clone());
         let mut shadow = Shadow::new();
@@ -160,7 +166,11 @@ fn randomized_workload_matches_shadow_model() {
                         .execute(&format!("DELETE FROM t WHERE id = {id}"))
                         .unwrap();
                     let n = res.rows[0][0].as_int().unwrap();
-                    assert_eq!(n, shadow.working.remove(&id).map(|_| 1).unwrap_or(0), "step {step}");
+                    assert_eq!(
+                        n,
+                        shadow.working.remove(&id).map(|_| 1).unwrap_or(0),
+                        "step {step}"
+                    );
                 }
                 // savepoint / partial rollback
                 75..=79 => {
