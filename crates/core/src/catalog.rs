@@ -19,6 +19,7 @@ use std::sync::Arc;
 use dmx_types::sync::RwLock;
 
 use dmx_page::{DiskManager, Page, PAGE_SIZE};
+use dmx_types::fault::{with_io_retries, MAX_IO_RETRIES};
 use dmx_types::{DmxError, FileId, PageId, RelationId, Result};
 
 use crate::descriptor::RelationDescriptor;
@@ -197,7 +198,9 @@ impl Catalog {
         for (i, chunk) in framed.chunks(PAGE_BODY).enumerate() {
             // bounds: chunks(PAGE_BODY) yields at most PAGE_BODY bytes.
             page.body_mut()[..chunk.len()].copy_from_slice(chunk);
-            disk.write_page(PageId::new(CATALOG_FILE, i as u32), &page)?;
+            page.stamp_crc();
+            let pid = PageId::new(CATALOG_FILE, i as u32);
+            with_io_retries(MAX_IO_RETRIES, || disk.write_page(pid, &page))?;
         }
         Ok(())
     }
@@ -209,7 +212,7 @@ impl Catalog {
             return Ok(None);
         }
         let mut page = Page::new();
-        disk.read_page(PageId::new(CATALOG_FILE, 0), &mut page)?;
+        Self::read_catalog_page(disk, 0, &mut page)?;
         let len = dmx_types::bytes::le_u64(page.body(), 0)
             .ok_or_else(|| DmxError::Corrupt("catalog header short".into()))?
             as usize;
@@ -218,7 +221,7 @@ impl Catalog {
         framed.extend_from_slice(&page.body()[..PAGE_BODY.min(8 + len)]);
         let mut page_no = 1u32;
         while framed.len() < 8 + len {
-            disk.read_page(PageId::new(CATALOG_FILE, page_no), &mut page)?;
+            Self::read_catalog_page(disk, page_no, &mut page)?;
             let take = (8 + len - framed.len()).min(PAGE_BODY);
             // bounds: `take` is clamped to PAGE_BODY.
             framed.extend_from_slice(&page.body()[..take]);
@@ -228,6 +231,21 @@ impl Catalog {
             .get(8..8 + len)
             .map(|b| Some(b.to_vec()))
             .ok_or_else(|| DmxError::Corrupt("catalog image short".into()))
+    }
+
+    /// Reads one catalog page with transient-fault retries and checksum
+    /// verification; a corrupt catalog is unrecoverable at this layer and
+    /// surfaces as [`DmxError::Corrupt`].
+    fn read_catalog_page(disk: &Arc<dyn DiskManager>, page_no: u32, page: &mut Page) -> Result<()> {
+        let pid = PageId::new(CATALOG_FILE, page_no);
+        with_io_retries(MAX_IO_RETRIES, || disk.read_page(pid, page))?;
+        if page.verify_crc() {
+            Ok(())
+        } else {
+            Err(DmxError::Corrupt(format!(
+                "catalog page {page_no} failed checksum"
+            )))
+        }
     }
 
     /// Persists the current catalog to disk.

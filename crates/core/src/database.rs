@@ -14,10 +14,11 @@ use std::time::Duration;
 use dmx_types::sync::{Mutex, RwLock};
 
 use dmx_lock::{LockManager, LockMode, LockName};
-use dmx_page::{BufferPool, DiskManager, MemDisk};
+use dmx_page::{BufferPool, DiskManager, FaultDisk};
 use dmx_txn::{Transaction, TxnEvent, TxnManager, TxnState};
 use dmx_types::{
-    AttrList, DmxError, Lsn, Record, RecordKey, RelationId, Result, Schema, TxnId, Value,
+    AttrList, DmxError, FaultInjector, FaultPlan, Lsn, Record, RecordKey, RelationId, Result,
+    Schema, TxnId, Value,
 };
 use dmx_wal::{LogBody, LogManager, StableLog};
 
@@ -61,12 +62,24 @@ pub struct DatabaseEnv {
 }
 
 impl DatabaseEnv {
-    /// A fresh in-memory environment.
+    /// A fresh in-memory environment. All I/O flows through the fault
+    /// layer with an empty (pass-through) plan, so production and
+    /// fault-sweep runs exercise the identical code path.
     pub fn fresh() -> Self {
-        DatabaseEnv {
-            disk: Arc::new(MemDisk::new()),
-            stable_log: StableLog::new(),
-        }
+        DatabaseEnv::fresh_with_plan(FaultPlan::default()).0
+    }
+
+    /// A fresh environment whose every disk *and* log operation is gated
+    /// by one injector executing `plan` — a single global I/O index spans
+    /// both devices. The injector is returned for counting, clearing at
+    /// simulated reopen, and crash detection.
+    pub fn fresh_with_plan(plan: FaultPlan) -> (Self, Arc<FaultInjector>) {
+        let injector = FaultInjector::new(plan);
+        let env = DatabaseEnv {
+            disk: FaultDisk::fresh(injector.clone()),
+            stable_log: StableLog::with_injector(injector.clone()),
+        };
+        (env, injector)
     }
 }
 
@@ -97,6 +110,10 @@ pub struct Database {
     hooks: RwLock<HashMap<String, HookFn>>,
     ddl_txns: Mutex<HashSet<TxnId>>,
     query_slot: OnceLock<Arc<dyn Any + Send + Sync>>,
+    /// Relations whose pages failed checksum verification after retries,
+    /// keyed to the reason. DML/scan entry points refuse these with
+    /// [`DmxError::RelationQuarantined`]; everything else stays usable.
+    quarantined: Mutex<HashMap<RelationId, String>>,
 }
 
 impl Database {
@@ -123,15 +140,13 @@ impl Database {
             }
         }
         let catalog = Catalog::new();
-        catalog.load(&env.disk)?;
-
-        // Non-recoverable (temporary) relations do not survive restart.
-        for rd in catalog.list() {
-            if let Ok(sm) = registry.storage(rd.sm) {
-                if !sm.is_recoverable() {
-                    let _ = catalog.remove(rd.id);
-                }
-            }
+        match catalog.load(&env.disk) {
+            // A crash can tear the on-disk catalog image mid-write. The
+            // committed image is logged as a deferred intent at every DDL
+            // commit and restart re-drives it (disk *and* memory), so
+            // start from an empty catalog instead of failing the reopen.
+            Err(DmxError::Corrupt(_)) => {}
+            other => other?,
         }
 
         // Restart recovery (idempotent; trivial on a fresh environment).
@@ -140,20 +155,24 @@ impl Database {
             catalog: catalog.clone(),
             services: services.clone(),
         };
-        let max_txn = env
-            .stable_log
-            .all()?
-            .iter()
-            .map(|r| r.txn.0)
-            .max()
-            .unwrap_or(0);
-        dmx_wal::restart(&log, &handler)?;
+        let report = dmx_wal::restart(&log, &handler)?;
+
+        // Non-recoverable (temporary) relations do not survive restart;
+        // this runs after recovery so a redone catalog image cannot
+        // resurrect them.
+        for rd in catalog.list() {
+            if let Ok(sm) = registry.storage(rd.sm) {
+                if !sm.is_recoverable() {
+                    let _ = catalog.remove(rd.id);
+                }
+            }
+        }
         services.pool.flush_all()?;
         catalog.persist(&env.disk)?;
         log.force_all()?;
 
         Ok(Arc::new(Database {
-            txns: TxnManager::new_starting_at(log, max_txn + 1),
+            txns: TxnManager::new_starting_at(log, report.max_txn + 1),
             config,
             env,
             services,
@@ -165,6 +184,7 @@ impl Database {
             hooks: RwLock::new(HashMap::new()),
             ddl_txns: Mutex::new(HashSet::new()),
             query_slot: OnceLock::new(),
+            quarantined: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -397,6 +417,67 @@ impl Database {
                 Err(e)
             }
         }
+    }
+
+    /// Runs `f` in a fresh transaction, committing on success and
+    /// aborting on error, re-running the whole closure (in a new
+    /// transaction) up to `retries` times when this transaction is the
+    /// chosen deadlock victim. The closure must be safe to re-run: the
+    /// victim's effects are fully rolled back before the retry.
+    pub fn with_txn_retries<T>(
+        self: &Arc<Self>,
+        retries: u32,
+        mut f: impl FnMut(&Arc<Transaction>) -> Result<T>,
+    ) -> Result<T> {
+        dmx_txn::run_with_retries(retries, |_attempt| self.with_txn(|txn| f(txn)))
+    }
+
+    // -- quarantine -------------------------------------------------------
+
+    /// Fails with [`DmxError::RelationQuarantined`] when `rel` is
+    /// quarantined. Called at every DML/scan entry point.
+    pub(crate) fn check_not_quarantined(&self, rel: RelationId) -> Result<()> {
+        match self.quarantined.lock().get(&rel) {
+            Some(reason) => Err(DmxError::RelationQuarantined {
+                relation: rel,
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Quarantines `rel` (idempotent; the first reason wins) and returns
+    /// the typed error to surface. Invoked when a page read comes back
+    /// [`DmxError::Corrupt`] even after the buffer manager's retries:
+    /// the damage is in the media, so instead of poisoning the process or
+    /// erroring every future statement with an untyped failure, the one
+    /// bad relation is fenced off while the rest of the database keeps
+    /// serving.
+    pub(crate) fn quarantine(&self, rel: RelationId, reason: String) -> DmxError {
+        let mut q = self.quarantined.lock();
+        let stored = q.entry(rel).or_insert(reason);
+        DmxError::RelationQuarantined {
+            relation: rel,
+            reason: stored.clone(),
+        }
+    }
+
+    /// Currently quarantined relations with their reasons.
+    pub fn quarantined(&self) -> Vec<(RelationId, String)> {
+        let mut out: Vec<(RelationId, String)> = self
+            .quarantined
+            .lock()
+            .iter()
+            .map(|(r, s)| (*r, s.clone()))
+            .collect();
+        out.sort_by_key(|(r, _)| *r);
+        out
+    }
+
+    /// Lifts a quarantine (after out-of-band repair / operator override).
+    /// Returns true when the relation was quarantined.
+    pub fn clear_quarantine(&self, rel: RelationId) -> bool {
+        self.quarantined.lock().remove(&rel).is_some()
     }
 
     // -- savepoints -------------------------------------------------------

@@ -45,8 +45,8 @@ struct LockingScan {
     fields: Option<Vec<FieldId>>,
 }
 
-impl ScanOps for LockingScan {
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+impl LockingScan {
+    fn next_inner(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
         loop {
             let Some(item) = self.inner.next(ctx)? else {
                 return Ok(None);
@@ -83,6 +83,13 @@ impl ScanOps for LockingScan {
                 }
             }
         }
+    }
+}
+
+impl ScanOps for LockingScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let rel = self.rd.id;
+        ctx.db.fence_corrupt(rel, self.next_inner(ctx))
     }
     fn save_position(&self) -> Vec<u8> {
         self.inner.save_position()
@@ -125,6 +132,17 @@ impl Database {
         }
     }
 
+    /// Converts a [`DmxError::Corrupt`] escaping a relation operation
+    /// into quarantine of that relation: the buffer manager already
+    /// retried the read, so the damage is persistent — fence the relation
+    /// off and keep everything else serving.
+    pub(crate) fn fence_corrupt<T>(&self, rel: RelationId, res: Result<T>) -> Result<T> {
+        match res {
+            Err(DmxError::Corrupt(reason)) => Err(self.quarantine(rel, reason)),
+            other => other,
+        }
+    }
+
     /// Inserts a record: storage method first, then each attachment type
     /// with instances; a veto rolls the modification back.
     pub fn insert(
@@ -134,8 +152,9 @@ impl Database {
         record: Record,
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
+        self.check_not_quarantined(rel)?;
         rd.schema.validate(&record.values)?;
-        self.with_stmt(txn, |ctx| {
+        let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             let sm = self.registry().storage(rd.sm)?;
             let key = sm.insert(ctx, &rd, &record)?;
@@ -146,7 +165,8 @@ impl Database {
             }
             rd.stats.on_insert(record.encode().len());
             Ok(key)
-        })
+        });
+        self.fence_corrupt(rel, res)
     }
 
     /// Updates the record at `key`, returning the (possibly relocated)
@@ -159,8 +179,9 @@ impl Database {
         new: Record,
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
+        self.check_not_quarantined(rel)?;
         rd.schema.validate(&new.values)?;
-        self.with_stmt(txn, |ctx| {
+        let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             ctx.lock_record(rel, key, LockMode::X)?;
             let sm = self.registry().storage(rd.sm)?;
@@ -174,7 +195,8 @@ impl Database {
             }
             rd.stats.on_update(old.encode().len(), new.encode().len());
             Ok(new_key)
-        })
+        });
+        self.fence_corrupt(rel, res)
     }
 
     /// Deletes the record at `key`.
@@ -185,7 +207,8 @@ impl Database {
         key: &RecordKey,
     ) -> Result<()> {
         let rd = self.catalog().get(rel)?;
-        self.with_stmt(txn, |ctx| {
+        self.check_not_quarantined(rel)?;
+        let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             ctx.lock_record(rel, key, LockMode::X)?;
             let sm = self.registry().storage(rd.sm)?;
@@ -196,7 +219,8 @@ impl Database {
             }
             rd.stats.on_delete(old.encode().len());
             Ok(())
-        })
+        });
+        self.fence_corrupt(rel, res)
     }
 
     /// Direct-by-key access through the storage method, with projection
@@ -211,11 +235,12 @@ impl Database {
     ) -> Result<Option<Vec<Value>>> {
         txn.check_active()?;
         let rd = self.catalog().get(rel)?;
+        self.check_not_quarantined(rel)?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Relation(rel), LockMode::IS)?;
         ctx.lock_record(rel, key, LockMode::S)?;
         let sm = self.registry().storage(rd.sm)?;
-        sm.fetch(&ctx, &rd, key, fields, pred)
+        self.fence_corrupt(rel, sm.fetch(&ctx, &rd, key, fields, pred))
     }
 
     /// Opens a key-sequential access via any access path ("access path
@@ -232,9 +257,13 @@ impl Database {
     ) -> Result<ScanId> {
         txn.check_active()?;
         let rd = self.catalog().get(rel)?;
+        self.check_not_quarantined(rel)?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Relation(rel), LockMode::IS)?;
-        let inner = self.open_scan_raw(&ctx, &rd, path, query, pred.clone(), fields.clone())?;
+        let inner = self.fence_corrupt(
+            rel,
+            self.open_scan_raw(&ctx, &rd, path, query, pred.clone(), fields.clone()),
+        )?;
         let scan = Box::new(LockingScan {
             inner,
             sm_path: matches!(path, AccessPath::StorageMethod),

@@ -419,6 +419,40 @@ mod tests {
     }
 
     #[test]
+    fn three_transaction_cycle_detected() {
+        // T1 holds r1, T2 holds r2, T3 holds r3; then T1→r2, T2→r3,
+        // T3→r1 closes a three-node cycle in the waits-for graph. The
+        // youngest (largest id) transaction in the cycle must die, and
+        // the two survivors complete once the victim's locks release.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.lock(TxnId(1), rel(1), LockMode::X).unwrap();
+        lm.lock(TxnId(2), rel(2), LockMode::X).unwrap();
+        lm.lock(TxnId(3), rel(3), LockMode::X).unwrap();
+        std::thread::scope(|s| {
+            let lm1 = lm.clone();
+            let h1 = s.spawn(move || lm1.lock(TxnId(1), rel(2), LockMode::X));
+            std::thread::sleep(Duration::from_millis(30));
+            let lm2 = lm.clone();
+            let h2 = s.spawn(move || lm2.lock(TxnId(2), rel(3), LockMode::X));
+            std::thread::sleep(Duration::from_millis(30));
+            let lm3 = lm.clone();
+            let h3 = s.spawn(move || lm3.lock(TxnId(3), rel(1), LockMode::X));
+            let r3 = h3.join().unwrap();
+            assert_eq!(r3, Err(DmxError::Deadlock { victim: TxnId(3) }));
+            lm.unlock_all(TxnId(3));
+            // T2 acquires r3, unblocking nothing yet for T1 (T2 still
+            // holds r2), so release T2's locks to let T1 through.
+            let r2 = h2.join().unwrap();
+            assert_eq!(r2, Ok(()));
+            lm.unlock_all(TxnId(2));
+            let r1 = h1.join().unwrap();
+            assert_eq!(r1, Ok(()));
+        });
+        lm.unlock_all(TxnId(1));
+        assert_eq!(lm.table_len(), 0);
+    }
+
+    #[test]
     fn upgrade_deadlock_between_two_readers() {
         let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
         lm.lock(TxnId(1), rel(1), LockMode::S).unwrap();

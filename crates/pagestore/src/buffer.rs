@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use dmx_types::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use dmx_types::fault::{backoff, with_io_retries, MAX_IO_RETRIES};
 use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
 
 use crate::disk::DiskManager;
@@ -143,7 +144,7 @@ impl BufferPool {
         frame.ref_bit.store(true, Ordering::Relaxed);
         let mut guard = frame.page.write();
         drop(map);
-        if let Err(e) = self.disk.read_page(pid, &mut guard) {
+        if let Err(e) = self.read_verified(pid, &mut guard) {
             // Undo the reservation.
             drop(guard);
             let mut map = self.map.lock();
@@ -178,6 +179,41 @@ impl BufferPool {
             frame: idx,
             pid,
         })
+    }
+
+    /// Reads `pid` from disk with checksum verification and a bounded
+    /// deterministic retry: transient I/O errors *and* checksum failures
+    /// are retried (the corruption may be in the transfer rather than the
+    /// media); a checksum that still fails after the retry budget is
+    /// promoted to [`DmxError::Corrupt`], which the database layer turns
+    /// into relation quarantine.
+    fn read_verified(&self, pid: PageId, out: &mut Page) -> Result<()> {
+        let mut attempt = 0;
+        loop {
+            let res = self.disk.read_page(pid, out).and_then(|()| {
+                if out.verify_crc() {
+                    Ok(())
+                } else {
+                    Err(DmxError::Corrupt(format!("page {pid} failed checksum")))
+                }
+            });
+            match res {
+                Err(e) if attempt < MAX_IO_RETRIES => {
+                    let retryable = e.is_transient_io() || matches!(e, DmxError::Corrupt(_));
+                    if !retryable {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    backoff(attempt)?;
+                }
+                Err(DmxError::IoTransient(m)) => {
+                    return Err(DmxError::Io(format!(
+                        "transient i/o did not clear after {attempt} retries: {m}"
+                    )))
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Picks a free or evictable frame and installs `pid` in the mapping.
@@ -253,8 +289,11 @@ impl BufferPool {
         }
         for (idx, pid) in targets {
             let frame = &self.frames[idx];
-            let guard = frame.page.read();
-            self.disk.write_page(pid, &guard)?;
+            // Write access so the checksum can be stamped over the final
+            // image immediately before it leaves the pool.
+            let mut guard = frame.page.write();
+            guard.stamp_crc();
+            with_io_retries(MAX_IO_RETRIES, || self.disk.write_page(pid, &guard))?;
             frame.dirty.store(false, Ordering::Release);
             self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         }
@@ -477,6 +516,64 @@ mod tests {
         assert_eq!(pool.dirty_count(), 1, "f2's page remains dirty");
         let mut img = Page::new();
         disk.read_page(pid1, &mut img).unwrap();
+    }
+
+    #[test]
+    fn fetch_retries_transient_read() {
+        use crate::fault::FaultDisk;
+        use dmx_types::{FaultInjector, FaultPlan};
+        // I/O sequence: 0 create_file, 1 allocate, 2 flush write, 3 read
+        // (fails transient), 4 retried read (succeeds).
+        let disk = FaultDisk::fresh(FaultInjector::new(FaultPlan::new(1).transient_at(3)));
+        let pool = BufferPool::new(disk.clone() as Arc<dyn DiskManager>, 4);
+        let f = disk.create_file().unwrap();
+        let pid = {
+            let p = pool.new_page(f).unwrap();
+            p.write().body_mut()[0] = 3;
+            p.id()
+        };
+        pool.flush_all().unwrap();
+        pool.discard_file(f); // force the next fetch to hit the disk
+        let p = pool.fetch(pid).unwrap();
+        assert_eq!(p.read().body()[0], 3);
+        assert_eq!(disk.stats().snapshot().faults_injected, 1);
+    }
+
+    #[test]
+    fn fetch_promotes_persistent_corruption() {
+        use crate::page::PAGE_SIZE;
+        let (disk, pool, f) = setup(4);
+        let pid = {
+            let p = pool.new_page(f).unwrap();
+            p.write().body_mut()[0] = 1;
+            p.id()
+        };
+        pool.flush_all().unwrap();
+        pool.discard_file(f);
+        // Rot one body byte directly in the persisted image, below any
+        // wrapper — only the checksum can catch this.
+        let mut img = Page::new();
+        disk.read_page(pid, &mut img).unwrap();
+        img.raw_mut()[PAGE_SIZE - 1] ^= 0x10;
+        disk.write_page(pid, &img).unwrap();
+        assert!(matches!(pool.fetch(pid), Err(DmxError::Corrupt(_))));
+        // the reservation was rolled back; the pool stays usable
+        assert!(pool.new_page(f).is_ok());
+    }
+
+    #[test]
+    fn flush_stamps_checksums() {
+        let (disk, pool, f) = setup(4);
+        let pid = {
+            let p = pool.new_page(f).unwrap();
+            p.write().body_mut()[7] = 42;
+            p.id()
+        };
+        pool.flush_all().unwrap();
+        let mut img = Page::new();
+        disk.read_page(pid, &mut img).unwrap();
+        assert_ne!(img.stored_crc(), 0, "flush stamped a checksum");
+        assert!(img.verify_crc());
     }
 
     #[test]

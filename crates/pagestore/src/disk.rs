@@ -44,6 +44,9 @@ pub struct IoStats {
     pub allocs: AtomicU64,
     pub files_created: AtomicU64,
     pub files_deleted: AtomicU64,
+    /// Faults injected by a wrapping [`crate::FaultDisk`] (0 on a bare
+    /// `MemDisk`).
+    pub faults_injected: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`], subtractable for per-experiment
@@ -55,6 +58,7 @@ pub struct IoSnapshot {
     pub allocs: u64,
     pub files_created: u64,
     pub files_deleted: u64,
+    pub faults_injected: u64,
 }
 
 impl IoStats {
@@ -66,6 +70,7 @@ impl IoStats {
             allocs: self.allocs.load(Ordering::Relaxed),
             files_created: self.files_created.load(Ordering::Relaxed),
             files_deleted: self.files_deleted.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +84,7 @@ impl IoSnapshot {
             allocs: self.allocs - earlier.allocs,
             files_created: self.files_created - earlier.files_created,
             files_deleted: self.files_deleted - earlier.files_deleted,
+            faults_injected: self.faults_injected - earlier.faults_injected,
         }
     }
 

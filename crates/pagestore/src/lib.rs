@@ -15,10 +15,12 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod slotted;
 
 pub use buffer::{BufferPool, PinnedPage, WalHook};
 pub use disk::{DiskManager, IoSnapshot, IoStats, MemDisk};
+pub use fault::FaultDisk;
 pub use page::{Page, PAGE_SIZE};
 pub use slotted::SlottedPage;

@@ -4,16 +4,19 @@
 //! that the recovery machinery understands regardless of which extension
 //! owns the page; the rest of the page is extension-defined.
 
+use dmx_types::crc::crc32_update;
 use dmx_types::Lsn;
 
 /// Page size in bytes. 8 KiB, a common unit for slotted-page systems.
 pub const PAGE_SIZE: usize = 8192;
 
-/// Size of the generic page header: LSN (8) + page type (1) + padding (7).
+/// Size of the generic page header: LSN (8) + page type (1) + padding (3)
+/// + CRC32 (4).
 pub const PAGE_HEADER_SIZE: usize = 16;
 
 const LSN_OFFSET: usize = 0;
 const TYPE_OFFSET: usize = 8;
+const CRC_OFFSET: usize = 12;
 
 /// A fixed-size page image.
 #[derive(Clone)]
@@ -55,6 +58,46 @@ impl Page {
     /// Sets the page type tag.
     pub fn set_page_type(&mut self, t: u8) {
         self.data[TYPE_OFFSET] = t;
+    }
+
+    /// Computes the page checksum: CRC32 over the whole image with the
+    /// stored checksum field counted as zero, mapped away from zero so
+    /// that 0 can mean "never stamped" (a freshly allocated all-zero page
+    /// verifies without a stamp).
+    pub fn compute_crc(&self) -> u32 {
+        let mut state = 0xFFFF_FFFF;
+        // bounds: CRC_OFFSET + 4 <= PAGE_HEADER_SIZE < PAGE_SIZE, all consts
+        state = crc32_update(state, &self.data[..CRC_OFFSET]);
+        state = crc32_update(state, &[0u8; 4]);
+        // bounds: CRC_OFFSET + 4 <= PAGE_HEADER_SIZE < PAGE_SIZE, all consts
+        state = crc32_update(state, &self.data[CRC_OFFSET + 4..]);
+        let crc = state ^ 0xFFFF_FFFF;
+        if crc == 0 {
+            1
+        } else {
+            crc
+        }
+    }
+
+    /// The checksum currently stored in the header (0 = unstamped).
+    pub fn stored_crc(&self) -> u32 {
+        self.get_u32(CRC_OFFSET)
+    }
+
+    /// Stamps the header checksum over the current image. The buffer
+    /// manager calls this on every flush; direct writers (the catalog
+    /// image) must call it themselves.
+    pub fn stamp_crc(&mut self) {
+        let crc = self.compute_crc();
+        self.put_u32(CRC_OFFSET, crc);
+    }
+
+    /// True when the stored checksum matches the image (or the page was
+    /// never stamped). A `false` return means the bytes rotted between
+    /// stamp and read — torn write, bit flip, or wild write.
+    pub fn verify_crc(&self) -> bool {
+        let stored = self.stored_crc();
+        stored == 0 || stored == self.compute_crc()
     }
 
     /// The full page image, including the generic header.
@@ -171,6 +214,33 @@ mod tests {
         assert_eq!(p.body().len(), PAGE_SIZE - PAGE_HEADER_SIZE);
         // header untouched by body writes
         assert_eq!(p.lsn(), Lsn::NULL);
+    }
+
+    #[test]
+    fn crc_roundtrip_and_corruption() {
+        let mut p = Page::new();
+        // unstamped pages verify (fresh allocation)
+        assert_eq!(p.stored_crc(), 0);
+        assert!(p.verify_crc());
+
+        p.set_lsn(Lsn(12));
+        p.body_mut()[100] = 0x77;
+        p.stamp_crc();
+        assert_ne!(p.stored_crc(), 0);
+        assert!(p.verify_crc());
+
+        // stamping is stable: restamping an unmodified page is a no-op
+        let stamped = p.stored_crc();
+        p.stamp_crc();
+        assert_eq!(p.stored_crc(), stamped);
+
+        // any post-stamp mutation is detected, header or body
+        p.body_mut()[100] ^= 0x01;
+        assert!(!p.verify_crc());
+        p.body_mut()[100] ^= 0x01;
+        assert!(p.verify_crc());
+        p.set_lsn(Lsn(13));
+        assert!(!p.verify_crc());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Deadlock-retry helper.
+//!
+//! When the lock manager's waits-for detector picks a transaction as a
+//! deadlock victim, the victim's work is rolled back and the transaction
+//! returns [`DmxError::Deadlock`] — but the work itself is usually valid
+//! and succeeds if simply re-run once the competing transaction finishes.
+//! [`run_with_retries`] packages that re-run loop: deterministic backoff
+//! (scheduler yields, no wall clock), a bounded attempt budget, and
+//! retry-on-deadlock only — every other error, including the transient
+//! I/O errors the buffer manager already retries at its own layer, passes
+//! straight through.
+
+use dmx_types::fault::backoff;
+use dmx_types::{DmxError, Result};
+
+/// Default number of re-runs after a deadlock abort.
+pub const DEFAULT_DEADLOCK_RETRIES: u32 = 3;
+
+/// Runs `body` and, when it fails with [`DmxError::Deadlock`], re-runs it
+/// up to `max_retries` more times with a deterministic growing backoff.
+/// The closure receives the attempt number (0 on the first run) so tests
+/// and callers can vary behavior per attempt. The final deadlock error is
+/// returned unchanged once the budget is exhausted.
+///
+/// The closure must encapsulate a *complete* transaction (begin → work →
+/// commit): a deadlock victim's transaction is already rolled back, so
+/// only a fresh transaction can retry the work.
+pub fn run_with_retries<T>(max_retries: u32, mut body: impl FnMut(u32) -> Result<T>) -> Result<T> {
+    let mut attempt = 0;
+    loop {
+        match body(attempt) {
+            Err(DmxError::Deadlock { victim }) if attempt < max_retries => {
+                attempt += 1;
+                backoff(attempt)?;
+                let _ = victim;
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_types::TxnId;
+
+    fn deadlock() -> DmxError {
+        DmxError::Deadlock { victim: TxnId(9) }
+    }
+
+    #[test]
+    fn succeeds_first_try_without_retry() {
+        let mut runs = 0;
+        let out = run_with_retries(3, |attempt| {
+            runs += 1;
+            assert_eq!(attempt, 0);
+            Ok(41)
+        });
+        assert_eq!(out.unwrap(), 41);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn retries_deadlock_until_success() {
+        let out = run_with_retries(3, |attempt| {
+            if attempt < 2 {
+                Err(deadlock())
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_deadlock() {
+        let mut runs = 0;
+        let out: Result<()> = run_with_retries(2, |_| {
+            runs += 1;
+            Err(deadlock())
+        });
+        assert!(matches!(out, Err(DmxError::Deadlock { victim }) if victim == TxnId(9)));
+        assert_eq!(runs, 3, "initial run + two retries");
+    }
+
+    #[test]
+    fn non_deadlock_errors_pass_through_immediately() {
+        let mut runs = 0;
+        let out: Result<()> = run_with_retries(5, |_| {
+            runs += 1;
+            Err(DmxError::NotFound("r".into()))
+        });
+        assert!(matches!(out, Err(DmxError::NotFound(_))));
+        assert_eq!(runs, 1);
+    }
+}

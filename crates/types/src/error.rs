@@ -36,8 +36,13 @@ pub enum DmxError {
     /// A uniqueness rule was violated (duplicate key in a unique access
     /// path, duplicate relation name, …).
     Duplicate(String),
-    /// Simulated I/O failure from the disk manager.
+    /// Simulated I/O failure from the disk manager. This variant is
+    /// *permanent*: retrying the same operation will fail the same way.
     Io(String),
+    /// A *transient* I/O failure: the operation may succeed if retried.
+    /// The buffer manager and `LogManager::force` retry these with a
+    /// bounded deterministic backoff before promoting to [`DmxError::Io`].
+    IoTransient(String),
     /// The buffer pool has no evictable frame (under the no-steal policy a
     /// transaction dirtying more pages than the pool holds must abort).
     BufferFull,
@@ -53,6 +58,15 @@ pub enum DmxError {
     TxnState(String),
     /// On-disk or in-log bytes failed validation.
     Corrupt(String),
+    /// A relation's pages failed checksum verification even after retries;
+    /// the relation is quarantined (unreadable, unwritable) until repaired,
+    /// but every other relation stays fully available.
+    RelationQuarantined {
+        /// The quarantined relation.
+        relation: crate::ids::RelationId,
+        /// Why it was quarantined (e.g. the page that failed its CRC).
+        reason: String,
+    },
     /// A caller-supplied argument was invalid (bad attribute list, schema
     /// mismatch, unknown field, …).
     InvalidArg(String),
@@ -85,6 +99,13 @@ impl DmxError {
         )
     }
 
+    /// True for the transient I/O variant, which callers may retry with a
+    /// bounded backoff; [`DmxError::Io`] is permanent and must not be
+    /// retried.
+    pub fn is_transient_io(&self) -> bool {
+        matches!(self, DmxError::IoTransient(_))
+    }
+
     /// Shorthand constructor for veto errors.
     pub fn veto(attachment: impl Into<String>, reason: impl Into<String>) -> Self {
         DmxError::Veto {
@@ -107,12 +128,16 @@ impl fmt::Display for DmxError {
             DmxError::NotFound(m) => write!(f, "not found: {m}"),
             DmxError::Duplicate(m) => write!(f, "duplicate: {m}"),
             DmxError::Io(m) => write!(f, "i/o error: {m}"),
+            DmxError::IoTransient(m) => write!(f, "transient i/o error (retryable): {m}"),
             DmxError::BufferFull => write!(f, "buffer pool exhausted (no-steal policy)"),
             DmxError::Deadlock { victim } => write!(f, "deadlock detected; victim {victim}"),
             DmxError::LockTimeout => write!(f, "lock wait timed out"),
             DmxError::TxnAborted(t) => write!(f, "transaction {t} is aborted"),
             DmxError::TxnState(m) => write!(f, "invalid transaction state: {m}"),
             DmxError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DmxError::RelationQuarantined { relation, reason } => {
+                write!(f, "relation {relation} quarantined: {reason}")
+            }
             DmxError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
             DmxError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             DmxError::Parse(m) => write!(f, "parse error: {m}"),
@@ -148,6 +173,13 @@ mod tests {
     }
 
     #[test]
+    fn transient_io_classification() {
+        assert!(DmxError::IoTransient("glitch".into()).is_transient_io());
+        assert!(!DmxError::Io("gone".into()).is_transient_io());
+        assert!(!DmxError::Corrupt("rot".into()).is_transient_io());
+    }
+
+    #[test]
     fn display_covers_all_variants() {
         // Smoke-test Display on every variant so a formatting regression is
         // caught here rather than in a log line.
@@ -157,12 +189,17 @@ mod tests {
             DmxError::NotFound("n".into()),
             DmxError::Duplicate("d".into()),
             DmxError::Io("i".into()),
+            DmxError::IoTransient("t".into()),
             DmxError::BufferFull,
             DmxError::Deadlock { victim: TxnId(1) },
             DmxError::LockTimeout,
             DmxError::TxnAborted(TxnId(2)),
             DmxError::TxnState("s".into()),
             DmxError::Corrupt("c".into()),
+            DmxError::RelationQuarantined {
+                relation: crate::ids::RelationId(1),
+                reason: "q".into(),
+            },
             DmxError::InvalidArg("a".into()),
             DmxError::Unsupported("u".into()),
             DmxError::Parse("p".into()),

@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the simulated I/O layer.
+//!
+//! A [`FaultPlan`] maps global I/O indices to [`FaultKind`]s; a
+//! [`FaultInjector`] executes the plan against a monotonically increasing
+//! operation counter that the page store *and* the stable log share, so a
+//! single plan sweeps the union of page and log I/O. Everything is seeded
+//! and wall-clock free: the same plan over the same workload injects the
+//! same faults at the same operations, which is what makes the crash-point
+//! sweep in `tests/fault_sweep.rs` reproducible.
+//!
+//! This module lives in `dmx-types` because `dmx-page` and `dmx-wal` sit
+//! side by side in the layering DAG and can only share code through here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::testrng::TestRng;
+use crate::{DmxError, Result};
+
+/// What to do to the I/O operation a plan entry fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with [`DmxError::IoTransient`]; nothing is
+    /// persisted. A retry of the same operation proceeds normally.
+    TransientError,
+    /// Fail the operation with [`DmxError::Io`]; nothing is persisted.
+    PermanentError,
+    /// For writes: persist only a prefix of the bytes (a torn write), then
+    /// hard-crash — every later operation fails. Reads treat this as
+    /// [`FaultKind::Crash`].
+    Torn,
+    /// Let the operation through, but flip one byte of the persisted (or
+    /// returned) image, simulating silent media rot.
+    FlipByte,
+    /// Hard crash at this operation: it and every later operation fail
+    /// with [`DmxError::Io`] until the injector is cleared.
+    Crash,
+}
+
+/// The decision an injector hands back to an I/O wrapper for one
+/// operation. `Torn` and `FlipByte` carry a raw random value the wrapper
+/// maps onto its buffer (the injector does not know buffer sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Fail with [`DmxError::IoTransient`], persist nothing.
+    FailTransient,
+    /// Fail with [`DmxError::Io`], persist nothing.
+    FailPermanent,
+    /// Persist `raw % len` bytes of the write, then crash.
+    Torn { raw: u64 },
+    /// Flip bit `1 << (raw % 8)` of byte `raw % len`.
+    FlipByte { raw: u64 },
+    /// Fail with [`DmxError::Io`]; the injector is now in the crashed
+    /// state and every later decision is `Crash` too.
+    Crash,
+}
+
+/// A seeded schedule of faults keyed by global I/O index (0-based: the
+/// first read or write issued anywhere in the environment is index 0).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `kind` at global I/O index `k`, replacing any prior entry.
+    pub fn at(mut self, k: u64, kind: FaultKind) -> Self {
+        self.faults.insert(k, kind);
+        self
+    }
+
+    /// Schedules a transient failure at I/O `k`.
+    pub fn transient_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::TransientError)
+    }
+
+    /// Schedules a permanent failure at I/O `k`.
+    pub fn permanent_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::PermanentError)
+    }
+
+    /// Schedules a torn write at I/O `k`.
+    pub fn torn_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::Torn)
+    }
+
+    /// Schedules a byte flip at I/O `k`.
+    pub fn flip_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::FlipByte)
+    }
+
+    /// Schedules a hard crash at I/O `k`.
+    pub fn crash_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::Crash)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when the plan schedules nothing (pass-through).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Executes a [`FaultPlan`]: every wrapped I/O operation calls
+/// [`FaultInjector::decide`] exactly once, advancing the shared counter.
+pub struct FaultInjector {
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    injected: AtomicU64,
+    inner: Mutex<InjectorState>,
+}
+
+struct InjectorState {
+    faults: BTreeMap<u64, FaultKind>,
+    rng: TestRng,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan`. Share the returned `Arc`
+    /// between the disk and log wrappers so one counter spans both.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            inner: Mutex::new(InjectorState {
+                faults: plan.faults,
+                rng: TestRng::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15),
+            }),
+        })
+    }
+
+    /// A pass-through injector: counts operations, injects nothing.
+    pub fn passthrough() -> Arc<Self> {
+        FaultInjector::new(FaultPlan::default())
+    }
+
+    /// Decides the fate of the next I/O operation and advances the
+    /// counter. `is_write` gates write-only faults: a torn *read* makes no
+    /// sense (nothing is persisted), so `Torn` on a read degrades to
+    /// `Crash`.
+    pub fn decide(&self, is_write: bool) -> FaultDecision {
+        let k = self.ops.fetch_add(1, Ordering::SeqCst);
+        if self.crashed.load(Ordering::SeqCst) {
+            return FaultDecision::Crash;
+        }
+        let mut st = self.inner.lock();
+        let kind = match st.faults.get(&k) {
+            Some(kind) => *kind,
+            None => return FaultDecision::Proceed,
+        };
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        match kind {
+            FaultKind::TransientError => FaultDecision::FailTransient,
+            FaultKind::PermanentError => FaultDecision::FailPermanent,
+            FaultKind::Torn if is_write => {
+                self.crashed.store(true, Ordering::SeqCst);
+                FaultDecision::Torn {
+                    raw: st.rng.next_u64(),
+                }
+            }
+            FaultKind::Torn | FaultKind::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                FaultDecision::Crash
+            }
+            FaultKind::FlipByte => FaultDecision::FlipByte {
+                raw: st.rng.next_u64(),
+            },
+        }
+    }
+
+    /// Total I/O operations observed (including faulted ones).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// True once a `Crash`/`Torn` fault fired; all I/O fails until
+    /// [`FaultInjector::clear`].
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Drops every remaining scheduled fault and lifts the crashed state,
+    /// turning this injector into a pass-through. The sweep harness calls
+    /// this at "reopen" so recovery runs against healthy I/O while the
+    /// surviving disk/log keep their wrappers.
+    pub fn clear(&self) {
+        self.inner.lock().faults.clear();
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// The error a failed operation should surface, given the decision.
+    /// Returns `None` for decisions that let the operation proceed
+    /// (`Proceed`, `FlipByte`) — `Torn` is reported as a crash *after* the
+    /// wrapper persists the prefix.
+    pub fn error_for(decision: FaultDecision, what: &str) -> Option<DmxError> {
+        match decision {
+            FaultDecision::Proceed | FaultDecision::FlipByte { .. } => None,
+            FaultDecision::FailTransient => {
+                Some(DmxError::IoTransient(format!("injected transient {what}")))
+            }
+            FaultDecision::FailPermanent => {
+                Some(DmxError::Io(format!("injected permanent {what}")))
+            }
+            FaultDecision::Torn { .. } | FaultDecision::Crash => {
+                Some(DmxError::Io(format!("simulated crash during {what}")))
+            }
+        }
+    }
+}
+
+/// Deterministic bounded backoff for transient-I/O retries: no wall
+/// clock, just a growing number of scheduler yields. Attempt 0 yields
+/// once, attempt `a` yields `2^a` times (capped).
+pub fn backoff(attempt: u32) -> Result<()> {
+    let spins = 1u32 << attempt.min(8);
+    for _ in 0..spins {
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
+/// Retries `op` up to `max_retries` extra times while it reports a
+/// transient I/O error, backing off deterministically between attempts.
+/// A still-transient failure after the last retry is promoted to the
+/// permanent [`DmxError::Io`] so callers never see `IoTransient` escape a
+/// retry loop.
+pub fn with_io_retries<T>(max_retries: u32, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(DmxError::IoTransient(m)) if attempt < max_retries => {
+                attempt += 1;
+                backoff(attempt)?;
+                let _ = m;
+            }
+            Err(DmxError::IoTransient(m)) => {
+                return Err(DmxError::Io(format!(
+                    "transient i/o did not clear after {attempt} retries: {m}"
+                )))
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Default retry budget used by the buffer manager and the log force path.
+pub const MAX_IO_RETRIES: u32 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_passthrough() {
+        let inj = FaultInjector::passthrough();
+        for _ in 0..10 {
+            assert_eq!(inj.decide(true), FaultDecision::Proceed);
+        }
+        assert_eq!(inj.ops(), 10);
+        assert_eq!(inj.injected(), 0);
+        assert!(!inj.is_crashed());
+    }
+
+    #[test]
+    fn faults_fire_at_exact_indices() {
+        let plan = FaultPlan::new(7).transient_at(1).permanent_at(3);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.decide(false), FaultDecision::Proceed);
+        assert_eq!(inj.decide(false), FaultDecision::FailTransient);
+        assert_eq!(inj.decide(false), FaultDecision::Proceed);
+        assert_eq!(inj.decide(true), FaultDecision::FailPermanent);
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn crash_is_sticky_until_cleared() {
+        let inj = FaultInjector::new(FaultPlan::new(1).crash_at(0));
+        assert_eq!(inj.decide(true), FaultDecision::Crash);
+        assert_eq!(inj.decide(false), FaultDecision::Crash);
+        assert!(inj.is_crashed());
+        inj.clear();
+        assert_eq!(inj.decide(false), FaultDecision::Proceed);
+    }
+
+    #[test]
+    fn torn_write_crashes_torn_read_degrades() {
+        let inj = FaultInjector::new(FaultPlan::new(2).torn_at(0));
+        assert!(matches!(inj.decide(true), FaultDecision::Torn { .. }));
+        assert!(inj.is_crashed());
+
+        let inj = FaultInjector::new(FaultPlan::new(2).torn_at(0));
+        assert_eq!(inj.decide(false), FaultDecision::Crash);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let inj = FaultInjector::new(FaultPlan::new(42).flip_at(2).flip_at(5));
+            (0..8).map(|_| inj.decide(true)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_helper_promotes_exhausted_transient() {
+        let mut calls = 0;
+        let out: Result<()> = with_io_retries(2, || {
+            calls += 1;
+            Err(DmxError::IoTransient("x".into()))
+        });
+        assert!(matches!(out, Err(DmxError::Io(_))));
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out = with_io_retries(3, || {
+            calls += 1;
+            if calls < 3 {
+                Err(DmxError::IoTransient("x".into()))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+    }
+}

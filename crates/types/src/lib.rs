@@ -15,7 +15,9 @@
 
 pub mod attr;
 pub mod bytes;
+pub mod crc;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod key;
 pub mod record;
@@ -27,6 +29,7 @@ pub mod value;
 
 pub use attr::AttrList;
 pub use error::{DmxError, Result};
+pub use fault::{FaultDecision, FaultInjector, FaultKind, FaultPlan};
 pub use ids::{
     AttInstanceId, AttTypeId, FieldId, FileId, Lsn, PageId, RelationId, ScanId, SmTypeId, TxnId,
 };

@@ -3,14 +3,22 @@
 //! [`StableLog`] is the durable portion of the log: like `MemDisk`, it
 //! survives a simulated crash (keep the `Arc`, drop everything else).
 //! [`LogManager`] owns the volatile tail and the append path; `force`
-//! moves the tail into the stable log, and is called by commit and by the
-//! buffer pool's write-ahead hook.
+//! moves the tail into the stable log one frame at a time (retrying
+//! transient faults, so a frame is either fully durable or not appended),
+//! and is called by commit and by the buffer pool's write-ahead hook.
+//!
+//! An optional [`FaultInjector`] gates every frame append and frame read:
+//! the stable log shares the injector (and its global I/O counter) with
+//! the fault-wrapped disk, so one seeded plan can crash, tear or corrupt
+//! any I/O in the system — page or log — by index.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dmx_types::sync::Mutex;
 
-use dmx_types::{DmxError, Lsn, Result, TxnId};
+use dmx_types::fault::{with_io_retries, MAX_IO_RETRIES};
+use dmx_types::{DmxError, FaultDecision, FaultInjector, Lsn, Result, TxnId};
 
 use crate::record::{LogBody, LogRecord};
 
@@ -20,12 +28,29 @@ use crate::record::{LogBody, LogRecord};
 #[derive(Default)]
 pub struct StableLog {
     frames: Mutex<Vec<Vec<u8>>>,
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl StableLog {
-    /// An empty stable log.
+    /// An empty stable log with no fault injection.
     pub fn new() -> Arc<Self> {
         Arc::new(StableLog::default())
+    }
+
+    /// An empty stable log whose every frame I/O consults `injector`.
+    /// Share the injector with the fault-wrapped disk so both draw from
+    /// one global I/O sequence.
+    pub fn with_injector(injector: Arc<FaultInjector>) -> Arc<Self> {
+        let log = StableLog::default();
+        *log.injector.lock() = Some(injector);
+        Arc::new(log)
+    }
+
+    /// Installs or removes the fault injector. The crash-sweep harness
+    /// uses this at "reopen": the same surviving `StableLog` gets a fresh
+    /// (or no) injector for the recovery run.
+    pub fn set_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.lock() = injector;
     }
 
     /// Number of durable records.
@@ -38,23 +63,87 @@ impl StableLog {
         self.len() == 0
     }
 
-    fn append(&self, frames: impl IntoIterator<Item = Vec<u8>>) {
-        self.frames.lock().extend(frames);
+    /// Appends a single encoded frame, consulting the injector: the frame
+    /// is either appended whole, appended torn (prefix only, then the
+    /// injector reports a crash), corrupted in place, or not appended at
+    /// all — exactly the outcomes a real log device exhibits.
+    pub fn append_frame(&self, mut frame: Vec<u8>) -> Result<()> {
+        let decision = match self.injector.lock().as_ref() {
+            Some(inj) => inj.decide(true),
+            None => FaultDecision::Proceed,
+        };
+        match decision {
+            FaultDecision::Proceed => {
+                self.frames.lock().push(frame);
+                Ok(())
+            }
+            FaultDecision::FlipByte { raw } => {
+                if !frame.is_empty() {
+                    let off = (raw as usize) % frame.len();
+                    let bit = 1u8 << ((raw >> 32) % 8);
+                    // bounds: off is reduced modulo frame.len() above
+                    frame[off] ^= bit;
+                }
+                self.frames.lock().push(frame);
+                Ok(())
+            }
+            FaultDecision::Torn { raw } => {
+                let keep = (raw as usize) % (frame.len() + 1);
+                frame.truncate(keep);
+                self.frames.lock().push(frame);
+                match FaultInjector::error_for(decision, "log append") {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            other => match FaultInjector::error_for(other, "log append") {
+                Some(e) => Err(e),
+                None => {
+                    self.frames.lock().push(frame);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Runs `f` over the raw bytes of frame `idx` (0-based) without
+    /// cloning them. Reads consult the injector like any other I/O.
+    pub fn with_frame<R>(&self, idx: usize, f: impl FnOnce(&[u8]) -> Result<R>) -> Result<R> {
+        let decision = match self.injector.lock().as_ref() {
+            Some(inj) => inj.decide(false),
+            None => FaultDecision::Proceed,
+        };
+        if let Some(e) = FaultInjector::error_for(decision, "log read") {
+            return Err(e);
+        }
+        let frames = self.frames.lock();
+        let frame = frames
+            .get(idx)
+            .ok_or_else(|| DmxError::NotFound(format!("log frame {idx}")))?;
+        f(frame)
+    }
+
+    /// Discards every frame at index `idx` and beyond (restart's
+    /// scan-and-truncate of a torn tail).
+    pub fn truncate_from(&self, idx: usize) {
+        self.frames.lock().truncate(idx);
     }
 
     /// Decodes the durable record with the given LSN (1-based, dense).
     pub fn record(&self, lsn: Lsn) -> Result<LogRecord> {
-        let frames = self.frames.lock();
         let idx = (lsn.0 as usize)
             .checked_sub(1)
             .ok_or_else(|| DmxError::InvalidArg("lsn 0".into()))?;
-        let frame = frames
-            .get(idx)
-            .ok_or_else(|| DmxError::NotFound(format!("log record {lsn}")))?;
-        LogRecord::decode(frame)
+        self.with_frame(idx, LogRecord::decode)
+            .map_err(|e| match e {
+                DmxError::NotFound(_) => DmxError::NotFound(format!("log record {lsn}")),
+                other => other,
+            })
     }
 
-    /// Decodes all durable records in LSN order (restart analysis pass).
+    /// Decodes all durable records in LSN order. Test/diagnostic
+    /// convenience: the restart path streams frames individually through
+    /// [`StableLog::with_frame`] instead of materializing this clone.
     pub fn all(&self) -> Result<Vec<LogRecord>> {
         self.frames
             .lock()
@@ -66,7 +155,7 @@ impl StableLog {
 
 struct Volatile {
     /// Records with lsn > durable watermark, in order.
-    tail: Vec<LogRecord>,
+    tail: VecDeque<LogRecord>,
     /// Highest LSN assigned.
     next_lsn: u64,
 }
@@ -86,7 +175,7 @@ impl LogManager {
         LogManager {
             stable,
             vol: Mutex::new(Volatile {
-                tail: Vec::new(),
+                tail: VecDeque::new(),
                 next_lsn,
             }),
         }
@@ -103,7 +192,7 @@ impl LogManager {
         let mut vol = self.vol.lock();
         let lsn = Lsn(vol.next_lsn);
         vol.next_lsn += 1;
-        vol.tail.push(LogRecord {
+        vol.tail.push_back(LogRecord {
             lsn,
             prev_lsn,
             txn,
@@ -123,7 +212,11 @@ impl LogManager {
     }
 
     /// Makes the log durable up to at least `lsn` (inclusive). Forcing an
-    /// already-durable LSN is a no-op.
+    /// already-durable LSN is a no-op. Frames move one at a time with a
+    /// bounded retry on transient faults, and a frame leaves the volatile
+    /// tail only once durably appended — a mid-force crash leaves a clean
+    /// durable prefix plus (at worst) one torn frame for restart's
+    /// scan-and-truncate to remove.
     pub fn force(&self, lsn: Lsn) -> Result<()> {
         let mut vol = self.vol.lock();
         let durable = self.stable.len() as u64;
@@ -136,8 +229,18 @@ impl LogManager {
             )));
         }
         let n = (lsn.0 - durable) as usize;
-        let moved: Vec<Vec<u8>> = vol.tail.drain(..n).map(|r| r.encode()).collect();
-        self.stable.append(moved);
+        for _ in 0..n {
+            let frame = match vol.tail.front() {
+                Some(rec) => rec.encode(),
+                None => {
+                    return Err(DmxError::Internal(
+                        "volatile tail shorter than force target".into(),
+                    ))
+                }
+            };
+            with_io_retries(MAX_IO_RETRIES, || self.stable.append_frame(frame.clone()))?;
+            vol.tail.pop_front();
+        }
         Ok(())
     }
 
@@ -148,6 +251,37 @@ impl LogManager {
             return Ok(());
         }
         self.force(last)
+    }
+
+    /// Restart's first step: walk the durable frames in order and drop the
+    /// tail from the first frame that fails to decode (torn or rotted) or
+    /// whose LSN breaks the dense sequence, then resync the LSN counter.
+    /// Returns the number of frames truncated. Must run before analysis
+    /// and before any new appends.
+    pub fn scan_and_truncate_tail(&self) -> Result<usize> {
+        let mut vol = self.vol.lock();
+        debug_assert!(
+            vol.tail.is_empty(),
+            "tail scan must run at restart, before new appends"
+        );
+        let n = self.stable.len();
+        let mut valid = 0usize;
+        while valid < n {
+            let res = with_io_retries(MAX_IO_RETRIES, || {
+                self.stable.with_frame(valid, LogRecord::decode)
+            });
+            match res {
+                Ok(rec) if rec.lsn.0 == valid as u64 + 1 => valid += 1,
+                Ok(_) | Err(DmxError::Corrupt(_)) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let dropped = n - valid;
+        if dropped > 0 {
+            self.stable.truncate_from(valid);
+        }
+        vol.next_lsn = valid as u64 + 1;
+        Ok(dropped)
     }
 
     /// Fetches a record by LSN, whether durable or still volatile.
@@ -172,7 +306,7 @@ impl LogManager {
 mod tests {
     use super::*;
     use crate::record::{ExtKind, LogBody};
-    use dmx_types::{RelationId, SmTypeId};
+    use dmx_types::{FaultPlan, RelationId, SmTypeId};
 
     fn ext_op(n: u8) -> LogBody {
         LogBody::ExtOp {
@@ -255,9 +389,99 @@ mod tests {
     }
 
     #[test]
+    fn with_frame_reads_without_clone() {
+        let stable = StableLog::new();
+        let log = LogManager::open(stable.clone());
+        let l1 = log.append(TxnId(1), Lsn::NULL, LogBody::Begin);
+        log.force(l1).unwrap();
+        let rec = stable.with_frame(0, LogRecord::decode).unwrap();
+        assert_eq!(rec.lsn, l1);
+        assert!(stable.with_frame(1, LogRecord::decode).is_err());
+    }
+
+    #[test]
     fn record_lookup_errors() {
         let log = LogManager::open(StableLog::new());
         assert!(log.record(Lsn::NULL).is_err());
         assert!(log.record(Lsn(1)).is_err());
+    }
+
+    #[test]
+    fn force_retries_transient_append() {
+        // I/O 0 is a transient failure: the first frame append fails once,
+        // the force-level retry succeeds, and nothing is lost or doubled.
+        let inj = FaultInjector::new(FaultPlan::new(9).transient_at(0));
+        let stable = StableLog::with_injector(inj.clone());
+        let log = LogManager::open(stable.clone());
+        let t = TxnId(1);
+        let l1 = log.append(t, Lsn::NULL, LogBody::Begin);
+        let l2 = log.append(t, l1, ext_op(1));
+        log.force(l2).unwrap();
+        assert_eq!(stable.len(), 2);
+        assert_eq!(inj.injected(), 1);
+        let recs = stable.all().unwrap();
+        assert_eq!(recs[0].lsn, l1);
+        assert_eq!(recs[1].lsn, l2);
+    }
+
+    #[test]
+    fn torn_append_leaves_undecodable_tail() {
+        let inj = FaultInjector::new(FaultPlan::new(3).torn_at(1));
+        let stable = StableLog::with_injector(inj.clone());
+        let log = LogManager::open(stable.clone());
+        let t = TxnId(1);
+        let l1 = log.append(t, Lsn::NULL, LogBody::Begin);
+        let l2 = log.append(t, l1, ext_op(1));
+        // io 0 appends l1; io 1 tears l2 and crashes
+        let err = log.force(l2).unwrap_err();
+        assert!(matches!(err, DmxError::Io(_)));
+        assert!(inj.is_crashed());
+        inj.clear();
+        // the tail scan drops at most the torn frame (a tear that kept
+        // every byte is a completed write and survives)
+        let reopened = LogManager::open(stable.clone());
+        let dropped = reopened.scan_and_truncate_tail().unwrap();
+        assert!(dropped <= 1, "at most the torn frame is lost");
+        let survived = 2 - dropped;
+        assert_eq!(stable.len(), survived);
+        assert_eq!(reopened.last_lsn(), Lsn(survived as u64));
+        // appends continue cleanly after truncation
+        let l = reopened.append(TxnId(2), Lsn::NULL, LogBody::Begin);
+        assert_eq!(l, Lsn(survived as u64 + 1));
+        reopened.force_all().unwrap();
+        assert_eq!(stable.len(), survived + 1);
+    }
+
+    #[test]
+    fn scan_truncates_flipped_tail_record() {
+        let inj = FaultInjector::new(FaultPlan::new(4).flip_at(2));
+        let stable = StableLog::with_injector(inj);
+        let log = LogManager::open(stable.clone());
+        let t = TxnId(1);
+        let mut prev = Lsn::NULL;
+        for i in 0..3 {
+            prev = log.append(t, prev, ext_op(i));
+        }
+        log.force_all().unwrap(); // io 2 (third frame) is flipped
+        assert_eq!(stable.len(), 3);
+        let reopened = LogManager::open(stable.clone());
+        let dropped = reopened.scan_and_truncate_tail().unwrap();
+        assert_eq!(dropped, 1, "only the rotted frame is dropped");
+        assert_eq!(stable.len(), 2);
+        assert_eq!(reopened.last_lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn scan_on_clean_log_drops_nothing() {
+        let stable = StableLog::new();
+        let log = LogManager::open(stable.clone());
+        let mut prev = Lsn::NULL;
+        for i in 0..4 {
+            prev = log.append(TxnId(1), prev, ext_op(i));
+        }
+        log.force_all().unwrap();
+        let reopened = LogManager::open(stable.clone());
+        assert_eq!(reopened.scan_and_truncate_tail().unwrap(), 0);
+        assert_eq!(stable.len(), 4);
     }
 }

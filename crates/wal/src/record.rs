@@ -7,6 +7,7 @@
 //! *drives* storage-method and attachment implementations but does not
 //! understand their representations.
 
+use dmx_types::crc::crc32;
 use dmx_types::{AttTypeId, DmxError, Lsn, RelationId, Result, SmTypeId, TxnId};
 
 /// Which extension wrote an [`LogBody::ExtOp`] record: the indexes into
@@ -112,12 +113,26 @@ impl LogRecord {
                 out.extend_from_slice(&intent_lsn.0.to_le_bytes());
             }
         }
+        // Trailing CRC32 over everything above: a torn or rotted frame is
+        // detected by decode, which is what lets restart recovery
+        // scan-and-truncate a damaged log tail instead of replaying it.
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
-    /// Deserializes a frame produced by [`LogRecord::encode`].
+    /// Deserializes a frame produced by [`LogRecord::encode`], verifying
+    /// its trailing checksum first.
     pub fn decode(buf: &[u8]) -> Result<LogRecord> {
         let corrupt = || DmxError::Corrupt("truncated log record".into());
+        let body_len = buf.len().checked_sub(4).ok_or_else(corrupt)?;
+        // bounds: body_len + 4 == buf.len() by the checked_sub above
+        let (payload, crc_bytes) = (&buf[..body_len], &buf[body_len..]);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().map_err(|_| corrupt())?);
+        if crc32(payload) != stored {
+            return Err(DmxError::Corrupt("log record failed checksum".into()));
+        }
+        let buf = payload;
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             let s = buf.get(*pos..*pos + n).ok_or_else(corrupt)?;
@@ -223,6 +238,30 @@ mod tests {
             payload: vec![9; 40],
         });
         roundtrip(LogBody::DeferredDone { intent_lsn: Lsn(4) });
+    }
+
+    #[test]
+    fn any_byte_flip_fails_checksum() {
+        let bytes = LogRecord {
+            lsn: Lsn(5),
+            prev_lsn: Lsn(4),
+            txn: TxnId(6),
+            body: LogBody::ExtOp {
+                ext: ExtKind::Storage(SmTypeId(1)),
+                relation: RelationId(2),
+                op: 3,
+                payload: vec![0xAB; 16],
+            },
+        }
+        .encode();
+        for i in 0..bytes.len() {
+            let mut rotted = bytes.clone();
+            rotted[i] ^= 0x40;
+            assert!(
+                matches!(LogRecord::decode(&rotted), Err(DmxError::Corrupt(_))),
+                "byte flip at {i} undetected"
+            );
+        }
     }
 
     #[test]

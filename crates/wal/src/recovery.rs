@@ -78,20 +78,37 @@ pub struct RestartReport {
     pub losers: Vec<TxnId>,
     /// Deferred intents of committed transactions that were (re-)executed.
     pub intents_redone: usize,
+    /// Torn/corrupt frames truncated from the durable log tail before
+    /// analysis.
+    pub tail_truncated: usize,
+    /// Highest transaction id seen in the durable log (0 when empty); the
+    /// database uses this to restart its transaction-id sequence without
+    /// a second log scan.
+    pub max_txn: u64,
 }
 
-/// System restart recovery: analyzes the durable log, completes committed
-/// transactions' outstanding deferred intents, and undoes loser
-/// transactions. Forces the log before returning.
+/// System restart recovery: truncates a torn/corrupt log tail, analyzes
+/// the durable log, completes committed transactions' outstanding
+/// deferred intents, and undoes loser transactions. Forces the log before
+/// returning.
 pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartReport> {
-    let records = log.stable().all()?;
+    // --- scan-and-truncate: a crash mid-force can leave one torn frame;
+    // --- rot can corrupt any frame. Nothing past the first bad frame is
+    // --- trustworthy (LSN chains would dangle), so the tail is dropped.
+    let tail_truncated = log.scan_and_truncate_tail()?;
 
-    // --- analysis ---
+    // --- analysis (streamed frame by frame; no whole-log clone) ---
     let mut active: HashMap<TxnId, Lsn> = HashMap::new();
     let mut committed: HashSet<TxnId> = HashSet::new();
     let mut intents: Vec<LogRecord> = Vec::new();
     let mut done: HashSet<Lsn> = HashSet::new();
-    for rec in &records {
+    let mut max_txn = 0u64;
+    let stable = log.stable();
+    for idx in 0..stable.len() {
+        let rec = stable.with_frame(idx, LogRecord::decode)?;
+        if rec.txn.0 > max_txn {
+            max_txn = rec.txn.0;
+        }
         match &rec.body {
             LogBody::Begin => {
                 active.insert(rec.txn, rec.lsn);
@@ -150,6 +167,8 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
     Ok(RestartReport {
         losers: loser_ids,
         intents_redone,
+        tail_truncated,
+        max_txn,
     })
 }
 
@@ -159,7 +178,7 @@ mod tests {
     use crate::log::StableLog;
     use crate::record::ExtKind;
     use dmx_types::sync::Mutex;
-    use dmx_types::{RelationId, SmTypeId};
+    use dmx_types::{DmxError, RelationId, SmTypeId};
     use std::sync::Arc;
 
     /// A handler that applies ops to a shadow counter set: op payload [n]
@@ -340,6 +359,112 @@ mod tests {
         let sh = Shadow::default();
         let report = restart(&log, &sh).unwrap();
         assert_eq!(report, RestartReport::default());
+    }
+
+    #[test]
+    fn restart_truncates_corrupt_tail_then_recovers() {
+        let stable = StableLog::new();
+        let sh = Arc::new(Shadow::default());
+        {
+            let log = LogManager::open(stable.clone());
+            let (w_last, _) = run_ops(&log, &sh, TxnId(1), &[10]);
+            log.append(TxnId(1), w_last, LogBody::Commit);
+            run_ops(&log, &sh, TxnId(2), &[20]);
+            log.force_all().unwrap();
+            // a torn frame at the very tail (garbage bytes, bad checksum)
+            stable.append_frame(vec![0xDE, 0xAD, 0xBE]).unwrap();
+        } // crash
+        let log = LogManager::open(stable.clone());
+        let report = restart(&log, &*sh).unwrap();
+        assert_eq!(report.tail_truncated, 1);
+        assert_eq!(report.losers, vec![TxnId(2)]);
+        assert_eq!(report.max_txn, 2);
+        assert_eq!(*sh.applied.lock(), vec![10], "winner survives");
+        assert_eq!(*sh.undone.lock(), vec![20]);
+    }
+
+    #[test]
+    fn restart_twice_is_idempotent() {
+        // "Crash during restart recovery itself": the first recovery
+        // completes and forces, then the system crashes again before doing
+        // any new work. The second recovery must find a clean log and
+        // change nothing.
+        let stable = StableLog::new();
+        let sh = Arc::new(Shadow::default());
+        {
+            let log = LogManager::open(stable.clone());
+            let (w_last, _) = run_ops(&log, &sh, TxnId(1), &[10, 11]);
+            log.append(TxnId(1), w_last, LogBody::Commit);
+            run_ops(&log, &sh, TxnId(2), &[20, 21]);
+            log.force_all().unwrap();
+        } // crash
+        {
+            let log = LogManager::open(stable.clone());
+            let r1 = restart(&log, &*sh).unwrap();
+            assert_eq!(r1.losers, vec![TxnId(2)]);
+        } // crash again, immediately after recovery
+        let log = LogManager::open(stable.clone());
+        let r2 = restart(&log, &*sh).unwrap();
+        assert!(r2.losers.is_empty(), "loser already aborted durably");
+        assert_eq!(r2.intents_redone, 0);
+        assert_eq!(*sh.applied.lock(), vec![10, 11]);
+        assert_eq!(*sh.undone.lock(), vec![21, 20], "no double undo");
+    }
+
+    #[test]
+    fn crash_between_intent_redo_and_done_completes_on_next_restart() {
+        // The hard window: a committed DeferredIntent's redo starts during
+        // restart, but the system crashes before the DeferredDone becomes
+        // durable. The next restart must re-drive the (idempotent) intent.
+        struct FailOnce {
+            inner: Shadow,
+            tripped: Mutex<bool>,
+        }
+        impl UndoHandler for FailOnce {
+            fn undo(&self, rec: &LogRecord) -> Result<()> {
+                self.inner.undo(rec)
+            }
+            fn redo_deferred(&self, rec: &LogRecord) -> Result<()> {
+                let mut tripped = self.tripped.lock();
+                if !*tripped {
+                    *tripped = true;
+                    return Err(DmxError::Io("simulated crash during restart".into()));
+                }
+                self.inner.redo_deferred(rec)
+            }
+        }
+        let stable = StableLog::new();
+        let sh = FailOnce {
+            inner: Shadow::default(),
+            tripped: Mutex::new(false),
+        };
+        {
+            let log = LogManager::open(stable.clone());
+            let t = TxnId(1);
+            let l1 = log.append(t, Lsn::NULL, LogBody::Begin);
+            let l2 = log.append(
+                t,
+                l1,
+                LogBody::DeferredIntent {
+                    payload: b"drop file 9".to_vec(),
+                },
+            );
+            log.append(t, l2, LogBody::Commit);
+            log.force_all().unwrap();
+        } // crash
+        {
+            let log = LogManager::open(stable.clone());
+            assert!(restart(&log, &sh).is_err(), "first restart dies mid-redo");
+        } // crash during recovery: no DeferredDone reached the stable log
+        let log = LogManager::open(stable.clone());
+        let report = restart(&log, &sh).unwrap();
+        assert_eq!(report.intents_redone, 1);
+        assert_eq!(*sh.inner.deferred.lock(), vec![b"drop file 9".to_vec()]);
+        // and a third restart finds the DeferredDone and stays quiet
+        let log = LogManager::open(stable);
+        let report = restart(&log, &sh).unwrap();
+        assert_eq!(report.intents_redone, 0);
+        assert_eq!(sh.inner.deferred.lock().len(), 1);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //!
 //! 1. panic discipline in runtime crates (shrinking allowlist in
 //!    `crates/xtask/allow.toml`);
-//! 2. audited `unsafe` (allowlisted module + `// SAFETY:` comment);
-//! 3. the crate-layering DAG and the std-only dependency rule;
-//! 4. extension-contract conformance for registered storage methods and
+//! 2. fault-path discipline (no raw `MemDisk`/`StableLog` construction
+//!    outside the I/O crates — all I/O passes the fault injector);
+//! 3. audited `unsafe` (allowlisted module + `// SAFETY:` comment);
+//! 4. the crate-layering DAG and the std-only dependency rule;
+//! 5. extension-contract conformance for registered storage methods and
 //!    attachment types.
 //!
 //! The analysis is deliberately lexical (file walking plus token
@@ -46,6 +48,7 @@ pub fn verify(root: &Path) -> Result<Vec<Violation>, String> {
 
     let mut violations = Vec::new();
     violations.extend(rules::check_panics(&files, &allow));
+    violations.extend(rules::check_raw_io_construction(&files));
     violations.extend(rules::check_unsafe(&files, &allow));
     violations.extend(rules::check_layering(root));
     violations.extend(rules::check_private_paths(&files));

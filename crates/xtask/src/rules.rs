@@ -1,14 +1,17 @@
-//! The four rule families of `xtask verify`.
+//! The five rule families of `xtask verify`.
 //!
 //! 1. **Panic discipline** — no `unwrap()` / `expect(` / `panic!` /
 //!    `todo!` / `unimplemented!` and no unjustified range-slicing in
 //!    non-test runtime code, modulo the shrinking allowlist.
-//! 2. **Unsafe audit** — every `unsafe` token lives in an allowlisted
+//! 2. **Fault-path discipline** — no direct `MemDisk`/`StableLog`
+//!    construction in non-test runtime code outside the I/O crates, so
+//!    every disk/log flows through the fault-injection layer.
+//! 3. **Unsafe audit** — every `unsafe` token lives in an allowlisted
 //!    module and carries a nearby `// SAFETY:` comment.
-//! 3. **Layering** — runtime crates only depend on crates below them in
+//! 4. **Layering** — runtime crates only depend on crates below them in
 //!    the documented DAG, never on external crates, and the extension
 //!    crates never name kernel-internal module paths.
-//! 4. **Extension contracts** — every registered storage method and
+//! 5. **Extension contracts** — every registered storage method and
 //!    attachment type implements the full generic operation set.
 
 use std::collections::{HashMap, HashSet};
@@ -280,7 +283,54 @@ fn slice_justified(f: &SourceFile, idx: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// Rule 2: unsafe audit
+// Rule 2: fault-path discipline
+// ---------------------------------------------------------------------
+
+/// Constructors that bypass the fault-injection layer. Runtime code above
+/// the I/O crates must obtain its disk and log through the fault-aware
+/// environment (`FaultDisk::fresh`/`over`, `StableLog::with_injector`, or
+/// `DatabaseEnv`), so every I/O is visible to the shared injector and the
+/// crash-point sweep covers it.
+const RAW_IO_CONSTRUCTORS: &[&str] = &[
+    "MemDisk::new",
+    "MemDisk::default",
+    "StableLog::new",
+    "StableLog::default",
+];
+
+/// Denies direct `MemDisk`/`StableLog` construction in non-test runtime
+/// code outside `crates/pagestore/` and `crates/wal/` (the crates that
+/// define them and their fault-aware wrappers).
+pub fn check_raw_io_construction(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.rel.starts_with("crates/pagestore/") || f.rel.starts_with("crates/wal/") {
+            continue;
+        }
+        for (i, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for ctor in RAW_IO_CONSTRUCTORS {
+                if line.code.contains(ctor) {
+                    out.push(Violation::new(
+                        "raw-io",
+                        &f.rel,
+                        i + 1,
+                        format!(
+                            "`{ctor}` bypasses the fault-injection layer — construct the \
+                             disk/log through `DatabaseEnv` or the fault-aware wrappers"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: unsafe audit
 // ---------------------------------------------------------------------
 
 /// Every `unsafe` token must live in an allowlisted module and carry a
@@ -360,7 +410,7 @@ fn has_word(code: &str, word: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// Rule 3: layering
+// Rule 4: layering
 // ---------------------------------------------------------------------
 
 /// Verifies the dependency DAG from each crate's `Cargo.toml` and the
@@ -473,7 +523,7 @@ pub fn check_private_paths(files: &[SourceFile]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------
-// Rule 4: extension-contract conformance
+// Rule 5: extension-contract conformance
 // ---------------------------------------------------------------------
 
 /// Methods every registered storage method must implement — the full
@@ -712,6 +762,24 @@ mod tests {
             "let a: [u8; 4] = [0; 4];\n#[cfg(feature = \"x\")]\nlet m = map[key];\n",
         );
         assert!(check_panics(&[f], &Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn raw_io_construction_denied_outside_io_crates() {
+        let core = sf(
+            "crates/core/src/services.rs",
+            "fn mk() { let d = MemDisk::new(); }\n#[cfg(test)]\nmod t { fn b() { let l = StableLog::new(); } }\n",
+        );
+        let v = check_raw_io_construction(&[core]);
+        assert_eq!(v.len(), 1, "only the non-test hit: {v:?}");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].msg.contains("MemDisk::new"));
+
+        let wal = sf(
+            "crates/wal/src/log.rs",
+            "fn mk() { let l = StableLog::new(); }\n",
+        );
+        assert!(check_raw_io_construction(&[wal]).is_empty());
     }
 
     #[test]

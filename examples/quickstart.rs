@@ -49,22 +49,31 @@ fn main() -> Result<()> {
     let plan = db.query_sql("EXPLAIN SELECT name, salary FROM employee WHERE id = 321")?;
     println!("\nplan for `id = 321`:");
     for row in &plan {
-        println!("  {}", row[0].as_str()?);
+        if let Some(step) = row.first() {
+            println!("  {}", step.as_str()?);
+        }
     }
     let rows = db.query_sql("SELECT name, salary FROM employee WHERE id = 321")?;
-    println!("  -> {:?}", rows[0]);
+    let hit = rows
+        .first()
+        .ok_or_else(|| DmxError::NotFound("employee 321".into()))?;
+    println!("  -> {hit:?}");
 
     // --- the veto path -------------------------------------------------
     // a duplicate id (unique index) and a non-positive salary (check
     // constraint) are both vetoed by their attachments; the common
     // recovery log undoes the already-applied parts of each modification
     let dup = db.execute_sql("INSERT INTO employee VALUES (321, 'imposter', 1, 500.0)");
-    println!("\nduplicate id:    {}", dup.unwrap_err());
+    println!("\nduplicate id:    {}", expect_veto(dup)?);
     let neg = db.execute_sql("INSERT INTO employee VALUES (9999, 'broke', 1, -5.0)");
-    println!("negative salary: {}", neg.unwrap_err());
+    println!("negative salary: {}", expect_veto(neg)?);
 
     let n = db.query_sql("SELECT COUNT(*) FROM employee")?;
-    println!("\nemployee count after vetoes: {} (still 1000)", n[0][0]);
+    let count = n
+        .first()
+        .and_then(|r| r.first())
+        .ok_or_else(|| DmxError::Internal("COUNT(*) returned no row".into()))?;
+    println!("\nemployee count after vetoes: {count} (still 1000)");
 
     // --- aggregate over an index-ordered scan --------------------------
     let rows = db.query_sql(
@@ -72,7 +81,21 @@ fn main() -> Result<()> {
     )?;
     println!("\nper-department headcount / average salary:");
     for r in &rows {
-        println!("  dept {}: {} employees, avg {}", r[0], r[1], r[2]);
+        if let [dept, n, avg] = r.as_slice() {
+            println!("  dept {dept}: {n} employees, avg {avg}");
+        }
     }
     Ok(())
+}
+
+/// The veto paths are the demo: an attachment rejecting a modification
+/// must surface as an error. If one unexpectedly succeeds, the example
+/// itself is broken — report that instead of panicking.
+fn expect_veto<T>(r: Result<T>) -> Result<DmxError> {
+    match r {
+        Err(e) => Ok(e),
+        Ok(_) => Err(DmxError::Internal(
+            "expected the attachment to veto this insert".into(),
+        )),
+    }
 }

@@ -32,8 +32,13 @@ fn main() -> Result<()> {
         }
         std::io::stdout().flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            break;
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
         }
         let trimmed = line.trim();
         if trimmed == "\\q" || trimmed.eq_ignore_ascii_case("quit") {
@@ -49,7 +54,7 @@ fn main() -> Result<()> {
             }
             match sess.execute(&stmt) {
                 Ok(result) => print_result(&result),
-                Err(e) => println!("error: {e}"),
+                Err(e) => report_error(&e),
             }
         }
         if buffer.trim().is_empty() {
@@ -58,6 +63,24 @@ fn main() -> Result<()> {
     }
     println!("bye");
     Ok(())
+}
+
+/// Errors are part of the interface: besides the message, tell the user
+/// what the sensible next action is for the recoverable classes.
+fn report_error(e: &DmxError) {
+    println!("error: {e}");
+    match e {
+        DmxError::RelationQuarantined { .. } => {
+            println!("hint: this relation's pages failed checksum verification; other relations remain available");
+        }
+        DmxError::IoTransient(_) => {
+            println!("hint: the fault was transient — re-run the statement");
+        }
+        DmxError::Deadlock { .. } => {
+            println!("hint: the statement's transaction was chosen as deadlock victim and rolled back — re-run it");
+        }
+        _ => {}
+    }
 }
 
 fn print_result(r: &QueryResult) {

@@ -17,4 +17,9 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+# Bounded crash-point sweep: every 16th I/O index instead of all of them
+# (the full sweep runs in the nightly/thorough lane with stride 1).
+echo "==> fault sweep smoke (FAULT_SWEEP_STRIDE=16)"
+FAULT_SWEEP_STRIDE=16 cargo test -q --test fault_sweep
+
 echo "check.sh: all gates passed"

@@ -88,7 +88,7 @@ pub mod prelude {
     pub use dmx_core::{AccessPath, AccessQuery, Database, DatabaseConfig, DatabaseEnv, SpatialOp};
     pub use dmx_query::{QueryResult, Session, SqlExt};
     pub use dmx_types::{
-        AttrList, ColumnDef, DataType, DmxError, Record, RecordKey, Rect, RelationId, Result,
-        Schema, Value,
+        AttrList, ColumnDef, DataType, DmxError, FaultInjector, FaultKind, FaultPlan, Record,
+        RecordKey, Rect, RelationId, Result, Schema, Value,
     };
 }
