@@ -140,13 +140,37 @@ impl Database {
             }
         }
         let catalog = Catalog::new();
-        match catalog.load(&env.disk) {
-            // A crash can tear the on-disk catalog image mid-write. The
-            // committed image is logged as a deferred intent at every DDL
-            // commit and restart re-drives it (disk *and* memory), so
-            // start from an empty catalog instead of failing the reopen.
-            Err(DmxError::Corrupt(_)) => {}
-            other => other?,
+        let catalog_corrupt = match catalog.load(&env.disk) {
+            Err(e @ DmxError::Corrupt(_)) => Some(e),
+            other => {
+                other?;
+                None
+            }
+        };
+        // A corrupt on-disk catalog image is tolerable only when restart
+        // can reconstruct it. The committed image is logged as a deferred
+        // intent at every DDL commit, so a crash that tore the image
+        // mid-write left that intent pending (no durable DeferredDone)
+        // and recovery re-drives it, disk *and* memory. Likewise a torn
+        // bootstrap write on a database that never committed DDL loses
+        // nothing. But when every committed catalog intent has completed,
+        // the damage is silent media rot of durable metadata: starting
+        // from an empty catalog would irrecoverably discard every
+        // relation descriptor and then persist over the evidence. Fail
+        // the reopen instead — checked *before* recovery appends anything
+        // to the log, leaving the damaged image in place for out-of-band
+        // repair.
+        if let Some(err) = catalog_corrupt {
+            let catalog_intents: Vec<bool> = dmx_wal::committed_intents(&log)?
+                .into_iter()
+                .filter(|(rec, _)| crate::undo::is_catalog_intent(rec))
+                .map(|(_, done)| done)
+                .collect();
+            let rebuildable =
+                catalog_intents.is_empty() || catalog_intents.iter().any(|done| !done);
+            if !rebuildable {
+                return Err(err);
+            }
         }
 
         // Restart recovery (idempotent; trivial on a fresh environment).

@@ -40,6 +40,13 @@ pub fn encode_catalog_intent(image: &[u8]) -> Vec<u8> {
     v
 }
 
+/// True when `rec` is a deferred intent carrying a catalog image — the
+/// kind restart can use to reconstruct a damaged on-disk catalog file.
+pub(crate) fn is_catalog_intent(rec: &LogRecord) -> bool {
+    matches!(&rec.body, LogBody::DeferredIntent { payload }
+        if payload.first() == Some(&INTENT_CATALOG))
+}
+
 /// The handler the recovery driver calls into.
 pub struct UndoDispatch {
     pub registry: Arc<ExtensionRegistry>,

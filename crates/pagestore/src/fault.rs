@@ -96,10 +96,10 @@ impl DiskManager for FaultDisk {
             FaultDecision::FlipByte { raw } => {
                 self.count_fault();
                 self.inner.read_page(pid, out)?;
-                let off = (raw as usize) % PAGE_SIZE;
-                let bit = 1u8 << ((raw >> 32) % 8);
-                // bounds: off is reduced modulo PAGE_SIZE above
-                out.raw_mut()[off] ^= bit;
+                if let Some((off, bit)) = FaultDecision::flip_target(raw, PAGE_SIZE) {
+                    // bounds: flip_target reduces off modulo PAGE_SIZE
+                    out.raw_mut()[off] ^= bit;
+                }
                 Ok(())
             }
             other => {
@@ -119,10 +119,10 @@ impl DiskManager for FaultDisk {
             FaultDecision::FlipByte { raw } => {
                 self.count_fault();
                 let mut dirty = page.clone();
-                let off = (raw as usize) % PAGE_SIZE;
-                let bit = 1u8 << ((raw >> 32) % 8);
-                // bounds: off is reduced modulo PAGE_SIZE above
-                dirty.raw_mut()[off] ^= bit;
+                if let Some((off, bit)) = FaultDecision::flip_target(raw, PAGE_SIZE) {
+                    // bounds: flip_target reduces off modulo PAGE_SIZE
+                    dirty.raw_mut()[off] ^= bit;
+                }
                 self.inner.write_page(pid, &dirty)
             }
             FaultDecision::Torn { raw } => {

@@ -50,13 +50,27 @@ pub enum FaultDecision {
     FailTransient,
     /// Fail with [`DmxError::Io`], persist nothing.
     FailPermanent,
-    /// Persist `raw % len` bytes of the write, then crash.
+    /// Persist only a `raw`-derived prefix of the write, then crash.
     Torn { raw: u64 },
-    /// Flip bit `1 << (raw % 8)` of byte `raw % len`.
+    /// Flip one `raw`-selected bit of the image (see
+    /// [`FaultDecision::flip_target`] for the exact mapping).
     FlipByte { raw: u64 },
     /// Fail with [`DmxError::Io`]; the injector is now in the crashed
     /// state and every later decision is `Crash` too.
     Crash,
+}
+
+impl FaultDecision {
+    /// The byte offset and bit mask a `FlipByte { raw }` decision selects
+    /// in a buffer of `len` bytes: byte `raw % len`, bit
+    /// `1 << ((raw >> 32) % 8)`. Returns `None` for an empty buffer.
+    /// Every wrapper maps through here so implementations cannot diverge.
+    pub fn flip_target(raw: u64, len: usize) -> Option<(usize, u8)> {
+        if len == 0 {
+            return None;
+        }
+        Some(((raw as usize) % len, 1u8 << ((raw >> 32) % 8)))
+    }
 }
 
 /// A seeded schedule of faults keyed by global I/O index (0-based: the

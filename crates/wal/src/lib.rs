@@ -25,4 +25,4 @@ pub mod recovery;
 
 pub use log::{LogManager, StableLog};
 pub use record::{ExtKind, LogBody, LogRecord};
-pub use recovery::{restart, rollback_to, RestartReport, UndoHandler};
+pub use recovery::{committed_intents, restart, rollback_to, RestartReport, UndoHandler};

@@ -78,10 +78,8 @@ impl StableLog {
                 Ok(())
             }
             FaultDecision::FlipByte { raw } => {
-                if !frame.is_empty() {
-                    let off = (raw as usize) % frame.len();
-                    let bit = 1u8 << ((raw >> 32) % 8);
-                    // bounds: off is reduced modulo frame.len() above
+                if let Some((off, bit)) = FaultDecision::flip_target(raw, frame.len()) {
+                    // bounds: flip_target reduces off modulo frame.len()
                     frame[off] ^= bit;
                 }
                 self.frames.lock().push(frame);
@@ -130,15 +128,18 @@ impl StableLog {
     }
 
     /// Decodes the durable record with the given LSN (1-based, dense).
+    /// Retries transient read faults so rollback and record lookups never
+    /// surface [`DmxError::IoTransient`].
     pub fn record(&self, lsn: Lsn) -> Result<LogRecord> {
         let idx = (lsn.0 as usize)
             .checked_sub(1)
             .ok_or_else(|| DmxError::InvalidArg("lsn 0".into()))?;
-        self.with_frame(idx, LogRecord::decode)
-            .map_err(|e| match e {
+        with_io_retries(MAX_IO_RETRIES, || self.with_frame(idx, LogRecord::decode)).map_err(|e| {
+            match e {
                 DmxError::NotFound(_) => DmxError::NotFound(format!("log record {lsn}")),
                 other => other,
-            })
+            }
+        })
     }
 
     /// Decodes all durable records in LSN order. Test/diagnostic

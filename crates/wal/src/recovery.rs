@@ -15,6 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use dmx_types::fault::{with_io_retries, MAX_IO_RETRIES};
 use dmx_types::{Lsn, Result, TxnId};
 
 use crate::log::LogManager;
@@ -87,17 +88,33 @@ pub struct RestartReport {
     pub max_txn: u64,
 }
 
-/// System restart recovery: truncates a torn/corrupt log tail, analyzes
-/// the durable log, completes committed transactions' outstanding
-/// deferred intents, and undoes loser transactions. Forces the log before
-/// returning.
-pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartReport> {
-    // --- scan-and-truncate: a crash mid-force can leave one torn frame;
-    // --- rot can corrupt any frame. Nothing past the first bad frame is
-    // --- trustworthy (LSN chains would dangle), so the tail is dropped.
+/// What one streaming pass over the durable log establishes: transaction
+/// outcomes, deferred-intent status, and how much torn tail was dropped.
+struct Analysis {
+    /// Loser transactions mapped to their last durable LSN.
+    active: HashMap<TxnId, Lsn>,
+    /// Transactions with a durable commit record.
+    committed: HashSet<TxnId>,
+    /// All deferred-intent records, in log order.
+    intents: Vec<LogRecord>,
+    /// Intent LSNs with a durable completion record.
+    done: HashSet<Lsn>,
+    /// Highest transaction id seen.
+    max_txn: u64,
+    /// Frames dropped by the tail scan.
+    tail_truncated: usize,
+}
+
+/// Truncates the torn/corrupt log tail, then streams the durable frames
+/// once (no whole-log clone), classifying transactions and deferred
+/// intents. Frame reads retry transient faults like every other I/O path,
+/// so `DmxError::IoTransient` never escapes restart.
+fn analyze(log: &LogManager) -> Result<Analysis> {
+    // A crash mid-force can leave one torn frame; rot can corrupt any
+    // frame. Nothing past the first bad frame is trustworthy (LSN chains
+    // would dangle), so the tail is dropped.
     let tail_truncated = log.scan_and_truncate_tail()?;
 
-    // --- analysis (streamed frame by frame; no whole-log clone) ---
     let mut active: HashMap<TxnId, Lsn> = HashMap::new();
     let mut committed: HashSet<TxnId> = HashSet::new();
     let mut intents: Vec<LogRecord> = Vec::new();
@@ -105,7 +122,7 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
     let mut max_txn = 0u64;
     let stable = log.stable();
     for idx in 0..stable.len() {
-        let rec = stable.with_frame(idx, LogRecord::decode)?;
+        let rec = with_io_retries(MAX_IO_RETRIES, || stable.with_frame(idx, LogRecord::decode))?;
         if rec.txn.0 > max_txn {
             max_txn = rec.txn.0;
         }
@@ -136,6 +153,50 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
             }
         }
     }
+    Ok(Analysis {
+        active,
+        committed,
+        intents,
+        done,
+        max_txn,
+        tail_truncated,
+    })
+}
+
+/// The committed transactions' deferred-intent records in the durable
+/// log, each paired with whether its completion (`DeferredDone`) is also
+/// durable. Intents whose flag is `false` are exactly the set
+/// [`restart`] will re-drive.
+///
+/// Runs the same tail truncation and analysis pass as [`restart`] (both
+/// are idempotent), so a caller can decide *before* recovery appends
+/// anything to the log whether a damaged side structure — e.g. the
+/// catalog image — can still be reconstructed from a pending intent.
+pub fn committed_intents(log: &LogManager) -> Result<Vec<(LogRecord, bool)>> {
+    let a = analyze(log)?;
+    Ok(a.intents
+        .into_iter()
+        .filter(|rec| a.committed.contains(&rec.txn))
+        .map(|rec| {
+            let done = a.done.contains(&rec.lsn);
+            (rec, done)
+        })
+        .collect())
+}
+
+/// System restart recovery: truncates a torn/corrupt log tail, analyzes
+/// the durable log, completes committed transactions' outstanding
+/// deferred intents, and undoes loser transactions. Forces the log before
+/// returning.
+pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartReport> {
+    let Analysis {
+        active,
+        committed,
+        intents,
+        done,
+        max_txn,
+        tail_truncated,
+    } = analyze(log)?;
 
     // --- redo committed deferred intents ---
     let mut intents_redone = 0;
