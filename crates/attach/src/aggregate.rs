@@ -139,21 +139,33 @@ impl Aggregate {
         }
     }
 
-    /// Applies a delta to one group, returning the group's before-image
-    /// (for undo logging).
+    /// Reads a group's before-image (for undo logging).
+    fn read_before(
+        services: &Arc<CommonServices>,
+        desc: &[u8],
+        group: &[u8],
+    ) -> Result<Option<(i64, f64)>> {
+        let d = AggDesc::decode(desc)?;
+        Ok(match Self::tree(services, &d).get(group)? {
+            Some(cell) => Some(decode_cell(&cell)?),
+            None => None,
+        })
+    }
+
+    /// Applies a delta to one group whose before-image was already read
+    /// and logged; every dirtied page is stamped with `lsn` so the cell
+    /// cannot reach disk before its log record (write-ahead).
     fn apply_delta(
         services: &Arc<CommonServices>,
         desc: &[u8],
         group: &[u8],
+        before: Option<(i64, f64)>,
         dcount: i64,
         dsum: f64,
-    ) -> Result<Option<(i64, f64)>> {
+        lsn: Lsn,
+    ) -> Result<()> {
         let d = AggDesc::decode(desc)?;
-        let tree = Self::tree(services, &d);
-        let before = match tree.get(group)? {
-            Some(cell) => Some(decode_cell(&cell)?),
-            None => None,
-        };
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
         let (count, sum) = before.unwrap_or((0, 0.0));
         let (nc, ns) = (count + dcount, sum + dsum);
         if nc <= 0 {
@@ -161,7 +173,7 @@ impl Aggregate {
         } else {
             tree.insert(group, &encode_cell(nc, ns), OnDuplicate::Replace)?;
         }
-        Ok(before)
+        Ok(())
     }
 
     /// Restores a group to a before-image (undo; correct in reverse log
@@ -196,7 +208,7 @@ impl Aggregate {
         let d = AggDesc::decode(&inst.desc)?;
         let group = Self::group_key(&d, record)?;
         let dsum = Self::sum_value(&d, record)? * sign as f64;
-        let before = Self::apply_delta(ctx.services(), &inst.desc, &group, sign, dsum)?;
+        let before = Self::read_before(ctx.services(), &inst.desc, &group)?;
         let att = rd
             .attached_types()
             .find(|(_, insts)| {
@@ -206,14 +218,14 @@ impl Aggregate {
             })
             .map(|(t, _)| t)
             .unwrap_or_default();
-        log_att(
+        let lsn = log_att(
             ctx,
             rd,
             att,
             A_DELTA,
             encode_att_payload(&inst.desc, &group, &encode_before(before)),
         );
-        Ok(())
+        Self::apply_delta(ctx.services(), &inst.desc, &group, before, sign, dsum, lsn)
     }
 }
 

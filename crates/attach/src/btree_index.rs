@@ -113,14 +113,20 @@ impl BTreeIndex {
             ));
         }
         let full = Self::full_key(&prefix, key);
-        tree.insert(&full, key.as_bytes(), OnDuplicate::Error)?;
-        log_att(
+        // Log first, then apply with the record's LSN stamped onto every
+        // page the tree op dirties: the flush hook forces the log through
+        // a page's LSN before writing it, so the entry can never reach
+        // disk ahead of the record that lets recovery undo it. (The undo
+        // handler tolerates the converse — logged but never applied.)
+        let lsn = log_att(
             ctx,
             rd,
             find_type_id(rd, inst),
             A_INSERT,
             encode_att_payload(&inst.desc, &full, key.as_bytes()),
         );
+        tree.with_wal_lsn(lsn)
+            .insert(&full, key.as_bytes(), OnDuplicate::Error)?;
         Ok(())
     }
 
@@ -136,15 +142,18 @@ impl BTreeIndex {
         let prefix = Self::prefix(&d, record)?;
         let full = Self::full_key(&prefix, key);
         let tree = Self::tree(ctx.services(), &d);
-        if tree.delete(&full)?.is_some() {
-            log_att(
-                ctx,
-                rd,
-                find_type_id(rd, inst),
-                A_DELETE,
-                encode_att_payload(&inst.desc, &full, key.as_bytes()),
-            );
+        if tree.get(&full)?.is_none() {
+            return Ok(());
         }
+        // Write-ahead: log, then delete with the LSN stamped (see insert).
+        let lsn = log_att(
+            ctx,
+            rd,
+            find_type_id(rd, inst),
+            A_DELETE,
+            encode_att_payload(&inst.desc, &full, key.as_bytes()),
+        );
+        tree.with_wal_lsn(lsn).delete(&full)?;
         Ok(())
     }
 }

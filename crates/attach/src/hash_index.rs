@@ -158,14 +158,20 @@ impl Attachment for HashIndex {
         for inst in instances {
             let d = HashDesc::decode(&inst.desc)?;
             let full = Self::entry_key(&d, new, key)?;
-            Self::tree(ctx.services(), &d).insert(&full, key.as_bytes(), OnDuplicate::Error)?;
-            log_att(
+            // Log first, then apply with the LSN stamped onto dirtied
+            // pages so the entry cannot reach disk before its log record.
+            let lsn = log_att(
                 ctx,
                 rd,
                 Self::type_id(rd, inst),
                 A_INSERT,
                 encode_att_payload(&inst.desc, &full, key.as_bytes()),
             );
+            Self::tree(ctx.services(), &d).with_wal_lsn(lsn).insert(
+                &full,
+                key.as_bytes(),
+                OnDuplicate::Error,
+            )?;
         }
         Ok(())
     }
@@ -188,23 +194,25 @@ impl Attachment for HashIndex {
                 continue;
             }
             let tree = Self::tree(ctx.services(), &d);
-            if tree.delete(&old_full)?.is_some() {
-                log_att(
+            if tree.get(&old_full)?.is_some() {
+                let lsn = log_att(
                     ctx,
                     rd,
                     Self::type_id(rd, inst),
                     A_DELETE,
                     encode_att_payload(&inst.desc, &old_full, old_key.as_bytes()),
                 );
+                tree.clone().with_wal_lsn(lsn).delete(&old_full)?;
             }
-            tree.insert(&new_full, new_key.as_bytes(), OnDuplicate::Error)?;
-            log_att(
+            let lsn = log_att(
                 ctx,
                 rd,
                 Self::type_id(rd, inst),
                 A_INSERT,
                 encode_att_payload(&inst.desc, &new_full, new_key.as_bytes()),
             );
+            tree.with_wal_lsn(lsn)
+                .insert(&new_full, new_key.as_bytes(), OnDuplicate::Error)?;
         }
         Ok(())
     }
@@ -220,14 +228,16 @@ impl Attachment for HashIndex {
         for inst in instances {
             let d = HashDesc::decode(&inst.desc)?;
             let full = Self::entry_key(&d, old, key)?;
-            if Self::tree(ctx.services(), &d).delete(&full)?.is_some() {
-                log_att(
+            let tree = Self::tree(ctx.services(), &d);
+            if tree.get(&full)?.is_some() {
+                let lsn = log_att(
                     ctx,
                     rd,
                     Self::type_id(rd, inst),
                     A_DELETE,
                     encode_att_payload(&inst.desc, &full, key.as_bytes()),
                 );
+                tree.with_wal_lsn(lsn).delete(&full)?;
             }
         }
         Ok(())

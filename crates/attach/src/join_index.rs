@@ -132,16 +132,20 @@ impl JoinIndex {
         key: &[u8],
         value: &[u8],
     ) -> Result<()> {
-        Self::tree(ctx.services(), d, which).insert(key, value, OnDuplicate::Replace)?;
+        // Log first, then apply with the LSN stamped onto dirtied pages
+        // so the entry cannot reach disk before its log record.
         let mut extra = vec![which];
         extra.extend_from_slice(value);
-        log_att(
+        let lsn = log_att(
             ctx,
             rd,
             att,
             A_INSERT,
             encode_att_payload(desc, key, &extra),
         );
+        Self::tree(ctx.services(), d, which)
+            .with_wal_lsn(lsn)
+            .insert(key, value, OnDuplicate::Replace)?;
         Ok(())
     }
 
@@ -154,16 +158,18 @@ impl JoinIndex {
         which: u8,
         key: &[u8],
     ) -> Result<()> {
-        if let Some(old) = Self::tree(ctx.services(), d, which).delete(key)? {
+        let tree = Self::tree(ctx.services(), d, which);
+        if let Some(old) = tree.get(key)? {
             let mut extra = vec![which];
             extra.extend_from_slice(&old);
-            log_att(
+            let lsn = log_att(
                 ctx,
                 rd,
                 att,
                 A_DELETE,
                 encode_att_payload(desc, key, &extra),
             );
+            tree.with_wal_lsn(lsn).delete(key)?;
         }
         Ok(())
     }

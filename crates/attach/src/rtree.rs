@@ -217,6 +217,10 @@ pub struct RTree {
     pool: Arc<BufferPool>,
     root: PageId,
     latch: Arc<TreeLatch>,
+    /// When non-null, every page a mutation dirties is stamped with this
+    /// LSN so the buffer pool forces the log through it before the page
+    /// can reach disk (write-ahead for attachment log records).
+    wal_lsn: Lsn,
 }
 
 impl RTree {
@@ -230,6 +234,7 @@ impl RTree {
             pool: pool.clone(),
             root: pin.id(),
             latch: latches.latch(pin.id()),
+            wal_lsn: Lsn::NULL,
         })
     }
 
@@ -239,6 +244,22 @@ impl RTree {
             pool: pool.clone(),
             root,
             latch: latches.latch(root),
+            wal_lsn: Lsn::NULL,
+        }
+    }
+
+    /// Returns a handle whose mutations stamp dirtied pages with `lsn`
+    /// (see [`dmx_btree::BTree::with_wal_lsn`] for the protocol).
+    #[must_use]
+    pub fn with_wal_lsn(mut self, lsn: Lsn) -> Self {
+        self.wal_lsn = lsn;
+        self
+    }
+
+    /// Stamps a page this mutation dirtied (LSNs only move forward).
+    fn stamp(&self, page: &mut Page) {
+        if self.wal_lsn > page.lsn() {
+            page.set_lsn(self.wal_lsn);
         }
     }
 
@@ -267,6 +288,7 @@ impl RTree {
             let entry = make_entry(rect, payload);
             let mut page = pin.write();
             if SlottedPage::insert(&mut page, &entry).is_some() {
+                self.stamp(&mut page);
                 return Ok(None);
             }
             // split
@@ -274,10 +296,12 @@ impl RTree {
             items.push(entry);
             let (a, b) = quadratic_split(items)?;
             write_entries(&mut page, PAGE_TYPE_RTREE_LEAF, &a)?;
+            self.stamp(&mut page);
             drop(page);
             let new_pin = self.pool.new_page(self.root.file)?;
             let mut new_page = new_pin.write();
             write_entries(&mut new_page, PAGE_TYPE_RTREE_LEAF, &b)?;
+            self.stamp(&mut new_page);
             return Ok(Some(new_pin.id().page_no));
         }
         // choose subtree: least enlargement, ties by area
@@ -312,6 +336,7 @@ impl RTree {
             slot,
             &make_entry(&child_bounds, &child.to_le_bytes()),
         )?;
+        self.stamp(&mut page);
         let Some(new_child) = split else {
             return Ok(None);
         };
@@ -322,6 +347,7 @@ impl RTree {
         };
         let new_entry = make_entry(&new_bounds, &new_child.to_le_bytes());
         if SlottedPage::insert(&mut page, &new_entry).is_some() {
+            self.stamp(&mut page);
             return Ok(None);
         }
         // split this inner node
@@ -329,10 +355,12 @@ impl RTree {
         items.push(new_entry);
         let (a, b) = quadratic_split(items)?;
         write_entries(&mut page, PAGE_TYPE_RTREE_INNER, &a)?;
+        self.stamp(&mut page);
         drop(page);
         let new_pin = self.pool.new_page(self.root.file)?;
         let mut new_page = new_pin.write();
         write_entries(&mut new_page, PAGE_TYPE_RTREE_INNER, &b)?;
+        self.stamp(&mut new_page);
         Ok(Some(new_pin.id().page_no))
     }
 
@@ -345,6 +373,7 @@ impl RTree {
             let mut left = left_pin.write();
             let root = root_pin.read();
             *left.raw_mut() = *root.raw();
+            self.stamp(&mut left);
         }
         let left_bounds =
             bounds(&left_pin.read())?.ok_or_else(|| DmxError::Corrupt("empty root copy".into()))?;
@@ -361,7 +390,9 @@ impl RTree {
                 make_entry(&left_bounds, &left_pin.id().page_no.to_le_bytes()),
                 make_entry(&right_bounds, &new_page.to_le_bytes()),
             ],
-        )
+        )?;
+        self.stamp(&mut root);
+        Ok(())
     }
 
     /// True when an entry with exactly `(rect, payload)` exists.
@@ -418,7 +449,9 @@ impl RTree {
                 found
             };
             if let Some(s) = target {
-                SlottedPage::delete(&mut pin.write(), s);
+                let mut page = pin.write();
+                SlottedPage::delete(&mut page, s);
+                self.stamp(&mut page);
                 return Ok(true);
             }
             return Ok(false);
@@ -606,14 +639,18 @@ impl Attachment for RTreeIndex {
             let Some(rect) = Self::rect_of(&d, new)? else {
                 continue;
             };
-            Self::tree(ctx.services(), &d).insert(&rect, key.as_bytes())?;
-            log_att(
+            // Log first, then apply with the LSN stamped onto dirtied
+            // pages so the entry cannot reach disk before its log record.
+            let lsn = log_att(
                 ctx,
                 rd,
                 Self::type_id(rd, inst),
                 A_INSERT,
                 encode_att_payload(&inst.desc, &Self::payload(&rect, key), &[]),
             );
+            Self::tree(ctx.services(), &d)
+                .with_wal_lsn(lsn)
+                .insert(&rect, key.as_bytes())?;
         }
         Ok(())
     }
@@ -635,27 +672,30 @@ impl Attachment for RTreeIndex {
             if old_rect == new_rect && old_key == new_key {
                 continue;
             }
-            let tree = Self::tree(ctx.services(), &d);
             if let Some(r) = old_rect {
-                if tree.delete(&r, old_key.as_bytes())? {
-                    log_att(
+                let tree = Self::tree(ctx.services(), &d);
+                if tree.contains(&r, old_key.as_bytes())? {
+                    let lsn = log_att(
                         ctx,
                         rd,
                         Self::type_id(rd, inst),
                         A_DELETE,
                         encode_att_payload(&inst.desc, &Self::payload(&r, old_key), &[]),
                     );
+                    tree.with_wal_lsn(lsn).delete(&r, old_key.as_bytes())?;
                 }
             }
             if let Some(r) = new_rect {
-                tree.insert(&r, new_key.as_bytes())?;
-                log_att(
+                let lsn = log_att(
                     ctx,
                     rd,
                     Self::type_id(rd, inst),
                     A_INSERT,
                     encode_att_payload(&inst.desc, &Self::payload(&r, new_key), &[]),
                 );
+                Self::tree(ctx.services(), &d)
+                    .with_wal_lsn(lsn)
+                    .insert(&r, new_key.as_bytes())?;
             }
         }
         Ok(())
@@ -674,14 +714,16 @@ impl Attachment for RTreeIndex {
             let Some(rect) = Self::rect_of(&d, old)? else {
                 continue;
             };
-            if Self::tree(ctx.services(), &d).delete(&rect, key.as_bytes())? {
-                log_att(
+            let tree = Self::tree(ctx.services(), &d);
+            if tree.contains(&rect, key.as_bytes())? {
+                let lsn = log_att(
                     ctx,
                     rd,
                     Self::type_id(rd, inst),
                     A_DELETE,
                     encode_att_payload(&inst.desc, &Self::payload(&rect, key), &[]),
                 );
+                tree.with_wal_lsn(lsn).delete(&rect, key.as_bytes())?;
             }
         }
         Ok(())

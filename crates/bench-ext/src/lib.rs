@@ -1,0 +1,2 @@
+//! Empty library target: this package exists only to host the Criterion
+//! benches in `benches/`, which wrap the std-only `dmx-bench` fixtures.

@@ -14,7 +14,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dmx_bench::*;
-use parking_lot as parking_lot_rw;
 use dmx_core::{AccessPath, AccessQuery, Database, StorageMethod};
 use dmx_expr::{CmpOp, Expr};
 use dmx_query::{PlanCache, Session, SqlExt};
@@ -22,6 +21,10 @@ use dmx_types::{DmxError, Record, Value};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        pr3_smoke();
+        return;
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     let experiments: Vec<(&str, fn())> = vec![
         ("e1", e1_dispatch as fn()),
@@ -46,6 +49,88 @@ fn main() {
             println!();
         }
     }
+    if want("pr3") {
+        pr3_baseline();
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR3: seeded observability scenarios -> BENCH_pr3.json
+// ---------------------------------------------------------------------
+
+/// Full-scale run: writes the `BENCH_pr3.json` baseline next to the
+/// workspace root (or the current directory when run elsewhere).
+fn pr3_baseline() {
+    banner(
+        "PR3",
+        "seeded observability scenarios: throughput + full metrics snapshot",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr3::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "metrics".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let names = pr3::assert_layer_coverage(&o.metrics, 12);
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    names.to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr3::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr3.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr3.json"))
+            .unwrap_or_else(|_| "BENCH_pr3.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr3.json");
+    println!("\nwrote {path}");
+}
+
+/// `--smoke`: small scale, every scenario run twice; asserts the two
+/// snapshots are identical (determinism) and that each covers the
+/// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
+fn pr3_smoke() {
+    let scale = pr3::Scale::smoke();
+    let seed = pr3::DEFAULT_SEED;
+    for s in pr3::scenarios() {
+        let a = (s.run)(&scale, seed);
+        let b = (s.run)(&scale, seed);
+        assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: same seed produced different snapshots",
+            s.name
+        );
+        let names = pr3::assert_layer_coverage(&a.metrics, 12);
+        println!("smoke {:<26} ok  ops={:<7} metrics={names}", s.name, a.ops);
+    }
+    println!("pr3 smoke: all scenarios deterministic");
 }
 
 fn banner(id: &str, claim: &str) {
@@ -67,12 +152,12 @@ fn e1_dispatch() {
     let concrete = dmx_storage::HeapStorage;
     // the rejected alternative, given the same thread-safety duties as the
     // registry (shared lock + owned handle per activation)
-    let by_name: parking_lot_rw::RwLock<HashMap<String, Arc<dyn StorageMethod>>> = {
+    let by_name: dmx_types::sync::RwLock<HashMap<String, Arc<dyn StorageMethod>>> = {
         let mut m: HashMap<String, Arc<dyn StorageMethod>> = HashMap::new();
         for (id, name) in reg.storage_methods() {
             m.insert(name.clone(), reg.storage(id).unwrap());
         }
-        parking_lot_rw::RwLock::new(m)
+        dmx_types::sync::RwLock::new(m)
     };
     const N: usize = 2_000_000;
 
@@ -138,21 +223,24 @@ fn e2_attachments() {
     const N: usize = 3000;
     let configs: Vec<(&str, Vec<String>)> = vec![
         ("no attachments", vec![]),
-        (
-            "1 btree index",
-            vec!["CREATE INDEX i0 ON {t} (id)".into()],
-        ),
+        ("1 btree index", vec!["CREATE INDEX i0 ON {t} (id)".into()]),
         (
             "2 btree indexes",
-            (0..2).map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)")).collect(),
+            (0..2)
+                .map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)"))
+                .collect(),
         ),
         (
             "4 btree indexes",
-            (0..4).map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)")).collect(),
+            (0..4)
+                .map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)"))
+                .collect(),
         ),
         (
             "8 btree indexes",
-            (0..8).map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)")).collect(),
+            (0..8)
+                .map(|i| format!("CREATE INDEX i{i} ON {{t}} (id)"))
+                .collect(),
         ),
         (
             "1 index + 1 hash + 1 check + 1 aggregate",
@@ -160,14 +248,22 @@ fn e2_attachments() {
                 "CREATE INDEX i0 ON {t} (id)".into(),
                 "CREATE INDEX h0 ON {t} USING hash (name)".into(),
                 "CREATE CONSTRAINT c0 ON {t} CHECK (salary > 0)".into(),
-                "CREATE ATTACHMENT a0 ON {t} USING aggregate WITH (sum=salary, group_by=dept)".into(),
+                "CREATE ATTACHMENT a0 ON {t} USING aggregate WITH (sum=salary, group_by=dept)"
+                    .into(),
             ],
         ),
     ];
     let w = [40, 12, 14];
     println!(
         "{}",
-        row(&["configuration".into(), "total ms".into(), "µs/insert".into()], &w)
+        row(
+            &[
+                "configuration".into(),
+                "total ms".into(),
+                "µs/insert".into()
+            ],
+            &w
+        )
     );
     for (name, idx) in configs {
         let db = open_db();
@@ -252,11 +348,8 @@ fn e3_filter() {
                 let funcs = db.services().funcs.read();
                 while let Some(item) = db.scan_next(txn, scan)? {
                     let values = item.values.unwrap();
-                    if dmx_expr::eval_predicate(
-                        &pred,
-                        &values,
-                        dmx_expr::EvalContext::new(&funcs),
-                    )? {
+                    if dmx_expr::eval_predicate(&pred, &values, dmx_expr::EvalContext::new(&funcs))?
+                    {
                         n += 1;
                     }
                 }
@@ -311,7 +404,10 @@ fn e4_bind() {
     println!(
         "{}",
         row(
-            &["bound plan reused".into(), format!("{:.1}", d_cached.as_secs_f64() * 1e6 / N as f64)],
+            &[
+                "bound plan reused".into(),
+                format!("{:.1}", d_cached.as_secs_f64() * 1e6 / N as f64)
+            ],
             &w
         )
     );
@@ -334,7 +430,10 @@ fn e4_bind() {
     // invalidation → automatic re-translation still answers
     db.execute_sql("DROP INDEX t_pk ON t").unwrap();
     let (_, d_after) = time(|| db.query_sql(q).unwrap());
-    println!("first execution after DROP INDEX (auto re-translation): {} µs", us(d_after));
+    println!(
+        "first execution after DROP INDEX (auto re-translation): {} µs",
+        us(d_after)
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -389,7 +488,9 @@ fn e5_paths() {
         // forced index range
         let (att_t, inst) = rd.find_attachment("t_pk").unwrap();
         let att = db.registry().attachment(att_t).unwrap();
-        let choice = att.estimate(&rd, inst, std::slice::from_ref(&pred)).unwrap();
+        let choice = att
+            .estimate(&rd, inst, std::slice::from_ref(&pred))
+            .unwrap();
         let (_, d_index) = time(|| {
             db.with_txn(|txn| {
                 let scan = db.open_scan(
@@ -415,7 +516,11 @@ fn e5_paths() {
             .iter()
             .map(|r| r[0].as_str().unwrap().to_string())
             .collect();
-        let chose = if text.contains("attachment") { "index" } else { "scan" };
+        let chose = if text.contains("attachment") {
+            "index"
+        } else {
+            "scan"
+        };
         println!(
             "{}",
             row(
@@ -466,7 +571,8 @@ fn e6_join() {
             )
             .unwrap();
             if with_index {
-                db.execute_sql("CREATE UNIQUE INDEX dept_pk ON dept (id)").unwrap();
+                db.execute_sql("CREATE UNIQUE INDEX dept_pk ON dept (id)")
+                    .unwrap();
             }
             if with_ji {
                 db.execute_sql(
@@ -539,13 +645,16 @@ fn e7_deferred() {
     const N: usize = 2000;
     let run = |mode: &str| -> Duration {
         let db = open_db();
-        db.execute_sql("CREATE TABLE t (id INT NOT NULL, bal FLOAT NOT NULL)").unwrap();
+        db.execute_sql("CREATE TABLE t (id INT NOT NULL, bal FLOAT NOT NULL)")
+            .unwrap();
         match mode {
             "immediate" => {
-                db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0)").unwrap();
+                db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0)")
+                    .unwrap();
             }
             "deferred" => {
-                db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0) DEFERRED").unwrap();
+                db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0) DEFERRED")
+                    .unwrap();
             }
             _ => {}
         }
@@ -553,7 +662,8 @@ fn e7_deferred() {
         sess.execute("BEGIN").unwrap();
         let (_, d) = time(|| {
             for i in 0..N {
-                sess.execute(&format!("INSERT INTO t VALUES ({i}, {i}.0)")).unwrap();
+                sess.execute(&format!("INSERT INTO t VALUES ({i}, {i}.0)"))
+                    .unwrap();
             }
             sess.execute("COMMIT").unwrap();
         });
@@ -566,8 +676,10 @@ fn e7_deferred() {
     }
     // the semantic difference: a transient violation only commits deferred
     let db = open_db();
-    db.execute_sql("CREATE TABLE t (id INT NOT NULL, bal FLOAT NOT NULL)").unwrap();
-    db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0) DEFERRED").unwrap();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, bal FLOAT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE CONSTRAINT c ON t CHECK (bal >= 0) DEFERRED")
+        .unwrap();
     let sess = Session::new(db);
     sess.execute("BEGIN").unwrap();
     sess.execute("INSERT INTO t VALUES (1, -5.0)").unwrap(); // transiently negative
@@ -601,14 +713,16 @@ fn e8_rollback() {
     for vetoes in [1usize, 10, 100] {
         let db = open_db();
         db.execute_sql("CREATE TABLE t (id INT NOT NULL)").unwrap();
-        db.execute_sql("CREATE CONSTRAINT c ON t CHECK (id < 1000000)").unwrap();
+        db.execute_sql("CREATE CONSTRAINT c ON t CHECK (id < 1000000)")
+            .unwrap();
         let rd = db.catalog().get_by_name("t").unwrap();
         // one transaction: N good inserts + `vetoes` vetoed ones
         let (clean_time, total) = {
             let txn = db.begin();
             let start = Instant::now();
             for i in 0..N {
-                db.insert(&txn, rd.id, Record::new(vec![Value::Int(i as i64)])).unwrap();
+                db.insert(&txn, rd.id, Record::new(vec![Value::Int(i as i64)]))
+                    .unwrap();
             }
             let clean = start.elapsed();
             for _ in 0..vetoes {
@@ -626,10 +740,7 @@ fn e8_rollback() {
         let rerun_est = clean_time * vetoes as u32;
         println!(
             "{}",
-            row(
-                &[vetoes.to_string(), ms(partial_cost), ms(rerun_est)],
-                &w
-            )
+            row(&[vetoes.to_string(), ms(partial_cost), ms(rerun_est)], &w)
         );
     }
 }
@@ -664,10 +775,14 @@ fn e9_storage() {
             let reg = dmx_core::ExtensionRegistry::new();
             let foreign = Arc::new(dmx_storage::ForeignStorage::default());
             foreign.register_server("mars");
-            reg.register_storage_method(Arc::new(dmx_storage::MemoryStorage::default())).unwrap();
-            reg.register_storage_method(Arc::new(dmx_storage::HeapStorage)).unwrap();
-            reg.register_storage_method(Arc::new(dmx_storage::BTreeStorage)).unwrap();
-            reg.register_storage_method(Arc::new(dmx_storage::ReadOnlyStorage)).unwrap();
+            reg.register_storage_method(Arc::new(dmx_storage::MemoryStorage::default()))
+                .unwrap();
+            reg.register_storage_method(Arc::new(dmx_storage::HeapStorage))
+                .unwrap();
+            reg.register_storage_method(Arc::new(dmx_storage::BTreeStorage))
+                .unwrap();
+            reg.register_storage_method(Arc::new(dmx_storage::ReadOnlyStorage))
+                .unwrap();
             reg.register_storage_method(foreign).unwrap();
             dmx_attach::register_builtin_attachments(&reg).unwrap();
             Database::open_fresh(reg).unwrap()
@@ -752,7 +867,13 @@ fn e10_descriptor() {
          the need to access the catalogs … at run time\"",
     );
     let db = open_db();
-    load_emp(&db, "t", 1000, &["CREATE INDEX a ON {t} (id)", "CREATE INDEX b ON {t} (dept)"]).unwrap();
+    load_emp(
+        &db,
+        "t",
+        1000,
+        &["CREATE INDEX a ON {t} (id)", "CREATE INDEX b ON {t} (dept)"],
+    )
+    .unwrap();
     let rd = db.catalog().get_by_name("t").unwrap();
     const N: usize = 1_000_000;
     // (a) descriptor embedded in the plan: an Arc clone
@@ -785,10 +906,34 @@ fn e10_descriptor() {
         std::hint::black_box(acc)
     });
     let w = [40, 12];
-    println!("{}", row(&["descriptor access".into(), "ns/exec".into()], &w));
-    println!("{}", row(&["embedded in bound plan (Arc)".into(), ns_per(d_embedded, N)], &w));
-    println!("{}", row(&["in-memory catalog lookup".into(), ns_per(d_catalog, N)], &w));
-    println!("{}", row(&["decode from catalog bytes".into(), ns_per(d_decode, N / 100)], &w));
+    println!(
+        "{}",
+        row(&["descriptor access".into(), "ns/exec".into()], &w)
+    );
+    println!(
+        "{}",
+        row(
+            &["embedded in bound plan (Arc)".into(), ns_per(d_embedded, N)],
+            &w
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["in-memory catalog lookup".into(), ns_per(d_catalog, N)],
+            &w
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "decode from catalog bytes".into(),
+                ns_per(d_decode, N / 100)
+            ],
+            &w
+        )
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -816,7 +961,8 @@ fn e11_cascade() {
     for fanout in [10usize, 100, 1000] {
         let db = open_db();
         db.execute_sql("CREATE TABLE p (id INT NOT NULL)").unwrap();
-        db.execute_sql("CREATE TABLE c (id INT NOT NULL, p INT)").unwrap();
+        db.execute_sql("CREATE TABLE c (id INT NOT NULL, p INT)")
+            .unwrap();
         db.execute_sql(
             "CREATE ATTACHMENT fk ON p USING refint WITH (role=parent, fields=id, other=c, other_fields=p, on_delete=cascade)",
         )
@@ -825,7 +971,11 @@ fn e11_cascade() {
         let c_rd = db.catalog().get_by_name("c").unwrap();
         db.with_txn(|txn| {
             for i in 0..fanout {
-                db.insert(txn, c_rd.id, Record::new(vec![Value::Int(i as i64), Value::Int(1)]))?;
+                db.insert(
+                    txn,
+                    c_rd.id,
+                    Record::new(vec![Value::Int(i as i64), Value::Int(1)]),
+                )?;
             }
             Ok(())
         })
@@ -860,13 +1010,16 @@ fn e12_concurrency() {
          serializable transfers under contention",
     );
     let db = open_db();
-    db.execute_sql("CREATE TABLE acct (id INT NOT NULL, bal INT NOT NULL)").unwrap();
-    db.execute_sql("CREATE UNIQUE INDEX acct_pk ON acct (id)").unwrap();
+    db.execute_sql("CREATE TABLE acct (id INT NOT NULL, bal INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX acct_pk ON acct (id)")
+        .unwrap();
     const ACCOUNTS: i64 = 16;
     const START: i64 = 1000;
     const PER_THREAD: usize = 50;
     for i in 0..ACCOUNTS {
-        db.execute_sql(&format!("INSERT INTO acct VALUES ({i}, {START})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO acct VALUES ({i}, {START})"))
+            .unwrap();
     }
     let w = [10, 14, 14, 12];
     println!(
@@ -884,11 +1037,11 @@ fn e12_concurrency() {
     for threads in [1u64, 2, 4] {
         let deadlocks = Arc::new(std::sync::atomic::AtomicU32::new(0));
         let (_, d) = time(|| {
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for t in 0..threads {
                     let db = db.clone();
                     let deadlocks = deadlocks.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let sess = Session::new(db);
                         let mut seed = 0x2545F4914F6CDD1Du64.wrapping_mul(t + 1);
                         let mut rng = move || {
@@ -925,13 +1078,16 @@ fn e12_concurrency() {
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         });
         let total = db.query_sql("SELECT SUM(bal) FROM acct").unwrap()[0][0]
             .as_int()
             .unwrap();
-        let ok = if total == ACCOUNTS * START { "holds" } else { "BROKEN" };
+        let ok = if total == ACCOUNTS * START {
+            "holds"
+        } else {
+            "BROKEN"
+        };
         let txns = threads as usize * PER_THREAD;
         println!(
             "{}",

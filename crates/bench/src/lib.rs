@@ -5,6 +5,8 @@
 //! design choice, catalogued in DESIGN.md §4 and measured into
 //! EXPERIMENTS.md.
 
+pub mod pr3;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

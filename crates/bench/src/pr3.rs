@@ -1,0 +1,432 @@
+//! PR3 observability scenarios: seeded, deterministic workloads whose
+//! metric snapshots are the bench baseline (`BENCH_pr3.json`).
+//!
+//! Each scenario builds its own database, drives a workload derived
+//! entirely from a [`TestRng`] seed, and returns the operation count plus
+//! the database's [`MetricsSnapshot`]. Nothing inside a workload reads a
+//! clock: two runs with the same seed and scale produce byte-identical
+//! snapshots (the property suite and `--smoke` mode both assert this).
+//! Wall-clock timing happens only in [`run_timed`], outside the
+//! deterministic region, and is reported next to — never inside — the
+//! snapshot.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use dmx_core::{Database, DatabaseConfig, DatabaseEnv};
+use dmx_query::{Session, SqlExt};
+use dmx_types::testrng::TestRng;
+use dmx_types::{MetricsSnapshot, Record, Value};
+
+use crate::registry;
+
+/// The default seed for the shipped baseline.
+pub const DEFAULT_SEED: u64 = 0xD31A_BA5E;
+
+/// Workload sizes. `smoke` keeps `scripts/check.sh` fast; `full` is the
+/// shipped `BENCH_pr3.json` baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub rows: usize,
+    pub lookups: usize,
+    pub scans: usize,
+    pub dml_ops: usize,
+}
+
+impl Scale {
+    pub fn full() -> Scale {
+        Scale {
+            rows: 20_000,
+            lookups: 4_000,
+            scans: 40,
+            dml_ops: 4_000,
+        }
+    }
+
+    pub fn smoke() -> Scale {
+        Scale {
+            rows: 400,
+            lookups: 100,
+            scans: 6,
+            dml_ops: 120,
+        }
+    }
+}
+
+/// What a scenario's deterministic region produces.
+pub struct WorkloadResult {
+    pub ops: u64,
+    pub metrics: MetricsSnapshot,
+}
+
+/// A named seeded scenario.
+pub struct Scenario {
+    pub name: &'static str,
+    pub claim: &'static str,
+    pub run: fn(&Scale, u64) -> WorkloadResult,
+}
+
+/// A scenario outcome with its (non-deterministic) wall-clock timing.
+pub struct ScenarioOutcome {
+    pub name: &'static str,
+    pub ops: u64,
+    pub elapsed: Duration,
+    pub metrics: MetricsSnapshot,
+}
+
+/// The PR3 scenario suite.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "bulk_insert_heap",
+            claim: "bulk load into the heap storage method",
+            run: |s, seed| bulk_insert(s, seed, false),
+        },
+        Scenario {
+            name: "bulk_insert_btree",
+            claim: "bulk load into the b-tree storage method (shuffled keys)",
+            run: |s, seed| bulk_insert(s, seed, true),
+        },
+        Scenario {
+            name: "point_lookup_index",
+            claim: "point lookups through a unique index attachment",
+            run: point_lookups,
+        },
+        Scenario {
+            name: "scan_predicate_pushdown",
+            claim: "full scans with the predicate evaluated in the storage method",
+            run: scan_predicate,
+        },
+        Scenario {
+            name: "mixed_dml_constraints",
+            claim: "insert/update/delete mix under referential-integrity attachments",
+            run: mixed_dml,
+        },
+        Scenario {
+            name: "recovery_replay",
+            claim: "restart recovery replays committed work and undoes the loser",
+            run: recovery_replay,
+        },
+    ]
+}
+
+fn emp_record(rng: &mut TestRng, id: i64) -> Record {
+    Record::new(vec![
+        Value::Int(id),
+        Value::Str(format!("emp{id}")),
+        Value::Int(rng.range_i64(0, 10)),
+        Value::Float(1000.0 + rng.below(100) as f64),
+    ])
+}
+
+/// Scenario 1/2: bulk insert `scale.rows` records, committing in
+/// batches, into a heap or b-tree relation. B-tree keys arrive shuffled
+/// so page splits happen throughout the load.
+fn bulk_insert(scale: &Scale, seed: u64, btree: bool) -> WorkloadResult {
+    let db = Database::open_fresh(registry()).expect("open");
+    let ddl = if btree {
+        "CREATE TABLE t (id INT NOT NULL, name STRING NOT NULL, dept INT, salary FLOAT) \
+         USING btree WITH (key=id)"
+    } else {
+        "CREATE TABLE t (id INT NOT NULL, name STRING NOT NULL, dept INT, salary FLOAT)"
+    };
+    db.execute_sql(ddl).expect("create table");
+    let rd = db.catalog().get_by_name("t").expect("descriptor");
+    let mut rng = TestRng::new(seed);
+    let mut ids: Vec<i64> = (0..scale.rows as i64).collect();
+    if btree {
+        rng.shuffle(&mut ids);
+    }
+    for chunk in ids.chunks(256) {
+        db.with_txn(|txn| {
+            for &id in chunk {
+                db.insert(txn, rd.id, emp_record(&mut rng, id))?;
+            }
+            Ok(())
+        })
+        .expect("batch insert");
+    }
+    WorkloadResult {
+        ops: scale.rows as u64,
+        metrics: db.metrics_snapshot(),
+    }
+}
+
+/// Scenario 3: seeded point lookups through a unique b-tree index
+/// attachment, issued as SQL so the query layer is measured too.
+fn point_lookups(scale: &Scale, seed: u64) -> WorkloadResult {
+    let db = Database::open_fresh(registry()).expect("open");
+    crate::load_emp(
+        &db,
+        "t",
+        scale.rows,
+        &["CREATE UNIQUE INDEX t_pk ON {t} (id)"],
+    )
+    .expect("load");
+    let mut rng = TestRng::new(seed);
+    let sess = Session::new(db.clone());
+    let mut found = 0u64;
+    for _ in 0..scale.lookups {
+        let id = rng.range_i64(0, scale.rows as i64);
+        let rows = sess
+            .execute(&format!("SELECT name FROM t WHERE id = {id}"))
+            .expect("lookup")
+            .rows;
+        found += rows.len() as u64;
+    }
+    assert_eq!(found, scale.lookups as u64, "every lookup must hit");
+    WorkloadResult {
+        ops: scale.lookups as u64,
+        metrics: db.metrics_snapshot(),
+    }
+}
+
+/// Scenario 4: repeated scans with a range predicate pushed into the
+/// storage method (selectivity drawn from the seed).
+fn scan_predicate(scale: &Scale, seed: u64) -> WorkloadResult {
+    let db = Database::open_fresh(registry()).expect("open");
+    crate::load_emp(&db, "t", scale.rows, &[]).expect("load");
+    let mut rng = TestRng::new(seed);
+    let mut rows_out = 0u64;
+    for _ in 0..scale.scans {
+        let limit = rng.range_i64(1, scale.rows as i64 + 1);
+        let rows = db
+            .query_sql(&format!("SELECT id FROM t WHERE id < {limit}"))
+            .expect("scan");
+        assert_eq!(rows.len() as i64, limit, "predicate must select [0, limit)");
+        rows_out += rows.len() as u64;
+    }
+    WorkloadResult {
+        ops: rows_out,
+        metrics: db.metrics_snapshot(),
+    }
+}
+
+/// Scenario 5: a seeded insert/update/delete mix over a parent/child
+/// pair with referential-integrity attachments and a unique index; a
+/// slice of the operations intentionally violate the constraints and
+/// must be vetoed.
+fn mixed_dml(scale: &Scale, seed: u64) -> WorkloadResult {
+    let db = Database::open_fresh(registry()).expect("open");
+    db.execute_sql("CREATE TABLE dept (id INT NOT NULL, name STRING NOT NULL)")
+        .expect("dept");
+    db.execute_sql("CREATE UNIQUE INDEX dept_pk ON dept (id)")
+        .expect("dept_pk");
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, name STRING NOT NULL, dept INT NOT NULL)")
+        .expect("emp");
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)")
+        .expect("emp_pk");
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_c ON emp USING refint \
+         WITH (role=child, fields=dept, other=dept, other_fields=id)",
+    )
+    .expect("fk child");
+    db.execute_sql(
+        "CREATE ATTACHMENT fk_p ON dept USING refint \
+         WITH (role=parent, fields=id, other=emp, other_fields=dept)",
+    )
+    .expect("fk parent");
+    const DEPTS: i64 = 8;
+    for d in 0..DEPTS {
+        db.execute_sql(&format!("INSERT INTO dept VALUES ({d}, 'd{d}')"))
+            .expect("seed dept");
+    }
+
+    let mut rng = TestRng::new(seed);
+    let sess = Session::new(db.clone());
+    let mut live: Vec<i64> = Vec::new();
+    let mut next_id: i64 = 0;
+    let mut vetoed = 0u64;
+    for _ in 0..scale.dml_ops {
+        let roll = rng.below(100);
+        let r = if roll < 50 || live.is_empty() {
+            // insert; ~1 in 8 aims at a dept that does not exist
+            let dept = if rng.below(8) == 0 {
+                DEPTS + rng.range_i64(1, 100)
+            } else {
+                rng.range_i64(0, DEPTS)
+            };
+            let id = next_id;
+            let r = sess.execute(&format!("INSERT INTO emp VALUES ({id}, 'e{id}', {dept})"));
+            if r.is_ok() {
+                next_id += 1;
+                live.push(id);
+            }
+            r
+        } else if roll < 75 {
+            // update; ~1 in 8 moves the row to a missing dept
+            let id = live[rng.index(live.len())];
+            let dept = if rng.below(8) == 0 {
+                DEPTS + rng.range_i64(1, 100)
+            } else {
+                rng.range_i64(0, DEPTS)
+            };
+            sess.execute(&format!("UPDATE emp SET dept = {dept} WHERE id = {id}"))
+        } else {
+            // delete an existing child row
+            let at = rng.index(live.len());
+            let id = live.swap_remove(at);
+            sess.execute(&format!("DELETE FROM emp WHERE id = {id}"))
+        };
+        if r.is_err() {
+            vetoed += 1;
+        }
+    }
+    assert!(vetoed > 0, "the seeded mix must exercise constraint vetoes");
+    let alive = db.query_sql("SELECT COUNT(*) FROM emp").expect("count")[0][0]
+        .as_int()
+        .expect("int");
+    assert_eq!(alive as usize, live.len(), "model and database disagree");
+    WorkloadResult {
+        ops: scale.dml_ops as u64,
+        metrics: db.metrics_snapshot(),
+    }
+}
+
+/// Scenario 6: committed work plus one in-flight loser, then a simulated
+/// crash; the metrics are the *reopened* database's — i.e. the cost of
+/// restart recovery itself (log replay, undo, pool traffic).
+fn recovery_replay(scale: &Scale, seed: u64) -> WorkloadResult {
+    let env = DatabaseEnv::fresh();
+    let db = Database::open(env.clone(), DatabaseConfig::default(), registry()).expect("open");
+    db.execute_sql(
+        "CREATE TABLE t (id INT NOT NULL, name STRING NOT NULL, dept INT, salary FLOAT)",
+    )
+    .expect("create");
+    db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)")
+        .expect("index");
+    let rd = db.catalog().get_by_name("t").expect("descriptor");
+    let mut rng = TestRng::new(seed);
+    let n = scale.rows / 2;
+    for chunk in (0..n as i64).collect::<Vec<_>>().chunks(256) {
+        db.with_txn(|txn| {
+            for &id in chunk {
+                db.insert(txn, rd.id, emp_record(&mut rng, id))?;
+            }
+            Ok(())
+        })
+        .expect("committed load");
+    }
+    // A loser: its updates reach the stable log (the following commit
+    // forces past them) but the transaction never commits.
+    let loser = db.begin();
+    for id in 0..64.min(n as i64) {
+        db.insert(&loser, rd.id, emp_record(&mut rng, n as i64 + id))
+            .expect("loser insert");
+    }
+    db.with_txn(|txn| db.insert(txn, rd.id, emp_record(&mut rng, -1)))
+        .expect("forcing commit");
+    drop(loser);
+    drop(db);
+
+    // Crash: reopen over the surviving env. The snapshot is the cost of
+    // recovery, not of the original workload.
+    let db = Database::open(env, DatabaseConfig::default(), registry()).expect("reopen");
+    let count = db.query_sql("SELECT COUNT(*) FROM t").expect("count")[0][0]
+        .as_int()
+        .expect("int");
+    assert_eq!(count, n as i64 + 1, "losers must be undone, commits kept");
+    WorkloadResult {
+        ops: count as u64,
+        metrics: db.metrics_snapshot(),
+    }
+}
+
+/// Runs every scenario once, timing the deterministic region.
+pub fn run_timed(scale: &Scale, seed: u64) -> Vec<ScenarioOutcome> {
+    scenarios()
+        .into_iter()
+        .map(|s| {
+            let start = Instant::now();
+            let r = (s.run)(scale, seed);
+            let elapsed = start.elapsed();
+            ScenarioOutcome {
+                name: s.name,
+                ops: r.ops,
+                elapsed,
+                metrics: r.metrics,
+            }
+        })
+        .collect()
+}
+
+/// Renders the outcomes as the `BENCH_pr3.json` document.
+pub fn render_json(outcomes: &[ScenarioOutcome], seed: u64, scale: &Scale) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"suite\": \"pr3-observability\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(
+        s,
+        "  \"scale\": {{\"rows\": {}, \"lookups\": {}, \"scans\": {}, \"dml_ops\": {}}},",
+        scale.rows, scale.lookups, scale.scans, scale.dml_ops
+    );
+    s.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let secs = o.elapsed.as_secs_f64();
+        let per_sec = if secs > 0.0 { o.ops as f64 / secs } else { 0.0 };
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"elapsed_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"metrics\": {}}}",
+            o.name,
+            o.ops,
+            secs * 1e3,
+            per_sec,
+            o.metrics.to_json()
+        );
+        s.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Layer coverage required of every scenario snapshot (the acceptance
+/// bar: pagestore, wal, lock and core all observed).
+pub const REQUIRED_PREFIXES: &[&str] = &["pool.", "wal.", "lock.", "txn.", "dml."];
+
+/// Asserts a snapshot spans the required layers and carries at least
+/// `min_names` distinct metrics. Returns the distinct-name count.
+pub fn assert_layer_coverage(m: &MetricsSnapshot, min_names: usize) -> usize {
+    let names: Vec<&str> = m
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(m.gauges.iter().map(|(n, _)| n.as_str()))
+        .chain(m.histograms.iter().map(|(n, _)| n.as_str()))
+        .collect();
+    for prefix in REQUIRED_PREFIXES {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no metric under {prefix} in snapshot"
+        );
+    }
+    assert!(
+        names.len() >= min_names,
+        "only {} distinct metrics (need {min_names})",
+        names.len()
+    );
+    names.len()
+}
+
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_deterministic_and_covers_layers() {
+        let scale = Scale::smoke();
+        for s in scenarios() {
+            let a = (s.run)(&scale, DEFAULT_SEED);
+            let b = (s.run)(&scale, DEFAULT_SEED);
+            assert_eq!(a.ops, b.ops, "{}: op count drifted", s.name);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}: same seed, different snapshot",
+                s.name
+            );
+            assert_layer_coverage(&a.metrics, 12);
+        }
+    }
+}

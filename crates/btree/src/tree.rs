@@ -4,8 +4,8 @@
 use std::ops::Bound;
 use std::sync::Arc;
 
-use dmx_page::{BufferPool, PinnedPage};
-use dmx_types::{DmxError, FileId, PageId, Result};
+use dmx_page::{BufferPool, Page, PinnedPage};
+use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
 
 use crate::latch::{LatchTable, TreeLatch};
 use crate::node::{Node, MAX_ENTRY};
@@ -26,6 +26,10 @@ pub struct BTree {
     pool: Arc<BufferPool>,
     root: PageId,
     latch: Arc<TreeLatch>,
+    /// When non-null, every page a mutation dirties is stamped with this
+    /// LSN so the buffer pool's write-ahead hook forces the log through
+    /// it before the page can reach disk.
+    wal_lsn: Lsn,
 }
 
 /// Structural statistics (tests, cost sanity checks).
@@ -46,6 +50,7 @@ impl BTree {
             pool: pool.clone(),
             root,
             latch: latches.latch(root),
+            wal_lsn: Lsn::NULL,
         })
     }
 
@@ -55,6 +60,26 @@ impl BTree {
             pool: pool.clone(),
             root,
             latch: latches.latch(root),
+            wal_lsn: Lsn::NULL,
+        }
+    }
+
+    /// Returns a handle whose mutations stamp every dirtied page with
+    /// `lsn`, establishing write-ahead for the log record that describes
+    /// them: the buffer pool forces the log through a page's LSN before
+    /// writing it, so a logged-then-applied tree change can never reach
+    /// disk with its log record still volatile. Handles without an LSN
+    /// (build-time loads, tests) leave page LSNs untouched.
+    #[must_use]
+    pub fn with_wal_lsn(mut self, lsn: Lsn) -> Self {
+        self.wal_lsn = lsn;
+        self
+    }
+
+    /// Stamps a page this mutation dirtied (LSNs only move forward).
+    fn stamp(&self, page: &mut Page) {
+        if self.wal_lsn > page.lsn() {
+            page.set_lsn(self.wal_lsn);
         }
     }
 
@@ -108,11 +133,13 @@ impl BTree {
                     ))),
                     OnDuplicate::Replace => {
                         if Node::replace_value(&mut page, idx, val).is_ok() {
+                            self.stamp(&mut page);
                             return Ok(None);
                         }
                         // No room even after compaction: remove and fall
                         // through to a fresh (possibly splitting) insert.
                         Node::remove_at(&mut page, idx);
+                        self.stamp(&mut page);
                         drop(page);
                         drop(pin);
                         self.insert_rec(page_no, key, val, OnDuplicate::Error)
@@ -121,6 +148,7 @@ impl BTree {
                 Err(idx) => {
                     if Node::fits(&page, key.len(), val.len()) {
                         Node::insert_at(&mut page, idx, key, val)?;
+                        self.stamp(&mut page);
                         return Ok(None);
                     }
                     // Split the leaf.
@@ -137,6 +165,8 @@ impl BTree {
                     };
                     let idx = Node::search(target, key).unwrap_err();
                     Node::insert_at(target, idx, key, val)?;
+                    self.stamp(&mut page);
+                    self.stamp(&mut right);
                     Ok(Some((sep, right_pin.id().page_no)))
                 }
             }
@@ -153,6 +183,7 @@ impl BTree {
             };
             if Node::fits(&page, sep.len(), 4) {
                 Node::insert_at(&mut page, idx, &sep, &new_child.to_le_bytes())?;
+                self.stamp(&mut page);
                 return Ok(None);
             }
             // Split the internal node: the right node's first key moves up.
@@ -174,6 +205,8 @@ impl BTree {
                 Ok(_) => return Err(DmxError::Internal("duplicate separator".into())),
                 Err(i) => Node::insert_at(target, i, &sep, &new_child.to_le_bytes())?,
             }
+            self.stamp(&mut page);
+            self.stamp(&mut right);
             Ok(Some((sep_up, right_pin.id().page_no)))
         }
     }
@@ -187,11 +220,14 @@ impl BTree {
             let mut left = left_pin.write();
             let root = root_pin.read();
             *left.raw_mut() = *root.raw();
+            self.stamp(&mut left);
         }
         let mut root = root_pin.write();
         Node::init(&mut root, false);
         Node::set_leftmost_child(&mut root, left_pin.id().page_no);
-        Node::insert_at(&mut root, 0, sep, &right.to_le_bytes())
+        Node::insert_at(&mut root, 0, sep, &right.to_le_bytes())?;
+        self.stamp(&mut root);
+        Ok(())
     }
 
     /// Point lookup.

@@ -16,6 +16,9 @@ use dmx_types::sync::{Mutex, RwLock};
 use dmx_lock::{LockManager, LockMode, LockName};
 use dmx_page::{BufferPool, DiskManager, FaultDisk};
 use dmx_txn::{Transaction, TxnEvent, TxnManager, TxnState};
+use dmx_types::obs::{
+    name as metric, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsEvent, SIZE_BUCKETS,
+};
 use dmx_types::{
     AttrList, DmxError, FaultInjector, FaultPlan, Lsn, Record, RecordKey, RelationId, Result,
     Schema, TxnId, Value,
@@ -96,11 +99,49 @@ pub struct HookArgs<'a> {
     pub new: Option<&'a Record>,
 }
 
+/// Pre-resolved handles for the kernel's own metrics, so the DML and
+/// scan hot paths never touch the registry maps.
+pub(crate) struct CoreCounters {
+    pub(crate) inserts: Arc<Counter>,
+    pub(crate) updates: Arc<Counter>,
+    pub(crate) deletes: Arc<Counter>,
+    pub(crate) fetches: Arc<Counter>,
+    pub(crate) scan_opens: Arc<Counter>,
+    pub(crate) scan_rows: Arc<Counter>,
+    pub(crate) rows_per_scan: Arc<Histogram>,
+    pub(crate) att_invocations: Arc<Counter>,
+    pub(crate) att_vetoes: Arc<Counter>,
+    pub(crate) quarantines: Arc<Counter>,
+    pub(crate) commits: Arc<Counter>,
+    pub(crate) aborts: Arc<Counter>,
+}
+
+impl CoreCounters {
+    fn new(obs: &MetricsRegistry) -> Self {
+        CoreCounters {
+            inserts: obs.counter(metric::DML_INSERTS),
+            updates: obs.counter(metric::DML_UPDATES),
+            deletes: obs.counter(metric::DML_DELETES),
+            fetches: obs.counter(metric::DML_FETCHES),
+            scan_opens: obs.counter(metric::SCAN_OPENS),
+            scan_rows: obs.counter(metric::SCAN_ROWS),
+            rows_per_scan: obs.histogram(metric::SCAN_ROWS_PER_SCAN, SIZE_BUCKETS),
+            att_invocations: obs.counter(metric::ATT_INVOCATIONS),
+            att_vetoes: obs.counter(metric::ATT_VETOES),
+            quarantines: obs.counter(metric::QUARANTINE_EVENTS),
+            commits: obs.counter(metric::TXN_COMMITS),
+            aborts: obs.counter(metric::TXN_ABORTS),
+        }
+    }
+}
+
 /// The data manager.
 pub struct Database {
     config: DatabaseConfig,
     env: DatabaseEnv,
     services: Arc<CommonServices>,
+    obs: Arc<MetricsRegistry>,
+    counters: CoreCounters,
     registry: Arc<ExtensionRegistry>,
     catalog: Arc<Catalog>,
     txns: TxnManager,
@@ -125,10 +166,19 @@ impl Database {
         config: DatabaseConfig,
         registry: Arc<ExtensionRegistry>,
     ) -> Result<Arc<Database>> {
-        let pool = BufferPool::new(env.disk.clone(), config.pool_frames);
-        let log = Arc::new(LogManager::open(env.stable_log.clone()));
-        let locks = Arc::new(LockManager::new(config.lock_timeout));
-        let services = CommonServices::new(env.disk.clone(), pool, log.clone(), locks);
+        // One registry per database instance: every component registers
+        // its metrics here, so `metrics_snapshot()` sees the whole stack
+        // and seeded single-database tests stay deterministic even when
+        // the test harness runs other databases in parallel threads.
+        let obs = MetricsRegistry::new();
+        let pool = BufferPool::with_metrics(env.disk.clone(), config.pool_frames, obs.clone());
+        let log = Arc::new(LogManager::open_with_metrics(
+            env.stable_log.clone(),
+            obs.clone(),
+        ));
+        let locks = Arc::new(LockManager::with_metrics(config.lock_timeout, obs.clone()));
+        let services =
+            CommonServices::with_metrics(env.disk.clone(), pool, log.clone(), locks, obs.clone());
 
         // The catalog file must be the first file on a fresh disk.
         if !env.disk.file_exists(CATALOG_FILE) {
@@ -196,7 +246,9 @@ impl Database {
         log.force_all()?;
 
         Ok(Arc::new(Database {
-            txns: TxnManager::new_starting_at(log, report.max_txn + 1),
+            txns: TxnManager::new_with_metrics(log, report.max_txn + 1, obs.clone()),
+            counters: CoreCounters::new(&obs),
+            obs,
             config,
             env,
             services,
@@ -222,6 +274,21 @@ impl Database {
     /// The common services environment.
     pub fn services(&self) -> &Arc<CommonServices> {
         &self.services
+    }
+
+    /// The metrics registry shared by every component of this database.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric across pagestore, wal,
+    /// lock, txn, core and query layers, sorted by name.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    pub(crate) fn counters(&self) -> &CoreCounters {
+        &self.counters
     }
 
     /// The procedure-vector registry.
@@ -367,6 +434,7 @@ impl Database {
         // 4. The commit point.
         txn.commit_point()?;
         txn.finish(TxnState::Committed);
+        self.counters.commits.incr();
         // 5. Deferred physical actions (dropped storage release, …).
         let deferred_result = txn.run_deferred(TxnEvent::AtCommit);
         // 6. Catalog persistence + completion record.
@@ -407,6 +475,7 @@ impl Database {
         txn.set_last_lsn(new_last);
         txn.abort_point();
         txn.finish(TxnState::Aborted);
+        self.counters.aborts.incr();
         // Undo DDL bookkeeping (restore dropped descriptors, remove
         // created ones, release created storage).
         let _ = txn.run_deferred(TxnEvent::AtAbort);
@@ -479,6 +548,15 @@ impl Database {
     /// serving.
     pub(crate) fn quarantine(&self, rel: RelationId, reason: String) -> DmxError {
         let mut q = self.quarantined.lock();
+        if !q.contains_key(&rel) {
+            self.counters.quarantines.incr();
+            self.obs.emit(ObsEvent {
+                layer: "core",
+                op: "quarantine",
+                target: rel.0 as u64,
+                detail: 0,
+            });
+        }
         let stored = q.entry(rel).or_insert(reason);
         DmxError::RelationQuarantined {
             relation: rel,

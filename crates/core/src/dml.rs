@@ -43,6 +43,10 @@ struct LockingScan {
     sm_path: bool,
     pred: Option<Expr>,
     fields: Option<Vec<FieldId>>,
+    /// Rows returned so far; flushed into the rows-per-scan histogram
+    /// when the scan reports exhaustion.
+    rows: u64,
+    exhausted: bool,
 }
 
 impl LockingScan {
@@ -89,7 +93,19 @@ impl LockingScan {
 impl ScanOps for LockingScan {
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
         let rel = self.rd.id;
-        ctx.db.fence_corrupt(rel, self.next_inner(ctx))
+        let res = ctx.db.fence_corrupt(rel, self.next_inner(ctx));
+        match &res {
+            Ok(Some(_)) => {
+                self.rows += 1;
+                ctx.db.counters().scan_rows.incr();
+            }
+            Ok(None) if !self.exhausted => {
+                self.exhausted = true;
+                ctx.db.counters().rows_per_scan.record(self.rows);
+            }
+            _ => {}
+        }
+        res
     }
     fn save_position(&self) -> Vec<u8> {
         self.inner.save_position()
@@ -132,6 +148,26 @@ impl Database {
         }
     }
 
+    /// Runs one attachment side-effect invocation, counting it and —
+    /// when the attachment vetoes (returns any error) — counting the
+    /// veto with an event naming the vetoed relation.
+    fn invoke_attachment<T>(&self, rel: RelationId, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        self.counters().att_invocations.incr();
+        match f() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.counters().att_vetoes.incr();
+                self.metrics().emit(dmx_types::obs::ObsEvent {
+                    layer: "att",
+                    op: "veto",
+                    target: rel.0 as u64,
+                    detail: 0,
+                });
+                Err(e)
+            }
+        }
+    }
+
     /// Converts a [`DmxError::Corrupt`] escaping a relation operation
     /// into quarantine of that relation: the buffer manager already
     /// retried the read, so the damage is persistent — fence the relation
@@ -161,9 +197,10 @@ impl Database {
             ctx.lock_record(rel, &key, LockMode::X)?;
             for (att_id, insts) in rd.attached_types() {
                 let att = self.registry().attachment(att_id)?;
-                att.on_insert(ctx, &rd, insts, &key, &record)?;
+                self.invoke_attachment(rel, || att.on_insert(ctx, &rd, insts, &key, &record))?;
             }
             rd.stats.on_insert(record.encode().len());
+            self.counters().inserts.incr();
             Ok(key)
         });
         self.fence_corrupt(rel, res)
@@ -191,9 +228,12 @@ impl Database {
             }
             for (att_id, insts) in rd.attached_types() {
                 let att = self.registry().attachment(att_id)?;
-                att.on_update(ctx, &rd, insts, key, &new_key, &old, &new)?;
+                self.invoke_attachment(rel, || {
+                    att.on_update(ctx, &rd, insts, key, &new_key, &old, &new)
+                })?;
             }
             rd.stats.on_update(old.encode().len(), new.encode().len());
+            self.counters().updates.incr();
             Ok(new_key)
         });
         self.fence_corrupt(rel, res)
@@ -215,9 +255,10 @@ impl Database {
             let old = sm.delete(ctx, &rd, key)?;
             for (att_id, insts) in rd.attached_types() {
                 let att = self.registry().attachment(att_id)?;
-                att.on_delete(ctx, &rd, insts, key, &old)?;
+                self.invoke_attachment(rel, || att.on_delete(ctx, &rd, insts, key, &old))?;
             }
             rd.stats.on_delete(old.encode().len());
+            self.counters().deletes.incr();
             Ok(())
         });
         self.fence_corrupt(rel, res)
@@ -240,6 +281,7 @@ impl Database {
         ctx.lock(LockName::Relation(rel), LockMode::IS)?;
         ctx.lock_record(rel, key, LockMode::S)?;
         let sm = self.registry().storage(rd.sm)?;
+        self.counters().fetches.incr();
         self.fence_corrupt(rel, sm.fetch(&ctx, &rd, key, fields, pred))
     }
 
@@ -270,7 +312,10 @@ impl Database {
             rd,
             pred,
             fields,
+            rows: 0,
+            exhausted: false,
         });
+        self.counters().scan_opens.incr();
         Ok(self.scans().open(txn.id(), scan))
     }
 

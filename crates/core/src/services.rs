@@ -16,6 +16,7 @@ use dmx_btree::LatchTable;
 use dmx_expr::FunctionRegistry;
 use dmx_lock::LockManager;
 use dmx_page::{BufferPool, DiskManager, WalHook};
+use dmx_types::obs::MetricsRegistry;
 use dmx_types::{Lsn, Result};
 use dmx_wal::LogManager;
 
@@ -29,16 +30,32 @@ pub struct CommonServices {
     pub latches: Arc<LatchTable>,
     /// User functions callable from filter predicates.
     pub funcs: RwLock<FunctionRegistry>,
+    /// The database-wide metrics registry; extensions may register their
+    /// own named counters here alongside the kernel's.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl CommonServices {
-    /// Wires the services together, installing the WAL hook on the buffer
-    /// pool so the write-ahead rule holds.
+    /// Wires the services together with a private metrics registry (used
+    /// by component-level tests; the database passes a shared registry
+    /// via [`CommonServices::with_metrics`]).
     pub fn new(
         disk: Arc<dyn DiskManager>,
         pool: Arc<BufferPool>,
         log: Arc<LogManager>,
         locks: Arc<LockManager>,
+    ) -> Arc<Self> {
+        Self::with_metrics(disk, pool, log, locks, MetricsRegistry::new())
+    }
+
+    /// Wires the services together, installing the WAL hook on the buffer
+    /// pool so the write-ahead rule holds.
+    pub fn with_metrics(
+        disk: Arc<dyn DiskManager>,
+        pool: Arc<BufferPool>,
+        log: Arc<LogManager>,
+        locks: Arc<LockManager>,
+        metrics: Arc<MetricsRegistry>,
     ) -> Arc<Self> {
         struct Hook(Arc<LogManager>);
         impl WalHook for Hook {
@@ -54,6 +71,7 @@ impl CommonServices {
             locks,
             latches: LatchTable::new(),
             funcs: RwLock::new(FunctionRegistry::with_builtins()),
+            metrics,
         })
     }
 }

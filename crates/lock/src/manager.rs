@@ -9,10 +9,12 @@
 //! everything at once via [`LockManager::unlock_all`] at commit/abort.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dmx_types::sync::{Condvar, Mutex};
 
+use dmx_types::obs::{name as metric, Counter, MetricsRegistry, ObsEvent};
 use dmx_types::{DmxError, Result, TxnId};
 
 use crate::mode::LockMode;
@@ -137,8 +139,11 @@ impl State {
                 let Some(victim) = cycle.iter().max().copied() else {
                     continue; // dfs never returns an empty cycle
                 };
-                self.victims.insert(victim);
-                return true;
+                // Only a *newly* flagged victim counts as a detection;
+                // an already-flagged one just hasn't woken up yet.
+                if self.victims.insert(victim) {
+                    return true;
+                }
             }
         }
         false
@@ -150,6 +155,11 @@ pub struct LockManager {
     state: Mutex<State>,
     cv: Condvar,
     timeout: Duration,
+    obs: Arc<MetricsRegistry>,
+    acquires: Arc<Counter>,
+    waits: Arc<Counter>,
+    deadlocks: Arc<Counter>,
+    timeouts: Arc<Counter>,
 }
 
 /// Debug-build lock-order assertion: acquisitions must follow the
@@ -206,12 +216,27 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Creates a lock manager with the given wait timeout.
+    /// Creates a lock manager with the given wait timeout and a private
+    /// metrics registry.
     pub fn new(timeout: Duration) -> Self {
+        Self::with_metrics(timeout, MetricsRegistry::new())
+    }
+
+    /// Creates a lock manager registering its metrics in `obs`.
+    pub fn with_metrics(timeout: Duration, obs: Arc<MetricsRegistry>) -> Self {
+        let acquires = obs.counter(metric::LOCK_ACQUIRES);
+        let waits = obs.counter(metric::LOCK_WAITS);
+        let deadlocks = obs.counter(metric::LOCK_DEADLOCKS);
+        let timeouts = obs.counter(metric::LOCK_TIMEOUTS);
         LockManager {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             timeout,
+            obs,
+            acquires,
+            waits,
+            deadlocks,
+            timeouts,
         }
     }
 
@@ -236,6 +261,7 @@ impl LockManager {
         // Fast path: already covered.
         if let Some(held) = entry.granted.get(&txn) {
             if held.covers(mode) {
+                self.acquires.incr();
                 return Ok(false);
             }
         }
@@ -247,14 +273,29 @@ impl LockManager {
             let target = entry.target_mode(&w);
             entry.granted.insert(txn, target);
             st.held.entry(txn).or_default().insert(name);
+            self.acquires.incr();
             return Ok(false);
         }
         // Enqueue and wait.
         entry.waiting.push_back(w);
         st.held.entry(txn).or_default().insert(name);
+        self.waits.incr();
+        self.obs.emit(ObsEvent {
+            layer: "lock",
+            op: "wait",
+            target: txn.0,
+            detail: mode as u64,
+        });
         let deadline = Instant::now() + self.timeout;
         loop {
             if st.detect_deadlock() {
+                self.deadlocks.incr();
+                self.obs.emit(ObsEvent {
+                    layer: "lock",
+                    op: "deadlock",
+                    target: txn.0,
+                    detail: 0,
+                });
                 self.cv.notify_all();
             }
             if st.victims.contains(&txn) {
@@ -267,11 +308,13 @@ impl LockManager {
                 .and_then(|e| e.granted.get(&txn))
                 .is_some_and(|held| held.covers(mode))
             {
+                self.acquires.incr();
                 return Ok(true);
             }
             let now = Instant::now();
             if now >= deadline {
                 Self::remove_waiter(&mut st, txn, name);
+                self.timeouts.incr();
                 return Err(DmxError::LockTimeout);
             }
             let tick = Duration::from_millis(10).min(deadline - now);

@@ -13,12 +13,13 @@
 //! observes a half-done multi-page structural change (e.g. a B-tree split).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use dmx_types::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dmx_types::fault::{backoff, with_io_retries, MAX_IO_RETRIES};
+use dmx_types::obs::{name, Counter, Gauge, MetricsRegistry, ObsEvent};
 use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
 
 use crate::disk::DiskManager;
@@ -58,13 +59,40 @@ struct MapState {
     clock_hand: usize,
 }
 
-/// Buffer pool statistics.
-#[derive(Debug, Default)]
+/// Buffer pool statistics: handles into the pool's [`MetricsRegistry`],
+/// resolved once at construction so the hot paths pay a single relaxed
+/// atomic add per event.
+#[derive(Debug)]
 pub struct PoolStats {
-    pub hits: AtomicU64,
-    pub misses: AtomicU64,
-    pub evictions: AtomicU64,
-    pub flushes: AtomicU64,
+    /// Fetches served from a resident frame.
+    pub hits: Arc<Counter>,
+    /// Fetches that had to read from disk.
+    pub misses: Arc<Counter>,
+    /// Frames evicted to make room.
+    pub evictions: Arc<Counter>,
+    /// Dirty frames written back to disk.
+    pub flushes: Arc<Counter>,
+    /// Page pin attempts that found the frame latch contended.
+    pub pin_waits: Arc<Counter>,
+    /// Page reads retried after a transient fault or checksum failure.
+    pub retries: Arc<Counter>,
+    /// Current number of dirty frames, maintained incrementally on every
+    /// clean<->dirty transition (no frame walk).
+    pub dirty: Arc<Gauge>,
+}
+
+impl PoolStats {
+    fn new(reg: &MetricsRegistry) -> Self {
+        PoolStats {
+            hits: reg.counter(name::POOL_HITS),
+            misses: reg.counter(name::POOL_MISSES),
+            evictions: reg.counter(name::POOL_EVICTIONS),
+            flushes: reg.counter(name::POOL_FLUSHES),
+            pin_waits: reg.counter(name::POOL_PIN_WAITS),
+            retries: reg.counter(name::IO_RETRIES),
+            dirty: reg.gauge(name::POOL_DIRTY),
+        }
+    }
 }
 
 /// A fixed-size pool of page frames over a [`DiskManager`].
@@ -74,13 +102,27 @@ pub struct BufferPool {
     map: Mutex<MapState>,
     wal: RwLock<Option<Arc<dyn WalHook>>>,
     op_gate: RwLock<()>,
+    obs: Arc<MetricsRegistry>,
     stats: PoolStats,
 }
 
 impl BufferPool {
-    /// Creates a pool with `capacity` frames.
+    /// Creates a pool with `capacity` frames and a private metrics
+    /// registry (used by component-level tests; the database wires a
+    /// shared registry through [`BufferPool::with_metrics`]).
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Arc<Self> {
+        Self::with_metrics(disk, capacity, MetricsRegistry::new())
+    }
+
+    /// Creates a pool with `capacity` frames registering its metrics in
+    /// `obs`.
+    pub fn with_metrics(
+        disk: Arc<dyn DiskManager>,
+        capacity: usize,
+        obs: Arc<MetricsRegistry>,
+    ) -> Arc<Self> {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        let stats = PoolStats::new(&obs);
         Arc::new(BufferPool {
             disk,
             frames: (0..capacity).map(|_| Frame::new()).collect(),
@@ -91,7 +133,8 @@ impl BufferPool {
             }),
             wal: RwLock::new(None),
             op_gate: RwLock::new(()),
-            stats: PoolStats::default(),
+            obs,
+            stats,
         })
     }
 
@@ -128,14 +171,20 @@ impl BufferPool {
         if let Some(&idx) = map.table.get(&pid) {
             self.frames[idx].pin_count.fetch_add(1, Ordering::AcqRel);
             self.frames[idx].ref_bit.store(true, Ordering::Relaxed);
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.incr();
             return Ok(PinnedPage {
                 pool: Arc::clone(self),
                 frame: idx,
                 pid,
             });
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.incr();
+        self.obs.emit(ObsEvent {
+            layer: "pool",
+            op: "miss",
+            target: pid.page_no as u64,
+            detail: pid.file.0 as u64,
+        });
         let idx = self.claim_victim(&mut map, pid)?;
         // Pin and lock the frame before releasing the map so no other
         // thread can observe the frame before its contents are loaded.
@@ -169,7 +218,9 @@ impl BufferPool {
         let frame = &self.frames[idx];
         frame.pin_count.store(1, Ordering::Release);
         frame.ref_bit.store(true, Ordering::Relaxed);
-        frame.dirty.store(true, Ordering::Release);
+        if !frame.dirty.swap(true, Ordering::AcqRel) {
+            self.stats.dirty.incr();
+        }
         let mut guard = frame.page.write();
         drop(map);
         *guard = Page::new();
@@ -204,6 +255,7 @@ impl BufferPool {
                         return Err(e);
                     }
                     attempt += 1;
+                    self.stats.retries.incr();
                     backoff(attempt)?;
                 }
                 Err(DmxError::IoTransient(m)) => {
@@ -242,7 +294,13 @@ impl BufferPool {
         let idx = chosen.ok_or(DmxError::BufferFull)?;
         if let Some(old) = map.resident[idx].take() {
             map.table.remove(&old);
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.stats.evictions.incr();
+            self.obs.emit(ObsEvent {
+                layer: "pool",
+                op: "evict",
+                target: old.page_no as u64,
+                detail: old.file.0 as u64,
+            });
         }
         map.table.insert(pid, idx);
         map.resident[idx] = Some(pid);
@@ -294,8 +352,16 @@ impl BufferPool {
             let mut guard = frame.page.write();
             guard.stamp_crc();
             with_io_retries(MAX_IO_RETRIES, || self.disk.write_page(pid, &guard))?;
-            frame.dirty.store(false, Ordering::Release);
-            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            if frame.dirty.swap(false, Ordering::AcqRel) {
+                self.stats.dirty.decr();
+            }
+            self.stats.flushes.incr();
+            self.obs.emit(ObsEvent {
+                layer: "pool",
+                op: "flush",
+                target: pid.page_no as u64,
+                detail: pid.file.0 as u64,
+            });
         }
         Ok(())
     }
@@ -318,12 +384,22 @@ impl BufferPool {
             );
             map.table.remove(&pid);
             map.resident[idx] = None;
-            self.frames[idx].dirty.store(false, Ordering::Release);
+            if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
+                self.stats.dirty.decr();
+            }
         }
     }
 
-    /// Number of dirty frames (for tests and monitoring).
+    /// Number of dirty frames, read from the incrementally maintained
+    /// gauge (no frame walk, no map lock).
     pub fn dirty_count(&self) -> usize {
+        self.stats.dirty.get().max(0) as usize
+    }
+
+    /// Number of dirty frames counted by walking every frame. O(frames);
+    /// only for tests cross-checking the incremental gauge.
+    #[cfg(test)]
+    fn dirty_count_walk(&self) -> usize {
         self.frames
             .iter()
             .filter(|f| f.dirty.load(Ordering::Acquire))
@@ -345,16 +421,31 @@ impl PinnedPage {
         self.pid
     }
 
-    /// Shared access to the page image.
+    /// Shared access to the page image. A contended frame latch counts
+    /// one `pool.pin_waits` before blocking.
     pub fn read(&self) -> RwLockReadGuard<'_, Page> {
-        self.pool.frames[self.frame].page.read()
+        let f = &self.pool.frames[self.frame];
+        if let Some(g) = f.page.try_read() {
+            return g;
+        }
+        self.pool.stats.pin_waits.incr();
+        f.page.read()
     }
 
-    /// Exclusive access; marks the frame dirty.
+    /// Exclusive access; marks the frame dirty. A contended frame latch
+    /// counts one `pool.pin_waits` before blocking.
     pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
         let f = &self.pool.frames[self.frame];
-        f.dirty.store(true, Ordering::Release);
-        f.page.write()
+        if !f.dirty.swap(true, Ordering::AcqRel) {
+            self.pool.stats.dirty.incr();
+        }
+        match f.page.try_write() {
+            Some(g) => g,
+            None => {
+                self.pool.stats.pin_waits.incr();
+                f.page.write()
+            }
+        }
     }
 }
 
@@ -370,6 +461,7 @@ impl Drop for PinnedPage {
 mod tests {
     use super::*;
     use crate::disk::MemDisk;
+    use std::sync::atomic::AtomicU64;
 
     fn setup(frames: usize) -> (Arc<MemDisk>, Arc<BufferPool>, FileId) {
         let disk = Arc::new(MemDisk::new());
@@ -386,10 +478,10 @@ mod tests {
             p.write().body_mut()[0] = 77;
             p.id()
         };
-        let before = pool.stats().hits.load(Ordering::Relaxed);
+        let before = pool.stats().hits.get();
         let p = pool.fetch(pid).unwrap();
         assert_eq!(p.read().body()[0], 77);
-        assert_eq!(pool.stats().hits.load(Ordering::Relaxed), before + 1);
+        assert_eq!(pool.stats().hits.get(), before + 1);
     }
 
     #[test]
@@ -516,6 +608,37 @@ mod tests {
         assert_eq!(pool.dirty_count(), 1, "f2's page remains dirty");
         let mut img = Page::new();
         disk.read_page(pid1, &mut img).unwrap();
+    }
+
+    #[test]
+    fn dirty_gauge_tracks_frame_walk() {
+        let (disk, pool, f) = setup(8);
+        let f2 = disk.create_file().unwrap();
+        // Dirty three pages across two files.
+        let pids: Vec<PageId> = [f, f, f2]
+            .iter()
+            .map(|file| {
+                let p = pool.new_page(*file).unwrap();
+                p.write().body_mut()[0] = 1;
+                p.id()
+            })
+            .collect();
+        assert_eq!(pool.dirty_count(), 3);
+        assert_eq!(pool.dirty_count(), pool.dirty_count_walk());
+        // Redundant re-dirty must not double count.
+        let p = pool.fetch(pids[0]).unwrap();
+        p.write().body_mut()[1] = 2;
+        drop(p);
+        assert_eq!(pool.dirty_count(), 3);
+        // Selective flush decrements only the flushed file's frames.
+        pool.flush_file(f).unwrap();
+        assert_eq!(pool.dirty_count(), 1);
+        assert_eq!(pool.dirty_count(), pool.dirty_count_walk());
+        // Discard clears the rest without I/O.
+        pool.discard_file(f2);
+        assert_eq!(pool.dirty_count(), 0);
+        assert_eq!(pool.dirty_count(), pool.dirty_count_walk());
+        assert_eq!(pool.stats().pin_waits.get(), 0, "uncontended: no waits");
     }
 
     #[test]

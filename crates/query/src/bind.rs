@@ -12,11 +12,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dmx_types::sync::Mutex;
 
 use dmx_core::{Database, PlanId};
+use dmx_types::obs::{name as metric, Counter};
 use dmx_types::Result;
 
 use crate::ast::SelectStmt;
@@ -40,9 +41,21 @@ pub struct CacheStats {
 pub struct PlanCache {
     plans: Mutex<HashMap<String, Cached>>,
     pub stats: CacheStats,
+    /// Registry mirrors of hits/misses, resolved once from the first
+    /// database this cache serves (there is one cache per database).
+    registry_counters: OnceLock<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl PlanCache {
+    fn registry_counters(&self, db: &Arc<Database>) -> &(Arc<Counter>, Arc<Counter>) {
+        self.registry_counters.get_or_init(|| {
+            (
+                db.metrics().counter(metric::PLAN_CACHE_HITS),
+                db.metrics().counter(metric::PLAN_CACHE_MISSES),
+            )
+        })
+    }
+
     /// Returns the cached plan for `sql` when still valid; otherwise
     /// (re-)compiles, registers dependencies, caches and returns it.
     pub fn get_or_compile(
@@ -51,11 +64,14 @@ impl PlanCache {
         sql: &str,
         sel: &SelectStmt,
     ) -> Result<Arc<CompiledSelect>> {
+        let (reg_hits, reg_misses) = self.registry_counters(db);
+        let (reg_hits, reg_misses) = (reg_hits.clone(), reg_misses.clone());
         {
             let plans = self.plans.lock();
             if let Some(c) = plans.get(sql) {
                 if db.deps().is_valid(c.plan_id) {
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    reg_hits.incr();
                     return Ok(c.compiled.clone());
                 }
             }
@@ -76,6 +92,9 @@ impl PlanCache {
         } else {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
         }
+        // Both fresh compiles and retranslations are registry misses:
+        // either way a plan was compiled at execution time.
+        reg_misses.incr();
         Ok(compiled)
     }
 

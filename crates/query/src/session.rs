@@ -68,6 +68,7 @@ pub struct Session {
     user: String,
     cache: Arc<PlanCache>,
     txn: Mutex<Option<Arc<Transaction>>>,
+    statements: Arc<dmx_types::obs::Counter>,
 }
 
 impl Session {
@@ -79,11 +80,13 @@ impl Session {
     /// Opens a session as a specific user (authorization applies).
     pub fn with_user(db: Arc<Database>, user: &str) -> Session {
         let cache = db.query_state::<PlanCache, _>(PlanCache::default);
+        let statements = db.metrics().counter(dmx_types::obs::name::SQL_STATEMENTS);
         Session {
             db,
             user: user.to_string(),
             cache,
             txn: Mutex::new(None),
+            statements,
         }
     }
 
@@ -110,6 +113,9 @@ impl Session {
     }
 
     fn execute_stmt(&self, sql: &str, stmt: Stmt) -> Result<QueryResult> {
+        // counted here (not in `execute`) so `SqlExt::execute_sql`'s
+        // one-shot sessions are observed too
+        self.statements.incr();
         // transaction control first
         match &stmt {
             Stmt::Begin => {

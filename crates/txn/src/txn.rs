@@ -187,6 +187,7 @@ pub struct TxnManager {
     log: Arc<LogManager>,
     next_id: AtomicU64,
     active: Mutex<HashMap<TxnId, Arc<Transaction>>>,
+    begins: Arc<dmx_types::obs::Counter>,
 }
 
 impl TxnManager {
@@ -199,15 +200,26 @@ impl TxnManager {
     /// `first_id` — used after restart so ids never repeat across crashes
     /// (restart analysis replays the durable log by transaction id).
     pub fn new_starting_at(log: Arc<LogManager>, first_id: u64) -> Self {
+        Self::new_with_metrics(log, first_id, dmx_types::obs::MetricsRegistry::new())
+    }
+
+    /// Like [`TxnManager::new_starting_at`], registering metrics in `obs`.
+    pub fn new_with_metrics(
+        log: Arc<LogManager>,
+        first_id: u64,
+        obs: Arc<dmx_types::obs::MetricsRegistry>,
+    ) -> Self {
         TxnManager {
             log,
             next_id: AtomicU64::new(first_id.max(1)),
             active: Mutex::new(HashMap::new()),
+            begins: obs.counter(dmx_types::obs::name::TXN_BEGINS),
         }
     }
 
     /// Begins a transaction (logs `Begin`).
     pub fn begin(&self) -> Arc<Transaction> {
+        self.begins.incr();
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let begin_lsn = self.log.append(id, Lsn::NULL, LogBody::Begin);
         let txn = Arc::new(Transaction {

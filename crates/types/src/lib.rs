@@ -20,6 +20,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod key;
+pub mod obs;
 pub mod record;
 pub mod rect;
 pub mod schema;
@@ -34,6 +35,9 @@ pub use ids::{
     AttInstanceId, AttTypeId, FieldId, FileId, Lsn, PageId, RelationId, ScanId, SmTypeId, TxnId,
 };
 pub use key::RecordKey;
+pub use obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ObsEvent, ObsSink, RingSink,
+};
 pub use record::{Record, RecordRef};
 pub use rect::Rect;
 pub use schema::{ColumnDef, Schema};

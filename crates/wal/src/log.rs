@@ -18,6 +18,7 @@ use std::sync::Arc;
 use dmx_types::sync::Mutex;
 
 use dmx_types::fault::{with_io_retries, MAX_IO_RETRIES};
+use dmx_types::obs::{name, Counter, Histogram, MetricsRegistry, ObsEvent, SIZE_BUCKETS};
 use dmx_types::{DmxError, FaultDecision, FaultInjector, Lsn, Result, TxnId};
 
 use crate::record::{LogBody, LogRecord};
@@ -166,19 +167,39 @@ struct Volatile {
 pub struct LogManager {
     stable: Arc<StableLog>,
     vol: Mutex<Volatile>,
+    obs: Arc<MetricsRegistry>,
+    appends: Arc<Counter>,
+    forces: Arc<Counter>,
+    frames_forced: Arc<Counter>,
+    force_batch: Arc<Histogram>,
 }
 
 impl LogManager {
-    /// Opens a log manager over a (possibly non-empty) stable log; the
-    /// next LSN continues after the durable prefix.
+    /// Opens a log manager over a (possibly non-empty) stable log with a
+    /// private metrics registry; the next LSN continues after the durable
+    /// prefix.
     pub fn open(stable: Arc<StableLog>) -> Self {
+        Self::open_with_metrics(stable, MetricsRegistry::new())
+    }
+
+    /// Opens a log manager registering its metrics in `obs`.
+    pub fn open_with_metrics(stable: Arc<StableLog>, obs: Arc<MetricsRegistry>) -> Self {
         let next_lsn = stable.len() as u64 + 1;
+        let appends = obs.counter(name::WAL_APPENDS);
+        let forces = obs.counter(name::WAL_FORCES);
+        let frames_forced = obs.counter(name::WAL_FRAMES_FORCED);
+        let force_batch = obs.histogram(name::WAL_FORCE_BATCH, SIZE_BUCKETS);
         LogManager {
             stable,
             vol: Mutex::new(Volatile {
                 tail: VecDeque::new(),
                 next_lsn,
             }),
+            obs,
+            appends,
+            forces,
+            frames_forced,
+            force_batch,
         }
     }
 
@@ -199,6 +220,8 @@ impl LogManager {
             txn,
             body,
         });
+        drop(vol);
+        self.appends.incr();
         lsn
     }
 
@@ -230,7 +253,8 @@ impl LogManager {
             )));
         }
         let n = (lsn.0 - durable) as usize;
-        for _ in 0..n {
+        self.forces.incr();
+        for moved in 0..n {
             let frame = match vol.tail.front() {
                 Some(rec) => rec.encode(),
                 None => {
@@ -239,9 +263,24 @@ impl LogManager {
                     ))
                 }
             };
-            with_io_retries(MAX_IO_RETRIES, || self.stable.append_frame(frame.clone()))?;
+            if let Err(e) =
+                with_io_retries(MAX_IO_RETRIES, || self.stable.append_frame(frame.clone()))
+            {
+                // Count the clean durable prefix this force did achieve.
+                self.frames_forced.add(moved as u64);
+                self.force_batch.record(moved as u64);
+                return Err(e);
+            }
             vol.tail.pop_front();
         }
+        self.frames_forced.add(n as u64);
+        self.force_batch.record(n as u64);
+        self.obs.emit(ObsEvent {
+            layer: "wal",
+            op: "force",
+            target: lsn.0,
+            detail: n as u64,
+        });
         Ok(())
     }
 

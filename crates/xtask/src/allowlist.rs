@@ -32,11 +32,23 @@ pub struct UnsafeAllow {
     pub line: usize,
 }
 
+/// One `[[wallclock]]` entry: `count` tolerated wall-clock tokens
+/// (`Instant`/`SystemTime`) in `path`, with a justification. Same
+/// ratchet contract as `[[panic]]`.
+#[derive(Debug, Clone)]
+pub struct WallclockAllow {
+    pub path: String,
+    pub count: usize,
+    pub reason: String,
+    pub line: usize,
+}
+
 /// Parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     pub panics: Vec<PanicAllow>,
     pub unsafe_modules: Vec<UnsafeAllow>,
+    pub wallclock: Vec<WallclockAllow>,
 }
 
 impl Allowlist {
@@ -55,6 +67,7 @@ enum Section {
     None,
     Panic,
     UnsafeModule,
+    Wallclock,
 }
 
 fn parse(text: &str) -> Result<Allowlist, String> {
@@ -82,6 +95,16 @@ fn parse(text: &str) -> Result<Allowlist, String> {
                 section = Section::UnsafeModule;
                 out.unsafe_modules.push(UnsafeAllow {
                     path: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            "[[wallclock]]" => {
+                section = Section::Wallclock;
+                out.wallclock.push(WallclockAllow {
+                    path: String::new(),
+                    count: 0,
                     reason: String::new(),
                     line: lineno,
                 });
@@ -126,6 +149,22 @@ fn parse(text: &str) -> Result<Allowlist, String> {
                     _ => return Err(format!("line {lineno}: unknown key {key}")),
                 }
             }
+            Section::Wallclock => {
+                let entry = out
+                    .wallclock
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: key outside [[wallclock]]"))?;
+                match key {
+                    "path" => entry.path = unquote(value, lineno)?,
+                    "count" => {
+                        entry.count = value
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: bad count {value}"))?
+                    }
+                    "reason" => entry.reason = unquote(value, lineno)?,
+                    _ => return Err(format!("line {lineno}: unknown key {key}")),
+                }
+            }
             Section::None => {
                 return Err(format!("line {lineno}: key before any [[section]]"));
             }
@@ -143,6 +182,14 @@ fn parse(text: &str) -> Result<Allowlist, String> {
         if e.path.is_empty() {
             return Err(format!(
                 "line {}: [[unsafe-module]] entry needs path",
+                e.line
+            ));
+        }
+    }
+    for e in &out.wallclock {
+        if e.path.is_empty() || e.count == 0 {
+            return Err(format!(
+                "line {}: [[wallclock]] entry needs path and count >= 1",
                 e.line
             ));
         }

@@ -11,7 +11,13 @@
 //! 3. audited `unsafe` (allowlisted module + `// SAFETY:` comment);
 //! 4. the crate-layering DAG and the std-only dependency rule;
 //! 5. extension-contract conformance for registered storage methods and
-//!    attachment types.
+//!    attachment types;
+//! 6. deterministic time (no `Instant`/`SystemTime` in runtime crates
+//!    outside the `[[wallclock]]` allowlist — wall-clock timing belongs
+//!    to `crates/bench`);
+//! 7. registered metrics (no `static` atomics in runtime crates — all
+//!    observability state flows through the per-database
+//!    `MetricsRegistry`).
 //!
 //! The analysis is deliberately lexical (file walking plus token
 //! scanning on comment-stripped source): it needs no network, no
@@ -53,6 +59,8 @@ pub fn verify(root: &Path) -> Result<Vec<Violation>, String> {
     violations.extend(rules::check_layering(root));
     violations.extend(rules::check_private_paths(&files));
     violations.extend(rules::check_contracts(&files));
+    violations.extend(rules::check_wallclock(&files, &allow));
+    violations.extend(rules::check_metric_statics(&files));
     violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
     Ok(violations)
 }

@@ -1,4 +1,4 @@
-//! The five rule families of `xtask verify`.
+//! The seven rule families of `xtask verify`.
 //!
 //! 1. **Panic discipline** — no `unwrap()` / `expect(` / `panic!` /
 //!    `todo!` / `unimplemented!` and no unjustified range-slicing in
@@ -13,6 +13,13 @@
 //!    crates never name kernel-internal module paths.
 //! 5. **Extension contracts** — every registered storage method and
 //!    attachment type implements the full generic operation set.
+//! 6. **Deterministic time** — no `Instant`/`SystemTime` in non-test
+//!    runtime code (modulo the `[[wallclock]]` allowlist), so metric
+//!    snapshots and recovery stay pure functions of the workload;
+//!    timing lives in `crates/bench`, which is not a runtime crate.
+//! 7. **Registered metrics** — no `static` atomics in runtime crates:
+//!    ad-hoc process-global counters bypass the per-database
+//!    `MetricsRegistry` and alias state across databases.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -410,6 +417,126 @@ fn has_word(code: &str, word: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// Rule 6: deterministic time
+// ---------------------------------------------------------------------
+
+/// Wall-clock tokens denied in non-test runtime code (word-boundary
+/// matched, so e.g. "Instantiates" in prose does not trip it — though
+/// comments are stripped before scanning anyway). The observability
+/// layer is clock-free by design: a metric snapshot must be a pure
+/// function of the workload, and recovery must not branch on real time.
+/// Wall-clock timing belongs to the bench harness (`crates/bench`),
+/// which is not a runtime crate and is not scanned.
+const WALLCLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
+
+/// Scans runtime-crate sources for wall-clock tokens and reconciles the
+/// hits against the `[[wallclock]]` allowlist with the same ratchet
+/// contract as the panic rule: uncovered hits are violations, and so
+/// are entries whose recorded count no longer matches the source.
+pub fn check_wallclock(files: &[SourceFile], allow: &Allowlist) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut hits: HashMap<String, Vec<usize>> = HashMap::new();
+    for f in files {
+        for (i, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for tok in WALLCLOCK_TOKENS {
+                if has_word(&line.code, tok) {
+                    hits.entry(f.rel.clone()).or_default().push(i + 1);
+                }
+            }
+        }
+    }
+    let mut allowed: HashMap<String, usize> = HashMap::new();
+    for e in &allow.wallclock {
+        if e.reason.trim().is_empty() {
+            out.push(Violation::new(
+                "wallclock-allowlist",
+                "crates/xtask/allow.toml",
+                e.line,
+                format!("entry for {} has no justification", e.path),
+            ));
+        }
+        *allowed.entry(e.path.clone()).or_default() += e.count;
+    }
+    let mut keys: Vec<_> = hits.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let lines = &hits[&key];
+        let allow_n = allowed.remove(&key).unwrap_or(0);
+        if lines.len() > allow_n {
+            for l in lines.iter().skip(allow_n) {
+                out.push(Violation::new(
+                    "wallclock",
+                    &key,
+                    *l,
+                    format!(
+                        "wall-clock type in non-test runtime code (allowlisted: {allow_n}, \
+                         found: {}) — deterministic paths must not read real time; \
+                         timing belongs in crates/bench",
+                        lines.len()
+                    ),
+                ));
+            }
+        } else if lines.len() < allow_n {
+            out.push(Violation::new(
+                "wallclock-allowlist",
+                "crates/xtask/allow.toml",
+                0,
+                format!(
+                    "stale entry: {key} allows {allow_n} but source has {} — shrink the allowlist",
+                    lines.len()
+                ),
+            ));
+        }
+    }
+    for (path, n) in allowed {
+        out.push(Violation::new(
+            "wallclock-allowlist",
+            "crates/xtask/allow.toml",
+            0,
+            format!("stale entry: {path} allows {n} but source has 0 — remove it"),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: registered metrics (no ad-hoc atomic statics)
+// ---------------------------------------------------------------------
+
+/// Denies `static` items holding atomics in non-test runtime code.
+/// Observability state must live in the per-database `MetricsRegistry`
+/// (`crates/types/src/obs.rs`, the one exempt module): a process-global
+/// counter aliases state across concurrently open databases and makes
+/// snapshots depend on unrelated instances.
+pub fn check_metric_statics(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.rel == "crates/types/src/obs.rs" {
+            continue;
+        }
+        for (i, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if has_word(&line.code, "static") && line.code.contains("Atomic") {
+                out.push(Violation::new(
+                    "metric-static",
+                    &f.rel,
+                    i + 1,
+                    "`static` atomic in runtime code — register a counter on the \
+                     per-database `MetricsRegistry` instead of a process-global"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Rule 4: layering
 // ---------------------------------------------------------------------
 
@@ -787,5 +914,61 @@ mod tests {
         let f = sf("crates/pagestore/src/raw.rs", "unsafe { do_it() }\n");
         let v = check_unsafe(&[f], &Allowlist::default());
         assert_eq!(v.len(), 2, "both unallowlisted and uncommented: {v:?}");
+    }
+
+    #[test]
+    fn wallclock_denied_outside_tests_with_word_boundaries() {
+        let f = sf(
+            "crates/core/src/database.rs",
+            "fn now() { let t = std::time::Instant::now(); }\n\
+             /// Instantiates a plan subtree.\n\
+             fn mk() { let s = SystemTime::now(); }\n\
+             #[cfg(test)]\nmod t { use std::time::Instant; }\n",
+        );
+        let v = check_wallclock(&[f], &Allowlist::default());
+        // line 1 (Instant) and line 3 (SystemTime); the doc comment and
+        // the test module are exempt.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn wallclock_allowlist_covers_and_ratchets() {
+        let f = sf(
+            "crates/lock/src/manager.rs",
+            "fn a() { let t = Instant::now(); }\n",
+        );
+        let mut allow = Allowlist::default();
+        allow.wallclock.push(crate::allowlist::WallclockAllow {
+            path: "crates/lock/src/manager.rs".into(),
+            count: 1,
+            reason: "timeout".into(),
+            line: 1,
+        });
+        assert!(check_wallclock(std::slice::from_ref(&f), &allow).is_empty());
+        // An over-counted entry is stale and fails the ratchet.
+        allow.wallclock[0].count = 2;
+        let v = check_wallclock(&[f], &allow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("shrink"));
+    }
+
+    #[test]
+    fn metric_statics_denied_outside_obs() {
+        let bad = sf(
+            "crates/wal/src/log.rs",
+            "static APPENDS: AtomicU64 = AtomicU64::new(0);\n",
+        );
+        let v = check_metric_statics(&[bad]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Atomics as struct fields (no `static`) and the obs module
+        // itself are both fine.
+        let field = sf("crates/wal/src/log.rs", "appends: AtomicU64,\n");
+        let obs = sf(
+            "crates/types/src/obs.rs",
+            "static FALLBACK: AtomicU64 = AtomicU64::new(0);\n",
+        );
+        assert!(check_metric_statics(&[field, obs]).is_empty());
     }
 }

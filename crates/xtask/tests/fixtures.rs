@@ -39,6 +39,9 @@ fn violation_tree_fires_every_rule_family() {
         "layering",
         "private-path",
         "contract",
+        "wallclock",
+        "wallclock-allowlist",
+        "metric-static",
     ] {
         assert!(
             rules.contains(expected),
@@ -92,6 +95,44 @@ fn stale_allowlist_entries_fail_the_pass() {
             .iter()
             .any(|x| x.msg.contains("crates/wal/src/gone.rs:unwrap") && x.msg.contains("remove")),
         "entry for vanished file not flagged:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn wallclock_rule_reports_uncovered_reads_and_stale_entries() {
+    let v = run("violations");
+    let wc: Vec<&Violation> = v.iter().filter(|x| x.rule == "wallclock").collect();
+    // Two uncovered `Instant` token hits in the fixture source.
+    assert_eq!(
+        wc.len(),
+        2,
+        "expected both Instant hits reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(wc.iter().all(|x| x.path == "crates/types/src/lib.rs"));
+    assert!(
+        v.iter().any(|x| x.rule == "wallclock-allowlist"
+            && x.msg.contains("crates/wal/src/gone.rs")
+            && x.msg.contains("remove")),
+        "stale wallclock entry not flagged:\n{}",
+        xtask::render(&v)
+    );
+    // The clean tree covers its wall-clock use with a matching entry.
+    assert!(
+        !run("clean").iter().any(|x| x.rule.starts_with("wallclock")),
+        "allowlisted wallclock use must not fire"
+    );
+}
+
+#[test]
+fn metric_static_rule_reports_global_atomics() {
+    let v = run("violations");
+    assert!(
+        v.iter().any(|x| x.rule == "metric-static"
+            && x.path == "crates/types/src/lib.rs"
+            && x.msg.contains("MetricsRegistry")),
+        "global atomic static not reported:\n{}",
         xtask::render(&v)
     );
 }

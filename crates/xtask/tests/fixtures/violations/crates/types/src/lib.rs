@@ -21,3 +21,12 @@ pub fn middle(v: &[u8]) -> &[u8] {
 pub fn peek(p: *const u8) -> u8 {
     unsafe { *p }
 }
+
+/// Wall-clock reads in runtime code (deterministic-time rule): the
+/// `use` and the call are two separate token hits.
+pub fn elapsed_budget() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Ad-hoc process-global counter (registered-metrics rule).
+pub static RAW_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);

@@ -22,4 +22,14 @@ cargo test -q --workspace
 echo "==> fault sweep smoke (FAULT_SWEEP_STRIDE=16)"
 FAULT_SWEEP_STRIDE=16 cargo test -q --test fault_sweep
 
+# Storage-method differential oracle: heap vs btree vs in-memory model
+# over seeded statement streams.
+echo "==> differential oracle"
+cargo test -q --test differential
+
+# Deterministic bench smoke: scaled-down seeded scenarios run twice;
+# any metric-snapshot divergence between the runs fails the gate.
+echo "==> bench smoke (determinism gate)"
+cargo run -q --release -p dmx-bench --bin harness -- --smoke
+
 echo "check.sh: all gates passed"

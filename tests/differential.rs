@@ -1,0 +1,156 @@
+//! Differential oracle: one seeded DML stream applied to a heap-organized
+//! relation, a B-tree-organized relation, and a plain in-memory
+//! `BTreeMap` model. After every batch all three must agree exactly —
+//! any divergence pins the bug to the storage method (or the dispatcher)
+//! that drifted. Running the whole stream twice from the same seed must
+//! also reproduce byte-identical oracle state *and* identical metric
+//! counters: the observability layer is part of the determinism contract.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use starburst_dmx::prelude::*;
+use starburst_dmx::types::testrng::TestRng;
+use starburst_dmx::types::MetricsSnapshot;
+
+const SEED: u64 = 0x0DDC_0FFE_E0DD_F00D;
+const BATCHES: usize = 10;
+const OPS_PER_BATCH: usize = 60;
+
+/// The model row: everything the tables store besides the key.
+type Model = BTreeMap<i64, (String, i64)>;
+
+fn open() -> Arc<Database> {
+    let db = starburst_dmx::open_default().unwrap();
+    db.execute_sql("CREATE TABLE th (id INT NOT NULL, name STRING NOT NULL, dept INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX th_pk ON th (id)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE tb (id INT NOT NULL, name STRING NOT NULL, dept INT NOT NULL) \
+         USING btree WITH (key=id)",
+    )
+    .unwrap();
+    db
+}
+
+/// Reads a table back in model order (sorted by id).
+fn read_sorted(db: &Arc<Database>, table: &str) -> Vec<(i64, String, i64)> {
+    let mut rows: Vec<(i64, String, i64)> = db
+        .query_sql(&format!("SELECT id, name, dept FROM {table}"))
+        .unwrap()
+        .into_iter()
+        .map(|r| {
+            (
+                r[0].as_int().unwrap(),
+                match &r[1] {
+                    Value::Str(s) => s.clone(),
+                    other => panic!("name column came back as {other:?}"),
+                },
+                r[2].as_int().unwrap(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn model_rows(model: &Model) -> Vec<(i64, String, i64)> {
+    model
+        .iter()
+        .map(|(&id, (name, dept))| (id, name.clone(), *dept))
+        .collect()
+}
+
+/// Applies one seeded batch to both tables and the model.
+fn apply_batch(db: &Arc<Database>, model: &mut Model, rng: &mut TestRng, next_id: &mut i64) {
+    for _ in 0..OPS_PER_BATCH {
+        let roll = rng.below(100);
+        if roll < 50 || model.is_empty() {
+            let id = *next_id;
+            *next_id += 1;
+            let dept = rng.range_i64(0, 10);
+            for t in ["th", "tb"] {
+                db.execute_sql(&format!("INSERT INTO {t} VALUES ({id}, 'r{id}', {dept})"))
+                    .unwrap();
+            }
+            model.insert(id, (format!("r{id}"), dept));
+        } else if roll < 80 {
+            let keys: Vec<i64> = model.keys().copied().collect();
+            let id = keys[rng.index(keys.len())];
+            let dept = rng.range_i64(0, 10);
+            for t in ["th", "tb"] {
+                db.execute_sql(&format!("UPDATE {t} SET dept = {dept} WHERE id = {id}"))
+                    .unwrap();
+            }
+            model.get_mut(&id).unwrap().1 = dept;
+        } else {
+            let keys: Vec<i64> = model.keys().copied().collect();
+            let id = keys[rng.index(keys.len())];
+            for t in ["th", "tb"] {
+                db.execute_sql(&format!("DELETE FROM {t} WHERE id = {id}"))
+                    .unwrap();
+            }
+            model.remove(&id);
+        }
+    }
+}
+
+/// Runs the full stream; returns the final oracle state and the metrics.
+fn run_stream(seed: u64) -> (Vec<(i64, String, i64)>, MetricsSnapshot) {
+    let db = open();
+    let mut model = Model::new();
+    let mut rng = TestRng::new(seed);
+    let mut next_id = 0i64;
+    for batch in 0..BATCHES {
+        apply_batch(&db, &mut model, &mut rng, &mut next_id);
+        let expected = model_rows(&model);
+        let heap = read_sorted(&db, "th");
+        let btree = read_sorted(&db, "tb");
+        assert_eq!(
+            heap, expected,
+            "heap diverged from model after batch {batch}"
+        );
+        assert_eq!(
+            btree, expected,
+            "btree diverged from model after batch {batch}"
+        );
+    }
+    (model_rows(&model), db.metrics_snapshot())
+}
+
+#[test]
+fn heap_btree_and_model_agree_after_every_batch() {
+    let (final_rows, metrics) = run_stream(SEED);
+    assert!(!final_rows.is_empty(), "the stream must leave live rows");
+    // The stream must actually have exercised all three op kinds.
+    assert!(metrics.counter("dml.inserts") > 0);
+    assert!(metrics.counter("dml.updates") > 0);
+    assert!(metrics.counter("dml.deletes") > 0);
+}
+
+#[test]
+fn same_seed_reproduces_oracle_state_and_counters() {
+    let (rows_a, metrics_a) = run_stream(SEED);
+    let (rows_b, metrics_b) = run_stream(SEED);
+    assert_eq!(
+        rows_a, rows_b,
+        "oracle state must be a pure function of the seed"
+    );
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metric snapshots must be a pure function of the seed"
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // A sanity check that the stream actually depends on the seed (i.e.
+    // the determinism test above is not vacuous).
+    let (rows_a, _) = run_stream(SEED);
+    let (rows_b, _) = run_stream(SEED ^ 1);
+    assert_ne!(
+        rows_a, rows_b,
+        "distinct seeds should produce distinct streams"
+    );
+}
