@@ -52,6 +52,9 @@ fn main() {
     if want("pr3") {
         pr3_baseline();
     }
+    if want("pr5") {
+        pr5_baseline();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -112,6 +115,60 @@ fn pr3_baseline() {
     println!("\nwrote {path}");
 }
 
+/// Full-scale run of the PR5 observability-extension scenarios; writes
+/// the `BENCH_pr5.json` baseline next to the workspace root.
+fn pr5_baseline() {
+    banner(
+        "PR5",
+        "sys.* relations, EXPLAIN ANALYZE and the flight recorder as seeded workloads",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr5::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "metrics".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let names = o.metrics.counters.len() + o.metrics.gauges.len() + o.metrics.histograms.len();
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    names.to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr5::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr5.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr5.json"))
+            .unwrap_or_else(|_| "BENCH_pr5.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr5.json");
+    println!("\nwrote {path}");
+}
+
 /// `--smoke`: small scale, every scenario run twice; asserts the two
 /// snapshots are identical (determinism) and that each covers the
 /// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
@@ -130,7 +187,18 @@ fn pr3_smoke() {
         let names = pr3::assert_layer_coverage(&a.metrics, 12);
         println!("smoke {:<26} ok  ops={:<7} metrics={names}", s.name, a.ops);
     }
-    println!("pr3 smoke: all scenarios deterministic");
+    for s in pr5::scenarios() {
+        let a = (s.run)(&scale, seed);
+        let b = (s.run)(&scale, seed);
+        assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: same seed produced different snapshots",
+            s.name
+        );
+        println!("smoke {:<26} ok  ops={}", s.name, a.ops);
+    }
+    println!("bench smoke: all scenarios deterministic");
 }
 
 fn banner(id: &str, claim: &str) {

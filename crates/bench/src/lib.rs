@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md.
 
 pub mod pr3;
+pub mod pr5;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

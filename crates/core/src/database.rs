@@ -17,7 +17,8 @@ use dmx_lock::{LockManager, LockMode, LockName};
 use dmx_page::{BufferPool, DiskManager, FaultDisk};
 use dmx_txn::{Transaction, TxnEvent, TxnManager, TxnState};
 use dmx_types::obs::{
-    name as metric, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsEvent, SIZE_BUCKETS,
+    name as metric, Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsEvent, RingSink,
+    SIZE_BUCKETS,
 };
 use dmx_types::{
     AttrList, DmxError, FaultInjector, FaultPlan, Lsn, Record, RecordKey, RelationId, Result,
@@ -99,6 +100,31 @@ pub struct HookArgs<'a> {
     pub new: Option<&'a Record>,
 }
 
+/// Capacity of the per-database flight-recorder event ring.
+const TRACE_RING_CAP: usize = 256;
+
+/// The flight recorder's crash-time dump: captured when a relation is
+/// quarantined after unrecoverable corruption. Deterministic — it holds
+/// event counts and the metric snapshot, never wall-clock times — so two
+/// same-seed runs that corrupt the same page produce identical reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentReport {
+    /// The relation that was fenced off.
+    pub relation: RelationId,
+    /// The quarantine reason (checksum mismatch detail, …).
+    pub reason: String,
+    /// The last events recorded before the incident, oldest first
+    /// (bounded by the trace ring capacity).
+    pub events: Vec<ObsEvent>,
+    /// Every metric at the moment of the incident.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A row producer for a `sys.*` relation whose contents live outside
+/// `core` (e.g. the query layer's plan cache). Providers must not start
+/// transactions or take database locks — they read their own state only.
+pub type SysProviderFn = Arc<dyn Fn(&Database) -> Vec<Vec<Value>> + Send + Sync>;
+
 /// Pre-resolved handles for the kernel's own metrics, so the DML and
 /// scan hot paths never touch the registry maps.
 pub(crate) struct CoreCounters {
@@ -111,6 +137,7 @@ pub(crate) struct CoreCounters {
     pub(crate) rows_per_scan: Arc<Histogram>,
     pub(crate) att_invocations: Arc<Counter>,
     pub(crate) att_vetoes: Arc<Counter>,
+    pub(crate) att_probes: Arc<Counter>,
     pub(crate) quarantines: Arc<Counter>,
     pub(crate) commits: Arc<Counter>,
     pub(crate) aborts: Arc<Counter>,
@@ -128,6 +155,7 @@ impl CoreCounters {
             rows_per_scan: obs.histogram(metric::SCAN_ROWS_PER_SCAN, SIZE_BUCKETS),
             att_invocations: obs.counter(metric::ATT_INVOCATIONS),
             att_vetoes: obs.counter(metric::ATT_VETOES),
+            att_probes: obs.counter(metric::ATT_PROBES),
             quarantines: obs.counter(metric::QUARANTINE_EVENTS),
             commits: obs.counter(metric::TXN_COMMITS),
             aborts: obs.counter(metric::TXN_ABORTS),
@@ -155,6 +183,14 @@ pub struct Database {
     /// keyed to the reason. DML/scan entry points refuse these with
     /// [`DmxError::RelationQuarantined`]; everything else stays usable.
     quarantined: Mutex<HashMap<RelationId, String>>,
+    /// The flight-recorder ring: installed as the default metrics sink so
+    /// the last [`TRACE_RING_CAP`] events are always on hand for incident
+    /// reports and the `sys.trace` relation.
+    trace: Arc<RingSink>,
+    /// The most recent incident report (first quarantine wins until read).
+    incident: Mutex<Option<Arc<IncidentReport>>>,
+    /// Row producers for `sys.*` relations owned by higher layers.
+    sys_providers: Mutex<HashMap<String, SysProviderFn>>,
 }
 
 impl Database {
@@ -245,6 +281,32 @@ impl Database {
         catalog.persist(&env.disk)?;
         log.force_all()?;
 
+        // Flight recorder: a bounded ring of the most recent events,
+        // installed as the default sink so `sys.trace` and incident
+        // reports always have data. Event-count-based and bounded, so
+        // the determinism gates are unaffected.
+        let trace = RingSink::new(TRACE_RING_CAP);
+        obs.set_sink(trace.clone());
+
+        // Publish the `sys.*` system relations (when the registry carries
+        // the system storage method). They are non-recoverable, so the
+        // sweep above already removed any stale persisted copies and this
+        // re-publication is what keeps them fresh across reopens.
+        if let Ok(sm_id) = registry.storage_id_by_name(crate::sysrel::SM_NAME) {
+            for (name, tag, schema) in crate::sysrel::tables()? {
+                if catalog.get_by_name(name).is_err() {
+                    let rd = crate::descriptor::RelationDescriptor::new(
+                        catalog.next_relation_id(),
+                        name,
+                        schema,
+                        sm_id,
+                        vec![tag],
+                    );
+                    catalog.insert(rd)?;
+                }
+            }
+        }
+
         Ok(Arc::new(Database {
             txns: TxnManager::new_with_metrics(log, report.max_txn + 1, obs.clone()),
             counters: CoreCounters::new(&obs),
@@ -261,6 +323,9 @@ impl Database {
             ddl_txns: Mutex::new(HashSet::new()),
             query_slot: OnceLock::new(),
             quarantined: Mutex::new(HashMap::new()),
+            trace,
+            incident: Mutex::new(None),
+            sys_providers: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -285,6 +350,33 @@ impl Database {
     /// lock, txn, core and query layers, sorted by name.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.obs.snapshot()
+    }
+
+    /// The flight-recorder event ring (the default metrics sink).
+    pub fn trace(&self) -> &Arc<RingSink> {
+        &self.trace
+    }
+
+    /// The most recent incident report, when a relation has been
+    /// quarantined since open.
+    pub fn last_incident(&self) -> Option<Arc<IncidentReport>> {
+        self.incident.lock().clone()
+    }
+
+    /// Registers a row producer for a `sys.*` relation whose state lives
+    /// in a higher layer (e.g. the plan cache). Last registration wins.
+    pub fn set_sys_provider(&self, relation: &str, f: SysProviderFn) {
+        self.sys_providers
+            .lock()
+            .insert(relation.to_ascii_lowercase(), f);
+    }
+
+    /// The registered row producer for `relation`, if any.
+    pub fn sys_provider(&self, relation: &str) -> Option<SysProviderFn> {
+        self.sys_providers
+            .lock()
+            .get(&relation.to_ascii_lowercase())
+            .cloned()
     }
 
     pub(crate) fn counters(&self) -> &CoreCounters {
@@ -556,6 +648,17 @@ impl Database {
                 target: rel.0 as u64,
                 detail: 0,
             });
+            // Flight recorder: freeze the last events and every metric
+            // at the moment of the first quarantine of this relation.
+            // The snapshot is taken here (not in the sink) because sinks
+            // must not call back into the database.
+            let report = IncidentReport {
+                relation: rel,
+                reason: reason.clone(),
+                events: self.trace.snapshot(),
+                metrics: self.obs.snapshot(),
+            };
+            *self.incident.lock() = Some(Arc::new(report));
         }
         let stored = q.entry(rel).or_insert(reason);
         DmxError::RelationQuarantined {

@@ -354,6 +354,13 @@ impl Database {
                     .iter()
                     .find(|i| i.instance == inst_id)
                     .ok_or_else(|| DmxError::NotFound(format!("attachment {att_id}{inst_id}")))?;
+                self.counters().att_probes.incr();
+                self.metrics().emit(dmx_types::obs::ObsEvent {
+                    layer: "att",
+                    op: "probe",
+                    target: rd.id.0 as u64,
+                    detail: att_id.0 as u64,
+                });
                 att.open_scan(ctx, rd, inst, &query)
             }
         }

@@ -47,6 +47,7 @@ pub mod registry;
 pub mod services;
 pub mod stats;
 pub mod storage_method;
+pub mod sysrel;
 pub mod undo;
 
 pub use access::{AccessPath, AccessQuery, KeyRange, ScanItem, ScanManager, ScanOps, SpatialOp};
@@ -55,7 +56,9 @@ pub use auth::{AuthManager, Privilege};
 pub use catalog::Catalog;
 pub use context::ExecCtx;
 pub use cost::{Cost, PathChoice};
-pub use database::{Database, DatabaseConfig, DatabaseEnv, HookArgs, HookFn};
+pub use database::{
+    Database, DatabaseConfig, DatabaseEnv, HookArgs, HookFn, IncidentReport, SysProviderFn,
+};
 pub use deps::{DepKey, DependencyRegistry, PlanId};
 pub use descriptor::{AttachmentInstance, RelationDescriptor};
 pub use registry::ExtensionRegistry;

@@ -14,6 +14,6 @@ pub mod manager;
 pub mod mode;
 pub mod name;
 
-pub use manager::LockManager;
+pub use manager::{LockManager, LockRow};
 pub use mode::LockMode;
 pub use name::LockName;

@@ -372,6 +372,56 @@ impl LockManager {
     pub fn table_len(&self) -> usize {
         self.state.lock().table.len()
     }
+
+    /// A deterministic point-in-time dump of the lock table: one row per
+    /// granted holder and per queued waiter, sorted by lock name, then
+    /// transaction, then state (granted before waiting). Feeds the
+    /// `sys.locks` system relation.
+    pub fn dump(&self) -> Vec<LockRow> {
+        fn name_key(n: &LockName) -> (u8, u64, u64) {
+            match n {
+                LockName::Catalog => (0, 0, 0),
+                LockName::Relation(r) => (1, r.0 as u64, 0),
+                LockName::Record(r, k) => (2, r.0 as u64, *k),
+                LockName::File(f) => (3, f.0 as u64, 0),
+            }
+        }
+        let st = self.state.lock();
+        let mut rows = Vec::new();
+        for (name, entry) in &st.table {
+            for (txn, mode) in &entry.granted {
+                rows.push(LockRow {
+                    name: *name,
+                    txn: *txn,
+                    mode: *mode,
+                    waiting: false,
+                });
+            }
+            for w in &entry.waiting {
+                rows.push(LockRow {
+                    name: *name,
+                    txn: w.txn,
+                    mode: w.mode,
+                    waiting: true,
+                });
+            }
+        }
+        rows.sort_by_key(|r| (name_key(&r.name), r.txn.0, r.waiting));
+        rows
+    }
+}
+
+/// One row of [`LockManager::dump`]: a granted holder or queued waiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRow {
+    /// The locked object.
+    pub name: LockName,
+    /// The transaction holding or requesting it.
+    pub txn: TxnId,
+    /// Held mode (granted) or requested mode (waiting).
+    pub mode: LockMode,
+    /// True for a queued waiter, false for a granted holder.
+    pub waiting: bool,
 }
 
 #[cfg(test)]

@@ -145,5 +145,7 @@ pub enum Stmt {
         table: String,
         user: String,
     },
-    Explain(Box<Stmt>),
+    /// `EXPLAIN [ANALYZE] <stmt>`; the flag selects the executing form
+    /// that reports per-node actual row counts.
+    Explain(Box<Stmt>, bool),
 }

@@ -108,6 +108,27 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Rows for `sys.plan_cache`: `(sql, valid)` per cached plan, sorted
+    /// by SQL text for a deterministic presentation.
+    pub fn dump(&self, db: &Database) -> Vec<Vec<dmx_types::Value>> {
+        use dmx_types::Value;
+        let plans = self.plans.lock();
+        let mut rows: Vec<Vec<Value>> = plans
+            .iter()
+            .map(|(sql, c)| {
+                vec![
+                    Value::Str(sql.clone()),
+                    Value::Bool(db.deps().is_valid(c.plan_id)),
+                ]
+            })
+            .collect();
+        rows.sort_by(|a, b| match (a.first(), b.first()) {
+            (Some(Value::Str(x)), Some(Value::Str(y))) => x.cmp(y),
+            _ => std::cmp::Ordering::Equal,
+        });
+        rows
+    }
+
     /// Drops every cached plan (tests/benches).
     pub fn clear(&self, db: &Arc<Database>) {
         let mut plans = self.plans.lock();

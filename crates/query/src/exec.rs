@@ -7,7 +7,8 @@
 //! access path is accessed to obtain a record key, which is then used to
 //! access the relation record in the storage method").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dmx_core::{AccessPath, AccessQuery, ExecCtx, KeyRange, RelationDescriptor, ScanItem};
 use dmx_expr::{eval, eval_predicate, EvalContext, Expr};
@@ -21,6 +22,62 @@ pub trait RowSource {
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>>;
 }
 
+/// Per-plan-node row counters for EXPLAIN ANALYZE. Counters are numbered
+/// in the same pre-order as [`Plan::explain_rows`] and keyed by node
+/// identity, so inner plans re-instantiated per outer row (nested-loop
+/// right sides) accumulate into one counter.
+pub struct PlanProfile {
+    index: HashMap<usize, usize>,
+    counters: Vec<AtomicU64>,
+}
+
+impl PlanProfile {
+    /// Builds a profile with one counter per node of `plan`.
+    pub fn new(plan: &Plan) -> PlanProfile {
+        fn walk(p: &Plan, index: &mut HashMap<usize, usize>) {
+            let i = index.len();
+            index.insert(p as *const Plan as usize, i);
+            for c in p.children() {
+                walk(c, index);
+            }
+        }
+        let mut index = HashMap::new();
+        walk(plan, &mut index);
+        let counters = (0..index.len()).map(|_| AtomicU64::new(0)).collect();
+        PlanProfile { index, counters }
+    }
+
+    fn counter(&self, node: &Plan) -> Option<&AtomicU64> {
+        self.index
+            .get(&(node as *const Plan as usize))
+            .and_then(|i| self.counters.get(*i))
+    }
+
+    /// Rows produced by each node, in pre-order.
+    pub fn actuals(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Counts the rows a node hands to its parent.
+struct Profiled<'p> {
+    inner: Box<dyn RowSource + 'p>,
+    rows_out: &'p AtomicU64,
+}
+
+impl RowSource for Profiled<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        let r = self.inner.next(ctx)?;
+        if r.is_some() {
+            self.rows_out.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(r)
+    }
+}
+
 /// Instantiates a plan subtree. `outer` supplies the accumulated outer
 /// row for probe-parameterized inner accesses.
 pub fn build<'p>(
@@ -28,18 +85,28 @@ pub fn build<'p>(
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
 ) -> Result<Box<dyn RowSource + 'p>> {
-    Ok(match plan {
+    build_profiled(plan, ctx, outer, None)
+}
+
+fn build_profiled<'p>(
+    plan: &'p Plan,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+    profile: Option<&'p PlanProfile>,
+) -> Result<Box<dyn RowSource + 'p>> {
+    let src: Box<dyn RowSource + 'p> = match plan {
         Plan::Access(a) => Box::new(AccessOp::open(a, ctx, outer)?),
         Plan::NlJoin {
             left,
             right,
             filter,
         } => Box::new(NlJoinOp {
-            left: build(left, ctx, outer)?,
+            left: build_profiled(left, ctx, outer, profile)?,
             right_plan: right,
             filter: filter.as_ref(),
             cur_left: None,
             right: None,
+            profile,
         }),
         Plan::JoinIndexJoin {
             left,
@@ -56,11 +123,11 @@ pub fn build<'p>(
             filter.as_ref(),
         )?),
         Plan::Filter { input, pred } => Box::new(FilterOp {
-            input: build(input, ctx, outer)?,
+            input: build_profiled(input, ctx, outer, profile)?,
             pred,
         }),
         Plan::Project { input, exprs } => Box::new(ProjectOp {
-            input: build(input, ctx, outer)?,
+            input: build_profiled(input, ctx, outer, profile)?,
             exprs,
         }),
         Plan::Aggregate {
@@ -68,7 +135,7 @@ pub fn build<'p>(
             group_by,
             items,
         } => Box::new(AggOp {
-            input: Some(build(input, ctx, outer)?),
+            input: Some(build_profiled(input, ctx, outer, profile)?),
             group_by,
             items,
             out: Vec::new(),
@@ -76,16 +143,23 @@ pub fn build<'p>(
             done: false,
         }),
         Plan::Sort { input, keys } => Box::new(SortOp {
-            input: Some(build(input, ctx, outer)?),
+            input: Some(build_profiled(input, ctx, outer, profile)?),
             keys,
             out: Vec::new(),
             pos: 0,
             done: false,
         }),
         Plan::Limit { input, n } => Box::new(LimitOp {
-            input: build(input, ctx, outer)?,
+            input: build_profiled(input, ctx, outer, profile)?,
             left: *n,
         }),
+    };
+    Ok(match profile.and_then(|p| p.counter(plan)) {
+        Some(c) => Box::new(Profiled {
+            inner: src,
+            rows_out: c,
+        }),
+        None => src,
     })
 }
 
@@ -97,6 +171,21 @@ pub fn run_to_rows(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
         rows.push(r);
     }
     Ok(rows)
+}
+
+/// Drains a plan into materialized rows while counting the rows each
+/// node produced. Returns the rows and the per-node actual row counts in
+/// the pre-order of [`Plan::explain_rows`].
+pub fn run_analyzed(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<(Vec<Vec<Value>>, Vec<u64>)> {
+    let profile = PlanProfile::new(plan);
+    let mut rows = Vec::new();
+    {
+        let mut src = build_profiled(plan, ctx, None, Some(&profile))?;
+        while let Some(r) = src.next(ctx)? {
+            rows.push(r);
+        }
+    }
+    Ok((rows, profile.actuals()))
 }
 
 fn eval_scalar(ctx: &ExecCtx<'_>, e: &Expr, row: &[Value]) -> Result<Value> {
@@ -236,6 +325,7 @@ struct NlJoinOp<'p> {
     filter: Option<&'p Expr>,
     cur_left: Option<Vec<Value>>,
     right: Option<Box<dyn RowSource + 'p>>,
+    profile: Option<&'p PlanProfile>,
 }
 
 impl RowSource for NlJoinOp<'_> {
@@ -245,7 +335,12 @@ impl RowSource for NlJoinOp<'_> {
                 let Some(lrow) = self.left.next(ctx)? else {
                     return Ok(None);
                 };
-                self.right = Some(build(self.right_plan, ctx, Some(&lrow))?);
+                self.right = Some(build_profiled(
+                    self.right_plan,
+                    ctx,
+                    Some(&lrow),
+                    self.profile,
+                )?);
                 self.cur_left = Some(lrow);
             }
             let Some(right) = self.right.as_mut() else {

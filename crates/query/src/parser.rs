@@ -100,9 +100,21 @@ impl Parser {
         }
     }
 
+    /// A possibly qualified table name (`emp` or `sys.metrics`), kept
+    /// dotted — the catalog treats the whole thing as one name.
+    fn table_name(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let rest = self.ident()?;
+            return Ok(format!("{first}.{rest}"));
+        }
+        Ok(first)
+    }
+
     fn statement(&mut self) -> Result<Stmt> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Stmt::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Stmt::Explain(Box::new(self.statement()?), analyze));
         }
         if self.eat_kw("CREATE") {
             return self.create();
@@ -110,20 +122,20 @@ impl Parser {
         if self.eat_kw("DROP") {
             if self.eat_kw("TABLE") || self.eat_kw("RELATION") {
                 return Ok(Stmt::DropTable {
-                    name: self.ident()?,
+                    name: self.table_name()?,
                 });
             }
             if self.eat_kw("INDEX") || self.eat_kw("ATTACHMENT") || self.eat_kw("CONSTRAINT") {
                 let name = self.ident()?;
                 self.expect_kw("ON")?;
-                let table = self.ident()?;
+                let table = self.table_name()?;
                 return Ok(Stmt::DropAttachment { name, table });
             }
             return Err(DmxError::Parse("DROP what?".into()));
         }
         if self.eat_kw("INSERT") {
             self.expect_kw("INTO")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("VALUES")?;
             let mut rows = Vec::new();
             loop {
@@ -146,7 +158,7 @@ impl Parser {
             return Ok(Stmt::Insert { table, rows });
         }
         if self.eat_kw("UPDATE") {
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("SET")?;
             let mut sets = Vec::new();
             loop {
@@ -170,7 +182,7 @@ impl Parser {
         }
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             let where_ = if self.eat_kw("WHERE") {
                 Some(self.expr()?)
             } else {
@@ -204,7 +216,7 @@ impl Parser {
         if self.eat_kw("GRANT") {
             let privilege = self.ident()?;
             self.expect_kw("ON")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("TO")?;
             let user = self.ident()?;
             return Ok(Stmt::Grant {
@@ -216,7 +228,7 @@ impl Parser {
         if self.eat_kw("REVOKE") {
             let privilege = self.ident()?;
             self.expect_kw("ON")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("FROM")?;
             let user = self.ident()?;
             return Ok(Stmt::Revoke {
@@ -273,7 +285,7 @@ impl Parser {
         if self.eat_kw("INDEX") {
             let name = self.ident()?;
             self.expect_kw("ON")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             let using = if self.eat_kw("USING") {
                 Some(self.ident()?)
             } else {
@@ -306,7 +318,7 @@ impl Parser {
         if self.eat_kw("ATTACHMENT") {
             let name = self.ident()?;
             self.expect_kw("ON")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("USING")?;
             let using = self.ident()?;
             let with = self.with_clause()?;
@@ -320,7 +332,7 @@ impl Parser {
         if self.eat_kw("CONSTRAINT") {
             let name = self.ident()?;
             self.expect_kw("ON")?;
-            let table = self.ident()?;
+            let table = self.table_name()?;
             self.expect_kw("CHECK")?;
             self.expect_sym("(")?;
             let expr = self.expr()?;
@@ -391,7 +403,7 @@ impl Parser {
         self.expect_kw("FROM")?;
         let mut from = Vec::new();
         loop {
-            let table = self.ident()?;
+            let table = self.table_name()?;
             let alias = match self.peek() {
                 Some(Token::Ident(s)) if !is_reserved(s) => Some(self.ident()?),
                 _ => None,
@@ -816,7 +828,35 @@ mod tests {
     fn explain_wraps() {
         assert!(matches!(
             parse("EXPLAIN SELECT * FROM t").unwrap(),
-            Stmt::Explain(inner) if matches!(*inner, Stmt::Select(_))
+            Stmt::Explain(inner, false) if matches!(*inner, Stmt::Select(_))
+        ));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
+            Stmt::Explain(inner, true) if matches!(*inner, Stmt::Select(_))
+        ));
+        assert!(matches!(
+            parse("EXPLAIN UPDATE t SET a = 1").unwrap(),
+            Stmt::Explain(inner, false) if matches!(*inner, Stmt::Update { .. })
+        ));
+    }
+
+    #[test]
+    fn dotted_table_names() {
+        let s = parse("SELECT * FROM sys.metrics m WHERE m.kind = 'counter'").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.from[0].table, "sys.metrics");
+                assert_eq!(sel.from[0].alias.as_deref(), Some("m"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse("DELETE FROM sys.trace").unwrap(),
+            Stmt::Delete { table, .. } if table == "sys.trace"
+        ));
+        assert!(matches!(
+            parse("GRANT select ON sys.metrics TO bob").unwrap(),
+            Stmt::Grant { table, .. } if table == "sys.metrics"
         ));
     }
 }

@@ -636,9 +636,8 @@ fn table_of_col(col: FieldId, tables: &[BoundTable]) -> Option<usize> {
 }
 
 impl Plan {
-    /// Renders the plan for EXPLAIN.
-    pub fn describe(&self, indent: usize, out: &mut String) {
-        let pad = "  ".repeat(indent);
+    /// One-line description of this node (no indentation).
+    fn node_line(&self) -> String {
         match self {
             Plan::Access(a) => {
                 let path = match a.path {
@@ -654,58 +653,82 @@ impl Plan {
                 } else {
                     ""
                 };
-                out.push_str(&format!(
-                    "{pad}Access {} via {path} (~{:.0} rows{probe}{cov})\n",
+                format!(
+                    "Access {} via {path} (~{:.0} rows{probe}{cov})",
                     a.rd.name, a.rows_est
-                ));
+                )
             }
-            Plan::NlJoin {
-                left,
-                right,
-                filter,
-            } => {
-                out.push_str(&format!(
-                    "{pad}NestedLoopJoin{}\n",
-                    if filter.is_some() { " (filtered)" } else { "" }
-                ));
-                left.describe(indent + 1, out);
-                right.describe(indent + 1, out);
-            }
-            Plan::JoinIndexJoin { left, right, .. } => {
-                out.push_str(&format!(
-                    "{pad}JoinIndexJoin {} ⋈ {} (precomputed pairs)\n",
-                    left.name, right.name
-                ));
-            }
-            Plan::Filter { input, .. } => {
-                out.push_str(&format!("{pad}Filter\n"));
-                input.describe(indent + 1, out);
-            }
-            Plan::Project { input, exprs } => {
-                out.push_str(&format!("{pad}Project ({} cols)\n", exprs.len()));
-                input.describe(indent + 1, out);
-            }
+            Plan::NlJoin { filter, .. } => format!(
+                "NestedLoopJoin{}",
+                if filter.is_some() { " (filtered)" } else { "" }
+            ),
+            Plan::JoinIndexJoin { left, right, .. } => format!(
+                "JoinIndexJoin {} ⋈ {} (precomputed pairs)",
+                left.name, right.name
+            ),
+            Plan::Filter { .. } => "Filter".to_string(),
+            Plan::Project { exprs, .. } => format!("Project ({} cols)", exprs.len()),
             Plan::Aggregate {
-                input,
-                group_by,
-                items,
-            } => {
-                out.push_str(&format!(
-                    "{pad}Aggregate ({} groups keys, {} items)\n",
-                    group_by.len(),
-                    items.len()
-                ));
-                input.describe(indent + 1, out);
-            }
-            Plan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
-                input.describe(indent + 1, out);
-            }
-            Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.describe(indent + 1, out);
+                group_by, items, ..
+            } => format!(
+                "Aggregate ({} groups keys, {} items)",
+                group_by.len(),
+                items.len()
+            ),
+            Plan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            Plan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
+    /// Child plans, in description order. `JoinIndexJoin` reads both
+    /// relations through the pair scan and has no child plans.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Access(_) | Plan::JoinIndexJoin { .. } => Vec::new(),
+            Plan::NlJoin { left, right, .. } => vec![left, right],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// Renders the plan for EXPLAIN.
+    pub fn describe(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        out.push_str(&self.node_line());
+        out.push('\n');
+        for c in self.children() {
+            c.describe(indent + 1, out);
+        }
+    }
+
+    /// Per-node EXPLAIN ANALYZE metadata in pre-order (the same order
+    /// [`exec::PlanProfile`](crate::exec::PlanProfile) numbers its
+    /// counters): the indented description, the planner's estimated rows
+    /// out where it has one, and whether the node is a base-table access
+    /// (those feed the `planner.misestimate` histogram).
+    pub fn explain_rows(&self) -> Vec<(String, Option<f64>, bool)> {
+        fn walk(p: &Plan, indent: usize, out: &mut Vec<(String, Option<f64>, bool)>) {
+            let est = match p {
+                Plan::Access(a) => Some(a.rows_est),
+                Plan::Limit { n, .. } => Some(*n as f64),
+                _ => None,
+            };
+            out.push((
+                format!("{}{}", "  ".repeat(indent), p.node_line()),
+                est,
+                matches!(p, Plan::Access(_)),
+            ));
+            for c in p.children() {
+                walk(c, indent + 1, out);
             }
         }
+        let mut out = Vec::new();
+        walk(self, 0, &mut out);
+        out
     }
 }
 
@@ -716,7 +739,7 @@ pub fn choice_total(c: &PathChoice) -> f64 {
 
 /// Statement classification helper used by the session layer.
 pub fn is_query(stmt: &Stmt) -> bool {
-    matches!(stmt, Stmt::Select(_) | Stmt::Explain(_))
+    matches!(stmt, Stmt::Select(_) | Stmt::Explain(..))
 }
 
 /// Re-exported so benches can build ad-hoc costs.

@@ -80,6 +80,13 @@ impl Session {
     /// Opens a session as a specific user (authorization applies).
     pub fn with_user(db: Arc<Database>, user: &str) -> Session {
         let cache = db.query_state::<PlanCache, _>(PlanCache::default);
+        // publish this database's plan cache through `sys.plan_cache`
+        // (idempotent: one cache per database, last registration wins)
+        let cache_rows = cache.clone();
+        db.set_sys_provider(
+            "sys.plan_cache",
+            Arc::new(move |db: &Database| cache_rows.dump(db)),
+        );
         let statements = db.metrics().counter(dmx_types::obs::name::SQL_STATEMENTS);
         Session {
             db,
@@ -219,17 +226,27 @@ impl Session {
                     rows,
                 })
             }
-            Stmt::Explain(inner) => {
-                let Stmt::Select(sel) = inner.as_ref() else {
-                    return Err(DmxError::Planning("EXPLAIN supports SELECT".into()));
-                };
-                let compiled = plan_select(&self.db, sel)?;
-                let mut text = String::new();
-                compiled.plan.describe(0, &mut text);
-                Ok(QueryResult {
-                    columns: vec!["plan".into()],
-                    rows: text.lines().map(|l| vec![Value::from(l)]).collect(),
-                })
+            Stmt::Explain(inner, analyze) => {
+                if *analyze {
+                    return self.explain_analyze(txn, inner);
+                }
+                match inner.as_ref() {
+                    Stmt::Select(sel) => {
+                        let compiled = plan_select(&self.db, sel)?;
+                        let mut text = String::new();
+                        compiled.plan.describe(0, &mut text);
+                        Ok(QueryResult {
+                            columns: vec!["plan".into()],
+                            rows: text.lines().map(|l| vec![Value::from(l)]).collect(),
+                        })
+                    }
+                    Stmt::Insert { table, .. }
+                    | Stmt::Update { table, .. }
+                    | Stmt::Delete { table, .. } => self.explain_dml(inner, table),
+                    _ => Err(DmxError::Planning(
+                        "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE".into(),
+                    )),
+                }
             }
             Stmt::Insert { table, rows } => {
                 self.check(table, Privilege::Insert)?;
@@ -442,6 +459,93 @@ impl Session {
             | Stmt::RollbackTo(_)
             | Stmt::Release(_) => unreachable!("handled above"),
         }
+    }
+
+    /// `EXPLAIN` for DML: describes the modification pipeline — the
+    /// target's storage method and every attachment instance the
+    /// two-step dispatcher will invoke — without executing anything.
+    fn explain_dml(&self, stmt: &Stmt, table: &str) -> Result<QueryResult> {
+        let (verb, privilege) = match stmt {
+            Stmt::Insert { .. } => ("Insert into", Privilege::Insert),
+            Stmt::Update { .. } => ("Update", Privilege::Update),
+            Stmt::Delete { .. } => ("Delete from", Privilege::Delete),
+            _ => return Err(DmxError::Planning("EXPLAIN supports DML here".into())),
+        };
+        self.check(table, privilege)?;
+        let rd = self.db.catalog().get_by_name(table)?;
+        let sm_name = self
+            .db
+            .registry()
+            .storage(rd.sm)
+            .map(|sm| sm.name().to_string())
+            .unwrap_or_else(|_| format!("unknown({})", rd.sm.0));
+        let mut lines = vec![format!("{verb} {} via {sm_name}", rd.name)];
+        if matches!(stmt, Stmt::Update { .. } | Stmt::Delete { .. }) {
+            lines.push("  collect targets via storage-method scan".into());
+        }
+        let mut any = false;
+        for (att_id, insts) in rd.attached_types() {
+            let type_name = self
+                .db
+                .registry()
+                .attachment(att_id)
+                .map(|a| a.name().to_string())
+                .unwrap_or_else(|_| format!("unknown({})", att_id.0));
+            for inst in insts {
+                any = true;
+                lines.push(format!(
+                    "  attachment {type_name} '{}' fires per record",
+                    inst.name
+                ));
+            }
+        }
+        if !any {
+            lines.push("  no attachments".into());
+        }
+        Ok(QueryResult {
+            columns: vec!["plan".into()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: executes the plan with per-node row counters
+    /// and reports estimated vs actual rows side by side. Base-table
+    /// estimation error feeds the `planner.misestimate` histogram.
+    fn explain_analyze(&self, txn: &Arc<Transaction>, inner: &Stmt) -> Result<QueryResult> {
+        let Stmt::Select(sel) = inner else {
+            return Err(DmxError::Planning("EXPLAIN ANALYZE supports SELECT".into()));
+        };
+        for t in &sel.from {
+            self.check(&t.table, Privilege::Select)?;
+        }
+        let compiled = plan_select(&self.db, sel)?;
+        let ctx = dmx_core::ExecCtx { db: &self.db, txn };
+        let (_rows, actuals) = exec::run_analyzed(&compiled.plan, &ctx)?;
+        let hist = self.db.metrics().histogram(
+            dmx_types::obs::name::PLANNER_MISESTIMATE,
+            dmx_types::obs::SIZE_BUCKETS,
+        );
+        let mut rows = Vec::new();
+        for (i, (line, est, is_access)) in compiled.plan.explain_rows().into_iter().enumerate() {
+            let actual = actuals.get(i).copied().unwrap_or(0);
+            if is_access {
+                if let Some(e) = est {
+                    hist.record((e - actual as f64).abs().round() as u64);
+                }
+            }
+            rows.push(vec![
+                Value::Str(line),
+                match est {
+                    Some(e) => Value::Int(e.round() as i64),
+                    None => Value::Null,
+                },
+                Value::Int(actual as i64),
+            ]);
+        }
+        Ok(QueryResult {
+            columns: vec!["plan".into(), "estimated".into(), "actual".into()],
+            rows,
+        })
     }
 
     /// Collects `(record key, full row)` for every record matching `pred`

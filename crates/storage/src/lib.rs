@@ -19,8 +19,11 @@
 //!   accesses via (remote) accesses to relations in the foreign
 //!   database": operations count simulated round trips; undo is by
 //!   compensating remote operations.
+//! * [`system`] — observability as an extension: publishes live engine
+//!   state (metrics, catalog, locks, traces, incidents) as the read-only
+//!   `sys.*` relations.
 //!
-//! [`register_builtin_storage`] installs all five in the paper's order.
+//! [`register_builtin_storage`] installs all six in the paper's order.
 
 pub mod btree_sm;
 pub mod foreign;
@@ -28,6 +31,7 @@ pub mod heap;
 pub mod memory;
 pub mod ops;
 pub mod readonly;
+pub mod system;
 pub mod util;
 
 use std::sync::Arc;
@@ -40,6 +44,7 @@ pub use foreign::{ForeignStorage, RemoteServer};
 pub use heap::HeapStorage;
 pub use memory::MemoryStorage;
 pub use readonly::ReadOnlyStorage;
+pub use system::SystemStorage;
 
 /// Registers the built-in storage methods "at the factory". The
 /// temporary (memory) storage method is registered first and therefore
@@ -50,5 +55,6 @@ pub fn register_builtin_storage(registry: &ExtensionRegistry) -> Result<()> {
     registry.register_storage_method(Arc::new(BTreeStorage))?;
     registry.register_storage_method(Arc::new(ReadOnlyStorage))?;
     registry.register_storage_method(Arc::new(ForeignStorage::default()))?;
+    registry.register_storage_method(Arc::new(SystemStorage::default()))?;
     Ok(())
 }

@@ -181,9 +181,19 @@ pub trait ObsSink: Send + Sync {
 }
 
 /// Default [`ObsSink`]: a bounded ring that keeps the most recent events.
+///
+/// The ring numbers every event it has ever seen, so consumers can tell
+/// when eviction dropped telemetry: the first sequence number of a drain
+/// being greater than the last previously-seen sequence (or than zero)
+/// means the ring truncated. [`RingSink::evicted`] exposes the total
+/// number of dropped events directly.
 pub struct RingSink {
     cap: usize,
     buf: Mutex<VecDeque<ObsEvent>>,
+    /// Events ever recorded (monotonic; next event gets this sequence).
+    total: AtomicU64,
+    /// Events dropped from the front because the ring was full.
+    evicted: AtomicU64,
 }
 
 impl RingSink {
@@ -192,12 +202,43 @@ impl RingSink {
         Arc::new(RingSink {
             cap: cap.max(1),
             buf: Mutex::new(VecDeque::new()),
+            total: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         })
     }
 
     /// Drains and returns the buffered events, oldest first.
     pub fn drain(&self) -> Vec<ObsEvent> {
         self.buf.lock().drain(..).collect()
+    }
+
+    /// Drains the buffered events paired with their global sequence
+    /// numbers (0-based over the ring's whole lifetime), oldest first.
+    /// A first sequence greater than the previous drain's end reveals
+    /// that eviction dropped events in between.
+    pub fn drain_numbered(&self) -> Vec<(u64, ObsEvent)> {
+        let mut buf = self.buf.lock();
+        let total = self.total.load(Ordering::Relaxed);
+        let first = total - buf.len() as u64;
+        buf.drain(..)
+            .enumerate()
+            .map(|(i, e)| (first + i as u64, e))
+            .collect()
+    }
+
+    /// A non-draining copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        self.buf.lock().iter().copied().collect()
+    }
+
+    /// Total events dropped because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Number of buffered events.
@@ -216,8 +257,10 @@ impl ObsSink for RingSink {
         let mut buf = self.buf.lock();
         if buf.len() == self.cap {
             buf.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(event);
+        self.total.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -394,15 +437,22 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as a JSON object (hand-rolled: the workspace
-    /// is std-only). Metric names contain only `[a-z0-9._]` so no string
-    /// escaping is required; non-conforming characters are dropped.
+    /// is std-only). Metric names are escaped as JSON strings, so a
+    /// future dynamic name (e.g. per-relation, user-influenced) cannot
+    /// produce invalid output.
     pub fn to_json(&self) -> String {
         fn clean(name: &str, out: &mut String) {
             out.push('"');
-            out.extend(
-                name.chars()
-                    .filter(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_' || *c == '-'),
-            );
+            for c in name.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
             out.push('"');
         }
         let mut s = String::new();
@@ -511,6 +561,8 @@ pub mod name {
     pub const ATT_INVOCATIONS: &str = "att.invocations";
     /// Attachment vetoes (constraint rejections) observed.
     pub const ATT_VETOES: &str = "att.vetoes";
+    /// Attachment access-path probes (scans opened through an attachment).
+    pub const ATT_PROBES: &str = "att.probes";
 
     /// Relations quarantined after unrecoverable corruption.
     pub const QUARANTINE_EVENTS: &str = "quarantine.events";
@@ -521,6 +573,9 @@ pub mod name {
     pub const PLAN_CACHE_HITS: &str = "plan.cache_hits";
     /// Plan-cache lookups that compiled a fresh plan.
     pub const PLAN_CACHE_MISSES: &str = "plan.cache_misses";
+    /// Histogram: |estimated - actual| row-count error per analyzed
+    /// access node (recorded by EXPLAIN ANALYZE).
+    pub const PLANNER_MISESTIMATE: &str = "planner.misestimate";
 
     /// I/O attempts retried after a transient fault or checksum failure.
     pub const IO_RETRIES: &str = "io.retries";
@@ -615,6 +670,43 @@ mod tests {
             detail: 0,
         });
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_counts_evictions_and_numbers_events() {
+        let sink = RingSink::new(2);
+        assert_eq!(sink.evicted(), 0);
+        for i in 0..5 {
+            sink.record(ObsEvent {
+                layer: "wal",
+                op: "append",
+                target: i,
+                detail: 0,
+            });
+        }
+        assert_eq!(sink.evicted(), 3, "5 events through a cap-2 ring drop 3");
+        assert_eq!(sink.total_recorded(), 5);
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2, "snapshot does not drain");
+        assert_eq!(sink.len(), 2);
+        let numbered = sink.drain_numbered();
+        assert_eq!(numbered.len(), 2);
+        // Sequences 0..=2 were evicted; the survivors keep their global ids.
+        assert_eq!(numbered[0].0, 3);
+        assert_eq!(numbered[0].1.target, 3);
+        assert_eq!(numbered[1].0, 4);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("evil\"name\\with\ncontrol").add(7);
+        let json = reg.snapshot().to_json();
+        assert!(
+            json.contains("\"evil\\\"name\\\\with\\u000acontrol\":7"),
+            "{json}"
+        );
     }
 
     #[test]

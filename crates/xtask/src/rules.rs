@@ -971,4 +971,28 @@ mod tests {
         );
         assert!(check_metric_statics(&[field, obs]).is_empty());
     }
+
+    #[test]
+    fn obs_extension_code_paths_stay_rule7_clean() {
+        // The observability surface keeps all state per database: the
+        // EXPLAIN ANALYZE profile holds its counters as struct fields
+        // and the system storage method only reads the registry. Both
+        // shapes must pass; a static atomic in either file must not.
+        let profile = sf(
+            "crates/query/src/exec.rs",
+            "pub struct PlanProfile {\n    counters: Vec<AtomicU64>,\n}\n",
+        );
+        let sysrel = sf(
+            "crates/storage/src/system.rs",
+            "fn materialize() { let m = db.metrics().snapshot(); }\n",
+        );
+        assert!(check_metric_statics(&[profile, sysrel]).is_empty());
+        let bad = sf(
+            "crates/storage/src/system.rs",
+            "static SCANS: AtomicU64 = AtomicU64::new(0);\n",
+        );
+        let v = check_metric_statics(&[bad]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("MetricsRegistry"));
+    }
 }

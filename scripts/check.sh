@@ -32,4 +32,19 @@ cargo test -q --test differential
 echo "==> bench smoke (determinism gate)"
 cargo run -q --release -p dmx-bench --bin harness -- --smoke
 
+# Metric-name compatibility: every metric exported by the pr3 baseline
+# must still exist somewhere in the pr5 baseline (renaming or dropping
+# a published metric is a breaking observability change).
+if [ -f BENCH_pr3.json ] && [ -f BENCH_pr5.json ]; then
+  echo "==> bench metric-name compatibility (pr3 -> pr5)"
+  missing=$(comm -23 \
+    <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' BENCH_pr3.json | sort -u) \
+    <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' BENCH_pr5.json | sort -u))
+  if [ -n "$missing" ]; then
+    echo "previously-exported metrics missing from BENCH_pr5.json:"
+    echo "$missing"
+    exit 1
+  fi
+fi
+
 echo "check.sh: all gates passed"

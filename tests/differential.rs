@@ -144,6 +144,41 @@ fn same_seed_reproduces_oracle_state_and_counters() {
 }
 
 #[test]
+fn explain_analyze_actuals_agree_with_the_oracle() {
+    // EXPLAIN ANALYZE is wired through the same executor the oracle
+    // exercises: for every dept the root node's actual row count must
+    // equal the model's count, on both storage organizations.
+    let db = open();
+    let mut model = Model::new();
+    let mut rng = TestRng::new(SEED);
+    let mut next_id = 0i64;
+    for _ in 0..3 {
+        apply_batch(&db, &mut model, &mut rng, &mut next_id);
+    }
+    for dept in 0..10 {
+        let expected = model.values().filter(|(_, d)| *d == dept).count() as i64;
+        for t in ["th", "tb"] {
+            let r = db
+                .execute_sql(&format!(
+                    "EXPLAIN ANALYZE SELECT name FROM {t} WHERE dept = {dept}"
+                ))
+                .unwrap();
+            assert_eq!(r.columns, vec!["plan", "estimated", "actual"]);
+            let project = r
+                .rows
+                .iter()
+                .find(|row| matches!(&row[0], Value::Str(s) if s.starts_with("Project")))
+                .expect("project node present");
+            assert_eq!(
+                project[2],
+                Value::Int(expected),
+                "{t} dept={dept}: EXPLAIN ANALYZE actual disagrees with the model"
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_diverge() {
     // A sanity check that the stream actually depends on the seed (i.e.
     // the determinism test above is not vacuous).

@@ -1,0 +1,325 @@
+//! Observability as an extension: the `sys.*` system relations answer
+//! ordinary SQL, EXPLAIN ANALYZE reports estimated-vs-actual rows that
+//! agree with a model oracle, and the flight recorder captures a
+//! deterministic incident report when a relation is quarantined. All of
+//! it must be a pure function of the seed: two same-seed runs render
+//! byte-identical `sys.metrics` output and identical EXPLAIN ANALYZE
+//! actuals.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use starburst_dmx::prelude::*;
+use starburst_dmx::types::testrng::TestRng;
+
+const SEED: u64 = 0x0B5E_7AB1_E0B5_E55E;
+const ROWS: usize = 80;
+
+/// Builds a database with a seeded `emp` table (unique btree index on
+/// `id`) and returns the model of its rows.
+fn seeded_db(seed: u64) -> (Arc<Database>, BTreeMap<i64, i64>) {
+    let db = starburst_dmx::open_default().unwrap();
+    db.execute_sql("CREATE TABLE emp (id INT NOT NULL, name STRING NOT NULL, dept INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX emp_pk ON emp (id)")
+        .unwrap();
+    let mut rng = TestRng::new(seed);
+    let mut model = BTreeMap::new();
+    for id in 0..ROWS as i64 {
+        let dept = rng.range_i64(0, 8);
+        db.execute_sql(&format!("INSERT INTO emp VALUES ({id}, 'e{id}', {dept})"))
+            .unwrap();
+        model.insert(id, dept);
+    }
+    (db, model)
+}
+
+/// Renders a query result to one canonical string (stable row/value
+/// formatting, one row per line).
+fn render(rows: &[Vec<Value>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            out.push_str(&format!("{v:?}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn sys_relations_answer_ordinary_sql() {
+    let (db, _model) = seeded_db(SEED);
+
+    // sys.metrics: live counters through the ordinary SQL path,
+    // including WHERE pushdown.
+    let metrics = db.execute_sql("SELECT * FROM sys.metrics").unwrap();
+    assert_eq!(metrics.columns, vec!["name", "kind", "value"]);
+    let inserted = db
+        .query_sql("SELECT value FROM sys.metrics WHERE name = 'dml.inserts'")
+        .unwrap();
+    assert_eq!(inserted.len(), 1);
+    assert!(inserted[0][0].as_int().unwrap() >= ROWS as i64);
+
+    // sys.relations: catalog + stats + quarantine flag; emp is healthy.
+    let emp = db
+        .query_sql(
+            "SELECT storage_method, records, quarantined FROM sys.relations WHERE name = 'emp'",
+        )
+        .unwrap();
+    assert_eq!(emp.len(), 1);
+    assert_eq!(emp[0][0], Value::Str("heap".into()));
+    assert_eq!(emp[0][1], Value::Int(ROWS as i64));
+    assert_eq!(emp[0][2], Value::Null);
+    // the sys relations themselves appear, stored by the system method
+    let sys_rows = db
+        .query_sql("SELECT name FROM sys.relations WHERE storage_method = 'system'")
+        .unwrap();
+    assert!(sys_rows.len() >= 8, "all sys.* relations are published");
+
+    // sys.attachments: the unique index instance shows up.
+    let atts = db
+        .query_sql("SELECT type, name FROM sys.attachments WHERE relation = 'emp'")
+        .unwrap();
+    assert!(atts
+        .iter()
+        .any(|r| r[1] == Value::Str("emp_pk".into()) && r[0] == Value::Str("btree".into())));
+
+    // sys.locks: the scanning transaction's own locks are visible.
+    let locks = db.execute_sql("SELECT * FROM sys.locks").unwrap();
+    assert_eq!(locks.columns, vec!["name", "txn", "mode", "state"]);
+    assert!(
+        !locks.rows.is_empty(),
+        "the sys.locks scan itself holds locks"
+    );
+    assert!(locks
+        .rows
+        .iter()
+        .all(|r| r[3] == Value::Str("held".into()) || r[3] == Value::Str("waiting".into())));
+
+    // sys.plan_cache: a compiled query is listed as valid.
+    db.query_sql("SELECT dept FROM emp WHERE id = 3").unwrap();
+    let cache = db
+        .query_sql(
+            "SELECT valid FROM sys.plan_cache WHERE sql = 'SELECT dept FROM emp WHERE id = 3'",
+        )
+        .unwrap();
+    assert_eq!(cache, vec![vec![Value::Bool(true)]]);
+
+    // sys.histograms: bucket rows are well-formed where present.
+    let hist = db.execute_sql("SELECT * FROM sys.histograms").unwrap();
+    assert_eq!(hist.columns, vec!["name", "bucket", "upper_bound", "count"]);
+
+    // sys.incidents: empty while healthy.
+    assert!(db
+        .query_sql("SELECT * FROM sys.incidents")
+        .unwrap()
+        .is_empty());
+
+    // sys.* relations are read-only: DML is rejected.
+    let err = db
+        .execute_sql("INSERT INTO sys.metrics VALUES ('x', 'counter', 1)")
+        .expect_err("system relations reject writes");
+    assert!(matches!(err, DmxError::Unsupported(_)), "got {err}");
+}
+
+#[test]
+fn sys_trace_drains_events_and_reports_eviction() {
+    let (db, _model) = seeded_db(SEED);
+    // The seeding workload emitted far more than the ring holds, so the
+    // first drain starts past zero and the eviction counter is visible.
+    let trace = db.execute_sql("SELECT * FROM sys.trace").unwrap();
+    assert_eq!(
+        trace.columns,
+        vec!["seq", "layer", "op", "target", "detail"]
+    );
+    assert!(!trace.rows.is_empty(), "layers emit trace events");
+    let first_seq = trace.rows[0][0].as_int().unwrap();
+    assert!(
+        first_seq > 0,
+        "truncation is visible as a nonzero first seq"
+    );
+    let evicted = db
+        .query_sql("SELECT value FROM sys.metrics WHERE name = 'trace.evicted'")
+        .unwrap();
+    assert!(evicted[0][0].as_int().unwrap() > 0);
+    // Index accesses leave "att probe" events in the trace. `emp` is
+    // small enough that the optimizer prefers the full scan, so probe a
+    // table large enough for the unique index to win the cost race.
+    db.execute_sql("CREATE TABLE big (id INT NOT NULL, name STRING NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX big_pk ON big (id)")
+        .unwrap();
+    let rd = db.catalog().get_by_name("big").unwrap();
+    db.with_txn(|txn| {
+        for i in 0..2000i64 {
+            db.insert(
+                txn,
+                rd.id,
+                Record::new(vec![Value::Int(i), Value::Str(format!("e{i}"))]),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let plan = db
+        .execute_sql("EXPLAIN SELECT name FROM big WHERE id = 7")
+        .unwrap();
+    assert!(
+        render(&plan.rows).contains("attachment"),
+        "index path chosen: {}",
+        render(&plan.rows)
+    );
+    db.query_sql("SELECT name FROM big WHERE id = 7").unwrap();
+    let att_events = db
+        .query_sql("SELECT op FROM sys.trace WHERE layer = 'att'")
+        .unwrap();
+    assert!(att_events
+        .iter()
+        .any(|r| r[0] == Value::Str("probe".into())));
+}
+
+#[test]
+fn sys_metrics_output_is_byte_identical_across_same_seed_runs() {
+    let render_run = || {
+        let (db, _) = seeded_db(SEED);
+        // mixed workload: probes, full scans, a cache hit, DML
+        db.query_sql("SELECT name FROM emp WHERE id = 11").unwrap();
+        db.query_sql("SELECT name FROM emp WHERE id = 11").unwrap();
+        db.query_sql("SELECT COUNT(*) FROM emp WHERE dept = 3")
+            .unwrap();
+        db.execute_sql("UPDATE emp SET dept = 9 WHERE id = 5")
+            .unwrap();
+        render(&db.query_sql("SELECT * FROM sys.metrics").unwrap())
+    };
+    let a = render_run();
+    let b = render_run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "sys.metrics must be a pure function of the seed");
+}
+
+#[test]
+fn explain_analyze_actuals_match_the_model_oracle() {
+    let (db, model) = seeded_db(SEED);
+    let expected = model.values().filter(|&&d| d == 3).count() as i64;
+
+    let run = |db: &Arc<Database>| {
+        db.execute_sql("EXPLAIN ANALYZE SELECT name FROM emp WHERE dept = 3")
+            .unwrap()
+    };
+    let r = run(&db);
+    assert_eq!(r.columns, vec!["plan", "estimated", "actual"]);
+    // The access node reports estimated and actual rows; the actual
+    // count agrees with the model oracle.
+    let access = r
+        .rows
+        .iter()
+        .find(|row| matches!(&row[0], Value::Str(s) if s.contains("Access emp")))
+        .expect("access node present");
+    assert!(matches!(access[1], Value::Int(_)), "estimate rendered");
+    assert_eq!(access[2], Value::Int(expected), "actual matches oracle");
+    // The root (Project) row count equals the query's own result size.
+    let project = r
+        .rows
+        .iter()
+        .find(|row| matches!(&row[0], Value::Str(s) if s.starts_with("Project")))
+        .expect("project node present");
+    assert_eq!(project[2], Value::Int(expected));
+    // Oracle cross-check through the ordinary execution path.
+    let direct = db.query_sql("SELECT name FROM emp WHERE dept = 3").unwrap();
+    assert_eq!(direct.len() as i64, expected);
+
+    // Estimation error was recorded.
+    let mis = db
+        .query_sql("SELECT value FROM sys.metrics WHERE name = 'planner.misestimate' AND kind = 'histogram_count'")
+        .unwrap();
+    assert!(mis[0][0].as_int().unwrap() >= 1);
+
+    // Same seed, fresh database: identical actuals, byte for byte.
+    let (db2, _) = seeded_db(SEED);
+    assert_eq!(render(&r.rows), render(&run(&db2).rows));
+}
+
+#[test]
+fn explain_describes_dml_pipelines_without_executing() {
+    let (db, _model) = seeded_db(SEED);
+    db.execute_sql("CREATE CONSTRAINT dept_pos ON emp CHECK (dept >= 0)")
+        .unwrap();
+    let before = db.query_sql("SELECT COUNT(*) FROM emp").unwrap();
+
+    let ins = db
+        .execute_sql("EXPLAIN INSERT INTO emp VALUES (999, 'x', 1)")
+        .unwrap();
+    let text = render(&ins.rows);
+    assert!(text.contains("Insert into emp via heap"), "{text}");
+    assert!(text.contains("attachment btree 'emp_pk'"), "{text}");
+    assert!(text.contains("attachment check 'dept_pos'"), "{text}");
+
+    let upd = db
+        .execute_sql("EXPLAIN UPDATE emp SET dept = 2 WHERE id = 1")
+        .unwrap();
+    let text = render(&upd.rows);
+    assert!(text.contains("Update emp via heap"), "{text}");
+    assert!(
+        text.contains("collect targets via storage-method scan"),
+        "{text}"
+    );
+
+    let del = db
+        .execute_sql("EXPLAIN DELETE FROM emp WHERE id = 1")
+        .unwrap();
+    assert!(render(&del.rows).contains("Delete from emp via heap"));
+
+    // Nothing executed: row count unchanged.
+    let after = db.query_sql("SELECT COUNT(*) FROM emp").unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn flight_recorder_captures_quarantine_incident() {
+    let capture = |seed: u64| {
+        let (env, injector) = DatabaseEnv::fresh_with_plan(FaultPlan::new(seed));
+        let db = starburst_dmx::open_env(env.clone(), DatabaseConfig::default()).unwrap();
+        db.execute_sql("CREATE TABLE victim (id INT NOT NULL)")
+            .unwrap();
+        for i in 0..5 {
+            db.execute_sql(&format!("INSERT INTO victim VALUES ({i})"))
+                .unwrap();
+        }
+        assert!(db.last_incident().is_none());
+        drop(db);
+        // Flip one byte under the checksum layer (file 1 = catalog,
+        // file 2 = victim, in creation order).
+        let pid = starburst_dmx::types::PageId::new(starburst_dmx::types::FileId(2), 0);
+        let mut page = starburst_dmx::page::Page::new();
+        env.disk.read_page(pid, &mut page).unwrap();
+        page.raw_mut()[100] ^= 0x40;
+        env.disk.write_page(pid, &page).unwrap();
+        injector.clear();
+
+        let db = starburst_dmx::open_env(env, DatabaseConfig::default()).unwrap();
+        let err = db.query_sql("SELECT id FROM victim").expect_err("corrupt");
+        assert!(matches!(err, DmxError::RelationQuarantined { .. }));
+
+        // The flight recorder snapshotted the incident…
+        let report = db.last_incident().expect("incident recorded");
+        let victim_rel = db.catalog().get_by_name("victim").unwrap().id;
+        assert_eq!(report.relation, victim_rel);
+        assert!(!report.reason.is_empty());
+
+        // …and it is queryable as a relation.
+        let rows = db.execute_sql("SELECT * FROM sys.incidents").unwrap();
+        assert_eq!(rows.columns, vec!["item", "value"]);
+        let text = render(&rows.rows);
+        assert!(text.contains("relation"), "{text}");
+        assert!(text.contains("reason"), "{text}");
+        (format!("{report:?}"), text)
+    };
+    let (report_a, rows_a) = capture(SEED);
+    let (report_b, rows_b) = capture(SEED);
+    assert_eq!(report_a, report_b, "incident reports are deterministic");
+    assert_eq!(rows_a, rows_b);
+}
