@@ -413,9 +413,12 @@ fn prefix_hi(prefix: &[u8]) -> Bound<Vec<u8>> {
     }
 }
 
+/// A resolved `(low, high)` pair of full-key scan bounds.
+type KeyBounds = (Bound<Vec<u8>>, Bound<Vec<u8>>);
+
 /// Translates a planner range over index-key *prefixes* into a range over
 /// full keys (`prefix ∥ record_key`).
-fn translate_prefix_range(query: &AccessQuery) -> Result<(Bound<Vec<u8>>, Bound<Vec<u8>>)> {
+fn translate_prefix_range(query: &AccessQuery) -> Result<KeyBounds> {
     let owned;
     let kr = match query {
         AccessQuery::All => return Ok((Bound::Unbounded, Bound::Unbounded)),

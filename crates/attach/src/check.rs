@@ -47,12 +47,11 @@ impl CheckDesc {
 
 /// Builds the DDL attribute list for a check constraint (callers that
 /// have an [`Expr`] in hand; the SQL layer produces the same shape).
-pub fn check_params(expr: &Expr, deferred: bool) -> AttrList {
+pub fn check_params(expr: &Expr, deferred: bool) -> Result<AttrList> {
     AttrList::from_pairs([
         ("expr_hex", dmx_expr::expr_to_hex(expr)),
         ("deferred", deferred.to_string()),
     ])
-    .expect("distinct keys")
 }
 
 impl CheckConstraint {

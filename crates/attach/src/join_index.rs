@@ -122,6 +122,9 @@ impl JoinIndex {
             .unwrap_or_default()
     }
 
+    // Internal helper mirroring the log-record payload; splitting the
+    // argument list into a struct would only restate `JiDesc`.
+    #[allow(clippy::too_many_arguments)]
     fn logged_insert(
         ctx: &ExecCtx<'_>,
         rd: &RelationDescriptor,

@@ -142,8 +142,11 @@ fn bounds(page: &Page) -> Result<Option<Rect>> {
     Ok(acc)
 }
 
+/// The two entry groups produced by a node split.
+type SplitGroups = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
 /// Guttman's quadratic split: distributes `items` into two groups.
-fn quadratic_split(items: Vec<Vec<u8>>) -> Result<(Vec<Vec<u8>>, Vec<Vec<u8>>)> {
+fn quadratic_split(items: Vec<Vec<u8>>) -> Result<SplitGroups> {
     let n = items.len();
     debug_assert!(n >= 2);
     let rects: Vec<Rect> = items

@@ -3,6 +3,10 @@
 //! relation: heap storage method + B-tree index instances + intra-record
 //! consistency constraint).
 
+// Integration-test harnesses are exempt from the runtime panic
+// discipline: a broken fixture should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -88,7 +92,7 @@ fn figure1_employee_configuration() {
             "employee",
             "check",
             "salary_positive",
-            &check_params(&positive_salary, false),
+            &check_params(&positive_salary, false).unwrap(),
         )
     })
     .unwrap();
@@ -530,7 +534,7 @@ fn deferred_check_constraint_runs_before_prepare() {
             "employee",
             "check",
             "sal_def",
-            &check_params(&pred, true),
+            &check_params(&pred, true).unwrap(),
         )
     })
     .unwrap();
@@ -1027,7 +1031,13 @@ fn multiple_attachment_types_compose() {
             "agg",
             &AttrList::parse("sum=salary").unwrap(),
         )?;
-        db.create_attachment(txn, "employee", "check", "c", &check_params(&pred, false))
+        db.create_attachment(
+            txn,
+            "employee",
+            "check",
+            "c",
+            &check_params(&pred, false).unwrap(),
+        )
     })
     .unwrap();
     db.with_txn(|txn| {

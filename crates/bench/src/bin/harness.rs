@@ -6,6 +6,10 @@
 //! claim, the harness output, and whether the claimed *shape* holds.
 //!
 //! Run with: `cargo run --release -p dmx-bench --bin harness`
+
+// Same panic-discipline exemption as the bench library: the harness is
+// not a runtime crate, and a broken fixture should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! (or a subset: `… --bin harness e1 e5`)
 
 use std::collections::HashMap;

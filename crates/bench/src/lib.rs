@@ -4,6 +4,11 @@
 //! every experiment here corresponds to an explicit performance claim or
 //! design choice, catalogued in DESIGN.md §4 and measured into
 //! EXPERIMENTS.md.
+//!
+//! The bench harness is exempt from the runtime panic discipline (it is
+//! not in `xtask`'s runtime-crate set): a failed fixture should abort
+//! the experiment loudly, not thread `Result` through every scenario.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod pr3;
 pub mod pr5;

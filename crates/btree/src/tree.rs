@@ -163,7 +163,10 @@ impl BTree {
                     } else {
                         &mut *right
                     };
-                    let idx = Node::search(target, key).unwrap_err();
+                    // The key cannot be present in either half of a page
+                    // that was split because it did not fit, so both the
+                    // found and the insertion index are the same slot.
+                    let idx = Node::search(target, key).unwrap_or_else(|i| i);
                     Node::insert_at(target, idx, key, val)?;
                     self.stamp(&mut page);
                     self.stamp(&mut right);
@@ -384,7 +387,10 @@ pub struct BTreeCursor {
 }
 
 impl BTreeCursor {
-    /// Next entry within bounds, or `None` when exhausted.
+    /// Next entry within bounds, or `None` when exhausted. Not an
+    /// `Iterator`: positioning is fallible, and `Result<Option<..>>`
+    /// keeps the I/O error path explicit at every call site.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         let bound = match &self.next_bound {
             Bound::Included(k) => Bound::Included(k.as_slice()),

@@ -163,22 +163,34 @@ pub struct LockManager {
 }
 
 /// Debug-build lock-order assertion: acquisitions must follow the
-/// catalog → relation → record hierarchy, the discipline that keeps the
-/// kernel's own lock requests deadlock-free. Checked per transaction on
-/// every *new* name (conversions of a held name are exempt):
+/// catalog → relation → record → page-latch hierarchy, the discipline
+/// that keeps the kernel's own lock requests deadlock-free (statically
+/// enforced across the workspace by `xtask verify` rule 9). Checked per
+/// transaction on every *new* name (conversions of a held name are
+/// exempt):
 ///
 /// - `Catalog` must be the transaction's first lock (DDL serializes at
 ///   the top before touching anything finer);
 /// - `Relation(r)` must precede any `Record(r, _)` of the same relation
 ///   (records under a different relation are unordered w.r.t. it);
 /// - `Record(r, _)` requires a lock on `Relation(r)` to be already held
-///   or requested (the intention-mode parent of hierarchical locking).
+///   or requested (the intention-mode parent of hierarchical locking);
+/// - `PageLatch(_)` is the leaf: it may be taken at any point, but no
+///   coarser name may be requested while any page latch is held.
 #[cfg(debug_assertions)]
 fn assert_lock_order(st: &State, txn: TxnId, name: &LockName) {
     let empty = HashSet::new();
     let held = st.held.get(&txn).unwrap_or(&empty);
     if held.contains(name) {
         return; // conversion or repeat of a held/requested name
+    }
+    if !matches!(name, LockName::PageLatch(_) | LockName::File(_)) {
+        let latch = held.iter().find(|h| matches!(h, LockName::PageLatch(_)));
+        debug_assert!(
+            latch.is_none(),
+            "lock-order violation: txn {txn:?} requests {name:?} while holding page latch \
+             {latch:?} (page latches are the hierarchy's leaf level)"
+        );
     }
     match name {
         LockName::Catalog => {
@@ -206,6 +218,7 @@ fn assert_lock_order(st: &State, txn: TxnId, name: &LockName) {
             );
         }
         LockName::File(_) => {}
+        LockName::PageLatch(_) => {}
     }
 }
 
@@ -384,6 +397,7 @@ impl LockManager {
                 LockName::Relation(r) => (1, r.0 as u64, 0),
                 LockName::Record(r, k) => (2, r.0 as u64, *k),
                 LockName::File(f) => (3, f.0 as u64, 0),
+                LockName::PageLatch(p) => (4, p.file.0 as u64, p.page_no as u64),
             }
         }
         let st = self.state.lock();
@@ -427,7 +441,7 @@ pub struct LockRow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmx_types::RelationId;
+    use dmx_types::{FileId, PageId, RelationId};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -671,5 +685,34 @@ mod tests {
     fn lock_order_rejects_record_without_relation_parent() {
         let lm = LockManager::default();
         let _ = lm.lock(TxnId(1), LockName::Record(RelationId(1), 7), LockMode::X);
+    }
+
+    #[test]
+    fn lock_order_allows_a_page_latch_as_the_leaf() {
+        let lm = LockManager::default();
+        lm.lock(TxnId(1), rel(1), LockMode::IX).unwrap();
+        lm.lock(TxnId(1), LockName::Record(RelationId(1), 7), LockMode::X)
+            .unwrap();
+        lm.lock(
+            TxnId(1),
+            LockName::PageLatch(PageId::new(FileId(3), 9)),
+            LockMode::X,
+        )
+        .unwrap();
+        lm.unlock_all(TxnId(1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn lock_order_rejects_locks_requested_under_a_page_latch() {
+        let lm = LockManager::default();
+        lm.lock(
+            TxnId(1),
+            LockName::PageLatch(PageId::new(FileId(3), 9)),
+            LockMode::X,
+        )
+        .unwrap();
+        let _ = lm.lock(TxnId(1), rel(1), LockMode::IX);
     }
 }

@@ -235,7 +235,7 @@ mod tests {
         // the image is a mix of old and new bytes and fails its CRC
         assert!(!out.verify_crc());
         let body = out.body();
-        assert!(body.iter().any(|&b| b == 0xAA) || body.iter().any(|&b| b == 0xBB));
+        assert!(body.contains(&0xAA) || body.contains(&0xBB));
     }
 
     #[test]

@@ -417,7 +417,7 @@ impl Session {
                     }],
                 )?;
                 let bound = binder.bind_expr(expr)?;
-                let params = check_params(&bound, *deferred);
+                let params = check_params(&bound, *deferred)?;
                 self.db
                     .create_attachment(txn, table, "check", name, &params)?;
                 Ok(QueryResult::empty())

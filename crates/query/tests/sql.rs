@@ -2,6 +2,10 @@
 //! selection, joins, aggregates, bound-plan caching and invalidation,
 //! authorization, transactions.
 
+// Integration-test harnesses are exempt from the runtime panic
+// discipline: a broken fixture should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use dmx_attach::register_builtin_attachments;

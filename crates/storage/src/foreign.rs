@@ -31,10 +31,14 @@ use crate::util::{decode_position, encode_position};
 /// Rows fetched per simulated round trip during scans.
 pub const SCAN_BATCH: u64 = 100;
 
+/// One simulated remote table: an ordered key -> record map behind its
+/// own lock, shared between the server and open scans.
+type RemoteTable = Arc<RwLock<BTreeMap<Vec<u8>, Record>>>;
+
 /// A simulated foreign database server.
 pub struct RemoteServer {
     name: String,
-    tables: RwLock<HashMap<u64, Arc<RwLock<BTreeMap<Vec<u8>, Record>>>>>,
+    tables: RwLock<HashMap<u64, RemoteTable>>,
     next_table: AtomicU64,
     next_key: AtomicU64,
     round_trips: AtomicU64,
@@ -65,7 +69,7 @@ impl RemoteServer {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn table(&self, id: u64) -> Result<Arc<RwLock<BTreeMap<Vec<u8>, Record>>>> {
+    fn table(&self, id: u64) -> Result<RemoteTable> {
         self.tables
             .read()
             .get(&id)

@@ -55,6 +55,6 @@ pub fn register_builtin_storage(registry: &ExtensionRegistry) -> Result<()> {
     registry.register_storage_method(Arc::new(BTreeStorage))?;
     registry.register_storage_method(Arc::new(ReadOnlyStorage))?;
     registry.register_storage_method(Arc::new(ForeignStorage::default()))?;
-    registry.register_storage_method(Arc::new(SystemStorage::default()))?;
+    registry.register_storage_method(Arc::new(SystemStorage))?;
     Ok(())
 }

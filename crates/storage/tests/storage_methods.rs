@@ -2,6 +2,10 @@
 //! core dispatcher (the paper's two-step modification protocol), plus
 //! rollback, savepoints, veto via a test attachment, and crash restart.
 
+// Integration-test harnesses are exempt from the runtime panic
+// discipline: a broken fixture should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 

@@ -1,8 +1,13 @@
 //! CLI for the workspace static-analysis gate.
 //!
-//! Usage: `cargo xtask verify [--root <dir>]`
+//! Usage: `cargo xtask verify [--root <dir>] [--fast] [--json]`
 //! (`cargo xtask` is an alias for `cargo run -p xtask --`, see
 //! `.cargo/config.toml`).
+//!
+//! `--fast` skips the interprocedural effect pass (rules 8–10) for
+//! quick pre-commit runs; `--json` emits the machine-readable report
+//! (stable DMX codes plus the consumed-waiver set) that check.sh
+//! ratchets against.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,6 +16,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root: Option<PathBuf> = None;
+    let mut opts = xtask::Options::default();
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,6 +28,14 @@ fn main() -> ExitCode {
                 }
                 root = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
+            }
+            "--fast" => {
+                opts.fast = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
             }
             c if cmd.is_none() && !c.starts_with('-') => {
                 cmd = Some(c.to_string());
@@ -35,7 +50,7 @@ fn main() -> ExitCode {
     match cmd.as_deref() {
         Some("verify") => {}
         _ => {
-            eprintln!("usage: cargo xtask verify [--root <dir>]");
+            eprintln!("usage: cargo xtask verify [--root <dir>] [--fast] [--json]");
             return ExitCode::from(2);
         }
     }
@@ -47,15 +62,21 @@ fn main() -> ExitCode {
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("."))
     });
-    match xtask::verify(&root) {
-        Ok(v) if v.is_empty() => {
-            println!("xtask verify: all checked invariants hold");
-            ExitCode::SUCCESS
-        }
-        Ok(v) => {
-            print!("{}", xtask::render(&v));
-            eprintln!("xtask verify: {} violation(s)", v.len());
-            ExitCode::FAILURE
+    match xtask::run(&root, opts) {
+        Ok(report) => {
+            if json {
+                print!("{}", xtask::render_json(&report));
+            } else if report.violations.is_empty() {
+                println!("xtask verify: all checked invariants hold");
+            } else {
+                print!("{}", xtask::render(&report.violations));
+            }
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask verify: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("xtask verify: error: {e}");

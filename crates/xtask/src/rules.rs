@@ -46,6 +46,31 @@ impl Violation {
             msg,
         }
     }
+
+    /// Constructor for rule modules outside this file (effect rules).
+    pub(crate) fn at(rule: &'static str, path: &str, line: usize, msg: String) -> Violation {
+        Violation::new(rule, path, line, msg)
+    }
+
+    /// The stable DMX code of this finding. Codes are append-only: a
+    /// retired rule's code is never reused, and report consumers key on
+    /// the code, not the internal rule name.
+    pub fn code(&self) -> &'static str {
+        match self.rule {
+            "panic" | "panic-allowlist" => "DMX001",
+            "raw-io" => "DMX002",
+            "unsafe" | "unsafe-allowlist" => "DMX003",
+            "layering" | "private-path" => "DMX004",
+            "contract" => "DMX005",
+            "wallclock" | "wallclock-allowlist" => "DMX006",
+            "metric-static" => "DMX007",
+            "write-ahead" => "DMX008",
+            "lock-order" => "DMX009",
+            "io-under-latch" => "DMX010",
+            "effects-baseline" => "DMX011",
+            _ => "DMX000",
+        }
+    }
 }
 
 /// The crates subject to the panic and layering rules, together with the

@@ -3,6 +3,10 @@
 //! violations; the violations tree must fire every rule family; and a
 //! shrink-only allowlist must flag entries the source has outgrown.
 
+// Test helpers may panic on a broken fixture tree; `is_in_test` does not
+// reach helper fns in integration-test crates, so allow it file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -197,5 +201,94 @@ fn contract_rule_reports_missing_ops_and_missing_impls() {
             .any(|x| x.msg.contains("Half") && x.msg.contains("on_update")),
         "missing attachment entry points not reported:\n{}",
         xtask::render(&v)
+    );
+}
+
+#[test]
+fn effects_clean_tree_passes() {
+    let v = run("effects-clean");
+    assert!(
+        v.is_empty(),
+        "clean effect fixture should have no violations, got:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn write_ahead_rule_flags_the_pr3_regression_shape() {
+    let v = run("effects-violations");
+    // The tree-attachment bug shape from PR 3: both the missing append
+    // domination and the missing LSN stamp are reported at the entry.
+    let hits: Vec<&Violation> = v
+        .iter()
+        .filter(|x| x.code() == "DMX008" && x.msg.contains("BadIndex::on_insert"))
+        .collect();
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected unlogged + unstamped at BadIndex::on_insert:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn lock_order_and_io_under_latch_rules_fire() {
+    let v = run("effects-violations");
+    assert!(
+        v.iter()
+            .any(|x| x.code() == "DMX009" && x.msg.contains("BadDb::ddl")),
+        "lock-order inversion not reported:\n{}",
+        xtask::render(&v)
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.code() == "DMX010" && x.msg.contains("BadDb::commit")),
+        "I/O under live latch guard not reported:\n{}",
+        xtask::render(&v)
+    );
+}
+
+#[test]
+fn effect_waivers_suppress_exactly_and_ratchet() {
+    let report =
+        xtask::run(&fixture("effects-violations"), xtask::Options::default()).expect("runs");
+    let v = &report.violations;
+    // the exact-count waiver consumes BadStore::insert's finding …
+    assert!(
+        !v.iter().any(|x| x.msg.contains("BadStore::insert")),
+        "waived finding still reported:\n{}",
+        xtask::render(v)
+    );
+    assert!(
+        report
+            .waivers
+            .iter()
+            .any(|w| w.code == "DMX008" && w.site == "BadStore::insert" && w.count == 1),
+        "consumed waiver missing from the report: {:?}",
+        report.waivers
+    );
+    // … while stale and unjustified waivers are themselves violations.
+    assert!(
+        v.iter()
+            .any(|x| x.code() == "DMX011" && x.msg.contains("GhostStore::insert")),
+        "stale waiver not reported:\n{}",
+        xtask::render(v)
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.code() == "DMX011" && x.msg.contains("no justification")),
+        "unjustified waiver not reported:\n{}",
+        xtask::render(v)
+    );
+}
+
+#[test]
+fn fast_mode_skips_the_interprocedural_pass() {
+    let opts = xtask::Options { fast: true };
+    let report = xtask::run(&fixture("effects-violations"), opts).expect("runs");
+    assert!(
+        report.violations.is_empty() && report.waivers.is_empty(),
+        "--fast must skip rules 8-10, got:\n{}",
+        xtask::render(&report.violations)
     );
 }

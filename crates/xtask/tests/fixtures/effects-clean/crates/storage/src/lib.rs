@@ -1,0 +1,65 @@
+//! Clean fixture for the interprocedural effect rules: every entry
+//! point appends its WAL record before the page mutation completes,
+//! every dirtied page is stamped, lock acquisition follows the declared
+//! hierarchy, and no device I/O runs under a live latch guard.
+
+/// Heap-shaped helper: dirties and stamps, WAL coverage comes from the
+/// caller's closure (the append completes before this call does).
+pub fn append_record(pool: &Pool, log: impl Fn(u32, u16) -> Lsn) -> Result<()> {
+    let mut page = pool.page();
+    SlottedPage::insert_at(&mut page, 0, b"r")?;
+    let lsn = log(0, 0);
+    page.set_lsn(lsn);
+    Ok(())
+}
+
+pub struct GoodStore;
+
+impl GoodStore {
+    fn tree(services: &Services) -> Tree {
+        services.open_tree()
+    }
+
+    /// Entry point: the append happens inside `append_record`'s logging
+    /// closure, strictly before the mutation applies.
+    pub fn insert(&self, ctx: &Ctx) -> Result<()> {
+        append_record(&ctx.pool(), |p, s| ctx.log_ext_op(p, s))
+    }
+}
+
+pub struct GoodIndex;
+
+impl GoodIndex {
+    fn tree(services: &Services) -> Tree {
+        services.open_tree()
+    }
+
+    /// Attachment entry: log first, then mutate through a handle whose
+    /// every dirtied page is stamped from the record's LSN.
+    pub fn on_insert(&self, ctx: &Ctx) -> Result<()> {
+        let lsn = log_att(ctx, b"payload");
+        Self::tree(ctx.services()).with_wal_lsn(lsn).insert(b"k")?;
+        Ok(())
+    }
+}
+
+pub struct GoodDb;
+
+impl GoodDb {
+    /// Locks strictly coarse-to-fine.
+    pub fn ddl(&self, ctx: &Ctx) -> Result<()> {
+        ctx.lock(LockName::Catalog, X)?;
+        ctx.lock(LockName::Relation(rel), X)?;
+        ctx.lock_record(rel, b"k", X)?;
+        Ok(())
+    }
+
+    /// The latch guard dies with its block before the flush starts.
+    pub fn commit(&self) -> Result<()> {
+        {
+            let _g = self.latch.write();
+            self.quiesce();
+        }
+        self.pool.flush_all()
+    }
+}

@@ -1,0 +1,59 @@
+//! Violation fixture for the interprocedural effect rules: the PR 3
+//! tree-attachment bug shape (mutate before log), a lock-order
+//! inversion, and device I/O under a live latch guard.
+
+pub struct BadIndex;
+
+impl BadIndex {
+    fn tree(services: &Services) -> Tree {
+        services.open_tree()
+    }
+
+    /// The pre-fix PR 3 bug shape: the tree mutation completes before
+    /// the attachment's log record exists, and no dirtied page carries
+    /// the record's LSN. Rule 8 must flag both defects.
+    pub fn on_insert(&self, ctx: &Ctx) -> Result<()> {
+        let tree = Self::tree(ctx.services());
+        tree.insert(b"k")?;
+        log_att(ctx, b"payload");
+        Ok(())
+    }
+}
+
+pub struct BadStore;
+
+impl BadStore {
+    /// Helper dirties unlogged; the entry appends only afterwards, so
+    /// the caller never dominates the mutation.
+    fn scribble(pool: &Pool) -> Result<()> {
+        let mut page = pool.page();
+        SlottedPage::insert_at(&mut page, 0, b"r")?;
+        page.set_lsn(Lsn(0));
+        Ok(())
+    }
+
+    pub fn insert(&self, ctx: &Ctx) -> Result<()> {
+        Self::scribble(&ctx.pool())?;
+        ctx.log_ext_op(0, 0);
+        Ok(())
+    }
+}
+
+pub struct BadDb;
+
+impl BadDb {
+    /// Fine-to-coarse: a record lock is held when the catalog lock is
+    /// requested, inverting the declared hierarchy.
+    pub fn ddl(&self, ctx: &Ctx) -> Result<()> {
+        ctx.lock_record(rel, b"k", X)?;
+        ctx.lock(LockName::Catalog, X)?;
+        Ok(())
+    }
+
+    /// The `let`-bound guard lives to the end of the function block, so
+    /// the flush runs under it.
+    pub fn commit(&self) -> Result<()> {
+        let _g = self.latch.write();
+        self.pool.flush_all()
+    }
+}

@@ -10,6 +10,10 @@
 //!
 //! Run with: `cargo run --example publishing`
 
+// Examples are exempt from the runtime panic discipline: a failure in a
+// walkthrough should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use starburst_dmx::prelude::*;

@@ -14,6 +14,10 @@
 //!
 //! Run with: `cargo run --example referential`
 
+// Examples are exempt from the runtime panic discipline: a failure in a
+// walkthrough should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use starburst_dmx::prelude::*;
 
 fn counts(db: &std::sync::Arc<Database>) -> Result<(i64, i64, i64)> {

@@ -8,8 +8,27 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> cargo xtask verify"
-cargo run -q -p xtask -- verify
+echo "==> cargo xtask verify --json (vs committed VERIFY_pr6.json)"
+cargo run -q -p xtask -- verify --json > /tmp/verify_now.json
+cargo run -q -p xtask -- verify   # human-readable pass/fail (exit code gates)
+
+# Effect-waiver ratchet: the set of consumed waivers (DMXnnn Site ids)
+# may only shrink relative to the committed snapshot. A new waiver id
+# means a new write-ahead / latch exception was added without burning
+# down the baseline — that is a review event, not a routine change.
+if [ -f VERIFY_pr6.json ]; then
+  new_waivers=$(comm -13 \
+    <(grep -oE '"id": "DMX[0-9]+ [^"]+"' VERIFY_pr6.json | sort -u) \
+    <(grep -oE '"id": "DMX[0-9]+ [^"]+"' /tmp/verify_now.json | sort -u))
+  if [ -n "$new_waivers" ]; then
+    echo "effect waivers not present in committed VERIFY_pr6.json:"
+    echo "$new_waivers"
+    exit 1
+  fi
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release

@@ -10,6 +10,10 @@
 //! experiment must be a pure function of its seed: replaying one
 //! iteration yields the identical metrics snapshot, counter for counter.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -17,7 +21,7 @@ use starburst_dmx::prelude::*;
 use starburst_dmx::types::testrng::TestRng;
 use starburst_dmx::types::MetricsSnapshot;
 
-const SEED: u64 = 0xA77A_C11E_D0_u64;
+const SEED: u64 = 0x00A7_7AC1_1ED0_u64;
 const DEPTS: i64 = 6;
 const STREAM_OPS: usize = 120;
 const ITERATIONS: u64 = 5;

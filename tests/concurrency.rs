@@ -3,6 +3,10 @@
 //! detection with victim abort, and concurrent readers/writers through
 //! different access paths.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 

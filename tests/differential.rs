@@ -6,6 +6,10 @@
 //! also reproduce byte-identical oracle state *and* identical metric
 //! counters: the observability layer is part of the determinism contract.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

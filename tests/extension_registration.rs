@@ -16,6 +16,10 @@
 //! then drive them through DDL, DML, SQL, veto rollback and abort — all
 //! coordinated by the common services, none of which know these types.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,9 +38,11 @@ use starburst_dmx::wal::ExtKind;
 // the storage method
 // ----------------------------------------------------------------------
 
+type VecTable = Arc<RwLock<Vec<Option<Record>>>>;
+
 #[derive(Default)]
 struct VecStore {
-    tables: RwLock<HashMap<u64, Arc<RwLock<Vec<Option<Record>>>>>>,
+    tables: RwLock<HashMap<u64, VecTable>>,
     next: AtomicU64,
 }
 

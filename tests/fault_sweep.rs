@@ -14,6 +14,10 @@
 //! `FAULT_SWEEP_STRIDE` (default 1 = every point) bounds the sweep for
 //! smoke runs, e.g. `FAULT_SWEEP_STRIDE=16 cargo test --test fault_sweep`.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use starburst_dmx::prelude::*;
@@ -133,9 +137,8 @@ fn crash_point_sweep_recovers_consistently() {
         // The crash can fire during initial open (catalog bootstrap) —
         // that is a legitimate crash point too.
         let crashed_db = starburst_dmx::open_env(env.clone(), DatabaseConfig::default())
-            .map(|db| {
-                let _ = workload(&db);
-                db
+            .inspect(|db| {
+                let _ = workload(db);
             })
             .ok();
         drop(crashed_db);

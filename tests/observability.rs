@@ -6,6 +6,10 @@
 //! byte-identical `sys.metrics` output and identical EXPLAIN ANALYZE
 //! actuals.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -7,6 +7,10 @@
 //! are completed, loser transactions are undone through the same
 //! extension-supplied undo operations that serve aborts and savepoints.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use starburst_dmx::prelude::*;

@@ -5,6 +5,10 @@
 //! against a shadow model. This is the dispatcher/recovery equivalent of
 //! the per-structure property tests.
 
+// Examples and integration-test harnesses are exempt from the runtime
+// panic discipline: failures here should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -152,9 +156,11 @@ fn randomized_workload_matches_shadow_model() {
                         .execute(&format!("UPDATE t SET v = {v} WHERE id = {id}"))
                         .unwrap();
                     let n = res.rows[0][0].as_int().unwrap();
-                    if shadow.working.contains_key(&id) {
+                    if let std::collections::btree_map::Entry::Occupied(mut e) =
+                        shadow.working.entry(id)
+                    {
                         assert_eq!(n, 1, "step {step}");
-                        shadow.working.insert(id, v);
+                        e.insert(v);
                     } else {
                         assert_eq!(n, 0, "step {step}");
                     }
