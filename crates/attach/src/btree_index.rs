@@ -275,6 +275,25 @@ impl Attachment for BTreeIndex {
         true
     }
 
+    fn storage_files(&self, inst_desc: &[u8]) -> Vec<FileId> {
+        IxDesc::decode(inst_desc)
+            .map(|d| vec![d.file])
+            .unwrap_or_default()
+    }
+
+    fn reconstruct_params(&self, rd: &RelationDescriptor, inst_desc: &[u8]) -> Result<AttrList> {
+        let d = IxDesc::decode(inst_desc)?;
+        let names: Vec<&str> = d
+            .fields
+            .iter()
+            .map(|&f| rd.schema.column(f).map(|c| c.name.as_str()))
+            .collect::<Result<_>>()?;
+        AttrList::from_pairs([
+            ("fields".to_string(), names.join(",")),
+            ("unique".to_string(), d.unique.to_string()),
+        ])
+    }
+
     fn open_scan(
         &self,
         ctx: &ExecCtx<'_>,

@@ -270,6 +270,22 @@ impl Attachment for HashIndex {
         true
     }
 
+    fn storage_files(&self, inst_desc: &[u8]) -> Vec<FileId> {
+        HashDesc::decode(inst_desc)
+            .map(|d| vec![d.file])
+            .unwrap_or_default()
+    }
+
+    fn reconstruct_params(&self, rd: &RelationDescriptor, inst_desc: &[u8]) -> Result<AttrList> {
+        let d = HashDesc::decode(inst_desc)?;
+        let names: Vec<&str> = d
+            .fields
+            .iter()
+            .map(|&f| rd.schema.column(f).map(|c| c.name.as_str()))
+            .collect::<Result<_>>()?;
+        AttrList::from_pairs([("fields".to_string(), names.join(","))])
+    }
+
     fn open_scan(
         &self,
         ctx: &ExecCtx<'_>,

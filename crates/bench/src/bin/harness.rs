@@ -59,6 +59,9 @@ fn main() {
     if want("pr5") {
         pr5_baseline();
     }
+    if want("pr7") {
+        pr7_baseline();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -173,6 +176,60 @@ fn pr5_baseline() {
     println!("\nwrote {path}");
 }
 
+/// Full-scale run of the PR7 self-healing scenarios; writes the
+/// `BENCH_pr7.json` baseline next to the workspace root.
+fn pr7_baseline() {
+    banner(
+        "PR7",
+        "online scrub overhead and the quarantine-repair pipeline as seeded workloads",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr7::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "metrics".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let names = o.metrics.counters.len() + o.metrics.gauges.len() + o.metrics.histograms.len();
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    names.to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr7::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr7.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr7.json"))
+            .unwrap_or_else(|_| "BENCH_pr7.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr7.json");
+    println!("\nwrote {path}");
+}
+
 /// `--smoke`: small scale, every scenario run twice; asserts the two
 /// snapshots are identical (determinism) and that each covers the
 /// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
@@ -191,7 +248,7 @@ fn pr3_smoke() {
         let names = pr3::assert_layer_coverage(&a.metrics, 12);
         println!("smoke {:<26} ok  ops={:<7} metrics={names}", s.name, a.ops);
     }
-    for s in pr5::scenarios() {
+    for s in pr5::scenarios().into_iter().chain(pr7::scenarios()) {
         let a = (s.run)(&scale, seed);
         let b = (s.run)(&scale, seed);
         assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);

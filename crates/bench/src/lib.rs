@@ -12,6 +12,7 @@
 
 pub mod pr3;
 pub mod pr5;
+pub mod pr7;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

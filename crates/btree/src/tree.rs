@@ -8,7 +8,13 @@ use dmx_page::{BufferPool, Page, PinnedPage};
 use dmx_types::{DmxError, FileId, Lsn, PageId, Result};
 
 use crate::latch::{LatchTable, TreeLatch};
-use crate::node::{Node, MAX_ENTRY};
+use crate::node::{Node, MAX_ENTRY, PAGE_TYPE_BTREE};
+
+/// Upper bound on descent depth. Fan-out is at least 4, so a legitimate
+/// tree of this height cannot exist; exceeding it means the routing
+/// graph has a cycle (damaged or never-written child pointers) and the
+/// descent reports [`DmxError::Corrupt`] instead of spinning.
+const MAX_DEPTH: usize = 64;
 
 /// Behaviour when an inserted key already exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +98,31 @@ impl BTree {
         self.pool.fetch(PageId::new(self.root.file, page_no))
     }
 
+    /// Fetches a page the descent will interpret as a tree node,
+    /// rejecting anything that is not one. A crash can leave an
+    /// allocated-but-never-written (zeroed) page behind an otherwise
+    /// durable child pointer; interpreting it as a node would route the
+    /// descent to page 0 forever.
+    fn node(&self, page_no: u32) -> Result<PinnedPage> {
+        let pin = self.page(page_no)?;
+        let ty = pin.read().page_type();
+        if ty != PAGE_TYPE_BTREE {
+            return Err(DmxError::Corrupt(format!(
+                "page {page_no} of file {} is not a btree node (page type {ty})",
+                self.root.file.0
+            )));
+        }
+        Ok(pin)
+    }
+
+    /// Typed error for a descent that outran any legitimate tree height.
+    fn depth_exceeded(&self) -> DmxError {
+        DmxError::Corrupt(format!(
+            "btree descent in file {} exceeded depth {MAX_DEPTH} (routing cycle)",
+            self.root.file.0
+        ))
+    }
+
     /// Inserts `(key, val)`. Keys are unique; `on_dup` picks the
     /// duplicate behaviour.
     pub fn insert(&self, key: &[u8], val: &[u8], on_dup: OnDuplicate) -> Result<()> {
@@ -105,7 +136,7 @@ impl BTree {
             return Err(DmxError::InvalidArg("empty btree key".into()));
         }
         let _guard = self.latch.write();
-        if let Some((sep, right)) = self.insert_rec(self.root.page_no, key, val, on_dup)? {
+        if let Some((sep, right)) = self.insert_rec(self.root.page_no, key, val, on_dup, 0)? {
             self.grow_root(&sep, right)?;
         }
         Ok(())
@@ -119,8 +150,12 @@ impl BTree {
         key: &[u8],
         val: &[u8],
         on_dup: OnDuplicate,
+        depth: usize,
     ) -> Result<Option<(Vec<u8>, u32)>> {
-        let pin = self.page(page_no)?;
+        if depth > MAX_DEPTH {
+            return Err(self.depth_exceeded());
+        }
+        let pin = self.node(page_no)?;
         let is_leaf = Node::is_leaf(&pin.read());
         if is_leaf {
             let mut page = pin.write();
@@ -142,7 +177,7 @@ impl BTree {
                         self.stamp(&mut page);
                         drop(page);
                         drop(pin);
-                        self.insert_rec(page_no, key, val, OnDuplicate::Error)
+                        self.insert_rec(page_no, key, val, OnDuplicate::Error, depth)
                     }
                 },
                 Err(idx) => {
@@ -175,7 +210,7 @@ impl BTree {
             }
         } else {
             let child = Node::route(&pin.read(), key);
-            let split = self.insert_rec(child, key, val, on_dup)?;
+            let split = self.insert_rec(child, key, val, on_dup, depth + 1)?;
             let Some((sep, new_child)) = split else {
                 return Ok(None);
             };
@@ -237,8 +272,8 @@ impl BTree {
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _guard = self.latch.read();
         let mut page_no = self.root.page_no;
-        loop {
-            let pin = self.page(page_no)?;
+        for _ in 0..=MAX_DEPTH {
+            let pin = self.node(page_no)?;
             let page = pin.read();
             if Node::is_leaf(&page) {
                 return Ok(match Node::search(&page, key) {
@@ -248,6 +283,7 @@ impl BTree {
             }
             page_no = Node::route(&page, key);
         }
+        Err(self.depth_exceeded())
     }
 
     /// Deletes a key, returning its old value. Lazy deletion: nodes are
@@ -255,8 +291,8 @@ impl BTree {
     pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _guard = self.latch.write();
         let mut page_no = self.root.page_no;
-        loop {
-            let pin = self.page(page_no)?;
+        for _ in 0..=MAX_DEPTH {
+            let pin = self.node(page_no)?;
             if Node::is_leaf(&pin.read()) {
                 let mut page = pin.write();
                 return Ok(match Node::search(&page, key) {
@@ -270,6 +306,7 @@ impl BTree {
             }
             page_no = Node::route(&pin.read(), key);
         }
+        Err(self.depth_exceeded())
     }
 
     /// First entry at-or-after the bound (walking right siblings across
@@ -282,16 +319,21 @@ impl BTree {
         };
         // Descend to the leaf covering `target`.
         let mut page_no = self.root.page_no;
+        let mut depth = 0usize;
         loop {
-            let pin = self.page(page_no)?;
+            let pin = self.node(page_no)?;
             let page = pin.read();
             if Node::is_leaf(&page) {
                 break;
             }
+            depth += 1;
+            if depth > MAX_DEPTH {
+                return Err(self.depth_exceeded());
+            }
             page_no = Node::route(&page, target);
         }
         // Find the first qualifying entry, spilling into right siblings.
-        let mut pin = self.page(page_no)?;
+        let mut pin = self.node(page_no)?;
         let mut idx = {
             let page = pin.read();
             match bound {
@@ -317,7 +359,7 @@ impl BTree {
                 return Ok(None);
             };
             drop(page);
-            pin = self.page(sib)?;
+            pin = self.node(sib)?;
             idx = 0;
         }
     }
@@ -349,7 +391,10 @@ impl BTree {
     pub fn stats(&self) -> Result<TreeStats> {
         let _guard = self.latch.read();
         fn rec(tree: &BTree, page_no: u32, depth: usize, st: &mut TreeStats) -> Result<()> {
-            let pin = tree.page(page_no)?;
+            if depth > MAX_DEPTH {
+                return Err(tree.depth_exceeded());
+            }
+            let pin = tree.node(page_no)?;
             let page = pin.read();
             st.nodes += 1;
             st.height = st.height.max(depth);

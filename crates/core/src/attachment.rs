@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use dmx_expr::Expr;
-use dmx_types::{AttrList, DmxError, Record, RecordKey, Result, Schema};
+use dmx_types::{AttrList, DmxError, FileId, Record, RecordKey, Result, Schema};
 
 use crate::access::{AccessQuery, ScanOps};
 use crate::context::ExecCtx;
@@ -137,5 +137,26 @@ pub trait Attachment: Send + Sync {
     ) -> Option<PathChoice> {
         let _ = (rd, instance, preds);
         None
+    }
+
+    /// The disk files backing an instance ("attachments may have
+    /// associated storage"), for the integrity scrubber's checksum page
+    /// walk. Default empty: no associated storage (checks, triggers).
+    fn storage_files(&self, inst_desc: &[u8]) -> Vec<FileId> {
+        let _ = inst_desc;
+        Vec::new()
+    }
+
+    /// Reconstructs the DDL attribute list that would re-create this
+    /// instance, so the repair pipeline can rebuild a damaged attachment
+    /// from its base relation through the *ordinary* registration path
+    /// (create instance + backfill). Default: unsupported — the instance
+    /// cannot be rebuilt automatically.
+    fn reconstruct_params(&self, rd: &RelationDescriptor, inst_desc: &[u8]) -> Result<AttrList> {
+        let _ = (rd, inst_desc);
+        Err(DmxError::Unsupported(format!(
+            "attachment {} cannot reconstruct its creation parameters",
+            self.name()
+        )))
     }
 }

@@ -7,7 +7,7 @@
 //! dropped objects and crash restart.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -33,6 +33,7 @@ use crate::context::ExecCtx;
 use crate::deps::{DepKey, DependencyRegistry};
 use crate::descriptor::AttachmentInstance;
 use crate::registry::ExtensionRegistry;
+use crate::scrub::RepairOutcome;
 use crate::services::CommonServices;
 use crate::undo::{
     encode_catalog_intent, encode_drop_att_intent, encode_drop_sm_intent, UndoDispatch,
@@ -103,6 +104,9 @@ pub struct HookArgs<'a> {
 /// Capacity of the per-database flight-recorder event ring.
 const TRACE_RING_CAP: usize = 256;
 
+/// Capacity of the bounded incident-report ring.
+const INCIDENT_RING_CAP: usize = 16;
+
 /// The flight recorder's crash-time dump: captured when a relation is
 /// quarantined after unrecoverable corruption. Deterministic — it holds
 /// event counts and the metric snapshot, never wall-clock times — so two
@@ -139,6 +143,16 @@ pub(crate) struct CoreCounters {
     pub(crate) att_vetoes: Arc<Counter>,
     pub(crate) att_probes: Arc<Counter>,
     pub(crate) quarantines: Arc<Counter>,
+    pub(crate) quarantine_cleared: Arc<Counter>,
+    pub(crate) incidents_evicted: Arc<Counter>,
+    pub(crate) scrub_runs: Arc<Counter>,
+    pub(crate) scrub_pages: Arc<Counter>,
+    pub(crate) scrub_corrupt: Arc<Counter>,
+    pub(crate) repair_attempts: Arc<Counter>,
+    pub(crate) repair_rebuilds: Arc<Counter>,
+    pub(crate) repair_salvages: Arc<Counter>,
+    pub(crate) repair_records_lost: Arc<Counter>,
+    pub(crate) repair_failures: Arc<Counter>,
     pub(crate) commits: Arc<Counter>,
     pub(crate) aborts: Arc<Counter>,
 }
@@ -157,10 +171,30 @@ impl CoreCounters {
             att_vetoes: obs.counter(metric::ATT_VETOES),
             att_probes: obs.counter(metric::ATT_PROBES),
             quarantines: obs.counter(metric::QUARANTINE_EVENTS),
+            quarantine_cleared: obs.counter(metric::QUARANTINE_CLEARED),
+            incidents_evicted: obs.counter(metric::INCIDENTS_EVICTED),
+            scrub_runs: obs.counter(metric::SCRUB_RUNS),
+            scrub_pages: obs.counter(metric::SCRUB_PAGES),
+            scrub_corrupt: obs.counter(metric::SCRUB_CORRUPT),
+            repair_attempts: obs.counter(metric::REPAIR_ATTEMPTS),
+            repair_rebuilds: obs.counter(metric::REPAIR_REBUILDS),
+            repair_salvages: obs.counter(metric::REPAIR_SALVAGES),
+            repair_records_lost: obs.counter(metric::REPAIR_RECORDS_LOST),
+            repair_failures: obs.counter(metric::REPAIR_FAILURES),
             commits: obs.counter(metric::TXN_COMMITS),
             aborts: obs.counter(metric::TXN_ABORTS),
         }
     }
+}
+
+/// The bounded ring of retained incident reports. Mirrors the
+/// [`RingSink`] truncation contract: fixed capacity, a monotone total,
+/// and eviction oldest-first — the number of a retained entry is
+/// `total - len + index`, so numbering survives truncation.
+#[derive(Default)]
+struct IncidentRing {
+    reports: VecDeque<Arc<IncidentReport>>,
+    total: u64,
 }
 
 /// The data manager.
@@ -187,8 +221,17 @@ pub struct Database {
     /// the last [`TRACE_RING_CAP`] events are always on hand for incident
     /// reports and the `sys.trace` relation.
     trace: Arc<RingSink>,
-    /// The most recent incident report (first quarantine wins until read).
-    incident: Mutex<Option<Arc<IncidentReport>>>,
+    /// The last [`INCIDENT_RING_CAP`] incident reports, oldest first.
+    incidents: Mutex<IncidentRing>,
+    /// Sticky read-only degraded mode: set on out-of-space, first reason
+    /// wins, cleared only by operator action or reopen.
+    read_only: Mutex<Option<String>>,
+    /// Every repair outcome since open (served by `sys.repairs`).
+    repairs: Mutex<Vec<RepairOutcome>>,
+    /// Relations repair declared permanently damaged. In-memory only:
+    /// a reopen resets it and repair may be retried against the
+    /// (possibly replaced) media.
+    terminal_damage: Mutex<HashMap<RelationId, String>>,
     /// Row producers for `sys.*` relations owned by higher layers.
     sys_providers: Mutex<HashMap<String, SysProviderFn>>,
 }
@@ -260,11 +303,7 @@ impl Database {
         }
 
         // Restart recovery (idempotent; trivial on a fresh environment).
-        let handler = UndoDispatch {
-            registry: registry.clone(),
-            catalog: catalog.clone(),
-            services: services.clone(),
-        };
+        let handler = UndoDispatch::new(registry.clone(), catalog.clone(), services.clone());
         let report = dmx_wal::restart(&log, &handler)?;
 
         // Non-recoverable (temporary) relations do not survive restart;
@@ -307,7 +346,7 @@ impl Database {
             }
         }
 
-        Ok(Arc::new(Database {
+        let db = Arc::new(Database {
             txns: TxnManager::new_with_metrics(log, report.max_txn + 1, obs.clone()),
             counters: CoreCounters::new(&obs),
             obs,
@@ -324,9 +363,17 @@ impl Database {
             query_slot: OnceLock::new(),
             quarantined: Mutex::new(HashMap::new()),
             trace,
-            incident: Mutex::new(None),
+            incidents: Mutex::new(IncidentRing::default()),
+            read_only: Mutex::new(None),
+            repairs: Mutex::new(Vec::new()),
+            terminal_damage: Mutex::new(HashMap::new()),
             sys_providers: Mutex::new(HashMap::new()),
-        }))
+        });
+        // Attachments whose state restart's undo found corrupt are fenced
+        // now that the quarantine machinery exists; the repair pipeline
+        // rebuilds them from the base on the next CHECK/REPAIR sweep.
+        db.fence_undo_damage(&handler);
+        Ok(db)
     }
 
     /// Opens a fresh in-memory database with the given registry.
@@ -360,7 +407,28 @@ impl Database {
     /// The most recent incident report, when a relation has been
     /// quarantined since open.
     pub fn last_incident(&self) -> Option<Arc<IncidentReport>> {
-        self.incident.lock().clone()
+        self.incidents.lock().reports.back().cloned()
+    }
+
+    /// The retained incident reports, oldest first, each paired with its
+    /// monotone incident number (0-based since open). The ring is
+    /// bounded: older reports are evicted oldest-first and counted by
+    /// [`Database::incidents_evicted`], so numbering survives
+    /// truncation (the first retained number is `total - len`).
+    pub fn incidents(&self) -> Vec<(u64, Arc<IncidentReport>)> {
+        let ring = self.incidents.lock();
+        let first = ring.total - ring.reports.len() as u64;
+        ring.reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (first + i as u64, r.clone()))
+            .collect()
+    }
+
+    /// How many incident reports have been evicted from the bounded ring.
+    pub fn incidents_evicted(&self) -> u64 {
+        let ring = self.incidents.lock();
+        ring.total - ring.reports.len() as u64
     }
 
     /// Registers a row producer for a `sys.*` relation whose state lives
@@ -473,10 +541,18 @@ impl Database {
     }
 
     fn undo_dispatch(&self) -> UndoDispatch {
-        UndoDispatch {
-            registry: self.registry.clone(),
-            catalog: self.catalog.clone(),
-            services: self.services.clone(),
+        UndoDispatch::new(
+            self.registry.clone(),
+            self.catalog.clone(),
+            self.services.clone(),
+        )
+    }
+
+    /// Quarantines every relation whose attachment undo found corrupt
+    /// state during a rollback, so the repair pipeline rebuilds it.
+    pub(crate) fn fence_undo_damage(&self, handler: &UndoDispatch) {
+        for (rel, reason) in handler.take_damaged() {
+            let _ = self.quarantine(rel, format!("undo: {reason}"));
         }
     }
 
@@ -497,6 +573,30 @@ impl Database {
     /// deferred physical actions, persists the catalog after DDL, and
     /// releases locks and scans.
     pub fn commit(&self, txn: &Arc<Transaction>) -> Result<()> {
+        let res = self.commit_inner(txn);
+        if let Err(e) = &res {
+            // Out-of-space at the commit point (data flush or log force)
+            // flips the sticky degraded switch.
+            self.note_enospc(e);
+            match txn.state() {
+                // Failed before the commit point: the transaction did not
+                // happen — roll it back so its locks release and no torn
+                // state survives.
+                TxnState::Active => {
+                    if self.abort(txn).is_err() {
+                        self.end_txn(txn);
+                    }
+                }
+                // Failed after the commit point (deferred actions, catalog
+                // image, log force): the effects stand; restart completes
+                // the rest from logged intents. Release resources here.
+                _ => self.end_txn(txn),
+            }
+        }
+        res
+    }
+
+    fn commit_inner(&self, txn: &Arc<Transaction>) -> Result<()> {
         txn.check_active()?;
         // 1. Deferred integrity constraints may still veto the whole
         //    transaction.
@@ -564,6 +664,7 @@ impl Database {
             txn.last_lsn(),
             Lsn::NULL,
         )?;
+        self.fence_undo_damage(&handler);
         txn.set_last_lsn(new_last);
         txn.abort_point();
         txn.finish(TxnState::Aborted);
@@ -658,7 +759,13 @@ impl Database {
                 events: self.trace.snapshot(),
                 metrics: self.obs.snapshot(),
             };
-            *self.incident.lock() = Some(Arc::new(report));
+            let mut ring = self.incidents.lock();
+            ring.reports.push_back(Arc::new(report));
+            ring.total += 1;
+            while ring.reports.len() > INCIDENT_RING_CAP {
+                ring.reports.pop_front();
+                self.counters.incidents_evicted.incr();
+            }
         }
         let stored = q.entry(rel).or_insert(reason);
         DmxError::RelationQuarantined {
@@ -679,10 +786,97 @@ impl Database {
         out
     }
 
-    /// Lifts a quarantine (after out-of-band repair / operator override).
-    /// Returns true when the relation was quarantined.
+    /// Lifts a quarantine (after repair / operator override). Returns
+    /// true when the relation was quarantined. Clearing also forgets any
+    /// permanent-damage verdict: the operator may have replaced the
+    /// media, so repair deserves a fresh set of attempts. Persistent
+    /// damage simply re-fences on the next read.
     pub fn clear_quarantine(&self, rel: RelationId) -> bool {
-        self.quarantined.lock().remove(&rel).is_some()
+        let cleared = self.quarantined.lock().remove(&rel).is_some();
+        if cleared {
+            self.terminal_damage.lock().remove(&rel);
+            self.counters.quarantine_cleared.incr();
+            self.obs.emit(ObsEvent {
+                layer: "core",
+                op: "quarantine_clear",
+                target: rel.0 as u64,
+                detail: 0,
+            });
+        }
+        cleared
+    }
+
+    /// Marks `rel` permanently damaged: repair exhausted its retries (or
+    /// the storage method cannot salvage). The quarantine stays and the
+    /// verdict is reported through [`DmxError::RepairImpossible`].
+    pub(crate) fn mark_terminal(&self, rel: RelationId, reason: String) {
+        self.terminal_damage.lock().entry(rel).or_insert(reason);
+    }
+
+    /// The permanent-damage verdict for `rel`, if any.
+    pub fn terminal_damage(&self, rel: RelationId) -> Option<String> {
+        self.terminal_damage.lock().get(&rel).cloned()
+    }
+
+    // -- degraded mode ----------------------------------------------------
+
+    /// Enters sticky read-only degraded mode (the first reason wins).
+    /// Used when a write path reports out-of-space: the failing statement
+    /// aborts cleanly, but further writes would hit the same wall at a
+    /// worse moment (mid-commit), so the engine fences all writes until
+    /// the operator frees space and calls [`Database::clear_read_only`].
+    pub fn enter_read_only(&self, reason: &str) {
+        let mut ro = self.read_only.lock();
+        if ro.is_none() {
+            *ro = Some(reason.to_string());
+            self.obs.emit(ObsEvent {
+                layer: "core",
+                op: "read_only",
+                target: 0,
+                detail: 0,
+            });
+        }
+    }
+
+    /// The degraded-mode reason, when the engine is read-only.
+    pub fn read_only_reason(&self) -> Option<String> {
+        self.read_only.lock().clone()
+    }
+
+    /// Fails with [`DmxError::ReadOnly`] in degraded mode. Called at
+    /// every modification entry point (reads keep working).
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        match &*self.read_only.lock() {
+            Some(reason) => Err(DmxError::ReadOnly(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Leaves degraded mode (operator has freed space). Returns true
+    /// when the engine was read-only.
+    pub fn clear_read_only(&self) -> bool {
+        self.read_only.lock().take().is_some()
+    }
+
+    /// Inspects a statement error on a write path: out-of-space flips
+    /// the sticky degraded switch (the statement itself has already been
+    /// aborted cleanly by the caller).
+    pub(crate) fn note_enospc(&self, e: &DmxError) {
+        if let DmxError::OutOfSpace(m) = e {
+            self.enter_read_only(m);
+        }
+    }
+
+    // -- repair log -------------------------------------------------------
+
+    /// Appends a repair outcome row (served by `sys.repairs`).
+    pub(crate) fn record_repair(&self, outcome: RepairOutcome) {
+        self.repairs.lock().push(outcome);
+    }
+
+    /// Every repair outcome since open, in order.
+    pub fn repairs(&self) -> Vec<RepairOutcome> {
+        self.repairs.lock().clone()
     }
 
     // -- savepoints -------------------------------------------------------
@@ -710,6 +904,7 @@ impl Database {
             txn.last_lsn(),
             sp.lsn,
         )?;
+        self.fence_undo_damage(&handler);
         txn.set_last_lsn(new_last);
         if let Some(payload) = sp.payload {
             let positions = payload
@@ -728,7 +923,7 @@ impl Database {
 
     // -- data definition ---------------------------------------------------
 
-    fn mark_ddl(&self, txn: &Arc<Transaction>) {
+    pub(crate) fn mark_ddl(&self, txn: &Arc<Transaction>) {
         self.ddl_txns.lock().insert(txn.id());
     }
 
@@ -743,6 +938,7 @@ impl Database {
         params: &AttrList,
     ) -> Result<RelationId> {
         txn.check_active()?;
+        self.check_writable()?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Catalog, LockMode::X)?;
         if self.catalog.get_by_name(name).is_ok() {
@@ -783,6 +979,7 @@ impl Database {
         params: &AttrList,
     ) -> Result<()> {
         txn.check_active()?;
+        self.check_writable()?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Catalog, LockMode::X)?;
         let old_rd = self.catalog.get_by_name(rel_name)?;
@@ -826,6 +1023,7 @@ impl Database {
                 txn.last_lsn(),
                 start_lsn,
             )?;
+            self.fence_undo_damage(&handler);
             txn.set_last_lsn(new_last);
             self.catalog.replace((*old_rd).clone())?;
             let _ = att.destroy_instance(&self.services, &inst_desc);

@@ -130,11 +130,11 @@ impl Database {
         match f(&ctx) {
             Ok(v) => Ok(v),
             Err(e) => {
-                let handler = crate::undo::UndoDispatch {
-                    registry: self.registry().clone(),
-                    catalog: self.catalog().clone(),
-                    services: self.services().clone(),
-                };
+                let handler = crate::undo::UndoDispatch::new(
+                    self.registry().clone(),
+                    self.catalog().clone(),
+                    self.services().clone(),
+                );
                 let new_last = dmx_wal::rollback_to(
                     &self.services().log,
                     &handler,
@@ -142,7 +142,12 @@ impl Database {
                     txn.last_lsn(),
                     start_lsn,
                 )?;
+                self.fence_undo_damage(&handler);
                 txn.set_last_lsn(new_last);
+                // The statement is cleanly undone; if it died of
+                // out-of-space, degrade to read-only so later writes
+                // fail fast instead of tearing a commit.
+                self.note_enospc(&e);
                 Err(e)
             }
         }
@@ -189,6 +194,7 @@ impl Database {
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
         self.check_not_quarantined(rel)?;
+        self.check_writable()?;
         rd.schema.validate(&record.values)?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
@@ -217,6 +223,7 @@ impl Database {
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
         self.check_not_quarantined(rel)?;
+        self.check_writable()?;
         rd.schema.validate(&new.values)?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
@@ -248,6 +255,7 @@ impl Database {
     ) -> Result<()> {
         let rd = self.catalog().get(rel)?;
         self.check_not_quarantined(rel)?;
+        self.check_writable()?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             ctx.lock_record(rel, key, LockMode::X)?;

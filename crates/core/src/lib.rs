@@ -44,6 +44,7 @@ pub mod deps;
 pub mod descriptor;
 pub mod dml;
 pub mod registry;
+pub mod scrub;
 pub mod services;
 pub mod stats;
 pub mod storage_method;
@@ -62,6 +63,9 @@ pub use database::{
 pub use deps::{DepKey, DependencyRegistry, PlanId};
 pub use descriptor::{AttachmentInstance, RelationDescriptor};
 pub use registry::ExtensionRegistry;
+pub use scrub::{
+    repair_relation, scrub_all, scrub_relation, RepairAction, RepairOutcome, ScrubReport,
+};
 pub use services::CommonServices;
 pub use stats::RelationStats;
-pub use storage_method::StorageMethod;
+pub use storage_method::{SalvagedRecords, StorageMethod};

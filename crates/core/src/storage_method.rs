@@ -11,13 +11,29 @@
 use std::sync::Arc;
 
 use dmx_expr::Expr;
-use dmx_types::{AttrList, FieldId, Record, RecordKey, RelationId, Result, Schema, Value};
+use dmx_types::{
+    AttrList, DmxError, FieldId, FileId, Record, RecordKey, RelationId, Result, Schema, Value,
+};
 
 use crate::access::{KeyRange, ScanOps};
 use crate::context::ExecCtx;
 use crate::cost::PathChoice;
 use crate::descriptor::RelationDescriptor;
 use crate::services::CommonServices;
+
+/// What a storage method's salvage scan recovered from a damaged
+/// instance: every readable record plus an accounting of the pages it
+/// could not read (the "lost" report the repair pipeline surfaces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedRecords {
+    /// Readable records in record-key order.
+    pub records: Vec<(RecordKey, Vec<Value>)>,
+    /// Pages skipped because they failed checksum verification even
+    /// after the buffer manager's retries.
+    pub pages_lost: u64,
+    /// Pages read and decoded successfully.
+    pub pages_read: u64,
+}
 
 /// A relation storage method: one implementation per *type*, registered
 /// in the storage-method procedure vector; per-instance state lives in
@@ -125,5 +141,28 @@ pub trait StorageMethod: Send + Sync {
     fn scan_ordering(&self, rd: &RelationDescriptor) -> Option<Vec<FieldId>> {
         let _ = rd;
         None
+    }
+
+    /// The disk files backing an instance, for the integrity scrubber's
+    /// checksum page walk. Default empty: the instance is not page-backed
+    /// (memory, foreign, system relations) and scrub has nothing to
+    /// verify below the scan interface.
+    fn storage_files(&self, sm_desc: &[u8]) -> Vec<FileId> {
+        let _ = sm_desc;
+        Vec::new()
+    }
+
+    /// Best-effort recovery scan over a damaged instance: reads every
+    /// page, skips the ones that fail verification, and returns whatever
+    /// records are still decodable. Unlike [`StorageMethod::open_scan`]
+    /// this must tolerate [`DmxError::Corrupt`] per page instead of
+    /// failing the whole scan. Default: unsupported — the repair pipeline
+    /// reports such relations as terminally damaged.
+    fn salvage(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor) -> Result<SalvagedRecords> {
+        let _ = (ctx, rd);
+        Err(DmxError::Unsupported(format!(
+            "storage method {} does not support salvage",
+            self.name()
+        )))
     }
 }

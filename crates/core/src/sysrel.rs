@@ -32,6 +32,8 @@ pub const TAG_PLAN_CACHE: u8 = 6;
 pub const TAG_TRACE: u8 = 7;
 /// `sm_desc` tag selecting the `sys.incidents` relation.
 pub const TAG_INCIDENTS: u8 = 8;
+/// `sm_desc` tag selecting the `sys.repairs` relation.
+pub const TAG_REPAIRS: u8 = 9;
 
 /// The full system-relation catalog: `(name, sm_desc tag, schema)` for
 /// every published `sys.*` relation, in publication order.
@@ -116,8 +118,25 @@ pub fn tables() -> Result<Vec<(&'static str, u8, Schema)>> {
             "sys.incidents",
             TAG_INCIDENTS,
             Schema::new(vec![
+                // Monotone incident number; survives ring eviction so
+                // consumers can detect gaps.
+                ColumnDef::not_null("incident", Int),
                 ColumnDef::not_null("item", Str),
                 ColumnDef::not_null("value", Str),
+            ])?,
+        ),
+        (
+            "sys.repairs",
+            TAG_REPAIRS,
+            Schema::new(vec![
+                ColumnDef::not_null("repair", Int),
+                ColumnDef::not_null("relation", Str),
+                ColumnDef::not_null("action", Str),
+                ColumnDef::not_null("outcome", Str),
+                ColumnDef::not_null("attempts", Int),
+                ColumnDef::not_null("recovered", Int),
+                ColumnDef::not_null("lost", Int),
+                ColumnDef::not_null("detail", Str),
             ])?,
         ),
     ])
@@ -131,7 +150,7 @@ mod tests {
     #[test]
     fn tables_are_well_formed_and_distinct() {
         let tables = tables().unwrap();
-        assert_eq!(tables.len(), 8);
+        assert_eq!(tables.len(), 9);
         let names: HashSet<&str> = tables.iter().map(|(n, _, _)| *n).collect();
         assert_eq!(names.len(), tables.len(), "names unique");
         let tags: HashSet<u8> = tables.iter().map(|(_, t, _)| *t).collect();

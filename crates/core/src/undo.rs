@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use dmx_types::{DmxError, Result};
+use dmx_types::sync::Mutex;
+use dmx_types::{DmxError, RelationId, Result};
 use dmx_wal::{ExtKind, LogBody, LogRecord, UndoHandler};
 
 use crate::catalog::Catalog;
@@ -52,6 +53,32 @@ pub struct UndoDispatch {
     pub registry: Arc<ExtensionRegistry>,
     pub catalog: Arc<Catalog>,
     pub services: Arc<CommonServices>,
+    /// Relations whose attachment undo hit persistent corruption. The
+    /// undo is treated as complete (a CLR is written) because attachment
+    /// state is derivable: the caller drains this list and quarantines
+    /// each relation so the repair pipeline rebuilds the attachment
+    /// instead of recovery failing outright.
+    damaged: Mutex<Vec<(RelationId, String)>>,
+}
+
+impl UndoDispatch {
+    pub fn new(
+        registry: Arc<ExtensionRegistry>,
+        catalog: Arc<Catalog>,
+        services: Arc<CommonServices>,
+    ) -> Self {
+        UndoDispatch {
+            registry,
+            catalog,
+            services,
+            damaged: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Drains the relations whose attachment undo found corrupt state.
+    pub fn take_damaged(&self) -> Vec<(RelationId, String)> {
+        std::mem::take(&mut *self.damaged.lock())
+    }
 }
 
 impl UndoHandler for UndoDispatch {
@@ -78,9 +105,24 @@ impl UndoHandler for UndoDispatch {
                     .undo(&self.services, &rd, rec.lsn, *op, payload)
             }
             ExtKind::Attachment(id) => {
-                self.registry
-                    .attachment(*id)?
-                    .undo(&self.services, &rd, rec.lsn, *op, payload)
+                let res =
+                    self.registry
+                        .attachment(*id)?
+                        .undo(&self.services, &rd, rec.lsn, *op, payload);
+                match res {
+                    // Attachment state too damaged for record-level undo
+                    // (e.g. a crash left the instance's pages unwritten)
+                    // needs a rebuild, not a failed restart: attachment
+                    // state is derivable from the base, so note the
+                    // relation for quarantine and report the record as
+                    // undone. Storage (base) undo gets no such tolerance
+                    // — base state is not derivable from anything.
+                    Err(DmxError::Corrupt(reason)) => {
+                        self.damaged.lock().push((*relation, reason));
+                        Ok(())
+                    }
+                    other => other,
+                }
             }
         }
     }

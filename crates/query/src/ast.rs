@@ -148,4 +148,15 @@ pub enum Stmt {
     /// `EXPLAIN [ANALYZE] <stmt>`; the flag selects the executing form
     /// that reports per-node actual row counts.
     Explain(Box<Stmt>, bool),
+    /// `CHECK TABLE t` — run the online integrity scrubber over one
+    /// relation; damage quarantines it proactively.
+    CheckTable {
+        name: String,
+    },
+    /// `REPAIR TABLE t` — drive the automatic repair pipeline: rebuild
+    /// damaged attachments from the base, or salvage a damaged base,
+    /// verify, and lift the quarantine.
+    RepairTable {
+        name: String,
+    },
 }

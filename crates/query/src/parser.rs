@@ -213,6 +213,18 @@ impl Parser {
             self.eat_kw("SAVEPOINT");
             return Ok(Stmt::Release(self.ident()?));
         }
+        if self.eat_kw("CHECK") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::CheckTable {
+                name: self.table_name()?,
+            });
+        }
+        if self.eat_kw("REPAIR") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::RepairTable {
+                name: self.table_name()?,
+            });
+        }
         if self.eat_kw("GRANT") {
             let privilege = self.ident()?;
             self.expect_kw("ON")?;

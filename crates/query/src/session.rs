@@ -175,6 +175,45 @@ impl Session {
                 self.db.release_savepoint(txn, name)?;
                 return Ok(QueryResult::empty());
             }
+            Stmt::RepairTable { name } => {
+                // The repair pipeline drives its own WAL-logged
+                // transactions (and retries), so it cannot run inside
+                // the session's open transaction.
+                if self.txn.lock().is_some() {
+                    return Err(DmxError::TxnState(
+                        "REPAIR TABLE manages its own transactions; commit or rollback first"
+                            .into(),
+                    ));
+                }
+                self.check(name, Privilege::Control)?;
+                let r = dmx_core::repair_relation(&self.db, name);
+                if let Err(e) = &r {
+                    self.note_enospc(e);
+                }
+                let outcome = r?;
+                return Ok(QueryResult {
+                    columns: vec![
+                        "relation".into(),
+                        "action".into(),
+                        "outcome".into(),
+                        "attempts".into(),
+                        "recovered".into(),
+                        "lost".into(),
+                    ],
+                    rows: vec![vec![
+                        Value::Str(outcome.name.clone()),
+                        Value::from(outcome.action.as_str()),
+                        Value::from(if outcome.healthy {
+                            "healthy"
+                        } else {
+                            "terminal"
+                        }),
+                        Value::Int(outcome.attempts as i64),
+                        Value::Int(outcome.records_recovered as i64),
+                        Value::Int(outcome.records_lost as i64),
+                    ]],
+                });
+            }
             _ => {}
         }
         // other statements run in the open transaction or autocommit
@@ -183,6 +222,7 @@ impl Session {
             Some(txn) => {
                 let r = self.run(&txn, sql, &stmt);
                 if let Err(e) = &r {
+                    self.note_enospc(e);
                     if e.is_txn_fatal() {
                         // the transaction is dead; clean up the session
                         let _ = self.db.abort(&txn);
@@ -199,11 +239,22 @@ impl Session {
                         Ok(r)
                     }
                     Err(e) => {
+                        self.note_enospc(&e);
                         let _ = self.db.abort(&txn);
                         Err(e)
                     }
                 }
             }
+        }
+    }
+
+    /// Running out of space degrades the engine to sticky read-only:
+    /// the statement aborts cleanly, and further writes are refused
+    /// until an operator frees space and clears the mode. DML paths
+    /// note this inside the engine; this catches DDL and repair too.
+    fn note_enospc(&self, e: &DmxError) {
+        if let DmxError::OutOfSpace(m) = e {
+            self.db.enter_read_only(m);
         }
     }
 
@@ -452,12 +503,35 @@ impl Session {
                 self.db.auth().revoke(&self.user, user, rd.id, p)?;
                 Ok(QueryResult::empty())
             }
+            Stmt::CheckTable { name } => {
+                self.check(name, Privilege::Control)?;
+                let report = dmx_core::scrub_relation(&self.db, txn, name)?;
+                Ok(QueryResult {
+                    columns: vec![
+                        "relation".into(),
+                        "pages_checked".into(),
+                        "status".into(),
+                        "damage".into(),
+                    ],
+                    rows: vec![vec![
+                        Value::Str(report.name.clone()),
+                        Value::Int(report.pages_checked as i64),
+                        Value::from(if report.healthy() {
+                            "healthy"
+                        } else {
+                            "quarantined"
+                        }),
+                        Value::Str(report.damage.join("; ")),
+                    ]],
+                })
+            }
             Stmt::Begin
             | Stmt::Commit
             | Stmt::Rollback
             | Stmt::Savepoint(_)
             | Stmt::RollbackTo(_)
-            | Stmt::Release(_) => unreachable!("handled above"),
+            | Stmt::Release(_)
+            | Stmt::RepairTable { .. } => unreachable!("handled above"),
         }
     }
 

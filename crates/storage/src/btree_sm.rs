@@ -157,6 +157,12 @@ impl StorageMethod for BTreeStorage {
         services.disk.delete_file(d.file)
     }
 
+    fn storage_files(&self, sm_desc: &[u8]) -> Vec<dmx_types::FileId> {
+        BtDesc::decode(sm_desc)
+            .map(|d| vec![d.file])
+            .unwrap_or_default()
+    }
+
     fn insert(
         &self,
         ctx: &ExecCtx<'_>,

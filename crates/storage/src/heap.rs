@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use dmx_core::{
-    AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
-    ScanOps, StorageMethod,
+    AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, SalvagedRecords,
+    ScanItem, ScanOps, StorageMethod,
 };
 use dmx_expr::{analyze, Expr};
 use dmx_page::{BufferPool, SlottedPage};
@@ -332,6 +332,48 @@ impl StorageMethod for HeapStorage {
         payload: &[u8],
     ) -> Result<()> {
         undo_page_op(services, Self::file(rd)?, lsn, op, payload)
+    }
+
+    fn storage_files(&self, sm_desc: &[u8]) -> Vec<FileId> {
+        decode_file_desc(sm_desc)
+            .map(|f| vec![f])
+            .unwrap_or_default()
+    }
+
+    fn salvage(&self, ctx: &ExecCtx<'_>, rd: &RelationDescriptor) -> Result<SalvagedRecords> {
+        let file = Self::file(rd)?;
+        let pool = &ctx.services().pool;
+        let page_count = pool.disk().page_count(file)?;
+        let mut out = SalvagedRecords {
+            records: Vec::new(),
+            pages_lost: 0,
+            pages_read: 0,
+        };
+        for page_no in 0..page_count {
+            let pin = match pool.fetch(PageId::new(file, page_no)) {
+                Ok(p) => p,
+                Err(DmxError::Corrupt(_)) => {
+                    // This page is the damage; its records are the losses.
+                    out.pages_lost += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            out.pages_read += 1;
+            let page = pin.read();
+            for slot in 0..SlottedPage::slot_count(&page) {
+                let Some(bytes) = SlottedPage::get(&page, slot) else {
+                    continue; // tombstone
+                };
+                // A record that fails to decode on an intact page is
+                // damage below the checksum; skip it, keep going.
+                match Record::decode(bytes) {
+                    Ok(rec) => out.records.push((rid(page_no, slot), rec.values)),
+                    Err(_) => continue,
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

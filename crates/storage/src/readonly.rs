@@ -76,6 +76,12 @@ impl StorageMethod for ReadOnlyStorage {
         services.disk.delete_file(file)
     }
 
+    fn storage_files(&self, sm_desc: &[u8]) -> Vec<dmx_types::FileId> {
+        decode_file_desc(sm_desc)
+            .map(|f| vec![f])
+            .unwrap_or_default()
+    }
+
     fn insert(
         &self,
         ctx: &ExecCtx<'_>,

@@ -235,11 +235,20 @@ fn materialize(db: &Arc<Database>, tag: u8) -> Result<Vec<Vec<Value>>> {
             }
         }
         sysrel::TAG_INCIDENTS => {
-            if let Some(report) = db.last_incident() {
-                rows.push(vec![s("relation"), s(format!("{}", report.relation.0))]);
-                rows.push(vec![s("reason"), s(report.reason.clone())]);
+            // Bounded ring of the most recent reports; the incident
+            // number is monotone across evictions, so consumers can see
+            // gaps where `incidents.evicted` truncated history.
+            for (number, report) in db.incidents() {
+                let n = Value::Int(number as i64);
+                rows.push(vec![
+                    n.clone(),
+                    s("relation"),
+                    s(format!("{}", report.relation.0)),
+                ]);
+                rows.push(vec![n.clone(), s("reason"), s(report.reason.clone())]);
                 for (i, e) in report.events.iter().enumerate() {
                     rows.push(vec![
+                        n.clone(),
                         s(format!("event.{i:04}")),
                         s(format!(
                             "{} {} target={} detail={}",
@@ -247,7 +256,21 @@ fn materialize(db: &Arc<Database>, tag: u8) -> Result<Vec<Vec<Value>>> {
                         )),
                     ]);
                 }
-                rows.push(vec![s("metrics"), s(report.metrics.to_json())]);
+                rows.push(vec![n, s("metrics"), s(report.metrics.to_json())]);
+            }
+        }
+        sysrel::TAG_REPAIRS => {
+            for (i, r) in db.repairs().iter().enumerate() {
+                rows.push(vec![
+                    Value::Int(i as i64),
+                    s(r.name.clone()),
+                    s(r.action.as_str()),
+                    s(if r.healthy { "healthy" } else { "terminal" }),
+                    Value::Int(r.attempts as i64),
+                    Value::Int(r.records_recovered as i64),
+                    Value::Int(r.records_lost as i64),
+                    s(r.detail.clone()),
+                ]);
             }
         }
         other => {

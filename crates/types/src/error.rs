@@ -67,6 +67,23 @@ pub enum DmxError {
         /// Why it was quarantined (e.g. the page that failed its CRC).
         reason: String,
     },
+    /// The storage medium is full (ENOSPC on page allocation or log
+    /// append). The statement aborts cleanly and the engine enters a
+    /// sticky read-only degraded mode; reads keep working.
+    OutOfSpace(String),
+    /// The engine is in read-only degraded mode (entered after an
+    /// out-of-space failure); modifications are rejected until the
+    /// condition is cleared, reads proceed normally.
+    ReadOnly(String),
+    /// The repair pipeline exhausted its retry budget or classified the
+    /// damage as unrecoverable: the relation stays quarantined in a
+    /// terminal state and needs operator intervention.
+    RepairImpossible {
+        /// The permanently damaged relation.
+        relation: crate::ids::RelationId,
+        /// Why repair cannot proceed.
+        reason: String,
+    },
     /// A caller-supplied argument was invalid (bad attribute list, schema
     /// mismatch, unknown field, …).
     InvalidArg(String),
@@ -138,6 +155,11 @@ impl fmt::Display for DmxError {
             DmxError::RelationQuarantined { relation, reason } => {
                 write!(f, "relation {relation} quarantined: {reason}")
             }
+            DmxError::OutOfSpace(m) => write!(f, "out of space: {m}"),
+            DmxError::ReadOnly(m) => write!(f, "engine is read-only (degraded): {m}"),
+            DmxError::RepairImpossible { relation, reason } => {
+                write!(f, "relation {relation} permanently damaged: {reason}")
+            }
             DmxError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
             DmxError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             DmxError::Parse(m) => write!(f, "parse error: {m}"),
@@ -199,6 +221,12 @@ mod tests {
             DmxError::RelationQuarantined {
                 relation: crate::ids::RelationId(1),
                 reason: "q".into(),
+            },
+            DmxError::OutOfSpace("full".into()),
+            DmxError::ReadOnly("degraded".into()),
+            DmxError::RepairImpossible {
+                relation: crate::ids::RelationId(2),
+                reason: "terminal".into(),
             },
             DmxError::InvalidArg("a".into()),
             DmxError::Unsupported("u".into()),

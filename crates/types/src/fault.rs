@@ -37,6 +37,11 @@ pub enum FaultKind {
     /// Hard crash at this operation: it and every later operation fail
     /// with [`DmxError::Io`] until the injector is cleared.
     Crash,
+    /// Fail the operation with [`DmxError::OutOfSpace`]; nothing is
+    /// persisted. Models ENOSPC on page allocation or log append: the
+    /// medium is healthy but full, so the statement must abort cleanly
+    /// and the engine degrade to read-only rather than wedge.
+    OutOfSpace,
 }
 
 /// The decision an injector hands back to an I/O wrapper for one
@@ -58,6 +63,10 @@ pub enum FaultDecision {
     /// Fail with [`DmxError::Io`]; the injector is now in the crashed
     /// state and every later decision is `Crash` too.
     Crash,
+    /// Fail with [`DmxError::OutOfSpace`], persist nothing. Not sticky at
+    /// the injector level: stickiness (read-only degraded mode) is an
+    /// engine-level policy decision.
+    OutOfSpace,
 }
 
 impl FaultDecision {
@@ -119,6 +128,11 @@ impl FaultPlan {
     /// Schedules a hard crash at I/O `k`.
     pub fn crash_at(self, k: u64) -> Self {
         self.at(k, FaultKind::Crash)
+    }
+
+    /// Schedules an out-of-space failure at I/O `k`.
+    pub fn enospc_at(self, k: u64) -> Self {
+        self.at(k, FaultKind::OutOfSpace)
     }
 
     /// Number of scheduled faults.
@@ -197,6 +211,7 @@ impl FaultInjector {
             FaultKind::FlipByte => FaultDecision::FlipByte {
                 raw: st.rng.next_u64(),
             },
+            FaultKind::OutOfSpace => FaultDecision::OutOfSpace,
         }
     }
 
@@ -240,6 +255,9 @@ impl FaultInjector {
             }
             FaultDecision::Torn { .. } | FaultDecision::Crash => {
                 Some(DmxError::Io(format!("simulated crash during {what}")))
+            }
+            FaultDecision::OutOfSpace => {
+                Some(DmxError::OutOfSpace(format!("no space left during {what}")))
             }
         }
     }
@@ -327,6 +345,18 @@ mod tests {
 
         let inj = FaultInjector::new(FaultPlan::new(2).torn_at(0));
         assert_eq!(inj.decide(false), FaultDecision::Crash);
+    }
+
+    #[test]
+    fn out_of_space_fails_once_without_crashing() {
+        let inj = FaultInjector::new(FaultPlan::new(4).enospc_at(1));
+        assert_eq!(inj.decide(true), FaultDecision::Proceed);
+        assert_eq!(inj.decide(true), FaultDecision::OutOfSpace);
+        assert!(!inj.is_crashed(), "ENOSPC is not a crash");
+        assert_eq!(inj.decide(true), FaultDecision::Proceed);
+        let e = FaultInjector::error_for(FaultDecision::OutOfSpace, "allocate_page").unwrap();
+        assert!(matches!(e, DmxError::OutOfSpace(_)));
+        assert!(!e.is_transient_io(), "ENOSPC must not be auto-retried");
     }
 
     #[test]

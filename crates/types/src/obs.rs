@@ -566,6 +566,28 @@ pub mod name {
 
     /// Relations quarantined after unrecoverable corruption.
     pub const QUARANTINE_EVENTS: &str = "quarantine.events";
+    /// Quarantines lifted (manually or by the repair pipeline).
+    pub const QUARANTINE_CLEARED: &str = "quarantine.cleared";
+    /// Incident reports evicted from the bounded incident ring.
+    pub const INCIDENTS_EVICTED: &str = "incidents.evicted";
+
+    /// Scrub passes completed (one per `scrub_relation` call).
+    pub const SCRUB_RUNS: &str = "scrub.runs";
+    /// Pages checksum-verified by the scrubber.
+    pub const SCRUB_PAGES: &str = "scrub.pages";
+    /// Corruption findings (bad page or base↔attachment disagreement).
+    pub const SCRUB_CORRUPT: &str = "scrub.corrupt";
+
+    /// Repair attempts started (including retries).
+    pub const REPAIR_ATTEMPTS: &str = "repair.attempts";
+    /// Attachments rebuilt from their base relation.
+    pub const REPAIR_REBUILDS: &str = "repair.rebuilds";
+    /// Base relations salvaged (readable records recovered).
+    pub const REPAIR_SALVAGES: &str = "repair.salvages";
+    /// Records lost to salvage (unreadable at repair time).
+    pub const REPAIR_RECORDS_LOST: &str = "repair.records_lost";
+    /// Repairs that ended in the terminal (permanently damaged) state.
+    pub const REPAIR_FAILURES: &str = "repair.failures";
 
     /// SQL statements executed through a session.
     pub const SQL_STATEMENTS: &str = "sql.statements";

@@ -2,13 +2,22 @@
 # One-command gate for the workspace: formatting, the static-analysis
 # verify pass, an offline release build, and the test suite. CI and
 # pre-push hooks should run exactly this.
+#
+# `check.sh --thorough` additionally runs the crash-point sweeps at
+# stride 1 (every single I/O index, including the points inside the
+# scrubber and the repair pipeline) — the nightly lane.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+STRIDE=16
+if [ "${1:-}" = "--thorough" ]; then
+  STRIDE=1
+fi
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> cargo xtask verify --json (vs committed VERIFY_pr6.json)"
+echo "==> cargo xtask verify --json (vs committed VERIFY_pr7.json)"
 cargo run -q -p xtask -- verify --json > /tmp/verify_now.json
 cargo run -q -p xtask -- verify   # human-readable pass/fail (exit code gates)
 
@@ -16,12 +25,12 @@ cargo run -q -p xtask -- verify   # human-readable pass/fail (exit code gates)
 # may only shrink relative to the committed snapshot. A new waiver id
 # means a new write-ahead / latch exception was added without burning
 # down the baseline — that is a review event, not a routine change.
-if [ -f VERIFY_pr6.json ]; then
+if [ -f VERIFY_pr7.json ]; then
   new_waivers=$(comm -13 \
-    <(grep -oE '"id": "DMX[0-9]+ [^"]+"' VERIFY_pr6.json | sort -u) \
+    <(grep -oE '"id": "DMX[0-9]+ [^"]+"' VERIFY_pr7.json | sort -u) \
     <(grep -oE '"id": "DMX[0-9]+ [^"]+"' /tmp/verify_now.json | sort -u))
   if [ -n "$new_waivers" ]; then
-    echo "effect waivers not present in committed VERIFY_pr6.json:"
+    echo "effect waivers not present in committed VERIFY_pr7.json:"
     echo "$new_waivers"
     exit 1
   fi
@@ -36,10 +45,14 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
-# Bounded crash-point sweep: every 16th I/O index instead of all of them
-# (the full sweep runs in the nightly/thorough lane with stride 1).
-echo "==> fault sweep smoke (FAULT_SWEEP_STRIDE=16)"
-FAULT_SWEEP_STRIDE=16 cargo test -q --test fault_sweep
+# Bounded crash-point sweep: every 16th I/O index by default; stride 1
+# (every index) under --thorough. The self-heal sweep re-runs the same
+# crash grid with the crash points landing inside CHECK TABLE / REPAIR
+# TABLE, asserting the repair pipeline converges from any interruption.
+echo "==> fault sweep (FAULT_SWEEP_STRIDE=$STRIDE)"
+FAULT_SWEEP_STRIDE=$STRIDE cargo test -q --test fault_sweep
+echo "==> self-heal crash sweep (FAULT_SWEEP_STRIDE=$STRIDE)"
+FAULT_SWEEP_STRIDE=$STRIDE cargo test -q --test self_heal crash_sweep
 
 # Storage-method differential oracle: heap vs btree vs in-memory model
 # over seeded statement streams.
@@ -52,18 +65,21 @@ echo "==> bench smoke (determinism gate)"
 cargo run -q --release -p dmx-bench --bin harness -- --smoke
 
 # Metric-name compatibility: every metric exported by the pr3 baseline
-# must still exist somewhere in the pr5 baseline (renaming or dropping
-# a published metric is a breaking observability change).
-if [ -f BENCH_pr3.json ] && [ -f BENCH_pr5.json ]; then
-  echo "==> bench metric-name compatibility (pr3 -> pr5)"
-  missing=$(comm -23 \
-    <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' BENCH_pr3.json | sort -u) \
-    <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' BENCH_pr5.json | sort -u))
-  if [ -n "$missing" ]; then
-    echo "previously-exported metrics missing from BENCH_pr5.json:"
-    echo "$missing"
-    exit 1
+# must still exist in each later baseline (renaming or dropping a
+# published metric is a breaking observability change). pr5-only names
+# such as planner.misestimate stay published through BENCH_pr5.json.
+for later in BENCH_pr5.json BENCH_pr7.json; do
+  if [ -f BENCH_pr3.json ] && [ -f "$later" ]; then
+    echo "==> bench metric-name compatibility (pr3 -> ${later})"
+    missing=$(comm -23 \
+      <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' BENCH_pr3.json | sort -u) \
+      <(grep -oE '"[a-z_]+(\.[a-z_]+)+"' "$later" | sort -u))
+    if [ -n "$missing" ]; then
+      echo "previously-exported metrics missing from ${later}:"
+      echo "$missing"
+      exit 1
+    fi
   fi
-fi
+done
 
 echo "check.sh: all gates passed"

@@ -182,6 +182,97 @@ fn explain_analyze_actuals_agree_with_the_oracle() {
     }
 }
 
+/// Damages the heap table's index, drives the repair pipeline, and
+/// returns the post-repair contents plus the rendered `sys.repairs`
+/// rows. Everything downstream of the seed must be reproducible.
+fn run_repair_stream(seed: u64) -> (Vec<(i64, String, i64)>, String) {
+    let (env, injector) = DatabaseEnv::fresh_with_plan(FaultPlan::new(seed));
+    let db = starburst_dmx::open_env(env.clone(), DatabaseConfig::default()).unwrap();
+    db.execute_sql("CREATE TABLE th (id INT NOT NULL, name STRING NOT NULL, dept INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE UNIQUE INDEX th_pk ON th (id)")
+        .unwrap();
+    let mut model = Model::new();
+    let mut rng = TestRng::new(seed);
+    let mut next_id = 0i64;
+    for _ in 0..2 {
+        for _ in 0..OPS_PER_BATCH {
+            let roll = rng.below(100);
+            if roll < 60 || model.is_empty() {
+                let id = next_id;
+                next_id += 1;
+                let dept = rng.range_i64(0, 10);
+                db.execute_sql(&format!("INSERT INTO th VALUES ({id}, 'r{id}', {dept})"))
+                    .unwrap();
+                model.insert(id, (format!("r{id}"), dept));
+            } else {
+                let keys: Vec<i64> = model.keys().copied().collect();
+                let id = keys[rng.index(keys.len())];
+                db.execute_sql(&format!("DELETE FROM th WHERE id = {id}"))
+                    .unwrap();
+                model.remove(&id);
+            }
+        }
+    }
+    drop(db);
+
+    // Silent rot in the index file (1 catalog, 2 heap, 3 index).
+    let pid = starburst_dmx::types::PageId::new(starburst_dmx::types::FileId(3), 0);
+    let mut page = starburst_dmx::page::Page::new();
+    env.disk.read_page(pid, &mut page).unwrap();
+    page.raw_mut()[100] ^= 0x40;
+    env.disk.write_page(pid, &page).unwrap();
+    injector.clear();
+
+    let db = starburst_dmx::open_env(env, DatabaseConfig::default()).unwrap();
+    let check = db.execute_sql("CHECK TABLE th").unwrap();
+    assert_eq!(check.rows[0][2], Value::from("quarantined"));
+    let repair = db.execute_sql("REPAIR TABLE th").unwrap();
+    assert_eq!(repair.rows[0][2], Value::from("healthy"));
+    let repairs = format!("{:?}", db.query_sql("SELECT * FROM sys.repairs").unwrap());
+    (read_sorted(&db, "th"), repairs)
+}
+
+#[test]
+fn same_seed_reproduces_repair_outcome_and_contents() {
+    let (rows_a, repairs_a) = run_repair_stream(SEED);
+    let (rows_b, repairs_b) = run_repair_stream(SEED);
+    assert!(!rows_a.is_empty(), "the stream must leave live rows");
+    assert_eq!(
+        rows_a, rows_b,
+        "post-repair contents must be a pure function of the seed"
+    );
+    assert_eq!(
+        repairs_a, repairs_b,
+        "sys.repairs rows must be byte-identical run to run"
+    );
+}
+
+#[test]
+fn repaired_table_agrees_with_the_model() {
+    // Rebuild the model alongside a third run: repair must restore
+    // exactly the committed state, record for record.
+    let (rows, _) = run_repair_stream(SEED);
+    let mut model = Model::new();
+    let mut rng = TestRng::new(SEED);
+    let mut next_id = 0i64;
+    for _ in 0..2 {
+        for _ in 0..OPS_PER_BATCH {
+            let roll = rng.below(100);
+            if roll < 60 || model.is_empty() {
+                let id = next_id;
+                next_id += 1;
+                let dept = rng.range_i64(0, 10);
+                model.insert(id, (format!("r{id}"), dept));
+            } else {
+                let keys: Vec<i64> = model.keys().copied().collect();
+                model.remove(&keys[rng.index(keys.len())]);
+            }
+        }
+    }
+    assert_eq!(rows, model_rows(&model), "repair drifted from the model");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // A sanity check that the stream actually depends on the seed (i.e.

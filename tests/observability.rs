@@ -314,9 +314,9 @@ fn flight_recorder_captures_quarantine_incident() {
         assert_eq!(report.relation, victim_rel);
         assert!(!report.reason.is_empty());
 
-        // …and it is queryable as a relation.
+        // …and it is queryable as a relation (numbered ring rows).
         let rows = db.execute_sql("SELECT * FROM sys.incidents").unwrap();
-        assert_eq!(rows.columns, vec!["item", "value"]);
+        assert_eq!(rows.columns, vec!["incident", "item", "value"]);
         let text = render(&rows.rows);
         assert!(text.contains("relation"), "{text}");
         assert!(text.contains("reason"), "{text}");
