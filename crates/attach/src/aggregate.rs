@@ -5,10 +5,12 @@
 //! Each instance maintains `COUNT(*)` and `SUM(<field>)` per group (or a
 //! single global group) in a B-tree keyed by the encoded group value.
 //! Maintenance is incremental: every relation modification applies a
-//! delta and logs the group's *before-image* ([`A_DELTA`]); undo restores
-//! before-images in reverse log order, which is correct even when some of
-//! a loser's deltas never reached disk (numeric deltas are not
-//! presence-checkable the way index entries are).
+//! delta and logs the group's *before- and after-images* ([`A_DELTA`]);
+//! undo restores before-images in reverse log order and redo installs
+//! after-images in forward log order. Full images rather than deltas make
+//! both directions idempotent, which matters because numeric deltas are
+//! not presence-checkable the way index entries are: replaying a delta
+//! twice would double-count, installing an image twice cannot.
 
 use std::sync::Arc;
 
@@ -101,12 +103,36 @@ fn encode_before(cell: Option<(i64, f64)>) -> Vec<u8> {
     }
 }
 
-fn decode_before(b: &[u8]) -> Result<Option<(i64, f64)>> {
+/// A group cell's logged image: `None` = the group was absent,
+/// `Some((count, sum))` otherwise.
+type CellImage = Option<(i64, f64)>;
+
+fn decode_before(b: &[u8]) -> Result<CellImage> {
     match b.split_first() {
         Some((0, _)) => Ok(None),
         Some((1, rest)) => Ok(Some(decode_cell(rest)?)),
         _ => Err(DmxError::Corrupt("bad aggregate before-image".into())),
     }
+}
+
+/// Logged images of a group's cell: before-image then after-image, each
+/// self-delimiting ([`encode_before`]).
+fn encode_images(before: Option<(i64, f64)>, after: Option<(i64, f64)>) -> Vec<u8> {
+    let mut v = encode_before(before);
+    v.extend_from_slice(&encode_before(after));
+    v
+}
+
+fn decode_images(b: &[u8]) -> Result<(CellImage, CellImage)> {
+    let first_len = match b.first() {
+        Some(0) => 1,
+        Some(1) => 17,
+        _ => return Err(DmxError::Corrupt("bad aggregate image pair".into())),
+    };
+    let rest = b
+        .get(first_len..)
+        .ok_or_else(|| DmxError::Corrupt("short aggregate image pair".into()))?;
+    Ok((decode_before(b)?, decode_before(rest)?))
 }
 
 impl Aggregate {
@@ -152,41 +178,20 @@ impl Aggregate {
         })
     }
 
-    /// Applies a delta to one group whose before-image was already read
-    /// and logged; every dirtied page is stamped with `lsn` so the cell
-    /// cannot reach disk before its log record (write-ahead).
-    fn apply_delta(
+    /// Installs a group's cell image (undo restores before-images, redo
+    /// installs after-images; forward execution installs the after-image
+    /// it just computed). Every dirtied page is stamped with `lsn` so the
+    /// cell cannot reach disk before its log record (write-ahead).
+    fn install_image(
         services: &Arc<CommonServices>,
         desc: &[u8],
         group: &[u8],
-        before: Option<(i64, f64)>,
-        dcount: i64,
-        dsum: f64,
+        image: Option<(i64, f64)>,
         lsn: Lsn,
     ) -> Result<()> {
         let d = AggDesc::decode(desc)?;
         let tree = Self::tree(services, &d).with_wal_lsn(lsn);
-        let (count, sum) = before.unwrap_or((0, 0.0));
-        let (nc, ns) = (count + dcount, sum + dsum);
-        if nc <= 0 {
-            tree.delete(group)?;
-        } else {
-            tree.insert(group, &encode_cell(nc, ns), OnDuplicate::Replace)?;
-        }
-        Ok(())
-    }
-
-    /// Restores a group to a before-image (undo; correct in reverse log
-    /// order regardless of which operations actually reached disk).
-    fn restore_before(
-        services: &Arc<CommonServices>,
-        desc: &[u8],
-        group: &[u8],
-        before: Option<(i64, f64)>,
-    ) -> Result<()> {
-        let d = AggDesc::decode(desc)?;
-        let tree = Self::tree(services, &d);
-        match before {
+        match image {
             None => {
                 tree.delete(group)?;
             }
@@ -209,6 +214,9 @@ impl Aggregate {
         let group = Self::group_key(&d, record)?;
         let dsum = Self::sum_value(&d, record)? * sign as f64;
         let before = Self::read_before(ctx.services(), &inst.desc, &group)?;
+        let (count, sum) = before.unwrap_or((0, 0.0));
+        let (nc, ns) = (count + sign, sum + dsum);
+        let after = if nc <= 0 { None } else { Some((nc, ns)) };
         let att = rd
             .attached_types()
             .find(|(_, insts)| {
@@ -223,9 +231,9 @@ impl Aggregate {
             rd,
             att,
             A_DELTA,
-            encode_att_payload(&inst.desc, &group, &encode_before(before)),
+            encode_att_payload(&inst.desc, &group, &encode_images(before, after)),
         );
-        Self::apply_delta(ctx.services(), &inst.desc, &group, before, sign, dsum, lsn)
+        Self::install_image(ctx.services(), &inst.desc, &group, after, lsn)
     }
 }
 
@@ -323,15 +331,36 @@ impl Attachment for Aggregate {
         &self,
         services: &Arc<CommonServices>,
         _rd: &RelationDescriptor,
-        _lsn: Lsn,
+        lsn: Lsn,
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
         if op != A_DELTA {
             return Err(DmxError::Corrupt(format!("bad aggregate op {op}")));
         }
-        let (desc, group, before) = decode_att_payload(payload)?;
-        Self::restore_before(services, desc, group, decode_before(before)?)
+        let (desc, group, images) = decode_att_payload(payload)?;
+        let (before, _) = decode_images(images)?;
+        // Restoring full before-images in reverse log order is correct
+        // regardless of which deltas actually reached disk.
+        Self::install_image(services, desc, group, before, lsn)
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        if op != A_DELTA {
+            return Err(DmxError::Corrupt(format!("bad aggregate op {op}")));
+        }
+        let (desc, group, images) = decode_att_payload(payload)?;
+        let (_, after) = decode_images(images)?;
+        // Installing full after-images in forward log order converges on
+        // the committed cell values no matter how much reached disk.
+        Self::install_image(services, desc, group, after, lsn)
     }
 
     fn supports_access(&self) -> bool {

@@ -252,19 +252,44 @@ impl Attachment for BTreeIndex {
         &self,
         services: &Arc<CommonServices>,
         _rd: &RelationDescriptor,
-        _lsn: Lsn,
+        lsn: Lsn,
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
         let (desc, key, extra) = decode_att_payload(payload)?;
         let d = IxDesc::decode(desc)?;
-        let tree = Self::tree(services, &d);
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
         match op {
             A_INSERT => {
                 tree.delete(key)?;
             }
             A_DELETE => {
                 tree.insert(key, extra, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad index op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, key, extra) = decode_att_payload(payload)?;
+        let d = IxDesc::decode(desc)?;
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
+        // Forward mirror of undo: replace/absent-tolerant, so replaying
+        // an entry already present in the checkpoint image is a no-op.
+        match op {
+            A_INSERT => {
+                tree.insert(key, extra, OnDuplicate::Replace)?;
+            }
+            A_DELETE => {
+                tree.delete(key)?;
             }
             other => return Err(DmxError::Corrupt(format!("bad index op {other}"))),
         }

@@ -420,7 +420,7 @@ impl Attachment for JoinIndex {
         &self,
         services: &Arc<CommonServices>,
         _rd: &RelationDescriptor,
-        _lsn: Lsn,
+        lsn: Lsn,
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
@@ -429,13 +429,40 @@ impl Attachment for JoinIndex {
         let (&which, value) = extra
             .split_first()
             .ok_or_else(|| DmxError::Corrupt("short join-index undo".into()))?;
-        let tree = Self::tree(services, &d, which);
+        let tree = Self::tree(services, &d, which).with_wal_lsn(lsn);
         match op {
             A_INSERT => {
                 tree.delete(key)?;
             }
             A_DELETE => {
                 tree.insert(key, value, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad join-index op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, key, extra) = decode_att_payload(payload)?;
+        let d = JiDesc::decode(desc)?;
+        let (&which, value) = extra
+            .split_first()
+            .ok_or_else(|| DmxError::Corrupt("short join-index redo".into()))?;
+        let tree = Self::tree(services, &d, which).with_wal_lsn(lsn);
+        // Forward mirror of undo; idempotent by construction.
+        match op {
+            A_INSERT => {
+                tree.insert(key, value, OnDuplicate::Replace)?;
+            }
+            A_DELETE => {
+                tree.delete(key)?;
             }
             other => return Err(DmxError::Corrupt(format!("bad join-index op {other}"))),
         }

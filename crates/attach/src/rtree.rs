@@ -736,7 +736,7 @@ impl Attachment for RTreeIndex {
         &self,
         services: &Arc<CommonServices>,
         _rd: &RelationDescriptor,
-        _lsn: Lsn,
+        lsn: Lsn,
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
@@ -744,7 +744,7 @@ impl Attachment for RTreeIndex {
         let d = RtDesc::decode(desc)?;
         let rect = entry_rect(entry)?;
         let rkey = entry_payload(entry);
-        let tree = Self::tree(services, &d);
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
         match op {
             A_INSERT => {
                 tree.delete(&rect, rkey)?;
@@ -755,6 +755,35 @@ impl Attachment for RTreeIndex {
                 if !tree.contains(&rect, rkey)? {
                     tree.insert(&rect, rkey)?;
                 }
+            }
+            other => return Err(DmxError::Corrupt(format!("bad rtree op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        _rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let (desc, entry, _) = decode_att_payload(payload)?;
+        let d = RtDesc::decode(desc)?;
+        let rect = entry_rect(entry)?;
+        let rkey = entry_payload(entry);
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
+        // Forward mirror of undo: presence-checked, so replaying against
+        // the checkpoint image is idempotent.
+        match op {
+            A_INSERT => {
+                if !tree.contains(&rect, rkey)? {
+                    tree.insert(&rect, rkey)?;
+                }
+            }
+            A_DELETE => {
+                tree.delete(&rect, rkey)?;
             }
             other => return Err(DmxError::Corrupt(format!("bad rtree op {other}"))),
         }

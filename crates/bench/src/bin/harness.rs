@@ -62,6 +62,9 @@ fn main() {
     if want("pr7") {
         pr7_baseline();
     }
+    if want("pr8") {
+        pr8_baseline();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -230,6 +233,63 @@ fn pr7_baseline() {
     println!("\nwrote {path}");
 }
 
+/// Full-scale run of the PR8 recovery-architecture scenarios; writes
+/// the `BENCH_pr8.json` baseline next to the workspace root. The
+/// bulk-insert and DML scenarios are the pr3 workloads rerun under
+/// steal/no-force commit, so `scripts/check.sh` can ratchet
+/// `bulk_insert_btree` against the `BENCH_pr3.json` figure.
+fn pr8_baseline() {
+    banner(
+        "PR8",
+        "no-force commit and group commit: pr3 workloads rerun + concurrent committers",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr8::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "metrics".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let names = o.metrics.counters.len() + o.metrics.gauges.len() + o.metrics.histograms.len();
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    names.to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr8::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr8.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr8.json"))
+            .unwrap_or_else(|_| "BENCH_pr8.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr8.json");
+    println!("\nwrote {path}");
+}
+
 /// `--smoke`: small scale, every scenario run twice; asserts the two
 /// snapshots are identical (determinism) and that each covers the
 /// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
@@ -250,6 +310,24 @@ fn pr3_smoke() {
     }
     for s in pr5::scenarios().into_iter().chain(pr7::scenarios()) {
         let a = (s.run)(&scale, seed);
+        let b = (s.run)(&scale, seed);
+        assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: same seed produced different snapshots",
+            s.name
+        );
+        println!("smoke {:<26} ok  ops={}", s.name, a.ops);
+    }
+    for s in pr8::scenarios() {
+        let a = (s.run)(&scale, seed);
+        // `concurrent_committers` races real threads, so its force/batch
+        // split is not seed-determined; its invariants (all commits land,
+        // forces < commits) are asserted inside the scenario itself.
+        if !pr8::is_deterministic(s.name) {
+            println!("smoke {:<26} ok  ops={} (invariants only)", s.name, a.ops);
+            continue;
+        }
         let b = (s.run)(&scale, seed);
         assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
         assert_eq!(

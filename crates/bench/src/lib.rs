@@ -13,6 +13,7 @@
 pub mod pr3;
 pub mod pr5;
 pub mod pr7;
+pub mod pr8;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -299,6 +299,7 @@ impl BTree {
                     Ok(idx) => {
                         let old = Node::value(&page, idx).to_vec();
                         Node::remove_at(&mut page, idx);
+                        self.stamp(&mut page);
                         Some(old)
                     }
                     Err(_) => None,

@@ -98,6 +98,25 @@ pub trait Attachment: Send + Sync {
         payload: &[u8],
     ) -> Result<()>;
 
+    /// Re-applies a logged operation during restart's redo pass (the
+    /// forward mirror of [`Attachment::undo`]). Under no-force a
+    /// committed side effect may never have reached disk, so attachments
+    /// with associated storage must replay it idempotently —
+    /// presence-checked or page-LSN-guarded. Default no-op: correct for
+    /// attachments without storage (checks, triggers, referential
+    /// constraints), whose effects are vetoes, not state.
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: dmx_types::Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let _ = (services, rd, lsn, op, payload);
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Access-path side (optional). Integrity constraints and triggers
     // keep the defaults.

@@ -8,6 +8,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -234,6 +235,11 @@ pub struct Database {
     terminal_damage: Mutex<HashMap<RelationId, String>>,
     /// Row producers for `sys.*` relations owned by higher layers.
     sys_providers: Mutex<HashMap<String, SysProviderFn>>,
+    /// LSN of the most recent quiescent checkpoint record (written at
+    /// open, and at clean close by [`Drop`]). Used to skip the shutdown
+    /// checkpoint when the log has not grown since — an untouched
+    /// open/close cycle must leave the stable log byte-identical.
+    ckpt_lsn: AtomicU64,
 }
 
 impl Database {
@@ -258,6 +264,17 @@ impl Database {
         let locks = Arc::new(LockManager::with_metrics(config.lock_timeout, obs.clone()));
         let services =
             CommonServices::with_metrics(env.disk.clone(), pool, log.clone(), locks, obs.clone());
+
+        // Steal policy: the pool may write back and evict dirty pages of
+        // any page type whose storage method opted in. Everything else
+        // (trees, WORM segments, untyped pages) stays no-steal.
+        let stealable: Vec<u8> = registry
+            .storage_methods()
+            .into_iter()
+            .filter_map(|(id, _)| registry.storage(id).ok())
+            .flat_map(|sm| sm.stealable_page_types().to_vec())
+            .collect();
+        services.pool.set_stealable_types(&stealable);
 
         // The catalog file must be the first file on a fresh disk.
         if !env.disk.file_exists(CATALOG_FILE) {
@@ -318,7 +335,19 @@ impl Database {
         }
         services.pool.flush_all()?;
         catalog.persist(&env.disk)?;
+        // Quiescent checkpoint: the flush above put every described page
+        // state on disk, so a future restart's redo scan may begin here
+        // instead of at the log's origin. Appended only when the log has
+        // grown past the previous checkpoint — a reopen of an unchanged
+        // database must add nothing (recovery's double-reopen idempotency
+        // oracle depends on that).
+        if log.last_lsn() > report.last_checkpoint {
+            log.append(TxnId(0), Lsn::NULL, LogBody::Checkpoint);
+        }
         log.force_all()?;
+        // After the conditional append the log's last record *is* the
+        // current checkpoint (appended just now or inherited unchanged).
+        let ckpt_lsn = log.last_lsn();
 
         // Flight recorder: a bounded ring of the most recent events,
         // installed as the default sink so `sys.trace` and incident
@@ -368,6 +397,7 @@ impl Database {
             repairs: Mutex::new(Vec::new()),
             terminal_damage: Mutex::new(HashMap::new()),
             sys_providers: Mutex::new(HashMap::new()),
+            ckpt_lsn: AtomicU64::new(ckpt_lsn.0),
         });
         // Attachments whose state restart's undo found corrupt are fenced
         // now that the quarantine machinery exists; the repair pipeline
@@ -568,8 +598,9 @@ impl Database {
         self.txns.active_count()
     }
 
-    /// Commits: runs deferred (before-prepare) constraint checks, flushes
-    /// data (force policy), writes and forces the commit record, performs
+    /// Commits: runs deferred (before-prepare) constraint checks, writes
+    /// and forces the commit record (no-force: data pages stay in the
+    /// pool and restart redo covers anything not yet on disk), performs
     /// deferred physical actions, persists the catalog after DDL, and
     /// releases locks and scans.
     pub fn commit(&self, txn: &Arc<Transaction>) -> Result<()> {
@@ -604,16 +635,24 @@ impl Database {
             self.abort(txn)?;
             return Err(e);
         }
-        // 2. Force policy: all data pages to disk (WAL hook forces first).
-        //    Tree latches are held across the flush so no half-done
-        //    multi-page structural modification is captured.
-        {
+        // 2. No-force policy (DESIGN.md §6): data pages are *not* flushed
+        //    at commit. The commit point below forces only the log; redo
+        //    at restart reconstructs any committed page image that never
+        //    made it to disk. (The former flush-everything sweep — and
+        //    the every-tree-latch pass it needed to avoid capturing torn
+        //    multi-page changes — is gone; checkpoints at open and steal
+        //    eviction under memory pressure now do the page writing.)
+        //    The one exception is DDL: structure bootstrap (a fresh tree
+        //    root, a heap's first page) is physical and unlogged, so redo
+        //    cannot reconstruct it — a DDL commit still force-writes its
+        //    pages, which is cheap and rare.
+        let did_ddl = self.ddl_txns.lock().remove(&txn.id());
+        if did_ddl {
             let _latches = self.services.latches.lock_all();
             self.services.pool.flush_all()?;
         }
         // 3. DDL durability: log the catalog image as a deferred intent
         //    so restart can redo it if we crash after the commit point.
-        let did_ddl = self.ddl_txns.lock().remove(&txn.id());
         let catalog_intent = if did_ddl {
             let image = self.catalog.serialize();
             let lsn = txn.log(LogBody::DeferredIntent {
@@ -629,7 +668,10 @@ impl Database {
         self.counters.commits.incr();
         // 5. Deferred physical actions (dropped storage release, …).
         let deferred_result = txn.run_deferred(TxnEvent::AtCommit);
-        // 6. Catalog persistence + completion record.
+        // 6. Catalog persistence + completion record. Only DDL needs a
+        //    second force (for the DeferredDone): plain DML commits are
+        //    fully durable after the commit point, and any unforced
+        //    deferred-action records are redone from their intents.
         if let Some((lsn, image)) = catalog_intent {
             Catalog::write_image(&self.env.disk, &image)?;
             self.services.log.append(
@@ -637,8 +679,8 @@ impl Database {
                 Lsn::NULL,
                 LogBody::DeferredDone { intent_lsn: lsn },
             );
+            self.services.log.force_all()?;
         }
-        self.services.log.force_all()?;
         // 7. End-of-transaction: scans closed, locks released.
         self.end_txn(txn);
         deferred_result
@@ -1180,5 +1222,29 @@ impl Database {
             Box::new(move || catalog.replace(old_snapshot).map(|_| ())),
         );
         Ok(())
+    }
+}
+
+impl Drop for Database {
+    /// Clean-shutdown checkpoint (best effort). Under no-force the pool
+    /// holds committed page images that exist durably only in the log;
+    /// writing them out here — and logging a checkpoint once they are on
+    /// disk — lets the next open skip redo entirely instead of replaying
+    /// the whole session. Skipped when the log has not grown since the
+    /// last checkpoint (an untouched open/close cycle must leave the
+    /// stable log byte-identical) and abandoned silently on any I/O
+    /// error: a crashed or out-of-space device simply reopens through
+    /// restart recovery, which needs no checkpoint to be correct.
+    fn drop(&mut self) {
+        if self.services.log.last_lsn().0 <= self.ckpt_lsn.load(Ordering::Acquire) {
+            return;
+        }
+        if self.services.pool.flush_all().is_err() {
+            return; // no checkpoint without every page state on disk
+        }
+        self.services
+            .log
+            .append(TxnId(0), Lsn::NULL, LogBody::Checkpoint);
+        let _ = self.services.log.force_all();
     }
 }

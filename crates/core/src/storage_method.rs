@@ -130,10 +130,37 @@ pub trait StorageMethod: Send + Sync {
         payload: &[u8],
     ) -> Result<()>;
 
+    /// Re-applies a logged operation during restart's redo pass. Under
+    /// steal/no-force a committed operation's pages may have missed disk
+    /// entirely (no-force) while other pages of the same operation were
+    /// stolen — redo must be idempotent, typically via a page-LSN check
+    /// (skip pages whose LSN is already ≥ `lsn`). Default no-op: correct
+    /// for non-recoverable storage and for methods whose durable state is
+    /// maintained outside the buffer pool (foreign).
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: dmx_types::Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let _ = (services, rd, lsn, op, payload);
+        Ok(())
+    }
+
     /// False for non-recoverable storage (the temporary storage method):
     /// operations are not logged and instances vanish at restart.
     fn is_recoverable(&self) -> bool {
         true
+    }
+
+    /// Page types this storage method allows the buffer pool to evict
+    /// dirty (steal), because its redo/undo fully reconciles them at
+    /// restart. Default empty: the method's pages stay no-steal and a
+    /// pool full of its dirty pages reports `BufferFull`.
+    fn stealable_page_types(&self) -> &[u8] {
+        &[]
     }
 
     /// The record-field ordering of key-sequential scans, if the storage

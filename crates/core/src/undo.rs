@@ -127,6 +127,52 @@ impl UndoHandler for UndoDispatch {
         }
     }
 
+    fn redo(&self, rec: &LogRecord) -> Result<()> {
+        let LogBody::ExtOp {
+            ext,
+            relation,
+            op,
+            payload,
+        } = &rec.body
+        else {
+            return Ok(());
+        };
+        // Missing relation: the op belongs to a committed transaction, so
+        // this means a *later* committed transaction dropped it — its
+        // deferred drop already released the storage, and replaying into
+        // freed files would be wrong. (Restart re-drives committed
+        // catalog-image intents before this pass, so committed CREATEs
+        // are visible here.)
+        let Ok(rd) = self.catalog.get(*relation) else {
+            return Ok(());
+        };
+        let res = match ext {
+            ExtKind::Storage(id) => {
+                self.registry
+                    .storage(*id)?
+                    .redo(&self.services, &rd, rec.lsn, *op, payload)
+            }
+            ExtKind::Attachment(id) => {
+                self.registry
+                    .attachment(*id)?
+                    .redo(&self.services, &rd, rec.lsn, *op, payload)
+            }
+        };
+        match res {
+            // Corrupt state blocks redo of this relation only; fence it
+            // and keep restarting. For attachments the state is derivable
+            // from the base; for storage the committed ops remain in the
+            // log, so quarantine-and-repair beats failing the whole
+            // database open over one rotten relation. (Undo gives storage
+            // no such tolerance: an un-undone loser would silently stand.)
+            Err(DmxError::Corrupt(reason)) => {
+                self.damaged.lock().push((*relation, reason));
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
     fn redo_deferred(&self, rec: &LogRecord) -> Result<()> {
         let LogBody::DeferredIntent { payload } = &rec.body else {
             return Ok(());

@@ -1,11 +1,18 @@
 //! The buffer pool.
 //!
-//! Policy (documented in DESIGN.md): **no-steal / force-at-commit**.
-//! Eviction only ever discards *clean* unpinned frames; dirty pages reach
-//! disk exclusively through [`BufferPool::flush_all`] (called by
-//! transaction commit) or [`BufferPool::flush_file`]. Before any page is
-//! written, the installed [`WalHook`] is asked to force the log up to the
-//! highest page LSN being flushed — the write-ahead rule.
+//! Policy (documented in DESIGN.md §6): **steal / no-force**. Commit
+//! forces only the log; dirty data pages stay in the pool and reach disk
+//! lazily — through checkpoints ([`BufferPool::flush_all`]), targeted
+//! flushes ([`BufferPool::flush_file`]), or *steal* eviction. When every
+//! frame is dirty, the clock sweep's final pass may write back an
+//! unpinned dirty frame whose page type was registered via
+//! [`BufferPool::set_stealable_types`] (storage methods opt in; complex
+//! multi-page structures stay no-steal and report
+//! [`DmxError::BufferFull`] instead). Before any page is written — by
+//! flush or by steal — the installed [`WalHook`] is asked to force the
+//! log up to that page's LSN: the write-ahead rule, which is what makes
+//! stealing uncommitted data safe (restart can always undo it from the
+//! durable log).
 //!
 //! Multi-page operations and flushes are serialized by an *operation
 //! gate*: every relation modification holds the gate in read mode for its
@@ -72,6 +79,10 @@ pub struct PoolStats {
     pub evictions: Arc<Counter>,
     /// Dirty frames written back to disk.
     pub flushes: Arc<Counter>,
+    /// Dirty frames written back by steal eviction (a subset of
+    /// `flushes`): uncommitted data pushed to disk under memory pressure
+    /// after forcing the WAL up to the page's LSN.
+    pub steals: Arc<Counter>,
     /// Page pin attempts that found the frame latch contended.
     pub pin_waits: Arc<Counter>,
     /// Page reads retried after a transient fault or checksum failure.
@@ -88,6 +99,7 @@ impl PoolStats {
             misses: reg.counter(name::POOL_MISSES),
             evictions: reg.counter(name::POOL_EVICTIONS),
             flushes: reg.counter(name::POOL_FLUSHES),
+            steals: reg.counter(name::POOL_STEALS),
             pin_waits: reg.counter(name::POOL_PIN_WAITS),
             retries: reg.counter(name::IO_RETRIES),
             dirty: reg.gauge(name::POOL_DIRTY),
@@ -101,6 +113,11 @@ pub struct BufferPool {
     frames: Vec<Frame>,
     map: Mutex<MapState>,
     wal: RwLock<Option<Arc<dyn WalHook>>>,
+    /// Page types whose frames may be *stolen*: written back (after a WAL
+    /// force to the page's LSN) and evicted while dirty. Installed at
+    /// database open from the storage-method registry; empty by default,
+    /// which degrades to the historical no-steal policy.
+    stealable: RwLock<Vec<u8>>,
     op_gate: RwLock<()>,
     obs: Arc<MetricsRegistry>,
     stats: PoolStats,
@@ -132,6 +149,7 @@ impl BufferPool {
                 clock_hand: 0,
             }),
             wal: RwLock::new(None),
+            stealable: RwLock::new(Vec::new()),
             op_gate: RwLock::new(()),
             obs,
             stats,
@@ -141,6 +159,18 @@ impl BufferPool {
     /// Installs the write-ahead-log hook (done once at database open).
     pub fn set_wal_hook(&self, hook: Arc<dyn WalHook>) {
         *self.wal.write() = Some(hook);
+    }
+
+    /// Declares which page types may be steal-evicted while dirty (done
+    /// once at database open, from the union of every registered storage
+    /// method's `stealable_page_types()`). Pages of any other type keep
+    /// the no-steal behavior: eviction skips them and a pool full of
+    /// dirty non-stealable pages reports [`DmxError::BufferFull`].
+    pub fn set_stealable_types(&self, types: &[u8]) {
+        let mut v = types.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        *self.stealable.write() = v;
     }
 
     /// The underlying disk.
@@ -273,8 +303,9 @@ impl BufferPool {
     fn claim_victim(&self, map: &mut MapState, pid: PageId) -> Result<usize> {
         let n = self.frames.len();
         let mut chosen = None;
-        // Clock sweep with a reference bit; two full passes plus one pass
-        // ignoring ref bits.
+        // Clock sweep with a reference bit; two full passes preferring
+        // clean frames, plus one pass ignoring ref bits in which dirty
+        // frames of a stealable page type may be written back and stolen.
         for round in 0..3 * n {
             let idx = (map.clock_hand + round) % n;
             let f = &self.frames[idx];
@@ -282,7 +313,24 @@ impl BufferPool {
                 continue;
             }
             if f.dirty.load(Ordering::Acquire) {
-                continue; // no-steal: never evict dirty pages
+                // Dirty frames are never discarded. On the final pass a
+                // frame whose page type opted into stealing is written
+                // back (WAL forced first) and then evicted clean; all
+                // other dirty frames stay resident.
+                if round < 2 * n {
+                    continue;
+                }
+                let Some(victim) = map.resident[idx] else {
+                    continue;
+                };
+                let page_type = f.page.read().page_type();
+                if !self.stealable.read().contains(&page_type) {
+                    continue;
+                }
+                // Safe to write with the map lock held: the frame is
+                // unpinned and gaining a new pin requires the map lock,
+                // so no mutator can touch the page mid-write.
+                self.steal_write(idx, victim)?;
             }
             if round < 2 * n && f.ref_bit.swap(false, Ordering::Relaxed) {
                 continue;
@@ -305,6 +353,36 @@ impl BufferPool {
         map.table.insert(pid, idx);
         map.resident[idx] = Some(pid);
         Ok(idx)
+    }
+
+    /// Writes one dirty frame back to disk so it can be stolen: force the
+    /// WAL up to the page's LSN (the write-ahead rule — the log must be
+    /// able to undo this possibly-uncommitted image), stamp the checksum,
+    /// write, and mark the frame clean. Runs *before* the mapping is
+    /// removed so an I/O error leaves the pool consistent.
+    fn steal_write(&self, idx: usize, pid: PageId) -> Result<()> {
+        let frame = &self.frames[idx];
+        let mut guard = frame.page.write();
+        let lsn = guard.lsn();
+        if !lsn.is_null() {
+            if let Some(wal) = self.wal.read().clone() {
+                wal.force(lsn)?;
+            }
+        }
+        guard.stamp_crc();
+        with_io_retries(MAX_IO_RETRIES, || self.disk.write_page(pid, &guard))?;
+        if frame.dirty.swap(false, Ordering::AcqRel) {
+            self.stats.dirty.decr();
+        }
+        self.stats.flushes.incr();
+        self.stats.steals.incr();
+        self.obs.emit(ObsEvent {
+            layer: "pool",
+            op: "steal",
+            target: pid.page_no as u64,
+            detail: pid.file.0 as u64,
+        });
+        Ok(())
     }
 
     /// Writes every dirty frame to disk (forcing the log first) and marks
@@ -484,10 +562,16 @@ mod tests {
         assert_eq!(pool.stats().hits.get(), before + 1);
     }
 
+    // This test used to be `eviction_is_no_steal` and asserted the global
+    // no-steal policy. Under the steal/no-force contract (DESIGN.md §6)
+    // stealing is opt-in per page type, so the old assertion survives in a
+    // narrower form: dirty pages of a type *not* in the stealable set are
+    // still never written back by eviction.
     #[test]
-    fn eviction_is_no_steal() {
+    fn dirty_non_stealable_pages_are_not_stolen() {
         let (disk, pool, f) = setup(2);
-        // Two dirty pages fill the pool.
+        // Two dirty pages fill the pool; their page type (0) is not in
+        // the (empty) stealable set.
         let a = pool.new_page(f).unwrap();
         let b = pool.new_page(f).unwrap();
         let (pa, _pb) = (a.id(), b.id());
@@ -496,6 +580,7 @@ mod tests {
         // A third page cannot enter: everything is dirty, nothing steals.
         assert!(matches!(pool.new_page(f), Err(DmxError::BufferFull)));
         assert_eq!(disk.stats().snapshot().writes, 0, "no-steal wrote nothing");
+        assert_eq!(pool.stats().steals.get(), 0);
         // After a flush, frames are clean and evictable.
         pool.flush_all().unwrap();
         let c = pool.new_page(f).unwrap();
@@ -503,6 +588,101 @@ mod tests {
         // The evicted page can be re-read with its data intact.
         let back = pool.fetch(pa).unwrap();
         assert_eq!(back.id(), pa);
+    }
+
+    #[test]
+    fn steal_evicts_dirty_stealable_page() {
+        let (disk, pool, f) = setup(2);
+        pool.set_stealable_types(&[3]);
+        let mk = |byte: u8| {
+            let p = pool.new_page(f).unwrap();
+            {
+                let mut g = p.write();
+                g.set_page_type(3);
+                g.body_mut()[9] = byte;
+            }
+            p.id()
+        };
+        let (pa, pb) = (mk(0xA1), mk(0xB2));
+        // A third page steals a dirty frame: a write-back happens even
+        // though no flush was requested.
+        let pc = mk(0xC3);
+        assert_eq!(pool.stats().steals.get(), 1);
+        assert!(disk.stats().snapshot().writes > 0, "steal wrote the victim");
+        // Every page — stolen or resident — still reads back intact.
+        for (pid, byte) in [(pa, 0xA1), (pb, 0xB2), (pc, 0xC3)] {
+            let p = pool.fetch(pid).unwrap();
+            assert_eq!(p.read().body()[9], byte);
+        }
+    }
+
+    #[test]
+    fn steal_forces_wal_to_victim_lsn_before_write() {
+        struct Probe {
+            forced: AtomicU64,
+            disk_writes_at_force: AtomicU64,
+            disk: Arc<MemDisk>,
+        }
+        impl WalHook for Probe {
+            fn force(&self, lsn: Lsn) -> Result<()> {
+                self.forced.store(lsn.0, Ordering::SeqCst);
+                self.disk_writes_at_force
+                    .store(self.disk.stats().snapshot().writes, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let (disk, pool, f) = setup(1);
+        pool.set_stealable_types(&[3]);
+        let probe = Arc::new(Probe {
+            forced: AtomicU64::new(0),
+            disk_writes_at_force: AtomicU64::new(0),
+            disk: disk.clone(),
+        });
+        pool.set_wal_hook(probe.clone());
+        {
+            let p = pool.new_page(f).unwrap();
+            let mut g = p.write();
+            g.set_page_type(3);
+            g.set_lsn(Lsn(73));
+        }
+        // The single frame is dirty; the next allocation must steal it.
+        let p2 = pool.new_page(f).unwrap();
+        drop(p2);
+        assert_eq!(pool.stats().steals.get(), 1);
+        assert_eq!(probe.forced.load(Ordering::SeqCst), 73);
+        assert_eq!(
+            probe.disk_writes_at_force.load(Ordering::SeqCst),
+            0,
+            "log forced before the stolen page was written"
+        );
+    }
+
+    #[test]
+    fn steal_prefers_clean_victims() {
+        let (_d, pool, f) = setup(2);
+        pool.set_stealable_types(&[3]);
+        let mk = |b: u8| {
+            let p = pool.new_page(f).unwrap();
+            let mut g = p.write();
+            g.set_page_type(3);
+            g.body_mut()[0] = b;
+            drop(g);
+            p.id()
+        };
+        let (pa, _pb) = (mk(1), mk(2));
+        pool.flush_all().unwrap();
+        // Re-dirty only page A; B stays clean.
+        {
+            let p = pool.fetch(pa).unwrap();
+            p.write().body_mut()[0] = 9;
+        }
+        // The newcomer evicts clean B rather than stealing dirty A, even
+        // though A's type is stealable.
+        let p = pool.new_page(f).unwrap();
+        drop(p);
+        assert_eq!(pool.stats().steals.get(), 0, "clean victim preferred");
+        let back = pool.fetch(pa).unwrap();
+        assert_eq!(back.read().body()[0], 9, "dirty page stayed resident");
     }
 
     #[test]

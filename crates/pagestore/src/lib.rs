@@ -7,11 +7,12 @@
 //! counts, and that supports a *simulated crash*: the disk image survives
 //! while all volatile state (buffer pool, transaction tables) is dropped.
 //!
-//! The [`buffer::BufferPool`] implements a strict **no-steal /
-//! force-at-commit** policy (see DESIGN.md): dirty pages are never written
-//! by eviction, only by an explicit [`buffer::BufferPool::flush_all`] at
-//! commit, which first forces the write-ahead log through an installed
-//! [`buffer::WalHook`].
+//! The [`buffer::BufferPool`] implements a **steal / no-force** policy
+//! (DESIGN.md §6): eviction may write back a dirty page belonging to an
+//! in-flight transaction after forcing the write-ahead log up to the
+//! page's stamped LSN through an installed [`buffer::WalHook`], and
+//! commit forces only the log — [`buffer::BufferPool::flush_all`] remains
+//! for checkpoints and the DDL catalog-image exception.
 
 pub mod buffer;
 pub mod disk;

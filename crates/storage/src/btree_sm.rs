@@ -21,7 +21,10 @@ use dmx_types::{
 };
 use dmx_wal::ExtKind;
 
-use crate::ops::{decode_key, encode_key, encode_key_record, OP_DELETE, OP_INSERT, OP_UPDATE};
+use crate::ops::{
+    decode_key, decode_old_new, encode_key_old_new, encode_key_record, OP_DELETE, OP_INSERT,
+    OP_UPDATE,
+};
 use crate::util::{decode_position, encode_position, filter_project};
 
 /// The B-tree storage method singleton.
@@ -172,13 +175,25 @@ impl StorageMethod for BTreeStorage {
         let d = Self::desc(rd)?;
         let key = Self::record_key(&d, record)?;
         let tree = Self::tree(ctx.services(), &d);
-        // Logical undo: the record is logged only once the operation has
-        // applied (a failed insert — e.g. a duplicate key — must leave no
-        // undo record, or rollback would delete the pre-existing record).
-        // Safe under no-steal/force: nothing reaches disk before the
-        // commit-time flush forces the log first.
-        tree.insert(key.as_bytes(), &record.encode(), OnDuplicate::Error)?;
-        Self::log(ctx, rd, OP_INSERT, encode_key(key.as_bytes()));
+        // Pre-check the duplicate so the log record is written only for
+        // operations that will apply (a logged-but-failed insert would
+        // make rollback delete the pre-existing record), while keeping
+        // the write-ahead order: the log record exists before the tree
+        // pages are dirtied, so any flush of those pages forces it first.
+        if tree.get(key.as_bytes())?.is_some() {
+            return Err(DmxError::Duplicate(format!(
+                "btree storage key {key:?} already exists"
+            )));
+        }
+        let bytes = record.encode();
+        let lsn = Self::log(
+            ctx,
+            rd,
+            OP_INSERT,
+            encode_key_record(key.as_bytes(), &bytes),
+        );
+        tree.with_wal_lsn(lsn)
+            .insert(key.as_bytes(), &bytes, OnDuplicate::Replace)?;
         Ok(key)
     }
 
@@ -196,14 +211,16 @@ impl StorageMethod for BTreeStorage {
             .ok_or_else(|| DmxError::NotFound(format!("btree record {key:?}")))?;
         let old = Record::decode(&old_bytes)?;
         let new_key = Self::record_key(&d, new)?;
+        let new_bytes = new.encode();
         if new_key == *key {
-            Self::log(
+            let lsn = Self::log(
                 ctx,
                 rd,
                 OP_UPDATE,
-                encode_key_record(key.as_bytes(), &old_bytes),
+                encode_key_old_new(key.as_bytes(), &old_bytes, &new_bytes),
             );
-            tree.insert(key.as_bytes(), &new.encode(), OnDuplicate::Replace)?;
+            tree.with_wal_lsn(lsn)
+                .insert(key.as_bytes(), &new_bytes, OnDuplicate::Replace)?;
             return Ok((old, new_key));
         }
         // Key fields changed: the record moves ("the old record and record
@@ -214,15 +231,22 @@ impl StorageMethod for BTreeStorage {
                 "btree storage key {new_key:?} already exists"
             )));
         }
-        Self::log(
+        let lsn = Self::log(
             ctx,
             rd,
             OP_DELETE,
             encode_key_record(key.as_bytes(), &old_bytes),
         );
+        let tree = tree.with_wal_lsn(lsn);
         tree.delete(key.as_bytes())?;
-        Self::log(ctx, rd, OP_INSERT, encode_key(new_key.as_bytes()));
-        tree.insert(new_key.as_bytes(), &new.encode(), OnDuplicate::Error)?;
+        let lsn = Self::log(
+            ctx,
+            rd,
+            OP_INSERT,
+            encode_key_record(new_key.as_bytes(), &new_bytes),
+        );
+        tree.with_wal_lsn(lsn)
+            .insert(new_key.as_bytes(), &new_bytes, OnDuplicate::Replace)?;
         Ok((old, new_key))
     }
 
@@ -237,13 +261,13 @@ impl StorageMethod for BTreeStorage {
         let old_bytes = tree
             .get(key.as_bytes())?
             .ok_or_else(|| DmxError::NotFound(format!("btree record {key:?}")))?;
-        Self::log(
+        let lsn = Self::log(
             ctx,
             rd,
             OP_DELETE,
             encode_key_record(key.as_bytes(), &old_bytes),
         );
-        tree.delete(key.as_bytes())?;
+        tree.with_wal_lsn(lsn).delete(key.as_bytes())?;
         Record::decode(&old_bytes)
     }
 
@@ -329,20 +353,54 @@ impl StorageMethod for BTreeStorage {
         &self,
         services: &Arc<CommonServices>,
         rd: &RelationDescriptor,
-        _lsn: Lsn,
+        lsn: Lsn,
         op: u8,
         payload: &[u8],
     ) -> Result<()> {
         let d = Self::desc(rd)?;
-        let tree = Self::tree(services, &d);
-        let (key, old_bytes) = decode_key(payload)?;
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
+        let (key, rest) = decode_key(payload)?;
         match op {
             // Logical undo with presence checks (idempotent).
             OP_INSERT => {
                 tree.delete(key)?;
             }
-            OP_DELETE | OP_UPDATE => {
-                tree.insert(key, old_bytes, OnDuplicate::Replace)?;
+            OP_DELETE => {
+                tree.insert(key, rest, OnDuplicate::Replace)?;
+            }
+            OP_UPDATE => {
+                let (old, _) = decode_old_new(rest)?;
+                tree.insert(key, old, OnDuplicate::Replace)?;
+            }
+            other => return Err(DmxError::Corrupt(format!("bad btree-sm op {other}"))),
+        }
+        Ok(())
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        let d = Self::desc(rd)?;
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
+        let (key, rest) = decode_key(payload)?;
+        // Logical redo: the on-disk tree is the last checkpoint's
+        // (no-steal) consistent image, and replace/absent-tolerant ops
+        // make replay idempotent.
+        match op {
+            OP_INSERT => {
+                tree.insert(key, rest, OnDuplicate::Replace)?;
+            }
+            OP_DELETE => {
+                tree.delete(key)?;
+            }
+            OP_UPDATE => {
+                let (_, new) = decode_old_new(rest)?;
+                tree.insert(key, new, OnDuplicate::Replace)?;
             }
             other => return Err(DmxError::Corrupt(format!("bad btree-sm op {other}"))),
         }

@@ -1,11 +1,16 @@
 //! The heap storage method: slotted pages, RID record keys.
 //!
 //! Record keys are record addresses — `(page_no, slot)` packed big-endian
-//! so RID order equals physical order. Undo is physiological with
-//! page-LSN idempotency checks. Slots are never reused across deletes
-//! (tombstones persist; their payload bytes are reclaimed by page
-//! compaction), which keeps RIDs stable and makes undo of a delete safe
-//! under concurrency.
+//! so RID order equals physical order. Undo and redo are physiological
+//! with page-LSN idempotency checks; payloads carry both images (old for
+//! undo, new for redo) because under steal/no-force a crash can leave a
+//! page either ahead of the log's committed state (stolen loser pages)
+//! or behind it (never-flushed winner pages). Slots are never reused
+//! across deletes (tombstones persist; their payload bytes are reclaimed
+//! by page compaction), which keeps RIDs stable and makes undo of a
+//! delete safe under concurrency. Heap pages are the pool's stealable
+//! type: redo reconstructs any heap page from the log, so the pool may
+//! evict them dirty after forcing the log through the page LSN.
 
 use std::sync::Arc;
 
@@ -21,7 +26,10 @@ use dmx_types::{
 };
 use dmx_wal::ExtKind;
 
-use crate::ops::{decode_key, encode_key, encode_key_record, OP_DELETE, OP_INSERT, OP_UPDATE};
+use crate::ops::{
+    decode_key, decode_old_new, encode_key_old_new, encode_key_record, OP_DELETE, OP_INSERT,
+    OP_UPDATE,
+};
 use crate::util::{decode_position, encode_position, filter_project};
 
 /// Page type tag for heap data pages.
@@ -125,18 +133,78 @@ pub(crate) fn undo_page_op(
         // The operation never reached this page image; nothing to undo.
         return Ok(());
     }
+    // Presence checks make double undo a no-op: under steal an undone
+    // page can reach disk before its CLR is durable, in which case
+    // restart drives this same undo again.
     match op {
         OP_INSERT => {
             SlottedPage::delete(&mut page, slot);
         }
         OP_DELETE => {
-            SlottedPage::insert_at(&mut page, slot, old_bytes)?;
+            if SlottedPage::get(&page, slot).is_none() {
+                SlottedPage::insert_at(&mut page, slot, old_bytes)?;
+            }
         }
         OP_UPDATE => {
-            SlottedPage::update(&mut page, slot, old_bytes)?;
+            let (old, _) = decode_old_new(old_bytes)?;
+            SlottedPage::update(&mut page, slot, old)?;
         }
         other => return Err(DmxError::Corrupt(format!("bad heap op {other}"))),
     }
+    Ok(())
+}
+
+/// Physiological redo shared with the read-only storage method: replays
+/// a logged operation into the page image on disk, which under
+/// steal/no-force may be anywhere from all-zero (allocated, never
+/// written) to already containing the operation (stolen after it).
+pub(crate) fn redo_page_op(
+    services: &Arc<CommonServices>,
+    file: FileId,
+    page_type: u8,
+    lsn: Lsn,
+    op: u8,
+    payload: &[u8],
+) -> Result<()> {
+    let (key, rest) = decode_key(payload)?;
+    let (page_no, slot) = parse_rid(key)?;
+    let pin = match services.pool.fetch(PageId::new(file, page_no)) {
+        Ok(p) => p,
+        // A later committed transaction dropped the relation; its
+        // deferred drop already released the file.
+        Err(DmxError::NotFound(_)) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut page = pin.write();
+    // An allocated-but-never-flushed page reads back all-zero: format it
+    // before replaying into it.
+    if page.page_type() != page_type {
+        SlottedPage::init(&mut page);
+        page.set_page_type(page_type);
+    }
+    if page.lsn() >= lsn {
+        // Page-LSN invariant: this image already reflects every
+        // operation at or below its LSN.
+        return Ok(());
+    }
+    match op {
+        OP_INSERT => {
+            // Compensated (never-replayed) inserts leave slot-number
+            // gaps; fill them with the tombstones the original rollback
+            // left behind.
+            SlottedPage::pad_to_slot(&mut page, slot)?;
+            SlottedPage::insert_at(&mut page, slot, rest)?;
+        }
+        OP_DELETE => {
+            SlottedPage::delete(&mut page, slot);
+        }
+        OP_UPDATE => {
+            let (_, new) = decode_old_new(rest)?;
+            SlottedPage::update(&mut page, slot, new)?;
+        }
+        other => return Err(DmxError::Corrupt(format!("bad heap op {other}"))),
+    }
+    page.set_lsn(lsn);
     Ok(())
 }
 
@@ -194,7 +262,14 @@ impl StorageMethod for HeapStorage {
             file,
             &bytes,
             PAGE_TYPE_HEAP,
-            |p, s| Self::log(ctx, rd, OP_INSERT, encode_key(rid(p, s).as_bytes())),
+            |p, s| {
+                Self::log(
+                    ctx,
+                    rd,
+                    OP_INSERT,
+                    encode_key_record(rid(p, s).as_bytes(), &bytes),
+                )
+            },
         )?;
         if new_page {
             rd.stats.on_page_allocated();
@@ -227,7 +302,7 @@ impl StorageMethod for HeapStorage {
                 ctx,
                 rd,
                 OP_UPDATE,
-                encode_key_record(key.as_bytes(), &old_bytes),
+                encode_key_old_new(key.as_bytes(), &old_bytes, &new_bytes),
             );
             SlottedPage::update(&mut page, slot, &new_bytes)?;
             page.set_lsn(lsn);
@@ -332,6 +407,21 @@ impl StorageMethod for HeapStorage {
         payload: &[u8],
     ) -> Result<()> {
         undo_page_op(services, Self::file(rd)?, lsn, op, payload)
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        redo_page_op(services, Self::file(rd)?, PAGE_TYPE_HEAP, lsn, op, payload)
+    }
+
+    fn stealable_page_types(&self) -> &[u8] {
+        &[PAGE_TYPE_HEAP]
     }
 
     fn storage_files(&self, sm_desc: &[u8]) -> Vec<FileId> {

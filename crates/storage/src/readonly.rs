@@ -22,8 +22,8 @@ use dmx_types::{
 };
 use dmx_wal::ExtKind;
 
-use crate::heap::{decode_file_desc, encode_file_desc, parse_rid, rid, undo_page_op};
-use crate::ops::{encode_key, OP_INSERT};
+use crate::heap::{decode_file_desc, encode_file_desc, parse_rid, redo_page_op, rid, undo_page_op};
+use crate::ops::{encode_key_record, OP_INSERT};
 use crate::util::{decode_position, encode_position, filter_project};
 
 /// Page type tag for publishing pages.
@@ -100,7 +100,7 @@ impl StorageMethod for ReadOnlyStorage {
                     ExtKind::Storage(rd.sm),
                     rd.id,
                     OP_INSERT,
-                    encode_key(rid(p, s).as_bytes()),
+                    encode_key_record(rid(p, s).as_bytes(), &bytes),
                 )
             },
         )?;
@@ -192,6 +192,26 @@ impl StorageMethod for ReadOnlyStorage {
         // appended record (an internal operation — the *user-facing*
         // delete remains unsupported).
         undo_page_op(services, decode_file_desc(&rd.sm_desc)?, lsn, op, payload)
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<dmx_core::CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        // Write-once pages are never stolen, but no-force means a
+        // committed load's pages may have missed disk entirely.
+        redo_page_op(
+            services,
+            decode_file_desc(&rd.sm_desc)?,
+            PAGE_TYPE_WORM,
+            lsn,
+            op,
+            payload,
+        )
     }
 }
 

@@ -69,8 +69,16 @@ impl Transaction {
 
     /// Appends a log record for this transaction, maintaining the undo
     /// chain, and returns its LSN.
+    ///
+    /// Begin is logged lazily, just before the transaction's first real
+    /// record: a transaction that never writes leaves no trace in the
+    /// log, so read-only work (and an untouched open/close cycle) keeps
+    /// the stable log byte-identical.
     pub fn log(&self, body: LogBody) -> Lsn {
         let mut inner = self.inner.lock();
+        if inner.last_lsn.is_null() && !matches!(body, LogBody::Begin) {
+            inner.last_lsn = self.log.append(self.id, Lsn::NULL, LogBody::Begin);
+        }
         let lsn = self.log.append(self.id, inner.last_lsn, body);
         inner.last_lsn = lsn;
         lsn
@@ -164,14 +172,29 @@ impl Transaction {
     }
 
     /// Writes the commit record and forces the log (the commit point).
+    ///
+    /// Uses [`LogManager::force_group`] so concurrent committers batch:
+    /// whoever wins the flush lock carries every record appended so far,
+    /// and the others find their commit record already durable.
     pub fn commit_point(&self) -> Result<()> {
         self.check_active()?;
+        // Read-only optimization: a transaction that never logged has
+        // nothing to make durable — skip the commit record and the force.
+        if self.last_lsn().is_null() {
+            return Ok(());
+        }
         let lsn = self.log(LogBody::Commit);
-        self.log.force(lsn)
+        self.log.force_group(lsn)
     }
 
-    /// Writes the abort-complete record (after undo finished).
+    /// Writes the abort-complete record (after undo finished). A no-op
+    /// for transactions that never logged: there is nothing to mark as
+    /// rolled back, and appending would make read-only aborts grow the
+    /// log.
     pub fn abort_point(&self) {
+        if self.last_lsn().is_null() {
+            return;
+        }
         self.log(LogBody::Abort);
     }
 
@@ -221,13 +244,15 @@ impl TxnManager {
     pub fn begin(&self) -> Arc<Transaction> {
         self.begins.incr();
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let begin_lsn = self.log.append(id, Lsn::NULL, LogBody::Begin);
+        // No Begin record yet: [`Transaction::log`] writes it lazily
+        // before the first real record, so read-only transactions never
+        // touch the log.
         let txn = Arc::new(Transaction {
             id,
             log: self.log.clone(),
             inner: Mutex::new(TxnInner {
                 state: TxnState::Active,
-                last_lsn: begin_lsn,
+                last_lsn: Lsn::NULL,
                 savepoints: Vec::new(),
             }),
             queues: Mutex::new(DeferredQueues::default()),

@@ -515,6 +515,9 @@ pub mod name {
     pub const POOL_PIN_WAITS: &str = "pool.pin_waits";
     /// Current number of dirty frames (gauge, maintained incrementally).
     pub const POOL_DIRTY: &str = "pool.dirty";
+    /// Dirty frames written back by steal eviction (uncommitted data flushed
+    /// after forcing the WAL up to the page's LSN).
+    pub const POOL_STEALS: &str = "pool.steals";
 
     /// Log records appended to the volatile tail.
     pub const WAL_APPENDS: &str = "wal.appends";

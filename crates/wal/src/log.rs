@@ -167,6 +167,11 @@ struct Volatile {
 pub struct LogManager {
     stable: Arc<StableLog>,
     vol: Mutex<Volatile>,
+    /// Serializes flushers. Held only while moving frames to the stable
+    /// log — never during appends, which need only `vol` — so concurrent
+    /// committers queue here while a batch leader writes, and most find
+    /// their LSN already durable when they acquire it (group commit).
+    flush: Mutex<()>,
     obs: Arc<MetricsRegistry>,
     appends: Arc<Counter>,
     forces: Arc<Counter>,
@@ -195,6 +200,7 @@ impl LogManager {
                 tail: VecDeque::new(),
                 next_lsn,
             }),
+            flush: Mutex::new(()),
             obs,
             appends,
             forces,
@@ -242,39 +248,91 @@ impl LogManager {
     /// durable prefix plus (at worst) one torn frame for restart's
     /// scan-and-truncate to remove.
     pub fn force(&self, lsn: Lsn) -> Result<()> {
-        let mut vol = self.vol.lock();
-        let durable = self.stable.len() as u64;
-        if lsn.0 <= durable {
+        self.force_upto(lsn, false)
+    }
+
+    /// Group-commit force: makes `lsn` durable and, while it holds the
+    /// flush lock anyway, flushes the *entire* volatile tail. Concurrent
+    /// committers queue on the flush lock while a batch leader writes;
+    /// because the leader also carried their (already-appended) commit
+    /// records, they find their LSN durable on acquire and return without
+    /// doing any I/O of their own — one force serves many commits, which
+    /// is what the `wal.force_batch` histogram measures.
+    pub fn force_group(&self, lsn: Lsn) -> Result<()> {
+        self.force_upto(lsn, true)
+    }
+
+    fn force_upto(&self, lsn: Lsn, to_end: bool) -> Result<()> {
+        // Fast path, no locks: already durable (stable only grows).
+        if lsn.0 <= self.stable.len() as u64 {
             return Ok(());
         }
-        if lsn.0 >= vol.next_lsn {
-            return Err(DmxError::InvalidArg(format!(
-                "cannot force unwritten lsn {lsn}"
-            )));
-        }
-        let n = (lsn.0 - durable) as usize;
-        self.forces.incr();
-        for moved in 0..n {
-            let frame = match vol.tail.front() {
-                Some(rec) => rec.encode(),
-                None => {
-                    return Err(DmxError::Internal(
-                        "volatile tail shorter than force target".into(),
-                    ))
-                }
-            };
-            if let Err(e) =
-                with_io_retries(MAX_IO_RETRIES, || self.stable.append_frame(frame.clone()))
-            {
-                // Count the clean durable prefix this force did achieve.
-                self.frames_forced.add(moved as u64);
-                self.force_batch.record(moved as u64);
-                return Err(e);
+        if to_end {
+            // Group-commit window: step aside once so other ready
+            // committers can append their commit records before anyone
+            // snapshots the tail — then one stable write carries the
+            // whole batch and the rest free-ride. Without this, commits
+            // short enough to fit inside a scheduler quantum never
+            // overlap at the flush lock (most visible on a single core)
+            // and every commit pays its own force. With no other
+            // runnable thread the yield returns immediately.
+            std::thread::yield_now();
+            if lsn.0 <= self.stable.len() as u64 {
+                return Ok(()); // someone's batch carried us while we yielded
             }
-            vol.tail.pop_front();
         }
-        self.frames_forced.add(n as u64);
-        self.force_batch.record(n as u64);
+        let _flush = self.flush.lock();
+        // Snapshot the frames to write under the volatile lock, then
+        // release it so appenders are never blocked behind log I/O —
+        // that release is what lets a batch accumulate while we write.
+        let frames: Vec<Vec<u8>> = {
+            let vol = self.vol.lock();
+            let durable = self.stable.len() as u64;
+            if lsn.0 <= durable {
+                // The previous flush-lock holder's batch covered us: the
+                // group-commit free ride (no force of our own).
+                return Ok(());
+            }
+            if lsn.0 >= vol.next_lsn {
+                return Err(DmxError::InvalidArg(format!(
+                    "cannot force unwritten lsn {lsn}"
+                )));
+            }
+            let end = if to_end { vol.next_lsn - 1 } else { lsn.0 };
+            let n = (end - durable) as usize;
+            if vol.tail.len() < n {
+                return Err(DmxError::Internal(
+                    "volatile tail shorter than force target".into(),
+                ));
+            }
+            vol.tail.iter().take(n).map(|rec| rec.encode()).collect()
+        };
+        self.forces.incr();
+        let n = frames.len();
+        let mut moved = 0usize;
+        let mut failed = None;
+        for frame in frames {
+            match with_io_retries(MAX_IO_RETRIES, || self.stable.append_frame(frame.clone())) {
+                Ok(()) => moved += 1,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        // Only durably-appended frames leave the tail; on failure the
+        // clean prefix is still counted.
+        {
+            let mut vol = self.vol.lock();
+            for _ in 0..moved {
+                vol.tail.pop_front();
+            }
+        }
+        self.frames_forced.add(moved as u64);
+        self.force_batch.record(moved as u64);
+        if let Some(e) = failed {
+            return Err(e);
+        }
         self.obs.emit(ObsEvent {
             layer: "wal",
             op: "force",
@@ -329,16 +387,24 @@ impl LogManager {
         if lsn.is_null() {
             return Err(DmxError::InvalidArg("null lsn".into()));
         }
-        let durable = self.stable.len() as u64;
-        if lsn.0 <= durable {
-            return self.stable.record(lsn);
+        // Check the volatile tail first, indexing by its front LSN: while
+        // a flush is mid-batch a frame can be in both the stable log and
+        // the tail, so indexing the tail relative to `stable.len()` would
+        // be off by the not-yet-popped prefix.
+        {
+            let vol = self.vol.lock();
+            if let Some(front) = vol.tail.front() {
+                if lsn >= front.lsn {
+                    let idx = (lsn.0 - front.lsn.0) as usize;
+                    return vol
+                        .tail
+                        .get(idx)
+                        .cloned()
+                        .ok_or_else(|| DmxError::NotFound(format!("log record {lsn}")));
+                }
+            }
         }
-        let vol = self.vol.lock();
-        let idx = (lsn.0 - durable - 1) as usize;
-        vol.tail
-            .get(idx)
-            .cloned()
-            .ok_or_else(|| DmxError::NotFound(format!("log record {lsn}")))
+        self.stable.record(lsn)
     }
 }
 

@@ -47,6 +47,12 @@ pub enum LogBody {
     DeferredIntent { payload: Vec<u8> },
     /// Marks a deferred intent completed.
     DeferredDone { intent_lsn: Lsn },
+    /// A quiescent checkpoint: every page state described by records at or
+    /// before this LSN is durably on disk (the pool was flushed first).
+    /// Restart's redo pass starts scanning just past the last checkpoint.
+    /// Written with `TxnId(0)` and a null `prev_lsn` — it belongs to no
+    /// transaction.
+    Checkpoint,
 }
 
 /// A complete log record.
@@ -69,6 +75,7 @@ const T_EXTOP_ATT: u8 = 6;
 const T_CLR: u8 = 7;
 const T_INTENT: u8 = 8;
 const T_DONE: u8 = 9;
+const T_CHECKPOINT: u8 = 10;
 
 impl LogRecord {
     /// Serializes the record to a self-contained byte frame.
@@ -112,6 +119,7 @@ impl LogRecord {
                 out.push(T_DONE);
                 out.extend_from_slice(&intent_lsn.0.to_le_bytes());
             }
+            LogBody::Checkpoint => out.push(T_CHECKPOINT),
         }
         // Trailing CRC32 over everything above: a torn or rotted frame is
         // detected by decode, which is what lets restart recovery
@@ -185,6 +193,7 @@ impl LogRecord {
             T_DONE => LogBody::DeferredDone {
                 intent_lsn: Lsn(u64at(&mut pos)?),
             },
+            T_CHECKPOINT => LogBody::Checkpoint,
             other => return Err(DmxError::Corrupt(format!("bad log tag {other}"))),
         };
         Ok(LogRecord {
@@ -238,6 +247,7 @@ mod tests {
             payload: vec![9; 40],
         });
         roundtrip(LogBody::DeferredDone { intent_lsn: Lsn(4) });
+        roundtrip(LogBody::Checkpoint);
     }
 
     #[test]

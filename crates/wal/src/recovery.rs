@@ -27,6 +27,13 @@ pub trait UndoHandler {
     /// be idempotent.
     fn undo(&self, rec: &LogRecord) -> Result<()>;
 
+    /// Re-applies one committed extension operation (an
+    /// [`LogBody::ExtOp`] record) during restart's redo pass. Under the
+    /// steal/no-force policy a committed operation's pages may never have
+    /// reached disk, so restart replays the durable log forward. Must be
+    /// idempotent: the operation may already be (partially) on disk.
+    fn redo(&self, rec: &LogRecord) -> Result<()>;
+
     /// Completes a committed transaction's deferred intent during restart
     /// (e.g. physically releasing a dropped relation's file). Must be
     /// idempotent.
@@ -79,6 +86,13 @@ pub struct RestartReport {
     pub losers: Vec<TxnId>,
     /// Deferred intents of committed transactions that were (re-)executed.
     pub intents_redone: usize,
+    /// Committed extension operations replayed by the redo pass.
+    pub ops_redone: usize,
+    /// The last durable [`LogBody::Checkpoint`] record ([`Lsn::NULL`] when
+    /// none): the point the redo scan started from. The database compares
+    /// this against the log end to decide whether opening quiescently
+    /// needs to write a fresh checkpoint.
+    pub last_checkpoint: Lsn,
     /// Torn/corrupt frames truncated from the durable log tail before
     /// analysis.
     pub tail_truncated: usize,
@@ -95,6 +109,12 @@ struct Analysis {
     active: HashMap<TxnId, Lsn>,
     /// Transactions with a durable commit record.
     committed: HashSet<TxnId>,
+    /// Committed transactions mapped to their commit record's `prev_lsn`
+    /// (the head of their final undo chain): the redo pass walks this
+    /// chain to find the net-applied operations.
+    committed_chain: HashMap<TxnId, Lsn>,
+    /// LSN of the last checkpoint record ([`Lsn::NULL`] when none).
+    checkpoint: Lsn,
     /// All deferred-intent records, in log order.
     intents: Vec<LogRecord>,
     /// Intent LSNs with a durable completion record.
@@ -117,6 +137,8 @@ fn analyze(log: &LogManager) -> Result<Analysis> {
 
     let mut active: HashMap<TxnId, Lsn> = HashMap::new();
     let mut committed: HashSet<TxnId> = HashSet::new();
+    let mut committed_chain: HashMap<TxnId, Lsn> = HashMap::new();
+    let mut checkpoint = Lsn::NULL;
     let mut intents: Vec<LogRecord> = Vec::new();
     let mut done: HashSet<Lsn> = HashSet::new();
     let mut max_txn = 0u64;
@@ -133,6 +155,10 @@ fn analyze(log: &LogManager) -> Result<Analysis> {
             LogBody::Commit => {
                 active.remove(&rec.txn);
                 committed.insert(rec.txn);
+                committed_chain.insert(rec.txn, rec.prev_lsn);
+            }
+            LogBody::Checkpoint => {
+                checkpoint = rec.lsn;
             }
             LogBody::Abort => {
                 active.remove(&rec.txn);
@@ -156,6 +182,8 @@ fn analyze(log: &LogManager) -> Result<Analysis> {
     Ok(Analysis {
         active,
         committed,
+        committed_chain,
+        checkpoint,
         intents,
         done,
         max_txn,
@@ -184,14 +212,18 @@ pub fn committed_intents(log: &LogManager) -> Result<Vec<(LogRecord, bool)>> {
         .collect())
 }
 
-/// System restart recovery: truncates a torn/corrupt log tail, analyzes
-/// the durable log, completes committed transactions' outstanding
-/// deferred intents, and undoes loser transactions. Forces the log before
-/// returning.
+/// System restart recovery (ARIES-shaped): truncates a torn/corrupt log
+/// tail, analyzes the durable log, completes committed transactions'
+/// outstanding deferred intents, **redoes** committed extension
+/// operations forward from the last checkpoint (under steal/no-force a
+/// winner's pages may never have reached disk), and undoes loser
+/// transactions. Forces the log before returning.
 pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartReport> {
     let Analysis {
         active,
         committed,
+        committed_chain,
+        checkpoint,
         intents,
         done,
         max_txn,
@@ -199,6 +231,8 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
     } = analyze(log)?;
 
     // --- redo committed deferred intents ---
+    // Before the op redo pass: a pending catalog-image intent is what
+    // makes a committed CREATE's relation visible to redo dispatch.
     let mut intents_redone = 0;
     for intent in &intents {
         if committed.contains(&intent.txn) && !done.contains(&intent.lsn) {
@@ -211,6 +245,47 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
                 },
             );
             intents_redone += 1;
+        }
+    }
+
+    // --- redo committed extension ops, net of compensation ---
+    // A committed transaction can contain CLRs (savepoint or vetoed-
+    // statement rollback before commit), and a CLR carries no redo
+    // information of its own. Walking the *final* undo chain backward
+    // from the commit record visits exactly the net-applied ExtOps: a
+    // CLR's undo_next jump skips everything it compensated. Replaying
+    // only that set, in forward log order, reproduces the committed
+    // state. The walk stops at the checkpoint: a transaction never spans
+    // a checkpoint (checkpoints are written at quiescent open), so every
+    // pre-checkpoint effect is already durably on disk.
+    let mut redo_set: HashSet<Lsn> = HashSet::new();
+    for head in committed_chain.values() {
+        let mut cur = *head;
+        while !cur.is_null() && cur > checkpoint {
+            let rec = log.record(cur)?;
+            match &rec.body {
+                LogBody::ExtOp { .. } => {
+                    redo_set.insert(cur);
+                    cur = rec.prev_lsn;
+                }
+                LogBody::Clr { undo_next } => cur = *undo_next,
+                _ => cur = rec.prev_lsn,
+            }
+        }
+    }
+    let mut ops_redone = 0;
+    if !redo_set.is_empty() {
+        let stable = log.stable();
+        // LSNs are dense and 1-based: frame idx holds LSN idx+1, so the
+        // scan starts at the frame just past the checkpoint record.
+        for idx in (checkpoint.0 as usize)..stable.len() {
+            if !redo_set.contains(&Lsn(idx as u64 + 1)) {
+                continue;
+            }
+            let rec =
+                with_io_retries(MAX_IO_RETRIES, || stable.with_frame(idx, LogRecord::decode))?;
+            handler.redo(&rec)?;
+            ops_redone += 1;
         }
     }
 
@@ -228,6 +303,8 @@ pub fn restart(log: &LogManager, handler: &dyn UndoHandler) -> Result<RestartRep
     Ok(RestartReport {
         losers: loser_ids,
         intents_redone,
+        ops_redone,
+        last_checkpoint: checkpoint,
         tail_truncated,
         max_txn,
     })
@@ -249,6 +326,7 @@ mod tests {
     struct Shadow {
         applied: Mutex<Vec<u8>>,
         undone: Mutex<Vec<u8>>,
+        redone: Mutex<Vec<u8>>,
         deferred: Mutex<Vec<Vec<u8>>>,
     }
 
@@ -259,6 +337,18 @@ mod tests {
                 if let Some(pos) = applied.iter().position(|&b| b == payload[0]) {
                     applied.remove(pos);
                     self.undone.lock().push(payload[0]);
+                }
+            }
+            Ok(())
+        }
+        fn redo(&self, rec: &LogRecord) -> Result<()> {
+            // Idempotent: re-apply only if absent (mirrors page-LSN /
+            // presence checks in real extensions).
+            if let LogBody::ExtOp { payload, .. } = &rec.body {
+                let mut applied = self.applied.lock();
+                if !applied.contains(&payload[0]) {
+                    applied.push(payload[0]);
+                    self.redone.lock().push(payload[0]);
                 }
             }
             Ok(())
@@ -485,6 +575,9 @@ mod tests {
             fn undo(&self, rec: &LogRecord) -> Result<()> {
                 self.inner.undo(rec)
             }
+            fn redo(&self, rec: &LogRecord) -> Result<()> {
+                self.inner.redo(rec)
+            }
             fn redo_deferred(&self, rec: &LogRecord) -> Result<()> {
                 let mut tripped = self.tripped.lock();
                 if !*tripped {
@@ -526,6 +619,83 @@ mod tests {
         let report = restart(&log, &sh).unwrap();
         assert_eq!(report.intents_redone, 0);
         assert_eq!(sh.inner.deferred.lock().len(), 1);
+    }
+
+    #[test]
+    fn restart_redoes_committed_ops_lost_from_volatile_state() {
+        // Steal/no-force: a committed transaction's effects may not be on
+        // disk at all. A fresh shadow (nothing applied) stands in for the
+        // lost pages; restart's redo pass must reinstall the winner's ops
+        // and leave the loser's alone.
+        let stable = StableLog::new();
+        {
+            let log = LogManager::open(stable.clone());
+            let sh = Shadow::default(); // applies are discarded with it
+            let (w_last, _) = run_ops(&log, &sh, TxnId(1), &[10, 11]);
+            log.append(TxnId(1), w_last, LogBody::Commit);
+            run_ops(&log, &sh, TxnId(2), &[20]);
+            log.force_all().unwrap();
+        } // crash loses every applied effect
+        let log = LogManager::open(stable);
+        let fresh = Shadow::default();
+        let report = restart(&log, &fresh).unwrap();
+        assert_eq!(report.ops_redone, 2);
+        assert_eq!(*fresh.applied.lock(), vec![10, 11], "winner reinstalled");
+        assert_eq!(*fresh.redone.lock(), vec![10, 11], "forward log order");
+        assert!(fresh.undone.lock().is_empty(), "loser op was never on disk");
+    }
+
+    #[test]
+    fn redo_skips_ops_compensated_before_commit() {
+        // A committed transaction that partially rolled back (savepoint)
+        // contains CLRs; its compensated ops are NOT net-applied and must
+        // not be replayed — the final undo chain jumps over them.
+        let stable = StableLog::new();
+        {
+            let log = LogManager::open(stable.clone());
+            let sh = Shadow::default();
+            let txn = TxnId(1);
+            let (mut last, _) = run_ops(&log, &sh, txn, &[1]);
+            let sp = log.append(txn, last, LogBody::Savepoint);
+            last = sp;
+            for n in [2u8, 3] {
+                sh.applied.lock().push(n);
+                last = log.append(txn, last, op(n));
+            }
+            // roll back to the savepoint, then commit with op 4
+            last = rollback_to(&log, &sh, txn, last, sp).unwrap();
+            sh.applied.lock().push(4);
+            last = log.append(txn, last, op(4));
+            log.append(txn, last, LogBody::Commit);
+            log.force_all().unwrap();
+        } // crash loses all applied state
+        let log = LogManager::open(stable);
+        let fresh = Shadow::default();
+        let report = restart(&log, &fresh).unwrap();
+        assert_eq!(report.ops_redone, 2, "net ops only");
+        assert_eq!(*fresh.applied.lock(), vec![1, 4], "2 and 3 compensated");
+    }
+
+    #[test]
+    fn checkpoint_bounds_redo_scan() {
+        let stable = StableLog::new();
+        {
+            let log = LogManager::open(stable.clone());
+            let sh = Shadow::default();
+            let (w_last, _) = run_ops(&log, &sh, TxnId(1), &[10]);
+            log.append(TxnId(1), w_last, LogBody::Commit);
+            // quiescent checkpoint: everything above is durably on disk
+            log.append(TxnId(0), Lsn::NULL, LogBody::Checkpoint);
+            let (w2, _) = run_ops(&log, &sh, TxnId(2), &[20]);
+            log.append(TxnId(2), w2, LogBody::Commit);
+            log.force_all().unwrap();
+        } // crash
+        let log = LogManager::open(stable);
+        let fresh = Shadow::default();
+        let report = restart(&log, &fresh).unwrap();
+        assert_eq!(report.last_checkpoint, Lsn(4));
+        assert_eq!(report.ops_redone, 1, "pre-checkpoint op not replayed");
+        assert_eq!(*fresh.applied.lock(), vec![20]);
     }
 
     #[test]

@@ -68,7 +68,7 @@ cargo run -q --release -p dmx-bench --bin harness -- --smoke
 # must still exist in each later baseline (renaming or dropping a
 # published metric is a breaking observability change). pr5-only names
 # such as planner.misestimate stay published through BENCH_pr5.json.
-for later in BENCH_pr5.json BENCH_pr7.json; do
+for later in BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json; do
   if [ -f BENCH_pr3.json ] && [ -f "$later" ]; then
     echo "==> bench metric-name compatibility (pr3 -> ${later})"
     missing=$(comm -23 \
@@ -81,5 +81,35 @@ for later in BENCH_pr5.json BENCH_pr7.json; do
     fi
   fi
 done
+
+# Recovery-architecture perf ratchet (PR8): the steal/no-force commit
+# path must keep the b-tree bulk load at >= 2x the PR3 force-at-commit
+# baseline, and commit must have stopped flushing pages — pool.flushes
+# in the PR8 bulk scenarios stays a small DDL-bootstrap constant
+# instead of scaling with the row count. Both numbers come from the
+# committed baselines, so the gate is hermetic.
+if [ -f BENCH_pr3.json ] && [ -f BENCH_pr8.json ]; then
+  echo "==> recovery perf ratchet (pr8 vs pr3)"
+  ratchet() { # file scenario -> ops_per_sec (integer part)
+    grep -o "\"name\": \"$2\"[^}]*" "$1" \
+      | grep -oE '"ops_per_sec": [0-9]+' | grep -oE '[0-9]+' | head -1
+  }
+  pr3_btree=$(ratchet BENCH_pr3.json bulk_insert_btree)
+  pr8_btree=$(ratchet BENCH_pr8.json bulk_insert_btree)
+  if [ "$pr8_btree" -lt $((pr3_btree * 2)) ]; then
+    echo "pr8 bulk_insert_btree ${pr8_btree} ops/s < 2x pr3 baseline ${pr3_btree} ops/s"
+    exit 1
+  fi
+  echo "    bulk_insert_btree: pr8 ${pr8_btree} ops/s >= 2x pr3 ${pr3_btree} ops/s"
+  for scenario in bulk_insert_heap bulk_insert_btree; do
+    flushes=$(grep -o "\"name\": \"$scenario\".*" BENCH_pr8.json \
+      | grep -oE '"pool\.flushes": ?[0-9]+' | grep -oE '[0-9]+' | head -1)
+    if [ "${flushes:-999}" -gt 16 ]; then
+      echo "pr8 $scenario flushed ${flushes} pages at commit (no-force regression)"
+      exit 1
+    fi
+    echo "    $scenario: pool.flushes=${flushes} (no-force holds)"
+  done
+fi
 
 echo "check.sh: all gates passed"

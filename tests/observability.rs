@@ -133,8 +133,20 @@ fn sys_relations_answer_ordinary_sql() {
 #[test]
 fn sys_trace_drains_events_and_reports_eviction() {
     let (db, _model) = seeded_db(SEED);
-    // The seeding workload emitted far more than the ring holds, so the
-    // first drain starts past zero and the eviction counter is visible.
+    // Under steal/no-force (DESIGN.md §6) a commit emits a single log
+    // `force` event instead of the old per-page flush cascade, so the
+    // seeding workload alone no longer overflows the ring. Drive enough
+    // additional commits to push the event count past the ring capacity
+    // so the first drain starts past zero and the eviction counter is
+    // visible.
+    for i in 0..300i64 {
+        db.execute_sql(&format!(
+            "UPDATE emp SET dept = {} WHERE id = {}",
+            i % 8,
+            i % 80
+        ))
+        .unwrap();
+    }
     let trace = db.execute_sql("SELECT * FROM sys.trace").unwrap();
     assert_eq!(
         trace.columns,

