@@ -20,9 +20,11 @@ use dmx_core::{
     KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps,
 };
 use dmx_expr::{analyze, Expr, SargOp};
+use dmx_lock::{LockMode, LockName};
 use dmx_types::{
     key::{decode_values, encode_values},
-    AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, Result, Schema,
+    AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey, RelationId, Result,
+    Schema, Value,
 };
 
 use crate::common::{
@@ -113,6 +115,10 @@ impl BTreeIndex {
             ));
         }
         let full = Self::full_key(&prefix, key);
+        // Fence the entry against locked index-range scans: X the gap
+        // the new entry splits (named by its in-tree successor).
+        let succ = tree.seek(Bound::Excluded(full.as_slice()))?.map(|(k, _)| k);
+        ctx.lock(LockName::gap(rd.id, d.file, succ.as_deref()), LockMode::X)?;
         // Log first, then apply with the record's LSN stamped onto every
         // page the tree op dirties: the flush hook forces the log through
         // a page's LSN before writing it, so the entry can never reach
@@ -145,6 +151,14 @@ impl BTreeIndex {
         if tree.get(&full)?.is_none() {
             return Ok(());
         }
+        // Deleting merges the entry's gap into its successor's: X both
+        // names so locked index-range scans spanning either conflict.
+        ctx.lock(
+            LockName::gap(rd.id, d.file, Some(full.as_slice())),
+            LockMode::X,
+        )?;
+        let succ = tree.seek(Bound::Excluded(full.as_slice()))?.map(|(k, _)| k);
+        ctx.lock(LockName::gap(rd.id, d.file, succ.as_deref()), LockMode::X)?;
         // Write-ahead: log, then delete with the LSN stamped (see insert).
         let lsn = log_att(
             ctx,
@@ -322,7 +336,7 @@ impl Attachment for BTreeIndex {
     fn open_scan(
         &self,
         ctx: &ExecCtx<'_>,
-        _rd: &RelationDescriptor,
+        rd: &RelationDescriptor,
         instance: &AttachmentInstance,
         query: &AccessQuery,
     ) -> Result<Box<dyn ScanOps>> {
@@ -331,10 +345,14 @@ impl Attachment for BTreeIndex {
         let (lo, hi) = translate_prefix_range(query)?;
         Ok(Box::new(IndexScan {
             tree,
+            rel: rd.id,
+            file: d.file,
             lo,
             hi,
-            nfields: d.fields.len(),
+            fields: d.fields,
             after: None,
+            range_lock: false,
+            end_gap_locked: false,
         }))
     }
 
@@ -500,14 +518,23 @@ fn translate_prefix_range(query: &AccessQuery) -> Result<KeyBounds> {
 /// covered (indexed) field values decoded from the index key.
 struct IndexScan {
     tree: BTree,
+    rel: RelationId,
+    file: FileId,
     lo: Bound<Vec<u8>>,
     hi: Bound<Vec<u8>>,
-    nfields: usize,
+    /// The indexed fields — prefix decode count for covered values, and
+    /// the projection [`ScanOps::item_from_version`] re-derives from a
+    /// record's current values.
+    fields: Vec<FieldId>,
     after: Option<Vec<u8>>,
+    /// S-lock the gap below every index entry the scan passes
+    /// (locking-scan dispatch only; raw internal scans leave it off).
+    range_lock: bool,
+    end_gap_locked: bool,
 }
 
 impl ScanOps for IndexScan {
-    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
         let bound = match &self.after {
             Some(k) => Bound::Excluded(k.as_slice()),
             None => match &self.lo {
@@ -517,6 +544,10 @@ impl ScanOps for IndexScan {
             },
         };
         let Some((key, value)) = self.tree.seek(bound)? else {
+            if self.range_lock && !self.end_gap_locked {
+                self.end_gap_locked = true;
+                ctx.lock(LockName::gap(self.rel, self.file, None), LockMode::S)?;
+            }
             return Ok(None);
         };
         let in_hi = match &self.hi {
@@ -525,15 +556,71 @@ impl ScanOps for IndexScan {
             Bound::Excluded(h) => key < *h,
         };
         if !in_hi {
+            if self.range_lock && !self.end_gap_locked {
+                self.end_gap_locked = true;
+                ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
+            }
             return Ok(None);
+        }
+        if self.range_lock {
+            ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
         }
         self.after = Some(key.clone());
         // the index key prefix covers the indexed fields
-        let covered = decode_values(&key, self.nfields)?;
+        let covered = decode_values(&key, self.fields.len())?;
         Ok(Some(ScanItem {
             key: RecordKey::new(value),
             values: Some(covered),
         }))
+    }
+
+    fn supports_versioned_read(&self) -> bool {
+        true
+    }
+
+    fn item_from_version(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        key: &RecordKey,
+        values: &[Value],
+    ) -> Result<Option<ScanItem>> {
+        // Covered values re-derived from the record itself, not the
+        // (possibly stale or uncommitted) index entry.
+        let covered = self
+            .fields
+            .iter()
+            .map(|&f| {
+                values
+                    .get(f as usize)
+                    .cloned()
+                    .ok_or_else(|| DmxError::InvalidArg(format!("no field {f}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // The record's *current* indexed values decide range membership
+        // (the entry that surfaced the item may describe older ones).
+        let mut full = encode_values(&covered);
+        full.extend_from_slice(key.as_bytes());
+        let in_lo = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => full >= *b,
+            Bound::Excluded(b) => full > *b,
+        };
+        let in_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => full <= *b,
+            Bound::Excluded(b) => full < *b,
+        };
+        if !in_lo || !in_hi {
+            return Ok(None);
+        }
+        Ok(Some(ScanItem {
+            key: key.clone(),
+            values: Some(covered),
+        }))
+    }
+
+    fn set_range_locking(&mut self, on: bool) {
+        self.range_lock = on;
     }
 
     fn save_position(&self) -> Vec<u8> {
@@ -542,6 +629,7 @@ impl ScanOps for IndexScan {
 
     fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
         self.after = crate::common_position::decode(pos)?;
+        self.end_gap_locked = false;
         Ok(())
     }
 }

@@ -65,6 +65,9 @@ fn main() {
     if want("pr8") {
         pr8_baseline();
     }
+    if want("pr9") {
+        pr9_baseline();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -290,6 +293,62 @@ fn pr8_baseline() {
     println!("\nwrote {path}");
 }
 
+/// Full-scale run of the PR9 MVCC scenarios; writes the
+/// `BENCH_pr9.json` baseline next to the workspace root. Both
+/// scenarios run the identical seeded read-mostly workload, so
+/// `scripts/check.sh` can ratchet the snapshot path's `lock.acquires`
+/// collapse against the locking baseline.
+fn pr9_baseline() {
+    banner(
+        "PR9",
+        "MVCC snapshot reads: read-mostly workload, locking vs snapshot scan path",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr9::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "lock.acquires".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    o.metrics.counter("lock.acquires").to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr9::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr9.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr9.json"))
+            .unwrap_or_else(|_| "BENCH_pr9.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr9.json");
+    println!("\nwrote {path}");
+}
+
 /// `--smoke`: small scale, every scenario run twice; asserts the two
 /// snapshots are identical (determinism) and that each covers the
 /// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
@@ -328,6 +387,17 @@ fn pr3_smoke() {
             println!("smoke {:<26} ok  ops={} (invariants only)", s.name, a.ops);
             continue;
         }
+        let b = (s.run)(&scale, seed);
+        assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: same seed produced different snapshots",
+            s.name
+        );
+        println!("smoke {:<26} ok  ops={}", s.name, a.ops);
+    }
+    for s in pr9::scenarios() {
+        let a = (s.run)(&scale, seed);
         let b = (s.run)(&scale, seed);
         assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);
         assert_eq!(

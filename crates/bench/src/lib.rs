@@ -14,6 +14,7 @@ pub mod pr3;
 pub mod pr5;
 pub mod pr7;
 pub mod pr8;
+pub mod pr9;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

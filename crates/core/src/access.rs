@@ -128,6 +128,41 @@ pub trait ScanOps: Send {
     fn items_are_record_keys(&self) -> bool {
         true
     }
+
+    /// True when the scan can re-derive its items from a versioned
+    /// record image via [`ScanOps::item_from_version`] — the opt-in for
+    /// lock-free snapshot scans. Scans whose per-item state is not a
+    /// pure function of `(record key, record values)` (join pairs,
+    /// derived aggregates, spatial hits) keep the default `false` and
+    /// the dispatcher falls back to the locking protocol.
+    fn supports_versioned_read(&self) -> bool {
+        false
+    }
+
+    /// Re-derives the scan's item for a record given its snapshot-
+    /// visible `values`: applies the scan's own range/predicate/
+    /// projection and returns `None` when the versioned record does not
+    /// qualify. `key` is the storage-method record key.
+    fn item_from_version(
+        &self,
+        _ctx: &ExecCtx<'_>,
+        _key: &RecordKey,
+        _values: &[Value],
+    ) -> Result<Option<ScanItem>> {
+        Err(DmxError::Unsupported(
+            "scan does not support versioned reads".into(),
+        ))
+    }
+
+    /// Enables next-key range (gap) locking on this scan: tree scans
+    /// S-lock the gap below every entry they return (and the gap just
+    /// past the range on exhaustion) so serializable writers cannot
+    /// slip phantoms into the scanned range. Only the dispatcher's
+    /// locking protocol turns this on — raw internal scans (backfill,
+    /// scrub, referential-integrity probes) run without range locks,
+    /// exactly as they run without record locks. Default: no-op for
+    /// scans without a gap-lockable key space.
+    fn set_range_locking(&mut self, _on: bool) {}
 }
 
 type SharedScan = Arc<Mutex<Box<dyn ScanOps>>>;

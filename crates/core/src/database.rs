@@ -22,8 +22,8 @@ use dmx_types::obs::{
     SIZE_BUCKETS,
 };
 use dmx_types::{
-    AttrList, DmxError, FaultInjector, FaultPlan, Lsn, Record, RecordKey, RelationId, Result,
-    Schema, TxnId, Value,
+    AttrList, DmxError, FaultInjector, FaultPlan, FileId, Lsn, Record, RecordKey, RelationId,
+    Result, Schema, TxnId, Value,
 };
 use dmx_wal::{LogBody, LogManager, StableLog};
 
@@ -156,6 +156,10 @@ pub(crate) struct CoreCounters {
     pub(crate) repair_failures: Arc<Counter>,
     pub(crate) commits: Arc<Counter>,
     pub(crate) aborts: Arc<Counter>,
+    pub(crate) mvcc_snapshot_scans: Arc<Counter>,
+    pub(crate) mvcc_version_reads: Arc<Counter>,
+    pub(crate) mvcc_versions_recorded: Arc<Counter>,
+    pub(crate) mvcc_gc_reclaimed: Arc<Counter>,
 }
 
 impl CoreCounters {
@@ -184,6 +188,10 @@ impl CoreCounters {
             repair_failures: obs.counter(metric::REPAIR_FAILURES),
             commits: obs.counter(metric::TXN_COMMITS),
             aborts: obs.counter(metric::TXN_ABORTS),
+            mvcc_snapshot_scans: obs.counter(metric::MVCC_SNAPSHOT_SCANS),
+            mvcc_version_reads: obs.counter(metric::MVCC_VERSION_READS),
+            mvcc_versions_recorded: obs.counter(metric::MVCC_VERSIONS_RECORDED),
+            mvcc_gc_reclaimed: obs.counter(metric::MVCC_GC_RECLAIMED),
         }
     }
 }
@@ -196,6 +204,25 @@ impl CoreCounters {
 struct IncidentRing {
     reports: VecDeque<Arc<IncidentReport>>,
     total: u64,
+}
+
+/// Savepoint payload: open-scan positions plus the transaction's
+/// version-store write-log mark, so partial rollback retracts the chain
+/// stamps of the writes it undoes.
+struct SavepointState {
+    positions: Vec<(dmx_types::ScanId, Vec<u8>)>,
+    vmark: usize,
+}
+
+/// One entry of the DDL visibility fence (see [`Database::ddl_fence`]).
+enum DdlFence {
+    /// Created by this still-active transaction: invisible to everyone
+    /// else.
+    Uncommitted(TxnId),
+    /// Creation committed at this csn: invisible to snapshot readers
+    /// whose snapshot is older (the relation does not exist as of their
+    /// read position).
+    Committed(u64),
 }
 
 /// The data manager.
@@ -213,6 +240,24 @@ pub struct Database {
     auth: AuthManager,
     hooks: RwLock<HashMap<String, HookFn>>,
     ddl_txns: Mutex<HashSet<TxnId>>,
+    /// Storage files created by in-flight DDL transactions. Their
+    /// structure bootstrap (fresh tree root, first heap page) is
+    /// physical and unlogged, so the commit path force-writes exactly
+    /// these files — no pool-wide flush, no tree latches: the creating
+    /// transaction owns them exclusively until commit.
+    ddl_files: Mutex<HashMap<TxnId, Vec<FileId>>>,
+    /// Relations created by transactions that have not committed yet —
+    /// or committed after a still-active snapshot — the DDL visibility
+    /// fence. Catalog-by-name/by-id resolution at the DML and scan
+    /// entry points refuses [`DdlFence::Uncommitted`] entries for every
+    /// *other* transaction, so an uncommitted `CREATE` is invisible
+    /// outside its creator (DESIGN.md §6.1's visibility leak, closed);
+    /// after commit the entry becomes [`DdlFence::Committed`] at the
+    /// creator's commit csn so a snapshot reader whose snapshot predates
+    /// the CREATE still gets not-found instead of an empty (to its
+    /// snapshot) relation. Committed entries fold away once every
+    /// active snapshot postdates them.
+    ddl_fence: Mutex<HashMap<RelationId, DdlFence>>,
     query_slot: OnceLock<Arc<dyn Any + Send + Sync>>,
     /// Relations whose pages failed checksum verification after retries,
     /// keyed to the reason. DML/scan entry points refuse these with
@@ -389,6 +434,8 @@ impl Database {
             auth: AuthManager::new(),
             hooks: RwLock::new(HashMap::new()),
             ddl_txns: Mutex::new(HashSet::new()),
+            ddl_files: Mutex::new(HashMap::new()),
+            ddl_fence: Mutex::new(HashMap::new()),
             query_slot: OnceLock::new(),
             quarantined: Mutex::new(HashMap::new()),
             trace,
@@ -593,6 +640,12 @@ impl Database {
         self.txns.begin()
     }
 
+    /// The record version store (the snapshot-visibility side car shared
+    /// with the transaction manager).
+    pub fn versions(&self) -> &Arc<dmx_txn::VersionStore> {
+        self.txns.versions()
+    }
+
     /// Number of active transactions.
     pub fn active_txns(&self) -> usize {
         self.txns.active_count()
@@ -644,12 +697,18 @@ impl Database {
         //    eviction under memory pressure now do the page writing.)
         //    The one exception is DDL: structure bootstrap (a fresh tree
         //    root, a heap's first page) is physical and unlogged, so redo
-        //    cannot reconstruct it — a DDL commit still force-writes its
-        //    pages, which is cheap and rare.
+        //    cannot reconstruct it — a DDL commit force-writes exactly the
+        //    files this transaction created. No tree latches are needed:
+        //    the creator owns those files exclusively (Catalog X plus the
+        //    DDL visibility fence) so no concurrent writer can be mid-way
+        //    through a multi-page change in them, and per-file flushing
+        //    leaves every other relation's latches untouched.
         let did_ddl = self.ddl_txns.lock().remove(&txn.id());
         if did_ddl {
-            let _latches = self.services.latches.lock_all();
-            self.services.pool.flush_all()?;
+            let created = self.ddl_files.lock().remove(&txn.id()).unwrap_or_default();
+            for file in created {
+                self.services.pool.flush_file(file)?;
+            }
         }
         // 3. DDL durability: log the catalog image as a deferred intent
         //    so restart can redo it if we crash after the commit point.
@@ -666,6 +725,25 @@ impl Database {
         txn.commit_point()?;
         txn.finish(TxnState::Committed);
         self.counters.commits.incr();
+        // Publish this transaction's record versions: the effects are
+        // durable, and the stamps must become committed versions before
+        // the record X locks release in step 7 (a snapshot captured
+        // after those locks drop must already see the new images).
+        let commit_csn = self.txns.versions().commit(txn.id());
+        if did_ddl {
+            // Promote this transaction's fence entries: the relations are
+            // real now, but only as of the commit csn — an older snapshot
+            // must keep seeing not-found rather than the relation with
+            // all of its initial rows invisible. A row-less DDL commit
+            // has no csn of its own; the currently-published sequence is
+            // a safe (conservative) stand-in.
+            let csn = commit_csn.unwrap_or_else(|| self.txns.versions().commit_seq());
+            for fence in self.ddl_fence.lock().values_mut() {
+                if matches!(fence, DdlFence::Uncommitted(owner) if *owner == txn.id()) {
+                    *fence = DdlFence::Committed(csn);
+                }
+            }
+        }
         // 5. Deferred physical actions (dropped storage release, …).
         let deferred_result = txn.run_deferred(TxnEvent::AtCommit);
         // 6. Catalog persistence + completion record. Only DDL needs a
@@ -724,8 +802,41 @@ impl Database {
         // termination."
         self.scans.close_all(txn.id());
         let _ = txn.run_deferred(TxnEvent::AtEnd);
+        // A transaction that did not commit unwinds its chain stamps now
+        // — after the WAL undo restored the pages, so a reader that
+        // raced the rollback kept resolving through the chains the whole
+        // time. No-op when the transaction never wrote (or committed).
+        if txn.state() != TxnState::Committed {
+            self.txns.versions().abort(txn.id());
+        }
         self.services.locks.unlock_all(txn.id());
         self.txns.deregister(txn.id());
+        // The DDL visibility fence: an aborting creator's entries vanish
+        // (the relation never existed); commit already promoted its
+        // entries to `Committed(csn)` in `commit_inner`. Committed
+        // entries fold away once every active snapshot postdates them —
+        // from then on no possible reader is old enough to refuse. Both
+        // this prune and the version GC below are reclamation decisions
+        // and so run under the active-set lock (see
+        // `TxnManager::with_active_snapshots`): an unlocked copy of the
+        // snapshot set can miss a transaction that is mid-`begin` with
+        // an already-captured (older) snapshot.
+        self.ddl_files.lock().remove(&txn.id());
+        let gc = self.txns.with_active_snapshots(|snaps| {
+            let low_water = snaps.iter().map(|s| s.csn).min().unwrap_or(u64::MAX);
+            self.ddl_fence.lock().retain(|_, f| match f {
+                DdlFence::Uncommitted(owner) => *owner != txn.id(),
+                DdlFence::Committed(csn) => *csn > low_water,
+            });
+            // Low-water version GC: with this transaction gone, chains
+            // whose newest committed version predates every remaining
+            // snapshot (and that no snapshot captured mid-write) fold
+            // away.
+            self.txns.versions().gc(snaps)
+        });
+        if gc.reclaimed > 0 {
+            self.counters.mvcc_gc_reclaimed.add(gc.reclaimed as u64);
+        }
     }
 
     /// Runs `f` in a fresh transaction, committing on success and
@@ -758,6 +869,32 @@ impl Database {
         mut f: impl FnMut(&Arc<Transaction>) -> Result<T>,
     ) -> Result<T> {
         dmx_txn::run_with_retries(retries, |_attempt| self.with_txn(|txn| f(txn)))
+    }
+
+    /// DDL visibility fence (DESIGN.md §6.1/§6.2): a relation created by
+    /// an uncommitted transaction does not exist for any *other*
+    /// transaction — their lookups report not-found exactly as if the
+    /// CREATE had never run, because until commit it may not have. A
+    /// snapshot reader additionally refuses a relation whose creation
+    /// committed *after* its snapshot: to that read position the CREATE
+    /// has not happened yet, and admitting it would show an impossible
+    /// state (the relation present but all of its initial rows still
+    /// invisible). Called at every DML/scan entry point after catalog
+    /// resolution.
+    pub(crate) fn check_ddl_visible(
+        &self,
+        rd: &crate::descriptor::RelationDescriptor,
+        txn: &Arc<Transaction>,
+    ) -> Result<()> {
+        match self.ddl_fence.lock().get(&rd.id) {
+            Some(DdlFence::Uncommitted(owner)) if *owner != txn.id() => {
+                Err(DmxError::NotFound(format!("relation {}", rd.name)))
+            }
+            Some(DdlFence::Committed(csn)) if txn.snapshot_reads() && txn.snapshot().csn < *csn => {
+                Err(DmxError::NotFound(format!("relation {}", rd.name)))
+            }
+            _ => Ok(()),
+        }
     }
 
     // -- quarantine -------------------------------------------------------
@@ -928,13 +1065,16 @@ impl Database {
     /// obtain their key-sequential access positions").
     pub fn savepoint(&self, txn: &Arc<Transaction>, name: &str) -> Result<()> {
         txn.check_active()?;
-        let positions = self.scans.save_positions(txn.id());
-        txn.savepoint(name, Some(Box::new(positions)));
+        let state = SavepointState {
+            positions: self.scans.save_positions(txn.id()),
+            vmark: self.txns.versions().mark(txn.id()),
+        };
+        txn.savepoint(name, Some(Box::new(state)));
         Ok(())
     }
 
     /// Partial rollback to a named savepoint: log-driven undo back to the
-    /// rollback point, then scan-position restore.
+    /// rollback point, then version-stamp unwind and scan-position restore.
     pub fn rollback_to_savepoint(&self, txn: &Arc<Transaction>, name: &str) -> Result<()> {
         txn.check_active()?;
         let sp = txn.pop_savepoint(name)?;
@@ -949,10 +1089,13 @@ impl Database {
         self.fence_undo_damage(&handler);
         txn.set_last_lsn(new_last);
         if let Some(payload) = sp.payload {
-            let positions = payload
-                .downcast::<Vec<(dmx_types::ScanId, Vec<u8>)>>()
+            let state = payload
+                .downcast::<SavepointState>()
                 .map_err(|_| DmxError::Internal("savepoint payload type".into()))?;
-            self.scans.restore_positions(txn.id(), &positions)?;
+            // The pages are restored; retract the chain stamps of the
+            // undone writes so snapshot readers don't keep serving them.
+            self.txns.versions().rollback_to_mark(txn.id(), state.vmark);
+            self.scans.restore_positions(txn.id(), &state.positions)?;
         }
         Ok(())
     }
@@ -993,8 +1136,25 @@ impl Database {
         let sm_desc = sm.create_instance(&ctx, rel, &schema, params)?;
         let rd =
             crate::descriptor::RelationDescriptor::new(rel, name, schema, sm_id, sm_desc.clone());
-        self.catalog.insert(rd)?;
+        // Until commit, the new relation is visible only to its creator.
+        // The fence goes up *before* the name becomes resolvable: a
+        // reader that wins the race to the catalog must already find the
+        // fence, or it would scan the half-created relation.
+        self.ddl_fence
+            .lock()
+            .insert(rel, DdlFence::Uncommitted(txn.id()));
+        if let Err(e) = self.catalog.insert(rd) {
+            self.ddl_fence.lock().remove(&rel);
+            return Err(e);
+        }
         self.mark_ddl(txn);
+        // Commit will force-write exactly the files this CREATE made
+        // (their structure bootstrap is physical and unlogged).
+        self.ddl_files
+            .lock()
+            .entry(txn.id())
+            .or_default()
+            .extend(sm.storage_files(&sm_desc));
         // On abort: un-create (the relation never becomes durable).
         let (catalog, services) = (self.catalog.clone(), self.services.clone());
         txn.defer(
@@ -1074,6 +1234,11 @@ impl Database {
 
         self.deps.invalidate(DepKey::Relation(old_rd.id));
         self.mark_ddl(txn);
+        self.ddl_files
+            .lock()
+            .entry(txn.id())
+            .or_default()
+            .extend(att.storage_files(&inst_desc));
         let (catalog, services, rel) = (self.catalog.clone(), self.services.clone(), old_rd.id);
         let old_snapshot = (*old_rd).clone();
         txn.defer(

@@ -11,17 +11,35 @@
 //! to undo the effects of completed storage method and attachment
 //! modifications if the relation modification operation is aborted."
 
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use dmx_expr::Expr;
 use dmx_lock::{LockMode, LockName};
-use dmx_txn::Transaction;
+use dmx_txn::{Snapshot, Transaction, VersionImage};
 use dmx_types::{DmxError, FieldId, Record, RecordKey, RelationId, Result, ScanId, Value};
 
 use crate::access::{AccessPath, AccessQuery, KeyRange, ScanItem, ScanOps};
 use crate::context::ExecCtx;
 use crate::database::Database;
 use crate::descriptor::RelationDescriptor;
+
+/// Projects `values` to `fields` (`None` = all), failing on an
+/// out-of-range field id.
+pub fn project_values(values: &[Value], fields: Option<&[FieldId]>) -> Result<Vec<Value>> {
+    match fields {
+        None => Ok(values.to_vec()),
+        Some(ids) => ids
+            .iter()
+            .map(|&f| {
+                values
+                    .get(f as usize)
+                    .cloned()
+                    .ok_or_else(|| DmxError::InvalidArg(format!("no field {f}")))
+            })
+            .collect(),
+    }
+}
 
 /// Wraps a scan so every item's record is S-locked as it is returned
 /// (record-level locking maintains scan-position integrity, per the
@@ -79,6 +97,19 @@ impl LockingScan {
                     }
                     None => continue, // vanished or no longer qualifies
                 }
+            } else if self.inner.supports_versioned_read() {
+                // Re-derive the item from the record's current state:
+                // the optimistically-read entry values may belong to a
+                // concurrent writer that has since rolled back (the
+                // covered-scan staleness race), so the entry itself
+                // cannot be trusted even when the record exists.
+                match sm.fetch(ctx, &self.rd, &item.key, None, None)? {
+                    Some(values) => match self.inner.item_from_version(ctx, &item.key, &values)? {
+                        Some(fresh) => return Ok(Some(fresh)),
+                        None => continue, // no longer inside this scan
+                    },
+                    None => continue, // vanished
+                }
             } else {
                 // existence check only (empty projection, no predicate)
                 match sm.fetch(ctx, &self.rd, &item.key, Some(&[]), None)? {
@@ -115,7 +146,161 @@ impl ScanOps for LockingScan {
     }
 }
 
+/// A lock-free read-only scan against the transaction's snapshot.
+///
+/// The inner scan positions through the pages as usual, but **no record
+/// locks are taken**. Instead every record-keyed item is checked
+/// against the version store: when the record has a chain, the page (or
+/// index-entry) bytes may belong to an in-flight or recently-aborted
+/// writer, so the item is re-derived from the chain's snapshot-visible
+/// image; when it has none, the page state is committed for every live
+/// snapshot (the GC fence guarantees chains outlive the snapshots that
+/// might need them) and the item is trusted as read.
+///
+/// When the inner scan exhausts, a *delta sweep* re-derives items for
+/// snapshot-visible records the scan never surfaced — records whose
+/// tree entries an in-flight writer deleted or moved. Delta items are
+/// emitted after the regular stream in record-key order, so same-seed
+/// runs are deterministic; under concurrent writers the scan's overall
+/// key ordering is therefore best-effort (DESIGN.md §6.2).
+struct SnapshotScan {
+    inner: Box<dyn ScanOps>,
+    rd: Arc<RelationDescriptor>,
+    snap: Snapshot,
+    /// Record keys the inner scan surfaced (returned *or* filtered):
+    /// the delta sweep must not re-emit them.
+    seen: HashSet<Vec<u8>>,
+    /// The delta sweep, once the inner scan exhausted.
+    delta: Option<VecDeque<(Vec<u8>, VersionImage)>>,
+    rows: u64,
+    exhausted: bool,
+}
+
+impl SnapshotScan {
+    fn next_inner(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let me = ctx.txn.id();
+        loop {
+            if let Some(delta) = &mut self.delta {
+                let Some((key, image)) = delta.pop_front() else {
+                    return Ok(None);
+                };
+                let VersionImage::Present(values) = image else {
+                    continue;
+                };
+                let key = RecordKey::new(key);
+                if let Some(item) = self.inner.item_from_version(ctx, &key, &values)? {
+                    return Ok(Some(item));
+                }
+                continue;
+            }
+            let Some(item) = self.inner.next(ctx)? else {
+                // Inner scan exhausted: sweep the chains for visible
+                // records it never surfaced.
+                let entries = ctx.db.versions().visible_entries(self.rd.id, self.snap, me);
+                self.delta = Some(
+                    entries
+                        .into_iter()
+                        .filter(|(k, _)| !self.seen.contains(k))
+                        .collect(),
+                );
+                continue;
+            };
+            if !self.inner.items_are_record_keys() {
+                return Ok(Some(item));
+            }
+            let key_bytes = item.key.as_bytes().to_vec();
+            self.seen.insert(key_bytes.clone());
+            // Between the page read (inside `inner.next`) and the chain
+            // probe below, drain any unstamped-write windows: a mutation
+            // the page read may have observed either still holds its
+            // window open (we wait out the stamp) or has already
+            // published its chain. Fast path: one atomic load.
+            ctx.db.versions().wait_unstamped();
+            match ctx
+                .db
+                .versions()
+                .visible(self.rd.id, &key_bytes, self.snap, me)
+            {
+                // No chain: the page state is committed for this
+                // snapshot. The common case — zero overhead beyond one
+                // hash probe.
+                None => return Ok(Some(item)),
+                Some(image) => {
+                    ctx.db.counters().mvcc_version_reads.incr();
+                    match image {
+                        VersionImage::Absent => continue,
+                        VersionImage::Present(values) => {
+                            match self.inner.item_from_version(ctx, &item.key, &values)? {
+                                Some(fresh) => return Ok(Some(fresh)),
+                                None => continue,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ScanOps for SnapshotScan {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ScanItem>> {
+        let rel = self.rd.id;
+        let res = ctx.db.fence_corrupt(rel, self.next_inner(ctx));
+        match &res {
+            Ok(Some(_)) => {
+                self.rows += 1;
+                ctx.db.counters().scan_rows.incr();
+            }
+            Ok(None) if !self.exhausted => {
+                self.exhausted = true;
+                ctx.db.counters().rows_per_scan.record(self.rows);
+            }
+            _ => {}
+        }
+        res
+    }
+    fn save_position(&self) -> Vec<u8> {
+        self.inner.save_position()
+    }
+    fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        // A partial rollback rewinds the inner scan; the delta sweep (if
+        // it had started) is discarded and rebuilt at re-exhaustion.
+        self.delta = None;
+        self.inner.restore_position(pos)
+    }
+}
+
 impl Database {
+    /// Stamps a write's after-image into the version store (called by
+    /// the DML paths *before* the page mutation they describe, under the
+    /// record X lock).
+    fn stamp(
+        &self,
+        txn: &Arc<Transaction>,
+        rel: RelationId,
+        key: &RecordKey,
+        base: VersionImage,
+        image: VersionImage,
+    ) {
+        self.counters().mvcc_versions_recorded.incr();
+        self.versions()
+            .record_write(txn.id(), rel, key.as_bytes(), base, image);
+    }
+
+    /// The committed on-page state of `(rel, key)` as a version image,
+    /// read under the caller's record X lock (so it is stable).
+    fn base_image(
+        self: &Arc<Self>,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        key: &RecordKey,
+    ) -> Result<VersionImage> {
+        let sm = self.registry().storage(rd.sm)?;
+        Ok(match sm.fetch(ctx, rd, key, None, None)? {
+            Some(values) => VersionImage::Present(values),
+            None => VersionImage::Absent,
+        })
+    }
     /// Runs one relation operation as a statement: on failure, the
     /// common recovery log drives the undo of its partial effects back to
     /// the statement's entry point.
@@ -127,6 +312,7 @@ impl Database {
         txn.check_active()?;
         let ctx = ExecCtx { db: self, txn };
         let start_lsn = txn.last_lsn();
+        let vmark = self.versions().mark(txn.id());
         match f(&ctx) {
             Ok(v) => Ok(v),
             Err(e) => {
@@ -144,6 +330,9 @@ impl Database {
                 )?;
                 self.fence_undo_damage(&handler);
                 txn.set_last_lsn(new_last);
+                // The pages are back to their pre-statement state; the
+                // chain stamps describing the undone writes follow.
+                self.versions().rollback_to_mark(txn.id(), vmark);
                 // The statement is cleanly undone; if it died of
                 // out-of-space, degrade to read-only so later writes
                 // fail fast instead of tearing a commit.
@@ -193,14 +382,28 @@ impl Database {
         record: Record,
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
+        self.check_ddl_visible(&rd, txn)?;
         self.check_not_quarantined(rel)?;
         self.check_writable()?;
         rd.schema.validate(&record.values)?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             let sm = self.registry().storage(rd.sm)?;
+            // The record key is the page mutation's *output*, so the
+            // chain stamp cannot precede it; the unstamped window makes
+            // snapshot readers that race the mutation wait for the
+            // stamp instead of trusting the uncommitted page bytes.
+            let window = self.versions().begin_unstamped();
             let key = sm.insert(ctx, &rd, &record)?;
             ctx.lock_record(rel, &key, LockMode::X)?;
+            self.stamp(
+                txn,
+                rel,
+                &key,
+                VersionImage::Absent,
+                VersionImage::Present(record.values.clone()),
+            );
+            drop(window);
             for (att_id, insts) in rd.attached_types() {
                 let att = self.registry().attachment(att_id)?;
                 self.invoke_attachment(rel, || att.on_insert(ctx, &rd, insts, &key, &record))?;
@@ -222,17 +425,35 @@ impl Database {
         new: Record,
     ) -> Result<RecordKey> {
         let rd = self.catalog().get(rel)?;
+        self.check_ddl_visible(&rd, txn)?;
         self.check_not_quarantined(rel)?;
         self.check_writable()?;
         rd.schema.validate(&new.values)?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             ctx.lock_record(rel, key, LockMode::X)?;
+            // Stamp *before* the page mutation: a snapshot scan that
+            // races the update finds the chain and reads the committed
+            // base image instead of trusting the half-updated page.
+            let base = self.base_image(ctx, &rd, key)?;
+            self.stamp(txn, rel, key, base, VersionImage::Absent);
             let sm = self.registry().storage(rd.sm)?;
+            // The (possibly relocated) new key is the mutation's output;
+            // same unstamped window as insert until its stamp lands.
+            let window = self.versions().begin_unstamped();
             let (old, new_key) = sm.update(ctx, &rd, key, &new)?;
             if new_key != *key {
                 ctx.lock_record(rel, &new_key, LockMode::X)?;
             }
+            // Now the final location is known: stamp the after-image.
+            self.stamp(
+                txn,
+                rel,
+                &new_key,
+                VersionImage::Absent,
+                VersionImage::Present(new.values.clone()),
+            );
+            drop(window);
             for (att_id, insts) in rd.attached_types() {
                 let att = self.registry().attachment(att_id)?;
                 self.invoke_attachment(rel, || {
@@ -254,11 +475,14 @@ impl Database {
         key: &RecordKey,
     ) -> Result<()> {
         let rd = self.catalog().get(rel)?;
+        self.check_ddl_visible(&rd, txn)?;
         self.check_not_quarantined(rel)?;
         self.check_writable()?;
         let res = self.with_stmt(txn, |ctx| {
             ctx.lock(LockName::Relation(rel), LockMode::IX)?;
             ctx.lock_record(rel, key, LockMode::X)?;
+            let base = self.base_image(ctx, &rd, key)?;
+            self.stamp(txn, rel, key, base, VersionImage::Absent);
             let sm = self.registry().storage(rd.sm)?;
             let old = sm.delete(ctx, &rd, key)?;
             for (att_id, insts) in rd.attached_types() {
@@ -284,12 +508,40 @@ impl Database {
     ) -> Result<Option<Vec<Value>>> {
         txn.check_active()?;
         let rd = self.catalog().get(rel)?;
+        self.check_ddl_visible(&rd, txn)?;
         self.check_not_quarantined(rel)?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Relation(rel), LockMode::IS)?;
+        self.counters().fetches.incr();
+        if txn.snapshot_reads() {
+            // Snapshot read: no record lock. Page read first, then —
+            // after draining unstamped-write windows, so a racing
+            // insert's stamp is visible — the chain probe. A chain
+            // image (committed for this snapshot, or our own write)
+            // overrides whatever the page said; a chainless record's
+            // page state is committed everywhere.
+            let sm = self.registry().storage(rd.sm)?;
+            let page = self.fence_corrupt(rel, sm.fetch(&ctx, &rd, key, fields, pred))?;
+            self.versions().wait_unstamped();
+            let Some(image) =
+                self.versions()
+                    .visible(rel, key.as_bytes(), txn.snapshot(), txn.id())
+            else {
+                return Ok(page);
+            };
+            self.counters().mvcc_version_reads.incr();
+            let VersionImage::Present(values) = image else {
+                return Ok(None);
+            };
+            if let Some(p) = pred {
+                if !ctx.eval_predicate(p, &values)? {
+                    return Ok(None);
+                }
+            }
+            return Ok(Some(project_values(&values, fields)?));
+        }
         ctx.lock_record(rel, key, LockMode::S)?;
         let sm = self.registry().storage(rd.sm)?;
-        self.counters().fetches.incr();
         self.fence_corrupt(rel, sm.fetch(&ctx, &rd, key, fields, pred))
     }
 
@@ -307,13 +559,33 @@ impl Database {
     ) -> Result<ScanId> {
         txn.check_active()?;
         let rd = self.catalog().get(rel)?;
+        self.check_ddl_visible(&rd, txn)?;
         self.check_not_quarantined(rel)?;
         let ctx = ExecCtx { db: self, txn };
         ctx.lock(LockName::Relation(rel), LockMode::IS)?;
-        let inner = self.fence_corrupt(
+        let mut inner = self.fence_corrupt(
             rel,
             self.open_scan_raw(&ctx, &rd, path, query, pred.clone(), fields.clone()),
         )?;
+        self.counters().scan_opens.incr();
+        if txn.snapshot_reads() && inner.supports_versioned_read() {
+            // Snapshot scan: zero record locks, zero range locks;
+            // visibility comes from the version store.
+            self.counters().mvcc_snapshot_scans.incr();
+            let scan = Box::new(SnapshotScan {
+                inner,
+                rd,
+                snap: txn.snapshot(),
+                seen: HashSet::new(),
+                delta: None,
+                rows: 0,
+                exhausted: false,
+            });
+            return Ok(self.scans().open(txn.id(), scan));
+        }
+        // Locking scan: range locks fence phantoms at the key gaps the
+        // scan traverses (only meaningful for ordered record-key scans).
+        inner.set_range_locking(true);
         let scan = Box::new(LockingScan {
             inner,
             sm_path: matches!(path, AccessPath::StorageMethod),
@@ -323,7 +595,6 @@ impl Database {
             rows: 0,
             exhausted: false,
         });
-        self.counters().scan_opens.incr();
         Ok(self.scans().open(txn.id(), scan))
     }
 

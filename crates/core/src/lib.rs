@@ -62,6 +62,7 @@ pub use database::{
 };
 pub use deps::{DepKey, DependencyRegistry, PlanId};
 pub use descriptor::{AttachmentInstance, RelationDescriptor};
+pub use dml::project_values;
 pub use registry::ExtensionRegistry;
 pub use scrub::{
     repair_relation, scrub_all, scrub_relation, RepairAction, RepairOutcome, ScrubReport,

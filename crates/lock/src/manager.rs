@@ -203,14 +203,14 @@ fn assert_lock_order(st: &State, txn: TxnId, name: &LockName) {
         LockName::Relation(r) => {
             let finer = held
                 .iter()
-                .find(|h| matches!(h, LockName::Record(rr, _) if rr == r));
+                .find(|h| matches!(h, LockName::Record(rr, _) | LockName::Gap(rr, _) if rr == r));
             debug_assert!(
                 finer.is_none(),
                 "lock-order violation: txn {txn:?} requests {name:?} while holding finer \
                  {finer:?} (relation must be locked before its records)"
             );
         }
-        LockName::Record(r, _) => {
+        LockName::Record(r, _) | LockName::Gap(r, _) => {
             debug_assert!(
                 held.contains(&LockName::Relation(*r)),
                 "lock-order violation: txn {txn:?} requests {name:?} without a lock on \
@@ -396,8 +396,9 @@ impl LockManager {
                 LockName::Catalog => (0, 0, 0),
                 LockName::Relation(r) => (1, r.0 as u64, 0),
                 LockName::Record(r, k) => (2, r.0 as u64, *k),
-                LockName::File(f) => (3, f.0 as u64, 0),
-                LockName::PageLatch(p) => (4, p.file.0 as u64, p.page_no as u64),
+                LockName::Gap(r, k) => (3, r.0 as u64, *k),
+                LockName::File(f) => (4, f.0 as u64, 0),
+                LockName::PageLatch(p) => (5, p.file.0 as u64, p.page_no as u64),
             }
         }
         let st = self.state.lock();

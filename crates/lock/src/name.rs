@@ -18,6 +18,12 @@ pub enum LockName {
     Relation(RelationId),
     /// A record within a relation, by key hash.
     Record(RelationId, u64),
+    /// The key gap `(pred(k), k]` below a tree entry, by hash of the
+    /// owning tree file and the entry's key bytes — next-key range
+    /// locking for phantom protection. The EOF gap (above the largest
+    /// key) hashes a sentinel instead of key bytes. Same level as
+    /// [`LockName::Record`] in the lock hierarchy.
+    Gap(RelationId, u64),
     /// A storage file (used by deferred drops).
     File(FileId),
     /// A page latch routed through the lock manager: the leaf of the
@@ -37,10 +43,27 @@ impl LockName {
         LockName::Record(rel, h.finish())
     }
 
+    /// Builds a gap lock name for the gap below the tree entry `key`
+    /// in `file` (the tree that owns the key space — the SM tree or an
+    /// index tree — so equal key bytes in different trees never share
+    /// a gap). `None` names the EOF gap above the largest key.
+    pub fn gap(rel: RelationId, file: FileId, key: Option<&[u8]>) -> LockName {
+        let mut h = DefaultHasher::new();
+        file.hash(&mut h);
+        match key {
+            Some(k) => {
+                1u8.hash(&mut h);
+                k.hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+        LockName::Gap(rel, h.finish())
+    }
+
     /// The enclosing relation, when the lock is relation-scoped.
     pub fn relation(&self) -> Option<RelationId> {
         match self {
-            LockName::Relation(r) | LockName::Record(r, _) => Some(*r),
+            LockName::Relation(r) | LockName::Record(r, _) | LockName::Gap(r, _) => Some(*r),
             _ => None,
         }
     }

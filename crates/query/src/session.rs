@@ -271,10 +271,16 @@ impl Session {
                 }
                 let compiled = self.cache.get_or_compile(&self.db, sql, sel)?;
                 let ctx = dmx_core::ExecCtx { db: &self.db, txn };
-                let rows = exec::run_to_rows(&compiled.plan, &ctx)?;
+                // Pure reads run against the transaction's snapshot:
+                // no record or gap locks, visibility via the version
+                // store. The flag is scoped to this statement so the
+                // transaction's own DML keeps strict 2PL.
+                let prev = txn.set_snapshot_reads(true);
+                let rows = exec::run_to_rows(&compiled.plan, &ctx);
+                txn.set_snapshot_reads(prev);
                 Ok(QueryResult {
                     columns: compiled.columns.clone(),
-                    rows,
+                    rows: rows?,
                 })
             }
             Stmt::Explain(inner, analyze) => {
@@ -594,7 +600,10 @@ impl Session {
         }
         let compiled = plan_select(&self.db, sel)?;
         let ctx = dmx_core::ExecCtx { db: &self.db, txn };
-        let (_rows, actuals) = exec::run_analyzed(&compiled.plan, &ctx)?;
+        let prev = txn.set_snapshot_reads(true);
+        let analyzed = exec::run_analyzed(&compiled.plan, &ctx);
+        txn.set_snapshot_reads(prev);
+        let (_rows, actuals) = analyzed?;
         let hist = self.db.metrics().histogram(
             dmx_types::obs::name::PLANNER_MISESTIMATE,
             dmx_types::obs::SIZE_BUCKETS,

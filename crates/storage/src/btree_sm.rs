@@ -11,10 +11,11 @@ use std::sync::Arc;
 
 use dmx_btree::{BTree, OnDuplicate};
 use dmx_core::{
-    AccessPath, AccessQuery, CommonServices, Cost, ExecCtx, KeyRange, PathChoice,
+    project_values, AccessPath, AccessQuery, CommonServices, Cost, ExecCtx, KeyRange, PathChoice,
     RelationDescriptor, ScanItem, ScanOps, StorageMethod,
 };
 use dmx_expr::{analyze, CmpOp, Expr, SargOp};
+use dmx_lock::{LockMode, LockName};
 use dmx_types::{
     key::encode_values, AttrList, DmxError, FieldId, FileId, Lsn, PageId, Record, RecordKey,
     RelationId, Result, Schema, Value,
@@ -122,6 +123,23 @@ impl BTreeStorage {
     fn log(ctx: &ExecCtx<'_>, rd: &RelationDescriptor, op: u8, payload: Vec<u8>) -> Lsn {
         ctx.log_ext_op(ExtKind::Storage(rd.sm), rd.id, op, payload)
     }
+
+    /// X-locks the gap a write at `key` splits (insert) or merges
+    /// (delete): the gap is named by the key's in-tree successor, with
+    /// an EOF sentinel past the last key. Conflicts with the S gap
+    /// locks a locking range scan leaves across the intervals it read,
+    /// fencing phantoms; snapshot readers take no gap locks and are
+    /// never blocked by this.
+    fn lock_successor_gap(
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        d: &BtDesc,
+        tree: &BTree,
+        key: &[u8],
+    ) -> Result<()> {
+        let succ = tree.seek(Bound::Excluded(key))?.map(|(k, _)| k);
+        ctx.lock(LockName::gap(rd.id, d.file, succ.as_deref()), LockMode::X)
+    }
 }
 
 impl StorageMethod for BTreeStorage {
@@ -185,6 +203,7 @@ impl StorageMethod for BTreeStorage {
                 "btree storage key {key:?} already exists"
             )));
         }
+        Self::lock_successor_gap(ctx, rd, &d, &tree, key.as_bytes())?;
         let bytes = record.encode();
         let lsn = Self::log(
             ctx,
@@ -231,6 +250,14 @@ impl StorageMethod for BTreeStorage {
                 "btree storage key {new_key:?} already exists"
             )));
         }
+        // The relocation deletes the old key (merging its gap into its
+        // successor's) and inserts the new one (splitting a gap).
+        ctx.lock(
+            LockName::gap(rd.id, d.file, Some(key.as_bytes())),
+            LockMode::X,
+        )?;
+        Self::lock_successor_gap(ctx, rd, &d, &tree, key.as_bytes())?;
+        Self::lock_successor_gap(ctx, rd, &d, &tree, new_key.as_bytes())?;
         let lsn = Self::log(
             ctx,
             rd,
@@ -261,6 +288,13 @@ impl StorageMethod for BTreeStorage {
         let old_bytes = tree
             .get(key.as_bytes())?
             .ok_or_else(|| DmxError::NotFound(format!("btree record {key:?}")))?;
+        // Deleting merges the gap named by `key` into its successor's:
+        // X both names so range scans spanning either interval conflict.
+        ctx.lock(
+            LockName::gap(rd.id, d.file, Some(key.as_bytes())),
+            LockMode::X,
+        )?;
+        Self::lock_successor_gap(ctx, rd, &d, &tree, key.as_bytes())?;
         let lsn = Self::log(
             ctx,
             rd,
@@ -299,11 +333,15 @@ impl StorageMethod for BTreeStorage {
         let tree = Self::tree(ctx.services(), &d);
         Ok(Box::new(BtScan {
             tree,
+            rel: rd.id,
+            file: d.file,
             lo: range.lo,
             hi: range.hi,
             pred,
             fields,
             after: None,
+            range_lock: false,
+            end_gap_locked: false,
         }))
     }
 
@@ -451,11 +489,19 @@ fn range_for(op: CmpOp, v: &Value) -> KeyRange {
 
 struct BtScan {
     tree: BTree,
+    rel: RelationId,
+    file: FileId,
     lo: Bound<Vec<u8>>,
     hi: Bound<Vec<u8>>,
     pred: Option<Expr>,
     fields: Option<Vec<FieldId>>,
     after: Option<Vec<u8>>,
+    /// When set (locking-scan dispatch only), S-lock the gap below each
+    /// key the scan passes so concurrent inserts into the scanned range
+    /// conflict (phantom fencing). Raw internal scans leave it off.
+    range_lock: bool,
+    /// The boundary gap past the last in-range key is locked once.
+    end_gap_locked: bool,
 }
 
 impl ScanOps for BtScan {
@@ -470,6 +516,11 @@ impl ScanOps for BtScan {
                 },
             };
             let Some((key, bytes)) = self.tree.seek(bound)? else {
+                if self.range_lock && !self.end_gap_locked {
+                    self.end_gap_locked = true;
+                    // EOF: the gap from the last key to end-of-tree.
+                    ctx.lock(LockName::gap(self.rel, self.file, None), LockMode::S)?;
+                }
                 return Ok(None);
             };
             let in_hi = match &self.hi {
@@ -478,7 +529,18 @@ impl ScanOps for BtScan {
                 Bound::Excluded(h) => key < *h,
             };
             if !in_hi {
+                if self.range_lock && !self.end_gap_locked {
+                    self.end_gap_locked = true;
+                    // The gap between the last in-range key and the
+                    // first key beyond the range boundary.
+                    ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
+                }
                 return Ok(None);
+            }
+            if self.range_lock {
+                // The gap below this key (even when the predicate then
+                // filters it): an insert landing there is a phantom.
+                ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
             }
             self.after = Some(key.clone());
             if let Some(values) =
@@ -492,12 +554,54 @@ impl ScanOps for BtScan {
         }
     }
 
+    fn supports_versioned_read(&self) -> bool {
+        true
+    }
+
+    fn item_from_version(
+        &self,
+        ctx: &ExecCtx<'_>,
+        key: &RecordKey,
+        values: &[Value],
+    ) -> Result<Option<ScanItem>> {
+        // Version-sourced items (the snapshot delta sweep in particular)
+        // are not pre-filtered by the tree traversal: re-check bounds.
+        let kb = key.as_bytes();
+        let in_lo = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => kb >= b.as_slice(),
+            Bound::Excluded(b) => kb > b.as_slice(),
+        };
+        let in_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => kb <= b.as_slice(),
+            Bound::Excluded(b) => kb < b.as_slice(),
+        };
+        if !in_lo || !in_hi {
+            return Ok(None);
+        }
+        if let Some(p) = &self.pred {
+            if !ctx.eval_predicate(p, &values)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(ScanItem {
+            key: key.clone(),
+            values: Some(project_values(values, self.fields.as_deref())?),
+        }))
+    }
+
+    fn set_range_locking(&mut self, on: bool) {
+        self.range_lock = on;
+    }
+
     fn save_position(&self) -> Vec<u8> {
         encode_position(self.after.as_deref())
     }
 
     fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
         self.after = decode_position(pos)?;
+        self.end_gap_locked = false;
         Ok(())
     }
 }

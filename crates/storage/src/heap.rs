@@ -517,6 +517,34 @@ impl ScanOps for HeapScan {
         Ok(None)
     }
 
+    fn supports_versioned_read(&self) -> bool {
+        true
+    }
+
+    fn item_from_version(
+        &self,
+        ctx: &ExecCtx<'_>,
+        key: &RecordKey,
+        values: &[Value],
+    ) -> Result<Option<ScanItem>> {
+        if !self.range.contains(key.as_bytes()) {
+            return Ok(None);
+        }
+        if let Some(p) = &self.pred {
+            if !ctx.eval_predicate(p, &values)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(ScanItem {
+            key: key.clone(),
+            values: Some(dmx_core::project_values(values, self.fields.as_deref())?),
+        }))
+    }
+
+    // No set_range_locking: heap RIDs are allocation order, not key
+    // order, so next-key gap locks don't define a meaningful range;
+    // phantom fencing for heaps stays at the relation lock.
+
     fn save_position(&self) -> Vec<u8> {
         let key = self.after.map(|(p, s)| rid(p, s));
         encode_position(key.as_ref().map(|k| k.as_bytes()))

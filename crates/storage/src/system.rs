@@ -89,6 +89,7 @@ fn lock_name_str(n: &LockName) -> String {
         LockName::Catalog => "catalog".to_string(),
         LockName::Relation(r) => format!("relation({})", r.0),
         LockName::Record(r, k) => format!("record({},{k})", r.0),
+        LockName::Gap(r, k) => format!("gap({},{k})", r.0),
         LockName::File(f) => format!("file({})", f.0),
         LockName::PageLatch(p) => format!("page_latch({},{})", p.file.0, p.page_no),
     }

@@ -15,9 +15,11 @@
 //! orchestrated by `dmx-core`, which owns the participating services.
 
 pub mod deferred;
+pub mod mvcc;
 pub mod retry;
 pub mod txn;
 
 pub use deferred::{DeferredQueues, TxnEvent};
+pub use mvcc::{GcOutcome, Snapshot, VersionImage, VersionStore};
 pub use retry::{run_with_retries, DEFAULT_DEADLOCK_RETRIES};
 pub use txn::{Savepoint, Transaction, TxnManager, TxnState};

@@ -2,7 +2,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dmx_types::sync::Mutex;
@@ -11,6 +11,7 @@ use dmx_types::{DmxError, Lsn, Result, TxnId};
 use dmx_wal::{LogBody, LogManager};
 
 use crate::deferred::{DeferredAction, DeferredQueues, TxnEvent};
+use crate::mvcc::{Snapshot, VersionStore};
 
 /// Transaction lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +42,34 @@ pub struct Transaction {
     log: Arc<LogManager>,
     inner: Mutex<TxnInner>,
     queues: Mutex<DeferredQueues>,
+    /// The transaction-consistent read position, captured at begin.
+    snapshot: Snapshot,
+    /// When set, read-only scans run against [`Transaction::snapshot`]
+    /// with zero record locks instead of S-locking every returned
+    /// record. Writers ignore the flag (2PL + range locks always).
+    snapshot_reads: AtomicBool,
 }
 
 impl Transaction {
     /// The transaction id.
     pub fn id(&self) -> TxnId {
         self.id
+    }
+
+    /// The snapshot captured when this transaction began.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot
+    }
+
+    /// Whether read-only scans should use snapshot visibility.
+    pub fn snapshot_reads(&self) -> bool {
+        self.snapshot_reads.load(Ordering::Acquire)
+    }
+
+    /// Sets snapshot-read mode, returning the previous value (callers
+    /// scope the flag around a statement and restore it after).
+    pub fn set_snapshot_reads(&self, on: bool) -> bool {
+        self.snapshot_reads.swap(on, Ordering::AcqRel)
     }
 
     /// Current state.
@@ -211,6 +234,7 @@ pub struct TxnManager {
     next_id: AtomicU64,
     active: Mutex<HashMap<TxnId, Arc<Transaction>>>,
     begins: Arc<dmx_types::obs::Counter>,
+    versions: Arc<VersionStore>,
 }
 
 impl TxnManager {
@@ -237,13 +261,49 @@ impl TxnManager {
             next_id: AtomicU64::new(first_id.max(1)),
             active: Mutex::new(HashMap::new()),
             begins: obs.counter(dmx_types::obs::name::TXN_BEGINS),
+            versions: Arc::new(VersionStore::new()),
         }
+    }
+
+    /// The shared version store (snapshot visibility side car).
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
+    }
+
+    /// Snapshots of every active transaction — the version GC's
+    /// keep-alive set.
+    pub fn active_snapshots(&self) -> Vec<Snapshot> {
+        self.active.lock().values().map(|t| t.snapshot()).collect()
+    }
+
+    /// Runs `f` on the active-snapshot set *while holding the active-set
+    /// lock*, serializing it against [`Self::begin`]. Reclamation
+    /// decisions (version GC, the DDL-fence pruner) must run here: a
+    /// decision made from an unlocked copy of the set can race a
+    /// beginning transaction — the beginner captures its snapshot just
+    /// before a commit publishes, the reclaimer reads the set just
+    /// before the beginner registers, and state the stale snapshot
+    /// still needs is reclaimed. Under the lock, either the beginner is
+    /// in the set (its snapshot fences the reclaim) or the beginner's
+    /// capture is ordered after everything the reclaimer observed (so
+    /// its snapshot postdates whatever was reclaimed).
+    pub fn with_active_snapshots<T>(&self, f: impl FnOnce(&[Snapshot]) -> T) -> T {
+        let active = self.active.lock();
+        let snaps: Vec<Snapshot> = active.values().map(|t| t.snapshot()).collect();
+        f(&snaps)
     }
 
     /// Begins a transaction (logs `Begin`).
     pub fn begin(&self) -> Arc<Transaction> {
         self.begins.incr();
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // The active-set lock is held across snapshot capture and
+        // registration: [`Self::active_snapshots`] is the keep-alive set
+        // for the version GC and the DDL-fence pruner, so a snapshot
+        // must never exist outside it — a capture-then-register gap
+        // would let a concurrent end-of-transaction reclaim state this
+        // snapshot still needs.
+        let mut active = self.active.lock();
         // No Begin record yet: [`Transaction::log`] writes it lazily
         // before the first real record, so read-only transactions never
         // touch the log.
@@ -256,8 +316,12 @@ impl TxnManager {
                 savepoints: Vec::new(),
             }),
             queues: Mutex::new(DeferredQueues::default()),
+            // Captured eagerly so the read position is fixed at begin
+            // even if the first read happens much later.
+            snapshot: self.versions.capture(),
+            snapshot_reads: AtomicBool::new(false),
         });
-        self.active.lock().insert(id, txn.clone());
+        active.insert(id, txn.clone());
         txn
     }
 

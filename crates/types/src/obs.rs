@@ -604,6 +604,16 @@ pub mod name {
 
     /// I/O attempts retried after a transient fault or checksum failure.
     pub const IO_RETRIES: &str = "io.retries";
+
+    /// Scans dispatched in lock-free snapshot-visibility mode.
+    pub const MVCC_SNAPSHOT_SCANS: &str = "mvcc.snapshot_scans";
+    /// Scan/fetch reads that consulted a version chain (a writer was or
+    /// had recently been in flight on the record).
+    pub const MVCC_VERSION_READS: &str = "mvcc.version_reads";
+    /// Uncommitted after-images stamped into the version store by DML.
+    pub const MVCC_VERSIONS_RECORDED: &str = "mvcc.versions_recorded";
+    /// Version chains reclaimed by the low-water garbage collector.
+    pub const MVCC_GC_RECLAIMED: &str = "mvcc.gc_reclaimed";
 }
 
 /// Standard bucket bounds for "rows/frames per operation" histograms.

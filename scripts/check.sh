@@ -68,7 +68,7 @@ cargo run -q --release -p dmx-bench --bin harness -- --smoke
 # must still exist in each later baseline (renaming or dropping a
 # published metric is a breaking observability change). pr5-only names
 # such as planner.misestimate stay published through BENCH_pr5.json.
-for later in BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json; do
+for later in BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
   if [ -f BENCH_pr3.json ] && [ -f "$later" ]; then
     echo "==> bench metric-name compatibility (pr3 -> ${later})"
     missing=$(comm -23 \
@@ -110,6 +110,34 @@ if [ -f BENCH_pr3.json ] && [ -f BENCH_pr8.json ]; then
     fi
     echo "    $scenario: pool.flushes=${flushes} (no-force holds)"
   done
+fi
+
+# MVCC read-path ratchet (PR9): the snapshot scan path must collapse
+# scan-phase lock traffic by >= 10x against the locking baseline (the
+# shipped figure is ~40,000x: one Relation IS lock per scan instead of
+# a record + gap lock per row), and the snapshot run must actually have
+# routed its scans through the version store. Both scenarios run the
+# identical seeded workload, so the ratio is hermetic.
+if [ -f BENCH_pr9.json ]; then
+  echo "==> MVCC read-path ratchet (pr9 snapshot vs locking)"
+  scanlocks() { # scenario -> bench.scan_lock_acquires
+    grep -o "\"name\": \"$1\".*" BENCH_pr9.json \
+      | grep -oE '"bench\.scan_lock_acquires": ?[0-9]+' | grep -oE '[0-9]+' | head -1
+  }
+  locking=$(scanlocks read_mostly_locking)
+  snapshot=$(scanlocks read_mostly_snapshot)
+  if [ "${snapshot:-999999}" -gt $((${locking:-0} / 10)) ]; then
+    echo "pr9 snapshot scan path took ${snapshot} locks vs locking ${locking} (< 10x collapse)"
+    exit 1
+  fi
+  echo "    scan-path lock.acquires: locking ${locking} -> snapshot ${snapshot}"
+  mvcc_scans=$(grep -o '"name": "read_mostly_snapshot".*' BENCH_pr9.json \
+    | grep -oE '"mvcc\.snapshot_scans": ?[0-9]+' | grep -oE '[0-9]+' | head -1)
+  if [ "${mvcc_scans:-0}" -lt 1 ]; then
+    echo "pr9 read_mostly_snapshot never took a snapshot scan"
+    exit 1
+  fi
+  echo "    read_mostly_snapshot: mvcc.snapshot_scans=${mvcc_scans}"
 fi
 
 echo "check.sh: all gates passed"
