@@ -558,11 +558,22 @@ impl ScanOps for IndexScan {
         if !in_hi {
             if self.range_lock && !self.end_gap_locked {
                 self.end_gap_locked = true;
+                // Record before gap (see the in-range arm): the boundary
+                // entry's record may be mid-delete, and the deleter
+                // already holds its record X while acquiring gaps.
+                ctx.lock_record(self.rel, &RecordKey::new(value.clone()), LockMode::S)?;
                 ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
             }
             return Ok(None);
         }
         if self.range_lock {
+            // Record S on the entry's record key ahead of the gap S:
+            // writers lock record X before entry gaps (the DML layer
+            // X-locks the record before attachment maintenance runs), so
+            // a shared per-key order keeps a range scan and a concurrent
+            // delete from deadlocking across the Record/Gap pair. The
+            // LockingScan wrapper's later record S is a re-grant.
+            ctx.lock_record(self.rel, &RecordKey::new(value.clone()), LockMode::S)?;
             ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
         }
         self.after = Some(key.clone());

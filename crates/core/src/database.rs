@@ -728,21 +728,24 @@ impl Database {
         // Publish this transaction's record versions: the effects are
         // durable, and the stamps must become committed versions before
         // the record X locks release in step 7 (a snapshot captured
-        // after those locks drop must already see the new images).
-        let commit_csn = self.txns.versions().commit(txn.id());
-        if did_ddl {
-            // Promote this transaction's fence entries: the relations are
-            // real now, but only as of the commit csn — an older snapshot
-            // must keep seeing not-found rather than the relation with
-            // all of its initial rows invisible. A row-less DDL commit
-            // has no csn of its own; the currently-published sequence is
-            // a safe (conservative) stand-in.
-            let csn = commit_csn.unwrap_or_else(|| self.txns.versions().commit_seq());
-            for fence in self.ddl_fence.lock().values_mut() {
-                if matches!(fence, DdlFence::Uncommitted(owner) if *owner == txn.id()) {
-                    *fence = DdlFence::Committed(csn);
-                }
+        // after those locks drop must already see the new images). The
+        // DDL fence promotion rides inside the same publication step
+        // (under the commit mutex, before the csn store): the relations
+        // are real now, but only as of the commit csn — an older
+        // snapshot must keep seeing not-found rather than the relation
+        // with all of its initial rows invisible, while a snapshot that
+        // includes the csn must never catch the fence still Uncommitted
+        // and report a committed relation as not-found.
+        let commit_csn = self.txns.versions().commit_with(txn.id(), |csn| {
+            if did_ddl {
+                self.promote_ddl_fences(txn.id(), csn);
             }
+        });
+        if did_ddl && commit_csn.is_none() {
+            // Row-less DDL publishes no csn, so there is no
+            // capture-ordering window to close; the currently-published
+            // sequence is a safe (conservative) stand-in.
+            self.promote_ddl_fences(txn.id(), self.txns.versions().commit_seq());
         }
         // 5. Deferred physical actions (dropped storage release, …).
         let deferred_result = txn.run_deferred(TxnEvent::AtCommit);
@@ -836,6 +839,18 @@ impl Database {
         });
         if gc.reclaimed > 0 {
             self.counters.mvcc_gc_reclaimed.add(gc.reclaimed as u64);
+        }
+    }
+
+    /// Promotes `txn`'s [`DdlFence::Uncommitted`] entries to
+    /// `Committed(csn)`. Runs inside the version store's commit
+    /// publication (so no snapshot can include the csn while a fence
+    /// still reads `Uncommitted`), or directly for row-less DDL.
+    fn promote_ddl_fences(&self, txn: TxnId, csn: u64) {
+        for fence in self.ddl_fence.lock().values_mut() {
+            if matches!(fence, DdlFence::Uncommitted(owner) if *owner == txn) {
+                *fence = DdlFence::Committed(csn);
+            }
         }
     }
 

@@ -167,9 +167,20 @@ struct SnapshotScan {
     inner: Box<dyn ScanOps>,
     rd: Arc<RelationDescriptor>,
     snap: Snapshot,
-    /// Record keys the inner scan surfaced (returned *or* filtered):
-    /// the delta sweep must not re-emit them.
+    /// Record keys the inner scan surfaced to this wrapper (whether the
+    /// chain probe then emitted or suppressed them). Double duty: the
+    /// regular stream dedupes against it — a concurrent update can
+    /// relocate a record's tree entry ahead of the scan position, so
+    /// the inner scan may surface the same record key twice — and the
+    /// delta sweep must not re-emit its members. Keys the inner scan
+    /// filtered *internally* (predicate/range) never reach this set;
+    /// the delta sweep intentionally re-derives those records from
+    /// their chains.
     seen: HashSet<Vec<u8>>,
+    /// `seen`'s members in arrival order, so a savepoint position
+    /// restore can rewind the set in step with the inner scan (keys
+    /// surfaced after the saved position must be re-emittable).
+    surfaced: Vec<Vec<u8>>,
     /// The delta sweep, once the inner scan exhausted.
     delta: Option<VecDeque<(Vec<u8>, VersionImage)>>,
     rows: u64,
@@ -209,13 +220,22 @@ impl SnapshotScan {
                 return Ok(Some(item));
             }
             let key_bytes = item.key.as_bytes().to_vec();
-            self.seen.insert(key_bytes.clone());
+            if !self.seen.insert(key_bytes.clone()) {
+                // A concurrent writer relocated this record's tree
+                // entry past the scan position, resurfacing a key the
+                // stream already handled; both probes would re-derive
+                // the identical snapshot-visible image, so emit each
+                // record at most once.
+                continue;
+            }
+            self.surfaced.push(key_bytes.clone());
             // Between the page read (inside `inner.next`) and the chain
-            // probe below, drain any unstamped-write windows: a mutation
-            // the page read may have observed either still holds its
-            // window open (we wait out the stamp) or has already
-            // published its chain. Fast path: one atomic load.
-            ctx.db.versions().wait_unstamped();
+            // probe below, drain this relation's unstamped-write
+            // windows: a mutation the page read may have observed
+            // either still holds its window open (we wait out the
+            // stamp) or has already published its chain. Fast path: one
+            // atomic load.
+            ctx.db.versions().wait_unstamped(self.rd.id);
             match ctx
                 .db
                 .versions()
@@ -260,13 +280,28 @@ impl ScanOps for SnapshotScan {
         res
     }
     fn save_position(&self) -> Vec<u8> {
-        self.inner.save_position()
+        // Composite position: how many keys the regular stream had
+        // surfaced, then the inner scan's own position. A restore must
+        // shrink `seen` in step with the inner rewind, or re-surfaced
+        // keys would be deduped away instead of re-emitted.
+        let mut pos = (self.surfaced.len() as u64).to_le_bytes().to_vec();
+        pos.extend_from_slice(&self.inner.save_position());
+        pos
     }
     fn restore_position(&mut self, pos: &[u8]) -> Result<()> {
+        let corrupt = || DmxError::Corrupt("bad snapshot-scan position".into());
+        let n = dmx_types::bytes::le_u64(pos, 0).ok_or_else(corrupt)? as usize;
+        if n > self.surfaced.len() {
+            return Err(corrupt());
+        }
+        for key in self.surfaced.drain(n..) {
+            self.seen.remove(&key);
+        }
         // A partial rollback rewinds the inner scan; the delta sweep (if
         // it had started) is discarded and rebuilt at re-exhaustion.
         self.delta = None;
-        self.inner.restore_position(pos)
+        self.inner
+            .restore_position(pos.get(8..).ok_or_else(corrupt)?)
     }
 }
 
@@ -393,7 +428,7 @@ impl Database {
             // chain stamp cannot precede it; the unstamped window makes
             // snapshot readers that race the mutation wait for the
             // stamp instead of trusting the uncommitted page bytes.
-            let window = self.versions().begin_unstamped();
+            let window = self.versions().begin_unstamped(rel);
             let key = sm.insert(ctx, &rd, &record)?;
             ctx.lock_record(rel, &key, LockMode::X)?;
             self.stamp(
@@ -440,7 +475,7 @@ impl Database {
             let sm = self.registry().storage(rd.sm)?;
             // The (possibly relocated) new key is the mutation's output;
             // same unstamped window as insert until its stamp lands.
-            let window = self.versions().begin_unstamped();
+            let window = self.versions().begin_unstamped(rel);
             let (old, new_key) = sm.update(ctx, &rd, key, &new)?;
             if new_key != *key {
                 ctx.lock_record(rel, &new_key, LockMode::X)?;
@@ -522,7 +557,7 @@ impl Database {
             // page state is committed everywhere.
             let sm = self.registry().storage(rd.sm)?;
             let page = self.fence_corrupt(rel, sm.fetch(&ctx, &rd, key, fields, pred))?;
-            self.versions().wait_unstamped();
+            self.versions().wait_unstamped(rel);
             let Some(image) =
                 self.versions()
                     .visible(rel, key.as_bytes(), txn.snapshot(), txn.id())
@@ -577,6 +612,7 @@ impl Database {
                 rd,
                 snap: txn.snapshot(),
                 seen: HashSet::new(),
+                surfaced: Vec::new(),
                 delta: None,
                 rows: 0,
                 exhausted: false,

@@ -175,6 +175,12 @@ pub struct LockManager {
 ///   (records under a different relation are unordered w.r.t. it);
 /// - `Record(r, _)` requires a lock on `Relation(r)` to be already held
 ///   or requested (the intention-mode parent of hierarchical locking);
+/// - `Record(r, h)` may not be requested while the same key's
+///   `Gap(r, h)` is held in S mode: scans and writers share one per-key
+///   order — record first, then the gap below it — so the two sides
+///   cannot deadlock across the pair. Gaps held in X mode are exempt
+///   (a writer's next-key sequence holds a neighbour's gap X before an
+///   adjacent write requests that record);
 /// - `PageLatch(_)` is the leaf: it may be taken at any point, but no
 ///   coarser name may be requested while any page latch is held.
 #[cfg(debug_assertions)]
@@ -210,7 +216,32 @@ fn assert_lock_order(st: &State, txn: TxnId, name: &LockName) {
                  {finer:?} (relation must be locked before its records)"
             );
         }
-        LockName::Record(r, _) | LockName::Gap(r, _) => {
+        LockName::Record(r, h) => {
+            debug_assert!(
+                held.contains(&LockName::Relation(*r)),
+                "lock-order violation: txn {txn:?} requests {name:?} without a lock on \
+                 Relation({r:?}) (hierarchical locking requires the intention-mode parent)"
+            );
+            // Record before gap, per key: scans and writers both lock a
+            // key's record ahead of the gap below it ([`LockName::gap`]
+            // gives the pair one hash so they can be correlated here).
+            // A same-key gap already held in S mode means a scan locked
+            // the gap first — the inverted order that deadlocks against
+            // a deleter. X-held gaps are exempt: a writer's next-key
+            // sequence legitimately holds a neighbour's gap X when an
+            // adjacent write then requests that record.
+            let gap_held_s = st
+                .table
+                .get(&LockName::Gap(*r, *h))
+                .and_then(|e| e.granted.get(&txn))
+                == Some(&LockMode::S);
+            debug_assert!(
+                !gap_held_s,
+                "lock-order violation: txn {txn:?} requests {name:?} while holding the same \
+                 key's gap in S mode (the record must be locked before its gap)"
+            );
+        }
+        LockName::Gap(r, _) => {
             debug_assert!(
                 held.contains(&LockName::Relation(*r)),
                 "lock-order violation: txn {txn:?} requests {name:?} without a lock on \
@@ -715,5 +746,74 @@ mod tests {
         )
         .unwrap();
         let _ = lm.lock(TxnId(1), rel(1), LockMode::IX);
+    }
+
+    /// The paired record/gap names for one key (same `u64` hash by
+    /// construction, see [`LockName::gap`]).
+    fn record_gap_pair(key: &[u8]) -> (LockName, LockName) {
+        let record = LockName::record(RelationId(1), &dmx_types::RecordKey::new(key.to_vec()));
+        let gap = LockName::gap(RelationId(1), FileId(1), Some(key));
+        (record, gap)
+    }
+
+    #[test]
+    fn lock_order_allows_record_before_gap_and_writer_gap_x() {
+        let lm = LockManager::default();
+        let (record, gap) = record_gap_pair(b"k");
+        // Scan order: record S, then the gap below it.
+        lm.lock(TxnId(1), rel(1), LockMode::IS).unwrap();
+        lm.lock(TxnId(1), record, LockMode::S).unwrap();
+        lm.lock(TxnId(1), gap, LockMode::S).unwrap();
+        lm.unlock_all(TxnId(1));
+        // Writer next-key sequence: a neighbour's gap X may precede the
+        // record request (gap X is exempt from the pairing rule).
+        lm.lock(TxnId(2), rel(1), LockMode::IX).unwrap();
+        lm.lock(TxnId(2), gap, LockMode::X).unwrap();
+        lm.lock(TxnId(2), record, LockMode::X).unwrap();
+        lm.unlock_all(TxnId(2));
+        // Traversal across keys: gap of one key before the record of
+        // another is unordered.
+        let (other_record, _) = record_gap_pair(b"m");
+        lm.lock(TxnId(3), rel(1), LockMode::IS).unwrap();
+        lm.lock(TxnId(3), gap, LockMode::S).unwrap();
+        lm.lock(TxnId(3), other_record, LockMode::S).unwrap();
+        lm.unlock_all(TxnId(3));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn lock_order_rejects_record_after_same_key_gap_s() {
+        let lm = LockManager::default();
+        let (record, gap) = record_gap_pair(b"k");
+        lm.lock(TxnId(1), rel(1), LockMode::IS).unwrap();
+        lm.lock(TxnId(1), gap, LockMode::S).unwrap();
+        let _ = lm.lock(TxnId(1), record, LockMode::S);
+    }
+
+    #[test]
+    fn same_key_scan_and_writer_serialize_without_deadlock() {
+        // A range scan and a deleter meeting on one key both follow
+        // record-before-gap, so one simply waits for the other instead
+        // of closing a Record/Gap cycle the detector must break.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        let (record, gap) = record_gap_pair(b"k");
+        std::thread::scope(|s| {
+            for txn in [TxnId(1), TxnId(2)] {
+                let lm = lm.clone();
+                s.spawn(move || {
+                    let (parent, mode) = if txn == TxnId(1) {
+                        (LockMode::IS, LockMode::S)
+                    } else {
+                        (LockMode::IX, LockMode::X)
+                    };
+                    lm.lock(txn, rel(1), parent).unwrap();
+                    lm.lock(txn, record, mode).unwrap();
+                    lm.lock(txn, gap, mode).unwrap();
+                    lm.unlock_all(txn);
+                });
+            }
+        });
+        assert_eq!(lm.table_len(), 0);
     }
 }

@@ -19,9 +19,11 @@ pub enum LockName {
     /// A record within a relation, by key hash.
     Record(RelationId, u64),
     /// The key gap `(pred(k), k]` below a tree entry, by hash of the
-    /// owning tree file and the entry's key bytes — next-key range
-    /// locking for phantom protection. The EOF gap (above the largest
-    /// key) hashes a sentinel instead of key bytes. Same level as
+    /// entry's key bytes — next-key range locking for phantom
+    /// protection. The hash matches [`LockName::record`]'s for the same
+    /// bytes, pairing a key's gap with its record (see
+    /// [`LockName::gap`]); the EOF gap (above the largest key) hashes
+    /// the owning tree file plus a sentinel instead. Same level as
     /// [`LockName::Record`] in the lock hierarchy.
     Gap(RelationId, u64),
     /// A storage file (used by deferred drops).
@@ -43,19 +45,23 @@ impl LockName {
         LockName::Record(rel, h.finish())
     }
 
-    /// Builds a gap lock name for the gap below the tree entry `key`
-    /// in `file` (the tree that owns the key space — the SM tree or an
-    /// index tree — so equal key bytes in different trees never share
-    /// a gap). `None` names the EOF gap above the largest key.
+    /// Builds a gap lock name for the gap below the tree entry `key`.
+    /// The hash covers *only* the key bytes — identical to
+    /// [`LockName::record`] — so the gap below entry `k` and the record
+    /// named `k` carry the same `u64` and the lock manager's order
+    /// assertion can pair them (record before gap, per key). Byte-equal
+    /// entries in different trees of one relation therefore share a gap
+    /// name: a merged name only over-locks, never under-locks. `None`
+    /// names the EOF gap above the largest key, distinguished per tree
+    /// by hashing `file` plus a sentinel (no record pairs with it).
     pub fn gap(rel: RelationId, file: FileId, key: Option<&[u8]>) -> LockName {
         let mut h = DefaultHasher::new();
-        file.hash(&mut h);
         match key {
-            Some(k) => {
-                1u8.hash(&mut h);
-                k.hash(&mut h);
+            Some(k) => k.hash(&mut h),
+            None => {
+                0u8.hash(&mut h);
+                file.hash(&mut h);
             }
-            None => 0u8.hash(&mut h),
         }
         LockName::Gap(rel, h.finish())
     }
@@ -81,6 +87,25 @@ mod tests {
         let c = LockName::record(RelationId(2), &k);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gap_and_record_names_pair_by_key_hash() {
+        let k = RecordKey::new(vec![1, 2, 3]);
+        let LockName::Record(_, rh) = LockName::record(RelationId(1), &k) else {
+            unreachable!()
+        };
+        let LockName::Gap(_, gh) = LockName::gap(RelationId(1), FileId(7), Some(&[1, 2, 3])) else {
+            unreachable!()
+        };
+        // Same key bytes → same hash, so the lock manager can correlate
+        // a held gap with a requested record (order assertion).
+        assert_eq!(rh, gh);
+        // EOF gaps carry no key and stay distinct per tree.
+        assert_ne!(
+            LockName::gap(RelationId(1), FileId(7), None),
+            LockName::gap(RelationId(1), FileId(8), None)
+        );
     }
 
     #[test]

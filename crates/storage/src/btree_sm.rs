@@ -203,6 +203,12 @@ impl StorageMethod for BTreeStorage {
                 "btree storage key {key:?} already exists"
             )));
         }
+        // Record before gap: the per-key acquisition order shared with
+        // locking scans (record S, then gap S), so a writer and a scan
+        // meeting on one key cannot deadlock across the pair. The DML
+        // layer re-locks the key after this call returns; that is a
+        // re-grant.
+        ctx.lock_record(rd.id, &key, LockMode::X)?;
         Self::lock_successor_gap(ctx, rd, &d, &tree, key.as_bytes())?;
         let bytes = record.encode();
         let lsn = Self::log(
@@ -252,6 +258,10 @@ impl StorageMethod for BTreeStorage {
         }
         // The relocation deletes the old key (merging its gap into its
         // successor's) and inserts the new one (splitting a gap).
+        // Record-before-gap order: X the destination key ahead of every
+        // gap acquisition (the old key's record X is already held by the
+        // DML layer); the DML layer's post-return lock is a re-grant.
+        ctx.lock_record(rd.id, &new_key, LockMode::X)?;
         ctx.lock(
             LockName::gap(rd.id, d.file, Some(key.as_bytes())),
             LockMode::X,
@@ -532,7 +542,11 @@ impl ScanOps for BtScan {
                 if self.range_lock && !self.end_gap_locked {
                     self.end_gap_locked = true;
                     // The gap between the last in-range key and the
-                    // first key beyond the range boundary.
+                    // first key beyond the range boundary. Record before
+                    // gap, matching the writers' per-key order (a delete
+                    // of the boundary key holds its record X while
+                    // asking for this gap).
+                    ctx.lock_record(self.rel, &RecordKey::new(key.clone()), LockMode::S)?;
                     ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
                 }
                 return Ok(None);
@@ -540,6 +554,11 @@ impl ScanOps for BtScan {
             if self.range_lock {
                 // The gap below this key (even when the predicate then
                 // filters it): an insert landing there is a phantom.
+                // Record S first: writers take record X then gap X on
+                // the same key, and a shared per-key order keeps a scan
+                // and a delete from deadlocking across the pair. The
+                // LockingScan wrapper's later record S is a re-grant.
+                ctx.lock_record(self.rel, &RecordKey::new(key.clone()), LockMode::S)?;
                 ctx.lock(LockName::gap(self.rel, self.file, Some(&key)), LockMode::S)?;
             }
             self.after = Some(key.clone());

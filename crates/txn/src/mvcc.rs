@@ -24,8 +24,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-use dmx_types::sync::Mutex;
+use dmx_types::sync::{Condvar, Mutex};
 use dmx_types::{RelationId, TxnId, Value};
 
 /// A record image as of some version: the full record values, or the
@@ -125,14 +126,25 @@ pub struct GcOutcome {
 
 /// An open unstamped-write window (see [`VersionStore::begin_unstamped`]).
 /// Closing is in `Drop` so an error unwind inside the window cannot
-/// leave readers spinning forever.
+/// leave readers parked forever.
 pub struct UnstampedWindow<'a> {
     store: &'a VersionStore,
+    rel: RelationId,
 }
 
 impl Drop for UnstampedWindow<'_> {
     fn drop(&mut self) {
-        self.store.unstamped.fetch_sub(1, Ordering::AcqRel);
+        {
+            let mut open = self.store.unstamped.lock();
+            if let Some(n) = open.get_mut(&self.rel) {
+                *n -= 1;
+                if *n == 0 {
+                    open.remove(&self.rel);
+                }
+            }
+            self.store.unstamped_total.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.store.unstamped_cv.notify_all();
     }
 }
 
@@ -148,12 +160,22 @@ pub struct VersionStore {
     /// Serializes commit stamping so `commit_seq` publication is atomic
     /// with respect to the stamps it covers.
     commit_mutex: Mutex<()>,
-    /// Writes whose page mutation may already be visible while their
-    /// chain stamp is not (the insert path learns its record key only
-    /// from the completed page mutation). Readers that found a
-    /// chainless page row wait for open windows to close before
-    /// trusting "no chain → committed".
-    unstamped: AtomicU64,
+    /// Total open unstamped-write windows across every relation: the
+    /// readers' fast path is a single atomic load that is zero whenever
+    /// no writer anywhere is mid-window.
+    unstamped_total: AtomicU64,
+    /// Open windows per relation — writes whose page mutation may
+    /// already be visible while their chain stamp is not (the insert
+    /// path learns its record key only from the completed page
+    /// mutation). Readers that found a chainless page row wait for that
+    /// relation's open windows to close before trusting "no chain →
+    /// committed"; a stalled writer (e.g. blocked on another
+    /// transaction's 2PL locks inside its window) therefore delays only
+    /// readers of its own relation, and they park on `unstamped_cv`
+    /// instead of spinning.
+    unstamped: Mutex<HashMap<RelationId, u64>>,
+    /// Wakes parked readers when a window closes.
+    unstamped_cv: Condvar,
     chains: Mutex<Chains>,
     /// Per-transaction write logs (append-only; marks index into them).
     write_logs: Mutex<HashMap<TxnId, Vec<WriteUndo>>>,
@@ -177,28 +199,37 @@ impl VersionStore {
         }
     }
 
-    /// Opens an unstamped-write window around a page mutation whose
-    /// chain stamp can only follow it (insert: the record key is the
-    /// mutation's output). The guard closes the window on drop — after
-    /// the stamp on success, or on the error unwind (where the
+    /// Opens an unstamped-write window for `rel` around a page mutation
+    /// whose chain stamp can only follow it (insert: the record key is
+    /// the mutation's output). The guard closes the window on drop —
+    /// after the stamp on success, or on the error unwind (where the
     /// statement rollback restores the page before readers can trust
     /// it again).
-    pub fn begin_unstamped(&self) -> UnstampedWindow<'_> {
-        self.unstamped.fetch_add(1, Ordering::AcqRel);
-        UnstampedWindow { store: self }
+    pub fn begin_unstamped(&self, rel: RelationId) -> UnstampedWindow<'_> {
+        *self.unstamped.lock().entry(rel).or_insert(0) += 1;
+        self.unstamped_total.fetch_add(1, Ordering::AcqRel);
+        UnstampedWindow { store: self, rel }
     }
 
-    /// Waits until no unstamped-write window is open. Readers call this
-    /// between their page read and their chain probe: a window open at
-    /// page-read time is either still open here (we spin the microseconds
-    /// until its stamp lands) or already closed (its stamp is visible to
-    /// the probe). Windows opened *after* this returns can only cover
-    /// page mutations the completed read did not observe. The fast path
-    /// is a single atomic load; a non-zero count is bounded by the
-    /// window's own lock waits (worst case one lock timeout).
-    pub fn wait_unstamped(&self) {
-        while self.unstamped.load(Ordering::Acquire) != 0 {
-            std::thread::yield_now();
+    /// Waits until `rel` has no open unstamped-write window. Readers
+    /// call this between their page read and their chain probe: a
+    /// window open at page-read time is either still open here (we park
+    /// until its stamp lands) or already closed (its stamp is visible
+    /// to the probe). Windows opened *after* this returns can only
+    /// cover page mutations the completed read did not observe. The
+    /// fast path is a single atomic load (zero windows anywhere);
+    /// otherwise waiters park on a condvar, scoped to the relation so a
+    /// writer stalled inside its window — worst case one lock timeout —
+    /// holds up only its own relation's readers, without burning CPU.
+    pub fn wait_unstamped(&self, rel: RelationId) {
+        if self.unstamped_total.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut open = self.unstamped.lock();
+        while open.get(&rel).copied().unwrap_or(0) != 0 {
+            // Timed re-check: robust against a wake-up racing the next
+            // window's open (windows are short; the tick is a backstop).
+            open = self.unstamped_cv.wait_for(open, Duration::from_millis(10));
         }
     }
 
@@ -300,6 +331,17 @@ impl VersionStore {
     /// and publishes the new sequence. Returns the assigned csn (or
     /// None for a read-only transaction).
     pub fn commit(&self, txn: TxnId) -> Option<u64> {
+        self.commit_with(txn, |_| {})
+    }
+
+    /// Like [`VersionStore::commit`], additionally running `publish`
+    /// with the assigned csn under the commit mutex *before* the new
+    /// sequence becomes visible to snapshot capture. Side tables keyed
+    /// by commit visibility (the embedding layer's DDL fence) update
+    /// here so a snapshot that includes the csn can never observe the
+    /// side table in its pre-commit state. `publish` is not called for
+    /// a transaction with no recorded writes (no csn is assigned).
+    pub fn commit_with(&self, txn: TxnId, publish: impl FnOnce(u64)) -> Option<u64> {
         let log = self.write_logs.lock().remove(&txn)?;
         if log.is_empty() {
             return None;
@@ -328,6 +370,7 @@ impl VersionStore {
                 chain.last_touch = touch;
             }
         }
+        publish(csn);
         self.commit_seq.store(csn, Ordering::Release);
         Some(csn)
     }
@@ -560,11 +603,11 @@ mod tests {
     fn unstamped_window_blocks_page_trust_until_stamp() {
         let vs = VersionStore::new();
         std::thread::scope(|s| {
-            let w = vs.begin_unstamped();
+            let w = vs.begin_unstamped(REL);
             let h = s.spawn(|| {
                 // A reader that saw a chainless page row: it must not
                 // probe the chain until the window closes.
-                vs.wait_unstamped();
+                vs.wait_unstamped(REL);
                 vs.visible(REL, b"k", vs.capture(), TxnId(9))
             });
             vs.record_write(TxnId(1), REL, b"k", VersionImage::Absent, present(1));
@@ -575,6 +618,36 @@ mod tests {
                 "the probe runs after the stamp landed, so it finds the chain"
             );
         });
+    }
+
+    #[test]
+    fn unstamped_window_is_scoped_to_its_relation() {
+        let vs = VersionStore::new();
+        let other = RelationId(99);
+        let w = vs.begin_unstamped(REL);
+        // A reader of a different relation is not delayed by REL's open
+        // window (this returns immediately rather than parking).
+        vs.wait_unstamped(other);
+        drop(w);
+        vs.wait_unstamped(REL);
+    }
+
+    #[test]
+    fn commit_with_runs_publish_before_the_csn_is_visible() {
+        let vs = VersionStore::new();
+        vs.record_write(TxnId(1), REL, b"k", VersionImage::Absent, present(1));
+        let before = vs.commit_seq();
+        let csn = vs
+            .commit_with(TxnId(1), |csn| {
+                // A snapshot captured while `publish` runs must not yet
+                // include the csn being assigned.
+                assert!(vs.capture().csn < csn);
+                assert_eq!(vs.commit_seq(), before);
+            })
+            .unwrap();
+        assert_eq!(vs.commit_seq(), csn);
+        // Read-only transactions assign no csn and skip publish.
+        vs.commit_with(TxnId(2), |_| panic!("publish for an empty log"));
     }
 
     #[test]

@@ -330,3 +330,60 @@ fn snapshot_scan_neither_blocks_on_nor_sees_uncommitted_insert() {
     let ids: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
     assert_eq!(ids, vec![1, 2, 3, 4, 2500]);
 }
+
+/// A committed update that relocates an index entry *forward*, past the
+/// scan position, re-exposes the same record key to the inner scan (old
+/// entry surfaced before the move, new entry after). The snapshot scan
+/// must emit each record once — both probes re-derive the identical
+/// snapshot image, so without key dedupe the row would come back twice.
+#[test]
+fn snapshot_scan_never_duplicates_a_relocated_record() {
+    let db = open_db();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL)")
+        .unwrap();
+    db.execute_sql("CREATE INDEX t_grp ON t USING btree (grp)")
+        .unwrap();
+    for i in 0..10 {
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    let rd = db.catalog().get_by_name("t").unwrap();
+    let (att, inst) = rd.find_attachment("t_grp").unwrap();
+
+    let txn = db.begin();
+    assert!(!txn.set_snapshot_reads(true));
+    let scan = db
+        .open_scan(
+            &txn,
+            rd.id,
+            AccessPath::Attachment(att, inst.instance),
+            AccessQuery::All,
+            None,
+            None,
+        )
+        .unwrap();
+    // Surface the first two entries (grp 0 and 1) ...
+    let mut keys = Vec::new();
+    for _ in 0..2 {
+        let item = db.scan_next(&txn, scan).unwrap().unwrap();
+        keys.push(item.key.as_bytes().to_vec());
+    }
+    // ... then a concurrent committed update moves the already-surfaced
+    // record's entry to the far end of the index, ahead of the scan.
+    db.execute_sql("UPDATE t SET grp = 100 WHERE id = 0")
+        .unwrap();
+    while let Some(item) = db.scan_next(&txn, scan).unwrap() {
+        keys.push(item.key.as_bytes().to_vec());
+    }
+    db.commit(&txn).unwrap();
+
+    let mut uniq = std::collections::HashSet::new();
+    for k in &keys {
+        assert!(
+            uniq.insert(k.clone()),
+            "snapshot scan surfaced record {k:?} twice after its index \
+             entry relocated past the scan position"
+        );
+    }
+    assert_eq!(keys.len(), 10, "every committed record exactly once");
+}
