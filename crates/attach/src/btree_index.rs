@@ -395,6 +395,16 @@ impl Attachment for BTreeIndex {
             return None; // no relevant predicate → not an eligible path
         }
         let prefix = encode_values(&eq_values);
+        // Maintained statistics sharpen the matched fraction when they
+        // cover the constrained fields; structural guesses otherwise.
+        let ts = rd.stats.table_stats();
+        let eq_stat_frac: Option<f64> = d
+            .fields
+            .iter()
+            .take(eq_values.len())
+            .zip(&eq_values)
+            .map(|(&f, v)| dmx_expr::sarg_fraction(f, &SargOp::Eq(v.clone()), ts.as_deref()))
+            .product();
         let (lo, hi, frac) = match range_sarg {
             Some((i, s)) => {
                 if let SargOp::Range(op, v) = &s.op {
@@ -411,7 +421,10 @@ impl Attachment for BTreeIndex {
                         Ge => (Bound::Included(lo_b), prefix_hi(&prefix)),
                         _ => (Bound::Included(prefix.clone()), prefix_hi(&prefix)),
                     };
-                    (lo, hi, 1.0 / 3.0)
+                    let range_frac =
+                        dmx_expr::sarg_fraction(d.fields[eq_values.len()], &s.op, ts.as_deref())
+                            .unwrap_or(1.0 / 3.0);
+                    (lo, hi, eq_stat_frac.unwrap_or(1.0) * range_frac)
                 } else {
                     unreachable!()
                 }
@@ -419,7 +432,9 @@ impl Attachment for BTreeIndex {
             None => (
                 Bound::Included(prefix.clone()),
                 prefix_hi(&prefix),
-                (1.0 / rd.stats.records().max(1) as f64).max(if d.unique { 0.0 } else { 0.01 }),
+                eq_stat_frac.unwrap_or_else(|| {
+                    (1.0 / rd.stats.records().max(1) as f64).max(if d.unique { 0.0 } else { 0.01 })
+                }),
             ),
         };
         let records = rd.stats.records();

@@ -368,7 +368,17 @@ impl Attachment for HashIndex {
         }
         let enc = encode_values(&values);
         let records = rd.stats.records();
-        let rows = (records as f64 * 0.01).max(1.0);
+        // Matched fraction from maintained statistics when they cover
+        // every hashed field; the flat 1% guess otherwise.
+        let ts = rd.stats.table_stats();
+        let frac: f64 = d
+            .fields
+            .iter()
+            .zip(&values)
+            .map(|(&f, v)| dmx_expr::sarg_fraction(f, &SargOp::Eq(v.clone()), ts.as_deref()))
+            .product::<Option<f64>>()
+            .unwrap_or(0.01);
+        let rows = (records as f64 * frac).max(1.0);
         Some(PathChoice {
             path: AccessPath::Attachment(Self::type_id(rd, instance), instance.instance),
             query: AccessQuery::KeyEquals(enc),

@@ -20,7 +20,10 @@
 //! * [`trigger`] — user actions fired by modifications ("within the
 //!   database or even outside");
 //! * [`aggregate`] — maintained statistics / precomputed aggregates
-//!   (attachments "may have associated storage").
+//!   (attachments "may have associated storage");
+//! * [`stats`] — maintained planner statistics (row counts, per-field
+//!   null/distinct/min/max/histogram) feeding the cost-estimation
+//!   interface and `sys.statistics`.
 //!
 //! [`register_builtin_attachments`] installs all of them "at the
 //! factory".
@@ -34,6 +37,7 @@ pub mod hash_index;
 pub mod join_index;
 pub mod refint;
 pub mod rtree;
+pub mod stats;
 pub mod trigger;
 
 use std::sync::Arc;
@@ -48,6 +52,7 @@ pub use hash_index::HashIndex;
 pub use join_index::JoinIndex;
 pub use refint::RefIntegrity;
 pub use rtree::{RTree, RTreeIndex};
+pub use stats::Stats;
 pub use trigger::Trigger;
 
 /// Registers the built-in attachment types.
@@ -60,5 +65,6 @@ pub fn register_builtin_attachments(registry: &ExtensionRegistry) -> Result<()> 
     registry.register_attachment(Arc::new(RefIntegrity))?;
     registry.register_attachment(Arc::new(Trigger))?;
     registry.register_attachment(Arc::new(Aggregate))?;
+    registry.register_attachment(Arc::new(Stats))?;
     Ok(())
 }

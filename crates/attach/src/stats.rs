@@ -1,0 +1,824 @@
+//! The maintained-statistics attachment ("this storage can be used to …
+//! maintain statistics about relations").
+//!
+//! One instance per relation maintains, as WAL-logged side effects of
+//! ordinary DML, the statistics the cost-estimation interface consumes:
+//! an exact row count and, per numeric (`Int`/`Float`) field, a NULL
+//! count, a linear-counting distinct sketch, min/max bounds and — after
+//! `ANALYZE TABLE` froze bucket bounds — a fixed-bucket equi-width
+//! histogram. The whole state lives in **one cell** of a private B-tree
+//! (keyed by a constant), so maintenance is a read-modify-write of a
+//! single hot page; like [`crate::aggregate`], every change logs the
+//! cell's *before- and after-images* ([`A_DELTA`]) because numeric state
+//! is not presence-checkable: replaying a delta twice would double-count,
+//! installing an image twice cannot.
+//!
+//! After every installed image the attachment *publishes* an immutable
+//! [`TableStats`] snapshot into the relation descriptor's shared
+//! [`dmx_core::RelationStats`] handle, which every storage method's
+//! `estimate` and the planner consult ([`dmx_expr::stats::selectivity`]).
+//! [`Attachment::activate`] re-publishes from durable state on database
+//! open; `undo`/`redo` re-publish the image they install so aborts and
+//! restarts never leave a stale snapshot behind.
+//!
+//! Accuracy contract (documented in DESIGN.md §10.4): row and NULL
+//! counts are exact; min/max and the distinct sketch only *widen* under
+//! deletes (exact again after the next `ANALYZE`); histogram buckets are
+//! incremented/decremented with out-of-bounds values clamped into the
+//! edge buckets.
+
+use std::sync::Arc;
+
+use dmx_btree::{BTree, OnDuplicate};
+use dmx_core::{Attachment, AttachmentInstance, CommonServices, ExecCtx, RelationDescriptor};
+use dmx_expr::stats::{value_to_f64, ColumnStats, Histogram, TableStats};
+use dmx_types::{
+    key::{decode_values, encode_values},
+    AttrList, DataType, DmxError, FileId, Lsn, PageId, Record, RecordKey, Result, Schema, Value,
+};
+
+use crate::common::{
+    decode_att_payload, encode_att_payload, log_att, read_u16, read_u32, read_u64, tail, A_DELTA,
+};
+
+/// The maintained-statistics attachment type.
+pub struct Stats;
+
+/// Bytes in the per-field linear-counting distinct sketch (256 bits).
+pub const SKETCH_BYTES: usize = 32;
+
+/// Instance descriptor: the private B-tree holding the single cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsDesc {
+    pub file: FileId,
+    pub root_page: u32,
+}
+
+impl StatsDesc {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8);
+        v.extend_from_slice(&self.file.0.to_le_bytes());
+        v.extend_from_slice(&self.root_page.to_le_bytes());
+        v
+    }
+
+    pub fn decode(b: &[u8]) -> Result<StatsDesc> {
+        const WHAT: &str = "stats descriptor";
+        Ok(StatsDesc {
+            file: FileId(read_u32(b, 0, WHAT)?),
+            root_page: read_u32(b, 4, WHAT)?,
+        })
+    }
+}
+
+/// Per-field maintained state inside the cell.
+#[derive(Debug, Clone, PartialEq)]
+struct ColCell {
+    /// `false` for non-numeric fields: only the tag byte is stored.
+    tracked: bool,
+    nulls: u64,
+    /// Linear-counting bitmap over FNV-1a hashes of encoded values.
+    sketch: [u8; SKETCH_BYTES],
+    min: Option<Value>,
+    max: Option<Value>,
+    hist: Option<Histogram>,
+}
+
+impl ColCell {
+    fn untracked() -> ColCell {
+        ColCell {
+            tracked: false,
+            nulls: 0,
+            sketch: [0; SKETCH_BYTES],
+            min: None,
+            max: None,
+            hist: None,
+        }
+    }
+
+    fn tracked() -> ColCell {
+        ColCell {
+            tracked: true,
+            ..ColCell::untracked()
+        }
+    }
+}
+
+/// The whole maintained cell: row count plus per-field state.
+#[derive(Debug, Clone, PartialEq)]
+struct StatsCell {
+    rows: u64,
+    cols: Vec<ColCell>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn sketch_insert(sketch: &mut [u8; SKETCH_BYTES], v: &Value) {
+    let bit = (fnv1a(&encode_values(std::slice::from_ref(v))) % (SKETCH_BYTES as u64 * 8)) as usize;
+    sketch[bit / 8] |= 1 << (bit % 8);
+}
+
+/// Linear-counting estimate: `-m · ln(zeros / m)`, capped into
+/// `[1, rows]`; a saturated sketch (no zero bits) degrades to "all rows
+/// distinct", which matches near-unique fields.
+fn distinct_estimate(sketch: &[u8; SKETCH_BYTES], rows: u64) -> u64 {
+    if rows == 0 {
+        return 0;
+    }
+    let m = (SKETCH_BYTES * 8) as f64;
+    let zeros: u64 = sketch.iter().map(|b| b.count_zeros() as u64).sum();
+    if zeros == 0 {
+        return rows;
+    }
+    let est = (m * (m / zeros as f64).ln()).round() as u64;
+    est.clamp(1, rows)
+}
+
+impl StatsCell {
+    fn new(schema: &Schema) -> StatsCell {
+        StatsCell {
+            rows: 0,
+            cols: schema
+                .columns()
+                .iter()
+                .map(|c| match c.data_type {
+                    DataType::Int | DataType::Float => ColCell::tracked(),
+                    _ => ColCell::untracked(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies one record with `sign` +1 (insert) or -1 (delete).
+    fn apply(&mut self, record: &Record, sign: i64) {
+        self.rows = if sign >= 0 {
+            self.rows.saturating_add(1)
+        } else {
+            self.rows.saturating_sub(1)
+        };
+        for (i, col) in self.cols.iter_mut().enumerate() {
+            if !col.tracked {
+                continue;
+            }
+            match record.values.get(i) {
+                Some(Value::Null) | None => {
+                    col.nulls = if sign >= 0 {
+                        col.nulls.saturating_add(1)
+                    } else {
+                        col.nulls.saturating_sub(1)
+                    };
+                }
+                Some(v) => {
+                    if sign >= 0 {
+                        sketch_insert(&mut col.sketch, v);
+                        widen(&mut col.min, v, std::cmp::Ordering::Less);
+                        widen(&mut col.max, v, std::cmp::Ordering::Greater);
+                    }
+                    if let (Some(h), Some(x)) = (&mut col.hist, value_to_f64(v)) {
+                        h.add(x, sign);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The planner-facing snapshot of this cell.
+    fn to_table_stats(&self) -> TableStats {
+        TableStats {
+            rows: self.rows,
+            columns: self
+                .cols
+                .iter()
+                .map(|c| {
+                    if !c.tracked {
+                        return None;
+                    }
+                    Some(ColumnStats {
+                        nulls: c.nulls,
+                        distinct: distinct_estimate(&c.sketch, self.rows.saturating_sub(c.nulls)),
+                        min: c.min.clone(),
+                        max: c.max.clone(),
+                        histogram: c.hist.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Keeps `slot` as the extreme of the values seen so far (`Less` for
+/// min, `Greater` for max), comparing through the numeric view.
+fn widen(slot: &mut Option<Value>, v: &Value, keep: std::cmp::Ordering) {
+    let Some(x) = value_to_f64(v) else { return };
+    match slot {
+        None => *slot = Some(v.clone()),
+        Some(cur) => {
+            let Some(c) = value_to_f64(cur) else {
+                *slot = Some(v.clone());
+                return;
+            };
+            if x.partial_cmp(&c) == Some(keep) {
+                *slot = Some(v.clone());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cell serialization.
+// ---------------------------------------------------------------------
+
+fn encode_value_opt(out: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => out.push(0),
+        // Ints and floats carry their own variant tag: the
+        // order-preserving key encoding folds Int(2) and Float(2.0)
+        // into one byte string, which would flip the min/max spelling
+        // (and the sys.statistics rendering) across a reopen.
+        Some(Value::Int(i)) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Some(Value::Float(x)) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Some(v) => {
+            out.push(1);
+            let enc = encode_values(std::slice::from_ref(v));
+            out.extend_from_slice(&(enc.len() as u16).to_le_bytes());
+            out.extend_from_slice(&enc);
+        }
+    }
+}
+
+fn decode_value_opt(b: &[u8], off: &mut usize) -> Result<Option<Value>> {
+    const WHAT: &str = "stats cell value";
+    let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
+    let read8 = |b: &[u8], off: &mut usize| -> Result<[u8; 8]> {
+        let raw = b.get(*off..*off + 8).ok_or_else(corrupt)?;
+        *off += 8;
+        raw.try_into()
+            .map_err(|_| DmxError::Corrupt(format!("short {WHAT}")))
+    };
+    let tag = *b.get(*off).ok_or_else(corrupt)?;
+    *off += 1;
+    match tag {
+        0 => Ok(None),
+        2 => Ok(Some(Value::Int(i64::from_le_bytes(read8(b, off)?)))),
+        3 => Ok(Some(Value::Float(f64::from_bits(u64::from_le_bytes(
+            read8(b, off)?,
+        ))))),
+        1 => {
+            let len = read_u16(b, *off, WHAT)? as usize;
+            *off += 2;
+            let enc = b.get(*off..*off + len).ok_or_else(corrupt)?;
+            *off += len;
+            let v = decode_values(enc, 1)?
+                .pop()
+                .ok_or_else(|| DmxError::Corrupt(format!("empty {WHAT}")))?;
+            Ok(Some(v))
+        }
+        _ => Err(DmxError::Corrupt(format!("bad {WHAT} tag {tag}"))),
+    }
+}
+
+fn encode_cell(cell: &StatsCell) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16 + cell.cols.len() * 64);
+    v.extend_from_slice(&cell.rows.to_le_bytes());
+    v.extend_from_slice(&(cell.cols.len() as u16).to_le_bytes());
+    for c in &cell.cols {
+        if !c.tracked {
+            v.push(0);
+            continue;
+        }
+        v.push(1);
+        v.extend_from_slice(&c.nulls.to_le_bytes());
+        v.extend_from_slice(&c.sketch);
+        encode_value_opt(&mut v, &c.min);
+        encode_value_opt(&mut v, &c.max);
+        match &c.hist {
+            None => v.push(0),
+            Some(h) => {
+                v.push(1);
+                v.extend_from_slice(&h.lo.to_le_bytes());
+                v.extend_from_slice(&h.hi.to_le_bytes());
+                v.push(h.buckets.len() as u8);
+                for b in &h.buckets {
+                    v.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+        }
+    }
+    v
+}
+
+fn decode_cell(b: &[u8]) -> Result<StatsCell> {
+    const WHAT: &str = "stats cell";
+    let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
+    let rows = read_u64(b, 0, WHAT)?;
+    let ncols = read_u16(b, 8, WHAT)? as usize;
+    let mut off = 10;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let tag = *b.get(off).ok_or_else(corrupt)?;
+        off += 1;
+        if tag == 0 {
+            cols.push(ColCell::untracked());
+            continue;
+        }
+        let nulls = read_u64(b, off, WHAT)?;
+        off += 8;
+        let sketch: [u8; SKETCH_BYTES] = b
+            .get(off..off + SKETCH_BYTES)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(corrupt)?;
+        off += SKETCH_BYTES;
+        let min = decode_value_opt(b, &mut off)?;
+        let max = decode_value_opt(b, &mut off)?;
+        let htag = *b.get(off).ok_or_else(corrupt)?;
+        off += 1;
+        let hist = if htag == 0 {
+            None
+        } else {
+            let lo = f64::from_bits(read_u64(b, off, WHAT)?);
+            let hi = f64::from_bits(read_u64(b, off + 8, WHAT)?);
+            let nb = *b.get(off + 16).ok_or_else(corrupt)? as usize;
+            off += 17;
+            let mut buckets = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                buckets.push(read_u64(b, off, WHAT)?);
+                off += 8;
+            }
+            Some(Histogram { lo, hi, buckets })
+        };
+        cols.push(ColCell {
+            tracked: true,
+            nulls,
+            sketch,
+            min,
+            max,
+            hist,
+        });
+    }
+    let _ = tail(b, off, WHAT)?;
+    Ok(StatsCell { rows, cols })
+}
+
+/// Before/after image of the cell: `[0]` = absent, `[1] ∥ u32 len ∥
+/// cell` = present (length-prefixed because cells are variable-size).
+fn encode_image(out: &mut Vec<u8>, cell: &Option<StatsCell>) {
+    match cell {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            let enc = encode_cell(c);
+            out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            out.extend_from_slice(&enc);
+        }
+    }
+}
+
+fn decode_image(b: &[u8], off: &mut usize) -> Result<Option<StatsCell>> {
+    const WHAT: &str = "stats image";
+    let corrupt = || DmxError::Corrupt(format!("short {WHAT}"));
+    let tag = *b.get(*off).ok_or_else(corrupt)?;
+    *off += 1;
+    if tag == 0 {
+        return Ok(None);
+    }
+    let len = read_u32(b, *off, WHAT)? as usize;
+    *off += 4;
+    let enc = b.get(*off..*off + len).ok_or_else(corrupt)?;
+    *off += len;
+    Ok(Some(decode_cell(enc)?))
+}
+
+fn encode_images(before: &Option<StatsCell>, after: &Option<StatsCell>) -> Vec<u8> {
+    let mut v = Vec::new();
+    encode_image(&mut v, before);
+    encode_image(&mut v, after);
+    v
+}
+
+fn decode_images(b: &[u8]) -> Result<(Option<StatsCell>, Option<StatsCell>)> {
+    let mut off = 0;
+    let before = decode_image(b, &mut off)?;
+    let after = decode_image(b, &mut off)?;
+    Ok((before, after))
+}
+
+impl Stats {
+    fn tree(services: &Arc<CommonServices>, d: &StatsDesc) -> BTree {
+        BTree::open(
+            &services.pool,
+            PageId::new(d.file, d.root_page),
+            &services.latches,
+        )
+    }
+
+    /// The single cell's constant key.
+    fn cell_key() -> Vec<u8> {
+        encode_values(&[Value::Int(0)])
+    }
+
+    fn read_cell(services: &Arc<CommonServices>, desc: &[u8]) -> Result<Option<StatsCell>> {
+        let d = StatsDesc::decode(desc)?;
+        Ok(match Self::tree(services, &d).get(&Self::cell_key())? {
+            Some(raw) => Some(decode_cell(&raw)?),
+            None => None,
+        })
+    }
+
+    /// Installs a cell image (forward execution installs the after-image
+    /// it computed, undo the before-image, redo the after-image). Dirty
+    /// pages are stamped with `lsn` (write-ahead rule).
+    fn install_image(
+        services: &Arc<CommonServices>,
+        desc: &[u8],
+        image: &Option<StatsCell>,
+        lsn: Lsn,
+    ) -> Result<()> {
+        let d = StatsDesc::decode(desc)?;
+        let tree = Self::tree(services, &d).with_wal_lsn(lsn);
+        match image {
+            None => {
+                tree.delete(&Self::cell_key())?;
+            }
+            Some(c) => {
+                tree.insert(&Self::cell_key(), &encode_cell(c), OnDuplicate::Replace)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes the image's planner snapshot into the relation's shared
+    /// statistics handle.
+    fn publish(rd: &RelationDescriptor, image: &Option<StatsCell>) {
+        rd.stats
+            .publish_table_stats(image.as_ref().map(|c| Arc::new(c.to_table_stats())));
+    }
+
+    /// One maintained change: `old`/`new` follow the DML op (insert =
+    /// new only, delete = old only, update = both — one logged image
+    /// pair per op, not one per side).
+    fn delta(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        old: Option<&Record>,
+        new: Option<&Record>,
+    ) -> Result<()> {
+        let before = Self::read_cell(ctx.services(), &inst.desc)?;
+        let mut cell = match &before {
+            Some(c) => c.clone(),
+            None => StatsCell::new(&rd.schema),
+        };
+        if let Some(o) = old {
+            cell.apply(o, -1);
+        }
+        if let Some(n) = new {
+            cell.apply(n, 1);
+        }
+        let after = Some(cell);
+        self.log_and_install(ctx, rd, inst, &before, &after)
+    }
+
+    /// Logs the image pair, installs the after-image and publishes it.
+    fn log_and_install(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        inst: &AttachmentInstance,
+        before: &Option<StatsCell>,
+        after: &Option<StatsCell>,
+    ) -> Result<()> {
+        let att = rd
+            .attached_types()
+            .find(|(_, insts)| {
+                insts
+                    .iter()
+                    .any(|i| i.instance == inst.instance && i.name == inst.name)
+            })
+            .map(|(t, _)| t)
+            .unwrap_or_default();
+        let lsn = log_att(
+            ctx,
+            rd,
+            att,
+            A_DELTA,
+            encode_att_payload(&inst.desc, &Self::cell_key(), &encode_images(before, after)),
+        );
+        Self::install_image(ctx.services(), &inst.desc, after, lsn)?;
+        Self::publish(rd, after);
+        Ok(())
+    }
+}
+
+impl Attachment for Stats {
+    fn name(&self) -> &str {
+        "stats"
+    }
+
+    fn validate_params(&self, params: &AttrList, _schema: &Schema) -> Result<()> {
+        params.check_allowed(&[], "stats")
+    }
+
+    fn create_instance(
+        &self,
+        ctx: &ExecCtx<'_>,
+        _rd: &RelationDescriptor,
+        _name: &str,
+        _params: &AttrList,
+    ) -> Result<Vec<u8>> {
+        let services = ctx.services();
+        let file = services.disk.create_file()?;
+        let tree = BTree::create(&services.pool, file, &services.latches)?;
+        Ok(StatsDesc {
+            file,
+            root_page: tree.root().page_no,
+        }
+        .encode())
+    }
+
+    fn destroy_instance(&self, services: &Arc<CommonServices>, inst_desc: &[u8]) -> Result<()> {
+        let d = StatsDesc::decode(inst_desc)?;
+        services.latches.forget(PageId::new(d.file, d.root_page));
+        services.pool.discard_file(d.file);
+        services.disk.delete_file(d.file)
+    }
+
+    fn on_insert(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _key: &RecordKey,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, None, Some(new))?;
+        }
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _old_key: &RecordKey,
+        _new_key: &RecordKey,
+        old: &Record,
+        new: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, Some(old), Some(new))?;
+        }
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        _key: &RecordKey,
+        old: &Record,
+    ) -> Result<()> {
+        for inst in instances {
+            self.delta(ctx, rd, inst, Some(old), None)?;
+        }
+        Ok(())
+    }
+
+    fn undo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        if op != A_DELTA {
+            return Err(DmxError::Corrupt(format!("bad stats op {op}")));
+        }
+        let (desc, _key, images) = decode_att_payload(payload)?;
+        let (before, _) = decode_images(images)?;
+        // Full before-images in reverse log order are idempotent; the
+        // planner snapshot reverts with the durable cell so an abort
+        // never leaves inflated statistics published.
+        Self::install_image(services, desc, &before, lsn)?;
+        Self::publish(rd, &before);
+        Ok(())
+    }
+
+    fn redo(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        lsn: Lsn,
+        op: u8,
+        payload: &[u8],
+    ) -> Result<()> {
+        if op != A_DELTA {
+            return Err(DmxError::Corrupt(format!("bad stats op {op}")));
+        }
+        let (desc, _key, images) = decode_att_payload(payload)?;
+        let (_, after) = decode_images(images)?;
+        Self::install_image(services, desc, &after, lsn)?;
+        Self::publish(rd, &after);
+        Ok(())
+    }
+
+    /// Re-publishes the planner snapshot from durable state on database
+    /// open (descriptor decode starts with an empty in-memory handle).
+    fn activate(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+    ) -> Result<()> {
+        let cell = Self::read_cell(services, &instance.desc)?;
+        Self::publish(rd, &cell);
+        Ok(())
+    }
+
+    /// Retracts the published snapshot when the instance is dropped; the
+    /// planner falls back to guesses immediately.
+    fn deactivate(&self, rd: &RelationDescriptor, _instance: &AttachmentInstance) {
+        rd.stats.publish_table_stats(None);
+    }
+
+    /// `ANALYZE TABLE`: rebuilds the cell *exactly* from the offered
+    /// full image — exact distinct-sketch/min/max, and histograms with
+    /// bucket bounds frozen at the observed min/max.
+    fn analyze(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        records: &[Record],
+    ) -> Result<bool> {
+        for inst in instances {
+            let mut cell = StatsCell::new(&rd.schema);
+            for r in records {
+                cell.apply(r, 1);
+            }
+            // Freeze histogram bounds at the observed min/max, then
+            // fill the buckets with a second pass.
+            for (i, col) in cell.cols.iter_mut().enumerate() {
+                let (Some(lo), Some(hi)) = (
+                    col.min.as_ref().and_then(value_to_f64),
+                    col.max.as_ref().and_then(value_to_f64),
+                ) else {
+                    continue;
+                };
+                let mut h = Histogram::new(lo, hi);
+                for r in records {
+                    match r.values.get(i) {
+                        Some(Value::Null) | None => {}
+                        Some(v) => {
+                            if let Some(x) = value_to_f64(v) {
+                                h.add(x, 1);
+                            }
+                        }
+                    }
+                }
+                col.hist = Some(h);
+            }
+            let before = Self::read_cell(ctx.services(), &inst.desc)?;
+            self.log_and_install(ctx, rd, inst, &before, &Some(cell))?;
+        }
+        Ok(!instances.is_empty())
+    }
+
+    fn storage_files(&self, inst_desc: &[u8]) -> Vec<FileId> {
+        match StatsDesc::decode(inst_desc) {
+            Ok(d) => vec![d.file],
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Statistics are rebuilt from the base relation through the
+    /// ordinary registration path (create + backfill); the histogram
+    /// stays absent until the next `ANALYZE TABLE`.
+    fn reconstruct_params(&self, _rd: &RelationDescriptor, _inst_desc: &[u8]) -> Result<AttrList> {
+        Ok(AttrList::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        use dmx_types::ColumnDef;
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn rec(id: i64, name: &str, score: Option<f64>) -> Record {
+        Record::new(vec![
+            Value::Int(id),
+            Value::Str(name.into()),
+            score.map(Value::Float).unwrap_or(Value::Null),
+        ])
+    }
+
+    #[test]
+    fn cell_tracks_numeric_fields_only() {
+        let mut cell = StatsCell::new(&schema());
+        assert!(cell.cols[0].tracked && !cell.cols[1].tracked && cell.cols[2].tracked);
+        for i in 0..10 {
+            cell.apply(
+                &rec(i % 3, "x", if i % 2 == 0 { Some(i as f64) } else { None }),
+                1,
+            );
+        }
+        assert_eq!(cell.rows, 10);
+        assert_eq!(cell.cols[2].nulls, 5);
+        let ts = cell.to_table_stats();
+        assert_eq!(ts.rows, 10);
+        assert!(ts.columns[1].is_none());
+        let id = ts.columns[0].as_ref().unwrap();
+        assert_eq!(id.min, Some(Value::Int(0)));
+        assert_eq!(id.max, Some(Value::Int(2)));
+        assert_eq!(id.distinct, 3, "linear counting is exact this small");
+    }
+
+    #[test]
+    fn deletes_keep_counts_exact_and_bounds_widen_only() {
+        let mut cell = StatsCell::new(&schema());
+        cell.apply(&rec(1, "a", Some(1.0)), 1);
+        cell.apply(&rec(100, "b", None), 1);
+        cell.apply(&rec(100, "b", None), -1);
+        assert_eq!(cell.rows, 1);
+        assert_eq!(cell.cols[2].nulls, 0);
+        // min/max and the sketch do not shrink under deletes
+        assert_eq!(cell.cols[0].max, Some(Value::Int(100)));
+        assert!(cell.to_table_stats().columns[0].as_ref().unwrap().distinct >= 1);
+    }
+
+    #[test]
+    fn cell_roundtrips_through_encoding() {
+        let mut cell = StatsCell::new(&schema());
+        for i in 0..50 {
+            cell.apply(&rec(i, "n", Some(i as f64 * 0.5)), 1);
+        }
+        cell.cols[0].hist = Some({
+            let mut h = Histogram::new(0.0, 49.0);
+            for i in 0..50 {
+                h.add(i as f64, 1);
+            }
+            h
+        });
+        let decoded = decode_cell(&encode_cell(&cell)).unwrap();
+        assert_eq!(decoded, cell);
+        // image pair roundtrip, including the absent case
+        let (b, a) = decode_images(&encode_images(&None, &Some(cell.clone()))).unwrap();
+        assert_eq!(b, None);
+        assert_eq!(a, Some(cell));
+        assert!(decode_cell(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn distinct_estimate_saturates_to_rows() {
+        let mut sketch = [0u8; SKETCH_BYTES];
+        for i in 0..5 {
+            sketch_insert(&mut sketch, &Value::Int(i));
+        }
+        let est = distinct_estimate(&sketch, 1000);
+        assert!((4..=6).contains(&est), "{est}");
+        let full = [0xFFu8; SKETCH_BYTES];
+        assert_eq!(distinct_estimate(&full, 1000), 1000);
+        assert_eq!(distinct_estimate(&sketch, 0), 0);
+    }
+
+    #[test]
+    fn same_stream_yields_identical_cells() {
+        let build = || {
+            let mut cell = StatsCell::new(&schema());
+            for i in 0..200 {
+                cell.apply(&rec(i % 17, "s", Some((i % 7) as f64)), 1);
+                if i % 3 == 0 {
+                    cell.apply(&rec(i % 17, "s", Some((i % 7) as f64)), -1);
+                }
+            }
+            encode_cell(&cell)
+        };
+        assert_eq!(build(), build(), "deterministic maintenance");
+    }
+}

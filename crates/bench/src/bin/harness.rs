@@ -68,6 +68,9 @@ fn main() {
     if want("pr9") {
         pr9_baseline();
     }
+    if want("pr10") {
+        pr10_baseline();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -349,6 +352,62 @@ fn pr9_baseline() {
     println!("\nwrote {path}");
 }
 
+/// Full-scale run of the PR10 maintained-statistics scenarios; writes
+/// the `BENCH_pr10.json` baseline next to the workspace root. The two
+/// misestimate lanes run the identical skewed query matrix, so
+/// `scripts/check.sh` can ratchet the p90 estimate-error shrink (and
+/// the DML lanes' maintenance overhead) against the guess baseline.
+fn pr10_baseline() {
+    banner(
+        "PR10",
+        "maintained statistics: misestimate shrink, plan flips and maintenance overhead",
+    );
+    let scale = pr3::Scale::full();
+    let seed = pr3::DEFAULT_SEED;
+    let outcomes = pr10::run_timed(&scale, seed);
+    let w = [26, 12, 12, 12, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "ops".into(),
+                "elapsed ms".into(),
+                "ops/sec".into(),
+                "misest p90".into()
+            ],
+            &w
+        )
+    );
+    for o in &outcomes {
+        let secs = o.elapsed.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    o.name.into(),
+                    o.ops.to_string(),
+                    ms(o.elapsed),
+                    format!("{:.0}", o.ops as f64 / secs.max(1e-9)),
+                    o.metrics.counter("bench.misest_p90").to_string()
+                ],
+                &w
+            )
+        );
+    }
+    let json = pr10::render_json(&outcomes, seed, &scale);
+    let path = if std::path::Path::new("Cargo.toml").exists() {
+        "BENCH_pr10.json".to_string()
+    } else {
+        // `cargo run -p …` from a subdirectory: walk up to the workspace
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_pr10.json"))
+            .unwrap_or_else(|_| "BENCH_pr10.json".to_string())
+    };
+    std::fs::write(&path, json).expect("write BENCH_pr10.json");
+    println!("\nwrote {path}");
+}
+
 /// `--smoke`: small scale, every scenario run twice; asserts the two
 /// snapshots are identical (determinism) and that each covers the
 /// pagestore/wal/lock/txn/core layers. Used by scripts/check.sh.
@@ -396,7 +455,7 @@ fn pr3_smoke() {
         );
         println!("smoke {:<26} ok  ops={}", s.name, a.ops);
     }
-    for s in pr9::scenarios() {
+    for s in pr9::scenarios().into_iter().chain(pr10::scenarios()) {
         let a = (s.run)(&scale, seed);
         let b = (s.run)(&scale, seed);
         assert_eq!(a.ops, b.ops, "{}: op count drifted between runs", s.name);

@@ -10,6 +10,7 @@
 //! the experiment loudly, not thread `Result` through every scenario.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod pr10;
 pub mod pr3;
 pub mod pr5;
 pub mod pr7;

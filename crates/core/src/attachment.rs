@@ -117,6 +117,48 @@ pub trait Attachment: Send + Sync {
         Ok(())
     }
 
+    /// Called once per instance when a database (re)opens, after restart
+    /// recovery, so attachments that publish derived *in-memory* state
+    /// (e.g. the statistics attachment's planner snapshot) can hydrate it
+    /// from their durable storage before the first query plans. Default
+    /// no-op. Failures are non-fatal to the open — the instance simply
+    /// stays un-hydrated and the scrub/repair pipeline deals with any
+    /// real corruption.
+    fn activate(
+        &self,
+        services: &Arc<CommonServices>,
+        rd: &RelationDescriptor,
+        instance: &AttachmentInstance,
+    ) -> Result<()> {
+        let _ = (services, rd, instance);
+        Ok(())
+    }
+
+    /// The inverse of [`Attachment::activate`]: called when an instance
+    /// is dropped, so attachment-published in-memory state is retracted
+    /// immediately (the physical storage release stays deferred to
+    /// commit). Default no-op.
+    fn deactivate(&self, rd: &RelationDescriptor, instance: &AttachmentInstance) {
+        let _ = (rd, instance);
+    }
+
+    /// Offers a freshly scanned full image of the base relation so the
+    /// attachment can rebuild derived state *exactly* (`ANALYZE TABLE`
+    /// drives this for every attachment type on the relation). Returns
+    /// `true` when the attachment rebuilt something, `false` when the
+    /// offer is irrelevant to it (the default — indexes are already
+    /// exact by construction).
+    fn analyze(
+        &self,
+        ctx: &ExecCtx<'_>,
+        rd: &RelationDescriptor,
+        instances: &[AttachmentInstance],
+        records: &[Record],
+    ) -> Result<bool> {
+        let _ = (ctx, rd, instances, records);
+        Ok(false)
+    }
+
     // ------------------------------------------------------------------
     // Access-path side (optional). Integrity constraints and triggers
     // keep the defaults.

@@ -139,6 +139,7 @@ pub(crate) struct CoreCounters {
     pub(crate) fetches: Arc<Counter>,
     pub(crate) scan_opens: Arc<Counter>,
     pub(crate) scan_rows: Arc<Counter>,
+    pub(crate) scan_delta_sweeps: Arc<Counter>,
     pub(crate) rows_per_scan: Arc<Histogram>,
     pub(crate) att_invocations: Arc<Counter>,
     pub(crate) att_vetoes: Arc<Counter>,
@@ -171,6 +172,7 @@ impl CoreCounters {
             fetches: obs.counter(metric::DML_FETCHES),
             scan_opens: obs.counter(metric::SCAN_OPENS),
             scan_rows: obs.counter(metric::SCAN_ROWS),
+            scan_delta_sweeps: obs.counter(metric::SCAN_DELTA_SWEEPS),
             rows_per_scan: obs.histogram(metric::SCAN_ROWS_PER_SCAN, SIZE_BUCKETS),
             att_invocations: obs.counter(metric::ATT_INVOCATIONS),
             att_vetoes: obs.counter(metric::ATT_VETOES),
@@ -450,6 +452,20 @@ impl Database {
         // now that the quarantine machinery exists; the repair pipeline
         // rebuilds them from the base on the next CHECK/REPAIR sweep.
         db.fence_undo_damage(&handler);
+        // Hydrate attachment-published in-memory state (e.g. the
+        // statistics attachment's planner snapshot) from durable storage.
+        // Failures are non-fatal: the instance stays un-hydrated and the
+        // scrub/repair pipeline handles real corruption.
+        for rd in db.catalog.list() {
+            for (att_id, insts) in rd.attached_types() {
+                let Ok(att) = db.registry.attachment(att_id) else {
+                    continue;
+                };
+                for inst in insts {
+                    let _ = att.activate(&db.services, &rd, inst);
+                }
+            }
+        }
         Ok(db)
     }
 
@@ -1270,6 +1286,43 @@ impl Database {
         Ok(())
     }
 
+    /// `ANALYZE TABLE`: scans the relation once and offers the full
+    /// record image to every attachment type on it via
+    /// [`Attachment::analyze`], so maintained derived state (the
+    /// statistics attachment's distinct sketches and histogram bounds)
+    /// can be rebuilt *exactly*. Returns the number of attachment
+    /// instances that rebuilt state. Runs under a relation X lock so the
+    /// rebuild observes a stable image.
+    pub fn analyze_relation(
+        self: &Arc<Self>,
+        txn: &Arc<Transaction>,
+        rel_name: &str,
+    ) -> Result<usize> {
+        txn.check_active()?;
+        self.check_writable()?;
+        let ctx = ExecCtx { db: self, txn };
+        let rd = self.catalog.get_by_name(rel_name)?;
+        self.check_not_quarantined(rd.id)?;
+        ctx.lock(LockName::Relation(rd.id), LockMode::X)?;
+        let sm = self.registry.storage(rd.sm)?;
+        let mut records = Vec::new();
+        let mut scan = sm.open_scan(&ctx, &rd, KeyRange::all(), None, None)?;
+        while let Some(item) = scan.next(&ctx)? {
+            let values = item
+                .values
+                .ok_or_else(|| DmxError::Internal("storage scan returned no fields".into()))?;
+            records.push(Record::new(values));
+        }
+        let mut analyzed = 0;
+        for (att_id, insts) in rd.attached_types() {
+            let att = self.registry.attachment(att_id)?;
+            if att.analyze(&ctx, &rd, insts, &records)? {
+                analyzed += insts.len();
+            }
+        }
+        Ok(analyzed)
+    }
+
     /// Drops a relation: removed from the catalog immediately, physical
     /// storage released *deferred* at commit ("the actual release of the
     /// relation or access path state is deferred until the transaction
@@ -1366,6 +1419,12 @@ impl Database {
         ctx.lock(LockName::Relation(old_rd.id), LockMode::X)?;
         let (new_rd, att_id, removed) = old_rd.without_attachment(att_name)?;
         self.catalog.replace(new_rd)?;
+        // Retract attachment-published in-memory state right away; if
+        // the transaction aborts, the next maintained change (or reopen)
+        // republishes it — until then the planner falls back to guesses.
+        if let Ok(att) = self.registry.attachment(att_id) {
+            att.deactivate(&old_rd, &removed);
+        }
         self.deps
             .invalidate(DepKey::Attachment(old_rd.id, att_id, removed.instance));
         self.deps.invalidate(DepKey::Relation(old_rd.id));

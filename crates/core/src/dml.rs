@@ -208,12 +208,22 @@ impl SnapshotScan {
                 // Inner scan exhausted: sweep the chains for visible
                 // records it never surfaced.
                 let entries = ctx.db.versions().visible_entries(self.rd.id, self.snap, me);
-                self.delta = Some(
-                    entries
-                        .into_iter()
-                        .filter(|(k, _)| !self.seen.contains(k))
-                        .collect(),
-                );
+                let delta: VecDeque<_> = entries
+                    .into_iter()
+                    .filter(|(k, _)| !self.seen.contains(k))
+                    .collect();
+                if !delta.is_empty() {
+                    // Observable: the sweep found snapshot-visible
+                    // records the inner scan never surfaced.
+                    ctx.db.counters().scan_delta_sweeps.incr();
+                    ctx.db.metrics().emit(dmx_types::obs::ObsEvent {
+                        layer: "scan",
+                        op: "delta_sweep",
+                        target: self.rd.id.0 as u64,
+                        detail: delta.len() as u64,
+                    });
+                }
+                self.delta = Some(delta);
                 continue;
             };
             if !self.inner.items_are_record_keys() {

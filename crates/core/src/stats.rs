@@ -6,9 +6,13 @@
 //! fresh statistics without re-reading the catalog.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dmx_expr::stats::TableStats;
+use dmx_types::sync::RwLock;
 
 /// Mutable relation statistics with atomic counters.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct RelationStats {
     records: AtomicI64,
     pages: AtomicI64,
@@ -17,6 +21,22 @@ pub struct RelationStats {
     bytes: AtomicI64,
     /// Modification counter (diagnostics / staleness heuristics).
     modifications: AtomicU64,
+    /// Field-level statistics published by the statistics attachment
+    /// (`None` until an instance exists and has observed the relation).
+    /// Immutable snapshots behind an `Arc`: the estimator clones the
+    /// handle and computes without holding the lock.
+    field_stats: RwLock<Option<Arc<TableStats>>>,
+}
+
+impl std::fmt::Debug for RelationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationStats")
+            .field("records", &self.records())
+            .field("pages", &self.pages())
+            .field("modifications", &self.modifications())
+            .field("field_stats", &self.table_stats().is_some())
+            .finish()
+    }
 }
 
 impl RelationStats {
@@ -77,6 +97,18 @@ impl RelationStats {
         self.bytes.store(bytes as i64, Ordering::Relaxed);
     }
 
+    /// The current field-level statistics snapshot, if one is published.
+    pub fn table_stats(&self) -> Option<Arc<TableStats>> {
+        self.field_stats.read().clone()
+    }
+
+    /// Publishes (or clears, with `None`) the field-level statistics
+    /// snapshot. Called by the statistics attachment after every
+    /// maintained change so cached plans estimate against fresh numbers.
+    pub fn publish_table_stats(&self, stats: Option<Arc<TableStats>>) {
+        *self.field_stats.write() = stats;
+    }
+
     /// Snapshot for catalog persistence.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
@@ -116,6 +148,20 @@ mod tests {
         s.on_page_allocated();
         s.on_page_allocated();
         assert_eq!(s.pages(), 2);
+    }
+
+    #[test]
+    fn table_stats_publication_roundtrip() {
+        let s = RelationStats::default();
+        assert!(s.table_stats().is_none());
+        let ts = Arc::new(TableStats {
+            rows: 42,
+            columns: vec![None],
+        });
+        s.publish_table_stats(Some(ts.clone()));
+        assert_eq!(s.table_stats().unwrap().rows, 42);
+        s.publish_table_stats(None);
+        assert!(s.table_stats().is_none());
     }
 
     #[test]

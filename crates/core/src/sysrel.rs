@@ -34,6 +34,8 @@ pub const TAG_TRACE: u8 = 7;
 pub const TAG_INCIDENTS: u8 = 8;
 /// `sm_desc` tag selecting the `sys.repairs` relation.
 pub const TAG_REPAIRS: u8 = 9;
+/// `sm_desc` tag selecting the `sys.statistics` relation.
+pub const TAG_STATISTICS: u8 = 10;
 
 /// The full system-relation catalog: `(name, sm_desc tag, schema)` for
 /// every published `sys.*` relation, in publication order.
@@ -139,6 +141,24 @@ pub fn tables() -> Result<Vec<(&'static str, u8, Schema)>> {
                 ColumnDef::not_null("detail", Str),
             ])?,
         ),
+        (
+            "sys.statistics",
+            TAG_STATISTICS,
+            Schema::new(vec![
+                ColumnDef::not_null("relation", Str),
+                ColumnDef::not_null("field", Str),
+                ColumnDef::not_null("rows", Int),
+                // Per-field columns are NULL for untracked (non-numeric)
+                // fields and for the per-relation summary row.
+                ColumnDef::new("nulls", Int),
+                ColumnDef::new("distinct", Int),
+                ColumnDef::new("min", Str),
+                ColumnDef::new("max", Str),
+                // Rendered histogram (`lo..hi: c0,c1,…`), NULL until
+                // ANALYZE froze bucket bounds.
+                ColumnDef::new("histogram", Str),
+            ])?,
+        ),
     ])
 }
 
@@ -150,7 +170,7 @@ mod tests {
     #[test]
     fn tables_are_well_formed_and_distinct() {
         let tables = tables().unwrap();
-        assert_eq!(tables.len(), 9);
+        assert_eq!(tables.len(), 10);
         let names: HashSet<&str> = tables.iter().map(|(n, _, _)| *n).collect();
         assert_eq!(names.len(), tables.len(), "names unique");
         let tags: HashSet<u8> = tables.iter().map(|(_, t, _)| *t).collect();

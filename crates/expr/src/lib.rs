@@ -21,9 +21,11 @@ pub mod ast;
 pub mod eval;
 pub mod func;
 pub mod ser;
+pub mod stats;
 
 pub use analyze::{columns, conjuncts, sargable, Sarg, SargOp};
 pub use ast::{BinOp, CmpOp, Expr};
 pub use eval::{eval, eval_predicate, EvalContext, FieldSource};
 pub use func::FunctionRegistry;
 pub use ser::{decode_expr, encode_expr, expr_from_hex, expr_to_hex};
+pub use stats::{sarg_fraction, selectivity, ColumnStats, Histogram, TableStats};

@@ -159,4 +159,10 @@ pub enum Stmt {
     RepairTable {
         name: String,
     },
+    /// `ANALYZE TABLE t` — (re)build maintained statistics from a full
+    /// scan, registering a statistics attachment first if the relation
+    /// has none.
+    AnalyzeTable {
+        name: String,
+    },
 }

@@ -225,6 +225,12 @@ impl Parser {
                 name: self.table_name()?,
             });
         }
+        if self.eat_kw("ANALYZE") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::AnalyzeTable {
+                name: self.table_name()?,
+            });
+        }
         if self.eat_kw("GRANT") {
             let privilege = self.ident()?;
             self.expect_kw("ON")?;

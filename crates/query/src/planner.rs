@@ -59,6 +59,9 @@ pub struct AccessPlan {
     pub probe: Option<ProbeSpec>,
     /// Estimated rows out (for join ordering decisions & EXPLAIN).
     pub rows_est: f64,
+    /// Total estimated access cost including the uncovered-fetch
+    /// surcharge (for join order / strategy decisions).
+    pub cost_est: f64,
 }
 
 /// The physical plan.
@@ -168,15 +171,20 @@ fn tables_of(e: &Expr, tables: &[BoundTable]) -> BTreeSet<usize> {
 }
 
 /// Chooses the cheapest access path for one table. `eligible` uses local
-/// field ids.
+/// field ids; `needed_fields` is the full set of (local) fields the
+/// query must read from this table, so covering-path decisions account
+/// for projected columns, not just filtered ones. Returns the winning
+/// choice, the residual predicates, and the total estimated cost
+/// (access plus uncovered-fetch surcharge).
 pub fn choose_path(
     db: &Arc<Database>,
     rd: &Arc<RelationDescriptor>,
     eligible: &[Expr],
-) -> Result<(PathChoice, Vec<Expr>)> {
+    needed_fields: &BTreeSet<FieldId>,
+) -> Result<(PathChoice, Vec<Expr>, f64)> {
     let sm = db.registry().storage(rd.sm)?;
     let mut best = sm.estimate(rd, eligible);
-    let mut best_fetch = fetch_surcharge(&best, eligible);
+    let mut best_fetch = fetch_surcharge(&best, eligible, needed_fields);
     for (att_id, insts) in rd.attached_types() {
         let Ok(att) = db.registry().attachment(att_id) else {
             continue;
@@ -186,7 +194,7 @@ pub fn choose_path(
         }
         for inst in insts {
             if let Some(choice) = att.estimate(rd, inst, eligible) {
-                let surcharge = fetch_surcharge(&choice, eligible);
+                let surcharge = fetch_surcharge(&choice, eligible, needed_fields);
                 if choice.cost.total() + surcharge < best.cost.total() + best_fetch {
                     best = choice;
                     best_fetch = surcharge;
@@ -200,18 +208,22 @@ pub fn choose_path(
         .filter(|p| !best.applied.contains(p))
         .cloned()
         .collect();
-    Ok((best, residual))
+    let total = best.cost.total() + best_fetch;
+    Ok((best, residual, total))
 }
 
-/// Extra cost of fetching records the path does not cover. The needed
-/// fields here are approximated by the fields the predicates touch plus
-/// "probably everything" for non-covering paths; a path covering all
-/// referenced fields pays nothing.
-fn fetch_surcharge(choice: &PathChoice, eligible: &[Expr]) -> f64 {
+/// Extra cost of fetching records the path does not cover: a path must
+/// supply every needed field (projection, grouping, filters) to skip the
+/// per-row record fetch.
+fn fetch_surcharge(
+    choice: &PathChoice,
+    eligible: &[Expr],
+    needed_fields: &BTreeSet<FieldId>,
+) -> f64 {
     match (&choice.path, &choice.covered) {
         (AccessPath::StorageMethod, _) => 0.0,
         (_, Some(covered)) => {
-            let mut needed = BTreeSet::new();
+            let mut needed = needed_fields.clone();
             for e in eligible {
                 needed.extend(analyze::columns(e));
             }
@@ -219,12 +231,14 @@ fn fetch_surcharge(choice: &PathChoice, eligible: &[Expr]) -> f64 {
                 // covering path: no record fetches at all
                 0.0
             } else {
-                // ~0.3 page transfers per fetched record (buffer pool hits
-                // absorb most of the cost on clustered workloads)
-                choice.rows_out * 0.3
+                // ~0.2 page transfers per fetched record: the buffer pool
+                // absorbs most fetches once a table's hot pages are
+                // resident, so charging full transfers would make a
+                // selective index path lose to scanning a small table.
+                choice.rows_out * 0.2
             }
         }
-        _ => choice.rows_out * 0.3,
+        _ => choice.rows_out * 0.2,
     }
 }
 
@@ -236,7 +250,7 @@ fn plan_table(
     local_preds: Vec<Expr>,
     needed_fields: &BTreeSet<FieldId>,
 ) -> Result<AccessPlan> {
-    let (choice, residual) = choose_path(db, rd, &local_preds)?;
+    let (choice, residual, cost_est) = choose_path(db, rd, &local_preds, needed_fields)?;
     let residual_expr = combine(residual);
     let (pushed, use_covered) = match &choice.path {
         AccessPath::StorageMethod => (combine(local_preds.clone()), None),
@@ -265,6 +279,7 @@ fn plan_table(
         use_covered,
         probe: None,
         rows_est: choice.rows_out,
+        cost_est,
     })
 }
 
@@ -433,17 +448,94 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
         .map(|t| dmx_core::DepKey::Relation(t.rd.id))
         .collect();
 
-    // build the join tree left-deep in FROM order
+    // Build the join tree left-deep. Default is FROM order; with two
+    // tables and *published statistics* the estimator may flip the
+    // outer/inner roles (without statistics the guesses reproduce the
+    // historical FROM-order plan exactly).
+    let mut order: Vec<usize> = (0..n).collect();
+    if n == 2
+        && binder
+            .tables
+            .iter()
+            .any(|t| t.rd.stats.table_stats().is_some())
+    {
+        // Probe availability per direction, and whether a join index
+        // links the FROM-order pair (a join index always wins, so the
+        // order must not be rotated away from it).
+        let mut probe_into = [false; 2];
+        let mut has_join_index = false;
+        for c in &cross {
+            if let Expr::Cmp(CmpOp::Eq, l, r) = c {
+                if let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) {
+                    let ta = table_of_col(*a, &binder.tables);
+                    let tb = table_of_col(*b, &binder.tables);
+                    if let (Some(ta), Some(tb)) = (ta, tb) {
+                        if ta == tb {
+                            continue;
+                        }
+                        let fa = *a - binder.tables[ta].offset as FieldId;
+                        let fb = *b - binder.tables[tb].offset as FieldId;
+                        probe_into[tb] |= find_probe_path(db, &binder.tables[tb].rd, fb).is_some();
+                        probe_into[ta] |= find_probe_path(db, &binder.tables[ta].rd, fa).is_some();
+                        let (f0, f1) = if ta == 0 { (fa, fb) } else { (fb, fa) };
+                        has_join_index |=
+                            find_join_index(db, &binder.tables[0].rd, &binder.tables[1].rd, f0, f1)
+                                .is_some();
+                    }
+                }
+            }
+        }
+        if !has_join_index {
+            let ap0 = plan_table(
+                db,
+                &binder.tables[0].rd,
+                per_table[0].clone(),
+                &needed_local(0),
+            )?;
+            let ap1 = plan_table(
+                db,
+                &binder.tables[1].rd,
+                per_table[1].clone(),
+                &needed_local(1),
+            )?;
+            let nl_cost = |outer: &AccessPlan, inner: &AccessPlan, probe: bool| {
+                outer.cost_est
+                    + outer.rows_est.max(0.0) * if probe { PROBE_COST } else { inner.cost_est }
+            };
+            if nl_cost(&ap1, &ap0, probe_into[0]) < nl_cost(&ap0, &ap1, probe_into[1]) {
+                order = vec![1, 0];
+            }
+        }
+    }
+
+    // Physical row layout under the chosen order; a trailing Project
+    // restores FROM-order layout when the two differ.
+    let mut phys_offset = vec![0usize; n];
+    {
+        let mut acc = 0usize;
+        for &ti in &order {
+            phys_offset[ti] = acc;
+            acc += binder.tables[ti].rd.schema.len();
+        }
+    }
+    let to_phys = |c: FieldId| -> FieldId {
+        match table_of_col(c, &binder.tables) {
+            Some(t) => (phys_offset[t] + (c as usize - binder.tables[t].offset)) as FieldId,
+            None => c,
+        }
+    };
+
+    let first = order[0];
     let mut plan = Plan::Access(plan_table(
         db,
-        &binder.tables[0].rd,
-        per_table[0].clone(),
-        &needed_local(0),
+        &binder.tables[first].rd,
+        per_table[first].clone(),
+        &needed_local(first),
     )?);
-    let mut joined: Vec<usize> = vec![0];
-    for i in 1..n {
-        let t = &binder.tables[i];
-        // find an equi-join conjunct between the joined set and table i
+    let mut joined: Vec<usize> = vec![first];
+    for &ti in order.iter().skip(1) {
+        let t = &binder.tables[ti];
+        // find an equi-join conjunct between the joined set and table ti
         let mut equi: Option<(usize, FieldId, FieldId, Expr)> = None;
         for c in &cross {
             if let Expr::Cmp(CmpOp::Eq, l, r) = c {
@@ -451,7 +543,7 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                     let ta = table_of_col(*a, &binder.tables);
                     let tb = table_of_col(*b, &binder.tables);
                     if let (Some(ta), Some(tb)) = (ta, tb) {
-                        if joined.contains(&ta) && tb == i {
+                        if joined.contains(&ta) && tb == ti {
                             equi = Some((
                                 ta,
                                 *a - binder.tables[ta].offset as FieldId,
@@ -460,7 +552,7 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                             ));
                             break;
                         }
-                        if joined.contains(&tb) && ta == i {
+                        if joined.contains(&tb) && ta == ti {
                             equi = Some((
                                 tb,
                                 *b - binder.tables[tb].offset as FieldId,
@@ -473,19 +565,19 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                 }
             }
         }
-        let mut inner = plan_table(db, &t.rd, per_table[i].clone(), &needed_local(i))?;
+        let mut inner = plan_table(db, &t.rd, per_table[ti].clone(), &needed_local(ti))?;
         let mut used_join_index = false;
         if let Some((outer_t, outer_f, inner_f, ref cond)) = equi {
-            // join index? (only for plain 2-table joins starting fresh)
-            if n == 2 && i == 1 && outer_t == 0 {
+            // join index? (only for plain 2-table joins in FROM order)
+            if n == 2 && joined.len() == 1 && first == 0 && outer_t == 0 {
                 if let Some((att, inst, swapped)) =
                     find_join_index(db, &binder.tables[0].rd, &t.rd, outer_f, inner_f)
                 {
                     let rest: Vec<Expr> = cross.iter().filter(|c| *c != cond).cloned().collect();
                     // single-table predicates still apply after assembly
                     let mut extra: Vec<Expr> = rest;
-                    for (ti, preds) in per_table.iter().enumerate() {
-                        let off = binder.tables[ti].offset as FieldId;
+                    for (pi, preds) in per_table.iter().enumerate() {
+                        let off = binder.tables[pi].offset as FieldId;
                         for p in preds {
                             extra.push(remap_columns(p, &|f| f + off));
                         }
@@ -503,16 +595,20 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                         inst,
                     ));
                     cross.clear();
-                    joined.push(i);
+                    joined.push(ti);
                     used_join_index = true;
                 }
             }
             if !used_join_index {
-                // index nested loop?
-                if let Some((path, kind, _covered)) = find_probe_path(db, &t.rd, inner_f) {
+                // Index nested loop? Published statistics may reveal an
+                // inner relation so small that per-row probes lose to
+                // re-scanning it (the probe guess wins otherwise).
+                let probe_path = find_probe_path(db, &t.rd, inner_f);
+                let probe_pays = t.rd.stats.table_stats().is_none() || inner.cost_est > PROBE_COST;
+                if let (Some((path, kind, _covered)), true) = (probe_path, probe_pays) {
                     inner.path = path;
                     inner.probe = Some(ProbeSpec {
-                        outer_offset: binder.tables[outer_t].offset + outer_f as usize,
+                        outer_offset: phys_offset[outer_t] + outer_f as usize,
                         kind,
                     });
                     inner.use_covered = None; // probe rows fetch the record
@@ -521,13 +617,12 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
                     }
                     // probing applies the equi-join condition
                     cross.retain(|c| c != cond);
-                    let _ = PROBE_COST;
                 }
             }
         }
         if !used_join_index {
             // remaining cross conjuncts that now have all tables available
-            joined.push(i);
+            joined.push(ti);
             let avail: BTreeSet<usize> = joined.iter().copied().collect();
             let (now, later): (Vec<Expr>, Vec<Expr>) = cross
                 .iter()
@@ -537,9 +632,25 @@ pub fn plan_select(db: &Arc<Database>, sel: &SelectStmt) -> Result<CompiledSelec
             plan = Plan::NlJoin {
                 left: Box::new(plan),
                 right: Box::new(Plan::Access(inner)),
-                filter: combine(now),
+                // join filters run over the *physical* row layout
+                filter: combine(now).map(|f| remap_columns(&f, &to_phys)),
             };
         }
+    }
+    // restore FROM-order column layout when the join was reordered
+    if order.windows(2).any(|w| w[0] > w[1]) {
+        let exprs = binder
+            .tables
+            .iter()
+            .flat_map(|t| {
+                (0..t.rd.schema.len())
+                    .map(|local| Expr::Column(to_phys((t.offset + local) as FieldId)))
+            })
+            .collect();
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs,
+        };
     }
     if let Some(f) = combine(cross) {
         plan = Plan::Filter {

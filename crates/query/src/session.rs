@@ -509,6 +509,34 @@ impl Session {
                 self.db.auth().revoke(&self.user, user, rd.id, p)?;
                 Ok(QueryResult::empty())
             }
+            Stmt::AnalyzeTable { name } => {
+                self.check(name, Privilege::Control)?;
+                let rd = self.db.catalog().get_by_name(name)?;
+                // First ANALYZE registers the statistics attachment as
+                // an ordinary attachment (backfill seeds counts and
+                // bounds); subsequent ones just rebuild exactly.
+                let has_stats = rd.attached_types().any(|(att_id, _)| {
+                    self.db
+                        .registry()
+                        .attachment(att_id)
+                        .map(|a| a.name() == "stats")
+                        .unwrap_or(false)
+                });
+                if !has_stats {
+                    self.db
+                        .create_attachment(txn, name, "stats", "stats", &AttrList::new())?;
+                }
+                let analyzed = self.db.analyze_relation(txn, name)?;
+                let rows_now = self.db.catalog().get_by_name(name)?.stats.records();
+                Ok(QueryResult {
+                    columns: vec!["relation".into(), "analyzed".into(), "rows".into()],
+                    rows: vec![vec![
+                        Value::Str(name.clone()),
+                        Value::Int(analyzed as i64),
+                        Value::Int(rows_now as i64),
+                    ]],
+                })
+            }
             Stmt::CheckTable { name } => {
                 self.check(name, Privilege::Control)?;
                 let report = dmx_core::scrub_relation(&self.db, txn, name)?;

@@ -362,7 +362,11 @@ impl StorageMethod for BTreeStorage {
         };
         let pages = rd.stats.pages().max(rd.stats.records() / 40 + 1);
         let records = rd.stats.records();
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         // Recognize a sargable constraint on the leading key field: the
         // tree then serves a range rather than a full scan.
         let sargs = preds
@@ -376,14 +380,17 @@ impl StorageMethod for BTreeStorage {
         choice.ordering = Some(d.key_fields.clone());
         if let Some(s) = sargs.first() {
             let height = (records.max(2) as f64).log2() / 7.0 + 1.0; // ~fan-out 128
+                                                                     // Key-range fraction: maintained statistics when published,
+                                                                     // structural guesses (unique probe / one-third) otherwise.
+            let stat_frac = dmx_expr::sarg_fraction(s.field, &s.op, ts.as_deref());
             let (frac, query) = match &s.op {
                 SargOp::Eq(v) => (
-                    1.0 / records.max(1) as f64,
+                    stat_frac.unwrap_or(1.0 / records.max(1) as f64),
                     AccessQuery::Range(eq_prefix_range(v)),
                 ),
                 SargOp::Range(op, v) => {
                     let r = range_for(*op, v);
-                    (1.0 / 3.0, AccessQuery::Range(r))
+                    (stat_frac.unwrap_or(1.0 / 3.0), AccessQuery::Range(r))
                 }
                 _ => (1.0, AccessQuery::All),
             };

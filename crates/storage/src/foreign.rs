@@ -19,7 +19,7 @@ use dmx_core::{
     AccessPath, CommonServices, Cost, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
     ScanOps, StorageMethod,
 };
-use dmx_expr::{analyze, Expr};
+use dmx_expr::Expr;
 use dmx_types::{
     AttrList, DmxError, FieldId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
 };
@@ -297,7 +297,11 @@ impl StorageMethod for ForeignStorage {
 
     fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
         let records = rd.stats.records();
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         let trips = (records / SCAN_BATCH + 1) as f64;
         PathChoice {
             path: AccessPath::StorageMethod,

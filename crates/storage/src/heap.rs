@@ -18,7 +18,7 @@ use dmx_core::{
     AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, SalvagedRecords,
     ScanItem, ScanOps, StorageMethod,
 };
-use dmx_expr::{analyze, Expr};
+use dmx_expr::Expr;
 use dmx_page::{BufferPool, SlottedPage};
 use dmx_types::PageId;
 use dmx_types::{
@@ -390,7 +390,11 @@ impl StorageMethod for HeapStorage {
     fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
         let pages = rd.stats.pages();
         let records = rd.stats.records();
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         let mut c = PathChoice::full_scan(AccessPath::StorageMethod, pages, records);
         c.rows_out = (records as f64 * sel).max(0.0);
         // The heap applies the whole pushed-down predicate in the pool.

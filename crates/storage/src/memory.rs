@@ -20,7 +20,7 @@ use dmx_core::{
     AccessPath, CommonServices, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem,
     ScanOps, StorageMethod,
 };
-use dmx_expr::{analyze, Expr};
+use dmx_expr::Expr;
 use dmx_types::{
     AttrList, DmxError, FieldId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
 };
@@ -209,7 +209,11 @@ impl StorageMethod for MemoryStorage {
 
     fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
         let records = rd.stats.records();
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         let mut c = PathChoice::full_scan(AccessPath::StorageMethod, 0, records);
         c.cost.io = 0.0; // main memory: no page transfers
         c.rows_out = records as f64 * sel;

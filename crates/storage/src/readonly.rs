@@ -14,7 +14,7 @@ use std::sync::Arc;
 use dmx_core::{
     AccessPath, ExecCtx, KeyRange, PathChoice, RelationDescriptor, ScanItem, ScanOps, StorageMethod,
 };
-use dmx_expr::{analyze, Expr};
+use dmx_expr::Expr;
 use dmx_page::SlottedPage;
 use dmx_types::PageId;
 use dmx_types::{
@@ -171,7 +171,11 @@ impl StorageMethod for ReadOnlyStorage {
     fn estimate(&self, rd: &RelationDescriptor, preds: &[Expr]) -> PathChoice {
         let pages = rd.stats.pages();
         let records = rd.stats.records();
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         let mut c = PathChoice::full_scan(AccessPath::StorageMethod, pages, records);
         // dense packing: slightly cheaper per-record processing
         c.cost.cpu *= 0.5;

@@ -26,7 +26,7 @@ use dmx_core::{
     AccessPath, AccessQuery, Cost, Database, ExecCtx, KeyRange, PathChoice, RelationDescriptor,
     ScanItem, ScanOps, StorageMethod,
 };
-use dmx_expr::{analyze, Expr};
+use dmx_expr::Expr;
 use dmx_lock::LockName;
 use dmx_types::{
     AttrList, DmxError, FieldId, Lsn, Record, RecordKey, RelationId, Result, Schema, Value,
@@ -93,6 +93,23 @@ fn lock_name_str(n: &LockName) -> String {
         LockName::File(f) => format!("file({})", f.0),
         LockName::PageLatch(p) => format!("page_latch({},{})", p.file.0, p.page_no),
     }
+}
+
+/// Renders a statistics bound for `sys.statistics` (integers without a
+/// decimal point, so same-seed snapshots are byte-stable).
+fn stat_value_str(v: Option<&Value>) -> Value {
+    match v {
+        None => Value::Null,
+        Some(Value::Int(i)) => s(i.to_string()),
+        Some(Value::Float(f)) => s(format!("{f}")),
+        Some(other) => s(format!("{other:?}")),
+    }
+}
+
+/// Renders a maintained histogram as `lo..hi: c0,c1,…`.
+fn render_histogram(h: &dmx_expr::Histogram) -> String {
+    let counts: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+    format!("{}..{}: {}", h.lo, h.hi, counts.join(","))
 }
 
 /// Sorts rows lexicographically by `Value::total_cmp` over all columns,
@@ -274,6 +291,47 @@ fn materialize(db: &Arc<Database>, tag: u8) -> Result<Vec<Vec<Value>>> {
                 ]);
             }
         }
+        sysrel::TAG_STATISTICS => {
+            // The statistics attachment's live planner snapshots, one
+            // row per relation ("*" summary) plus one per tracked field.
+            for rd in db.catalog().list() {
+                let Some(ts) = rd.stats.table_stats() else {
+                    continue;
+                };
+                let rows_val = Value::Int(ts.rows as i64);
+                rows.push(vec![
+                    s(rd.name.clone()),
+                    s("*"),
+                    rows_val.clone(),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ]);
+                for (i, cs) in ts.columns.iter().enumerate() {
+                    let Some(cs) = cs else { continue };
+                    let field = match rd.schema.column(i as FieldId) {
+                        Ok(c) => c.name.clone(),
+                        Err(_) => format!("field{i}"),
+                    };
+                    rows.push(vec![
+                        s(rd.name.clone()),
+                        s(field),
+                        rows_val.clone(),
+                        Value::Int(cs.nulls as i64),
+                        Value::Int(cs.distinct as i64),
+                        stat_value_str(cs.min.as_ref()),
+                        stat_value_str(cs.max.as_ref()),
+                        match &cs.histogram {
+                            None => Value::Null,
+                            Some(h) => s(render_histogram(h)),
+                        },
+                    ]);
+                }
+            }
+            sort_rows(&mut rows);
+        }
         other => {
             return Err(DmxError::Corrupt(format!(
                 "unknown system-relation tag {other}"
@@ -382,7 +440,11 @@ impl StorageMethod for SystemStorage {
         // Stats are never maintained for published state; assume a small
         // in-memory relation (one "page", a nominal row count).
         let records = rd.stats.records().max(32);
-        let sel: f64 = preds.iter().map(analyze::default_selectivity).product();
+        let ts = rd.stats.table_stats();
+        let sel: f64 = preds
+            .iter()
+            .map(|p| dmx_expr::selectivity(p, ts.as_deref()))
+            .product();
         PathChoice {
             path: AccessPath::StorageMethod,
             query: AccessQuery::All,

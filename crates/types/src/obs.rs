@@ -559,6 +559,10 @@ pub mod name {
     pub const SCAN_ROWS: &str = "scan.rows";
     /// Histogram: records produced per scan.
     pub const SCAN_ROWS_PER_SCAN: &str = "scan.rows_per_scan";
+    /// Snapshot scans whose end-of-stream delta sweep surfaced records a
+    /// concurrent writer had deleted or moved (those records are emitted
+    /// after the regular stream, so key order was best-effort).
+    pub const SCAN_DELTA_SWEEPS: &str = "scan.delta_sweeps";
 
     /// Attachment side-effect invocations (index maintenance, checks...).
     pub const ATT_INVOCATIONS: &str = "att.invocations";

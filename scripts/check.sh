@@ -68,7 +68,7 @@ cargo run -q --release -p dmx-bench --bin harness -- --smoke
 # must still exist in each later baseline (renaming or dropping a
 # published metric is a breaking observability change). pr5-only names
 # such as planner.misestimate stay published through BENCH_pr5.json.
-for later in BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
+for later in BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json; do
   if [ -f BENCH_pr3.json ] && [ -f "$later" ]; then
     echo "==> bench metric-name compatibility (pr3 -> ${later})"
     missing=$(comm -23 \
@@ -138,6 +138,45 @@ if [ -f BENCH_pr9.json ]; then
     exit 1
   fi
   echo "    read_mostly_snapshot: mvcc.snapshot_scans=${mvcc_scans}"
+fi
+
+# Statistics cost-feedback ratchet (PR10): maintained statistics must
+# at least halve the planner's p90 row-estimate error on the skewed
+# matrix relative to the guess-only lane (the shipped figure is ~66x),
+# must flip at least one plan, and their per-modification maintenance
+# must cost <= 10% wall clock on the identical DML-heavy stream. All
+# figures come from the committed baseline, so the gate is hermetic.
+if [ -f BENCH_pr10.json ]; then
+  echo "==> statistics cost-feedback ratchet (pr10 stats vs guess)"
+  misest() { # scenario -> bench.misest_p90
+    grep -o "\"name\": \"$1\".*" BENCH_pr10.json \
+      | grep -oE '"bench\.misest_p90": ?[0-9]+' | grep -oE '[0-9]+$' | head -1
+  }
+  guess=$(misest misestimate_guess)
+  stats=$(misest misestimate_stats)
+  if [ $((${stats:-999999} * 2)) -gt "${guess:-0}" ]; then
+    echo "pr10 stats-lane p90 misestimate ${stats} rows vs guess ${guess} (< 2x shrink)"
+    exit 1
+  fi
+  echo "    p90 misestimate: guess ${guess} -> stats ${stats} rows"
+  flips=$(grep -o '"name": "misestimate_stats".*' BENCH_pr10.json \
+    | grep -oE '"bench\.plan_flips": ?[0-9]+' | grep -oE '[0-9]+$' | head -1)
+  if [ "${flips:-0}" -lt 1 ]; then
+    echo "pr10 statistics flipped no plans"
+    exit 1
+  fi
+  echo "    plan flips under statistics: ${flips}"
+  lane_ms() { # scenario -> elapsed_ms (integer part)
+    grep -o "\"name\": \"$1\"[^}]*" BENCH_pr10.json \
+      | grep -oE '"elapsed_ms": [0-9]+' | grep -oE '[0-9]+$' | head -1
+  }
+  base_ms=$(lane_ms dml_overhead_base)
+  stats_ms=$(lane_ms dml_overhead_stats)
+  if [ $((${stats_ms:-999999} * 10)) -gt $((${base_ms:-0} * 11)) ]; then
+    echo "pr10 statistics maintenance overhead: ${stats_ms}ms vs ${base_ms}ms base (> 10%)"
+    exit 1
+  fi
+  echo "    dml lane: base ${base_ms}ms -> stats ${stats_ms}ms (<= 10% overhead)"
 fi
 
 echo "check.sh: all gates passed"
